@@ -1,0 +1,35 @@
+//! Figure 8: total conjunctive-query processing time vs. number of queries,
+//! simple (2-level) document schema, MMQJP vs Sequential.
+//!
+//! Paper shape: comparable at small query counts, MMQJP more than two orders
+//! of magnitude faster at 100 000 queries.
+
+use mmqjp_bench::{
+    figure_header, flat_workload, fmt_ms, print_table, run_two_document_benchmark, scale, MODES,
+};
+use mmqjp_core::ProcessingMode;
+use mmqjp_workload::Defaults;
+
+fn main() {
+    figure_header(
+        "Figure 8",
+        "simple schema — join time vs number of queries (N=6 leaves, Zipf 0.8)",
+    );
+    let scale = scale();
+    let columns: Vec<String> = MODES.iter().map(|m| m.label().to_owned()).collect();
+    let mut rows = Vec::new();
+    for &n in &scale.query_counts() {
+        let (queries, d1, d2) = flat_workload(n, Defaults::SIMPLE_LEAVES, Defaults::ZIPF, 8);
+        let mut values = Vec::new();
+        for mode in MODES {
+            if mode == ProcessingMode::Sequential && n > scale.sequential_cap() {
+                values.push("(skipped)".to_owned());
+                continue;
+            }
+            let run = run_two_document_benchmark(mode, &queries, d1.clone(), d2.clone());
+            values.push(fmt_ms(run.join_time));
+        }
+        rows.push((format!("{n} queries"), values));
+    }
+    print_table("Figure 8", "number of queries", &columns, &rows);
+}

@@ -1,0 +1,32 @@
+//! Figure 9: total conjunctive-query processing time vs. number of leaf
+//! nodes in the simple document schema (1000 queries, Zipf 0.8).
+//!
+//! Paper shape: both approaches grow with N (about 6x from N=4 to N=12);
+//! MMQJP grows because more leaves mean more query templates.
+
+use mmqjp_bench::{
+    figure_header, flat_workload, fmt_ms, print_table, run_two_document_benchmark, MODES,
+};
+use mmqjp_workload::Defaults;
+
+fn main() {
+    figure_header(
+        "Figure 9",
+        "simple schema — join time vs number of leaves (1000 queries, Zipf 0.8)",
+    );
+    let columns: Vec<String> = MODES.iter().map(|m| m.label().to_owned()).collect();
+    let mut rows = Vec::new();
+    for n_leaves in [4usize, 6, 8, 10, 12] {
+        let (queries, d1, d2) =
+            flat_workload(Defaults::NUM_QUERIES, n_leaves, Defaults::ZIPF, 9);
+        let mut values = Vec::new();
+        let mut templates = 0;
+        for mode in MODES {
+            let run = run_two_document_benchmark(mode, &queries, d1.clone(), d2.clone());
+            templates = templates.max(run.templates);
+            values.push(fmt_ms(run.join_time));
+        }
+        rows.push((format!("{n_leaves} leaves ({templates} templates)"), values));
+    }
+    print_table("Figure 9", "leaves in schema", &columns, &rows);
+}

@@ -1,0 +1,32 @@
+//! Figure 10: total conjunctive-query processing time vs. the Zipf parameter
+//! governing the number of value joins per query, simple schema (1000
+//! queries, 6 leaves).
+//!
+//! Paper shape: MMQJP is largely insensitive to the parameter (the template
+//! set stays the same); Sequential becomes about 2x faster as the parameter
+//! grows because the average query gets simpler.
+
+use mmqjp_bench::{
+    figure_header, flat_workload, fmt_ms, print_table, run_two_document_benchmark, MODES,
+};
+use mmqjp_workload::Defaults;
+
+fn main() {
+    figure_header(
+        "Figure 10",
+        "simple schema — join time vs Zipf parameter (1000 queries, 6 leaves)",
+    );
+    let columns: Vec<String> = MODES.iter().map(|m| m.label().to_owned()).collect();
+    let mut rows = Vec::new();
+    for zipf in [0.0f64, 0.4, 0.8, 1.2, 1.6] {
+        let (queries, d1, d2) =
+            flat_workload(Defaults::NUM_QUERIES, Defaults::SIMPLE_LEAVES, zipf, 10);
+        let mut values = Vec::new();
+        for mode in MODES {
+            let run = run_two_document_benchmark(mode, &queries, d1.clone(), d2.clone());
+            values.push(fmt_ms(run.join_time));
+        }
+        rows.push((format!("Zipf {zipf:.1}"), values));
+    }
+    print_table("Figure 10", "Zipf parameter", &columns, &rows);
+}

@@ -1,0 +1,45 @@
+//! Figure 11: total conjunctive-query processing time vs. number of queries,
+//! complex (3-level) document schema.
+//!
+//! Paper shape: growth is more than linear for both approaches (more queries
+//! bring in more templates); MMQJP still wins by about two orders of
+//! magnitude at 100 000 queries.
+
+use mmqjp_bench::{
+    complex_workload, figure_header, fmt_ms, print_table, run_two_document_benchmark, scale,
+    MODES,
+};
+use mmqjp_core::ProcessingMode;
+use mmqjp_workload::Defaults;
+
+fn main() {
+    figure_header(
+        "Figure 11",
+        "complex schema — join time vs number of queries (branching 4, K=4, Zipf 0.8)",
+    );
+    let scale = scale();
+    let columns: Vec<String> = MODES.iter().map(|m| m.label().to_owned()).collect();
+    let mut rows = Vec::new();
+    for &n in &scale.query_counts() {
+        let (queries, d1, d2) = complex_workload(
+            n,
+            Defaults::COMPLEX_BRANCHING,
+            Defaults::COMPLEX_MAX_VJ,
+            Defaults::ZIPF,
+            11,
+        );
+        let mut values = Vec::new();
+        let mut templates = 0;
+        for mode in MODES {
+            if mode == ProcessingMode::Sequential && n > scale.sequential_cap() {
+                values.push("(skipped)".to_owned());
+                continue;
+            }
+            let run = run_two_document_benchmark(mode, &queries, d1.clone(), d2.clone());
+            templates = templates.max(run.templates);
+            values.push(fmt_ms(run.join_time));
+        }
+        rows.push((format!("{n} queries ({templates} templates)"), values));
+    }
+    print_table("Figure 11", "number of queries", &columns, &rows);
+}

@@ -1,0 +1,39 @@
+//! Figure 12: total conjunctive-query processing time vs. the maximum number
+//! of value joins per query, complex (3-level) document schema (1000
+//! queries).
+//!
+//! Paper shape: MMQJP's cost grows faster than Sequential's with K because
+//! the number of templates grows with K (the paper reports 2, 6, 20, 39
+//! templates for K = 2..5).
+
+use mmqjp_bench::{
+    complex_workload, figure_header, fmt_ms, print_table, run_two_document_benchmark, MODES,
+};
+use mmqjp_workload::Defaults;
+
+fn main() {
+    figure_header(
+        "Figure 12",
+        "complex schema — join time vs maximum value joins per query (1000 queries)",
+    );
+    let columns: Vec<String> = MODES.iter().map(|m| m.label().to_owned()).collect();
+    let mut rows = Vec::new();
+    for max_vj in [2usize, 3, 4, 5, 6] {
+        let (queries, d1, d2) = complex_workload(
+            Defaults::NUM_QUERIES,
+            Defaults::COMPLEX_BRANCHING,
+            max_vj,
+            Defaults::ZIPF,
+            12,
+        );
+        let mut values = Vec::new();
+        let mut templates = 0;
+        for mode in MODES {
+            let run = run_two_document_benchmark(mode, &queries, d1.clone(), d2.clone());
+            templates = templates.max(run.templates);
+            values.push(fmt_ms(run.join_time));
+        }
+        rows.push((format!("K={max_vj} ({templates} templates)"), values));
+    }
+    print_table("Figure 12", "max value joins per query", &columns, &rows);
+}

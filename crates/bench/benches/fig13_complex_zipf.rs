@@ -1,0 +1,38 @@
+//! Figure 13: total conjunctive-query processing time vs. the Zipf parameter,
+//! complex (3-level) document schema (1000 queries, K=4).
+//!
+//! Paper shape: like Figure 10, but the effect on Sequential is larger
+//! because complex-schema queries shrink more as the parameter grows, while
+//! MMQJP's template count stays roughly constant (around 20).
+
+use mmqjp_bench::{
+    complex_workload, figure_header, fmt_ms, print_table, run_two_document_benchmark, MODES,
+};
+use mmqjp_workload::Defaults;
+
+fn main() {
+    figure_header(
+        "Figure 13",
+        "complex schema — join time vs Zipf parameter (1000 queries, K=4)",
+    );
+    let columns: Vec<String> = MODES.iter().map(|m| m.label().to_owned()).collect();
+    let mut rows = Vec::new();
+    for zipf in [0.0f64, 0.4, 0.8, 1.2, 1.6] {
+        let (queries, d1, d2) = complex_workload(
+            Defaults::NUM_QUERIES,
+            Defaults::COMPLEX_BRANCHING,
+            Defaults::COMPLEX_MAX_VJ,
+            zipf,
+            13,
+        );
+        let mut values = Vec::new();
+        let mut templates = 0;
+        for mode in MODES {
+            let run = run_two_document_benchmark(mode, &queries, d1.clone(), d2.clone());
+            templates = templates.max(run.templates);
+            values.push(fmt_ms(run.join_time));
+        }
+        rows.push((format!("Zipf {zipf:.1} ({templates} templates)"), values));
+    }
+    print_table("Figure 13", "Zipf parameter", &columns, &rows);
+}

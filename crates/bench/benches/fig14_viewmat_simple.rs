@@ -1,0 +1,51 @@
+//! Figure 14: view-materialization breakdown on the simple document schema.
+//!
+//! The paper compares MMQJP without view materialization against MMQJP with
+//! the `Rvj` / `RL` / `RR` intermediates materialized, at 100 000 registered
+//! queries, and breaks the total time into computing `Rvj`, `RL`, `RR` and
+//! evaluating the per-template conjunctive queries.
+//!
+//! Paper shape: materialization reduces the total time; on the simple schema
+//! (6 templates) the benefit is modest compared with the complex schema
+//! (Figure 15).
+
+use mmqjp_bench::{figure_header, flat_workload, fmt_ms, print_table, run_two_document_benchmark, scale};
+use mmqjp_core::ProcessingMode;
+use mmqjp_workload::Defaults;
+
+fn main() {
+    figure_header(
+        "Figure 14",
+        "view materialization breakdown — simple schema",
+    );
+    let num_queries = scale().viewmat_queries();
+    println!("queries: {num_queries}");
+    let (queries, d1, d2) = flat_workload(num_queries, Defaults::SIMPLE_LEAVES, Defaults::ZIPF, 14);
+
+    let columns = vec![
+        "computing Rvj".to_owned(),
+        "computing RL".to_owned(),
+        "computing RR".to_owned(),
+        "conjunctive query".to_owned(),
+        "total".to_owned(),
+    ];
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("MMQJP", ProcessingMode::Mmqjp),
+        ("MMQJP, View Materialization", ProcessingMode::MmqjpViewMat),
+    ] {
+        let run = run_two_document_benchmark(mode, &queries, d1.clone(), d2.clone());
+        let t = run.timings;
+        rows.push((
+            label.to_owned(),
+            vec![
+                fmt_ms(t.compute_rvj),
+                fmt_ms(t.compute_rl),
+                fmt_ms(t.compute_rr),
+                fmt_ms(t.conjunctive),
+                fmt_ms(t.stage2_join_time()),
+            ],
+        ));
+    }
+    print_table("Figure 14", "strategy", &columns, &rows);
+}

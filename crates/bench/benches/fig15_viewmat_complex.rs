@@ -1,0 +1,60 @@
+//! Figure 15: view-materialization breakdown on the complex document schema.
+//!
+//! Same measurement as Figure 14 but over the 3-level schema, which compiles
+//! into many more query templates — so sharing the materialized `RL`/`RR`
+//! across templates saves more work.
+//!
+//! Paper shape: the benefit of view materialization is significantly larger
+//! than on the simple schema (22 templates vs 6).
+
+use mmqjp_bench::{
+    complex_workload, figure_header, fmt_ms, print_table, run_two_document_benchmark, scale,
+};
+use mmqjp_core::ProcessingMode;
+use mmqjp_workload::Defaults;
+
+fn main() {
+    figure_header(
+        "Figure 15",
+        "view materialization breakdown — complex schema",
+    );
+    let num_queries = scale().viewmat_queries();
+    println!("queries: {num_queries}");
+    let (queries, d1, d2) = complex_workload(
+        num_queries,
+        Defaults::COMPLEX_BRANCHING,
+        Defaults::COMPLEX_MAX_VJ,
+        Defaults::ZIPF,
+        15,
+    );
+
+    let columns = vec![
+        "computing Rvj".to_owned(),
+        "computing RL".to_owned(),
+        "computing RR".to_owned(),
+        "conjunctive query".to_owned(),
+        "total".to_owned(),
+    ];
+    let mut rows = Vec::new();
+    let mut templates = 0;
+    for (label, mode) in [
+        ("MMQJP", ProcessingMode::Mmqjp),
+        ("MMQJP, View Materialization", ProcessingMode::MmqjpViewMat),
+    ] {
+        let run = run_two_document_benchmark(mode, &queries, d1.clone(), d2.clone());
+        templates = templates.max(run.templates);
+        let t = run.timings;
+        rows.push((
+            label.to_owned(),
+            vec![
+                fmt_ms(t.compute_rvj),
+                fmt_ms(t.compute_rl),
+                fmt_ms(t.compute_rr),
+                fmt_ms(t.conjunctive),
+                fmt_ms(t.stage2_join_time()),
+            ],
+        ));
+    }
+    print_table("Figure 15", "strategy", &columns, &rows);
+    println!("\ntemplates in this workload: {templates}");
+}

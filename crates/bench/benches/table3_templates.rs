@@ -1,0 +1,32 @@
+//! Table 3: number of query templates as a function of the number of value
+//! joins per query, for the flat (2-level) and complex (3-level, branching 4)
+//! document schemas.
+//!
+//! Paper values — flat: 1, 3, 6, 16; complex: 1, 3, 16, < 230.
+
+use mmqjp_bench::{figure_header, print_table, scale};
+use mmqjp_workload::BenchScale;
+use mmqjp_xscl::enumerate::{count_complex_templates, count_flat_templates};
+
+fn main() {
+    figure_header(
+        "Table 3",
+        "number of query templates vs. number of value joins per query",
+    );
+    let max_k = match scale() {
+        BenchScale::Smoke => 3,
+        _ => 4,
+    };
+    let columns = vec![
+        "#QT (flat schema)".to_owned(),
+        "#QT (complex schema)".to_owned(),
+    ];
+    let mut rows = Vec::new();
+    for k in 1..=max_k {
+        let flat = count_flat_templates(k);
+        let complex = count_complex_templates(k, 4);
+        rows.push((format!("{k} value joins"), vec![flat.to_string(), complex.to_string()]));
+    }
+    print_table("Table 3", "#value joins", &columns, &rows);
+    println!("\npaper reference — flat: 1, 3, 6, 16; complex: 1, 3, 16, <230");
+}

@@ -1,0 +1,155 @@
+//! Engine configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Which Stage-2 (Join Processor) strategy the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ProcessingMode {
+    /// The paper's baseline: each registered query's join is evaluated
+    /// independently for every incoming document (one conjunctive query per
+    /// query, no cross-query sharing).
+    Sequential,
+    /// Query-template based join processing (Algorithms 1–3): one conjunctive
+    /// query per template, evaluated over the base witness relations.
+    #[default]
+    Mmqjp,
+    /// MMQJP with view materialization (Algorithms 4–5): the `RL`/`RR`
+    /// intermediates are computed once per document and shared by all
+    /// templates, with a string-keyed view cache of `RL` slices reused across
+    /// documents.
+    MmqjpViewMat,
+}
+
+impl ProcessingMode {
+    /// Short label used in benchmark output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProcessingMode::Sequential => "Sequential",
+            ProcessingMode::Mmqjp => "MMQJP",
+            ProcessingMode::MmqjpViewMat => "MMQJP+VM",
+        }
+    }
+}
+
+/// Configuration of an [`MmqjpEngine`](crate::MmqjpEngine).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// The Stage-2 strategy.
+    pub mode: ProcessingMode,
+    /// Maximum number of entries in the view cache (string-keyed `RL`
+    /// slices). `None` means unbounded, which is what the paper's experiments
+    /// assume ("we assume we can afford the space to materialize the entire
+    /// RL"). Ignored unless the mode is [`ProcessingMode::MmqjpViewMat`].
+    pub view_cache_capacity: Option<usize>,
+    /// Keep full documents in a store so matched outputs can embed the
+    /// joined subtrees (the default `SELECT *` construction). Disable for
+    /// throughput experiments where only match counts matter.
+    pub retain_documents: bool,
+    /// Purge join state belonging to documents that have fallen out of every
+    /// registered query's window. Only effective when all registered queries
+    /// have finite time windows.
+    pub prune_state_by_window: bool,
+    /// Reject documents whose timestamp is older than the newest timestamp
+    /// already processed. The paper assumes in-order streams; disabling this
+    /// lets out-of-order events in (they simply join as if on time).
+    pub enforce_in_order: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: ProcessingMode::Mmqjp,
+            view_cache_capacity: None,
+            retain_documents: true,
+            prune_state_by_window: false,
+            enforce_in_order: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Configuration for the paper's `Sequential` baseline.
+    pub fn sequential() -> Self {
+        EngineConfig {
+            mode: ProcessingMode::Sequential,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Configuration for plain MMQJP (Algorithms 1–3).
+    pub fn mmqjp() -> Self {
+        EngineConfig {
+            mode: ProcessingMode::Mmqjp,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Configuration for MMQJP with view materialization (Algorithms 4–5).
+    pub fn mmqjp_view_mat() -> Self {
+        EngineConfig {
+            mode: ProcessingMode::MmqjpViewMat,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Builder-style setter for the view cache capacity.
+    pub fn with_view_cache_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.view_cache_capacity = capacity;
+        self
+    }
+
+    /// Builder-style setter for document retention.
+    pub fn with_retain_documents(mut self, retain: bool) -> Self {
+        self.retain_documents = retain;
+        self
+    }
+
+    /// Builder-style setter for window-based state pruning.
+    pub fn with_prune_state_by_window(mut self, prune: bool) -> Self {
+        self.prune_state_by_window = prune;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_mmqjp() {
+        let c = EngineConfig::default();
+        assert_eq!(c.mode, ProcessingMode::Mmqjp);
+        assert_eq!(c.view_cache_capacity, None);
+        assert!(c.retain_documents);
+        assert!(!c.prune_state_by_window);
+    }
+
+    #[test]
+    fn named_constructors() {
+        assert_eq!(EngineConfig::sequential().mode, ProcessingMode::Sequential);
+        assert_eq!(EngineConfig::mmqjp().mode, ProcessingMode::Mmqjp);
+        assert_eq!(
+            EngineConfig::mmqjp_view_mat().mode,
+            ProcessingMode::MmqjpViewMat
+        );
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = EngineConfig::mmqjp_view_mat()
+            .with_view_cache_capacity(Some(128))
+            .with_retain_documents(false)
+            .with_prune_state_by_window(true);
+        assert_eq!(c.view_cache_capacity, Some(128));
+        assert!(!c.retain_documents);
+        assert!(c.prune_state_by_window);
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(ProcessingMode::Sequential.label(), "Sequential");
+        assert_eq!(ProcessingMode::Mmqjp.label(), "MMQJP");
+        assert_eq!(ProcessingMode::MmqjpViewMat.label(), "MMQJP+VM");
+        assert_eq!(ProcessingMode::default(), ProcessingMode::Mmqjp);
+    }
+}

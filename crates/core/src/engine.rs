@@ -1,0 +1,1093 @@
+//! The MMQJP engine: two-stage processing of XML streams against a large set
+//! of registered XSCL queries (Algorithms 1–5 of the paper).
+
+use crate::config::{EngineConfig, ProcessingMode};
+use crate::cqt;
+use crate::error::{CoreError, CoreResult};
+use crate::output::{construct_join_output, Binding, MatchOutput};
+use crate::registry::{QueryRuntime, Registration, Registry};
+use crate::relations::{merge_into_state, schemas, WitnessBatch};
+use crate::stats::{EngineStats, PhaseTimings};
+use crate::view_cache::ViewCache;
+use mmqjp_relational::{Database, Relation, StringInterner, Symbol, Value};
+use mmqjp_xml::{DocId, Document, NodeId};
+use mmqjp_xpath::{PatternMatcher, TreePattern};
+use mmqjp_xscl::{JoinOp, QueryId, SelectClause, Side, XsclQuery};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The Massively Multi-Query Join Processing engine.
+///
+/// See the crate-level documentation for an overview and a quick-start
+/// example. The engine is single-threaded by design (the paper's system is a
+/// single Join Processor instance); concurrency is achieved by partitioning
+/// streams across engine instances.
+#[derive(Debug)]
+pub struct MmqjpEngine {
+    config: EngineConfig,
+    interner: Arc<StringInterner>,
+    registry: Registry,
+    /// Join state: `Rbin(docid, var1, var2, node1, node2)`.
+    rbin: Relation,
+    /// Join state: `Rdoc(docid, node, strVal)`.
+    rdoc: Relation,
+    /// Join state: `RdocTS(docid, timestamp)`.
+    rdoc_ts: Relation,
+    /// Index over `Rdoc` rows by string value, for `RL` slice computation.
+    rdoc_by_strval: HashMap<Symbol, Vec<usize>>,
+    /// Index over `Rbin` rows by `(docid, node2)`, for `RL` slice
+    /// computation.
+    rbin_by_docnode: HashMap<(i64, i64), Vec<usize>>,
+    /// Timestamps of processed documents.
+    doc_timestamps: HashMap<i64, u64>,
+    /// Retained documents for output construction.
+    doc_store: HashMap<u64, Document>,
+    view_cache: ViewCache,
+    stats: EngineStats,
+    next_doc_seq: u64,
+    newest_timestamp: u64,
+}
+
+impl MmqjpEngine {
+    /// Create an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        let interner = Arc::new(StringInterner::new());
+        let view_cache = ViewCache::new(config.view_cache_capacity);
+        MmqjpEngine {
+            registry: Registry::new(Arc::clone(&interner)),
+            rbin: Relation::new(schemas::bin()),
+            rdoc: Relation::new(schemas::doc()),
+            rdoc_ts: Relation::new(schemas::doc_ts()),
+            rdoc_by_strval: HashMap::new(),
+            rbin_by_docnode: HashMap::new(),
+            doc_timestamps: HashMap::new(),
+            doc_store: HashMap::new(),
+            view_cache,
+            stats: EngineStats::default(),
+            next_doc_seq: 0,
+            newest_timestamp: 0,
+            interner,
+            config,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> EngineStats {
+        let mut s = self.stats;
+        s.queries_registered = self.registry.num_queries();
+        s.templates = self.registry.num_templates();
+        s.distinct_patterns = self.registry.num_patterns();
+        s.rbin_tuples = self.rbin.len();
+        s.rdoc_tuples = self.rdoc.len();
+        let vc = self.view_cache.stats();
+        s.view_cache_hits = vc.hits;
+        s.view_cache_misses = vc.misses;
+        s.view_cache_evictions = vc.evictions;
+        s
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.registry.num_queries()
+    }
+
+    /// Number of distinct query templates.
+    pub fn num_templates(&self) -> usize {
+        self.registry.num_templates()
+    }
+
+    /// Number of distinct Stage-1 tree patterns.
+    pub fn num_patterns(&self) -> usize {
+        self.registry.num_patterns()
+    }
+
+    /// Access the query registry (templates, queries, catalog).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The shared string interner.
+    pub fn interner(&self) -> &Arc<StringInterner> {
+        &self.interner
+    }
+
+    /// Register a query from its textual XSCL form. Returns the query id.
+    pub fn register_query_text(&mut self, text: &str) -> CoreResult<QueryId> {
+        let query = mmqjp_xscl::parse_query(text)?;
+        self.register_query(query)
+    }
+
+    /// Register a parsed query. Returns the query id.
+    pub fn register_query(&mut self, query: XsclQuery) -> CoreResult<QueryId> {
+        self.registry.register(query, self.config.mode)
+    }
+
+    /// Process one document, returning the matches it produced.
+    pub fn process_document(&mut self, doc: Document) -> CoreResult<Vec<MatchOutput>> {
+        self.process_batch(vec![doc])
+    }
+
+    /// Process a batch of documents in arrival order.
+    ///
+    /// All documents of the batch are joined against the *pre-batch* join
+    /// state, then merged into the state together — exactly the batched
+    /// evaluation the paper uses for its RSS throughput experiment. With a
+    /// batch size of one this is identical to [`process_document`]; with
+    /// larger batches, matches *within* the batch are not reported (the same
+    /// trade-off the paper makes).
+    ///
+    /// [`process_document`]: MmqjpEngine::process_document
+    pub fn process_batch(&mut self, docs: Vec<Document>) -> CoreResult<Vec<MatchOutput>> {
+        if docs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut timings = PhaseTimings::default();
+
+        // ---- Stage 1: XPath evaluation & witness construction -------------
+        let t0 = Instant::now();
+        let mut batch = WitnessBatch::new();
+        let mut prepared_docs = Vec::with_capacity(docs.len());
+        let mut single_block_outputs = Vec::new();
+        for mut doc in docs {
+            self.next_doc_seq += 1;
+            doc.set_id(DocId(self.next_doc_seq));
+            if doc.timestamp().raw() == 0 {
+                doc.set_timestamp(mmqjp_xml::Timestamp(self.next_doc_seq));
+            }
+            if self.config.enforce_in_order && doc.timestamp().raw() < self.newest_timestamp {
+                return Err(CoreError::OutOfOrderDocument {
+                    timestamp: doc.timestamp().raw(),
+                    newest: self.newest_timestamp,
+                });
+            }
+            self.newest_timestamp = self.newest_timestamp.max(doc.timestamp().raw());
+
+            // Single-block subscriptions are answered directly from Stage 1.
+            single_block_outputs.extend(self.match_single_block_queries(&doc));
+
+            let requested = self.registry.requested_edges().clone();
+            let results = self
+                .registry
+                .pattern_index_mut()
+                .evaluate_edge_bindings(&doc, &requested);
+            let with_patterns: Vec<(&TreePattern, Vec<mmqjp_xpath::EdgeBinding>)> = results
+                .into_iter()
+                .map(|(pid, bindings)| (self.registry.pattern_index().pattern(pid), bindings))
+                .collect();
+            batch.add_document(&doc, &with_patterns, &self.interner);
+            prepared_docs.push(doc);
+        }
+        timings.xpath += t0.elapsed();
+
+        // ---- Stage 2: value-join processing --------------------------------
+        let mut outputs = single_block_outputs;
+        if self.registry.templates().is_empty() && outputs.is_empty() {
+            // No join queries and no single-block matches: just maintain state.
+        }
+        if !self.registry.templates().is_empty() && !batch.is_empty() {
+            let result_rows = match self.config.mode {
+                ProcessingMode::Sequential => self.evaluate_sequential(&batch, &mut timings)?,
+                ProcessingMode::Mmqjp => self.evaluate_mmqjp(&batch, false, &mut timings)?,
+                ProcessingMode::MmqjpViewMat => self.evaluate_mmqjp(&batch, true, &mut timings)?,
+            };
+            let t_out = Instant::now();
+            for (rid, rows) in result_rows {
+                outputs.extend(self.produce_outputs(rid, &rows, &batch, &prepared_docs));
+            }
+            timings.output += t_out.elapsed();
+        }
+
+        // ---- Maintenance (Algorithm 2 / 5) ---------------------------------
+        let t_maint = Instant::now();
+        self.maintain_state(&batch, &prepared_docs);
+        timings.maintenance += t_maint.elapsed();
+
+        self.stats.documents_processed += prepared_docs.len();
+        self.stats.results_emitted += outputs.len();
+        self.stats.timings += timings;
+        Ok(outputs)
+    }
+
+    // --------------------------------------------------------------------
+    // Stage-2 evaluation strategies
+    // --------------------------------------------------------------------
+
+    /// Evaluate all templates with the basic or materialized conjunctive
+    /// queries. Returns, per result relation, `(rid filter, rows)` where
+    /// `rid = -1` marks template results (which carry their own qid column).
+    fn evaluate_mmqjp(
+        &mut self,
+        batch: &WitnessBatch,
+        materialized: bool,
+        timings: &mut PhaseTimings,
+    ) -> CoreResult<Vec<(i64, Relation)>> {
+        let (rl, rr) = if materialized {
+            let (rl, rr) = self.compute_rl_rr(batch, timings);
+            (Some(rl), Some(rr))
+        } else {
+            (None, None)
+        };
+
+        let t0 = Instant::now();
+        let db = self.build_database(batch, rl, rr);
+        let mut results = Vec::new();
+        let num_templates = self.registry.templates().len();
+        for i in 0..num_templates {
+            let cq = if materialized {
+                self.registry.templates()[i].cqt_materialized.clone()
+            } else {
+                self.registry.templates()[i].cqt_basic.clone()
+            };
+            let rows = db.evaluate(&cq)?.distinct();
+            if !rows.is_empty() {
+                results.push((-1, rows));
+            }
+        }
+        self.restore_database(db);
+        timings.conjunctive += t0.elapsed();
+        Ok(results)
+    }
+
+    /// Evaluate every registered query independently (the paper's Sequential
+    /// baseline).
+    fn evaluate_sequential(
+        &mut self,
+        batch: &WitnessBatch,
+        timings: &mut PhaseTimings,
+    ) -> CoreResult<Vec<(i64, Relation)>> {
+        let t0 = Instant::now();
+        let db = self.build_database(batch, None, None);
+        let mut results = Vec::new();
+        let num_queries = self.registry.num_queries();
+        for qi in 0..num_queries {
+            let regs = self.registry.queries()[qi].registrations.clone();
+            for reg in regs {
+                let rows = db.evaluate(&reg.sequential_cqt)?.distinct();
+                if !rows.is_empty() {
+                    results.push((reg.rid, rows));
+                }
+            }
+        }
+        self.restore_database(db);
+        timings.conjunctive += t0.elapsed();
+        Ok(results)
+    }
+
+    /// Compute the shared `RL` and `RR` intermediates (Algorithm 4, lines
+    /// 2–8), consulting and maintaining the view cache for `RL` slices.
+    fn compute_rl_rr(
+        &mut self,
+        batch: &WitnessBatch,
+        timings: &mut PhaseTimings,
+    ) -> (Relation, Relation) {
+        // STR: distinct string values of the current batch that also occur in
+        // the join state (a semi-join of RdocW with Rdoc on strVal).
+        let t_rvj = Instant::now();
+        let mut str_values: Vec<Symbol> = Vec::new();
+        let mut seen: HashSet<Symbol> = HashSet::new();
+        for row in batch.rdoc_w.iter() {
+            if let Some(sym) = row[2].as_sym() {
+                if self.rdoc_by_strval.contains_key(&sym) && seen.insert(sym) {
+                    str_values.push(sym);
+                }
+            }
+        }
+        // Per-batch index of RdocW rows by string value and of RbinW rows by
+        // (docid, node2), used to build the RR slices.
+        let mut rdocw_by_str: HashMap<Symbol, Vec<usize>> = HashMap::new();
+        for (i, row) in batch.rdoc_w.iter().enumerate() {
+            if let Some(sym) = row[2].as_sym() {
+                rdocw_by_str.entry(sym).or_default().push(i);
+            }
+        }
+        let mut rbinw_by_docnode: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, row) in batch.rbin_w.iter().enumerate() {
+            let key = (row[0].as_int().unwrap_or(-1), row[4].as_int().unwrap_or(-1));
+            rbinw_by_docnode.entry(key).or_default().push(i);
+        }
+        timings.compute_rvj += t_rvj.elapsed();
+
+        // RL slices: from the cache when possible, otherwise computed from
+        // Rdoc ⋈ Rbin.
+        let t_rl = Instant::now();
+        let mut rl = Relation::new(schemas::rl());
+        for &s in &str_values {
+            if let Some(slice) = self.view_cache.get(s) {
+                rl.extend_from(slice).expect("cached slice has RL schema");
+                continue;
+            }
+            let slice = self.compute_rl_slice(s);
+            rl.extend_from(&slice).expect("computed slice has RL schema");
+            self.view_cache.insert(s, slice);
+        }
+        timings.compute_rl += t_rl.elapsed();
+
+        // RR slices: always computed (they involve the current document).
+        let t_rr = Instant::now();
+        let mut rr = Relation::new(schemas::rl());
+        for &s in &str_values {
+            for &doc_row in rdocw_by_str.get(&s).map(|v| v.as_slice()).unwrap_or(&[]) {
+                let row = &batch.rdoc_w.tuples()[doc_row];
+                let docid = row[0].as_int().unwrap_or(-1);
+                let node = row[1].as_int().unwrap_or(-1);
+                for &bin_row in rbinw_by_docnode
+                    .get(&(docid, node))
+                    .map(|v| v.as_slice())
+                    .unwrap_or(&[])
+                {
+                    let b = &batch.rbin_w.tuples()[bin_row];
+                    rr.push_values(vec![
+                        b[0].clone(),
+                        b[1].clone(),
+                        b[2].clone(),
+                        b[3].clone(),
+                        b[4].clone(),
+                        Value::Sym(s),
+                    ])
+                    .expect("RR arity");
+                }
+            }
+        }
+        timings.compute_rr += t_rr.elapsed();
+        (rl, rr)
+    }
+
+    /// Compute one `RL` slice: `σ_strVal=s(Rdoc) ⋈_{docid, node=node2} Rbin`.
+    fn compute_rl_slice(&self, s: Symbol) -> Relation {
+        let mut slice = Relation::new(schemas::rl());
+        let Some(doc_rows) = self.rdoc_by_strval.get(&s) else {
+            return slice;
+        };
+        for &doc_row in doc_rows {
+            let row = &self.rdoc.tuples()[doc_row];
+            let docid = row[0].as_int().unwrap_or(-1);
+            let node = row[1].as_int().unwrap_or(-1);
+            if let Some(bin_rows) = self.rbin_by_docnode.get(&(docid, node)) {
+                for &bin_row in bin_rows {
+                    let b = &self.rbin.tuples()[bin_row];
+                    slice
+                        .push_values(vec![
+                            b[0].clone(),
+                            b[1].clone(),
+                            b[2].clone(),
+                            b[3].clone(),
+                            b[4].clone(),
+                            Value::Sym(s),
+                        ])
+                        .expect("RL arity");
+                }
+            }
+        }
+        slice
+    }
+
+    // --------------------------------------------------------------------
+    // Database assembly
+    // --------------------------------------------------------------------
+
+    /// Move the persistent relations (and per-batch relations) into a
+    /// [`Database`] for conjunctive-query evaluation.
+    fn build_database(
+        &mut self,
+        batch: &WitnessBatch,
+        rl: Option<Relation>,
+        rr: Option<Relation>,
+    ) -> Database {
+        let mut db = Database::new();
+        db.register(
+            cqt::RBIN,
+            std::mem::replace(&mut self.rbin, Relation::new(schemas::bin())),
+        );
+        db.register(
+            cqt::RDOC,
+            std::mem::replace(&mut self.rdoc, Relation::new(schemas::doc())),
+        );
+        db.register(cqt::RBIN_W, batch.rbin_w.clone());
+        db.register(cqt::RDOC_W, batch.rdoc_w.clone());
+        if let Some(rl) = rl {
+            db.register(cqt::RL, rl);
+        }
+        if let Some(rr) = rr {
+            db.register(cqt::RR, rr);
+        }
+        for (i, t) in self.registry.templates_mut().iter_mut().enumerate() {
+            let arity = t.template.num_meta_vars();
+            db.register(
+                cqt::rt_name(i),
+                std::mem::replace(&mut t.rt, Relation::new(schemas::rt(arity))),
+            );
+        }
+        db
+    }
+
+    /// Move the persistent relations back out of the evaluation database.
+    fn restore_database(&mut self, mut db: Database) {
+        self.rbin = db.remove(cqt::RBIN).expect("Rbin was registered");
+        self.rdoc = db.remove(cqt::RDOC).expect("Rdoc was registered");
+        for (i, t) in self.registry.templates_mut().iter_mut().enumerate() {
+            t.rt = db
+                .remove(&cqt::rt_name(i))
+                .expect("RT relation was registered");
+        }
+    }
+
+    // --------------------------------------------------------------------
+    // Output production (Algorithm 3)
+    // --------------------------------------------------------------------
+
+    /// Turn a result relation into match outputs, applying the temporal
+    /// constraint. `rid_override` is `-1` for template results (which carry a
+    /// qid column) and a concrete rid for Sequential results.
+    fn produce_outputs(
+        &self,
+        rid_override: i64,
+        rows: &Relation,
+        batch: &WitnessBatch,
+        batch_docs: &[Document],
+    ) -> Vec<MatchOutput> {
+        let mut outputs = Vec::new();
+        let template_mode = rid_override < 0;
+        for row in rows.iter() {
+            let (rid, d1, d2, nodes_offset) = if template_mode {
+                (
+                    row[0].as_int().unwrap_or(i64::MIN),
+                    row[1].as_int().unwrap_or(-1),
+                    row[2].as_int().unwrap_or(-1),
+                    3usize,
+                )
+            } else {
+                (
+                    rid_override,
+                    row[0].as_int().unwrap_or(-1),
+                    row[1].as_int().unwrap_or(-1),
+                    2usize,
+                )
+            };
+            let Some((query, registration)) = self.registry.resolve_rid(rid) else {
+                continue;
+            };
+            let Some(&ts1) = self.doc_timestamps.get(&d1) else {
+                continue;
+            };
+            let Some(ts2) = batch.timestamp_of(DocId(d2 as u64)).map(|t| t.raw()) else {
+                continue;
+            };
+            let window = query.window.unwrap_or(mmqjp_xscl::Window::Infinite);
+            let temporal_ok = match query.op {
+                Some(JoinOp::FollowedBy) => ts2 > ts1 && window.accepts_delta(ts2 - ts1),
+                Some(JoinOp::Join) => {
+                    let delta = ts2.abs_diff(ts1);
+                    window.accepts_delta(delta)
+                }
+                None => true,
+            };
+            if !temporal_ok {
+                continue;
+            }
+            outputs.push(self.build_match(
+                query,
+                registration,
+                row,
+                nodes_offset,
+                DocId(d1 as u64),
+                DocId(d2 as u64),
+                batch_docs,
+            ));
+        }
+        outputs
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_match(
+        &self,
+        query: &QueryRuntime,
+        registration: &Registration,
+        row: &[Value],
+        nodes_offset: usize,
+        d1: DocId,
+        d2: DocId,
+        batch_docs: &[Document],
+    ) -> MatchOutput {
+        let template = &self.registry.templates()[registration.template.index()].template;
+        let num_left = template.num_left();
+        let num_vars = template.num_meta_vars();
+
+        let mut bindings = Vec::with_capacity(num_vars);
+        for i in 0..num_vars {
+            let node = row[nodes_offset + i].as_int().unwrap_or(0) as u32;
+            let doc = if i < num_left { d1 } else { d2 };
+            bindings.push(Binding {
+                variable: registration.assignment[i].clone(),
+                doc,
+                node: NodeId::from_raw(node),
+            });
+        }
+
+        // Map template sides back to the query's own left/right blocks.
+        let (left_doc, right_doc) = if registration.swapped {
+            (d2, d1)
+        } else {
+            (d1, d2)
+        };
+
+        let document = if self.config.retain_documents && query.select == SelectClause::Star {
+            self.construct_output_document(
+                registration,
+                template,
+                row,
+                nodes_offset,
+                d1,
+                d2,
+                batch_docs,
+            )
+        } else {
+            None
+        };
+
+        MatchOutput {
+            query: query.id,
+            publish: query.publish.clone(),
+            left_doc,
+            right_doc,
+            bindings,
+            document,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn construct_output_document(
+        &self,
+        registration: &Registration,
+        template: &mmqjp_xscl::QueryTemplate,
+        row: &[Value],
+        nodes_offset: usize,
+        d1: DocId,
+        d2: DocId,
+        batch_docs: &[Document],
+    ) -> Option<Document> {
+        let prev_doc = self.doc_store.get(&d1.raw())?;
+        let cur_doc = batch_docs.iter().find(|d| d.id() == d2)?;
+
+        // Root binding of a side: the binding of the template-side root
+        // position when that position corresponds to the query's pattern
+        // root, otherwise the document root.
+        let side_root = |side: Side, pattern: &TreePattern| -> NodeId {
+            let pos = match side {
+                Side::Left => 0,
+                Side::Right => template.num_left(),
+            };
+            let root_var = pattern.root().variable().unwrap_or("");
+            if registration.assignment[pos] == root_var {
+                NodeId::from_raw(row[nodes_offset + pos].as_int().unwrap_or(0) as u32)
+            } else {
+                NodeId::ROOT
+            }
+        };
+        let prev_root = side_root(Side::Left, &registration.prev_pattern);
+        let cur_root = side_root(Side::Right, &registration.cur_pattern);
+
+        // The output puts the query's left block first.
+        let out = if registration.swapped {
+            construct_join_output(cur_doc, cur_root, prev_doc, prev_root)
+        } else {
+            construct_join_output(prev_doc, prev_root, cur_doc, cur_root)
+        };
+        Some(out)
+    }
+
+    /// Answer single-block subscriptions directly from the pattern matcher.
+    fn match_single_block_queries(&self, doc: &Document) -> Vec<MatchOutput> {
+        let mut outputs = Vec::new();
+        for q in self.registry.queries() {
+            let Some(pattern) = &q.single_pattern else {
+                continue;
+            };
+            let matcher = PatternMatcher::new(pattern);
+            let witnesses = matcher.witnesses(doc);
+            for w in witnesses {
+                let bindings = w
+                    .bindings()
+                    .iter()
+                    .map(|(v, n)| Binding {
+                        variable: v.clone(),
+                        doc: doc.id(),
+                        node: *n,
+                    })
+                    .collect();
+                let document = if self.config.retain_documents && q.select == SelectClause::Star
+                {
+                    Some(doc.clone())
+                } else {
+                    None
+                };
+                outputs.push(MatchOutput {
+                    query: q.id,
+                    publish: q.publish.clone(),
+                    left_doc: doc.id(),
+                    right_doc: doc.id(),
+                    bindings,
+                    document,
+                });
+            }
+        }
+        outputs
+    }
+
+    // --------------------------------------------------------------------
+    // State maintenance (Algorithm 2 / Algorithm 5)
+    // --------------------------------------------------------------------
+
+    fn maintain_state(&mut self, batch: &WitnessBatch, docs: &[Document]) {
+        // Algorithm 5: fold the current documents' RR contributions into the
+        // cached RL slices so future documents find them materialized.
+        if self.config.mode == ProcessingMode::MmqjpViewMat {
+            // Group the batch's RdocW rows by string value and append the
+            // corresponding RbinW rows to the matching cache slices (only for
+            // string values already cached — new values will be computed on
+            // first use).
+            let mut rbinw_by_docnode: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+            for (i, row) in batch.rbin_w.iter().enumerate() {
+                let key = (row[0].as_int().unwrap_or(-1), row[4].as_int().unwrap_or(-1));
+                rbinw_by_docnode.entry(key).or_default().push(i);
+            }
+            for row in batch.rdoc_w.iter() {
+                let Some(sym) = row[2].as_sym() else { continue };
+                if !self.view_cache.contains(sym) {
+                    continue;
+                }
+                let docid = row[0].as_int().unwrap_or(-1);
+                let node = row[1].as_int().unwrap_or(-1);
+                let mut addition = Relation::new(schemas::rl());
+                for &bin_row in rbinw_by_docnode
+                    .get(&(docid, node))
+                    .map(|v| v.as_slice())
+                    .unwrap_or(&[])
+                {
+                    let b = &batch.rbin_w.tuples()[bin_row];
+                    addition
+                        .push_values(vec![
+                            b[0].clone(),
+                            b[1].clone(),
+                            b[2].clone(),
+                            b[3].clone(),
+                            b[4].clone(),
+                            Value::Sym(sym),
+                        ])
+                        .expect("RL arity");
+                }
+                if !addition.is_empty() {
+                    self.view_cache.append(sym, &addition);
+                }
+            }
+        }
+
+        // Algorithm 2: append the batch to the join state, maintaining the
+        // incremental indexes.
+        let rdoc_base = self.rdoc.len();
+        let rbin_base = self.rbin.len();
+        merge_into_state(batch, &mut self.rbin, &mut self.rdoc, &mut self.rdoc_ts);
+        for (offset, row) in self.rdoc.tuples()[rdoc_base..].iter().enumerate() {
+            if let Some(sym) = row[2].as_sym() {
+                self.rdoc_by_strval
+                    .entry(sym)
+                    .or_default()
+                    .push(rdoc_base + offset);
+            }
+        }
+        for (offset, row) in self.rbin.tuples()[rbin_base..].iter().enumerate() {
+            let key = (row[0].as_int().unwrap_or(-1), row[4].as_int().unwrap_or(-1));
+            self.rbin_by_docnode
+                .entry(key)
+                .or_default()
+                .push(rbin_base + offset);
+        }
+        for row in batch.rdoc_ts_w.iter() {
+            if let (Some(d), Some(ts)) = (row[0].as_int(), row[1].as_int()) {
+                self.doc_timestamps.insert(d, ts as u64);
+            }
+        }
+        if self.config.retain_documents {
+            for doc in docs {
+                self.doc_store.insert(doc.id().raw(), doc.clone());
+            }
+        }
+
+        // Optional window-based pruning.
+        if self.config.prune_state_by_window {
+            if let Some(window) = self.registry.max_window() {
+                self.prune_state(window);
+            }
+        }
+    }
+
+    /// Remove join state belonging to documents that have fallen out of every
+    /// query's window.
+    fn prune_state(&mut self, max_window: u64) {
+        let cutoff = self.newest_timestamp.saturating_sub(max_window);
+        let expired: HashSet<i64> = self
+            .doc_timestamps
+            .iter()
+            .filter(|(_, &ts)| ts < cutoff)
+            .map(|(&d, _)| d)
+            .collect();
+        if expired.is_empty() {
+            return;
+        }
+        self.rdoc
+            .retain(|t| !expired.contains(&t[0].as_int().unwrap_or(-1)));
+        self.rbin
+            .retain(|t| !expired.contains(&t[0].as_int().unwrap_or(-1)));
+        self.rdoc_ts
+            .retain(|t| !expired.contains(&t[0].as_int().unwrap_or(-1)));
+        for d in &expired {
+            self.doc_timestamps.remove(d);
+            self.doc_store.remove(&(*d as u64));
+        }
+        // Row indexes refer to positions that shifted; rebuild them, and drop
+        // cached slices (they may reference pruned documents).
+        self.rdoc_by_strval.clear();
+        for (i, row) in self.rdoc.iter().enumerate() {
+            if let Some(sym) = row[2].as_sym() {
+                self.rdoc_by_strval.entry(sym).or_default().push(i);
+            }
+        }
+        self.rbin_by_docnode.clear();
+        for (i, row) in self.rbin.iter().enumerate() {
+            let key = (row[0].as_int().unwrap_or(-1), row[4].as_int().unwrap_or(-1));
+            self.rbin_by_docnode.entry(key).or_default().push(i);
+        }
+        self.view_cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmqjp_xml::{rss, Timestamp};
+
+    const Q1: &str = "S//book->x1[.//author->x2][.//title->x3] \
+        FOLLOWED BY{x2=x5 AND x3=x6, 100} \
+        S//blog->x4[.//author->x5][.//title->x6]";
+    const Q2: &str = "S//book->x1[.//author->x2][.//category->x7] \
+        FOLLOWED BY{x2=x5 AND x7=x8, 200} \
+        S//blog->x4[.//author->x5][.//category->x8]";
+    const Q3: &str = "S//blog->x4[.//author->x5][.//title->x6] \
+        FOLLOWED BY{x5=x5' AND x6=x6', 300} \
+        S//blog->x4'[.//author->x5'][.//title->x6']";
+
+    fn d1() -> Document {
+        rss::book_announcement(
+            &["Danny Ayers", "Andrew Watt"],
+            "Beginning RSS and Atom Programming",
+            &["Scripting & Programming", "Web Site Development"],
+            "Wrox",
+            "0764579169",
+        )
+        .with_timestamp(Timestamp(10))
+    }
+
+    fn d2() -> Document {
+        rss::blog_article(
+            "Danny Ayers",
+            "http://dannyayers.com/topics/books/rss-book",
+            "Beginning RSS and Atom Programming",
+            "Scripting & Programming",
+            "Just heard ...",
+        )
+        .with_timestamp(Timestamp(20))
+    }
+
+    fn engine(config: EngineConfig) -> MmqjpEngine {
+        let mut e = MmqjpEngine::new(config);
+        e.register_query_text(Q1).unwrap();
+        e.register_query_text(Q2).unwrap();
+        e.register_query_text(Q3).unwrap();
+        e
+    }
+
+    /// The Section 4.4.1 walkthrough: d1 then d2 produce exactly one match
+    /// for Q1 and one for Q2 (the blog article's category matches d1's
+    /// category for Q2, its title matches d1's title for Q1), and none for
+    /// Q3.
+    fn run_walkthrough(config: EngineConfig) -> Vec<MatchOutput> {
+        let mut e = engine(config);
+        let first = e.process_document(d1()).unwrap();
+        assert!(first.is_empty());
+        e.process_document(d2()).unwrap()
+    }
+
+    #[test]
+    fn walkthrough_section_4_4_1_mmqjp() {
+        let outputs = run_walkthrough(EngineConfig::mmqjp());
+        let mut queries: Vec<u64> = outputs.iter().map(|o| o.query.raw()).collect();
+        queries.sort_unstable();
+        assert_eq!(queries, vec![0, 1]); // Q1 and Q2
+        for o in &outputs {
+            assert_eq!(o.left_doc, DocId(1));
+            assert_eq!(o.right_doc, DocId(2));
+            let doc = o.document.as_ref().unwrap();
+            assert_eq!(doc.root().tag(), "result");
+            assert_eq!(doc.root().children().len(), 2);
+        }
+    }
+
+    #[test]
+    fn walkthrough_section_4_4_1_view_mat() {
+        let outputs = run_walkthrough(EngineConfig::mmqjp_view_mat());
+        assert_eq!(outputs.len(), 2);
+    }
+
+    #[test]
+    fn walkthrough_section_4_4_1_sequential() {
+        let outputs = run_walkthrough(EngineConfig::sequential());
+        assert_eq!(outputs.len(), 2);
+    }
+
+    #[test]
+    fn all_modes_agree_on_the_walkthrough() {
+        let mut a = run_walkthrough(EngineConfig::mmqjp());
+        let mut b = run_walkthrough(EngineConfig::mmqjp_view_mat());
+        let mut c = run_walkthrough(EngineConfig::sequential());
+        let key = |o: &MatchOutput| (o.query, o.left_doc, o.right_doc);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        c.sort_by_key(key);
+        let ka: Vec<_> = a.iter().map(key).collect();
+        let kb: Vec<_> = b.iter().map(key).collect();
+        let kc: Vec<_> = c.iter().map(key).collect();
+        assert_eq!(ka, kb);
+        assert_eq!(ka, kc);
+    }
+
+    #[test]
+    fn window_constraint_filters_matches() {
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp());
+        e.register_query_text(
+            "S//book->x1[.//title->x3] FOLLOWED BY{x3=x6, 5} S//blog->x4[.//title->x6]",
+        )
+        .unwrap();
+        e.process_document(d1().with_timestamp(Timestamp(10))).unwrap();
+        // 100 - 10 > 5: outside the window.
+        let out = e
+            .process_document(d2().with_timestamp(Timestamp(100)))
+            .unwrap();
+        assert!(out.is_empty());
+        // A second blog article within the window of nothing earlier than the
+        // first book still matches nothing (the book is now 95 units old).
+        let out = e
+            .process_document(d2().with_timestamp(Timestamp(104)))
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn followed_by_requires_order() {
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp());
+        e.register_query_text(Q1).unwrap();
+        // Blog first, book second: no match (FOLLOWED BY is directional).
+        e.process_document(d2().with_timestamp(Timestamp(5))).unwrap();
+        let out = e.process_document(d1().with_timestamp(Timestamp(10))).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn join_operator_matches_both_orders() {
+        let q = "S//book->x1[.//title->x3] JOIN{x3=x6, 100} S//blog->x4[.//title->x6]";
+        // Order 1: book then blog.
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp());
+        e.register_query_text(q).unwrap();
+        e.process_document(d1().with_timestamp(Timestamp(1))).unwrap();
+        let out = e.process_document(d2().with_timestamp(Timestamp(2))).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].left_doc, DocId(1));
+        assert_eq!(out[0].right_doc, DocId(2));
+        // Order 2: blog then book — still matches thanks to the swapped
+        // orientation.
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp());
+        e.register_query_text(q).unwrap();
+        e.process_document(d2().with_timestamp(Timestamp(1))).unwrap();
+        let out = e.process_document(d1().with_timestamp(Timestamp(2))).unwrap();
+        assert_eq!(out.len(), 1);
+        // The query's left block (book) matched the later document.
+        assert_eq!(out[0].left_doc, DocId(2));
+        assert_eq!(out[0].right_doc, DocId(1));
+    }
+
+    #[test]
+    fn q3_matches_pair_of_blog_postings() {
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp());
+        e.register_query_text(Q3).unwrap();
+        let blog1 = rss::blog_article("Ann", "u1", "Same Title", "c", "d")
+            .with_timestamp(Timestamp(1));
+        let blog2 = rss::blog_article("Ann", "u2", "Same Title", "c", "d")
+            .with_timestamp(Timestamp(2));
+        let blog3 = rss::blog_article("Bob", "u3", "Same Title", "c", "d")
+            .with_timestamp(Timestamp(3));
+        assert!(e.process_document(blog1).unwrap().is_empty());
+        let out = e.process_document(blog2).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].query, QueryId(0));
+        // Bob's posting shares the title but not the author: no new match
+        // with either earlier posting.
+        let out = e.process_document(blog3).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multiple_matching_pairs_produce_multiple_outputs() {
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp());
+        e.register_query_text(Q1).unwrap();
+        e.process_document(d1()).unwrap();
+        // A second identical book announcement.
+        e.process_document(d1().with_timestamp(Timestamp(11))).unwrap();
+        let out = e.process_document(d2()).unwrap();
+        // The blog article joins with both book announcements.
+        assert_eq!(out.len(), 2);
+        let left_docs: HashSet<u64> = out.iter().map(|o| o.left_doc.raw()).collect();
+        assert_eq!(left_docs, HashSet::from([1, 2]));
+    }
+
+    #[test]
+    fn engine_stats_track_processing() {
+        let mut e = engine(EngineConfig::mmqjp_view_mat());
+        e.process_document(d1()).unwrap();
+        e.process_document(d2()).unwrap();
+        let stats = e.stats();
+        assert_eq!(stats.documents_processed, 2);
+        assert_eq!(stats.results_emitted, 2);
+        assert_eq!(stats.queries_registered, 3);
+        assert_eq!(stats.templates, 1);
+        assert!(stats.rdoc_tuples > 0);
+        assert!(stats.rbin_tuples > 0);
+        assert!(stats.timings.total().as_nanos() > 0);
+        assert_eq!(e.num_queries(), 3);
+        assert_eq!(e.num_templates(), 1);
+        assert!(e.num_patterns() >= 3);
+        assert_eq!(e.config().mode, ProcessingMode::MmqjpViewMat);
+        assert!(e.interner().len() > 0);
+        assert_eq!(e.registry().num_queries(), 3);
+    }
+
+    #[test]
+    fn bindings_report_canonical_variables() {
+        let outputs = run_walkthrough(EngineConfig::mmqjp());
+        let q1_match = outputs.iter().find(|o| o.query == QueryId(0)).unwrap();
+        let author = q1_match.binding("S//book//author").unwrap();
+        assert_eq!(author.doc, DocId(1));
+        // Danny Ayers is node 1 in our Figure-1 fixture.
+        assert_eq!(author.node, NodeId::from_raw(1));
+        let blog_title = q1_match.binding("S//blog//title").unwrap();
+        assert_eq!(blog_title.doc, DocId(2));
+    }
+
+    #[test]
+    fn single_block_subscription_matches_every_document() {
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp());
+        e.register_query_text("S//blog[.//author]").unwrap();
+        assert!(e.process_document(d1()).unwrap().is_empty());
+        let out = e.process_document(d2()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].left_doc, out[0].right_doc);
+        assert!(out[0].document.is_some());
+    }
+
+    #[test]
+    fn retain_documents_false_skips_output_construction() {
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp().with_retain_documents(false));
+        e.register_query_text(Q1).unwrap();
+        e.process_document(d1()).unwrap();
+        let out = e.process_document(d2()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].document.is_none());
+    }
+
+    #[test]
+    fn batch_processing_joins_against_prior_state_only() {
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp());
+        e.register_query_text(Q1).unwrap();
+        // Both documents in one batch: the match is within the batch and is
+        // not reported (documented trade-off), but the state is built.
+        let out = e.process_batch(vec![d1(), d2()]).unwrap();
+        assert!(out.is_empty());
+        // A later blog article joins with the book from the first batch.
+        let out = e
+            .process_document(d2().with_timestamp(Timestamp(30)))
+            .unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn view_cache_is_exercised_across_documents() {
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp_view_mat());
+        e.register_query_text(Q1).unwrap();
+        e.process_document(d1()).unwrap();
+        e.process_document(d2()).unwrap();
+        // Processing a second blog article with the same author/title reuses
+        // the cached RL slices.
+        let out = e
+            .process_document(d2().with_timestamp(Timestamp(30)))
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        let stats = e.stats();
+        assert!(stats.view_cache_hits > 0, "expected cache hits, got {stats:?}");
+    }
+
+    #[test]
+    fn window_pruning_discards_old_state() {
+        let mut e = MmqjpEngine::new(
+            EngineConfig::mmqjp().with_prune_state_by_window(true),
+        );
+        e.register_query_text(
+            "S//book->x1[.//title->x3] FOLLOWED BY{x3=x6, 10} S//blog->x4[.//title->x6]",
+        )
+        .unwrap();
+        e.process_document(d1().with_timestamp(Timestamp(1))).unwrap();
+        let before = e.stats().rdoc_tuples;
+        assert!(before > 0);
+        // A much later document pushes the book out of the window.
+        e.process_document(d2().with_timestamp(Timestamp(1000))).unwrap();
+        let after = e.stats();
+        assert!(after.rdoc_tuples < before + 5);
+        // The expired book is gone from the state, so a further blog article
+        // cannot match it.
+        let out = e
+            .process_document(d2().with_timestamp(Timestamp(1005)))
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_documents_rejected_when_enforced() {
+        let mut config = EngineConfig::mmqjp();
+        config.enforce_in_order = true;
+        let mut e = MmqjpEngine::new(config);
+        e.register_query_text(Q1).unwrap();
+        e.process_document(d1().with_timestamp(Timestamp(100))).unwrap();
+        let err = e
+            .process_document(d2().with_timestamp(Timestamp(50)))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::OutOfOrderDocument { .. }));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp());
+        e.register_query_text(Q1).unwrap();
+        assert!(e.process_batch(Vec::new()).unwrap().is_empty());
+        assert_eq!(e.stats().documents_processed, 0);
+    }
+
+    #[test]
+    fn documents_without_join_queries_are_just_absorbed() {
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp());
+        let out = e.process_document(d1()).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(e.stats().documents_processed, 1);
+    }
+}

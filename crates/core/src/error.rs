@@ -1,0 +1,100 @@
+//! Error types for the MMQJP engine.
+
+use mmqjp_relational::RelError;
+use mmqjp_xscl::XsclError;
+use std::fmt;
+
+/// Convenience result alias used throughout the crate.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors produced by the MMQJP engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A query could not be parsed or normalized.
+    Query(XsclError),
+    /// An internal relational operation failed (indicates a bug in query
+    /// compilation rather than a user error).
+    Relational(RelError),
+    /// The query is not supported by the Join Processor (e.g. a single-block
+    /// subscription registered where a join query is required).
+    Unsupported {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A document was submitted with a timestamp older than one already
+    /// processed while the engine is configured for in-order streams.
+    OutOfOrderDocument {
+        /// The timestamp of the offending document.
+        timestamp: u64,
+        /// The newest timestamp seen so far.
+        newest: u64,
+    },
+    /// A referenced query id is unknown.
+    UnknownQuery {
+        /// The raw query id.
+        id: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Query(e) => write!(f, "query error: {e}"),
+            CoreError::Relational(e) => write!(f, "internal relational error: {e}"),
+            CoreError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
+            CoreError::OutOfOrderDocument { timestamp, newest } => write!(
+                f,
+                "out-of-order document: timestamp {timestamp} is older than already-processed {newest}"
+            ),
+            CoreError::UnknownQuery { id } => write!(f, "unknown query id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<XsclError> for CoreError {
+    fn from(e: XsclError) -> Self {
+        CoreError::Query(e)
+    }
+}
+
+impl From<RelError> for CoreError {
+    fn from(e: RelError) -> Self {
+        CoreError::Relational(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e: CoreError = XsclError::NoValueJoins.into();
+        assert!(e.to_string().contains("query error"));
+        let e: CoreError = RelError::UnknownRelation {
+            relation: "Rbin".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("Rbin"));
+        assert!(CoreError::Unsupported {
+            reason: "nested joins".into()
+        }
+        .to_string()
+        .contains("nested joins"));
+        assert!(CoreError::OutOfOrderDocument {
+            timestamp: 1,
+            newest: 5
+        }
+        .to_string()
+        .contains("out-of-order"));
+        assert!(CoreError::UnknownQuery { id: 7 }.to_string().contains('7'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: std::error::Error>(_: &E) {}
+        check(&CoreError::UnknownQuery { id: 0 });
+    }
+}

@@ -1,0 +1,534 @@
+//! Query registration: templates, `RT` relations, per-query metadata and the
+//! Stage-1 pattern index.
+
+use crate::config::ProcessingMode;
+use crate::cqt;
+use crate::error::{CoreError, CoreResult};
+use crate::relations::schemas;
+use mmqjp_relational::{ConjunctiveQuery, Relation, StringInterner, Value};
+use mmqjp_xpath::{PatternId, PatternIndex, PatternNodeId, TreePattern};
+use mmqjp_xscl::{
+    normalize_query, FromClause, JoinGraph, JoinOp, QueryId, QueryTemplate, ReducedGraph,
+    SelectClause, Side, TemplateCatalog, TemplateId, Window, XsclQuery,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Runtime state of one query template: the representative template, its
+/// `RT` relation (one tuple per registered query orientation) and the two
+/// compiled conjunctive-query forms.
+#[derive(Debug, Clone)]
+pub struct TemplateRuntime {
+    /// The template.
+    pub template: QueryTemplate,
+    /// `RT(qid, var1, ..., varm, wl)` — one tuple per member orientation.
+    pub rt: Relation,
+    /// Algorithm-1 conjunctive query over the base witness relations.
+    pub cqt_basic: ConjunctiveQuery,
+    /// Algorithm-4 conjunctive query over `RL` / `RR`.
+    pub cqt_materialized: ConjunctiveQuery,
+}
+
+impl TemplateRuntime {
+    fn new(template: QueryTemplate) -> Self {
+        let rt = Relation::new(schemas::rt(template.num_meta_vars()));
+        let name = cqt::rt_name(template.id.index());
+        let cqt_basic = cqt::template_cqt_basic(&template, &name);
+        let cqt_materialized = cqt::template_cqt_materialized(&template, &name);
+        TemplateRuntime {
+            template,
+            rt,
+            cqt_basic,
+            cqt_materialized,
+        }
+    }
+
+    /// Name of this template's `RT` relation in the engine database.
+    pub fn rt_name(&self) -> String {
+        cqt::rt_name(self.template.id.index())
+    }
+
+    /// Number of registered query orientations in this template.
+    pub fn members(&self) -> usize {
+        self.rt.len()
+    }
+}
+
+/// One orientation of a registered query (a `FOLLOWED BY` query has one;
+/// a symmetric `JOIN` query has two — the original and the block-swapped
+/// form).
+#[derive(Debug, Clone)]
+pub struct Registration {
+    /// The registration id stored in the `qid` column of `RT`.
+    pub rid: i64,
+    /// The template this orientation belongs to.
+    pub template: TemplateId,
+    /// Per meta-variable position, this orientation's canonical variable
+    /// name.
+    pub assignment: Vec<String>,
+    /// `true` when this orientation has the query's *right* block playing the
+    /// previous-document role.
+    pub swapped: bool,
+    /// Pattern playing the previous-document (left) role in this orientation.
+    pub prev_pattern: TreePattern,
+    /// Pattern playing the current-document (right) role in this orientation.
+    pub cur_pattern: TreePattern,
+    /// The per-query conjunctive query used by the Sequential baseline.
+    pub sequential_cqt: ConjunctiveQuery,
+}
+
+/// Runtime state of one registered query.
+#[derive(Debug, Clone)]
+pub struct QueryRuntime {
+    /// The query id.
+    pub id: QueryId,
+    /// The normalized query.
+    pub query: XsclQuery,
+    /// The join operator (None for single-block subscriptions).
+    pub op: Option<JoinOp>,
+    /// The window (None for single-block subscriptions).
+    pub window: Option<Window>,
+    /// The `PUBLISH` name, if any.
+    pub publish: Option<String>,
+    /// The `SELECT` clause.
+    pub select: SelectClause,
+    /// The registered orientations (empty for single-block subscriptions).
+    pub registrations: Vec<Registration>,
+    /// For single-block subscriptions, the (normalized) pattern.
+    pub single_pattern: Option<TreePattern>,
+}
+
+impl QueryRuntime {
+    /// `true` when this is an inter-document join query.
+    pub fn is_join(&self) -> bool {
+        !self.registrations.is_empty()
+    }
+}
+
+/// The registry of all registered queries, their templates and the Stage-1
+/// pattern index.
+#[derive(Debug)]
+pub struct Registry {
+    interner: Arc<StringInterner>,
+    pattern_index: PatternIndex,
+    requested_edges: HashMap<PatternId, Vec<(PatternNodeId, PatternNodeId)>>,
+    catalog: TemplateCatalog,
+    templates: Vec<TemplateRuntime>,
+    queries: Vec<QueryRuntime>,
+    rid_map: HashMap<i64, (usize, usize)>,
+    /// Maximum finite time window across registered join queries; `None`
+    /// while any registered query has an infinite (or count) window.
+    max_finite_window: Option<u64>,
+    any_infinite_window: bool,
+}
+
+impl Registry {
+    /// Create an empty registry sharing the engine's string interner.
+    pub fn new(interner: Arc<StringInterner>) -> Self {
+        Registry {
+            interner,
+            pattern_index: PatternIndex::new(),
+            requested_edges: HashMap::new(),
+            catalog: TemplateCatalog::new(),
+            templates: Vec::new(),
+            queries: Vec::new(),
+            rid_map: HashMap::new(),
+            max_finite_window: None,
+            any_infinite_window: false,
+        }
+    }
+
+    /// Register a query (already parsed). Returns its id.
+    ///
+    /// `mode` determines whether the Sequential per-query conjunctive query
+    /// is compiled (it is skipped in MMQJP modes to keep registration cheap
+    /// for very large query sets, and compiled unconditionally in
+    /// [`ProcessingMode::Sequential`]).
+    pub fn register(&mut self, query: XsclQuery, mode: ProcessingMode) -> CoreResult<QueryId> {
+        let normalized = normalize_query(&query).map_err(|e| match e {
+            // Single-block subscriptions are allowed; other errors propagate.
+            mmqjp_xscl::XsclError::NoValueJoins => mmqjp_xscl::XsclError::NoValueJoins,
+            other => other,
+        });
+        let normalized = match normalized {
+            Ok(n) => n,
+            Err(e) => return Err(CoreError::Query(e)),
+        };
+        let id = QueryId(self.queries.len() as u64);
+        let nq = normalized.query.clone().with_id(id);
+
+        let runtime = match &nq.from {
+            FromClause::Single(block) => {
+                // Pure tree-pattern subscription: Stage 1 only.
+                self.pattern_index.register(block.pattern.clone());
+                QueryRuntime {
+                    id,
+                    op: None,
+                    window: None,
+                    publish: nq.publish.clone(),
+                    select: nq.select,
+                    registrations: Vec::new(),
+                    single_pattern: Some(block.pattern.clone()),
+                    query: nq,
+                }
+            }
+            FromClause::Join { op, window, .. } => {
+                let op = *op;
+                let window = *window;
+                self.track_window(window);
+                let graph = JoinGraph::from_query(&nq)?;
+                let mut registrations = Vec::new();
+                let orientations: Vec<(JoinGraph, bool)> = match op {
+                    JoinOp::FollowedBy => vec![(graph, false)],
+                    JoinOp::Join => vec![(graph.clone(), false), (graph.swapped(), true)],
+                };
+                for (oriented, swapped) in orientations {
+                    let reduced = ReducedGraph::from_join_graph(&oriented);
+                    let membership = self.catalog.insert(&reduced);
+                    // Create the template runtime if this is a new template.
+                    if membership.template.index() == self.templates.len() {
+                        self.templates.push(TemplateRuntime::new(
+                            self.catalog.template(membership.template).clone(),
+                        ));
+                    }
+                    let rid = (id.raw() as i64) * 2 + if swapped { 1 } else { 0 };
+                    // RT tuple: (qid, var1..varm, wl).
+                    let mut tuple = vec![Value::Int(rid)];
+                    for var in &membership.assignment {
+                        tuple.push(Value::Sym(self.interner.intern(var)));
+                    }
+                    tuple.push(Value::Int(window_length(window)));
+                    self.templates[membership.template.index()]
+                        .rt
+                        .push_values(tuple)?;
+
+                    // Stage-1 registration: both patterns, with the reduced
+                    // structural edges (plus join-node-root self edges) as
+                    // the requested edge set.
+                    let prev_pattern = oriented.left.clone();
+                    let cur_pattern = oriented.right.clone();
+                    self.register_pattern_edges(&prev_pattern, &reduced, Side::Left);
+                    self.register_pattern_edges(&cur_pattern, &reduced, Side::Right);
+
+                    let sequential_cqt = if mode == ProcessingMode::Sequential {
+                        let template = &self.templates[membership.template.index()].template;
+                        cqt::per_query_cqt(template, &membership.assignment, &self.interner)
+                    } else {
+                        // Placeholder; never evaluated outside Sequential mode.
+                        ConjunctiveQuery::new(Vec::<String>::new())
+                    };
+
+                    let registration = Registration {
+                        rid,
+                        template: membership.template,
+                        assignment: membership.assignment,
+                        swapped,
+                        prev_pattern,
+                        cur_pattern,
+                        sequential_cqt,
+                    };
+                    self.rid_map
+                        .insert(rid, (id.raw() as usize, registrations.len()));
+                    registrations.push(registration);
+                }
+                QueryRuntime {
+                    id,
+                    op: Some(op),
+                    window: Some(window),
+                    publish: nq.publish.clone(),
+                    select: nq.select,
+                    registrations,
+                    single_pattern: None,
+                    query: nq,
+                }
+            }
+        };
+        self.queries.push(runtime);
+        Ok(id)
+    }
+
+    fn register_pattern_edges(
+        &mut self,
+        pattern: &TreePattern,
+        reduced: &ReducedGraph,
+        side: Side,
+    ) {
+        let pid = self.pattern_index.register(pattern.clone());
+        let entry = self.requested_edges.entry(pid).or_default();
+        for edge in reduced.structural_edges(side) {
+            if !entry.contains(&edge) {
+                entry.push(edge);
+            }
+        }
+        // Join-node roots need a degenerate self edge so their bindings reach
+        // the witness relations even without an incoming structural edge.
+        let tree = reduced.tree(side);
+        for node in &tree.nodes {
+            if node.parent.is_none() && node.is_join_node {
+                let self_edge = (node.original, node.original);
+                if !entry.contains(&self_edge) {
+                    entry.push(self_edge);
+                }
+            }
+        }
+    }
+
+    fn track_window(&mut self, window: Window) {
+        match window {
+            Window::Time(t) => {
+                self.max_finite_window = Some(self.max_finite_window.unwrap_or(0).max(t));
+            }
+            Window::Infinite | Window::Count(_) => {
+                self.any_infinite_window = true;
+            }
+        }
+    }
+
+    /// The string interner shared with the engine.
+    pub fn interner(&self) -> &Arc<StringInterner> {
+        &self.interner
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of distinct templates.
+    pub fn num_templates(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Number of distinct Stage-1 patterns.
+    pub fn num_patterns(&self) -> usize {
+        self.pattern_index.len()
+    }
+
+    /// The template runtimes.
+    pub fn templates(&self) -> &[TemplateRuntime] {
+        &self.templates
+    }
+
+    /// Mutable access to the template runtimes (the engine temporarily moves
+    /// `RT` relations into its evaluation database).
+    pub(crate) fn templates_mut(&mut self) -> &mut Vec<TemplateRuntime> {
+        &mut self.templates
+    }
+
+    /// The registered queries.
+    pub fn queries(&self) -> &[QueryRuntime] {
+        &self.queries
+    }
+
+    /// Look up a query by id.
+    pub fn query(&self, id: QueryId) -> CoreResult<&QueryRuntime> {
+        self.queries
+            .get(id.raw() as usize)
+            .ok_or(CoreError::UnknownQuery { id: id.raw() })
+    }
+
+    /// Resolve a registration id from an `RT` / result tuple back to the
+    /// query and orientation it belongs to.
+    pub fn resolve_rid(&self, rid: i64) -> Option<(&QueryRuntime, &Registration)> {
+        let (qi, ri) = self.rid_map.get(&rid)?;
+        let q = self.queries.get(*qi)?;
+        let r = q.registrations.get(*ri)?;
+        Some((q, r))
+    }
+
+    /// The Stage-1 pattern index.
+    pub fn pattern_index(&self) -> &PatternIndex {
+        &self.pattern_index
+    }
+
+    /// Mutable access to the Stage-1 pattern index (evaluation updates its
+    /// statistics).
+    pub fn pattern_index_mut(&mut self) -> &mut PatternIndex {
+        &mut self.pattern_index
+    }
+
+    /// The per-pattern requested structural edges.
+    pub fn requested_edges(&self) -> &HashMap<PatternId, Vec<(PatternNodeId, PatternNodeId)>> {
+        &self.requested_edges
+    }
+
+    /// The template catalog.
+    pub fn catalog(&self) -> &TemplateCatalog {
+        &self.catalog
+    }
+
+    /// The maximum window across registered join queries: `Some(t)` when all
+    /// join queries have finite time windows, `None` otherwise. Used by
+    /// window-based state pruning.
+    pub fn max_window(&self) -> Option<u64> {
+        if self.any_infinite_window {
+            None
+        } else {
+            self.max_finite_window
+        }
+    }
+}
+
+/// Encode a window as the `wl` column value.
+pub fn window_length(window: Window) -> i64 {
+    match window {
+        Window::Time(t) => t.min(i64::MAX as u64) as i64,
+        Window::Infinite | Window::Count(_) => i64::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmqjp_xscl::parse_query;
+
+    const Q1: &str = "S//book->x1[.//author->x2][.//title->x3] \
+        FOLLOWED BY{x2=x5 AND x3=x6, 100} \
+        S//blog->x4[.//author->x5][.//title->x6]";
+    const Q2: &str = "S//book->x1[.//author->x2][.//category->x7] \
+        FOLLOWED BY{x2=x5 AND x7=x8, 200} \
+        S//blog->x4[.//author->x5][.//category->x8]";
+    const Q3: &str = "S//blog->x4[.//author->x5][.//title->x6] \
+        FOLLOWED BY{x5=x5' AND x6=x6', 300} \
+        S//blog->x4'[.//author->x5'][.//title->x6']";
+
+    fn registry() -> Registry {
+        Registry::new(Arc::new(StringInterner::new()))
+    }
+
+    #[test]
+    fn paper_example_queries_share_one_template() {
+        let mut r = registry();
+        let id1 = r.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp).unwrap();
+        let id2 = r.register(parse_query(Q2).unwrap(), ProcessingMode::Mmqjp).unwrap();
+        let id3 = r.register(parse_query(Q3).unwrap(), ProcessingMode::Mmqjp).unwrap();
+        assert_eq!(id1, QueryId(0));
+        assert_eq!(id2, QueryId(1));
+        assert_eq!(id3, QueryId(2));
+        assert_eq!(r.num_queries(), 3);
+        assert_eq!(r.num_templates(), 1);
+        // The RT relation mirrors Table 4(a): three tuples, one per query.
+        let rt = &r.templates()[0].rt;
+        assert_eq!(rt.len(), 3);
+        assert_eq!(rt.schema().arity(), 8); // qid + 6 vars + wl
+        // Window lengths are stored per query.
+        let wls: Vec<i64> = rt.iter().map(|t| t[7].as_int().unwrap()).collect();
+        assert_eq!(wls, vec![100, 200, 300]);
+        // Q1 and Q2 share the book and blog block patterns; Q3 reuses the
+        // blog block. Distinct patterns: book(author,title),
+        // blog(author,title), book(author,category), blog(author,category)
+        // => 4.
+        assert_eq!(r.num_patterns(), 4);
+        assert_eq!(r.max_window(), Some(300));
+    }
+
+    #[test]
+    fn join_queries_register_two_orientations() {
+        let mut r = registry();
+        let q = "S//item->a[.//title->t1] JOIN{t1=t2, 50} S//post->b[.//title->t2]";
+        let id = r.register(parse_query(q).unwrap(), ProcessingMode::Mmqjp).unwrap();
+        let runtime = r.query(id).unwrap();
+        assert!(runtime.is_join());
+        assert_eq!(runtime.registrations.len(), 2);
+        assert!(!runtime.registrations[0].swapped);
+        assert!(runtime.registrations[1].swapped);
+        // Both orientations resolve back to the query.
+        let (q0, r0) = r.resolve_rid(runtime.registrations[0].rid).unwrap();
+        let (q1, r1) = r.resolve_rid(runtime.registrations[1].rid).unwrap();
+        assert_eq!(q0.id, id);
+        assert_eq!(q1.id, id);
+        assert!(!r0.swapped);
+        assert!(r1.swapped);
+        // The two orientations of an asymmetric query land in the same
+        // single-value-join template.
+        assert_eq!(r.num_templates(), 1);
+        assert_eq!(r.templates()[0].members(), 2);
+    }
+
+    #[test]
+    fn single_block_subscription_is_accepted() {
+        let mut r = registry();
+        let id = r.register(parse_query("S//blog[.//author]").unwrap(), ProcessingMode::Mmqjp).unwrap();
+        let runtime = r.query(id).unwrap();
+        assert!(!runtime.is_join());
+        assert!(runtime.single_pattern.is_some());
+        assert_eq!(r.num_templates(), 0);
+        assert_eq!(r.num_patterns(), 1);
+    }
+
+    #[test]
+    fn requested_edges_cover_reduced_structure_and_self_edges() {
+        let mut r = registry();
+        // Single value join: both sides reduce to single nodes, so the
+        // requested edges are self edges.
+        r.register(
+            parse_query("S//book->b[.//author->a] FOLLOWED BY{a=x, 10} S//blog->g[.//author->x]")
+                .unwrap(),
+            ProcessingMode::Mmqjp,
+        )
+        .unwrap();
+        let total_edges: usize = r.requested_edges().values().map(|v| v.len()).sum();
+        assert_eq!(total_edges, 2); // one self edge per pattern
+        for edges in r.requested_edges().values() {
+            for (a, b) in edges {
+                assert_eq!(a, b);
+            }
+        }
+        // Q1 adds real structural edges.
+        r.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp).unwrap();
+        let q1_edges: usize = r.requested_edges().values().map(|v| v.len()).sum();
+        assert_eq!(q1_edges, 2 + 4);
+    }
+
+    #[test]
+    fn sequential_mode_compiles_per_query_cqt() {
+        let mut r = registry();
+        r.register(parse_query(Q1).unwrap(), ProcessingMode::Sequential).unwrap();
+        let reg = &r.queries()[0].registrations[0];
+        assert_eq!(reg.sequential_cqt.num_atoms(), 8);
+        // In MMQJP mode the per-query CQT is left empty.
+        let mut r2 = registry();
+        r2.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp).unwrap();
+        assert_eq!(r2.queries()[0].registrations[0].sequential_cqt.num_atoms(), 0);
+    }
+
+    #[test]
+    fn window_tracking() {
+        let mut r = registry();
+        r.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp).unwrap();
+        assert_eq!(r.max_window(), Some(100));
+        r.register(
+            parse_query("S//a->x FOLLOWED BY{x=y, INF} S//b->y").unwrap(),
+            ProcessingMode::Mmqjp,
+        )
+        .unwrap();
+        assert_eq!(r.max_window(), None);
+        assert_eq!(window_length(Window::Time(5)), 5);
+        assert_eq!(window_length(Window::Infinite), i64::MAX);
+        assert_eq!(window_length(Window::Count(3)), i64::MAX);
+    }
+
+    #[test]
+    fn unknown_query_lookup_fails() {
+        let r = registry();
+        assert!(matches!(
+            r.query(QueryId(5)),
+            Err(CoreError::UnknownQuery { id: 5 })
+        ));
+        assert!(r.resolve_rid(99).is_none());
+    }
+
+    #[test]
+    fn template_runtime_metadata() {
+        let mut r = registry();
+        r.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp).unwrap();
+        let tr = &r.templates()[0];
+        assert_eq!(tr.rt_name(), "RT_0");
+        assert_eq!(tr.members(), 1);
+        assert_eq!(tr.template.num_meta_vars(), 6);
+        assert!(tr.cqt_basic.validate().is_ok());
+        assert!(tr.cqt_materialized.validate().is_ok());
+        assert_eq!(r.catalog().len(), 1);
+        assert_eq!(r.interner().len() > 0, true);
+    }
+}

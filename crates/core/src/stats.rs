@@ -1,0 +1,172 @@
+//! Engine statistics and per-phase timings.
+//!
+//! Figures 14 and 15 of the paper break the total conjunctive-query
+//! processing time into the time spent computing `Rvj`, `RL`, `RR` and the
+//! per-template conjunctive queries. [`PhaseTimings`] records exactly those
+//! phases (plus Stage-1, output construction and state maintenance, which the
+//! paper reports separately or excludes).
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+use std::time::Duration;
+
+/// Cumulative wall-clock time per processing phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Stage 1: XPath evaluation and witness-relation construction.
+    pub xpath: Duration,
+    /// Computing the common string values `STR` / the `Rvj` semi-join
+    /// (view-materialization mode only).
+    pub compute_rvj: Duration,
+    /// Computing (or fetching from the view cache) the `RL` slices.
+    pub compute_rl: Duration,
+    /// Computing the `RR` slices.
+    pub compute_rr: Duration,
+    /// Evaluating the per-template (or per-query, in Sequential mode)
+    /// conjunctive queries.
+    pub conjunctive: Duration,
+    /// Temporal filtering and output-document construction (Algorithm 3).
+    pub output: Duration,
+    /// Join-state and view-cache maintenance (Algorithms 2 and 5).
+    pub maintenance: Duration,
+}
+
+impl PhaseTimings {
+    /// Total time across all phases.
+    pub fn total(&self) -> Duration {
+        self.xpath
+            + self.compute_rvj
+            + self.compute_rl
+            + self.compute_rr
+            + self.conjunctive
+            + self.output
+            + self.maintenance
+    }
+
+    /// The portion the paper calls "total conjunctive query processing time"
+    /// in Figures 8–15: everything in Stage 2 except output construction and
+    /// state maintenance.
+    pub fn stage2_join_time(&self) -> Duration {
+        self.compute_rvj + self.compute_rl + self.compute_rr + self.conjunctive
+    }
+}
+
+impl AddAssign for PhaseTimings {
+    fn add_assign(&mut self, rhs: Self) {
+        self.xpath += rhs.xpath;
+        self.compute_rvj += rhs.compute_rvj;
+        self.compute_rl += rhs.compute_rl;
+        self.compute_rr += rhs.compute_rr;
+        self.conjunctive += rhs.conjunctive;
+        self.output += rhs.output;
+        self.maintenance += rhs.maintenance;
+    }
+}
+
+/// Cumulative statistics for an engine instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Documents processed so far.
+    pub documents_processed: usize,
+    /// Query matches emitted so far.
+    pub results_emitted: usize,
+    /// Registered queries.
+    pub queries_registered: usize,
+    /// Distinct query templates currently in the catalog.
+    pub templates: usize,
+    /// Distinct tree patterns registered with the Stage-1 index.
+    pub distinct_patterns: usize,
+    /// Tuples currently held in the `Rbin` join-state relation.
+    pub rbin_tuples: usize,
+    /// Tuples currently held in the `Rdoc` join-state relation.
+    pub rdoc_tuples: usize,
+    /// View-cache hits (view-materialization mode).
+    pub view_cache_hits: usize,
+    /// View-cache misses.
+    pub view_cache_misses: usize,
+    /// View-cache evictions.
+    pub view_cache_evictions: usize,
+    /// Cumulative per-phase timings.
+    pub timings: PhaseTimings,
+}
+
+impl EngineStats {
+    /// Throughput in documents per second over the total measured time.
+    /// Returns 0.0 before any document has been processed.
+    pub fn throughput_docs_per_sec(&self) -> f64 {
+        let secs = self.timings.total().as_secs_f64();
+        if secs == 0.0 || self.documents_processed == 0 {
+            0.0
+        } else {
+            self.documents_processed as f64 / secs
+        }
+    }
+
+    /// Throughput counting only Stage-2 join time, matching the paper's
+    /// Figure 16 measurement (which excludes loading and Stage-1 cost).
+    pub fn join_throughput_docs_per_sec(&self) -> f64 {
+        let secs = self.timings.stage2_join_time().as_secs_f64();
+        if secs == 0.0 || self.documents_processed == 0 {
+            0.0
+        } else {
+            self.documents_processed as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let t = PhaseTimings {
+            xpath: Duration::from_millis(1),
+            compute_rvj: Duration::from_millis(2),
+            compute_rl: Duration::from_millis(3),
+            compute_rr: Duration::from_millis(4),
+            conjunctive: Duration::from_millis(5),
+            output: Duration::from_millis(6),
+            maintenance: Duration::from_millis(7),
+        };
+        assert_eq!(t.total(), Duration::from_millis(28));
+        assert_eq!(t.stage2_join_time(), Duration::from_millis(14));
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = PhaseTimings {
+            xpath: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let b = PhaseTimings {
+            xpath: Duration::from_millis(2),
+            conjunctive: Duration::from_millis(3),
+            ..Default::default()
+        };
+        a += b;
+        assert_eq!(a.xpath, Duration::from_millis(3));
+        assert_eq!(a.conjunctive, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn throughput_handles_zero() {
+        let s = EngineStats::default();
+        assert_eq!(s.throughput_docs_per_sec(), 0.0);
+        assert_eq!(s.join_throughput_docs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn throughput_positive_when_measured() {
+        let s = EngineStats {
+            documents_processed: 10,
+            timings: PhaseTimings {
+                conjunctive: Duration::from_millis(100),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(s.throughput_docs_per_sec() > 0.0);
+        assert!((s.join_throughput_docs_per_sec() - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,120 @@
+//! Error types for the relational engine.
+
+use std::fmt;
+
+/// Convenience result alias used throughout the crate.
+pub type RelResult<T> = Result<T, RelError>;
+
+/// Errors produced by relational operations and conjunctive query evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A tuple's arity did not match the relation schema.
+    ArityMismatch {
+        /// Name of the relation or operation.
+        context: String,
+        /// Expected number of columns.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+    /// A column name was not found in a schema.
+    UnknownColumn {
+        /// The missing column name.
+        column: String,
+        /// The columns that do exist.
+        available: Vec<String>,
+    },
+    /// A relation name referenced by a query is not registered in the
+    /// database.
+    UnknownRelation {
+        /// The missing relation name.
+        relation: String,
+    },
+    /// Join keys on the two sides have different lengths.
+    KeyLengthMismatch {
+        /// Keys supplied for the left input.
+        left: usize,
+        /// Keys supplied for the right input.
+        right: usize,
+    },
+    /// A conjunctive query is malformed (e.g. head variable not bound in the
+    /// body, empty body, or an atom arity mismatch).
+    MalformedQuery {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::ArityMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch in {context}: expected {expected} values, found {found}"
+            ),
+            RelError::UnknownColumn { column, available } => write!(
+                f,
+                "unknown column `{column}` (available: {})",
+                available.join(", ")
+            ),
+            RelError::UnknownRelation { relation } => {
+                write!(f, "unknown relation `{relation}`")
+            }
+            RelError::KeyLengthMismatch { left, right } => write!(
+                f,
+                "join key length mismatch: {left} left keys vs {right} right keys"
+            ),
+            RelError::MalformedQuery { reason } => write!(f, "malformed query: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_contain_details() {
+        let e = RelError::ArityMismatch {
+            context: "Rdoc".into(),
+            expected: 3,
+            found: 2,
+        };
+        assert!(e.to_string().contains("Rdoc"));
+        assert!(e.to_string().contains('3'));
+
+        let e = RelError::UnknownColumn {
+            column: "strVal".into(),
+            available: vec!["docid".into(), "node".into()],
+        };
+        assert!(e.to_string().contains("strVal"));
+        assert!(e.to_string().contains("docid"));
+
+        let e = RelError::UnknownRelation {
+            relation: "Rbin".into(),
+        };
+        assert!(e.to_string().contains("Rbin"));
+
+        let e = RelError::KeyLengthMismatch { left: 2, right: 1 };
+        assert!(e.to_string().contains('2'));
+
+        let e = RelError::MalformedQuery {
+            reason: "empty body".into(),
+        };
+        assert!(e.to_string().contains("empty body"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&RelError::UnknownRelation {
+            relation: "x".into(),
+        });
+    }
+}

@@ -1,0 +1,156 @@
+//! Hash indexes over relations.
+
+use crate::error::RelResult;
+use crate::relation::{Relation, Tuple};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A multi-column hash index mapping key values to the row indices of a
+/// relation that carry them.
+///
+/// The Join Processor builds hash indexes over the probe side of every
+/// equi-join, and the engine keeps a persistent index over the `strVal`
+/// column of `Rdoc` so Algorithm 4's semi-join (`RdocW ⋉ Rdoc`) is a hash
+/// lookup per distinct current-document string value.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    key_columns: Vec<usize>,
+    map: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// Build an index over `relation` keyed on the named columns.
+    pub fn build(relation: &Relation, key_columns: &[&str]) -> RelResult<Self> {
+        let cols: Vec<usize> = key_columns
+            .iter()
+            .map(|c| relation.schema().require(c))
+            .collect::<RelResult<_>>()?;
+        Ok(Self::build_on_indices(relation, cols))
+    }
+
+    /// Build an index keyed on column positions.
+    pub fn build_on_indices(relation: &Relation, key_columns: Vec<usize>) -> Self {
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(relation.len());
+        for (row, tuple) in relation.iter().enumerate() {
+            let key: Vec<Value> = key_columns.iter().map(|&c| tuple[c].clone()).collect();
+            map.entry(key).or_default().push(row);
+        }
+        HashIndex {
+            key_columns,
+            map,
+        }
+    }
+
+    /// The column positions this index is keyed on.
+    pub fn key_columns(&self) -> &[usize] {
+        &self.key_columns
+    }
+
+    /// Row indices whose key equals `key`.
+    pub fn lookup(&self, key: &[Value]) -> &[usize] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Row indices matching the key extracted from `tuple` using the probe
+    /// column positions `probe_columns` (which must have the same length as
+    /// the index key).
+    pub fn probe<'a>(&'a self, tuple: &Tuple, probe_columns: &[usize]) -> &'a [usize] {
+        debug_assert_eq!(probe_columns.len(), self.key_columns.len());
+        let key: Vec<Value> = probe_columns.iter().map(|&c| tuple[c].clone()).collect();
+        self.map.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// `true` if some row carries this key.
+    pub fn contains_key(&self, key: &[Value]) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Add a new row to the index incrementally.
+    pub fn insert_row(&mut self, tuple: &Tuple, row: usize) {
+        let key: Vec<Value> = self.key_columns.iter().map(|&c| tuple[c].clone()).collect();
+        self.map.entry(key).or_default().push(row);
+    }
+
+    /// Iterate over (key, row indices) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<usize>)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn people() -> Relation {
+        let mut r = Relation::new(Schema::new(["name", "city", "age"]));
+        for (n, c, a) in [
+            ("alice", "ithaca", 30),
+            ("bob", "ithaca", 41),
+            ("carol", "berlin", 30),
+            ("dave", "berlin", 30),
+        ] {
+            r.push_values(vec![Value::str(n), Value::str(c), Value::int(a)])
+                .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn single_column_index() {
+        let r = people();
+        let idx = HashIndex::build(&r, &["city"]).unwrap();
+        assert_eq!(idx.lookup(&[Value::str("ithaca")]), &[0, 1]);
+        assert_eq!(idx.lookup(&[Value::str("berlin")]), &[2, 3]);
+        assert!(idx.lookup(&[Value::str("paris")]).is_empty());
+        assert_eq!(idx.distinct_keys(), 2);
+        assert!(idx.contains_key(&[Value::str("ithaca")]));
+    }
+
+    #[test]
+    fn multi_column_index() {
+        let r = people();
+        let idx = HashIndex::build(&r, &["city", "age"]).unwrap();
+        assert_eq!(idx.lookup(&[Value::str("berlin"), Value::int(30)]), &[2, 3]);
+        assert_eq!(idx.lookup(&[Value::str("ithaca"), Value::int(30)]), &[0]);
+        assert_eq!(idx.key_columns(), &[1, 2]);
+    }
+
+    #[test]
+    fn probe_with_other_tuple() {
+        let r = people();
+        let idx = HashIndex::build(&r, &["age"]).unwrap();
+        // Probe with a tuple whose age is at position 0.
+        let probe_tuple = vec![Value::int(30)];
+        assert_eq!(idx.probe(&probe_tuple, &[0]), &[0, 2, 3]);
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let r = people();
+        assert!(HashIndex::build(&r, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn incremental_insert() {
+        let r = people();
+        let mut idx = HashIndex::build(&r, &["city"]).unwrap();
+        let new_row = vec![Value::str("erin"), Value::str("paris"), Value::int(9)];
+        idx.insert_row(&new_row, 4);
+        assert_eq!(idx.lookup(&[Value::str("paris")]), &[4]);
+        assert_eq!(idx.distinct_keys(), 3);
+    }
+
+    #[test]
+    fn iter_covers_all_keys() {
+        let r = people();
+        let idx = HashIndex::build(&r, &["city"]).unwrap();
+        let total_rows: usize = idx.iter().map(|(_, rows)| rows.len()).sum();
+        assert_eq!(total_rows, r.len());
+    }
+}

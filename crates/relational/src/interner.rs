@@ -1,0 +1,199 @@
+//! String interning.
+//!
+//! The Join Processor compares string values of XML nodes millions of times
+//! (every value-join probe). Interning turns those comparisons into `u32`
+//! equality and makes hash keys fixed width. The interner is also used for
+//! variable names stored in the `RT`, `Rbin` and `RbinW` relations.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned string handle. Cheap to copy, hash and compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw interner index.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstruct a symbol from a raw index. Only meaningful together with
+    /// the interner that produced it.
+    pub fn from_raw(raw: u32) -> Symbol {
+        Symbol(raw)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym{}", self.0)
+    }
+}
+
+/// A thread-safe string interner.
+///
+/// Interning is idempotent: interning the same text twice returns the same
+/// [`Symbol`]. Resolution ([`resolve`](Self::resolve)) returns the original
+/// text. The interner only grows; publish/subscribe engines typically bound
+/// the distinct-value universe by the workload, and the MMQJP engine shares a
+/// single interner across all witness relations.
+#[derive(Debug, Default)]
+pub struct StringInterner {
+    inner: RwLock<InternerInner>,
+}
+
+#[derive(Debug, Default)]
+struct InternerInner {
+    map: HashMap<Arc<str>, Symbol>,
+    strings: Vec<Arc<str>>,
+}
+
+impl StringInterner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        StringInterner::default()
+    }
+
+    /// Intern `text`, returning its symbol. Re-interning returns the same
+    /// symbol.
+    pub fn intern(&self, text: &str) -> Symbol {
+        // Fast path: read lock only.
+        {
+            let inner = self.inner.read();
+            if let Some(&sym) = inner.map.get(text) {
+                return sym;
+            }
+        }
+        let mut inner = self.inner.write();
+        if let Some(&sym) = inner.map.get(text) {
+            return sym;
+        }
+        let arc: Arc<str> = Arc::from(text);
+        let sym = Symbol(inner.strings.len() as u32);
+        inner.strings.push(arc.clone());
+        inner.map.insert(arc, sym);
+        sym
+    }
+
+    /// Look up a symbol without interning. Returns `None` if the text has
+    /// never been interned.
+    pub fn get(&self, text: &str) -> Option<Symbol> {
+        self.inner.read().map.get(text).copied()
+    }
+
+    /// Resolve a symbol back to its text. Returns `None` for symbols from a
+    /// different interner (out-of-range indices).
+    pub fn resolve(&self, sym: Symbol) -> Option<Arc<str>> {
+        self.inner.read().strings.get(sym.0 as usize).cloned()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.inner.read().strings.len()
+    }
+
+    /// `true` when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Clone for StringInterner {
+    fn clone(&self) -> Self {
+        let inner = self.inner.read();
+        StringInterner {
+            inner: RwLock::new(InternerInner {
+                map: inner.map.clone(),
+                strings: inner.strings.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use std::thread;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let i = StringInterner::new();
+        let a = i.intern("hello");
+        let b = i.intern("hello");
+        let c = i.intern("world");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let i = StringInterner::new();
+        let s = i.intern("Danny Ayers");
+        assert_eq!(i.resolve(s).as_deref(), Some("Danny Ayers"));
+        assert_eq!(i.get("Danny Ayers"), Some(s));
+        assert_eq!(i.get("nobody"), None);
+        assert!(i.resolve(Symbol::from_raw(999)).is_none());
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = StringInterner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+
+    #[test]
+    fn symbols_are_dense_indices() {
+        let i = StringInterner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_eq!(a.raw(), 0);
+        assert_eq!(b.raw(), 1);
+        assert_eq!(Symbol::from_raw(1), b);
+        assert_eq!(b.to_string(), "sym1");
+    }
+
+    #[test]
+    fn clone_preserves_contents() {
+        let i = StringInterner::new();
+        let a = i.intern("x");
+        let j = i.clone();
+        assert_eq!(j.get("x"), Some(a));
+        // Interning new strings in the clone does not affect the original.
+        j.intern("y");
+        assert_eq!(i.get("y"), None);
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let i = StdArc::new(StringInterner::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let i = StdArc::clone(&i);
+                thread::spawn(move || {
+                    let mut syms = Vec::new();
+                    for k in 0..100 {
+                        syms.push((k, i.intern(&format!("value-{}", k % 25))));
+                    }
+                    let _ = t;
+                    syms
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // The same text interned from different threads yields the same symbol.
+        for window in results.windows(2) {
+            for (a, b) in window[0].iter().zip(window[1].iter()) {
+                assert_eq!(a.1, b.1);
+            }
+        }
+        assert_eq!(i.len(), 25);
+    }
+}

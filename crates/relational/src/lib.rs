@@ -1,0 +1,69 @@
+//! # mmqjp-relational
+//!
+//! A compact in-memory relational engine that serves as the **Join Processor
+//! substrate** of the MMQJP reproduction (Hong et al., SIGMOD 2007).
+//!
+//! The original paper translated each per-template conjunctive query into SQL
+//! and executed it on Microsoft SQL Server 2005. This crate replaces that
+//! external dependency with an embedded engine providing exactly the
+//! machinery the Join Processor needs:
+//!
+//! * [`Value`], [`Tuple`], [`Schema`], [`Relation`] — the data model. String
+//!   values and variable names are interned through [`StringInterner`] so
+//!   equality joins compare fixed-width symbols.
+//! * [`ops`] — relational algebra operators: selection, projection, hash
+//!   equi-join, natural join, semi-join, anti-join, union, difference,
+//!   cross product, distinct.
+//! * [`HashIndex`] — multi-column hash indexes over relations.
+//! * [`ConjunctiveQuery`] / [`Database`] — a Datalog-style conjunctive query
+//!   representation with a greedy connected-join planner and a hash-join
+//!   executor. This is what evaluates each query template's `CQ_T`.
+//!
+//! The engine is deliberately not a general DBMS: no transactions, no
+//! persistence, no SQL parser. It is, however, a complete and correct
+//! evaluator for conjunctive queries over in-memory relations, which is all
+//! the MMQJP Join Processor requires — and it preserves the paper's
+//! performance structure (set-oriented, shared evaluation per template versus
+//! per-query loops).
+//!
+//! # Example
+//!
+//! ```
+//! use mmqjp_relational::{Database, Relation, Schema, Value, ConjunctiveQuery, Atom, Term};
+//!
+//! let mut db = Database::new();
+//! let mut parent = Relation::new(Schema::new(["parent", "child"]));
+//! parent.push_values(vec![Value::str("alice"), Value::str("bob")]).unwrap();
+//! parent.push_values(vec![Value::str("bob"), Value::str("carol")]).unwrap();
+//! db.register("parent", parent);
+//!
+//! // grandparent(X, Z) :- parent(X, Y), parent(Y, Z)
+//! let q = ConjunctiveQuery::new(["X", "Z"])
+//!     .atom(Atom::new("parent", [Term::var("X"), Term::var("Y")]))
+//!     .atom(Atom::new("parent", [Term::var("Y"), Term::var("Z")]));
+//! let result = db.evaluate(&q).unwrap();
+//! assert_eq!(result.len(), 1);
+//! assert_eq!(result.tuples()[0][0], Value::str("alice"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod conjunctive;
+mod database;
+mod error;
+mod index;
+mod interner;
+pub mod ops;
+mod relation;
+mod schema;
+mod value;
+
+pub use conjunctive::{Atom, ConjunctiveQuery, Term};
+pub use database::{relation_from_rows, Database};
+pub use error::{RelError, RelResult};
+pub use index::HashIndex;
+pub use interner::{StringInterner, Symbol};
+pub use relation::{Relation, Tuple};
+pub use schema::Schema;
+pub use value::Value;

@@ -1,0 +1,472 @@
+//! Relational algebra operators.
+//!
+//! All operators are functions from relations to relations; none mutate their
+//! inputs. Equi-joins are hash joins (build on the smaller input, probe with
+//! the larger), matching what a disk-based engine's planner would pick for
+//! the MMQJP workload and keeping the cost model of the paper intact.
+
+use crate::error::{RelError, RelResult};
+use crate::index::HashIndex;
+use crate::relation::{Relation, Tuple};
+use crate::schema::Schema;
+use crate::value::Value;
+use std::collections::HashSet;
+
+/// Selection: keep tuples satisfying `pred`.
+pub fn select(input: &Relation, mut pred: impl FnMut(&Tuple) -> bool) -> Relation {
+    let mut out = Relation::new(input.schema().clone());
+    for t in input.iter() {
+        if pred(t) {
+            out.push_unchecked(t.clone());
+        }
+    }
+    out
+}
+
+/// Selection on a single column equality (`column = value`).
+pub fn select_eq(input: &Relation, column: &str, value: &Value) -> RelResult<Relation> {
+    let idx = input.schema().require(column)?;
+    Ok(select(input, |t| &t[idx] == value))
+}
+
+/// Projection onto the named columns (preserves duplicates; combine with
+/// [`Relation::distinct`] for set semantics).
+pub fn project(input: &Relation, columns: &[&str]) -> RelResult<Relation> {
+    let idxs: Vec<usize> = columns
+        .iter()
+        .map(|c| input.schema().require(c))
+        .collect::<RelResult<_>>()?;
+    let schema = input.schema().project(columns)?;
+    let mut out = Relation::new(schema);
+    for t in input.iter() {
+        out.push_unchecked(idxs.iter().map(|&i| t[i].clone()).collect());
+    }
+    Ok(out)
+}
+
+/// Rename columns: `renames` maps old name → new name. Columns not mentioned
+/// keep their names.
+pub fn rename(input: &Relation, renames: &[(&str, &str)]) -> RelResult<Relation> {
+    for (old, _) in renames {
+        input.schema().require(old)?;
+    }
+    let new_cols: Vec<String> = input
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| {
+            renames
+                .iter()
+                .find(|(old, _)| old == c)
+                .map(|(_, new)| (*new).to_owned())
+                .unwrap_or_else(|| c.clone())
+        })
+        .collect();
+    Relation::with_tuples(Schema::new(new_cols), input.tuples().to_vec())
+}
+
+/// Hash equi-join of `left` and `right` on `left_keys[i] = right_keys[i]`.
+///
+/// The output schema is `left.schema ++ right.schema` with right-side name
+/// collisions suffixed (see [`Schema::concat`]). `Null` keys join with `Null`
+/// keys (the engine relies on this for padded template columns).
+pub fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[&str],
+    right_keys: &[&str],
+) -> RelResult<Relation> {
+    if left_keys.len() != right_keys.len() {
+        return Err(RelError::KeyLengthMismatch {
+            left: left_keys.len(),
+            right: right_keys.len(),
+        });
+    }
+    let left_idx: Vec<usize> = left_keys
+        .iter()
+        .map(|c| left.schema().require(c))
+        .collect::<RelResult<_>>()?;
+    let right_idx: Vec<usize> = right_keys
+        .iter()
+        .map(|c| right.schema().require(c))
+        .collect::<RelResult<_>>()?;
+
+    let out_schema = left.schema().concat(right.schema());
+    let mut out = Relation::new(out_schema);
+
+    // Build on the smaller side.
+    if left.len() <= right.len() {
+        let index = HashIndex::build_on_indices(left, left_idx);
+        for rt in right.iter() {
+            for &lrow in index.probe(rt, &right_idx) {
+                let mut combined = left.tuples()[lrow].clone();
+                combined.extend(rt.iter().cloned());
+                out.push_unchecked(combined);
+            }
+        }
+    } else {
+        let index = HashIndex::build_on_indices(right, right_idx);
+        for lt in left.iter() {
+            for &rrow in index.probe(lt, &left_idx) {
+                let mut combined = lt.clone();
+                combined.extend(right.tuples()[rrow].iter().cloned());
+                out.push_unchecked(combined);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Natural join: equi-join on all columns the two schemas share, keeping a
+/// single copy of each shared column.
+pub fn natural_join(left: &Relation, right: &Relation) -> RelResult<Relation> {
+    let shared: Vec<&str> = left
+        .schema()
+        .columns()
+        .iter()
+        .filter(|c| right.schema().contains(c))
+        .map(|c| c.as_str())
+        .collect();
+    if shared.is_empty() {
+        return cross_product(left, right);
+    }
+    let joined = hash_join(left, right, &shared, &shared)?;
+    // Drop the duplicated right-side key columns (they were renamed with a
+    // suffix by Schema::concat).
+    let keep: Vec<&str> = joined
+        .schema()
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            // keep left columns and right columns that are not renamed
+            // duplicates of shared columns
+            let col = joined.schema().column(*i);
+            !(col.ends_with("_r") && shared.contains(&&col[..col.len() - 2]))
+                && !(col.contains("_r") && {
+                    // handle _r2, _r3 ... suffixes
+                    if let Some(pos) = col.rfind("_r") {
+                        let base = &col[..pos];
+                        let suffix = &col[pos + 2..];
+                        shared.contains(&base) && suffix.chars().all(|c| c.is_ascii_digit())
+                    } else {
+                        false
+                    }
+                })
+        })
+        .map(|(_, c)| c.as_str())
+        .collect();
+    project(&joined, &keep)
+}
+
+/// Semi-join: tuples of `left` that have at least one join partner in
+/// `right` on the given keys.
+pub fn semi_join(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[&str],
+    right_keys: &[&str],
+) -> RelResult<Relation> {
+    if left_keys.len() != right_keys.len() {
+        return Err(RelError::KeyLengthMismatch {
+            left: left_keys.len(),
+            right: right_keys.len(),
+        });
+    }
+    let left_idx: Vec<usize> = left_keys
+        .iter()
+        .map(|c| left.schema().require(c))
+        .collect::<RelResult<_>>()?;
+    let right_idx: Vec<usize> = right_keys
+        .iter()
+        .map(|c| right.schema().require(c))
+        .collect::<RelResult<_>>()?;
+    let index = HashIndex::build_on_indices(right, right_idx);
+    let mut out = Relation::new(left.schema().clone());
+    for t in left.iter() {
+        if !index.probe(t, &left_idx).is_empty() {
+            out.push_unchecked(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Anti-join: tuples of `left` that have **no** join partner in `right`.
+pub fn anti_join(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[&str],
+    right_keys: &[&str],
+) -> RelResult<Relation> {
+    if left_keys.len() != right_keys.len() {
+        return Err(RelError::KeyLengthMismatch {
+            left: left_keys.len(),
+            right: right_keys.len(),
+        });
+    }
+    let left_idx: Vec<usize> = left_keys
+        .iter()
+        .map(|c| left.schema().require(c))
+        .collect::<RelResult<_>>()?;
+    let right_idx: Vec<usize> = right_keys
+        .iter()
+        .map(|c| right.schema().require(c))
+        .collect::<RelResult<_>>()?;
+    let index = HashIndex::build_on_indices(right, right_idx);
+    let mut out = Relation::new(left.schema().clone());
+    for t in left.iter() {
+        if index.probe(t, &left_idx).is_empty() {
+            out.push_unchecked(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Bag union of two relations with equal schemas.
+pub fn union(left: &Relation, right: &Relation) -> RelResult<Relation> {
+    let mut out = left.clone();
+    out.extend_from(right)?;
+    Ok(out)
+}
+
+/// Set difference (`left` minus `right`) over equal schemas.
+pub fn difference(left: &Relation, right: &Relation) -> RelResult<Relation> {
+    if left.schema() != right.schema() {
+        return Err(RelError::ArityMismatch {
+            context: "difference".into(),
+            expected: left.schema().arity(),
+            found: right.schema().arity(),
+        });
+    }
+    let right_set: HashSet<&Tuple> = right.iter().collect();
+    let mut out = Relation::new(left.schema().clone());
+    for t in left.iter() {
+        if !right_set.contains(t) {
+            out.push_unchecked(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Cross product. The output schema concatenates the inputs (with right-side
+/// collisions renamed).
+pub fn cross_product(left: &Relation, right: &Relation) -> RelResult<Relation> {
+    let mut out = Relation::new(left.schema().concat(right.schema()));
+    for lt in left.iter() {
+        for rt in right.iter() {
+            let mut combined = lt.clone();
+            combined.extend(rt.iter().cloned());
+            out.push_unchecked(combined);
+        }
+    }
+    Ok(out)
+}
+
+/// Group tuples by the given key columns and count group sizes. The output
+/// schema is the key columns followed by a `count` column.
+pub fn count_by(input: &Relation, key_columns: &[&str]) -> RelResult<Relation> {
+    let idxs: Vec<usize> = key_columns
+        .iter()
+        .map(|c| input.schema().require(c))
+        .collect::<RelResult<_>>()?;
+    let mut counts: std::collections::HashMap<Vec<Value>, i64> = std::collections::HashMap::new();
+    for t in input.iter() {
+        let key: Vec<Value> = idxs.iter().map(|&i| t[i].clone()).collect();
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    let mut cols: Vec<String> = key_columns.iter().map(|c| (*c).to_owned()).collect();
+    cols.push("count".to_owned());
+    let mut out = Relation::new(Schema::new(cols));
+    for (key, count) in counts {
+        let mut row = key;
+        row.push(Value::Int(count));
+        out.push_unchecked(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(cols: &[&str], rows: &[&[Value]]) -> Relation {
+        let mut r = Relation::new(Schema::new(cols.iter().map(|c| c.to_string())));
+        for row in rows {
+            r.push_values(row.to_vec()).unwrap();
+        }
+        r
+    }
+
+    fn emp() -> Relation {
+        rel(
+            &["name", "dept"],
+            &[
+                &[Value::str("alice"), Value::str("db")],
+                &[Value::str("bob"), Value::str("os")],
+                &[Value::str("carol"), Value::str("db")],
+            ],
+        )
+    }
+
+    fn dept() -> Relation {
+        rel(
+            &["dept", "floor"],
+            &[
+                &[Value::str("db"), Value::int(3)],
+                &[Value::str("pl"), Value::int(5)],
+            ],
+        )
+    }
+
+    #[test]
+    fn select_and_select_eq() {
+        let e = emp();
+        let db_only = select(&e, |t| t[1] == Value::str("db"));
+        assert_eq!(db_only.len(), 2);
+        let eq = select_eq(&e, "name", &Value::str("bob")).unwrap();
+        assert_eq!(eq.len(), 1);
+        assert!(select_eq(&e, "missing", &Value::Null).is_err());
+    }
+
+    #[test]
+    fn project_columns() {
+        let e = emp();
+        let p = project(&e, &["dept"]).unwrap();
+        assert_eq!(p.schema().columns(), &["dept"]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.distinct().len(), 2);
+        assert!(project(&e, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn rename_columns() {
+        let e = emp();
+        let r = rename(&e, &[("dept", "department")]).unwrap();
+        assert!(r.schema().contains("department"));
+        assert!(!r.schema().contains("dept"));
+        assert!(rename(&e, &[("missing", "x")]).is_err());
+    }
+
+    #[test]
+    fn hash_join_basic() {
+        let j = hash_join(&emp(), &dept(), &["dept"], &["dept"]).unwrap();
+        // alice and carol are in db (floor 3); bob's dept has no match.
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.schema().columns(), &["name", "dept", "dept_r", "floor"]);
+        for t in j.iter() {
+            assert_eq!(t[1], t[2]);
+            assert_eq!(t[3], Value::int(3));
+        }
+    }
+
+    #[test]
+    fn hash_join_builds_on_smaller_side_same_result() {
+        // Join in both orders; result cardinality must match.
+        let a = emp();
+        let b = dept();
+        let j1 = hash_join(&a, &b, &["dept"], &["dept"]).unwrap();
+        let j2 = hash_join(&b, &a, &["dept"], &["dept"]).unwrap();
+        assert_eq!(j1.len(), j2.len());
+    }
+
+    #[test]
+    fn hash_join_key_length_mismatch() {
+        let err = hash_join(&emp(), &dept(), &["dept"], &[]).unwrap_err();
+        assert!(matches!(err, RelError::KeyLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn hash_join_multi_key() {
+        let l = rel(
+            &["a", "b", "x"],
+            &[
+                &[Value::int(1), Value::int(2), Value::str("l1")],
+                &[Value::int(1), Value::int(3), Value::str("l2")],
+            ],
+        );
+        let r = rel(
+            &["a", "b", "y"],
+            &[
+                &[Value::int(1), Value::int(2), Value::str("r1")],
+                &[Value::int(9), Value::int(2), Value::str("r2")],
+            ],
+        );
+        let j = hash_join(&l, &r, &["a", "b"], &["a", "b"]).unwrap();
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn natural_join_drops_duplicate_columns() {
+        let j = natural_join(&emp(), &dept()).unwrap();
+        assert_eq!(j.schema().columns(), &["name", "dept", "floor"]);
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn natural_join_without_shared_columns_is_cross_product() {
+        let a = rel(&["x"], &[&[Value::int(1)], &[Value::int(2)]]);
+        let b = rel(&["y"], &[&[Value::int(10)]]);
+        let j = natural_join(&a, &b).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.schema().arity(), 2);
+    }
+
+    #[test]
+    fn semi_and_anti_join_partition_left() {
+        let s = semi_join(&emp(), &dept(), &["dept"], &["dept"]).unwrap();
+        let a = anti_join(&emp(), &dept(), &["dept"], &["dept"]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(a.len(), 1);
+        assert_eq!(s.len() + a.len(), emp().len());
+        assert_eq!(s.schema(), emp().schema());
+        assert!(semi_join(&emp(), &dept(), &["dept"], &[]).is_err());
+        assert!(anti_join(&emp(), &dept(), &["dept"], &[]).is_err());
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let e = emp();
+        let u = union(&e, &e).unwrap();
+        assert_eq!(u.len(), 6);
+        let d = difference(&u.distinct(), &rel(&["name", "dept"], &[&[Value::str("bob"), Value::str("os")]])).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(difference(&e, &dept()).is_err());
+    }
+
+    #[test]
+    fn cross_product_cardinality() {
+        let c = cross_product(&emp(), &dept()).unwrap();
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.schema().arity(), 4);
+    }
+
+    #[test]
+    fn count_by_groups() {
+        let c = count_by(&emp(), &["dept"]).unwrap();
+        assert_eq!(c.len(), 2);
+        let db_count = c
+            .iter()
+            .find(|t| t[0] == Value::str("db"))
+            .map(|t| t[1].as_int().unwrap())
+            .unwrap();
+        assert_eq!(db_count, 2);
+        assert!(count_by(&emp(), &["missing"]).is_err());
+    }
+
+    #[test]
+    fn join_with_null_keys_matches_null() {
+        let l = rel(&["k", "v"], &[&[Value::Null, Value::str("a")]]);
+        let r = rel(&["k", "w"], &[&[Value::Null, Value::str("b")]]);
+        let j = hash_join(&l, &r, &["k"], &["k"]).unwrap();
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_outputs() {
+        let empty = Relation::new(Schema::new(["dept", "floor"]));
+        assert_eq!(hash_join(&emp(), &empty, &["dept"], &["dept"]).unwrap().len(), 0);
+        assert_eq!(semi_join(&emp(), &empty, &["dept"], &["dept"]).unwrap().len(), 0);
+        assert_eq!(anti_join(&emp(), &empty, &["dept"], &["dept"]).unwrap().len(), 3);
+        assert_eq!(cross_product(&emp(), &empty).unwrap().len(), 0);
+    }
+}

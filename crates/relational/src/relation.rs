@@ -1,0 +1,278 @@
+//! Relations: a schema plus a bag of tuples.
+
+use crate::error::{RelError, RelResult};
+use crate::schema::Schema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A tuple is a row of values, positionally matching a [`Schema`].
+pub type Tuple = Vec<Value>;
+
+/// An in-memory relation (bag semantics).
+///
+/// Relations are the unit of data exchanged between the XPath Evaluator and
+/// the Join Processor: the witness relations `RbinW`, `RdocW`, `RdocTSW`, the
+/// join state `Rbin`, `Rdoc`, `RdocTS`, the per-template `RT` relations and
+/// all intermediate join results are `Relation`s.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Create an empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Create a relation and bulk-load tuples, validating arity.
+    pub fn with_tuples(schema: Schema, tuples: Vec<Tuple>) -> RelResult<Self> {
+        let mut r = Relation::new(schema);
+        for t in tuples {
+            r.push_values(t)?;
+        }
+        Ok(r)
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// All tuples, in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Iterate over tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Append a tuple, validating its arity against the schema.
+    pub fn push_values(&mut self, tuple: Tuple) -> RelResult<()> {
+        if tuple.len() != self.schema.arity() {
+            return Err(RelError::ArityMismatch {
+                context: format!("relation {}", self.schema),
+                expected: self.schema.arity(),
+                found: tuple.len(),
+            });
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// Append a tuple without arity checking (used by operators that already
+    /// construct tuples of the right width).
+    pub(crate) fn push_unchecked(&mut self, tuple: Tuple) {
+        debug_assert_eq!(tuple.len(), self.schema.arity());
+        self.tuples.push(tuple);
+    }
+
+    /// Append all tuples from `other`. The schemas must be equal.
+    pub fn extend_from(&mut self, other: &Relation) -> RelResult<()> {
+        if self.schema != other.schema {
+            return Err(RelError::ArityMismatch {
+                context: format!("extend {} from {}", self.schema, other.schema),
+                expected: self.schema.arity(),
+                found: other.schema.arity(),
+            });
+        }
+        self.tuples.extend(other.tuples.iter().cloned());
+        Ok(())
+    }
+
+    /// Remove all tuples, keeping the schema.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+    }
+
+    /// Retain only tuples for which the predicate returns `true`.
+    pub fn retain(&mut self, mut pred: impl FnMut(&Tuple) -> bool) {
+        self.tuples.retain(|t| pred(t));
+    }
+
+    /// The value at `(row, column-name)`.
+    pub fn value(&self, row: usize, column: &str) -> RelResult<&Value> {
+        let idx = self.schema.require(column)?;
+        Ok(&self.tuples[row][idx])
+    }
+
+    /// Column index lookup shorthand.
+    pub fn col(&self, name: &str) -> RelResult<usize> {
+        self.schema.require(name)
+    }
+
+    /// Produce a new relation with duplicate tuples removed (set semantics).
+    pub fn distinct(&self) -> Relation {
+        let mut seen: HashSet<&Tuple> = HashSet::with_capacity(self.tuples.len());
+        let mut out = Relation::new(self.schema.clone());
+        for t in &self.tuples {
+            if seen.insert(t) {
+                out.tuples.push(t.clone());
+            }
+        }
+        out
+    }
+
+    /// Sort tuples lexicographically (useful for deterministic test output).
+    pub fn sorted(&self) -> Relation {
+        let mut out = self.clone();
+        out.tuples.sort();
+        out
+    }
+
+    /// Collect the distinct values of one column.
+    pub fn distinct_column_values(&self, column: &str) -> RelResult<Vec<Value>> {
+        let idx = self.schema.require(column)?;
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for t in &self.tuples {
+            if seen.insert(&t[idx]) {
+                out.push(t[idx].clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Approximate memory footprint in bytes (tuples only, not interned
+    /// strings). Used by the view cache to account for its budget.
+    pub fn approx_bytes(&self) -> usize {
+        // Each Value is a small enum; 32 bytes is a conservative estimate
+        // including the Vec overhead amortized per value.
+        self.tuples.len() * self.schema.arity() * 32 + std::mem::size_of::<Self>()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in &self.tuples {
+            let row: Vec<String> = t.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "  [{}]", row.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        let mut r = Relation::new(Schema::new(["docid", "node", "strVal"]));
+        r.push_values(vec![Value::int(1), Value::int(2), Value::str("Danny Ayers")])
+            .unwrap();
+        r.push_values(vec![Value::int(1), Value::int(3), Value::str("Andrew Watt")])
+            .unwrap();
+        r
+    }
+
+    #[test]
+    fn push_and_access() {
+        let r = sample();
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.value(0, "strVal").unwrap(), &Value::str("Danny Ayers"));
+        assert_eq!(r.col("node").unwrap(), 1);
+        assert!(r.value(0, "missing").is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut r = Relation::new(Schema::new(["a", "b"]));
+        let err = r.push_values(vec![Value::int(1)]).unwrap_err();
+        assert!(matches!(err, RelError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn with_tuples_validates() {
+        let ok = Relation::with_tuples(
+            Schema::new(["a"]),
+            vec![vec![Value::int(1)], vec![Value::int(2)]],
+        )
+        .unwrap();
+        assert_eq!(ok.len(), 2);
+        assert!(Relation::with_tuples(Schema::new(["a"]), vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn extend_from_checks_schema() {
+        let mut a = sample();
+        let b = sample();
+        a.extend_from(&b).unwrap();
+        assert_eq!(a.len(), 4);
+        let other = Relation::new(Schema::new(["x"]));
+        assert!(a.extend_from(&other).is_err());
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let mut r = sample();
+        let dup = r.tuples()[0].clone();
+        r.push_values(dup).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.distinct().len(), 2);
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let mut r = Relation::new(Schema::new(["a"]));
+        r.push_values(vec![Value::int(3)]).unwrap();
+        r.push_values(vec![Value::int(1)]).unwrap();
+        r.push_values(vec![Value::int(2)]).unwrap();
+        let s = r.sorted();
+        let vals: Vec<i64> = s.iter().map(|t| t[0].as_int().unwrap()).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn distinct_column_values() {
+        let mut r = sample();
+        r.push_values(vec![Value::int(1), Value::int(9), Value::str("Danny Ayers")])
+            .unwrap();
+        let vals = r.distinct_column_values("strVal").unwrap();
+        assert_eq!(vals.len(), 2);
+        assert!(r.distinct_column_values("zzz").is_err());
+    }
+
+    #[test]
+    fn clear_and_retain() {
+        let mut r = sample();
+        r.retain(|t| t[1] == Value::int(2));
+        assert_eq!(r.len(), 1);
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn display_contains_schema_and_rows() {
+        let r = sample();
+        let s = r.to_string();
+        assert!(s.contains("docid"));
+        assert!(s.contains("Danny Ayers"));
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_rows() {
+        let empty = Relation::new(Schema::new(["a", "b"]));
+        let full = sample();
+        assert!(full.approx_bytes() > empty.approx_bytes());
+    }
+}

@@ -1,0 +1,193 @@
+//! Scalar values stored in relations.
+
+use crate::interner::Symbol;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A scalar value in a relation.
+///
+/// The MMQJP witness relations store four kinds of scalars:
+///
+/// * node ids and document ids and timestamps — represented as [`Value::Int`];
+/// * variable names and interned string values — represented as
+///   [`Value::Sym`] (a [`Symbol`] from a [`StringInterner`]);
+/// * raw strings for ad-hoc use and debugging — [`Value::Str`];
+/// * an explicit [`Value::Null`] for padded columns (templates whose queries
+///   bind fewer meta-variables than the widest member).
+///
+/// Equality and hashing are derived; a `Sym` never equals a `Str` even if the
+/// interned text matches, so callers must be consistent about interning (the
+/// engine in `mmqjp-core` interns every string value).
+///
+/// [`StringInterner`]: crate::StringInterner
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent / padded value. Joins never match on `Null` against `Null`
+    /// unless both sides are literally `Null` (SQL semantics are *not*
+    /// emulated; `Null == Null` is true for hashing purposes, which is what
+    /// the padded template columns require).
+    Null,
+    /// 64-bit signed integer (node ids, document ids, timestamps, window
+    /// lengths).
+    Int(i64),
+    /// Interned symbol (variable names, interned string values).
+    Sym(Symbol),
+    /// Raw shared string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Construct an integer value.
+    pub fn int(v: impl Into<i64>) -> Value {
+        Value::Int(v.into())
+    }
+
+    /// Construct a raw string value.
+    pub fn str(v: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(v.as_ref()))
+    }
+
+    /// Construct a symbol value.
+    pub fn sym(s: Symbol) -> Value {
+        Value::Sym(s)
+    }
+
+    /// The integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The symbol payload, if this is a [`Value::Sym`].
+    pub fn as_sym(&self) -> Option<Symbol> {
+        match self {
+            Value::Sym(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Sym(s) => write!(f, "#{}", s.raw()),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v.into())
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Self {
+        Value::Sym(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::StringInterner;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Value::int(5).as_int(), Some(5));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert!(Value::Null.is_null());
+        assert!(!Value::int(0).is_null());
+        assert_eq!(Value::default(), Value::Null);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3u32), Value::Int(3));
+        assert_eq!(Value::from(3u64), Value::Int(3));
+        assert_eq!(Value::from("a"), Value::str("a"));
+        assert_eq!(Value::from("a".to_string()), Value::str("a"));
+    }
+
+    #[test]
+    fn sym_and_str_are_distinct() {
+        let interner = StringInterner::new();
+        let s = interner.intern("hello");
+        let v1 = Value::sym(s);
+        let v2 = Value::str("hello");
+        assert_ne!(v1, v2);
+        assert_eq!(v1.as_sym(), Some(s));
+        assert_eq!(v2.as_sym(), None);
+    }
+
+    #[test]
+    fn equality_and_ordering() {
+        assert_eq!(Value::int(1), Value::int(1));
+        assert_ne!(Value::int(1), Value::int(2));
+        assert!(Value::int(1) < Value::int(2));
+        assert_eq!(Value::str("a"), Value::str("a"));
+        assert!(Value::str("a") < Value::str("b"));
+        // Null equals Null (used for padded template columns)
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn display_formats() {
+        let interner = StringInterner::new();
+        let s = interner.intern("v");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::int(7).to_string(), "7");
+        assert_eq!(Value::str("x").to_string(), "\"x\"");
+        assert!(Value::sym(s).to_string().starts_with('#'));
+    }
+}

@@ -1,0 +1,264 @@
+//! The complex (3-level) document schema benchmark of Section 6.1.
+//!
+//! The schema has a root, `branching` intermediate nodes and `branching`
+//! leaves under each intermediate (the paper uses a branching factor of 4,
+//! i.e. 16 leaves). As in the simple-schema benchmark, two fixed documents
+//! are composed with equal string values at corresponding leaf positions.
+//!
+//! Query generation follows Section 6.1: draw `k` from a Zipf distribution
+//! over `1..=K` (the maximum number of value joins), bind the root, pick `k`
+//! distinct leaves per side uniformly at random, and *additionally bind the
+//! intermediate nodes on the paths from the root to the chosen leaves*,
+//! which is what introduces extra structural joins into the per-template
+//! conjunctive queries.
+
+use crate::zipf::Zipf;
+use mmqjp_xml::{Document, DocumentBuilder, Timestamp};
+use mmqjp_xpath::{Axis, NodeTest, PatternNodeId, TreePattern};
+use mmqjp_xscl::{JoinOp, QueryBlock, ValueJoin, Window, XsclQuery};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The complex-schema workload generator.
+#[derive(Debug, Clone)]
+pub struct ComplexSchemaWorkload {
+    branching: usize,
+    max_value_joins: usize,
+    zipf: Zipf,
+}
+
+impl ComplexSchemaWorkload {
+    /// Create a workload with the given branching factor, maximum number of
+    /// value joins per query and Zipf parameter.
+    pub fn new(branching: usize, max_value_joins: usize, zipf_theta: f64) -> Self {
+        assert!(branching >= 1, "branching factor must be positive");
+        assert!(max_value_joins >= 1, "queries need at least one value join");
+        ComplexSchemaWorkload {
+            branching,
+            max_value_joins,
+            zipf: Zipf::new(max_value_joins, zipf_theta),
+        }
+    }
+
+    /// Branching factor of the schema.
+    pub fn branching(&self) -> usize {
+        self.branching
+    }
+
+    /// Number of leaves of the schema (`branching^2`).
+    pub fn num_leaves(&self) -> usize {
+        self.branching * self.branching
+    }
+
+    /// Maximum number of value joins per generated query.
+    pub fn max_value_joins(&self) -> usize {
+        self.max_value_joins
+    }
+
+    /// Tag of intermediate node `m`.
+    pub fn mid_tag(&self, m: usize) -> String {
+        format!("mid{m}")
+    }
+
+    /// Tag of leaf `l` under intermediate `m`.
+    pub fn leaf_tag(&self, m: usize, l: usize) -> String {
+        format!("leaf{m}_{l}")
+    }
+
+    /// The two fixed benchmark documents `(d1, d2)`.
+    pub fn documents(&self) -> (Document, Document) {
+        (self.document(1), self.document(2))
+    }
+
+    /// One benchmark document with the given timestamp.
+    pub fn document(&self, timestamp: u64) -> Document {
+        let mut b = DocumentBuilder::new("doc");
+        b.timestamp(Timestamp(timestamp));
+        for m in 0..self.branching {
+            b.open(self.mid_tag(m));
+            for l in 0..self.branching {
+                b.child_text(self.leaf_tag(m, l), format!("value-{m}-{l}"));
+            }
+            b.close();
+        }
+        b.finish()
+    }
+
+    /// Generate one random query.
+    pub fn generate_query<R: Rng + ?Sized>(&self, rng: &mut R) -> XsclQuery {
+        let k = self.zipf.sample(rng);
+        self.query_with_k(k, rng)
+    }
+
+    /// Generate a query with exactly `k` value joins.
+    pub fn query_with_k<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> XsclQuery {
+        let k = k.clamp(1, self.num_leaves());
+        let left_leaves = self.pick_leaves(k, rng);
+        let right_leaves = self.pick_leaves(k, rng);
+        let (left, left_vars) = self.block_pattern(&left_leaves, "l");
+        let (right, right_vars) = self.block_pattern(&right_leaves, "r");
+        let predicates = left_vars
+            .into_iter()
+            .zip(right_vars)
+            .map(|(l, r)| ValueJoin::new(l, r))
+            .collect();
+        XsclQuery::join(
+            QueryBlock::new(left),
+            JoinOp::FollowedBy,
+            predicates,
+            Window::Infinite,
+            QueryBlock::new(right),
+        )
+    }
+
+    /// Generate `n` random queries.
+    pub fn generate_queries<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<XsclQuery> {
+        (0..n).map(|_| self.generate_query(rng)).collect()
+    }
+
+    fn pick_leaves<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<(usize, usize)> {
+        let mut all: Vec<(usize, usize)> = (0..self.branching)
+            .flat_map(|m| (0..self.branching).map(move |l| (m, l)))
+            .collect();
+        all.shuffle(rng);
+        all.truncate(k);
+        all
+    }
+
+    /// Build one query block binding the root, the intermediates on the
+    /// chosen paths and the chosen leaves; returns the pattern and the leaf
+    /// variable names in pick order.
+    fn block_pattern(&self, leaves: &[(usize, usize)], prefix: &str) -> (TreePattern, Vec<String>) {
+        let mut pattern = TreePattern::new(
+            Some("S".to_owned()),
+            Axis::Descendant,
+            NodeTest::tag("doc"),
+        );
+        pattern
+            .bind_variable(PatternNodeId::ROOT, format!("{prefix}_root"))
+            .expect("fresh pattern");
+        let mut mid_nodes: HashMap<usize, PatternNodeId> = HashMap::new();
+        let mut vars = Vec::with_capacity(leaves.len());
+        for (i, &(m, l)) in leaves.iter().enumerate() {
+            let mid_id = *mid_nodes.entry(m).or_insert_with(|| {
+                let id = pattern.add_child(
+                    PatternNodeId::ROOT,
+                    Axis::Descendant,
+                    NodeTest::tag(self.mid_tag(m)),
+                );
+                pattern
+                    .bind_variable(id, format!("{prefix}_mid{m}"))
+                    .expect("unique intermediate variable");
+                id
+            });
+            let leaf_id = pattern.add_child(
+                mid_id,
+                Axis::Descendant,
+                NodeTest::tag(self.leaf_tag(m, l)),
+            );
+            let var = format!("{prefix}{i}");
+            pattern
+                .bind_variable(leaf_id, var.clone())
+                .expect("unique leaf variable");
+            vars.push(var);
+        }
+        (pattern, vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmqjp_core::{EngineConfig, MmqjpEngine};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn documents_have_three_levels_and_matching_values() {
+        let w = ComplexSchemaWorkload::new(4, 4, 0.8);
+        let (d1, d2) = w.documents();
+        // 1 root + 4 intermediates + 16 leaves.
+        assert_eq!(d1.len(), 21);
+        assert_eq!(w.num_leaves(), 16);
+        for m in 0..4 {
+            for l in 0..4 {
+                let tag = w.leaf_tag(m, l);
+                let n1 = d1.first_with_tag(&tag).unwrap();
+                let n2 = d2.first_with_tag(&tag).unwrap();
+                assert_eq!(d1.string_value(n1), d2.string_value(n2));
+                assert_eq!(d1.depth(n1), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn queries_bind_intermediates_on_chosen_paths() {
+        let w = ComplexSchemaWorkload::new(4, 4, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let q = w.generate_query(&mut rng);
+            let k = q.predicates().len();
+            assert!((1..=4).contains(&k));
+            let (l, _) = q.blocks().unwrap();
+            // The pattern has root + one node per distinct intermediate +
+            // one node per leaf, so strictly more nodes than leaves + 1 when
+            // k >= 1.
+            assert!(l.pattern.len() >= k + 2);
+            assert!(l.pattern.len() <= 1 + 4 + k);
+        }
+    }
+
+    #[test]
+    fn template_counts_grow_with_k_cap() {
+        // With K = 2 at most 3 templates exist; with K = 4 more appear
+        // (up to 16 per Table 3 — the generator's paired-position joins only
+        // produce matchings, so the observed count is smaller but must
+        // exceed the K = 2 count).
+        let mut rng = StdRng::seed_from_u64(9);
+        let count_templates = |max_vj: usize, rng: &mut StdRng| {
+            let w = ComplexSchemaWorkload::new(4, max_vj, 0.0);
+            let mut engine = MmqjpEngine::new(EngineConfig::mmqjp());
+            for q in w.generate_queries(400, rng) {
+                engine.register_query(q).unwrap();
+            }
+            engine.num_templates()
+        };
+        let t2 = count_templates(2, &mut rng);
+        let t4 = count_templates(4, &mut rng);
+        assert!(t2 < t4, "expected more templates with larger K ({t2} vs {t4})");
+        assert!(t2 >= 2);
+    }
+
+    #[test]
+    fn generated_queries_match_documents_end_to_end() {
+        let w = ComplexSchemaWorkload::new(3, 3, 0.0);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut engine = MmqjpEngine::new(EngineConfig::mmqjp_view_mat());
+        for q in w.generate_queries(150, &mut rng) {
+            engine.register_query(q).unwrap();
+        }
+        let (d1, d2) = w.documents();
+        engine.process_document(d1).unwrap();
+        let out = engine.process_document(d2).unwrap();
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn accessors_and_k_clamping() {
+        let w = ComplexSchemaWorkload::new(4, 5, 0.8);
+        assert_eq!(w.branching(), 4);
+        assert_eq!(w.max_value_joins(), 5);
+        assert_eq!(w.mid_tag(2), "mid2");
+        assert_eq!(w.leaf_tag(1, 3), "leaf1_3");
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(w.query_with_k(0, &mut rng).predicates().len(), 1);
+        assert_eq!(w.query_with_k(99, &mut rng).predicates().len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "branching factor must be positive")]
+    fn zero_branching_panics() {
+        let _ = ComplexSchemaWorkload::new(0, 2, 0.8);
+    }
+}

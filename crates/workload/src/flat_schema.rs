@@ -1,0 +1,248 @@
+//! The simple (2-level) document schema benchmark of Section 6.1.
+//!
+//! The schema models an RSS feed item: a root with `N` leaf children. Two
+//! fixed documents `d1` and `d2` are composed such that all leaves within a
+//! document have distinct string values, but leaf `i` of `d1` carries the
+//! same value as leaf `i` of `d2`. Queries are generated per Figure 17: draw
+//! `k` from a Zipf distribution over `1..=N`, bind the root plus `k`
+//! uniformly chosen distinct leaves on each side, and add the value joins
+//! `v_i = v'_i` pairing the i-th chosen left leaf with the i-th chosen right
+//! leaf.
+//!
+//! Under this generation scheme the number of distinct query templates is at
+//! most `N`, independent of the number of generated queries — the property
+//! the whole MMQJP approach relies on.
+
+use crate::zipf::Zipf;
+use mmqjp_xml::{Document, DocumentBuilder, Timestamp};
+use mmqjp_xpath::{Axis, NodeTest, PatternNodeId, TreePattern};
+use mmqjp_xscl::{JoinOp, QueryBlock, ValueJoin, Window, XsclQuery};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The simple-schema workload generator.
+#[derive(Debug, Clone)]
+pub struct FlatSchemaWorkload {
+    num_leaves: usize,
+    zipf: Zipf,
+    leaf_tags: Vec<String>,
+    root_tag: String,
+}
+
+impl FlatSchemaWorkload {
+    /// Create a workload over a flat schema with `num_leaves` leaves and the
+    /// given Zipf parameter for the per-query number of value joins.
+    pub fn new(num_leaves: usize, zipf_theta: f64) -> Self {
+        assert!(num_leaves >= 1, "the schema needs at least one leaf");
+        FlatSchemaWorkload {
+            num_leaves,
+            zipf: Zipf::new(num_leaves, zipf_theta),
+            leaf_tags: (0..num_leaves).map(|i| format!("leaf{i}")).collect(),
+            root_tag: "item".to_owned(),
+        }
+    }
+
+    /// Number of leaves in the schema.
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// The leaf tags of the schema.
+    pub fn leaf_tags(&self) -> &[String] {
+        &self.leaf_tags
+    }
+
+    /// The maximum number of query templates this workload can produce
+    /// (equal to the number of leaves; see Section 6.1 of the paper).
+    pub fn max_templates(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// The two fixed benchmark documents `(d1, d2)`. Leaf `i` of both
+    /// documents carries the value `value-i`, so a value join matches exactly
+    /// when it pairs corresponding leaf positions.
+    pub fn documents(&self) -> (Document, Document) {
+        (self.document(1), self.document(2))
+    }
+
+    /// One benchmark document with the given timestamp.
+    pub fn document(&self, timestamp: u64) -> Document {
+        let mut b = DocumentBuilder::new(self.root_tag.clone());
+        b.timestamp(Timestamp(timestamp));
+        for (i, tag) in self.leaf_tags.iter().enumerate() {
+            b.child_text(tag.clone(), format!("value-{i}"));
+        }
+        b.finish()
+    }
+
+    /// Generate one random query per the Figure 17 procedure.
+    pub fn generate_query<R: Rng + ?Sized>(&self, rng: &mut R) -> XsclQuery {
+        let k = self.zipf.sample(rng);
+        self.query_with_k(k, rng)
+    }
+
+    /// Generate a query with exactly `k` value joins (used by tests and the
+    /// template-count experiments).
+    pub fn query_with_k<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> XsclQuery {
+        let k = k.clamp(1, self.num_leaves);
+        let left_leaves = self.pick_leaves(k, rng);
+        let right_leaves = self.pick_leaves(k, rng);
+        let (left, left_vars) = self.block_pattern(&left_leaves, "l");
+        let (right, right_vars) = self.block_pattern(&right_leaves, "r");
+        let predicates = left_vars
+            .into_iter()
+            .zip(right_vars)
+            .map(|(l, r)| ValueJoin::new(l, r))
+            .collect();
+        XsclQuery::join(
+            QueryBlock::new(left),
+            JoinOp::FollowedBy,
+            predicates,
+            Window::Infinite,
+            QueryBlock::new(right),
+        )
+    }
+
+    /// Generate `n` random queries.
+    pub fn generate_queries<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<XsclQuery> {
+        (0..n).map(|_| self.generate_query(rng)).collect()
+    }
+
+    fn pick_leaves<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<usize> {
+        let mut indices: Vec<usize> = (0..self.num_leaves).collect();
+        indices.shuffle(rng);
+        indices.truncate(k);
+        indices
+    }
+
+    /// Build one query block binding the root and the given leaves; returns
+    /// the pattern and the variable names bound to the leaves (in pick
+    /// order).
+    fn block_pattern(&self, leaves: &[usize], prefix: &str) -> (TreePattern, Vec<String>) {
+        let mut pattern = TreePattern::new(
+            Some("S".to_owned()),
+            Axis::Descendant,
+            NodeTest::tag(self.root_tag.clone()),
+        );
+        pattern
+            .bind_variable(PatternNodeId::ROOT, format!("{prefix}_root"))
+            .expect("fresh pattern has no duplicate variables");
+        let mut vars = Vec::with_capacity(leaves.len());
+        for (i, &leaf) in leaves.iter().enumerate() {
+            let id = pattern.add_child(
+                PatternNodeId::ROOT,
+                Axis::Descendant,
+                NodeTest::tag(self.leaf_tags[leaf].clone()),
+            );
+            let var = format!("{prefix}{i}");
+            pattern
+                .bind_variable(id, var.clone())
+                .expect("variable names are unique by construction");
+            vars.push(var);
+        }
+        (pattern, vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmqjp_core::{EngineConfig, MmqjpEngine};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn documents_have_matching_leaf_values() {
+        let w = FlatSchemaWorkload::new(6, 0.8);
+        let (d1, d2) = w.documents();
+        assert_eq!(d1.len(), 7);
+        assert_eq!(d2.len(), 7);
+        for i in 0..6 {
+            let tag = format!("leaf{i}");
+            let n1 = d1.first_with_tag(&tag).unwrap();
+            let n2 = d2.first_with_tag(&tag).unwrap();
+            assert_eq!(d1.string_value(n1), d2.string_value(n2));
+        }
+        // Values within a document are pairwise distinct.
+        let values: std::collections::HashSet<String> =
+            d1.leaves().iter().map(|&n| d1.string_value(n)).collect();
+        assert_eq!(values.len(), 6);
+        assert_eq!(d1.timestamp(), Timestamp(1));
+        assert_eq!(d2.timestamp(), Timestamp(2));
+    }
+
+    #[test]
+    fn queries_have_expected_shape() {
+        let w = FlatSchemaWorkload::new(6, 0.8);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let q = w.generate_query(&mut rng);
+            let k = q.predicates().len();
+            assert!((1..=6).contains(&k));
+            let (l, r) = q.blocks().unwrap();
+            assert_eq!(l.pattern.len(), k + 1);
+            assert_eq!(r.pattern.len(), k + 1);
+            assert_eq!(q.window(), Some(Window::Infinite));
+            assert_eq!(q.op(), Some(JoinOp::FollowedBy));
+        }
+    }
+
+    #[test]
+    fn template_count_is_bounded_by_leaf_count() {
+        let w = FlatSchemaWorkload::new(6, 0.8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut engine = MmqjpEngine::new(EngineConfig::mmqjp());
+        for q in w.generate_queries(300, &mut rng) {
+            engine.register_query(q).unwrap();
+        }
+        assert!(engine.num_templates() <= w.max_templates());
+        assert!(engine.num_templates() >= 3);
+        assert_eq!(engine.num_queries(), 300);
+    }
+
+    #[test]
+    fn generated_queries_actually_match_the_documents() {
+        // A query with k = 1 joining the same leaf position on both sides
+        // must fire when d1 is followed by d2.
+        let w = FlatSchemaWorkload::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut engine = MmqjpEngine::new(EngineConfig::mmqjp());
+        // Register many random queries; by construction matches occur when
+        // picked positions coincide, which is certain to happen across 100
+        // queries with k = 1 being common.
+        for q in w.generate_queries(100, &mut rng) {
+            engine.register_query(q).unwrap();
+        }
+        let (d1, d2) = w.documents();
+        engine.process_document(d1).unwrap();
+        let out = engine.process_document(d2).unwrap();
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn query_with_fixed_k() {
+        let w = FlatSchemaWorkload::new(8, 0.8);
+        let mut rng = StdRng::seed_from_u64(11);
+        let q = w.query_with_k(5, &mut rng);
+        assert_eq!(q.predicates().len(), 5);
+        // k is clamped to the number of leaves.
+        let q = w.query_with_k(100, &mut rng);
+        assert_eq!(q.predicates().len(), 8);
+        let q = w.query_with_k(0, &mut rng);
+        assert_eq!(q.predicates().len(), 1);
+    }
+
+    #[test]
+    fn accessors() {
+        let w = FlatSchemaWorkload::new(5, 0.8);
+        assert_eq!(w.num_leaves(), 5);
+        assert_eq!(w.leaf_tags().len(), 5);
+        assert_eq!(w.max_templates(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn zero_leaves_panics() {
+        let _ = FlatSchemaWorkload::new(0, 0.8);
+    }
+}

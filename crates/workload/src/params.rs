@@ -1,0 +1,164 @@
+//! Default experiment parameters (paper Table 5) and benchmark scale knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// The default parameter values of the paper's technical benchmark
+/// (Table 5) plus the fixed parameters of the complex-schema and RSS
+/// experiments quoted in the text of Section 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Defaults;
+
+impl Defaults {
+    /// Default number of XSCL queries (Table 5).
+    pub const NUM_QUERIES: usize = 1000;
+    /// Default number of leaves in the simple (2-level) document schema
+    /// (Table 5).
+    pub const SIMPLE_LEAVES: usize = 6;
+    /// Default Zipf parameter for the number of value joins per query
+    /// (Table 5).
+    pub const ZIPF: f64 = 0.8;
+    /// Branching factor of the complex (3-level) schema (Section 6.1).
+    pub const COMPLEX_BRANCHING: usize = 4;
+    /// Number of leaves of the complex schema (`branching^2`).
+    pub const COMPLEX_LEAVES: usize = 16;
+    /// Default maximum number of value joins per query for the complex
+    /// schema (Section 6.1).
+    pub const COMPLEX_MAX_VJ: usize = 4;
+    /// Number of feed channels in the RSS experiment (Section 6.3).
+    pub const RSS_CHANNELS: usize = 418;
+    /// Number of feed items in the paper's RSS trace (Section 6.3).
+    pub const RSS_ITEMS_PAPER: usize = 225_000;
+    /// Number of queries used for the view-materialization breakdown
+    /// (Figures 14 and 15).
+    pub const VIEWMAT_QUERIES: usize = 100_000;
+}
+
+/// How large the benchmark sweeps should be.
+///
+/// The paper's sweeps reach 100 000 queries and 225 000 RSS items on a
+/// disk-based DBMS; the default scale keeps `cargo bench` in the minutes
+/// range while preserving every qualitative comparison. Set the environment
+/// variable `MMQJP_BENCH_SCALE=paper` to run the full-size sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum BenchScale {
+    /// Reduced sweep sizes (default).
+    #[default]
+    Default,
+    /// The paper's sweep sizes.
+    Paper,
+    /// Tiny sizes used by integration tests of the bench harness itself.
+    Smoke,
+}
+
+impl BenchScale {
+    /// Read the scale from the `MMQJP_BENCH_SCALE` environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var("MMQJP_BENCH_SCALE").as_deref() {
+            Ok("paper") | Ok("PAPER") => BenchScale::Paper,
+            Ok("smoke") | Ok("SMOKE") => BenchScale::Smoke,
+            _ => BenchScale::Default,
+        }
+    }
+
+    /// The query-count sweep used for Figures 8, 11 and 16.
+    pub fn query_counts(&self) -> Vec<usize> {
+        match self {
+            BenchScale::Paper => vec![10, 100, 1000, 10_000, 100_000],
+            BenchScale::Default => vec![10, 100, 1000, 10_000],
+            BenchScale::Smoke => vec![10, 50],
+        }
+    }
+
+    /// The query count at which Sequential evaluation is no longer run (it
+    /// is orders of magnitude slower; the paper still ran it, we cap it by
+    /// default to keep bench times reasonable).
+    pub fn sequential_cap(&self) -> usize {
+        match self {
+            BenchScale::Paper => usize::MAX,
+            BenchScale::Default => 10_000,
+            BenchScale::Smoke => 50,
+        }
+    }
+
+    /// Number of queries for the view-materialization breakdown
+    /// (Figures 14–15).
+    pub fn viewmat_queries(&self) -> usize {
+        match self {
+            BenchScale::Paper => Defaults::VIEWMAT_QUERIES,
+            BenchScale::Default => 20_000,
+            BenchScale::Smoke => 200,
+        }
+    }
+
+    /// Number of RSS items replayed for Figure 16.
+    pub fn rss_items(&self) -> usize {
+        match self {
+            BenchScale::Paper => Defaults::RSS_ITEMS_PAPER,
+            BenchScale::Default => 10_000,
+            BenchScale::Smoke => 500,
+        }
+    }
+
+    /// The query count beyond which Sequential evaluation is skipped in the
+    /// RSS throughput experiment (it evaluates every query for every batch
+    /// and dominates the bench wall time long before the trend is visible).
+    pub fn rss_sequential_cap(&self) -> usize {
+        match self {
+            BenchScale::Paper => usize::MAX,
+            BenchScale::Default => 100,
+            BenchScale::Smoke => 50,
+        }
+    }
+
+    /// Batch size used for the RSS replay (the paper batches SQL statements;
+    /// we batch witness loading the same way).
+    pub fn rss_batch(&self) -> usize {
+        match self {
+            BenchScale::Paper => 1000,
+            BenchScale::Default => 500,
+            BenchScale::Smoke => 100,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table5() {
+        assert_eq!(Defaults::NUM_QUERIES, 1000);
+        assert_eq!(Defaults::SIMPLE_LEAVES, 6);
+        assert!((Defaults::ZIPF - 0.8).abs() < f64::EPSILON);
+        assert_eq!(Defaults::COMPLEX_BRANCHING, 4);
+        assert_eq!(Defaults::COMPLEX_LEAVES, 16);
+        assert_eq!(Defaults::RSS_CHANNELS, 418);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let paper = BenchScale::Paper;
+        let default = BenchScale::Default;
+        let smoke = BenchScale::Smoke;
+        assert!(paper.query_counts().len() >= default.query_counts().len());
+        assert!(default.query_counts().len() >= smoke.query_counts().len());
+        assert!(paper.rss_items() > default.rss_items());
+        assert!(default.rss_items() > smoke.rss_items());
+        assert!(smoke.sequential_cap() <= default.sequential_cap());
+        assert!(paper.viewmat_queries() >= default.viewmat_queries());
+        assert!(paper.rss_batch() >= smoke.rss_batch());
+    }
+
+    #[test]
+    fn scale_from_env_defaults() {
+        // Do not set the variable here (tests run in parallel); just check
+        // the fallback path by ensuring the call does not panic and returns
+        // one of the variants.
+        let s = BenchScale::from_env();
+        assert!(matches!(
+            s,
+            BenchScale::Default | BenchScale::Paper | BenchScale::Smoke
+        ));
+        assert_eq!(BenchScale::default(), BenchScale::Default);
+    }
+}

@@ -1,0 +1,138 @@
+//! Zipf-distributed sampling.
+//!
+//! The paper draws the number of value joins per generated query "from 1 to
+//! N with a Zipfian distribution" whose parameter is varied between 0.0
+//! (uniform) and 1.6 (strongly skewed toward small values) in Figures 10 and
+//! 13. This module implements that sampler by explicit inverse-CDF lookup
+//! over the (small) support, which is exact and needs no external crates
+//! beyond `rand`.
+
+use rand::Rng;
+
+/// A Zipf distribution over `1..=n` with skew parameter `theta ≥ 0`.
+///
+/// `P(k) ∝ 1 / k^theta`. With `theta = 0` the distribution is uniform; larger
+/// values make small outcomes increasingly likely.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a Zipf distribution over `1..=n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "Zipf parameter must be a non-negative finite number"
+        );
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { cdf }
+    }
+
+    /// The size of the support.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one sample in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // Linear scan is fine: the support is tiny (≤ 16 in all experiments).
+        for (i, &c) in self.cdf.iter().enumerate() {
+            if u <= c {
+                return i + 1;
+            }
+        }
+        self.cdf.len()
+    }
+
+    /// The probability of drawing `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 || k > self.cdf.len() {
+            return 0.0;
+        }
+        let prev = if k == 1 { 0.0 } else { self.cdf[k - 2] };
+        self.cdf[k - 1] - prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 1..=4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+        assert_eq!(z.n(), 4);
+    }
+
+    #[test]
+    fn skewed_distribution_prefers_small_values() {
+        let z = Zipf::new(6, 0.8);
+        assert!(z.pmf(1) > z.pmf(2));
+        assert!(z.pmf(2) > z.pmf(6));
+        let total: f64 = (1..=6).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_out_of_range_is_zero() {
+        let z = Zipf::new(3, 1.0);
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(4), 0.0);
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_follow_skew() {
+        let z = Zipf::new(6, 1.6);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 7];
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=6).contains(&k));
+            counts[k] += 1;
+        }
+        // With theta = 1.6, 1 must dominate 6 by a wide margin.
+        assert!(counts[1] > counts[6] * 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(8, 0.8);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let sa: Vec<usize> = (0..50).map(|_| z.sample(&mut a)).collect();
+        let sb: Vec<usize> = (0..50).map(|_| z.sample(&mut b)).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    #[should_panic(expected = "support must be non-empty")]
+    fn zero_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_theta_panics() {
+        let _ = Zipf::new(3, -1.0);
+    }
+}

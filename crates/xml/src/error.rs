@@ -1,0 +1,156 @@
+//! Error types for the XML substrate.
+
+use std::fmt;
+
+/// Convenience result alias used throughout the crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// Errors produced while parsing or manipulating XML documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// The input ended before the document was complete.
+    UnexpectedEof {
+        /// What the parser was in the middle of reading.
+        context: &'static str,
+    },
+    /// A character that is not legal at the current position.
+    UnexpectedChar {
+        /// Byte offset of the offending character.
+        offset: usize,
+        /// The character found.
+        found: char,
+        /// Human readable description of what was expected.
+        expected: &'static str,
+    },
+    /// A closing tag did not match the currently open element.
+    MismatchedTag {
+        /// The tag that was open.
+        open: String,
+        /// The closing tag encountered.
+        close: String,
+        /// Byte offset of the closing tag.
+        offset: usize,
+    },
+    /// The document contained no root element.
+    EmptyDocument,
+    /// More than one root element was found at the top level.
+    MultipleRoots {
+        /// Byte offset of the second root.
+        offset: usize,
+    },
+    /// An entity reference (`&name;`) that the parser does not understand.
+    UnknownEntity {
+        /// The entity name, without `&` and `;`.
+        name: String,
+        /// Byte offset of the entity.
+        offset: usize,
+    },
+    /// A node id that does not exist in the target document.
+    InvalidNodeId {
+        /// The offending node id (raw index).
+        id: u32,
+        /// Number of nodes in the document.
+        len: usize,
+    },
+    /// Attempt to add a child to a node of a kind that cannot have children.
+    NotAnElement {
+        /// The offending node id (raw index).
+        id: u32,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while reading {context}")
+            }
+            XmlError::UnexpectedChar {
+                offset,
+                found,
+                expected,
+            } => write!(
+                f,
+                "unexpected character {found:?} at byte {offset}: expected {expected}"
+            ),
+            XmlError::MismatchedTag {
+                open,
+                close,
+                offset,
+            } => write!(
+                f,
+                "mismatched closing tag </{close}> at byte {offset}: currently open element is <{open}>"
+            ),
+            XmlError::EmptyDocument => write!(f, "document contains no root element"),
+            XmlError::MultipleRoots { offset } => {
+                write!(f, "second root element at byte {offset}")
+            }
+            XmlError::UnknownEntity { name, offset } => {
+                write!(f, "unknown entity reference &{name}; at byte {offset}")
+            }
+            XmlError::InvalidNodeId { id, len } => {
+                write!(f, "node id {id} out of range for document with {len} nodes")
+            }
+            XmlError::NotAnElement { id } => {
+                write!(f, "node {id} is not an element and cannot have children")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unexpected_eof() {
+        let e = XmlError::UnexpectedEof { context: "a tag" };
+        assert!(e.to_string().contains("a tag"));
+    }
+
+    #[test]
+    fn display_unexpected_char() {
+        let e = XmlError::UnexpectedChar {
+            offset: 7,
+            found: '<',
+            expected: "attribute name",
+        };
+        let s = e.to_string();
+        assert!(s.contains('7'));
+        assert!(s.contains("attribute name"));
+    }
+
+    #[test]
+    fn display_mismatched_tag() {
+        let e = XmlError::MismatchedTag {
+            open: "book".into(),
+            close: "blog".into(),
+            offset: 42,
+        };
+        let s = e.to_string();
+        assert!(s.contains("book"));
+        assert!(s.contains("blog"));
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert!(!XmlError::EmptyDocument.to_string().is_empty());
+        assert!(XmlError::MultipleRoots { offset: 3 }.to_string().contains('3'));
+        assert!(XmlError::UnknownEntity {
+            name: "bogus".into(),
+            offset: 1
+        }
+        .to_string()
+        .contains("bogus"));
+        assert!(XmlError::InvalidNodeId { id: 9, len: 4 }.to_string().contains('9'));
+        assert!(XmlError::NotAnElement { id: 2 }.to_string().contains('2'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&XmlError::EmptyDocument);
+    }
+}

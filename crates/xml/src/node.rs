@@ -1,0 +1,169 @@
+//! Node identifiers and node records for the arena-backed document tree.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node inside a [`Document`](crate::Document).
+///
+/// Node ids are assigned by **pre-order traversal** of the XML tree, with the
+/// root having id `0`, exactly matching the superscript numbering used in
+/// Figures 1 and 2 of the paper. Ids are only meaningful relative to the
+/// document they were created in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The root node id (`0`).
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Construct a node id from a raw index.
+    ///
+    /// Mostly useful in tests and when reconstructing ids that round-tripped
+    /// through the relational layer.
+    pub fn from_raw(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw pre-order index of this node.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The raw index as `usize`, for slice indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The kind of a node.
+///
+/// The MMQJP engine only needs element structure and leaf string values, so
+/// the model is deliberately small: elements carry a tag and attributes, and
+/// text is attached to elements rather than modeled as separate child nodes.
+/// Attribute values participate in value joins through
+/// [`Document::string_value`](crate::Document::string_value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An element node (the only kind that receives a pre-order id).
+    Element,
+}
+
+/// A single element node stored in a [`Document`](crate::Document) arena.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    pub(crate) id: NodeId,
+    pub(crate) kind: NodeKind,
+    pub(crate) tag: String,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
+    pub(crate) attributes: Vec<(String, String)>,
+    pub(crate) text: Option<String>,
+}
+
+impl Node {
+    pub(crate) fn new_element(id: NodeId, tag: impl Into<String>, parent: Option<NodeId>) -> Self {
+        Node {
+            id,
+            kind: NodeKind::Element,
+            tag: tag.into(),
+            parent,
+            children: Vec::new(),
+            attributes: Vec::new(),
+            text: None,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node kind.
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// The element tag name.
+    pub fn tag(&self) -> &str {
+        &self.tag
+    }
+
+    /// The parent node id, or `None` for the root.
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// Child element ids in document order.
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// `true` when the node has no element children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// The text directly contained in this element (concatenated), if any.
+    pub fn text(&self) -> Option<&str> {
+        self.text.as_deref()
+    }
+
+    /// All attributes in document order.
+    pub fn attributes(&self) -> &[(String, String)] {
+        &self.attributes
+    }
+
+    /// Look up an attribute value by name.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_basics() {
+        let id = NodeId::from_raw(5);
+        assert_eq!(id.raw(), 5);
+        assert_eq!(id.index(), 5);
+        assert_eq!(id.to_string(), "n5");
+        assert_eq!(NodeId::ROOT.raw(), 0);
+        assert!(NodeId::from_raw(1) < NodeId::from_raw(2));
+    }
+
+    #[test]
+    fn node_accessors() {
+        let mut n = Node::new_element(NodeId::from_raw(3), "title", Some(NodeId::ROOT));
+        n.text = Some("hello".into());
+        n.attributes.push(("lang".into(), "en".into()));
+
+        assert_eq!(n.id().raw(), 3);
+        assert_eq!(n.kind(), NodeKind::Element);
+        assert_eq!(n.tag(), "title");
+        assert_eq!(n.parent(), Some(NodeId::ROOT));
+        assert!(n.is_leaf());
+        assert_eq!(n.text(), Some("hello"));
+        assert_eq!(n.attribute("lang"), Some("en"));
+        assert_eq!(n.attribute("missing"), None);
+        assert_eq!(n.attributes().len(), 1);
+    }
+
+    #[test]
+    fn node_with_children_not_leaf() {
+        let mut n = Node::new_element(NodeId::ROOT, "root", None);
+        n.children.push(NodeId::from_raw(1));
+        assert!(!n.is_leaf());
+        assert_eq!(n.children(), &[NodeId::from_raw(1)]);
+    }
+}

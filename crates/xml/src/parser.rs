@@ -1,0 +1,507 @@
+//! A small, dependency-free XML parser for publish/subscribe messages.
+//!
+//! Supports the subset of XML actually used by feed items and event
+//! messages: elements, attributes (single or double quoted), text content,
+//! the five predefined entities, numeric character references, comments,
+//! CDATA sections, processing instructions and an XML declaration. DTDs and
+//! namespace resolution are intentionally out of scope (prefixes are kept as
+//! part of the tag name).
+
+use crate::document::Document;
+use crate::error::{XmlError, XmlResult};
+use crate::node::NodeId;
+
+/// Parse a complete XML document (a single root element, optionally preceded
+/// by an XML declaration, comments and processing instructions).
+pub fn parse_document(input: &str) -> XmlResult<Document> {
+    let mut p = Parser::new(input);
+    p.skip_prolog()?;
+    p.skip_misc();
+    let doc = p.parse_root()?;
+    p.skip_misc();
+    if !p.at_eof() {
+        return Err(XmlError::MultipleRoots { offset: p.pos });
+    }
+    Ok(doc)
+}
+
+/// Parse an XML fragment: like [`parse_document`] but tolerates trailing
+/// whitespace-only content and does not require a prolog. Provided mainly for
+/// tests and tools.
+pub fn parse_fragment(input: &str) -> XmlResult<Document> {
+    parse_document(input.trim())
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b' ' || b == b'\t' || b == b'\r' || b == b'\n' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> XmlResult<()> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else if self.at_eof() {
+            Err(XmlError::UnexpectedEof { context: "markup" })
+        } else {
+            Err(XmlError::UnexpectedChar {
+                offset: self.pos,
+                found: self.input[self.pos..].chars().next().unwrap_or('\0'),
+                expected: "markup",
+            })
+        }
+    }
+
+    fn skip_prolog(&mut self) -> XmlResult<()> {
+        self.skip_whitespace();
+        if self.starts_with("<?xml") {
+            match self.input[self.pos..].find("?>") {
+                Some(rel) => self.pos += rel + 2,
+                None => return Err(XmlError::UnexpectedEof { context: "XML declaration" }),
+            }
+        }
+        Ok(())
+    }
+
+    /// Skip whitespace, comments, PIs and DOCTYPE at the top level.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<!--") {
+                if self.skip_comment().is_err() {
+                    return;
+                }
+            } else if self.starts_with("<?") {
+                match self.input[self.pos..].find("?>") {
+                    Some(rel) => self.pos += rel + 2,
+                    None => return,
+                }
+            } else if self.starts_with("<!DOCTYPE") {
+                // Skip a (non-nested) DOCTYPE declaration.
+                match self.input[self.pos..].find('>') {
+                    Some(rel) => self.pos += rel + 1,
+                    None => return,
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) -> XmlResult<()> {
+        debug_assert!(self.starts_with("<!--"));
+        match self.input[self.pos + 4..].find("-->") {
+            Some(rel) => {
+                self.pos += 4 + rel + 3;
+                Ok(())
+            }
+            None => Err(XmlError::UnexpectedEof { context: "comment" }),
+        }
+    }
+
+    fn parse_root(&mut self) -> XmlResult<Document> {
+        self.skip_whitespace();
+        if self.at_eof() {
+            return Err(XmlError::EmptyDocument);
+        }
+        if self.peek() != Some(b'<') {
+            return Err(XmlError::UnexpectedChar {
+                offset: self.pos,
+                found: self.input[self.pos..].chars().next().unwrap_or('\0'),
+                expected: "start of root element",
+            });
+        }
+        // Parse the root start tag to learn the root tag name.
+        self.expect("<")?;
+        let tag = self.parse_name()?;
+        let mut doc = Document::new(tag.clone());
+        let root = NodeId::ROOT;
+        self.parse_attributes_into(&mut doc, root)?;
+        self.skip_whitespace();
+        if self.starts_with("/>") {
+            self.pos += 2;
+            return Ok(doc);
+        }
+        self.expect(">")?;
+        self.parse_content(&mut doc, root, &tag)?;
+        Ok(doc)
+    }
+
+    fn parse_name(&mut self) -> XmlResult<String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let c = b as char;
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            if self.at_eof() {
+                return Err(XmlError::UnexpectedEof { context: "name" });
+            }
+            return Err(XmlError::UnexpectedChar {
+                offset: self.pos,
+                found: self.input[self.pos..].chars().next().unwrap_or('\0'),
+                expected: "name",
+            });
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+
+    fn parse_attributes_into(&mut self, doc: &mut Document, node: NodeId) -> XmlResult<()> {
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'>') | Some(b'/') | None => return Ok(()),
+                _ => {}
+            }
+            let name = self.parse_name()?;
+            self.skip_whitespace();
+            self.expect("=")?;
+            self.skip_whitespace();
+            let quote = match self.bump() {
+                Some(q @ (b'"' | b'\'')) => q,
+                Some(other) => {
+                    return Err(XmlError::UnexpectedChar {
+                        offset: self.pos - 1,
+                        found: other as char,
+                        expected: "quoted attribute value",
+                    })
+                }
+                None => return Err(XmlError::UnexpectedEof { context: "attribute value" }),
+            };
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == quote {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.at_eof() {
+                return Err(XmlError::UnexpectedEof { context: "attribute value" });
+            }
+            let raw = &self.input[start..self.pos];
+            self.pos += 1; // closing quote
+            let value = decode_entities(raw, start)?;
+            doc.set_attribute(node, name, value);
+        }
+    }
+
+    fn parse_content(&mut self, doc: &mut Document, node: NodeId, open_tag: &str) -> XmlResult<()> {
+        loop {
+            if self.at_eof() {
+                return Err(XmlError::UnexpectedEof { context: "element content" });
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                self.skip_whitespace();
+                self.expect(">")?;
+                if close != open_tag {
+                    return Err(XmlError::MismatchedTag {
+                        open: open_tag.to_owned(),
+                        close,
+                        offset: self.pos,
+                    });
+                }
+                return Ok(());
+            } else if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<![CDATA[") {
+                let start = self.pos + 9;
+                match self.input[start..].find("]]>") {
+                    Some(rel) => {
+                        let text = &self.input[start..start + rel];
+                        if !text.is_empty() {
+                            doc.push_text(node, text);
+                        }
+                        self.pos = start + rel + 3;
+                    }
+                    None => return Err(XmlError::UnexpectedEof { context: "CDATA section" }),
+                }
+            } else if self.starts_with("<?") {
+                match self.input[self.pos..].find("?>") {
+                    Some(rel) => self.pos += rel + 2,
+                    None => {
+                        return Err(XmlError::UnexpectedEof { context: "processing instruction" })
+                    }
+                }
+            } else if self.peek() == Some(b'<') {
+                // Child element.
+                self.pos += 1;
+                let tag = self.parse_name()?;
+                let child = doc.append_child(node, tag.clone()).map_err(|_| {
+                    XmlError::NotAnElement { id: node.raw() }
+                })?;
+                self.parse_attributes_into(doc, child)?;
+                self.skip_whitespace();
+                if self.starts_with("/>") {
+                    self.pos += 2;
+                } else {
+                    self.expect(">")?;
+                    self.parse_content(doc, child, &tag)?;
+                }
+            } else {
+                // Text run up to the next '<'.
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b == b'<' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let raw = &self.input[start..self.pos];
+                let text = decode_entities(raw, start)?;
+                // Whitespace-only runs between elements are ignored; they are
+                // formatting, not data.
+                if !text.trim().is_empty() {
+                    doc.push_text(node, &text);
+                }
+            }
+        }
+    }
+}
+
+/// Decode the predefined XML entities and numeric character references in a
+/// text or attribute-value run.
+fn decode_entities(raw: &str, base_offset: usize) -> XmlResult<String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_owned());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        // Collect up to ';'
+        let mut name = String::new();
+        let mut terminated = false;
+        for (_, c2) in chars.by_ref() {
+            if c2 == ';' {
+                terminated = true;
+                break;
+            }
+            name.push(c2);
+            if name.len() > 12 {
+                break;
+            }
+        }
+        if !terminated {
+            return Err(XmlError::UnknownEntity {
+                name,
+                offset: base_offset + i,
+            });
+        }
+        let decoded = match name.as_str() {
+            "amp" => Some('&'),
+            "lt" => Some('<'),
+            "gt" => Some('>'),
+            "quot" => Some('"'),
+            "apos" => Some('\''),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                u32::from_str_radix(&name[2..], 16).ok().and_then(char::from_u32)
+            }
+            _ if name.starts_with('#') => {
+                name[1..].parse::<u32>().ok().and_then(char::from_u32)
+            }
+            _ => None,
+        };
+        match decoded {
+            Some(ch) => out.push(ch),
+            None => {
+                return Err(XmlError::UnknownEntity {
+                    name,
+                    offset: base_offset + i,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    #[test]
+    fn parse_simple_document() {
+        let d = parse_document("<book><title>Rust</title><author>Someone</author></book>").unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.root().tag(), "book");
+        assert_eq!(d.string_value(NodeId::from_raw(1)), "Rust");
+        assert_eq!(d.string_value(NodeId::from_raw(2)), "Someone");
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn parse_with_declaration_and_comments() {
+        let src = r#"<?xml version="1.0" encoding="UTF-8"?>
+            <!-- a feed item -->
+            <item>
+              <title>Hello &amp; goodbye</title>
+              <!-- inner comment -->
+              <link href="http://example.org/a?b=1&amp;c=2"/>
+            </item>"#;
+        let d = parse_document(src).unwrap();
+        assert_eq!(d.root().tag(), "item");
+        assert_eq!(d.string_value(NodeId::from_raw(1)), "Hello & goodbye");
+        assert_eq!(
+            d.node(NodeId::from_raw(2)).attribute("href"),
+            Some("http://example.org/a?b=1&c=2")
+        );
+    }
+
+    #[test]
+    fn parse_nested_structure() {
+        let d = parse_document("<a><b><c>x</c></b><d>y</d></a>").unwrap();
+        // pre-order: a=0, b=1, c=2, d=3
+        assert_eq!(d.node(NodeId::from_raw(1)).tag(), "b");
+        assert_eq!(d.node(NodeId::from_raw(2)).tag(), "c");
+        assert_eq!(d.node(NodeId::from_raw(3)).tag(), "d");
+        assert!(d.is_ancestor(NodeId::from_raw(1), NodeId::from_raw(2)));
+        assert_eq!(d.node(NodeId::from_raw(3)).parent(), Some(NodeId::ROOT));
+    }
+
+    #[test]
+    fn parse_self_closing_root() {
+        let d = parse_document("<empty/>").unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.root().tag(), "empty");
+    }
+
+    #[test]
+    fn parse_attributes_single_and_double_quotes() {
+        let d = parse_document(r#"<n a="1" b='two' c="with 'mixed'"/>"#).unwrap();
+        assert_eq!(d.root().attribute("a"), Some("1"));
+        assert_eq!(d.root().attribute("b"), Some("two"));
+        assert_eq!(d.root().attribute("c"), Some("with 'mixed'"));
+    }
+
+    #[test]
+    fn parse_cdata() {
+        let d = parse_document("<x><![CDATA[<not><parsed>&amp;]]></x>").unwrap();
+        assert_eq!(d.string_value(NodeId::ROOT), "<not><parsed>&amp;");
+    }
+
+    #[test]
+    fn parse_numeric_entities() {
+        let d = parse_document("<x>&#65;&#x42;</x>").unwrap();
+        assert_eq!(d.string_value(NodeId::ROOT), "AB");
+    }
+
+    #[test]
+    fn parse_doctype_skipped() {
+        let d = parse_document("<!DOCTYPE html><x>ok</x>").unwrap();
+        assert_eq!(d.string_value(NodeId::ROOT), "ok");
+    }
+
+    #[test]
+    fn mixed_content_concatenates_text() {
+        let d = parse_document("<p>one <b>bold</b> two</p>").unwrap();
+        // Text directly under <p> is "one  two" (joined), <b> holds "bold".
+        assert_eq!(d.node(NodeId::ROOT).text(), Some("one  two"));
+        assert_eq!(d.string_value(NodeId::from_raw(1)), "bold");
+    }
+
+    #[test]
+    fn error_mismatched_tag() {
+        let err = parse_document("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err, XmlError::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn error_unexpected_eof() {
+        let err = parse_document("<a><b>").unwrap_err();
+        assert!(matches!(err, XmlError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn error_multiple_roots() {
+        let err = parse_document("<a/><b/>").unwrap_err();
+        assert!(matches!(err, XmlError::MultipleRoots { .. }));
+    }
+
+    #[test]
+    fn error_empty_document() {
+        let err = parse_document("   ").unwrap_err();
+        assert!(matches!(err, XmlError::EmptyDocument));
+    }
+
+    #[test]
+    fn error_unknown_entity() {
+        let err = parse_document("<a>&bogus;</a>").unwrap_err();
+        assert!(matches!(err, XmlError::UnknownEntity { .. }));
+    }
+
+    #[test]
+    fn error_text_before_root() {
+        let err = parse_document("hello <a/>").unwrap_err();
+        assert!(matches!(err, XmlError::UnexpectedChar { .. }));
+    }
+
+    #[test]
+    fn parse_fragment_trims() {
+        let d = parse_fragment("  <a>x</a>  \n").unwrap();
+        assert_eq!(d.string_value(NodeId::ROOT), "x");
+    }
+
+    #[test]
+    fn whitespace_only_text_ignored() {
+        let d = parse_document("<a>\n  <b>x</b>\n</a>").unwrap();
+        assert_eq!(d.node(NodeId::ROOT).text(), None);
+        assert_eq!(d.string_value(NodeId::ROOT), "x");
+    }
+
+    #[test]
+    fn decode_entities_no_amp_fast_path() {
+        assert_eq!(decode_entities("plain text", 0).unwrap(), "plain text");
+    }
+
+    #[test]
+    fn decode_entities_unterminated() {
+        assert!(decode_entities("bad &amp without semicolon", 0).is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! RSS/Atom feed-item helpers.
+//!
+//! The paper's Section 6.3 experiment processes a stream of RSS and Atom feed
+//! items collected from 418 channels. Each feed item has a simple, flat
+//! document schema with five leaf nodes tagged `item_url`, `channel_url`,
+//! `title`, `timestamp` and `description`. This module provides a typed
+//! representation of such items and conversion to/from the generic
+//! [`Document`] model, so workload generators and examples can construct feed
+//! events without repeating boilerplate.
+
+use crate::builder::DocumentBuilder;
+use crate::document::{DocId, Document, Timestamp};
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Tag of the root element of a feed item document.
+pub const ITEM_TAG: &str = "item";
+/// The leaf field tags of a feed item, in document order.
+pub const ITEM_FIELDS: [&str; 5] = [
+    "item_url",
+    "channel_url",
+    "title",
+    "timestamp",
+    "description",
+];
+
+/// A single RSS/Atom feed item with the five leaf fields used in the paper's
+/// RSS experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeedItem {
+    /// URL of the individual item (unique per item).
+    pub item_url: String,
+    /// URL of the channel (blog / news source) the item belongs to.
+    pub channel_url: String,
+    /// Item title.
+    pub title: String,
+    /// Publication timestamp, also used as the event timestamp.
+    pub timestamp: u64,
+    /// Free-text description / summary.
+    pub description: String,
+}
+
+impl FeedItem {
+    /// Convert the feed item into a [`Document`] with the flat five-leaf
+    /// schema. The document timestamp is set from the item timestamp.
+    pub fn to_document(&self, doc_id: DocId) -> Document {
+        let mut b = DocumentBuilder::new(ITEM_TAG);
+        b.doc_id(doc_id);
+        b.timestamp(Timestamp(self.timestamp));
+        b.child_text("item_url", &self.item_url);
+        b.child_text("channel_url", &self.channel_url);
+        b.child_text("title", &self.title);
+        b.child_text("timestamp", self.timestamp.to_string());
+        b.child_text("description", &self.description);
+        b.finish()
+    }
+
+    /// Reconstruct a feed item from a document with the feed-item schema.
+    /// Returns `None` if the document does not have the expected shape.
+    pub fn from_document(doc: &Document) -> Option<FeedItem> {
+        if doc.root().tag() != ITEM_TAG {
+            return None;
+        }
+        let field = |tag: &str| -> Option<String> {
+            doc.first_with_tag(tag).map(|id| doc.string_value(id))
+        };
+        Some(FeedItem {
+            item_url: field("item_url")?,
+            channel_url: field("channel_url")?,
+            title: field("title")?,
+            timestamp: field("timestamp")?.parse().ok()?,
+            description: field("description")?,
+        })
+    }
+}
+
+/// Build a minimal blog-article document in the shape of the paper's Figure 2
+/// (`blog` root with `author`, `channel_url`, `title`, `category`,
+/// `description` leaves). Used in examples and tests that replay the paper's
+/// running example.
+pub fn blog_article(
+    author: &str,
+    channel_url: &str,
+    title: &str,
+    category: &str,
+    description: &str,
+) -> Document {
+    let mut b = DocumentBuilder::new("blog");
+    b.child_text("author", author);
+    b.child_text("channel_url", channel_url);
+    b.child_text("title", title);
+    b.child_text("category", category);
+    b.child_text("description", description);
+    b.finish()
+}
+
+/// Build a book-announcement document in the shape of the paper's Figure 1
+/// (`book` root with `author`*, `title`, `category`*, `publisher`, `isbn`
+/// leaves).
+pub fn book_announcement(
+    authors: &[&str],
+    title: &str,
+    categories: &[&str],
+    publisher: &str,
+    isbn: &str,
+) -> Document {
+    let mut b = DocumentBuilder::new("book");
+    for a in authors {
+        b.child_text("author", *a);
+    }
+    b.child_text("title", title);
+    for c in categories {
+        b.child_text("category", *c);
+    }
+    b.child_text("publisher", publisher);
+    b.child_text("isbn", isbn);
+    b.finish()
+}
+
+/// Convenience accessor: the string value of the first element with `tag`, or
+/// an empty string if absent.
+pub fn leaf_value(doc: &Document, tag: &str) -> String {
+    doc.first_with_tag(tag)
+        .map(|id| doc.string_value(id))
+        .unwrap_or_default()
+}
+
+/// `true` when a document conforms to the flat feed-item schema (root tag
+/// `item`, all children are leaves and drawn from [`ITEM_FIELDS`]).
+pub fn is_feed_item(doc: &Document) -> bool {
+    if doc.root().tag() != ITEM_TAG {
+        return false;
+    }
+    doc.root().children().iter().all(|&c| {
+        let n = doc.node(c);
+        n.is_leaf() && ITEM_FIELDS.contains(&n.tag())
+    })
+}
+
+/// The node id of the leaf holding a given feed-item field, if present.
+pub fn field_node(doc: &Document, field: &str) -> Option<NodeId> {
+    doc.first_with_tag(field)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_item() -> FeedItem {
+        FeedItem {
+            item_url: "http://dannyayers.com/2006/07/rss-book".into(),
+            channel_url: "http://dannyayers.com/feed".into(),
+            title: "Beginning RSS and Atom Programming".into(),
+            timestamp: 1234,
+            description: "Just heard ...".into(),
+        }
+    }
+
+    #[test]
+    fn feed_item_document_roundtrip() {
+        let item = sample_item();
+        let doc = item.to_document(DocId(7));
+        assert_eq!(doc.id(), DocId(7));
+        assert_eq!(doc.timestamp(), Timestamp(1234));
+        assert_eq!(doc.len(), 6);
+        assert!(is_feed_item(&doc));
+        let back = FeedItem::from_document(&doc).unwrap();
+        assert_eq!(back, item);
+    }
+
+    #[test]
+    fn from_document_rejects_wrong_shape() {
+        let doc = blog_article("a", "b", "c", "d", "e");
+        assert!(FeedItem::from_document(&doc).is_none());
+        assert!(!is_feed_item(&doc));
+    }
+
+    #[test]
+    fn blog_article_shape() {
+        let doc = blog_article(
+            "Danny Ayers",
+            "http://dannyayers.com/topics/books/rss-book",
+            "Beginning RSS and Atom Programming",
+            "Book Announcement",
+            "Just heard ...",
+        );
+        assert_eq!(doc.root().tag(), "blog");
+        assert_eq!(leaf_value(&doc, "author"), "Danny Ayers");
+        assert_eq!(leaf_value(&doc, "category"), "Book Announcement");
+        assert_eq!(leaf_value(&doc, "missing"), "");
+    }
+
+    #[test]
+    fn book_announcement_shape() {
+        let doc = book_announcement(
+            &["Danny Ayers", "Andrew Watt"],
+            "Beginning RSS and Atom Programming",
+            &["Scripting & Programming", "Web Site Development"],
+            "Wrox",
+            "0764579169",
+        );
+        assert_eq!(doc.root().tag(), "book");
+        assert_eq!(doc.nodes_with_tag("author").len(), 2);
+        assert_eq!(doc.nodes_with_tag("category").len(), 2);
+        assert_eq!(leaf_value(&doc, "publisher"), "Wrox");
+        // Matches the Figure 1 numbering: node 4 is the first category.
+        assert_eq!(doc.node(NodeId::from_raw(4)).tag(), "category");
+    }
+
+    #[test]
+    fn field_node_lookup() {
+        let doc = sample_item().to_document(DocId(1));
+        let title = field_node(&doc, "title").unwrap();
+        assert_eq!(doc.string_value(title), "Beginning RSS and Atom Programming");
+        assert!(field_node(&doc, "nope").is_none());
+    }
+
+    #[test]
+    fn is_feed_item_rejects_extra_nested_children() {
+        let mut b = DocumentBuilder::new("item");
+        b.open("title");
+        b.child_text("inner", "x");
+        b.close();
+        let doc = b.finish();
+        assert!(!is_feed_item(&doc));
+    }
+}

@@ -1,0 +1,174 @@
+//! Serialization of documents back to XML text.
+
+use crate::document::Document;
+use crate::node::NodeId;
+use std::fmt::Write as _;
+
+/// Serialize a whole document to compact (single-line) XML.
+pub fn serialize(doc: &Document) -> String {
+    let mut out = String::new();
+    write_node(doc, NodeId::ROOT, &mut out, None, 0);
+    out
+}
+
+/// Serialize a whole document with two-space indentation, one element per
+/// line. Text content keeps elements on a single line.
+pub fn serialize_pretty(doc: &Document) -> String {
+    let mut out = String::new();
+    write_node(doc, NodeId::ROOT, &mut out, Some(2), 0);
+    out
+}
+
+/// Serialize only the subtree rooted at `root` (compact form). Used when
+/// constructing output documents for matched queries, which embed subtrees of
+/// the joined input documents.
+pub fn serialize_subtree(doc: &Document, root: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, root, &mut out, None, 0);
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, out: &mut String, indent: Option<usize>, depth: usize) {
+    let node = doc.node(id);
+    if let Some(width) = indent {
+        if depth > 0 {
+            out.push('\n');
+        }
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+    out.push('<');
+    out.push_str(node.tag());
+    for (name, value) in node.attributes() {
+        let _ = write!(out, " {}=\"{}\"", name, escape_attr(value));
+    }
+    let has_text = node.text().map(|t| !t.is_empty()).unwrap_or(false);
+    if node.children().is_empty() && !has_text {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    if let Some(t) = node.text() {
+        out.push_str(&escape_text(t));
+    }
+    for &c in node.children() {
+        write_node(doc, c, out, indent, depth + 1);
+    }
+    if indent.is_some() && !node.children().is_empty() {
+        out.push('\n');
+        for _ in 0..depth * indent.unwrap_or(0) {
+            out.push(' ');
+        }
+    }
+    out.push_str("</");
+    out.push_str(node.tag());
+    out.push('>');
+}
+
+fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DocumentBuilder;
+    use crate::parser::parse_document;
+
+    fn sample() -> Document {
+        let mut b = DocumentBuilder::new("book");
+        b.attribute("isbn", "0764579169");
+        b.child_text("title", "RSS & Atom");
+        b.open("authors");
+        b.child_text("author", "Danny Ayers");
+        b.close();
+        b.finish()
+    }
+
+    #[test]
+    fn compact_roundtrip() {
+        let d = sample();
+        let xml = serialize(&d);
+        assert!(xml.starts_with("<book isbn=\"0764579169\">"));
+        assert!(xml.contains("<title>RSS &amp; Atom</title>"));
+        let d2 = parse_document(&xml).unwrap();
+        assert_eq!(d2.len(), d.len());
+        assert_eq!(
+            d2.string_value(crate::NodeId::from_raw(1)),
+            d.string_value(crate::NodeId::from_raw(1))
+        );
+    }
+
+    #[test]
+    fn pretty_has_indentation() {
+        let d = sample();
+        let xml = serialize_pretty(&d);
+        assert!(xml.contains("\n  <title>"));
+        assert!(xml.contains("\n  <authors>"));
+        // pretty output must still be parseable
+        parse_document(&xml).unwrap();
+    }
+
+    #[test]
+    fn subtree_serialization() {
+        let d = sample();
+        let authors = d.first_with_tag("authors").unwrap();
+        let xml = serialize_subtree(&d, authors);
+        assert_eq!(xml, "<authors><author>Danny Ayers</author></authors>");
+    }
+
+    #[test]
+    fn empty_elements_self_close() {
+        let d = parse_document("<a><b/><c></c></a>").unwrap();
+        let xml = serialize(&d);
+        assert_eq!(xml, "<a><b/><c/></a>");
+    }
+
+    #[test]
+    fn attribute_escaping() {
+        let mut b = DocumentBuilder::new("n");
+        b.attribute("q", "say \"hi\" & <bye>");
+        let xml = serialize(&b.finish());
+        assert!(xml.contains("&quot;hi&quot;"));
+        assert!(xml.contains("&amp;"));
+        assert!(xml.contains("&lt;bye&gt;"));
+        parse_document(&xml).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_parse_serialize_parse() {
+        let src = "<feed><item><title>a &lt; b</title><id>1</id></item><item><title>c</title><id>2</id></item></feed>";
+        let d1 = parse_document(src).unwrap();
+        let ser = serialize(&d1);
+        let d2 = parse_document(&ser).unwrap();
+        assert_eq!(d1.len(), d2.len());
+        for id in d1.node_ids() {
+            assert_eq!(d1.node(id).tag(), d2.node(id).tag());
+            assert_eq!(d1.string_value(id), d2.string_value(id));
+        }
+    }
+}

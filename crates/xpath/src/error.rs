@@ -1,0 +1,96 @@
+//! Error types for pattern parsing and evaluation.
+
+use std::fmt;
+
+/// Convenience result alias used throughout the crate.
+pub type XPathResult<T> = Result<T, XPathError>;
+
+/// Errors produced while parsing or evaluating tree patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XPathError {
+    /// The pattern text ended unexpectedly.
+    UnexpectedEnd {
+        /// What was being parsed.
+        context: &'static str,
+    },
+    /// An unexpected character in the pattern text.
+    UnexpectedChar {
+        /// Byte offset of the character.
+        offset: usize,
+        /// The character found.
+        found: char,
+        /// What was expected instead.
+        expected: &'static str,
+    },
+    /// A variable is bound more than once within a single pattern.
+    DuplicateVariable {
+        /// The duplicated variable name.
+        name: String,
+    },
+    /// The pattern has no steps (e.g. just a stream name).
+    EmptyPattern,
+    /// A referenced variable does not exist in the pattern.
+    UnknownVariable {
+        /// The missing variable name.
+        name: String,
+    },
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XPathError::UnexpectedEnd { context } => {
+                write!(f, "pattern ended unexpectedly while parsing {context}")
+            }
+            XPathError::UnexpectedChar {
+                offset,
+                found,
+                expected,
+            } => write!(
+                f,
+                "unexpected character {found:?} at offset {offset}: expected {expected}"
+            ),
+            XPathError::DuplicateVariable { name } => {
+                write!(f, "variable `{name}` is bound more than once in the pattern")
+            }
+            XPathError::EmptyPattern => write!(f, "pattern contains no steps"),
+            XPathError::UnknownVariable { name } => {
+                write!(f, "variable `{name}` is not bound in the pattern")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(XPathError::UnexpectedEnd { context: "a step" }
+            .to_string()
+            .contains("a step"));
+        assert!(XPathError::UnexpectedChar {
+            offset: 4,
+            found: '?',
+            expected: "tag name"
+        }
+        .to_string()
+        .contains("tag name"));
+        assert!(XPathError::DuplicateVariable { name: "x1".into() }
+            .to_string()
+            .contains("x1"));
+        assert!(!XPathError::EmptyPattern.to_string().is_empty());
+        assert!(XPathError::UnknownVariable { name: "x9".into() }
+            .to_string()
+            .contains("x9"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: std::error::Error>(_: &E) {}
+        check(&XPathError::EmptyPattern);
+    }
+}

@@ -1,0 +1,288 @@
+//! The multi-query XPath front end.
+//!
+//! A publish/subscribe system registers the tree-pattern components of *all*
+//! queries and evaluates them together against each incoming document. The
+//! dominant sharing opportunity — and the one the paper relies on when it
+//! delegates Stage 1 to YFilter — is that different queries reuse identical
+//! query blocks. [`PatternIndex`] therefore:
+//!
+//! * de-duplicates structurally identical patterns (same
+//!   [`TreePattern::signature`]); each distinct pattern is evaluated at most
+//!   once per document regardless of how many queries reference it;
+//! * pre-filters patterns by their *root tag* using a per-document tag set,
+//!   so patterns that cannot possibly match (e.g. `//book...` on a blog
+//!   document) are skipped without running the matcher;
+//! * exposes per-document statistics so experiments can report Stage-1 cost
+//!   and sharing factors.
+
+use crate::matcher::PatternMatcher;
+use crate::pattern::{NodeTest, PatternNodeId, TreePattern};
+use crate::witness::{EdgeBinding, Witness};
+use mmqjp_xml::Document;
+use std::collections::{HashMap, HashSet};
+
+/// Identifier of a registered (distinct) pattern within a [`PatternIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternId(pub u32);
+
+impl PatternId {
+    /// Raw index.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Raw index as usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Statistics about index contents and the last evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatternIndexStats {
+    /// Number of registration calls (query blocks inserted).
+    pub registered_blocks: usize,
+    /// Number of distinct patterns actually stored.
+    pub distinct_patterns: usize,
+    /// Patterns evaluated for the last document (after tag pre-filtering).
+    pub evaluated_last: usize,
+    /// Patterns skipped by the root-tag pre-filter for the last document.
+    pub skipped_last: usize,
+}
+
+/// A shared index over the tree patterns of many query blocks.
+#[derive(Debug, Default, Clone)]
+pub struct PatternIndex {
+    patterns: Vec<TreePattern>,
+    by_signature: HashMap<String, PatternId>,
+    /// Root tags per pattern (None = wildcard / cannot pre-filter).
+    root_tags: Vec<Option<String>>,
+    registered_blocks: usize,
+    evaluated_last: usize,
+    skipped_last: usize,
+}
+
+impl PatternIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        PatternIndex::default()
+    }
+
+    /// Register a pattern, returning its id. Structurally identical patterns
+    /// (same signature) are shared and return the same id.
+    pub fn register(&mut self, pattern: TreePattern) -> PatternId {
+        self.registered_blocks += 1;
+        let sig = pattern.signature();
+        if let Some(&id) = self.by_signature.get(&sig) {
+            return id;
+        }
+        let id = PatternId(self.patterns.len() as u32);
+        let root_tag = match pattern.root().test() {
+            NodeTest::Tag(t) => Some(t.clone()),
+            _ => None,
+        };
+        self.root_tags.push(root_tag);
+        self.patterns.push(pattern);
+        self.by_signature.insert(sig, id);
+        id
+    }
+
+    /// Number of distinct patterns stored.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// `true` when no patterns are registered.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The pattern stored under an id.
+    pub fn pattern(&self, id: PatternId) -> &TreePattern {
+        &self.patterns[id.index()]
+    }
+
+    /// Iterate over `(id, pattern)` pairs.
+    pub fn patterns(&self) -> impl Iterator<Item = (PatternId, &TreePattern)> {
+        self.patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PatternId(i as u32), p))
+    }
+
+    /// Index statistics (sharing factor, last-evaluation counters).
+    pub fn stats(&self) -> PatternIndexStats {
+        PatternIndexStats {
+            registered_blocks: self.registered_blocks,
+            distinct_patterns: self.patterns.len(),
+            evaluated_last: self.evaluated_last,
+            skipped_last: self.skipped_last,
+        }
+    }
+
+    /// Ids of patterns that can potentially match the document, using the
+    /// root-tag pre-filter.
+    fn candidate_ids(&self, doc: &Document) -> Vec<PatternId> {
+        let doc_tags: HashSet<&str> = doc.nodes().map(|n| n.tag()).collect();
+        self.patterns
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| match &self.root_tags[*i] {
+                Some(tag) => doc_tags.contains(tag.as_str()),
+                None => true,
+            })
+            .map(|(i, _)| PatternId(i as u32))
+            .collect()
+    }
+
+    /// Evaluate every registered pattern over a document, returning complete
+    /// witnesses per matching pattern.
+    pub fn evaluate_witnesses(&mut self, doc: &Document) -> Vec<(PatternId, Vec<Witness>)> {
+        let candidates = self.candidate_ids(doc);
+        self.skipped_last = self.patterns.len() - candidates.len();
+        self.evaluated_last = candidates.len();
+        let mut out = Vec::new();
+        for id in candidates {
+            let matcher = PatternMatcher::new(&self.patterns[id.index()]);
+            let ws = matcher.witnesses(doc);
+            if !ws.is_empty() {
+                out.push((id, ws));
+            }
+        }
+        out
+    }
+
+    /// Evaluate every registered pattern over a document, returning the edge
+    /// bindings requested per pattern.
+    ///
+    /// `requested_edges` maps a pattern id to the list of
+    /// (ancestor, descendant) pattern-node pairs whose binding pairs the Join
+    /// Processor wants (typically the edges of the reduced variable tree
+    /// pattern). Patterns without an entry fall back to all adjacent edges.
+    pub fn evaluate_edge_bindings(
+        &mut self,
+        doc: &Document,
+        requested_edges: &HashMap<PatternId, Vec<(PatternNodeId, PatternNodeId)>>,
+    ) -> Vec<(PatternId, Vec<EdgeBinding>)> {
+        let candidates = self.candidate_ids(doc);
+        self.skipped_last = self.patterns.len() - candidates.len();
+        self.evaluated_last = candidates.len();
+        let mut out = Vec::new();
+        for id in candidates {
+            let pattern = &self.patterns[id.index()];
+            let matcher = PatternMatcher::new(pattern);
+            let bindings = match requested_edges.get(&id) {
+                Some(edges) => matcher.edge_bindings(doc, edges),
+                None => matcher.all_edge_bindings(doc),
+            };
+            if !bindings.is_empty() {
+                out.push((id, bindings));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_pattern;
+    use mmqjp_xml::rss;
+
+    fn book_doc() -> Document {
+        rss::book_announcement(
+            &["Danny Ayers"],
+            "Beginning RSS and Atom Programming",
+            &["Scripting & Programming"],
+            "Wrox",
+            "0764579169",
+        )
+    }
+
+    fn blog_doc() -> Document {
+        rss::blog_article(
+            "Danny Ayers",
+            "http://dannyayers.com/feed",
+            "Beginning RSS and Atom Programming",
+            "Book Announcement",
+            "Just heard ...",
+        )
+    }
+
+    #[test]
+    fn register_dedupes_identical_patterns() {
+        let mut idx = PatternIndex::new();
+        let a = idx.register(parse_pattern("S//book->x1[.//author->x2]").unwrap());
+        let b = idx.register(parse_pattern("S//book->x1[.//author->x2]").unwrap());
+        let c = idx.register(parse_pattern("S//blog->x4[.//author->x5]").unwrap());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.is_empty());
+        let stats = idx.stats();
+        assert_eq!(stats.registered_blocks, 3);
+        assert_eq!(stats.distinct_patterns, 2);
+        assert_eq!(idx.pattern(a).root().test(), &NodeTest::tag("book"));
+        assert_eq!(idx.patterns().count(), 2);
+    }
+
+    #[test]
+    fn evaluate_witnesses_prefilters_by_root_tag() {
+        let mut idx = PatternIndex::new();
+        let book = idx.register(parse_pattern("S//book->x1[.//author->x2]").unwrap());
+        let blog = idx.register(parse_pattern("S//blog->x4[.//author->x5]").unwrap());
+
+        let results = idx.evaluate_witnesses(&book_doc());
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, book);
+        assert_eq!(idx.stats().evaluated_last, 1);
+        assert_eq!(idx.stats().skipped_last, 1);
+
+        let results = idx.evaluate_witnesses(&blog_doc());
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, blog);
+    }
+
+    #[test]
+    fn wildcard_root_is_never_prefiltered() {
+        let mut idx = PatternIndex::new();
+        idx.register(parse_pattern("S//*->x").unwrap());
+        let results = idx.evaluate_witnesses(&book_doc());
+        assert_eq!(results.len(), 1);
+        assert_eq!(idx.stats().skipped_last, 0);
+    }
+
+    #[test]
+    fn evaluate_edge_bindings_with_requested_edges() {
+        let mut idx = PatternIndex::new();
+        let id = idx.register(
+            parse_pattern("S//book->x1[.//author->x2][.//title->x3]").unwrap(),
+        );
+        let mut requested = HashMap::new();
+        // Only ask for the (book, title) edge.
+        requested.insert(id, vec![(PatternNodeId(0), PatternNodeId(2))]);
+        let results = idx.evaluate_edge_bindings(&book_doc(), &requested);
+        assert_eq!(results.len(), 1);
+        let bindings = &results[0].1;
+        assert_eq!(bindings.len(), 1);
+        assert_eq!(bindings[0].descendant_var, "x3");
+    }
+
+    #[test]
+    fn evaluate_edge_bindings_defaults_to_all_edges() {
+        let mut idx = PatternIndex::new();
+        idx.register(parse_pattern("S//book->x1[.//author->x2][.//title->x3]").unwrap());
+        let results = idx.evaluate_edge_bindings(&book_doc(), &HashMap::new());
+        assert_eq!(results.len(), 1);
+        // one author edge pair + one title edge pair
+        assert_eq!(results[0].1.len(), 2);
+    }
+
+    #[test]
+    fn non_matching_patterns_are_omitted() {
+        let mut idx = PatternIndex::new();
+        idx.register(parse_pattern("S//book->x1[.//isbn->x9][.//missing->x8]").unwrap());
+        let results = idx.evaluate_witnesses(&book_doc());
+        assert!(results.is_empty());
+    }
+}

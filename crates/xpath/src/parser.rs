@@ -1,0 +1,368 @@
+//! Parser for the textual form of variable tree patterns.
+//!
+//! The syntax is the one used in the paper's examples (Table 2):
+//!
+//! ```text
+//! S//book->x1[.//author->x2][.//title->x3]
+//! ```
+//!
+//! * an optional stream name before the first `/`;
+//! * steps connected by `/` (child) or `//` (descendant);
+//! * node tests: a tag name, `*`, or `@attr`;
+//! * an optional variable binding `->name` after any step;
+//! * predicates `[. <relative path>]` after any step, nestable.
+
+use crate::error::{XPathError, XPathResult};
+use crate::pattern::{Axis, NodeTest, PatternNodeId, TreePattern};
+
+/// Parse a variable tree pattern, e.g.
+/// `S//book->x1[.//author->x2][.//title->x3]`.
+pub fn parse_pattern(input: &str) -> XPathResult<TreePattern> {
+    let mut p = Parser::new(input);
+    let pattern = p.parse()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(XPathError::UnexpectedChar {
+            offset: p.pos,
+            found: p.peek_char().unwrap_or('\0'),
+            expected: "end of pattern",
+        });
+    }
+    Ok(pattern)
+}
+
+/// Parse a plain XPath-fragment path without requiring variable bindings.
+/// Equivalent to [`parse_pattern`]; provided for readability at call sites
+/// that deal with paths from non-XSCL sources.
+pub fn parse_path(input: &str) -> XPathResult<TreePattern> {
+    parse_pattern(input)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek_char() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn parse(&mut self) -> XPathResult<TreePattern> {
+        self.skip_ws();
+        // Optional stream name before the first '/'.
+        let stream = if self
+            .peek_char()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
+        {
+            Some(self.parse_name()?)
+        } else {
+            None
+        };
+        self.skip_ws();
+        if self.at_end() {
+            return Err(XPathError::EmptyPattern);
+        }
+
+        // First step creates the pattern.
+        let axis = self.parse_axis()?;
+        let test = self.parse_node_test()?;
+        let mut pattern = TreePattern::new(stream, axis, test);
+        let root = PatternNodeId::ROOT;
+        self.parse_binding_and_predicates(&mut pattern, root)?;
+        self.parse_trailing_steps(&mut pattern, root)?;
+        Ok(pattern)
+    }
+
+    /// Parse the continuation of a main path: further `/step` or `//step`
+    /// elements hanging off `current`.
+    fn parse_trailing_steps(
+        &mut self,
+        pattern: &mut TreePattern,
+        mut current: PatternNodeId,
+    ) -> XPathResult<()> {
+        loop {
+            self.skip_ws();
+            if !self.starts_with("/") {
+                return Ok(());
+            }
+            let axis = self.parse_axis()?;
+            let test = self.parse_node_test()?;
+            let id = pattern.add_child(current, axis, test);
+            self.parse_binding_and_predicates(pattern, id)?;
+            current = id;
+        }
+    }
+
+    /// Parse an optional `->var` binding followed by zero or more `[...]`
+    /// predicates attached to `node`.
+    fn parse_binding_and_predicates(
+        &mut self,
+        pattern: &mut TreePattern,
+        node: PatternNodeId,
+    ) -> XPathResult<()> {
+        self.skip_ws();
+        if self.starts_with("->") {
+            self.pos += 2;
+            self.skip_ws();
+            let name = self.parse_name()?;
+            pattern.bind_variable(node, name)?;
+        }
+        loop {
+            self.skip_ws();
+            if !self.starts_with("[") {
+                return Ok(());
+            }
+            self.pos += 1;
+            self.skip_ws();
+            // Predicates are relative paths starting with '.'.
+            if self.starts_with(".") {
+                self.pos += 1;
+            }
+            self.skip_ws();
+            let axis = self.parse_axis()?;
+            let test = self.parse_node_test()?;
+            let child = pattern.add_child(node, axis, test);
+            self.parse_binding_and_predicates(pattern, child)?;
+            // Continue the predicate's own main path.
+            self.parse_trailing_steps(pattern, child)?;
+            self.skip_ws();
+            if !self.starts_with("]") {
+                return if self.at_end() {
+                    Err(XPathError::UnexpectedEnd {
+                        context: "predicate",
+                    })
+                } else {
+                    Err(XPathError::UnexpectedChar {
+                        offset: self.pos,
+                        found: self.peek_char().unwrap_or('\0'),
+                        expected: "']'",
+                    })
+                };
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn parse_axis(&mut self) -> XPathResult<Axis> {
+        if self.starts_with("//") {
+            self.pos += 2;
+            Ok(Axis::Descendant)
+        } else if self.starts_with("/") {
+            self.pos += 1;
+            Ok(Axis::Child)
+        } else if self.at_end() {
+            Err(XPathError::UnexpectedEnd { context: "axis" })
+        } else {
+            Err(XPathError::UnexpectedChar {
+                offset: self.pos,
+                found: self.peek_char().unwrap_or('\0'),
+                expected: "'/' or '//'",
+            })
+        }
+    }
+
+    fn parse_node_test(&mut self) -> XPathResult<NodeTest> {
+        self.skip_ws();
+        match self.peek_char() {
+            Some('*') => {
+                self.pos += 1;
+                Ok(NodeTest::Wildcard)
+            }
+            Some('@') => {
+                self.pos += 1;
+                let name = self.parse_name()?;
+                Ok(NodeTest::Attribute(name))
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == '_' => {
+                let name = self.parse_name()?;
+                Ok(NodeTest::Tag(name))
+            }
+            Some(c) => Err(XPathError::UnexpectedChar {
+                offset: self.pos,
+                found: c,
+                expected: "tag name, '*' or '@attr'",
+            }),
+            None => Err(XPathError::UnexpectedEnd { context: "node test" }),
+        }
+    }
+
+    fn parse_name(&mut self) -> XPathResult<String> {
+        let start = self.pos;
+        while let Some(c) = self.peek_char() {
+            // `-` is a legal name character (e.g. `dc-creator`) except when it
+            // starts the `->` variable-binding arrow.
+            if c == '-' && self.input[self.pos..].starts_with("->") {
+                break;
+            }
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' || c == '\'' {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return if self.at_end() {
+                Err(XPathError::UnexpectedEnd { context: "name" })
+            } else {
+                Err(XPathError::UnexpectedChar {
+                    offset: self.pos,
+                    found: self.peek_char().unwrap_or('\0'),
+                    expected: "name",
+                })
+            };
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_q1_block() {
+        let p = parse_pattern("S//book->x1[.//author->x2][.//title->x3]").unwrap();
+        assert_eq!(p.stream(), Some("S"));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.root().variable(), Some("x1"));
+        assert_eq!(p.root().test(), &NodeTest::tag("book"));
+        assert_eq!(p.variable_node("x2").unwrap(), PatternNodeId(1));
+        assert_eq!(p.node(PatternNodeId(1)).test(), &NodeTest::tag("author"));
+        assert_eq!(p.node(PatternNodeId(2)).test(), &NodeTest::tag("title"));
+        assert_eq!(p.node(PatternNodeId(1)).axis(), Axis::Descendant);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn parse_without_stream() {
+        let p = parse_pattern("//blog//title").unwrap();
+        assert_eq!(p.stream(), None);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.node(PatternNodeId(1)).test(), &NodeTest::tag("title"));
+        assert_eq!(p.node(PatternNodeId(1)).parent(), Some(PatternNodeId(0)));
+    }
+
+    #[test]
+    fn parse_child_axis_and_wildcard() {
+        let p = parse_pattern("S/rss/channel/*->x").unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.root().axis(), Axis::Child);
+        assert_eq!(p.node(PatternNodeId(2)).test(), &NodeTest::Wildcard);
+        assert_eq!(p.node(PatternNodeId(2)).variable(), Some("x"));
+    }
+
+    #[test]
+    fn parse_attribute_step() {
+        let p = parse_pattern("//link[./@href->h]").unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(
+            p.node(PatternNodeId(1)).test(),
+            &NodeTest::Attribute("href".into())
+        );
+        assert_eq!(p.node(PatternNodeId(1)).variable(), Some("h"));
+        assert_eq!(p.node(PatternNodeId(1)).axis(), Axis::Child);
+    }
+
+    #[test]
+    fn parse_nested_predicates() {
+        let p = parse_pattern("S//book->x1[.//authors[.//author->x2]]//isbn->x4").unwrap();
+        // book(0) -> authors(1) -> author(2); book -> isbn(3)
+        assert_eq!(p.len(), 4);
+        let authors = PatternNodeId(1);
+        let author = PatternNodeId(2);
+        let isbn = PatternNodeId(3);
+        assert_eq!(p.node(author).parent(), Some(authors));
+        assert_eq!(p.node(authors).parent(), Some(PatternNodeId::ROOT));
+        assert_eq!(p.node(isbn).parent(), Some(PatternNodeId::ROOT));
+        assert_eq!(p.node(isbn).variable(), Some("x4"));
+    }
+
+    #[test]
+    fn parse_predicate_with_path_continuation() {
+        let p = parse_pattern("S//feed[.//entry//title->t]").unwrap();
+        assert_eq!(p.len(), 3);
+        // entry is a child of feed; title is a child of entry.
+        assert_eq!(p.node(PatternNodeId(1)).test(), &NodeTest::tag("entry"));
+        assert_eq!(p.node(PatternNodeId(2)).test(), &NodeTest::tag("title"));
+        assert_eq!(p.node(PatternNodeId(2)).parent(), Some(PatternNodeId(1)));
+        assert_eq!(p.node(PatternNodeId(2)).variable(), Some("t"));
+    }
+
+    #[test]
+    fn parse_whitespace_tolerant() {
+        let p = parse_pattern("  S //book -> x1 [ .//author -> x2 ]  ").unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.root().variable(), Some("x1"));
+        assert_eq!(p.node(PatternNodeId(1)).variable(), Some("x2"));
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let p = parse_pattern("S//book->x1[.//author->x2][.//title->x3]").unwrap();
+        let s = p.to_string();
+        let p2 = parse_pattern(&s).unwrap();
+        assert_eq!(p.signature(), p2.signature());
+    }
+
+    #[test]
+    fn error_empty_pattern() {
+        assert!(matches!(parse_pattern(""), Err(XPathError::EmptyPattern)));
+        assert!(matches!(parse_pattern("S"), Err(XPathError::EmptyPattern)));
+    }
+
+    #[test]
+    fn error_duplicate_variable() {
+        let err = parse_pattern("S//a->x[.//b->x]").unwrap_err();
+        assert!(matches!(err, XPathError::DuplicateVariable { .. }));
+    }
+
+    #[test]
+    fn error_unclosed_predicate() {
+        let err = parse_pattern("S//a[.//b").unwrap_err();
+        assert!(matches!(err, XPathError::UnexpectedEnd { .. }));
+    }
+
+    #[test]
+    fn error_trailing_garbage() {
+        let err = parse_pattern("S//a->x1 junk").unwrap_err();
+        assert!(matches!(err, XPathError::UnexpectedChar { .. }));
+    }
+
+    #[test]
+    fn error_missing_node_test() {
+        let err = parse_pattern("S//[.//a]").unwrap_err();
+        assert!(matches!(err, XPathError::UnexpectedChar { .. }));
+        let err = parse_pattern("S//").unwrap_err();
+        assert!(matches!(err, XPathError::UnexpectedEnd { .. }));
+    }
+
+    #[test]
+    fn parse_path_alias() {
+        let p = parse_path("//item/title").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+}

@@ -1,0 +1,511 @@
+//! Variable tree patterns: the structural (XPath) component of XSCL query
+//! blocks.
+
+use crate::error::{XPathError, XPathResult};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The axis connecting a pattern node to its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Axis {
+    /// `/` — the document node must be a child of the parent's match.
+    /// For the pattern root, the document's root element itself.
+    Child,
+    /// `//` — the document node must be a descendant of the parent's match.
+    /// For the pattern root, any element of the document.
+    Descendant,
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::Child => write!(f, "/"),
+            Axis::Descendant => write!(f, "//"),
+        }
+    }
+}
+
+/// The node test of a pattern step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NodeTest {
+    /// Match elements with this tag name.
+    Tag(String),
+    /// `*` — match any element.
+    Wildcard,
+    /// `@name` — match the attribute with this name on the parent's match.
+    /// Attribute steps are always leaves.
+    Attribute(String),
+}
+
+impl NodeTest {
+    /// Construct a tag test.
+    pub fn tag(name: impl Into<String>) -> NodeTest {
+        NodeTest::Tag(name.into())
+    }
+
+    /// Construct an attribute test.
+    pub fn attribute(name: impl Into<String>) -> NodeTest {
+        NodeTest::Attribute(name.into())
+    }
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Tag(t) => write!(f, "{t}"),
+            NodeTest::Wildcard => write!(f, "*"),
+            NodeTest::Attribute(a) => write!(f, "@{a}"),
+        }
+    }
+}
+
+/// Identifier of a node within a [`TreePattern`] (pre-order index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PatternNodeId(pub u32);
+
+impl PatternNodeId {
+    /// The pattern root id.
+    pub const ROOT: PatternNodeId = PatternNodeId(0);
+
+    /// Raw index.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Raw index as usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PatternNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// One step of a variable tree pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PatternNode {
+    pub(crate) id: PatternNodeId,
+    pub(crate) axis: Axis,
+    pub(crate) test: NodeTest,
+    pub(crate) variable: Option<String>,
+    pub(crate) parent: Option<PatternNodeId>,
+    pub(crate) children: Vec<PatternNodeId>,
+}
+
+impl PatternNode {
+    /// This node's id.
+    pub fn id(&self) -> PatternNodeId {
+        self.id
+    }
+
+    /// The axis connecting this node to its parent (or, for the root, to the
+    /// virtual document node).
+    pub fn axis(&self) -> Axis {
+        self.axis
+    }
+
+    /// The node test.
+    pub fn test(&self) -> &NodeTest {
+        &self.test
+    }
+
+    /// The variable bound to this node, if any.
+    pub fn variable(&self) -> Option<&str> {
+        self.variable.as_deref()
+    }
+
+    /// The parent node id (None for the pattern root).
+    pub fn parent(&self) -> Option<PatternNodeId> {
+        self.parent
+    }
+
+    /// Children (predicate branches and the continuation of the main path).
+    pub fn children(&self) -> &[PatternNodeId] {
+        &self.children
+    }
+
+    /// `true` if the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// A variable tree pattern over one input stream: the structural component of
+/// an XSCL query block.
+///
+/// The pattern is stored as an arena of [`PatternNode`]s in pre-order, like
+/// [`mmqjp_xml::Document`]. Every node carries an axis (relative to its
+/// parent), a node test and an optional variable binding.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TreePattern {
+    stream: Option<String>,
+    nodes: Vec<PatternNode>,
+}
+
+impl TreePattern {
+    /// Create a pattern with a single root step.
+    pub fn new(stream: Option<String>, axis: Axis, test: NodeTest) -> Self {
+        TreePattern {
+            stream,
+            nodes: vec![PatternNode {
+                id: PatternNodeId::ROOT,
+                axis,
+                test,
+                variable: None,
+                parent: None,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// The stream this pattern reads from, if specified.
+    pub fn stream(&self) -> Option<&str> {
+        self.stream.as_deref()
+    }
+
+    /// Set the stream name.
+    pub fn set_stream(&mut self, stream: Option<String>) {
+        self.stream = stream;
+    }
+
+    /// Number of pattern nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the pattern consists of the root step only.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &PatternNode {
+        &self.nodes[0]
+    }
+
+    /// Access a node by id.
+    pub fn node(&self, id: PatternNodeId) -> &PatternNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterate over all nodes in pre-order.
+    pub fn nodes(&self) -> impl Iterator<Item = &PatternNode> {
+        self.nodes.iter()
+    }
+
+    /// Iterate over all node ids in pre-order.
+    pub fn node_ids(&self) -> impl Iterator<Item = PatternNodeId> + '_ {
+        (0..self.nodes.len() as u32).map(PatternNodeId)
+    }
+
+    /// Add a child step under `parent`. Children may be added in any order;
+    /// ids remain insertion-ordered (which is pre-order when built by the
+    /// parser).
+    pub fn add_child(&mut self, parent: PatternNodeId, axis: Axis, test: NodeTest) -> PatternNodeId {
+        let id = PatternNodeId(self.nodes.len() as u32);
+        self.nodes.push(PatternNode {
+            id,
+            axis,
+            test,
+            variable: None,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Bind a variable name to a node. Returns an error if the name is
+    /// already bound to a different node in this pattern.
+    pub fn bind_variable(&mut self, id: PatternNodeId, name: impl Into<String>) -> XPathResult<()> {
+        let name = name.into();
+        if self
+            .nodes
+            .iter()
+            .any(|n| n.id != id && n.variable.as_deref() == Some(name.as_str()))
+        {
+            return Err(XPathError::DuplicateVariable { name });
+        }
+        self.nodes[id.index()].variable = Some(name);
+        Ok(())
+    }
+
+    /// All `(variable, node id)` bindings, in pre-order of the bound nodes.
+    pub fn variables(&self) -> Vec<(&str, PatternNodeId)> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.variable.as_deref().map(|v| (v, n.id)))
+            .collect()
+    }
+
+    /// The node bound to a given variable name.
+    pub fn variable_node(&self, name: &str) -> XPathResult<PatternNodeId> {
+        self.nodes
+            .iter()
+            .find(|n| n.variable.as_deref() == Some(name))
+            .map(|n| n.id)
+            .ok_or_else(|| XPathError::UnknownVariable {
+                name: name.to_owned(),
+            })
+    }
+
+    /// `true` if some node binds this variable name.
+    pub fn binds(&self, name: &str) -> bool {
+        self.variable_node(name).is_ok()
+    }
+
+    /// All `(parent, child)` edges of the pattern, in pre-order of the child.
+    pub fn edges(&self) -> Vec<(PatternNodeId, PatternNodeId)> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.parent.map(|p| (p, n.id)))
+            .collect()
+    }
+
+    /// Ensure every node carries a variable: nodes without a user-supplied
+    /// binding get a canonical, definition-derived name of the form
+    /// `_<signature-of-path>`. Because the name is derived purely from the
+    /// node's definition (stream, path of axes and node tests from the
+    /// pattern root), structurally identical definitions in different
+    /// queries receive identical names — implementing the paper's
+    /// "same definition ⇒ same variable name" assumption.
+    pub fn assign_canonical_variables(&mut self) {
+        let paths: Vec<String> = self
+            .node_ids()
+            .map(|id| self.definition_path(id))
+            .collect();
+        for (idx, path) in paths.iter().enumerate() {
+            if self.nodes[idx].variable.is_none() {
+                self.nodes[idx].variable = Some(format!("_{path}"));
+            }
+        }
+    }
+
+    /// The definition path of a node: stream name plus the axis/test steps
+    /// from the pattern root down to the node. Two nodes (possibly in
+    /// different patterns) with equal definition paths match exactly the same
+    /// document nodes when evaluated from the root.
+    pub fn definition_path(&self, id: PatternNodeId) -> String {
+        let mut steps = Vec::new();
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            let node = self.node(n);
+            steps.push(format!("{}{}", node.axis, node.test));
+            cur = node.parent();
+        }
+        steps.reverse();
+        format!(
+            "{}{}",
+            self.stream.as_deref().unwrap_or(""),
+            steps.join("")
+        )
+    }
+
+    /// A canonical signature of the entire pattern (structure + variables),
+    /// used by [`PatternIndex`](crate::PatternIndex) to de-duplicate
+    /// structurally identical patterns. Children are sorted so that sibling
+    /// order does not affect the signature.
+    pub fn signature(&self) -> String {
+        fn encode(p: &TreePattern, id: PatternNodeId) -> String {
+            let node = p.node(id);
+            let mut kids: Vec<String> = node
+                .children()
+                .iter()
+                .map(|&c| encode(p, c))
+                .collect();
+            kids.sort();
+            format!(
+                "{}{}[{}]({})",
+                node.axis,
+                node.test,
+                node.variable().unwrap_or(""),
+                kids.join(",")
+            )
+        }
+        format!(
+            "{}::{}",
+            self.stream.as_deref().unwrap_or(""),
+            encode(self, PatternNodeId::ROOT)
+        )
+    }
+
+    /// Validate parent/child symmetry. Used by tests.
+    pub fn check_invariants(&self) -> XPathResult<()> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.id.index() != i {
+                return Err(XPathError::EmptyPattern);
+            }
+            for &c in n.children() {
+                if self.nodes[c.index()].parent != Some(n.id) {
+                    return Err(XPathError::EmptyPattern);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TreePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn write_node(
+            p: &TreePattern,
+            id: PatternNodeId,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            let node = p.node(id);
+            write!(f, "{}{}", node.axis, node.test)?;
+            if let Some(v) = node.variable() {
+                if !v.starts_with('_') {
+                    write!(f, "->{v}")?;
+                }
+            }
+            // The first child continues the main path; the rest become
+            // predicates. For display purposes all children are shown as
+            // predicates, which is an equivalent formulation.
+            for &c in node.children() {
+                write!(f, "[.")?;
+                write_node(p, c, f)?;
+                write!(f, "]")?;
+            }
+            Ok(())
+        }
+        if let Some(s) = self.stream() {
+            write!(f, "{s}")?;
+        }
+        write_node(self, PatternNodeId::ROOT, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the pattern of Q1's first query block:
+    /// `S//book->x1[.//author->x2][.//title->x3]`.
+    fn q1_block1() -> TreePattern {
+        let mut p = TreePattern::new(Some("S".into()), Axis::Descendant, NodeTest::tag("book"));
+        p.bind_variable(PatternNodeId::ROOT, "x1").unwrap();
+        let a = p.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag("author"));
+        p.bind_variable(a, "x2").unwrap();
+        let t = p.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag("title"));
+        p.bind_variable(t, "x3").unwrap();
+        p
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let p = q1_block1();
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.stream(), Some("S"));
+        assert_eq!(p.root().test(), &NodeTest::tag("book"));
+        assert_eq!(p.root().axis(), Axis::Descendant);
+        assert_eq!(p.root().variable(), Some("x1"));
+        assert_eq!(p.variables().len(), 3);
+        assert_eq!(p.variable_node("x2").unwrap(), PatternNodeId(1));
+        assert!(p.binds("x3"));
+        assert!(!p.binds("x9"));
+        assert!(p.variable_node("x9").is_err());
+        assert_eq!(p.edges(), vec![(PatternNodeId(0), PatternNodeId(1)), (PatternNodeId(0), PatternNodeId(2))]);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_variable_rejected() {
+        let mut p = q1_block1();
+        let extra = p.add_child(PatternNodeId::ROOT, Axis::Child, NodeTest::tag("isbn"));
+        assert!(matches!(
+            p.bind_variable(extra, "x1"),
+            Err(XPathError::DuplicateVariable { .. })
+        ));
+        // Re-binding the same node with its own name is fine.
+        p.bind_variable(PatternNodeId::ROOT, "x1").unwrap();
+    }
+
+    #[test]
+    fn definition_paths_are_structural() {
+        let p = q1_block1();
+        assert_eq!(p.definition_path(PatternNodeId(0)), "S//book");
+        assert_eq!(p.definition_path(PatternNodeId(1)), "S//book//author");
+        assert_eq!(p.definition_path(PatternNodeId(2)), "S//book//title");
+    }
+
+    #[test]
+    fn canonical_variables_same_definition_same_name() {
+        let mut p1 = TreePattern::new(Some("S".into()), Axis::Descendant, NodeTest::tag("blog"));
+        p1.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag("author"));
+        let mut p2 = TreePattern::new(Some("S".into()), Axis::Descendant, NodeTest::tag("blog"));
+        p2.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag("author"));
+        p1.assign_canonical_variables();
+        p2.assign_canonical_variables();
+        assert_eq!(
+            p1.node(PatternNodeId(1)).variable(),
+            p2.node(PatternNodeId(1)).variable()
+        );
+        // Canonical names are derived from the path.
+        assert_eq!(
+            p1.node(PatternNodeId(1)).variable(),
+            Some("_S//blog//author")
+        );
+        // User-provided names are kept.
+        let mut p3 = q1_block1();
+        p3.assign_canonical_variables();
+        assert_eq!(p3.root().variable(), Some("x1"));
+    }
+
+    #[test]
+    fn signature_ignores_sibling_order() {
+        let mut a = TreePattern::new(None, Axis::Descendant, NodeTest::tag("book"));
+        a.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag("author"));
+        a.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag("title"));
+
+        let mut b = TreePattern::new(None, Axis::Descendant, NodeTest::tag("book"));
+        b.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag("title"));
+        b.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag("author"));
+
+        assert_eq!(a.signature(), b.signature());
+
+        let mut c = TreePattern::new(None, Axis::Descendant, NodeTest::tag("blog"));
+        c.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag("author"));
+        assert_ne!(a.signature(), c.signature());
+    }
+
+    #[test]
+    fn signature_distinguishes_axes_and_streams() {
+        let child = TreePattern::new(Some("S".into()), Axis::Child, NodeTest::tag("a"));
+        let desc = TreePattern::new(Some("S".into()), Axis::Descendant, NodeTest::tag("a"));
+        assert_ne!(child.signature(), desc.signature());
+        let other_stream = TreePattern::new(Some("T".into()), Axis::Child, NodeTest::tag("a"));
+        assert_ne!(child.signature(), other_stream.signature());
+    }
+
+    #[test]
+    fn display_roundtrips_key_structure() {
+        let p = q1_block1();
+        let s = p.to_string();
+        assert!(s.starts_with("S//book->x1"));
+        assert!(s.contains("author->x2"));
+        assert!(s.contains("title->x3"));
+    }
+
+    #[test]
+    fn node_test_constructors_and_display() {
+        assert_eq!(NodeTest::tag("a").to_string(), "a");
+        assert_eq!(NodeTest::Wildcard.to_string(), "*");
+        assert_eq!(NodeTest::attribute("href").to_string(), "@href");
+        assert_eq!(Axis::Child.to_string(), "/");
+        assert_eq!(Axis::Descendant.to_string(), "//");
+        assert_eq!(PatternNodeId(3).to_string(), "p3");
+        assert_eq!(PatternNodeId(3).raw(), 3);
+    }
+
+    #[test]
+    fn empty_pattern_is_root_only() {
+        let p = TreePattern::new(None, Axis::Descendant, NodeTest::Wildcard);
+        assert!(p.is_empty());
+        assert!(p.root().is_leaf());
+    }
+}

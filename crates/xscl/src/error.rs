@@ -1,0 +1,108 @@
+//! Error types for XSCL parsing and analysis.
+
+use mmqjp_xpath::XPathError;
+use std::fmt;
+
+/// Convenience result alias used throughout the crate.
+pub type XsclResult<T> = Result<T, XsclError>;
+
+/// Errors produced while parsing, normalizing or analyzing XSCL queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XsclError {
+    /// The query text could not be parsed.
+    Parse {
+        /// Human-readable description.
+        message: String,
+    },
+    /// An error from parsing one of the query blocks (tree patterns).
+    Pattern(XPathError),
+    /// A value-join predicate references a variable that is not bound in the
+    /// expected query block.
+    UnboundVariable {
+        /// The variable name.
+        variable: String,
+        /// Which side of the join operator it was expected on.
+        side: &'static str,
+    },
+    /// The query is not in value-join normal form and cannot be rewritten by
+    /// this implementation (e.g. a predicate with XPath operators).
+    NotNormalizable {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The query has no value-join predicate; such queries are pure tree
+    /// pattern subscriptions and are handled entirely by the Stage-1 XPath
+    /// evaluator, not by the Join Processor.
+    NoValueJoins,
+    /// The query joins more than two blocks or nests join operators, which is
+    /// outside the supported fragment.
+    Unsupported {
+        /// Human-readable description.
+        feature: String,
+    },
+}
+
+impl fmt::Display for XsclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XsclError::Parse { message } => write!(f, "XSCL parse error: {message}"),
+            XsclError::Pattern(e) => write!(f, "query block pattern error: {e}"),
+            XsclError::UnboundVariable { variable, side } => {
+                write!(f, "variable `{variable}` is not bound in the {side} query block")
+            }
+            XsclError::NotNormalizable { reason } => {
+                write!(f, "query is not in value-join normal form: {reason}")
+            }
+            XsclError::NoValueJoins => {
+                write!(f, "query has no value-join predicates (pure tree-pattern subscription)")
+            }
+            XsclError::Unsupported { feature } => write!(f, "unsupported XSCL feature: {feature}"),
+        }
+    }
+}
+
+impl std::error::Error for XsclError {}
+
+impl From<XPathError> for XsclError {
+    fn from(e: XPathError) -> Self {
+        XsclError::Pattern(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(XsclError::Parse {
+            message: "bad token".into()
+        }
+        .to_string()
+        .contains("bad token"));
+        assert!(XsclError::UnboundVariable {
+            variable: "x5".into(),
+            side: "right"
+        }
+        .to_string()
+        .contains("x5"));
+        assert!(XsclError::NotNormalizable {
+            reason: "nested path".into()
+        }
+        .to_string()
+        .contains("nested path"));
+        assert!(!XsclError::NoValueJoins.to_string().is_empty());
+        assert!(XsclError::Unsupported {
+            feature: "three-way join".into()
+        }
+        .to_string()
+        .contains("three-way"));
+    }
+
+    #[test]
+    fn from_xpath_error() {
+        let e: XsclError = XPathError::EmptyPattern.into();
+        assert!(matches!(e, XsclError::Pattern(_)));
+        assert!(e.to_string().contains("pattern"));
+    }
+}

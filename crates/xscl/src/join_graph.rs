@@ -1,0 +1,267 @@
+//! Join graphs of XSCL queries (Section 4.1 of the paper).
+//!
+//! The join graph of an inter-document query visualizes its two query blocks
+//! as tree patterns (structural edges) and its value-join predicates as edges
+//! between the bound nodes of the two patterns (value-join edges).
+
+use crate::ast::{FromClause, JoinOp, Window, XsclQuery};
+use crate::error::{XsclError, XsclResult};
+use mmqjp_xpath::{PatternNodeId, TreePattern};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which query block a node belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Side {
+    /// The left (earlier, for `FOLLOWED BY`) query block.
+    Left,
+    /// The right (later / current-document) query block.
+    Right,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Left => write!(f, "L"),
+            Side::Right => write!(f, "R"),
+        }
+    }
+}
+
+/// The join graph of one (normalized) XSCL join query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinGraph {
+    /// The left query block's variable tree pattern.
+    pub left: TreePattern,
+    /// The right query block's variable tree pattern.
+    pub right: TreePattern,
+    /// Value-join edges as (left pattern node, right pattern node) pairs.
+    pub value_edges: Vec<(PatternNodeId, PatternNodeId)>,
+    /// The join operator.
+    pub op: JoinOp,
+    /// The window constraint.
+    pub window: Window,
+}
+
+impl JoinGraph {
+    /// Build the join graph of a normalized join query.
+    ///
+    /// Returns [`XsclError::Unsupported`] for single-block queries (they have
+    /// no join graph) and [`XsclError::UnboundVariable`] if a predicate
+    /// references a variable missing from its block (normalization prevents
+    /// this for queries that went through [`normalize_query`]).
+    ///
+    /// [`normalize_query`]: crate::normalize::normalize_query
+    pub fn from_query(query: &XsclQuery) -> XsclResult<JoinGraph> {
+        let FromClause::Join {
+            left,
+            op,
+            predicates,
+            window,
+            right,
+        } = &query.from
+        else {
+            return Err(XsclError::Unsupported {
+                feature: "join graph of a single-block query".to_owned(),
+            });
+        };
+        if predicates.is_empty() {
+            return Err(XsclError::NoValueJoins);
+        }
+        let mut value_edges = Vec::with_capacity(predicates.len());
+        for p in predicates {
+            let l = left
+                .pattern
+                .variable_node(&p.left_var)
+                .map_err(|_| XsclError::UnboundVariable {
+                    variable: p.left_var.clone(),
+                    side: "left",
+                })?;
+            let r = right
+                .pattern
+                .variable_node(&p.right_var)
+                .map_err(|_| XsclError::UnboundVariable {
+                    variable: p.right_var.clone(),
+                    side: "right",
+                })?;
+            value_edges.push((l, r));
+        }
+        Ok(JoinGraph {
+            left: left.pattern.clone(),
+            right: right.pattern.clone(),
+            value_edges,
+            op: *op,
+            window: *window,
+        })
+    }
+
+    /// Number of value-join edges.
+    pub fn num_value_joins(&self) -> usize {
+        self.value_edges.len()
+    }
+
+    /// Total number of structural nodes (both patterns).
+    pub fn num_nodes(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// The pattern of one side.
+    pub fn pattern(&self, side: Side) -> &TreePattern {
+        match side {
+            Side::Left => &self.left,
+            Side::Right => &self.right,
+        }
+    }
+
+    /// The distinct left-side pattern nodes that participate in value joins.
+    pub fn left_join_nodes(&self) -> Vec<PatternNodeId> {
+        let mut out: Vec<PatternNodeId> = self.value_edges.iter().map(|(l, _)| *l).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The distinct right-side pattern nodes that participate in value joins.
+    pub fn right_join_nodes(&self) -> Vec<PatternNodeId> {
+        let mut out: Vec<PatternNodeId> = self.value_edges.iter().map(|(_, r)| *r).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Build a join graph with the two sides swapped (right block first).
+    /// Used to register symmetric `JOIN` queries in both orientations.
+    pub fn swapped(&self) -> JoinGraph {
+        JoinGraph {
+            left: self.right.clone(),
+            right: self.left.clone(),
+            value_edges: self.value_edges.iter().map(|&(l, r)| (r, l)).collect(),
+            op: self.op,
+            window: self.window,
+        }
+    }
+}
+
+impl fmt::Display for JoinGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "left:  {}", self.left)?;
+        writeln!(f, "right: {}", self.right)?;
+        let edges: Vec<String> = self
+            .value_edges
+            .iter()
+            .map(|(l, r)| {
+                format!(
+                    "{}~{}",
+                    self.left.node(*l).variable().unwrap_or("?"),
+                    self.right.node(*r).variable().unwrap_or("?")
+                )
+            })
+            .collect();
+        write!(f, "value joins: {} ({} within {})", edges.join(", "), self.op, self.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize_query;
+    use crate::parser::parse_query;
+
+    const Q1: &str = "S//book->x1[.//author->x2][.//title->x3] \
+        FOLLOWED BY{x2=x5 AND x3=x6, 100} \
+        S//blog->x4[.//author->x5][.//title->x6]";
+
+    fn q1_graph() -> JoinGraph {
+        let q = normalize_query(&parse_query(Q1).unwrap()).unwrap().query;
+        JoinGraph::from_query(&q).unwrap()
+    }
+
+    #[test]
+    fn q1_join_graph_structure() {
+        let g = q1_graph();
+        assert_eq!(g.num_value_joins(), 2);
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.op, JoinOp::FollowedBy);
+        assert_eq!(g.window, Window::Time(100));
+        // The value edges connect the author nodes and the title nodes.
+        assert_eq!(g.left_join_nodes().len(), 2);
+        assert_eq!(g.right_join_nodes().len(), 2);
+        let display = g.to_string();
+        assert!(display.contains("book"));
+        assert!(display.contains("FOLLOWED BY"));
+    }
+
+    #[test]
+    fn raw_query_without_normalization_also_works() {
+        // from_query only needs the predicates to reference bound variables.
+        let q = parse_query(Q1).unwrap();
+        let g = JoinGraph::from_query(&q).unwrap();
+        assert_eq!(g.num_value_joins(), 2);
+        assert_eq!(
+            g.left.node(g.value_edges[0].0).variable(),
+            Some("x2")
+        );
+    }
+
+    #[test]
+    fn pattern_accessor_by_side() {
+        let g = q1_graph();
+        assert_eq!(g.pattern(Side::Left).root().test().to_string(), "book");
+        assert_eq!(g.pattern(Side::Right).root().test().to_string(), "blog");
+        assert_eq!(Side::Left.other(), Side::Right);
+        assert_eq!(Side::Right.other(), Side::Left);
+        assert_eq!(Side::Left.to_string(), "L");
+    }
+
+    #[test]
+    fn swapped_reverses_edges() {
+        let g = q1_graph();
+        let s = g.swapped();
+        assert_eq!(s.left.root().test().to_string(), "blog");
+        assert_eq!(s.right.root().test().to_string(), "book");
+        assert_eq!(s.value_edges[0].0, g.value_edges[0].1);
+        assert_eq!(s.value_edges[0].1, g.value_edges[0].0);
+    }
+
+    #[test]
+    fn single_block_query_has_no_join_graph() {
+        let q = parse_query("S//blog[.//author]").unwrap();
+        assert!(matches!(
+            JoinGraph::from_query(&q),
+            Err(XsclError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn unbound_predicate_variable_is_error() {
+        let q = parse_query("S//book->x1 FOLLOWED BY{x1=nope, 10} S//blog->x4").unwrap();
+        assert!(matches!(
+            JoinGraph::from_query(&q),
+            Err(XsclError::UnboundVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_joins_on_same_node() {
+        // One left author joined to two different right-side nodes.
+        let q = parse_query(
+            "S//book->b[.//author->a] FOLLOWED BY{a=n AND a=d, 10} \
+             S//blog->g[.//author->n][.//description->d]",
+        )
+        .unwrap();
+        let g = JoinGraph::from_query(&q).unwrap();
+        assert_eq!(g.num_value_joins(), 2);
+        assert_eq!(g.left_join_nodes().len(), 1);
+        assert_eq!(g.right_join_nodes().len(), 2);
+    }
+}

@@ -1,0 +1,45 @@
+//! # mmqjp-xscl
+//!
+//! The **XML Stream Conjunctive Language (XSCL)** — the query language of the
+//! MMQJP publish/subscribe system (Hong et al., SIGMOD 2007, Section 2) —
+//! together with the query-analysis machinery of Sections 4.1–4.2:
+//!
+//! * [`ast`] — the abstract syntax: query blocks (variable tree patterns from
+//!   `mmqjp-xpath`), the `FOLLOWED BY` / `JOIN` window-join operators with
+//!   conjunctive value-join predicates, `SELECT` and `PUBLISH` clauses.
+//! * [`parser`] — a parser for the textual form used in the paper's Table 2,
+//!   e.g.
+//!   `S//book->x1[.//author->x2][.//title->x3] FOLLOWED BY{x2=x5 AND x3=x6, 100} S//blog->x4[.//author->x5][.//title->x6]`.
+//! * [`normalize`] — the query-insertion rewrites the paper assumes:
+//!   value-join normal form validation and canonical variable naming
+//!   ("two variables with the same definition have the same name").
+//! * [`join_graph`] — the join graph of a query: the two tree patterns
+//!   (structural edges) plus value-join edges between bound nodes.
+//! * [`minor`] — the graph-minor reduction rules of Section 4.2 that shrink a
+//!   join graph to the part relevant for value-join processing.
+//! * [`template`] — query templates: equivalence classes of queries with
+//!   isomorphic reduced join graphs, plus the catalog that assigns every
+//!   registered query to a template and produces its meta-variable
+//!   assignment (the paper's `RT` tuple).
+//! * [`enumerate`] — combinatorial enumeration of the possible templates for
+//!   a given document schema and number of value joins (paper Table 3).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod enumerate;
+mod error;
+pub mod join_graph;
+pub mod minor;
+pub mod normalize;
+pub mod parser;
+pub mod template;
+
+pub use ast::{FromClause, JoinOp, QueryBlock, QueryId, SelectClause, ValueJoin, Window, XsclQuery};
+pub use error::{XsclError, XsclResult};
+pub use join_graph::{JoinGraph, Side};
+pub use minor::{ReducedGraph, ReducedNode, ReducedTree};
+pub use normalize::normalize_query;
+pub use parser::parse_query;
+pub use template::{QueryTemplate, TemplateCatalog, TemplateId, TemplateMembership};

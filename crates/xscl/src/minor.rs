@@ -1,0 +1,520 @@
+//! Graph-minor reduction of join graphs (Section 4.2 of the paper).
+//!
+//! The reduction rules shrink each side's tree pattern to the part that the
+//! value-join processing stage actually needs:
+//!
+//! 1. recursively remove leaf nodes that do not participate in any value
+//!    join;
+//! 2. remove nodes that are not descendants of the least common ancestor of
+//!    the remaining leaves (the LCA becomes the new root);
+//! 3. remove intermediate nodes that have only one child (splice them out).
+//!
+//! What remains are the value-join nodes themselves plus the least common
+//! ancestors of subsets of them — the nodes whose structural relationships
+//! the per-template conjunctive query still has to check. The structural
+//! constraints dropped here were already verified by the Stage-1 XPath
+//! evaluator.
+
+use crate::ast::{JoinOp, Window};
+use crate::join_graph::{JoinGraph, Side};
+use mmqjp_xpath::{Axis, PatternNodeId, TreePattern};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A node of a reduced tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReducedNode {
+    /// The pattern node this reduced node came from.
+    pub original: PatternNodeId,
+    /// The (canonical) variable bound at that pattern node.
+    pub variable: String,
+    /// Index of the parent within the reduced tree, or `None` for the root.
+    pub parent: Option<usize>,
+    /// Axis label of the edge from the parent: the original axis for edges
+    /// that were adjacent in the pattern, [`Axis::Descendant`] for spliced
+    /// (multi-step) edges.
+    pub axis: Axis,
+    /// `true` if this node participates in at least one value join.
+    pub is_join_node: bool,
+}
+
+/// One side's reduced tree. Node 0 is the root; every node's parent index is
+/// smaller than its own index (construction is top-down).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ReducedTree {
+    /// Nodes in top-down construction order.
+    pub nodes: Vec<ReducedNode>,
+}
+
+impl ReducedTree {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the tree has no nodes (never the case for valid queries).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Children indices of a node.
+    pub fn children(&self, idx: usize) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.parent == Some(idx))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The index of the reduced node built from a given pattern node, if any.
+    pub fn index_of(&self, original: PatternNodeId) -> Option<usize> {
+        self.nodes.iter().position(|n| n.original == original)
+    }
+
+    /// Edges as (parent index, child index) pairs.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.parent.map(|p| (p, i)))
+            .collect()
+    }
+
+    /// A structural shape string ignoring variables (children sorted), used
+    /// as a cheap invariant for template bucketing.
+    pub fn shape(&self) -> String {
+        fn encode(t: &ReducedTree, idx: usize) -> String {
+            let mut kids: Vec<String> = t.children(idx).into_iter().map(|c| encode(t, c)).collect();
+            kids.sort();
+            format!(
+                "{}{}({})",
+                t.nodes[idx].axis,
+                if t.nodes[idx].is_join_node { "J" } else { "-" },
+                kids.join(",")
+            )
+        }
+        if self.nodes.is_empty() {
+            String::new()
+        } else {
+            encode(self, 0)
+        }
+    }
+}
+
+/// The reduced join graph of a query: two reduced trees plus value-join edges
+/// between them (by node index).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReducedGraph {
+    /// The reduced left-side tree.
+    pub left: ReducedTree,
+    /// The reduced right-side tree.
+    pub right: ReducedTree,
+    /// Value joins as (left node index, right node index) pairs, sorted.
+    pub value_edges: Vec<(usize, usize)>,
+    /// The join operator of the originating query.
+    pub op: JoinOp,
+    /// The window of the originating query.
+    pub window: Window,
+}
+
+impl ReducedGraph {
+    /// Apply the three reduction rules to a join graph.
+    pub fn from_join_graph(graph: &JoinGraph) -> ReducedGraph {
+        let left_keep: BTreeSet<PatternNodeId> = graph.left_join_nodes().into_iter().collect();
+        let right_keep: BTreeSet<PatternNodeId> = graph.right_join_nodes().into_iter().collect();
+        let left = reduce_side(&graph.left, &left_keep);
+        let right = reduce_side(&graph.right, &right_keep);
+
+        let mut value_edges: Vec<(usize, usize)> = graph
+            .value_edges
+            .iter()
+            .map(|(l, r)| {
+                (
+                    left.index_of(*l).expect("join node kept by reduction"),
+                    right.index_of(*r).expect("join node kept by reduction"),
+                )
+            })
+            .collect();
+        value_edges.sort();
+        value_edges.dedup();
+
+        ReducedGraph {
+            left,
+            right,
+            value_edges,
+            op: graph.op,
+            window: graph.window,
+        }
+    }
+
+    /// Total node count (both sides).
+    pub fn num_nodes(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// Number of value-join edges.
+    pub fn num_value_joins(&self) -> usize {
+        self.value_edges.len()
+    }
+
+    /// The tree of one side.
+    pub fn tree(&self, side: Side) -> &ReducedTree {
+        match side {
+            Side::Left => &self.left,
+            Side::Right => &self.right,
+        }
+    }
+
+    /// The variable at a (side, node index) position.
+    pub fn variable(&self, side: Side, idx: usize) -> &str {
+        &self.tree(side).nodes[idx].variable
+    }
+
+    /// Value-join degree of a node.
+    pub fn value_degree(&self, side: Side, idx: usize) -> usize {
+        self.value_edges
+            .iter()
+            .filter(|(l, r)| match side {
+                Side::Left => *l == idx,
+                Side::Right => *r == idx,
+            })
+            .count()
+    }
+
+    /// A cheap invariant string: graphs with different invariants are
+    /// guaranteed non-isomorphic. Used to bucket templates before the exact
+    /// isomorphism test.
+    pub fn invariant(&self) -> String {
+        let mut left_deg: Vec<usize> = (0..self.left.len())
+            .map(|i| self.value_degree(Side::Left, i))
+            .collect();
+        left_deg.sort_unstable();
+        let mut right_deg: Vec<usize> = (0..self.right.len())
+            .map(|i| self.value_degree(Side::Right, i))
+            .collect();
+        right_deg.sort_unstable();
+        format!(
+            "L{}|R{}|E{}|dl{:?}|dr{:?}",
+            self.left.shape(),
+            self.right.shape(),
+            self.value_edges.len(),
+            left_deg,
+            right_deg
+        )
+    }
+
+    /// All edges of the reduced pattern of one side, as pattern-node id pairs
+    /// `(ancestor, descendant)` in the *original* pattern. This is exactly
+    /// the set of structural edges whose binding pairs the Join Processor
+    /// asks the XPath Evaluator for.
+    pub fn structural_edges(&self, side: Side) -> Vec<(PatternNodeId, PatternNodeId)> {
+        self.tree(side)
+            .edges()
+            .into_iter()
+            .map(|(p, c)| {
+                (
+                    self.tree(side).nodes[p].original,
+                    self.tree(side).nodes[c].original,
+                )
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for ReducedGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "reduced graph: {} left nodes, {} right nodes, {} value joins",
+            self.left.len(),
+            self.right.len(),
+            self.value_edges.len()
+        )?;
+        for (l, r) in &self.value_edges {
+            writeln!(
+                f,
+                "  {} = {}",
+                self.left.nodes[*l].variable, self.right.nodes[*r].variable
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Reduce one side's pattern to the nodes needed for value-join processing.
+fn reduce_side(pattern: &TreePattern, keep: &BTreeSet<PatternNodeId>) -> ReducedTree {
+    if keep.is_empty() {
+        return ReducedTree::default();
+    }
+    // Needed = every node on a path from the pattern root to a kept node.
+    let mut needed: BTreeSet<PatternNodeId> = BTreeSet::new();
+    for &k in keep {
+        let mut cur = Some(k);
+        while let Some(n) = cur {
+            needed.insert(n);
+            cur = pattern.node(n).parent();
+        }
+    }
+
+    // child lists restricted to needed nodes.
+    let children_of = |n: PatternNodeId| -> Vec<PatternNodeId> {
+        pattern
+            .node(n)
+            .children()
+            .iter()
+            .copied()
+            .filter(|c| needed.contains(c))
+            .collect()
+    };
+
+    // Rule 2 + 3: walk down from the pattern root, splicing out non-kept
+    // nodes that have exactly one needed child. The first node that is either
+    // kept or has ≥ 2 needed children becomes the reduced root.
+    let mut root = PatternNodeId::ROOT;
+    // The pattern root is always in `needed` because every kept node's
+    // ancestor chain reaches it.
+    loop {
+        let kids = children_of(root);
+        if keep.contains(&root) || kids.len() != 1 {
+            break;
+        }
+        root = kids[0];
+    }
+
+    // Build the reduced tree top-down, splicing single-child non-kept
+    // interior nodes.
+    let mut tree = ReducedTree::default();
+    let mut index_of: HashMap<PatternNodeId, usize> = HashMap::new();
+    let root_axis = pattern.node(root).axis();
+    tree.nodes.push(ReducedNode {
+        original: root,
+        variable: pattern.node(root).variable().unwrap_or("").to_owned(),
+        parent: None,
+        axis: root_axis,
+        is_join_node: keep.contains(&root),
+    });
+    index_of.insert(root, 0);
+
+    // Depth-first walk. For each reduced node, find its reduced children:
+    // descend through needed descendants, skipping (splicing) non-kept nodes
+    // with exactly one needed child.
+    let mut stack = vec![root];
+    while let Some(current) = stack.pop() {
+        let current_idx = index_of[&current];
+        for child in children_of(current) {
+            // Splice down: follow single-child non-kept chains.
+            let mut target = child;
+            let mut spliced = false;
+            loop {
+                let kids = children_of(target);
+                if keep.contains(&target) || kids.len() != 1 {
+                    break;
+                }
+                target = kids[0];
+                spliced = true;
+            }
+            let axis = if spliced || target != child {
+                Axis::Descendant
+            } else {
+                pattern.node(child).axis()
+            };
+            let idx = tree.nodes.len();
+            tree.nodes.push(ReducedNode {
+                original: target,
+                variable: pattern.node(target).variable().unwrap_or("").to_owned(),
+                parent: Some(current_idx),
+                axis,
+                is_join_node: keep.contains(&target),
+            });
+            index_of.insert(target, idx);
+            stack.push(target);
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join_graph::JoinGraph;
+    use crate::normalize::normalize_query;
+    use crate::parser::parse_query;
+
+    fn reduced(text: &str) -> ReducedGraph {
+        let q = normalize_query(&parse_query(text).unwrap()).unwrap().query;
+        ReducedGraph::from_join_graph(&JoinGraph::from_query(&q).unwrap())
+    }
+
+    const Q1: &str = "S//book->x1[.//author->x2][.//title->x3] \
+        FOLLOWED BY{x2=x5 AND x3=x6, 100} \
+        S//blog->x4[.//author->x5][.//title->x6]";
+
+    #[test]
+    fn q1_reduction_keeps_root_and_join_leaves() {
+        let g = reduced(Q1);
+        // Figure 5: var1..var3 on the left (book, author, title), var4..var6
+        // on the right.
+        assert_eq!(g.left.len(), 3);
+        assert_eq!(g.right.len(), 3);
+        assert_eq!(g.num_value_joins(), 2);
+        assert_eq!(g.num_nodes(), 6);
+        // The root of each side is the LCA (book / blog) and is not a join
+        // node; the leaves are.
+        assert!(!g.left.nodes[0].is_join_node);
+        assert!(g.left.nodes[1].is_join_node);
+        assert!(g.left.nodes[2].is_join_node);
+        assert_eq!(g.left.nodes[0].variable, "S//book");
+        assert!(g.to_string().contains("value joins"));
+    }
+
+    #[test]
+    fn irrelevant_leaves_are_removed() {
+        // The isbn and publisher leaves do not participate in value joins and
+        // must disappear from the reduced graph.
+        let text = "S//book->x1[.//author->x2][.//title->x3][.//isbn->x9][.//publisher->x10] \
+            FOLLOWED BY{x2=x5, 100} \
+            S//blog->x4[.//author->x5][.//category->x8]";
+        let g = reduced(text);
+        // Left: only the author leaf participates; after rules 1-3 the left
+        // side is just that single node.
+        assert_eq!(g.left.len(), 1);
+        assert!(g.left.nodes[0].is_join_node);
+        assert_eq!(g.left.nodes[0].variable, "S//book//author");
+        // Right: only the author leaf participates.
+        assert_eq!(g.right.len(), 1);
+        assert_eq!(g.num_value_joins(), 1);
+    }
+
+    #[test]
+    fn single_join_node_side_reduces_to_one_node() {
+        let text = "S//book->x1[.//author->x2][.//title->x3] \
+            FOLLOWED BY{x2=x5, 100} \
+            S//blog->x4[.//author->x5]";
+        let g = reduced(text);
+        assert_eq!(g.left.len(), 1);
+        assert_eq!(g.right.len(), 1);
+        assert_eq!(g.value_edges, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn intermediate_single_child_nodes_are_spliced() {
+        // 3-level structure where the intermediate `meta` node has a single
+        // relevant child: it must be spliced out, leaving root -> leaf with a
+        // descendant edge.
+        let text = "S//doc->d[.//meta->m[.//author->a]][.//title->t] \
+            FOLLOWED BY{a=a2 AND t=t2, 100} \
+            S//doc->d2[.//meta2->m2[.//author->a2]][.//title->t2]";
+        let g = reduced(text);
+        // Left: doc (root, LCA), author, title — meta spliced away.
+        assert_eq!(g.left.len(), 3);
+        let vars: Vec<&str> = g.left.nodes.iter().map(|n| n.variable.as_str()).collect();
+        assert!(vars.contains(&"S//doc"));
+        assert!(vars.iter().any(|v| v.ends_with("//author")));
+        assert!(vars.iter().any(|v| v.ends_with("//title")));
+        assert!(!vars.iter().any(|v| v.ends_with("//meta")));
+        // The spliced edge is labeled descendant.
+        let author_idx = g
+            .left
+            .nodes
+            .iter()
+            .position(|n| n.variable.ends_with("//author"))
+            .unwrap();
+        assert_eq!(g.left.nodes[author_idx].axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn lca_intermediate_nodes_are_kept() {
+        // Two join leaves under the same intermediate: the intermediate is
+        // their LCA and must be kept; the document root above it must be
+        // dropped (rule 2).
+        let text = "S//doc->d[.//sec->s[.//a->a1][.//b->b1]] \
+            FOLLOWED BY{a1=a2 AND b1=b2, 100} \
+            S//doc->e[.//a->a2][.//b->b2]";
+        let g = reduced(text);
+        // Left reduced tree: sec (root) + a + b; `doc` must not appear.
+        assert_eq!(g.left.len(), 3);
+        assert_eq!(g.left.nodes[0].variable, "S//doc//sec");
+        assert!(g.left.nodes[0].parent.is_none());
+        // Right reduced tree: doc (LCA of a2, b2) + a + b.
+        assert_eq!(g.right.len(), 3);
+        assert_eq!(g.right.nodes[0].variable, "S//doc");
+    }
+
+    #[test]
+    fn mixed_lca_structure() {
+        // Three join leaves on the left: two under one intermediate, one
+        // directly under the root => reduced tree keeps root, that
+        // intermediate, and the three leaves (5 nodes).
+        let text = "S//r->r1[.//g->g1[.//a->a1][.//b->b1]][.//c->c1] \
+            FOLLOWED BY{a1=x AND b1=y AND c1=z, 100} \
+            S//i->i1[.//x->x][.//y->y][.//z->z]";
+        let g = reduced(text);
+        assert_eq!(g.left.len(), 5);
+        assert_eq!(g.right.len(), 4);
+        // Left root has two children: the intermediate g and the leaf c.
+        let root_children = g.left.children(0);
+        assert_eq!(root_children.len(), 2);
+        // Structural edges map back to original pattern nodes.
+        let edges = g.structural_edges(Side::Left);
+        assert_eq!(edges.len(), 4);
+        let right_edges = g.structural_edges(Side::Right);
+        assert_eq!(right_edges.len(), 3);
+    }
+
+    #[test]
+    fn child_axis_preserved_for_adjacent_edges() {
+        let text = "S/rss->r[/channel->c] FOLLOWED BY{c=c2, 10} S/rss->r2[/channel->c2]";
+        let g = reduced(text);
+        // Only channel participates; sides reduce to single nodes.
+        assert_eq!(g.left.len(), 1);
+        // Make a version where the root participates too.
+        let text2 = "S/rss->r[/channel->c] FOLLOWED BY{c=c2 AND r=r2, 10} S/rss->r2[/channel->c2]";
+        let g2 = reduced(text2);
+        assert_eq!(g2.left.len(), 2);
+        // The rss->channel edge was adjacent with a child axis.
+        assert_eq!(g2.left.nodes[1].axis, Axis::Child);
+    }
+
+    #[test]
+    fn value_degree_and_invariants() {
+        let g = reduced(Q1);
+        let leaf_idx = 1;
+        assert_eq!(g.value_degree(Side::Left, leaf_idx), 1);
+        assert_eq!(g.value_degree(Side::Left, 0), 0);
+        let inv1 = g.invariant();
+        // A query with the same shape but different tags/variables has the
+        // same invariant.
+        let other = reduced(
+            "S//post->p1[.//who->w1][.//subject->s1] \
+             FOLLOWED BY{w1=w2 AND s1=s2, 5} \
+             S//comment->c1[.//who->w2][.//subject->s2]",
+        );
+        assert_eq!(inv1, other.invariant());
+        // A query with different join structure has a different invariant.
+        let fan = reduced(
+            "S//book->b[.//author->a] FOLLOWED BY{a=n AND a=d, 10} \
+             S//blog->g[.//author->n][.//description->d]",
+        );
+        assert_ne!(inv1, fan.invariant());
+    }
+
+    #[test]
+    fn duplicate_value_edges_collapse() {
+        // After canonical renaming, a=x and a=x listed twice collapse to one
+        // edge (normalize dedups predicates; from_join_graph dedups edges).
+        let text = "S//book->b[.//author->a] FOLLOWED BY{a=x, 10} S//blog->g[.//author->x]";
+        let g = reduced(text);
+        assert_eq!(g.num_value_joins(), 1);
+    }
+
+    #[test]
+    fn empty_keep_set_gives_empty_tree() {
+        let pattern = mmqjp_xpath::parse_pattern("S//a[.//b]").unwrap();
+        let t = reduce_side(&pattern, &BTreeSet::new());
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.shape(), "");
+    }
+}

@@ -1,0 +1,294 @@
+//! Query-insertion rewrites (Section 2 / Section 3 assumptions of the paper).
+//!
+//! The paper assumes, without loss of generality, that registered queries are
+//! in **value-join normal form** and that **variables with identical
+//! definitions carry identical names**. Both properties are established here
+//! at insertion time:
+//!
+//! * every pattern node receives a variable; nodes the user left anonymous
+//!   get a canonical, definition-derived name;
+//! * every user-chosen variable name is replaced by the canonical
+//!   definition-derived name of the node it binds, so two queries (or the two
+//!   blocks of one self-join query) that bind "the same" node of the document
+//!   schema share witness tuples in the Join Processor;
+//! * value-join predicates are rewritten to reference the canonical names and
+//!   validated: the left variable must be bound in the left block, the right
+//!   variable in the right block (this is exactly value-join normal form for
+//!   the supported fragment).
+
+use crate::ast::{FromClause, QueryBlock, ValueJoin, XsclQuery};
+use crate::error::{XsclError, XsclResult};
+use mmqjp_xpath::TreePattern;
+use std::collections::HashMap;
+
+/// A normalized query plus the mapping from the user's original variable
+/// names to the canonical names now used inside the query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalizedQuery {
+    /// The rewritten query.
+    pub query: XsclQuery,
+    /// Mapping original variable name → canonical name for the left block.
+    pub left_renames: HashMap<String, String>,
+    /// Mapping original variable name → canonical name for the right block.
+    pub right_renames: HashMap<String, String>,
+}
+
+/// Normalize a query: canonical variable names everywhere and validated
+/// value-join predicates. Single-block queries are normalized too (their
+/// pattern variables are canonicalized); they simply have no predicates.
+pub fn normalize_query(query: &XsclQuery) -> XsclResult<NormalizedQuery> {
+    match &query.from {
+        FromClause::Single(block) => {
+            let (pattern, renames) = canonicalize_pattern(&block.pattern);
+            let mut q = query.clone();
+            q.from = FromClause::Single(QueryBlock::new(pattern));
+            Ok(NormalizedQuery {
+                query: q,
+                left_renames: renames,
+                right_renames: HashMap::new(),
+            })
+        }
+        FromClause::Join {
+            left,
+            op,
+            predicates,
+            window,
+            right,
+        } => {
+            if predicates.is_empty() {
+                return Err(XsclError::NoValueJoins);
+            }
+            let (left_pattern, left_renames) = canonicalize_pattern(&left.pattern);
+            let (right_pattern, right_renames) = canonicalize_pattern(&right.pattern);
+
+            let mut new_predicates = Vec::with_capacity(predicates.len());
+            for p in predicates {
+                let l = resolve(&left_renames, &p.left_var).ok_or_else(|| {
+                    XsclError::UnboundVariable {
+                        variable: p.left_var.clone(),
+                        side: "left",
+                    }
+                })?;
+                let r = resolve(&right_renames, &p.right_var).ok_or_else(|| {
+                    XsclError::UnboundVariable {
+                        variable: p.right_var.clone(),
+                        side: "right",
+                    }
+                })?;
+                new_predicates.push(ValueJoin::new(l, r));
+            }
+            // Drop duplicate predicates (they can arise after canonical
+            // renaming when the user equated two aliases of the same node).
+            new_predicates.sort_by(|a, b| {
+                (a.left_var.as_str(), a.right_var.as_str())
+                    .cmp(&(b.left_var.as_str(), b.right_var.as_str()))
+            });
+            new_predicates.dedup();
+
+            let mut q = query.clone();
+            q.from = FromClause::Join {
+                left: QueryBlock::new(left_pattern),
+                op: *op,
+                predicates: new_predicates,
+                window: *window,
+                right: QueryBlock::new(right_pattern),
+            };
+            Ok(NormalizedQuery {
+                query: q,
+                left_renames,
+                right_renames,
+            })
+        }
+    }
+}
+
+/// Replace every variable in the pattern with the canonical name derived from
+/// its definition path, and assign canonical names to anonymous nodes.
+/// Returns the rewritten pattern and the original→canonical rename map.
+fn canonicalize_pattern(pattern: &TreePattern) -> (TreePattern, HashMap<String, String>) {
+    let mut renames = HashMap::new();
+    let mut out = pattern.clone();
+    // Collect (node, original name, canonical name) first to avoid borrow
+    // conflicts while rewriting.
+    let mut updates = Vec::new();
+    for id in pattern.node_ids() {
+        let canonical = canonical_name(pattern, id);
+        if let Some(orig) = pattern.node(id).variable() {
+            renames.insert(orig.to_owned(), canonical.clone());
+        }
+        updates.push((id, canonical));
+    }
+    for (id, canonical) in updates {
+        // bind_variable refuses duplicates across *different* nodes; two
+        // pattern nodes with the same definition path inside one pattern can
+        // only occur for sibling steps with identical sub-structure, which
+        // denote the same match set — collapse them onto the same name by
+        // suffixing an ordinal.
+        let mut name = canonical;
+        let mut ordinal = 1usize;
+        loop {
+            match out.bind_variable(id, name.clone()) {
+                Ok(()) => break,
+                Err(_) => {
+                    ordinal += 1;
+                    name = format!("{}#{}", out.definition_path(id), ordinal);
+                }
+            }
+        }
+    }
+    (out, renames)
+}
+
+/// The canonical variable name of a pattern node: its definition path.
+fn canonical_name(pattern: &TreePattern, id: mmqjp_xpath::PatternNodeId) -> String {
+    pattern.definition_path(id)
+}
+
+fn resolve(renames: &HashMap<String, String>, var: &str) -> Option<String> {
+    renames.get(var).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{JoinOp, Window};
+    use crate::parser::parse_query;
+
+    const Q1: &str = "S//book->x1[.//author->x2][.//title->x3] \
+        FOLLOWED BY{x2=x5 AND x3=x6, 100} \
+        S//blog->x4[.//author->x5][.//title->x6]";
+    const Q2: &str = "S//book->x1[.//author->x2][.//category->x7] \
+        FOLLOWED BY{x2=x5 AND x7=x8, 200} \
+        S//blog->x4[.//author->x5][.//category->x8]";
+    const Q3: &str = "S//blog->x4[.//author->x5][.//title->x6] \
+        FOLLOWED BY{x5=x5' AND x6=x6', 300} \
+        S//blog->x4'[.//author->x5'][.//title->x6']";
+
+    #[test]
+    fn canonical_names_are_definition_paths() {
+        let q = parse_query(Q1).unwrap();
+        let n = normalize_query(&q).unwrap();
+        let (l, r) = n.query.blocks().unwrap();
+        assert!(l.pattern.binds("S//book"));
+        assert!(l.pattern.binds("S//book//author"));
+        assert!(l.pattern.binds("S//book//title"));
+        assert!(r.pattern.binds("S//blog//author"));
+        assert_eq!(n.left_renames.get("x2").unwrap(), "S//book//author");
+        assert_eq!(n.right_renames.get("x6").unwrap(), "S//blog//title");
+        // Predicates are rewritten to canonical names.
+        assert_eq!(
+            n.query.predicates()[0],
+            ValueJoin::new("S//book//author", "S//blog//author")
+        );
+    }
+
+    #[test]
+    fn same_definition_same_name_across_queries() {
+        // Q1 and Q2 both bind S//book//author (as x2) and S//blog//author
+        // (as x5); after normalization the names coincide.
+        let n1 = normalize_query(&parse_query(Q1).unwrap()).unwrap();
+        let n2 = normalize_query(&parse_query(Q2).unwrap()).unwrap();
+        assert_eq!(
+            n1.left_renames.get("x2").unwrap(),
+            n2.left_renames.get("x2").unwrap()
+        );
+        assert_eq!(
+            n1.right_renames.get("x5").unwrap(),
+            n2.right_renames.get("x5").unwrap()
+        );
+    }
+
+    #[test]
+    fn self_join_blocks_get_identical_names() {
+        // Q3 joins the blog stream with itself; after normalization x5 and
+        // x5' become the same canonical name (they have the same definition).
+        let n = normalize_query(&parse_query(Q3).unwrap()).unwrap();
+        assert_eq!(
+            n.left_renames.get("x5").unwrap(),
+            n.right_renames.get("x5'").unwrap()
+        );
+        let p = &n.query.predicates()[0];
+        assert_eq!(p.left_var, p.right_var);
+        // Window and operator survive normalization.
+        assert_eq!(n.query.window(), Some(Window::Time(300)));
+        assert_eq!(n.query.op(), Some(JoinOp::FollowedBy));
+    }
+
+    #[test]
+    fn anonymous_nodes_receive_variables() {
+        let q = parse_query(
+            "S//book[.//author->a] FOLLOWED BY{a=b, 10} S//blog[.//author->b]",
+        )
+        .unwrap();
+        let n = normalize_query(&q).unwrap();
+        let (l, _) = n.query.blocks().unwrap();
+        // The anonymous //book root now carries its canonical name.
+        assert!(l.pattern.binds("S//book"));
+    }
+
+    #[test]
+    fn unbound_predicate_variable_is_rejected() {
+        let q = parse_query("S//book->x1 FOLLOWED BY{x9=x1, 10} S//blog->x2").unwrap();
+        assert!(matches!(
+            normalize_query(&q),
+            Err(XsclError::UnboundVariable { side: "left", .. })
+        ));
+        let q = parse_query("S//book->x1 FOLLOWED BY{x1=zz, 10} S//blog->x2").unwrap();
+        assert!(matches!(
+            normalize_query(&q),
+            Err(XsclError::UnboundVariable { side: "right", .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_predicates_are_deduplicated() {
+        let q = parse_query(
+            "S//book->x1[.//author->x2] FOLLOWED BY{x2=x5 AND x2=x5, 10} S//blog->x4[.//author->x5]",
+        )
+        .unwrap();
+        let n = normalize_query(&q).unwrap();
+        assert_eq!(n.query.predicates().len(), 1);
+    }
+
+    #[test]
+    fn single_block_query_is_normalized() {
+        let q = parse_query("S//blog[.//author->a]").unwrap();
+        let n = normalize_query(&q).unwrap();
+        match &n.query.from {
+            FromClause::Single(b) => {
+                assert!(b.pattern.binds("S//blog"));
+                assert!(b.pattern.binds("S//blog//author"));
+            }
+            _ => panic!("expected single block"),
+        }
+        assert!(n.right_renames.is_empty());
+    }
+
+    #[test]
+    fn join_without_predicates_is_rejected() {
+        // Construct directly (the parser already rejects this).
+        let q = parse_query(Q1).unwrap();
+        let mut q2 = q.clone();
+        if let FromClause::Join { predicates, .. } = &mut q2.from {
+            predicates.clear();
+        }
+        assert!(matches!(normalize_query(&q2), Err(XsclError::NoValueJoins)));
+    }
+
+    #[test]
+    fn sibling_steps_with_identical_definitions_get_distinct_names() {
+        // Two sibling //author predicates under the same //book have the same
+        // definition path; normalization must still produce a valid pattern
+        // (distinct variable per node).
+        let q = parse_query(
+            "S//book[.//author->a][.//author->b] FOLLOWED BY{a=c AND b=c, 10} S//blog[.//author->c]",
+        )
+        .unwrap();
+        let n = normalize_query(&q).unwrap();
+        let (l, _) = n.query.blocks().unwrap();
+        let vars: Vec<&str> = l.pattern.variables().iter().map(|(v, _)| *v).collect();
+        assert_eq!(vars.len(), 3);
+        let unique: std::collections::HashSet<&&str> = vars.iter().collect();
+        assert_eq!(unique.len(), 3);
+    }
+}

@@ -1,0 +1,113 @@
+//! The introduction's motivating scenario: monitoring book announcements and
+//! the blogosphere's reaction to them.
+//!
+//! A small stream of book announcements and blog articles flows through the
+//! engine while several subscriptions watch for correlated events:
+//!
+//! * authors blogging about their own new book (same author + same title);
+//! * follow-up posts in the same category as a recent announcement;
+//! * blog cross-postings (same author + title appearing twice).
+//!
+//! Run with `cargo run -p mmqjp-examples --bin blog_book_announcements`.
+
+use mmqjp_core::{EngineConfig, MmqjpEngine};
+use mmqjp_examples::print_match;
+use mmqjp_xml::{rss, Document, Timestamp};
+
+fn stream() -> Vec<Document> {
+    let mut docs = vec![
+        rss::book_announcement(
+            &["Danny Ayers", "Andrew Watt"],
+            "Beginning RSS and Atom Programming",
+            &["Scripting & Programming", "Web Site Development"],
+            "Wrox",
+            "0764579169",
+        ),
+        rss::book_announcement(
+            &["Leslie Lamport"],
+            "Specifying Systems",
+            &["Formal Methods"],
+            "Addison-Wesley",
+            "032114306X",
+        ),
+        rss::blog_article(
+            "Danny Ayers",
+            "http://dannyayers.com/topics/books/rss-book",
+            "Beginning RSS and Atom Programming",
+            "Scripting & Programming",
+            "Just heard the book is out!",
+        ),
+        rss::blog_article(
+            "Random Reader",
+            "http://planet.example.org/feeds/reader",
+            "Weekend reading list",
+            "Formal Methods",
+            "Picked up Specifying Systems after the announcement.",
+        ),
+        rss::blog_article(
+            "Danny Ayers",
+            "http://mirror.example.org/syndicated",
+            "Beginning RSS and Atom Programming",
+            "Book Announcement",
+            "Cross-posted from my main blog.",
+        ),
+    ];
+    for (i, d) in docs.iter_mut().enumerate() {
+        d.set_timestamp(Timestamp(10 * (i as u64 + 1)));
+    }
+    docs
+}
+
+fn main() {
+    let mut engine = MmqjpEngine::new(EngineConfig::mmqjp_view_mat());
+
+    let subscriptions = [
+        (
+            "author blogs about their own book",
+            "S//book->b[.//author->a][.//title->t] \
+             FOLLOWED BY{a=a2 AND t=t2, 100} \
+             S//blog->g[.//author->a2][.//title->t2]",
+        ),
+        (
+            "follow-up post in an announced category",
+            "S//book->b[.//category->c] \
+             FOLLOWED BY{c=c2, 100} \
+             S//blog->g[.//category->c2]",
+        ),
+        (
+            "blog cross-posting",
+            "S//blog->g1[.//author->a1][.//title->t1] \
+             FOLLOWED BY{a1=a2 AND t1=t2, 100} \
+             S//blog->g2[.//author->a2][.//title->t2]",
+        ),
+    ];
+    for (label, text) in subscriptions {
+        let id = engine.register_query_text(text).expect("query parses");
+        println!("{id}: {label}");
+    }
+    println!(
+        "\n{} subscriptions compiled into {} query template(s)\n",
+        engine.num_queries(),
+        engine.num_templates()
+    );
+
+    for doc in stream() {
+        let kind = doc.root().tag().to_owned();
+        let title = rss::leaf_value(&doc, "title");
+        println!("event: <{kind}> \"{title}\"");
+        let matches = engine.process_document(doc).expect("processing succeeds");
+        if matches.is_empty() {
+            println!("  no subscriptions fired");
+        }
+        for m in &matches {
+            print_match(m);
+        }
+        println!();
+    }
+
+    let stats = engine.stats();
+    println!(
+        "processed {} events, {} notifications, join state: {} Rbin / {} Rdoc tuples",
+        stats.documents_processed, stats.results_emitted, stats.rbin_tuples, stats.rdoc_tuples
+    );
+}

@@ -1,0 +1,38 @@
+//! Shared helpers for the example binaries.
+//!
+//! The examples are runnable with, e.g.:
+//!
+//! ```text
+//! cargo run -p mmqjp-examples --bin quickstart
+//! cargo run -p mmqjp-examples --bin blog_book_announcements
+//! cargo run -p mmqjp-examples --bin rss_monitoring -- 5000 2000
+//! cargo run -p mmqjp-examples --bin template_explorer -- 10000
+//! ```
+
+use mmqjp_core::MatchOutput;
+use mmqjp_xml::serialize_pretty;
+
+/// Pretty-print a match for the console.
+pub fn print_match(m: &MatchOutput) {
+    println!(
+        "  {} matched: left doc {} / right doc {}",
+        m.query, m.left_doc, m.right_doc
+    );
+    for b in &m.bindings {
+        println!("    {b}");
+    }
+    if let Some(doc) = &m.document {
+        println!("    output document:");
+        for line in serialize_pretty(doc).lines() {
+            println!("      {line}");
+        }
+    }
+}
+
+/// Parse a positional numeric argument with a default.
+pub fn arg_or(index: usize, default: usize) -> usize {
+    std::env::args()
+        .nth(index)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}

@@ -1,0 +1,78 @@
+//! Quickstart: register the paper's three example queries (Table 1 / Table 2)
+//! and run the Section 4.4.1 walkthrough — a book announcement followed by a
+//! blog article by one of its authors.
+//!
+//! Run with `cargo run -p mmqjp-examples --bin quickstart`.
+
+use mmqjp_core::{EngineConfig, MmqjpEngine};
+use mmqjp_examples::print_match;
+use mmqjp_xml::rss;
+use mmqjp_xml::Timestamp;
+
+fn main() {
+    let mut engine = MmqjpEngine::new(EngineConfig::mmqjp_view_mat());
+
+    // Q1: a book announcement followed by a blog article from one of its
+    // authors with the same title as the book.
+    let q1 = "S//book->x1[.//author->x2][.//title->x3] \
+              FOLLOWED BY{x2=x5 AND x3=x6, 1000} \
+              S//blog->x4[.//author->x5][.//title->x6]";
+    // Q2: ... on the same category as the book.
+    let q2 = "S//book->x1[.//author->x2][.//category->x7] \
+              FOLLOWED BY{x2=x5 AND x7=x8, 1000} \
+              S//blog->x4[.//author->x5][.//category->x8]";
+    // Q3: a pair of blog postings by the same author with the same title.
+    let q3 = "S//blog->x4[.//author->x5][.//title->x6] \
+              FOLLOWED BY{x5=x5' AND x6=x6', 1000} \
+              S//blog->x4'[.//author->x5'][.//title->x6']";
+
+    for (name, text) in [("Q1", q1), ("Q2", q2), ("Q3", q3)] {
+        let id = engine.register_query_text(text).expect("query parses");
+        println!("registered {name} as {id}");
+    }
+    println!(
+        "{} queries share {} query template(s) over {} distinct tree patterns\n",
+        engine.num_queries(),
+        engine.num_templates(),
+        engine.num_patterns()
+    );
+
+    // Document d1 (Figure 1): the book announcement.
+    let d1 = rss::book_announcement(
+        &["Danny Ayers", "Andrew Watt"],
+        "Beginning RSS and Atom Programming",
+        &["Scripting & Programming", "Web Site Development"],
+        "Wrox",
+        "0764579169",
+    )
+    .with_timestamp(Timestamp(10));
+
+    // Document d2 (Figure 2): the blog article by Danny Ayers about the book.
+    let d2 = rss::blog_article(
+        "Danny Ayers",
+        "http://dannyayers.com/topics/books/rss-book",
+        "Beginning RSS and Atom Programming",
+        "Scripting & Programming",
+        "Just heard ...",
+    )
+    .with_timestamp(Timestamp(25));
+
+    println!("processing d1 (book announcement) ...");
+    let out = engine.process_document(d1).expect("processing succeeds");
+    println!("  {} match(es)\n", out.len());
+
+    println!("processing d2 (blog article) ...");
+    let out = engine.process_document(d2).expect("processing succeeds");
+    println!("  {} match(es)", out.len());
+    for m in &out {
+        print_match(m);
+    }
+
+    let stats = engine.stats();
+    println!(
+        "\nprocessed {} documents, emitted {} results, total join time {:?}",
+        stats.documents_processed,
+        stats.results_emitted,
+        stats.timings.stage2_join_time()
+    );
+}

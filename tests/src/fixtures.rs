@@ -1,0 +1,105 @@
+//! Shared fixtures: the paper's running example (Figures 1–2, Tables 1–2)
+//! and helpers for building engines in each processing mode.
+
+use mmqjp_core::{EngineConfig, MatchOutput, MmqjpEngine, ProcessingMode};
+use mmqjp_xml::{rss, Document, Timestamp};
+
+/// Q1 of Table 2: book announcement followed by a blog article from one of
+/// its authors with the same title.
+pub const Q1: &str = "S//book->x1[.//author->x2][.//title->x3] \
+    FOLLOWED BY{x2=x5 AND x3=x6, 1000} \
+    S//blog->x4[.//author->x5][.//title->x6]";
+
+/// Q2 of Table 2: same author, same category.
+pub const Q2: &str = "S//book->x1[.//author->x2][.//category->x7] \
+    FOLLOWED BY{x2=x5 AND x7=x8, 1000} \
+    S//blog->x4[.//author->x5][.//category->x8]";
+
+/// Q3 of Table 2: a pair of blog postings by the same author with the same
+/// title.
+pub const Q3: &str = "S//blog->x4[.//author->x5][.//title->x6] \
+    FOLLOWED BY{x5=x5' AND x6=x6', 1000} \
+    S//blog->x4'[.//author->x5'][.//title->x6']";
+
+/// Document d1 of Figure 1 (the book announcement), timestamp 10.
+pub fn d1() -> Document {
+    rss::book_announcement(
+        &["Danny Ayers", "Andrew Watt"],
+        "Beginning RSS and Atom Programming",
+        &["Scripting & Programming", "Web Site Development"],
+        "Wrox",
+        "0764579169",
+    )
+    .with_timestamp(Timestamp(10))
+}
+
+/// Document d2 of Figure 2 (the blog article), timestamp 25. The category is
+/// chosen to also satisfy Q2, as in the paper's walkthrough (Table 4(f)).
+pub fn d2() -> Document {
+    rss::blog_article(
+        "Danny Ayers",
+        "http://dannyayers.com/topics/books/rss-book",
+        "Beginning RSS and Atom Programming",
+        "Scripting & Programming",
+        "Just heard ...",
+    )
+    .with_timestamp(Timestamp(25))
+}
+
+/// All three processing modes.
+pub fn all_modes() -> [ProcessingMode; 3] {
+    [
+        ProcessingMode::Sequential,
+        ProcessingMode::Mmqjp,
+        ProcessingMode::MmqjpViewMat,
+    ]
+}
+
+/// Build an engine in the given mode with the given queries registered.
+pub fn engine_with_queries(mode: ProcessingMode, queries: &[&str]) -> MmqjpEngine {
+    let config = EngineConfig {
+        mode,
+        ..EngineConfig::default()
+    };
+    let mut engine = MmqjpEngine::new(config);
+    for q in queries {
+        engine
+            .register_query_text(q)
+            .unwrap_or_else(|e| panic!("query {q:?} failed to register: {e}"));
+    }
+    engine
+}
+
+/// Run a stream of documents through an engine, collecting all matches.
+pub fn run_stream(engine: &mut MmqjpEngine, docs: Vec<Document>) -> Vec<MatchOutput> {
+    let mut out = Vec::new();
+    for doc in docs {
+        out.extend(engine.process_document(doc).expect("processing succeeds"));
+    }
+    out
+}
+
+/// A comparable key for a match (query, left doc, right doc, sorted
+/// bindings). Output documents are excluded: Sequential and MMQJP construct
+/// identical documents, but comparing them is redundant given the bindings.
+pub fn match_key(m: &MatchOutput) -> (u64, u64, u64, Vec<(String, u64, u32)>) {
+    let mut bindings: Vec<(String, u64, u32)> = m
+        .bindings
+        .iter()
+        .map(|b| (b.variable.clone(), b.doc.raw(), b.node.raw()))
+        .collect();
+    bindings.sort();
+    (
+        m.query.raw(),
+        m.left_doc.raw(),
+        m.right_doc.raw(),
+        bindings,
+    )
+}
+
+/// Sorted match keys of a match list.
+pub fn match_keys(matches: &[MatchOutput]) -> Vec<(u64, u64, u64, Vec<(String, u64, u32)>)> {
+    let mut keys: Vec<_> = matches.iter().map(match_key).collect();
+    keys.sort();
+    keys
+}

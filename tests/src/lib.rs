@@ -1,0 +1,10 @@
+//! Shared helpers for the cross-crate integration test suite.
+//!
+//! The actual integration tests live under `tests/tests/`. This small library
+//! crate exists so the workspace member has a compilation unit and so helpers
+//! (document fixtures from the paper's Figures 1 and 2, common engine
+//! configurations) can be shared between integration test binaries.
+
+pub mod fixtures;
+
+pub use fixtures::*;

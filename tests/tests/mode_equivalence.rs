@@ -1,0 +1,214 @@
+//! The central correctness property of the reproduction: the three Stage-2
+//! strategies (Sequential, MMQJP, MMQJP with view materialization) produce
+//! exactly the same matches on the same workload — template sharing and view
+//! materialization are pure optimizations.
+
+use mmqjp_core::{EngineConfig, MmqjpEngine, ProcessingMode};
+use mmqjp_integration_tests::{all_modes, match_keys, run_stream};
+use mmqjp_workload::{
+    ComplexSchemaWorkload, FlatSchemaWorkload, RssQueryGenerator, RssStreamConfig,
+    RssStreamGenerator,
+};
+use mmqjp_xml::{Document, Timestamp};
+use mmqjp_xscl::XsclQuery;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Run the same queries and documents through every mode and assert the match
+/// sets coincide. Returns the number of matches (for sanity assertions).
+fn assert_modes_agree(queries: &[XsclQuery], docs: &[Document]) -> usize {
+    let mut reference: Option<Vec<_>> = None;
+    let mut count = 0;
+    for mode in all_modes() {
+        let config = EngineConfig {
+            mode,
+            ..EngineConfig::default()
+        }
+        .with_retain_documents(false);
+        let mut engine = MmqjpEngine::new(config);
+        for q in queries {
+            engine.register_query(q.clone()).expect("query registers");
+        }
+        let matches = run_stream(&mut engine, docs.to_vec());
+        let keys = match_keys(&matches);
+        count = keys.len();
+        match &reference {
+            None => reference = Some(keys),
+            Some(r) => assert_eq!(
+                r, &keys,
+                "mode {mode:?} disagrees with {:?}",
+                ProcessingMode::Sequential
+            ),
+        }
+    }
+    count
+}
+
+/// A small document stream over the flat schema: several documents whose
+/// leaf values overlap pairwise so joins fire between different positions.
+fn flat_stream(workload: &FlatSchemaWorkload, docs: usize) -> Vec<Document> {
+    (0..docs)
+        .map(|i| {
+            let mut d = workload.document(10 * (i as u64 + 1));
+            // Rotate one leaf value so not every document matches every other
+            // document on every leaf.
+            let leaf = d.first_with_tag("leaf0").unwrap();
+            d.set_text(leaf, format!("value-{}", i % 3));
+            d
+        })
+        .collect()
+}
+
+#[test]
+fn modes_agree_on_flat_schema_workload() {
+    let workload = FlatSchemaWorkload::new(6, 0.8);
+    let mut rng = StdRng::seed_from_u64(101);
+    let queries = workload.generate_queries(150, &mut rng);
+    let docs = flat_stream(&workload, 6);
+    let matches = assert_modes_agree(&queries, &docs);
+    assert!(matches > 0, "the workload must actually produce matches");
+}
+
+#[test]
+fn modes_agree_on_complex_schema_workload() {
+    let workload = ComplexSchemaWorkload::new(3, 3, 0.5);
+    let mut rng = StdRng::seed_from_u64(202);
+    let queries = workload.generate_queries(120, &mut rng);
+    let docs: Vec<Document> = (0..5).map(|i| workload.document(5 * (i + 1))).collect();
+    let matches = assert_modes_agree(&queries, &docs);
+    assert!(matches > 0);
+}
+
+#[test]
+fn modes_agree_on_rss_stream() {
+    let generator = RssQueryGenerator::new(0.8);
+    let mut rng = StdRng::seed_from_u64(303);
+    let queries = generator.generate_queries(100, &mut rng);
+    let docs = RssStreamGenerator::new(RssStreamConfig {
+        items: 120,
+        channels: 15,
+        title_vocabulary: 25,
+        description_vocabulary: 40,
+        ..RssStreamConfig::default()
+    })
+    .documents();
+    let matches = assert_modes_agree(&queries, &docs);
+    assert!(matches > 0);
+}
+
+#[test]
+fn modes_agree_with_finite_windows() {
+    // Finite windows exercise the temporal filter of Algorithm 3.
+    let generator = RssQueryGenerator::new(0.8).with_window(mmqjp_xscl::Window::Time(7));
+    let mut rng = StdRng::seed_from_u64(404);
+    let queries = generator.generate_queries(80, &mut rng);
+    let docs = RssStreamGenerator::new(RssStreamConfig {
+        items: 80,
+        channels: 8,
+        title_vocabulary: 10,
+        description_vocabulary: 15,
+        ..RssStreamConfig::default()
+    })
+    .documents();
+    assert_modes_agree(&queries, &docs);
+}
+
+#[test]
+fn view_cache_capacity_does_not_change_results() {
+    // A tiny LRU view cache forces constant eviction and recomputation; the
+    // results must not change.
+    let workload = FlatSchemaWorkload::new(5, 0.8);
+    let mut rng = StdRng::seed_from_u64(505);
+    let queries = workload.generate_queries(100, &mut rng);
+    let docs = flat_stream(&workload, 8);
+
+    let run = |capacity: Option<usize>| {
+        let mut engine = MmqjpEngine::new(
+            EngineConfig::mmqjp_view_mat()
+                .with_view_cache_capacity(capacity)
+                .with_retain_documents(false),
+        );
+        for q in &queries {
+            engine.register_query(q.clone()).unwrap();
+        }
+        match_keys(&run_stream(&mut engine, docs.clone()))
+    };
+    let unbounded = run(None);
+    let tiny = run(Some(2));
+    assert_eq!(unbounded, tiny);
+    assert!(!unbounded.is_empty());
+}
+
+#[test]
+fn batched_processing_agrees_across_modes() {
+    // process_batch trades intra-batch matches for throughput; all modes must
+    // make the same trade and agree with each other.
+    let generator = RssQueryGenerator::new(0.8);
+    let mut rng = StdRng::seed_from_u64(606);
+    let queries = generator.generate_queries(60, &mut rng);
+    let docs = RssStreamGenerator::new(RssStreamConfig {
+        items: 90,
+        channels: 9,
+        title_vocabulary: 12,
+        description_vocabulary: 20,
+        ..RssStreamConfig::default()
+    })
+    .documents();
+
+    let mut reference: Option<Vec<_>> = None;
+    for mode in all_modes() {
+        let config = EngineConfig {
+            mode,
+            ..EngineConfig::default()
+        }
+        .with_retain_documents(false);
+        let mut engine = MmqjpEngine::new(config);
+        for q in &queries {
+            engine.register_query(q.clone()).unwrap();
+        }
+        let mut matches = Vec::new();
+        for chunk in docs.chunks(30) {
+            matches.extend(engine.process_batch(chunk.to_vec()).unwrap());
+        }
+        let keys = match_keys(&matches);
+        match &reference {
+            None => reference = Some(keys),
+            Some(r) => assert_eq!(r, &keys, "mode {mode:?} disagrees"),
+        }
+    }
+}
+
+#[test]
+fn single_document_batches_equal_per_document_processing() {
+    let workload = FlatSchemaWorkload::new(4, 0.8);
+    let mut rng = StdRng::seed_from_u64(707);
+    let queries = workload.generate_queries(60, &mut rng);
+    let docs = flat_stream(&workload, 5);
+
+    let mut per_doc = MmqjpEngine::new(EngineConfig::mmqjp().with_retain_documents(false));
+    let mut batched = MmqjpEngine::new(EngineConfig::mmqjp().with_retain_documents(false));
+    for q in &queries {
+        per_doc.register_query(q.clone()).unwrap();
+        batched.register_query(q.clone()).unwrap();
+    }
+    let a = match_keys(&run_stream(&mut per_doc, docs.clone()));
+    let mut b_matches = Vec::new();
+    for d in docs {
+        b_matches.extend(batched.process_batch(vec![d]).unwrap());
+    }
+    let b = match_keys(&b_matches);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn timestamps_default_to_arrival_order() {
+    // Documents without explicit timestamps get sequence-number timestamps,
+    // so FOLLOWED BY still behaves deterministically.
+    let workload = FlatSchemaWorkload::new(4, 0.8);
+    let mut rng = StdRng::seed_from_u64(808);
+    let queries = workload.generate_queries(40, &mut rng);
+    let docs: Vec<Document> = (0..4)
+        .map(|_| workload.document(0).with_timestamp(Timestamp(0)))
+        .collect();
+    assert_modes_agree(&queries, &docs);
+}

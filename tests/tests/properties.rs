@@ -1,0 +1,309 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! engine's end-to-end invariants.
+
+use mmqjp_core::{EngineConfig, MmqjpEngine, ProcessingMode};
+use mmqjp_integration_tests::{match_keys, run_stream};
+use mmqjp_relational::{ops, Relation, Schema, Value};
+use mmqjp_xml::{parse_document, serialize, Document, DocumentBuilder, Timestamp};
+use mmqjp_xscl::{
+    normalize_query, parse_query, JoinGraph, ReducedGraph, TemplateCatalog, ValueJoin,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// A random flat document: a root with up to 8 leaves whose tags and values
+/// are drawn from small vocabularies (so that joins can fire).
+fn flat_document_strategy() -> impl Strategy<Value = Document> {
+    (
+        prop::collection::vec((0usize..6, 0usize..5), 1..8),
+        1u64..1000,
+    )
+        .prop_map(|(leaves, ts)| {
+            let mut b = DocumentBuilder::new("item");
+            b.timestamp(Timestamp(ts));
+            for (tag, value) in leaves {
+                b.child_text(format!("f{tag}"), format!("v{value}"));
+            }
+            b.finish()
+        })
+}
+
+/// A random join query over the flat vocabulary: between 1 and 3 value joins
+/// pairing random fields.
+fn flat_query_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec((0usize..6, 0usize..6), 1..4).prop_map(|pairs| {
+        let mut left_preds = Vec::new();
+        let mut right_preds = Vec::new();
+        let mut joins = Vec::new();
+        for (i, (lf, rf)) in pairs.iter().enumerate() {
+            left_preds.push(format!("[.//f{lf}->l{i}]"));
+            right_preds.push(format!("[.//f{rf}->r{i}]"));
+            joins.push(format!("l{i}=r{i}"));
+        }
+        format!(
+            "S//item->lr{} FOLLOWED BY{{{}, 1000}} S//item->rr{}",
+            left_preds.join(""),
+            joins.join(" AND "),
+            right_preds.join("")
+        )
+    })
+}
+
+// ---------------------------------------------------------------------------
+// XML layer
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xml_serialize_parse_roundtrip(doc in flat_document_strategy()) {
+        let xml = serialize(&doc);
+        let parsed = parse_document(&xml).unwrap();
+        prop_assert_eq!(parsed.len(), doc.len());
+        for id in doc.node_ids() {
+            prop_assert_eq!(parsed.node(id).tag(), doc.node(id).tag());
+            prop_assert_eq!(parsed.string_value(id), doc.string_value(id));
+        }
+        parsed.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn document_preorder_invariants(doc in flat_document_strategy()) {
+        doc.check_invariants().unwrap();
+        // Every non-root node's parent has a smaller pre-order id.
+        for node in doc.nodes() {
+            if let Some(p) = node.parent() {
+                prop_assert!(p.raw() < node.id().raw());
+            }
+        }
+        // string_value of the root contains every leaf's value.
+        let root_value = doc.string_value(mmqjp_xml::NodeId::ROOT);
+        for leaf in doc.leaves() {
+            prop_assert!(root_value.contains(&doc.string_value(leaf)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Relational layer
+// ---------------------------------------------------------------------------
+
+fn small_relation(rows: Vec<(i64, i64)>) -> Relation {
+    let mut r = Relation::new(Schema::new(["a", "b"]));
+    for (a, b) in rows {
+        r.push_values(vec![Value::Int(a), Value::Int(b)]).unwrap();
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hash_join_matches_nested_loop(
+        left in prop::collection::vec((0i64..5, 0i64..5), 0..12),
+        right in prop::collection::vec((0i64..5, 0i64..5), 0..12),
+    ) {
+        let l = small_relation(left.clone());
+        let r = small_relation(right.clone());
+        let joined = ops::hash_join(&l, &r, &["b"], &["a"]).unwrap();
+        // Reference: nested loops.
+        let mut expected = 0usize;
+        for (_, lb) in &left {
+            for (ra, _) in &right {
+                if lb == ra {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(joined.len(), expected);
+    }
+
+    #[test]
+    fn semi_and_anti_join_partition_the_left_side(
+        left in prop::collection::vec((0i64..5, 0i64..5), 0..12),
+        right in prop::collection::vec((0i64..5, 0i64..5), 0..12),
+    ) {
+        let l = small_relation(left);
+        let r = small_relation(right);
+        let semi = ops::semi_join(&l, &r, &["b"], &["a"]).unwrap();
+        let anti = ops::anti_join(&l, &r, &["b"], &["a"]).unwrap();
+        prop_assert_eq!(semi.len() + anti.len(), l.len());
+    }
+
+    #[test]
+    fn distinct_is_idempotent_and_order_insensitive(
+        rows in prop::collection::vec((0i64..4, 0i64..4), 0..20),
+    ) {
+        let r = small_relation(rows);
+        let d1 = r.distinct();
+        let d2 = d1.distinct();
+        prop_assert_eq!(d1.len(), d2.len());
+        prop_assert_eq!(d1.sorted(), r.sorted().distinct().sorted());
+    }
+
+    #[test]
+    fn projection_never_increases_cardinality(
+        rows in prop::collection::vec((0i64..5, 0i64..5), 0..20),
+    ) {
+        let r = small_relation(rows);
+        let p = ops::project(&r, &["a"]).unwrap();
+        prop_assert_eq!(p.len(), r.len());
+        prop_assert!(p.distinct().len() <= r.distinct().len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// XSCL layer
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn query_parse_display_roundtrip(text in flat_query_strategy()) {
+        let q = parse_query(&text).unwrap();
+        let q2 = parse_query(&q.to_string()).unwrap();
+        prop_assert_eq!(q.predicates(), q2.predicates());
+        prop_assert_eq!(q.window(), q2.window());
+        prop_assert_eq!(q.op(), q2.op());
+    }
+
+    #[test]
+    fn templates_are_invariant_under_variable_renaming(text in flat_query_strategy()) {
+        // Renaming the user variables (l{i} -> user{i}, r{i} -> peer{i})
+        // must not change the template.
+        let renamed = text.replace('l', "user").replace('r', "peer");
+        let g1 = ReducedGraph::from_join_graph(
+            &JoinGraph::from_query(&normalize_query(&parse_query(&text).unwrap()).unwrap().query)
+                .unwrap(),
+        );
+        let g2 = ReducedGraph::from_join_graph(
+            &JoinGraph::from_query(
+                &normalize_query(&parse_query(&renamed).unwrap()).unwrap().query,
+            )
+            .unwrap(),
+        );
+        let mut catalog = TemplateCatalog::new();
+        let m1 = catalog.insert(&g1);
+        let m2 = catalog.insert(&g2);
+        prop_assert_eq!(m1.template, m2.template);
+    }
+
+    #[test]
+    fn reduction_keeps_exactly_the_join_relevant_nodes(text in flat_query_strategy()) {
+        let q = normalize_query(&parse_query(&text).unwrap()).unwrap().query;
+        let graph = JoinGraph::from_query(&q).unwrap();
+        let reduced = ReducedGraph::from_join_graph(&graph);
+        // Every value-join edge of the query maps to an edge of the reduced
+        // graph, and every reduced leaf is a join node.
+        prop_assert_eq!(reduced.num_value_joins() <= graph.num_value_joins(), true);
+        prop_assert!(reduced.num_value_joins() >= 1);
+        for side in [mmqjp_xscl::Side::Left, mmqjp_xscl::Side::Right] {
+            let tree = reduced.tree(side);
+            for (i, node) in tree.nodes.iter().enumerate() {
+                if tree.children(i).is_empty() {
+                    prop_assert!(node.is_join_node, "leaf {i} must be a join node");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_is_idempotent(text in flat_query_strategy()) {
+        let q = parse_query(&text).unwrap();
+        let once = normalize_query(&q).unwrap().query;
+        let twice = normalize_query(&once).unwrap().query;
+        prop_assert_eq!(once.predicates(), twice.predicates());
+        let (l1, r1) = once.blocks().unwrap();
+        let (l2, r2) = twice.blocks().unwrap();
+        prop_assert_eq!(l1.pattern.signature(), l2.pattern.signature());
+        prop_assert_eq!(r1.pattern.signature(), r2.pattern.signature());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    // End-to-end cases are more expensive; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_modes_produce_identical_matches(
+        query_texts in prop::collection::vec(flat_query_strategy(), 1..12),
+        mut docs in prop::collection::vec(flat_document_strategy(), 1..6),
+    ) {
+        // Make timestamps strictly increasing so FOLLOWED BY is
+        // deterministic regardless of generated values.
+        for (i, d) in docs.iter_mut().enumerate() {
+            d.set_timestamp(Timestamp((i as u64 + 1) * 10));
+        }
+        let mut reference: Option<Vec<_>> = None;
+        for mode in [
+            ProcessingMode::Sequential,
+            ProcessingMode::Mmqjp,
+            ProcessingMode::MmqjpViewMat,
+        ] {
+            let config = EngineConfig { mode, ..EngineConfig::default() }
+                .with_retain_documents(false);
+            let mut engine = MmqjpEngine::new(config);
+            for t in &query_texts {
+                engine.register_query_text(t).unwrap();
+            }
+            let keys = match_keys(&run_stream(&mut engine, docs.clone()));
+            match &reference {
+                None => reference = Some(keys),
+                Some(r) => prop_assert_eq!(r, &keys, "mode {:?} disagrees", mode),
+            }
+        }
+    }
+
+    #[test]
+    fn matches_respect_value_equality(
+        query_text in flat_query_strategy(),
+        mut docs in prop::collection::vec(flat_document_strategy(), 2..5),
+    ) {
+        for (i, d) in docs.iter_mut().enumerate() {
+            d.set_timestamp(Timestamp((i as u64 + 1) * 10));
+        }
+        let mut engine = MmqjpEngine::new(EngineConfig::mmqjp());
+        engine.register_query_text(&query_text).unwrap();
+        let query = parse_query(&query_text).unwrap();
+        let predicates: Vec<ValueJoin> = query.predicates().to_vec();
+        let docs_by_seq: Vec<Document> = docs.clone();
+
+        let matches = run_stream(&mut engine, docs);
+        for m in &matches {
+            // Soundness: for every reported match, the joined string values
+            // are really equal, and the left document precedes the right one.
+            prop_assert!(m.left_doc.raw() < m.right_doc.raw());
+            let left_doc = &docs_by_seq[(m.left_doc.raw() - 1) as usize];
+            let right_doc = &docs_by_seq[(m.right_doc.raw() - 1) as usize];
+            for _p in &predicates {
+                // Bindings are reported under canonical names; check that
+                // every left-side binding value that participates in some
+                // join has an equal right-side counterpart binding.
+                let mut left_values: Vec<String> = Vec::new();
+                let mut right_values: Vec<String> = Vec::new();
+                for b in &m.bindings {
+                    if b.doc == m.left_doc {
+                        left_values.push(left_doc.string_value(b.node));
+                    } else {
+                        right_values.push(right_doc.string_value(b.node));
+                    }
+                }
+                // At least one pair of equal values must exist (the joined
+                // leaves); root bindings are included in the lists, so we
+                // check intersection rather than full equality.
+                let any_equal = left_values.iter().any(|lv| right_values.contains(lv));
+                prop_assert!(any_equal, "no equal joined values in match {m}");
+            }
+        }
+    }
+}
