@@ -10,7 +10,7 @@ use mmqjp_bench::{
 use mmqjp_core::ProcessingMode;
 use mmqjp_workload::Defaults;
 
-fn main() {
+pub fn main() {
     figure_header(
         "Figure 8",
         "simple schema — join time vs number of queries (N=6 leaves, Zipf 0.8)",

@@ -9,7 +9,7 @@ use mmqjp_bench::{
 };
 use mmqjp_workload::Defaults;
 
-fn main() {
+pub fn main() {
     figure_header(
         "Figure 9",
         "simple schema — join time vs number of leaves (1000 queries, Zipf 0.8)",
@@ -17,8 +17,7 @@ fn main() {
     let columns: Vec<String> = MODES.iter().map(|m| m.label().to_owned()).collect();
     let mut rows = Vec::new();
     for n_leaves in [4usize, 6, 8, 10, 12] {
-        let (queries, d1, d2) =
-            flat_workload(Defaults::NUM_QUERIES, n_leaves, Defaults::ZIPF, 9);
+        let (queries, d1, d2) = flat_workload(Defaults::NUM_QUERIES, n_leaves, Defaults::ZIPF, 9);
         let mut values = Vec::new();
         let mut templates = 0;
         for mode in MODES {

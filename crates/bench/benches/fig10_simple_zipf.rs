@@ -11,7 +11,7 @@ use mmqjp_bench::{
 };
 use mmqjp_workload::Defaults;
 
-fn main() {
+pub fn main() {
     figure_header(
         "Figure 10",
         "simple schema — join time vs Zipf parameter (1000 queries, 6 leaves)",

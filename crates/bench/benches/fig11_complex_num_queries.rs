@@ -6,13 +6,12 @@
 //! magnitude at 100 000 queries.
 
 use mmqjp_bench::{
-    complex_workload, figure_header, fmt_ms, print_table, run_two_document_benchmark, scale,
-    MODES,
+    complex_workload, figure_header, fmt_ms, print_table, run_two_document_benchmark, scale, MODES,
 };
 use mmqjp_core::ProcessingMode;
 use mmqjp_workload::Defaults;
 
-fn main() {
+pub fn main() {
     figure_header(
         "Figure 11",
         "complex schema — join time vs number of queries (branching 4, K=4, Zipf 0.8)",

@@ -11,7 +11,7 @@ use mmqjp_bench::{
 };
 use mmqjp_workload::Defaults;
 
-fn main() {
+pub fn main() {
     figure_header(
         "Figure 12",
         "complex schema — join time vs maximum value joins per query (1000 queries)",

@@ -10,7 +10,7 @@ use mmqjp_bench::{
 };
 use mmqjp_workload::Defaults;
 
-fn main() {
+pub fn main() {
     figure_header(
         "Figure 13",
         "complex schema — join time vs Zipf parameter (1000 queries, K=4)",

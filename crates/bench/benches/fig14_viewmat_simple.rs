@@ -9,11 +9,13 @@
 //! (6 templates) the benefit is modest compared with the complex schema
 //! (Figure 15).
 
-use mmqjp_bench::{figure_header, flat_workload, fmt_ms, print_table, run_two_document_benchmark, scale};
+use mmqjp_bench::{
+    figure_header, flat_workload, fmt_ms, print_table, run_two_document_benchmark, scale,
+};
 use mmqjp_core::ProcessingMode;
 use mmqjp_workload::Defaults;
 
-fn main() {
+pub fn main() {
     figure_header(
         "Figure 14",
         "view materialization breakdown — simple schema",

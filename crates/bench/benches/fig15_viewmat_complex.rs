@@ -13,7 +13,7 @@ use mmqjp_bench::{
 use mmqjp_core::ProcessingMode;
 use mmqjp_workload::Defaults;
 
-fn main() {
+pub fn main() {
     figure_header(
         "Figure 15",
         "view materialization breakdown — complex schema",

@@ -10,7 +10,7 @@
 use mmqjp_bench::{figure_header, fmt_throughput, print_table, run_rss_benchmark, scale, MODES};
 use mmqjp_core::ProcessingMode;
 
-fn main() {
+pub fn main() {
     figure_header(
         "Figure 16",
         "RSS stream — join throughput vs number of queries (T = INF, batched)",

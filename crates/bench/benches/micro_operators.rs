@@ -18,8 +18,11 @@ fn bench_hash_join(c: &mut Criterion) {
     let mut left = Relation::new(Schema::new(["k", "x"]));
     let mut right = Relation::new(Schema::new(["k", "y"]));
     for i in 0..2000i64 {
-        left.push_values(vec![Value::Int(i % 200), Value::Int(i)]).unwrap();
-        right.push_values(vec![Value::Int(i % 300), Value::Int(i)]).unwrap();
+        left.push_values(vec![Value::Int(i % 200), Value::Int(i)])
+            .unwrap();
+        right
+            .push_values(vec![Value::Int(i % 300), Value::Int(i)])
+            .unwrap();
     }
     c.bench_function("relational/hash_join_2k_x_2k", |b| {
         b.iter(|| ops::hash_join(&left, &right, &["k"], &["k"]).unwrap().len())
@@ -108,7 +111,7 @@ fn bench_document_processing(c: &mut Criterion) {
                     engine.register_query(q.clone()).unwrap();
                 }
                 // Pre-load part of the stream as join state.
-                for d in docs[..30].to_vec() {
+                for d in docs[..30].iter().cloned() {
                     engine.process_document(d).unwrap();
                 }
                 (engine, docs[30].clone())

@@ -8,7 +8,7 @@ use mmqjp_bench::{figure_header, print_table, scale};
 use mmqjp_workload::BenchScale;
 use mmqjp_xscl::enumerate::{count_complex_templates, count_flat_templates};
 
-fn main() {
+pub fn main() {
     figure_header(
         "Table 3",
         "number of query templates vs. number of value joins per query",
@@ -25,7 +25,10 @@ fn main() {
     for k in 1..=max_k {
         let flat = count_flat_templates(k);
         let complex = count_complex_templates(k, 4);
-        rows.push((format!("{k} value joins"), vec![flat.to_string(), complex.to_string()]));
+        rows.push((
+            format!("{k} value joins"),
+            vec![flat.to_string(), complex.to_string()],
+        ));
     }
     print_table("Table 3", "#value joins", &columns, &rows);
     println!("\npaper reference — flat: 1, 3, 6, 16; complex: 1, 3, 16, <230");

@@ -4,7 +4,8 @@
 //! Each bench target under `benches/` is a `harness = false` binary that
 //! prints the corresponding series in a plain-text table, so
 //! `cargo bench --workspace` reproduces the whole evaluation and the output
-//! can be diffed against the paper's reported shapes (see `EXPERIMENTS.md`).
+//! can be diffed against the paper's reported shapes (see the "Benchmarks"
+//! section of the repository `README.md`).
 //!
 //! Sweep sizes are controlled by the `MMQJP_BENCH_SCALE` environment variable
 //! (`default`, `paper`, `smoke`); see
@@ -193,7 +194,10 @@ pub fn scale() -> BenchScale {
 pub fn figure_header(figure: &str, description: &str) {
     println!("--------------------------------------------------------------------------------");
     println!("{figure}: {description}");
-    println!("scale: {:?} (set MMQJP_BENCH_SCALE=paper|default|smoke to change)", scale());
+    println!(
+        "scale: {:?} (set MMQJP_BENCH_SCALE=paper|default|smoke to change)",
+        scale()
+    );
     println!("--------------------------------------------------------------------------------");
 }
 

@@ -102,28 +102,18 @@ pub fn template_cqt_basic(template: &QueryTemplate, rt: &str) -> ConjunctiveQuer
     // Structural edges.
     for (p, c, side) in template.structural_edges() {
         match side {
-            Side::Left => q.push_atom(Atom::new(
-                RBIN,
-                [Term::var("d1"), v(p), v(c), n(p), n(c)],
-            )),
-            Side::Right => q.push_atom(Atom::new(
-                RBIN_W,
-                [Term::var("d2"), v(p), v(c), n(p), n(c)],
-            )),
+            Side::Left => q.push_atom(Atom::new(RBIN, [Term::var("d1"), v(p), v(c), n(p), n(c)])),
+            Side::Right => {
+                q.push_atom(Atom::new(RBIN_W, [Term::var("d2"), v(p), v(c), n(p), n(c)]))
+            }
         }
     }
     // Degenerate self edges for join-node roots.
     for p in self_edge_positions(template, Side::Left) {
-        q.push_atom(Atom::new(
-            RBIN,
-            [Term::var("d1"), v(p), v(p), n(p), n(p)],
-        ));
+        q.push_atom(Atom::new(RBIN, [Term::var("d1"), v(p), v(p), n(p), n(p)]));
     }
     for p in self_edge_positions(template, Side::Right) {
-        q.push_atom(Atom::new(
-            RBIN_W,
-            [Term::var("d2"), v(p), v(p), n(p), n(p)],
-        ));
+        q.push_atom(Atom::new(RBIN_W, [Term::var("d2"), v(p), v(p), n(p), n(p)]));
     }
     // RT atom ties meta-variable symbols and per-query metadata together.
     q.push_atom(rt_atom(template, rt));
@@ -154,14 +144,10 @@ pub fn template_cqt_materialized(template: &QueryTemplate, rt: &str) -> Conjunct
             continue;
         }
         match side {
-            Side::Left => q.push_atom(Atom::new(
-                RBIN,
-                [Term::var("d1"), v(p), v(c), n(p), n(c)],
-            )),
-            Side::Right => q.push_atom(Atom::new(
-                RBIN_W,
-                [Term::var("d2"), v(p), v(c), n(p), n(c)],
-            )),
+            Side::Left => q.push_atom(Atom::new(RBIN, [Term::var("d1"), v(p), v(c), n(p), n(c)])),
+            Side::Right => {
+                q.push_atom(Atom::new(RBIN_W, [Term::var("d2"), v(p), v(c), n(p), n(c)]))
+            }
         }
     }
     q.push_atom(rt_atom(template, rt));
@@ -229,9 +215,7 @@ fn rt_atom(template: &QueryTemplate, rt: &str) -> Atom {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmqjp_xscl::{
-        normalize_query, parse_query, JoinGraph, ReducedGraph, TemplateCatalog,
-    };
+    use mmqjp_xscl::{normalize_query, parse_query, JoinGraph, ReducedGraph, TemplateCatalog};
 
     const Q1: &str = "S//book->x1[.//author->x2][.//title->x3] \
         FOLLOWED BY{x2=x5 AND x3=x6, 100} \

@@ -323,7 +323,8 @@ impl MmqjpEngine {
                 continue;
             }
             let slice = self.compute_rl_slice(s);
-            rl.extend_from(&slice).expect("computed slice has RL schema");
+            rl.extend_from(&slice)
+                .expect("computed slice has RL schema");
             self.view_cache.insert(s, slice);
         }
         timings.compute_rl += t_rl.elapsed();
@@ -620,8 +621,7 @@ impl MmqjpEngine {
                         node: *n,
                     })
                     .collect();
-                let document = if self.config.retain_documents && q.select == SelectClause::Star
-                {
+                let document = if self.config.retain_documents && q.select == SelectClause::Star {
                     Some(doc.clone())
                 } else {
                     None
@@ -872,7 +872,8 @@ mod tests {
             "S//book->x1[.//title->x3] FOLLOWED BY{x3=x6, 5} S//blog->x4[.//title->x6]",
         )
         .unwrap();
-        e.process_document(d1().with_timestamp(Timestamp(10))).unwrap();
+        e.process_document(d1().with_timestamp(Timestamp(10)))
+            .unwrap();
         // 100 - 10 > 5: outside the window.
         let out = e
             .process_document(d2().with_timestamp(Timestamp(100)))
@@ -891,8 +892,11 @@ mod tests {
         let mut e = MmqjpEngine::new(EngineConfig::mmqjp());
         e.register_query_text(Q1).unwrap();
         // Blog first, book second: no match (FOLLOWED BY is directional).
-        e.process_document(d2().with_timestamp(Timestamp(5))).unwrap();
-        let out = e.process_document(d1().with_timestamp(Timestamp(10))).unwrap();
+        e.process_document(d2().with_timestamp(Timestamp(5)))
+            .unwrap();
+        let out = e
+            .process_document(d1().with_timestamp(Timestamp(10)))
+            .unwrap();
         assert!(out.is_empty());
     }
 
@@ -902,8 +906,11 @@ mod tests {
         // Order 1: book then blog.
         let mut e = MmqjpEngine::new(EngineConfig::mmqjp());
         e.register_query_text(q).unwrap();
-        e.process_document(d1().with_timestamp(Timestamp(1))).unwrap();
-        let out = e.process_document(d2().with_timestamp(Timestamp(2))).unwrap();
+        e.process_document(d1().with_timestamp(Timestamp(1)))
+            .unwrap();
+        let out = e
+            .process_document(d2().with_timestamp(Timestamp(2)))
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].left_doc, DocId(1));
         assert_eq!(out[0].right_doc, DocId(2));
@@ -911,8 +918,11 @@ mod tests {
         // orientation.
         let mut e = MmqjpEngine::new(EngineConfig::mmqjp());
         e.register_query_text(q).unwrap();
-        e.process_document(d2().with_timestamp(Timestamp(1))).unwrap();
-        let out = e.process_document(d1().with_timestamp(Timestamp(2))).unwrap();
+        e.process_document(d2().with_timestamp(Timestamp(1)))
+            .unwrap();
+        let out = e
+            .process_document(d1().with_timestamp(Timestamp(2)))
+            .unwrap();
         assert_eq!(out.len(), 1);
         // The query's left block (book) matched the later document.
         assert_eq!(out[0].left_doc, DocId(2));
@@ -923,12 +933,12 @@ mod tests {
     fn q3_matches_pair_of_blog_postings() {
         let mut e = MmqjpEngine::new(EngineConfig::mmqjp());
         e.register_query_text(Q3).unwrap();
-        let blog1 = rss::blog_article("Ann", "u1", "Same Title", "c", "d")
-            .with_timestamp(Timestamp(1));
-        let blog2 = rss::blog_article("Ann", "u2", "Same Title", "c", "d")
-            .with_timestamp(Timestamp(2));
-        let blog3 = rss::blog_article("Bob", "u3", "Same Title", "c", "d")
-            .with_timestamp(Timestamp(3));
+        let blog1 =
+            rss::blog_article("Ann", "u1", "Same Title", "c", "d").with_timestamp(Timestamp(1));
+        let blog2 =
+            rss::blog_article("Ann", "u2", "Same Title", "c", "d").with_timestamp(Timestamp(2));
+        let blog3 =
+            rss::blog_article("Bob", "u3", "Same Title", "c", "d").with_timestamp(Timestamp(3));
         assert!(e.process_document(blog1).unwrap().is_empty());
         let out = e.process_document(blog2).unwrap();
         assert_eq!(out.len(), 1);
@@ -945,7 +955,8 @@ mod tests {
         e.register_query_text(Q1).unwrap();
         e.process_document(d1()).unwrap();
         // A second identical book announcement.
-        e.process_document(d1().with_timestamp(Timestamp(11))).unwrap();
+        e.process_document(d1().with_timestamp(Timestamp(11)))
+            .unwrap();
         let out = e.process_document(d2()).unwrap();
         // The blog article joins with both book announcements.
         assert_eq!(out.len(), 2);
@@ -970,7 +981,7 @@ mod tests {
         assert_eq!(e.num_templates(), 1);
         assert!(e.num_patterns() >= 3);
         assert_eq!(e.config().mode, ProcessingMode::MmqjpViewMat);
-        assert!(e.interner().len() > 0);
+        assert!(!e.interner().is_empty());
         assert_eq!(e.registry().num_queries(), 3);
     }
 
@@ -1035,23 +1046,26 @@ mod tests {
             .unwrap();
         assert_eq!(out.len(), 1);
         let stats = e.stats();
-        assert!(stats.view_cache_hits > 0, "expected cache hits, got {stats:?}");
+        assert!(
+            stats.view_cache_hits > 0,
+            "expected cache hits, got {stats:?}"
+        );
     }
 
     #[test]
     fn window_pruning_discards_old_state() {
-        let mut e = MmqjpEngine::new(
-            EngineConfig::mmqjp().with_prune_state_by_window(true),
-        );
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp().with_prune_state_by_window(true));
         e.register_query_text(
             "S//book->x1[.//title->x3] FOLLOWED BY{x3=x6, 10} S//blog->x4[.//title->x6]",
         )
         .unwrap();
-        e.process_document(d1().with_timestamp(Timestamp(1))).unwrap();
+        e.process_document(d1().with_timestamp(Timestamp(1)))
+            .unwrap();
         let before = e.stats().rdoc_tuples;
         assert!(before > 0);
         // A much later document pushes the book out of the window.
-        e.process_document(d2().with_timestamp(Timestamp(1000))).unwrap();
+        e.process_document(d2().with_timestamp(Timestamp(1000)))
+            .unwrap();
         let after = e.stats();
         assert!(after.rdoc_tuples < before + 5);
         // The expired book is gone from the state, so a further blog article
@@ -1068,7 +1082,8 @@ mod tests {
         config.enforce_in_order = true;
         let mut e = MmqjpEngine::new(config);
         e.register_query_text(Q1).unwrap();
-        e.process_document(d1().with_timestamp(Timestamp(100))).unwrap();
+        e.process_document(d1().with_timestamp(Timestamp(100)))
+            .unwrap();
         let err = e
             .process_document(d2().with_timestamp(Timestamp(50)))
             .unwrap_err();

@@ -399,9 +399,15 @@ mod tests {
     #[test]
     fn paper_example_queries_share_one_template() {
         let mut r = registry();
-        let id1 = r.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp).unwrap();
-        let id2 = r.register(parse_query(Q2).unwrap(), ProcessingMode::Mmqjp).unwrap();
-        let id3 = r.register(parse_query(Q3).unwrap(), ProcessingMode::Mmqjp).unwrap();
+        let id1 = r
+            .register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp)
+            .unwrap();
+        let id2 = r
+            .register(parse_query(Q2).unwrap(), ProcessingMode::Mmqjp)
+            .unwrap();
+        let id3 = r
+            .register(parse_query(Q3).unwrap(), ProcessingMode::Mmqjp)
+            .unwrap();
         assert_eq!(id1, QueryId(0));
         assert_eq!(id2, QueryId(1));
         assert_eq!(id3, QueryId(2));
@@ -411,6 +417,7 @@ mod tests {
         let rt = &r.templates()[0].rt;
         assert_eq!(rt.len(), 3);
         assert_eq!(rt.schema().arity(), 8); // qid + 6 vars + wl
+
         // Window lengths are stored per query.
         let wls: Vec<i64> = rt.iter().map(|t| t[7].as_int().unwrap()).collect();
         assert_eq!(wls, vec![100, 200, 300]);
@@ -426,7 +433,9 @@ mod tests {
     fn join_queries_register_two_orientations() {
         let mut r = registry();
         let q = "S//item->a[.//title->t1] JOIN{t1=t2, 50} S//post->b[.//title->t2]";
-        let id = r.register(parse_query(q).unwrap(), ProcessingMode::Mmqjp).unwrap();
+        let id = r
+            .register(parse_query(q).unwrap(), ProcessingMode::Mmqjp)
+            .unwrap();
         let runtime = r.query(id).unwrap();
         assert!(runtime.is_join());
         assert_eq!(runtime.registrations.len(), 2);
@@ -448,7 +457,12 @@ mod tests {
     #[test]
     fn single_block_subscription_is_accepted() {
         let mut r = registry();
-        let id = r.register(parse_query("S//blog[.//author]").unwrap(), ProcessingMode::Mmqjp).unwrap();
+        let id = r
+            .register(
+                parse_query("S//blog[.//author]").unwrap(),
+                ProcessingMode::Mmqjp,
+            )
+            .unwrap();
         let runtime = r.query(id).unwrap();
         assert!(!runtime.is_join());
         assert!(runtime.single_pattern.is_some());
@@ -475,7 +489,8 @@ mod tests {
             }
         }
         // Q1 adds real structural edges.
-        r.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp).unwrap();
+        r.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp)
+            .unwrap();
         let q1_edges: usize = r.requested_edges().values().map(|v| v.len()).sum();
         assert_eq!(q1_edges, 2 + 4);
     }
@@ -483,19 +498,25 @@ mod tests {
     #[test]
     fn sequential_mode_compiles_per_query_cqt() {
         let mut r = registry();
-        r.register(parse_query(Q1).unwrap(), ProcessingMode::Sequential).unwrap();
+        r.register(parse_query(Q1).unwrap(), ProcessingMode::Sequential)
+            .unwrap();
         let reg = &r.queries()[0].registrations[0];
         assert_eq!(reg.sequential_cqt.num_atoms(), 8);
         // In MMQJP mode the per-query CQT is left empty.
         let mut r2 = registry();
-        r2.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp).unwrap();
-        assert_eq!(r2.queries()[0].registrations[0].sequential_cqt.num_atoms(), 0);
+        r2.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp)
+            .unwrap();
+        assert_eq!(
+            r2.queries()[0].registrations[0].sequential_cqt.num_atoms(),
+            0
+        );
     }
 
     #[test]
     fn window_tracking() {
         let mut r = registry();
-        r.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp).unwrap();
+        r.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp)
+            .unwrap();
         assert_eq!(r.max_window(), Some(100));
         r.register(
             parse_query("S//a->x FOLLOWED BY{x=y, INF} S//b->y").unwrap(),
@@ -521,7 +542,8 @@ mod tests {
     #[test]
     fn template_runtime_metadata() {
         let mut r = registry();
-        r.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp).unwrap();
+        r.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp)
+            .unwrap();
         let tr = &r.templates()[0];
         assert_eq!(tr.rt_name(), "RT_0");
         assert_eq!(tr.members(), 1);
@@ -529,6 +551,6 @@ mod tests {
         assert!(tr.cqt_basic.validate().is_ok());
         assert!(tr.cqt_materialized.validate().is_ok());
         assert_eq!(r.catalog().len(), 1);
-        assert_eq!(r.interner().len() > 0, true);
+        assert!(!r.interner().is_empty());
     }
 }

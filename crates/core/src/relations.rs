@@ -196,8 +196,10 @@ pub fn merge_into_state(
     rdoc: &mut Relation,
     rdoc_ts: &mut Relation,
 ) {
-    rbin.extend_from(&batch.rbin_w).expect("Rbin schema matches RbinW");
-    rdoc.extend_from(&batch.rdoc_w).expect("Rdoc schema matches RdocW");
+    rbin.extend_from(&batch.rbin_w)
+        .expect("Rbin schema matches RbinW");
+    rdoc.extend_from(&batch.rdoc_w)
+        .expect("Rdoc schema matches RdocW");
     rdoc_ts
         .extend_from(&batch.rdoc_ts_w)
         .expect("RdocTS schema matches RdocTSW");
@@ -242,10 +244,8 @@ mod tests {
         // Using Q1's left block (plus category for Q2), the batch built from
         // d1 should mirror Table 4(b)/(c) of the paper: five bound leaves
         // with their string values and five variable-pair bindings.
-        let mut pattern = parse_pattern(
-            "S//book->x1[.//author->x2][.//title->x3][.//category->x7]",
-        )
-        .unwrap();
+        let mut pattern =
+            parse_pattern("S//book->x1[.//author->x2][.//title->x3][.//category->x7]").unwrap();
         pattern.assign_canonical_variables();
         let matcher = PatternMatcher::new(&pattern);
         let doc = d1();
@@ -283,8 +283,14 @@ mod tests {
         // Request the same edge twice; RdocW must still contain one row per
         // bound node.
         let edges = vec![
-            (pattern.variable_node("b").unwrap(), pattern.variable_node("a").unwrap()),
-            (pattern.variable_node("b").unwrap(), pattern.variable_node("a").unwrap()),
+            (
+                pattern.variable_node("b").unwrap(),
+                pattern.variable_node("a").unwrap(),
+            ),
+            (
+                pattern.variable_node("b").unwrap(),
+                pattern.variable_node("a").unwrap(),
+            ),
         ];
         let bindings = matcher.edge_bindings(&doc, &edges);
         assert_eq!(bindings.len(), 4); // 2 authors x 2 requests
@@ -292,6 +298,7 @@ mod tests {
         let mut batch = WitnessBatch::new();
         batch.add_document(&doc, &[(&pattern, bindings)], &interner);
         assert_eq!(batch.rdoc_w.len(), 2); // one row per author node
+
         // The duplicated edge request collapses to one RbinW row per author.
         assert_eq!(batch.rbin_w.len(), 2);
     }

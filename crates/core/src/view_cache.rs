@@ -104,11 +104,7 @@ impl ViewCache {
         );
         if let Some(cap) = self.capacity {
             while self.slices.len() > cap {
-                if let Some((&lru_key, _)) = self
-                    .slices
-                    .iter()
-                    .min_by_key(|(_, e)| e.last_used)
-                {
+                if let Some((&lru_key, _)) = self.slices.iter().min_by_key(|(_, e)| e.last_used) {
                     self.slices.remove(&lru_key);
                     self.evictions += 1;
                 } else {

@@ -225,7 +225,12 @@ mod tests {
     fn atom_variables_dedup_in_order() {
         let a = Atom::new(
             "R",
-            [Term::var("X"), Term::var("Y"), Term::var("X"), Term::constant(1i64)],
+            [
+                Term::var("X"),
+                Term::var("Y"),
+                Term::var("X"),
+                Term::constant(1i64),
+            ],
         );
         assert_eq!(a.variables(), vec!["X", "Y"]);
         assert!(a.mentions("X"));

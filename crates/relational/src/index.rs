@@ -35,10 +35,7 @@ impl HashIndex {
             let key: Vec<Value> = key_columns.iter().map(|&c| tuple[c].clone()).collect();
             map.entry(key).or_default().push(row);
         }
-        HashIndex {
-            key_columns,
-            map,
-        }
+        HashIndex { key_columns, map }
     }
 
     /// The column positions this index is keyed on.

@@ -142,17 +142,15 @@ pub fn natural_join(left: &Relation, right: &Relation) -> RelResult<Relation> {
             // keep left columns and right columns that are not renamed
             // duplicates of shared columns
             let col = joined.schema().column(*i);
-            !(col.ends_with("_r") && shared.contains(&&col[..col.len() - 2]))
-                && !(col.contains("_r") && {
+            let renamed_duplicate = (col.ends_with("_r")
+                && shared.contains(&&col[..col.len() - 2]))
+                || col.rfind("_r").is_some_and(|pos| {
                     // handle _r2, _r3 ... suffixes
-                    if let Some(pos) = col.rfind("_r") {
-                        let base = &col[..pos];
-                        let suffix = &col[pos + 2..];
-                        shared.contains(&base) && suffix.chars().all(|c| c.is_ascii_digit())
-                    } else {
-                        false
-                    }
-                })
+                    let base = &col[..pos];
+                    let suffix = &col[pos + 2..];
+                    shared.contains(&base) && suffix.chars().all(|c| c.is_ascii_digit())
+                });
+            !renamed_duplicate
         })
         .map(|(_, c)| c.as_str())
         .collect();
@@ -428,7 +426,11 @@ mod tests {
         let e = emp();
         let u = union(&e, &e).unwrap();
         assert_eq!(u.len(), 6);
-        let d = difference(&u.distinct(), &rel(&["name", "dept"], &[&[Value::str("bob"), Value::str("os")]])).unwrap();
+        let d = difference(
+            &u.distinct(),
+            &rel(&["name", "dept"], &[&[Value::str("bob"), Value::str("os")]]),
+        )
+        .unwrap();
         assert_eq!(d.len(), 2);
         assert!(difference(&e, &dept()).is_err());
     }
@@ -464,9 +466,24 @@ mod tests {
     #[test]
     fn empty_inputs_produce_empty_outputs() {
         let empty = Relation::new(Schema::new(["dept", "floor"]));
-        assert_eq!(hash_join(&emp(), &empty, &["dept"], &["dept"]).unwrap().len(), 0);
-        assert_eq!(semi_join(&emp(), &empty, &["dept"], &["dept"]).unwrap().len(), 0);
-        assert_eq!(anti_join(&emp(), &empty, &["dept"], &["dept"]).unwrap().len(), 3);
+        assert_eq!(
+            hash_join(&emp(), &empty, &["dept"], &["dept"])
+                .unwrap()
+                .len(),
+            0
+        );
+        assert_eq!(
+            semi_join(&emp(), &empty, &["dept"], &["dept"])
+                .unwrap()
+                .len(),
+            0
+        );
+        assert_eq!(
+            anti_join(&emp(), &empty, &["dept"], &["dept"])
+                .unwrap()
+                .len(),
+            3
+        );
         assert_eq!(cross_product(&emp(), &empty).unwrap().len(), 0);
     }
 }

@@ -177,10 +177,18 @@ mod tests {
 
     fn sample() -> Relation {
         let mut r = Relation::new(Schema::new(["docid", "node", "strVal"]));
-        r.push_values(vec![Value::int(1), Value::int(2), Value::str("Danny Ayers")])
-            .unwrap();
-        r.push_values(vec![Value::int(1), Value::int(3), Value::str("Andrew Watt")])
-            .unwrap();
+        r.push_values(vec![
+            Value::int(1),
+            Value::int(2),
+            Value::str("Danny Ayers"),
+        ])
+        .unwrap();
+        r.push_values(vec![
+            Value::int(1),
+            Value::int(3),
+            Value::str("Andrew Watt"),
+        ])
+        .unwrap();
         r
     }
 
@@ -245,8 +253,12 @@ mod tests {
     #[test]
     fn distinct_column_values() {
         let mut r = sample();
-        r.push_values(vec![Value::int(1), Value::int(9), Value::str("Danny Ayers")])
-            .unwrap();
+        r.push_values(vec![
+            Value::int(1),
+            Value::int(9),
+            Value::str("Danny Ayers"),
+        ])
+        .unwrap();
         let vals = r.distinct_column_values("strVal").unwrap();
         assert_eq!(vals.len(), 2);
         assert!(r.distinct_column_values("zzz").is_err());

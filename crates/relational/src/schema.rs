@@ -159,7 +159,10 @@ mod tests {
         assert_eq!(c.columns(), &["docid", "node", "node_r", "strVal"]);
         // A third collision gets a numbered suffix.
         let d = c.concat(&Schema::new(["node"]));
-        assert!(d.contains("node_r2") || d.columns().iter().filter(|c| c.starts_with("node")).count() == 3);
+        assert!(
+            d.contains("node_r2")
+                || d.columns().iter().filter(|c| c.starts_with("node")).count() == 3
+        );
     }
 
     #[test]

@@ -21,12 +21,13 @@ use std::sync::Arc;
 /// engine in `mmqjp-core` interns every string value).
 ///
 /// [`StringInterner`]: crate::StringInterner
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Value {
     /// Absent / padded value. Joins never match on `Null` against `Null`
     /// unless both sides are literally `Null` (SQL semantics are *not*
     /// emulated; `Null == Null` is true for hashing purposes, which is what
     /// the padded template columns require).
+    #[default]
     Null,
     /// 64-bit signed integer (node ids, document ids, timestamps, window
     /// lengths).
@@ -80,12 +81,6 @@ impl Value {
     /// `true` for [`Value::Null`].
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
     }
 }
 

@@ -130,11 +130,8 @@ impl ComplexSchemaWorkload {
     /// chosen paths and the chosen leaves; returns the pattern and the leaf
     /// variable names in pick order.
     fn block_pattern(&self, leaves: &[(usize, usize)], prefix: &str) -> (TreePattern, Vec<String>) {
-        let mut pattern = TreePattern::new(
-            Some("S".to_owned()),
-            Axis::Descendant,
-            NodeTest::tag("doc"),
-        );
+        let mut pattern =
+            TreePattern::new(Some("S".to_owned()), Axis::Descendant, NodeTest::tag("doc"));
         pattern
             .bind_variable(PatternNodeId::ROOT, format!("{prefix}_root"))
             .expect("fresh pattern");
@@ -152,11 +149,8 @@ impl ComplexSchemaWorkload {
                     .expect("unique intermediate variable");
                 id
             });
-            let leaf_id = pattern.add_child(
-                mid_id,
-                Axis::Descendant,
-                NodeTest::tag(self.leaf_tag(m, l)),
-            );
+            let leaf_id =
+                pattern.add_child(mid_id, Axis::Descendant, NodeTest::tag(self.leaf_tag(m, l)));
             let var = format!("{prefix}{i}");
             pattern
                 .bind_variable(leaf_id, var.clone())
@@ -226,7 +220,10 @@ mod tests {
         };
         let t2 = count_templates(2, &mut rng);
         let t4 = count_templates(4, &mut rng);
-        assert!(t2 < t4, "expected more templates with larger K ({t2} vs {t4})");
+        assert!(
+            t2 < t4,
+            "expected more templates with larger K ({t2} vs {t4})"
+        );
         assert!(t2 >= 2);
     }
 

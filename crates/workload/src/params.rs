@@ -95,7 +95,7 @@ impl BenchScale {
         match self {
             BenchScale::Paper => Defaults::RSS_ITEMS_PAPER,
             BenchScale::Default => 10_000,
-            BenchScale::Smoke => 500,
+            BenchScale::Smoke => 120,
         }
     }
 

@@ -220,7 +220,9 @@ fn block_pattern(fields: &[&str], prefix: &str) -> (TreePattern, Vec<String>) {
     for (i, field) in fields.iter().enumerate() {
         let id = pattern.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag(*field));
         let var = format!("{prefix}{i}");
-        pattern.bind_variable(id, var.clone()).expect("unique variable");
+        pattern
+            .bind_variable(id, var.clone())
+            .expect("unique variable");
         vars.push(var);
     }
     (pattern, vars)
@@ -267,7 +269,10 @@ mod tests {
         };
         let items = RssStreamGenerator::new(config).items();
         let titles: HashSet<&String> = items.iter().map(|i| &i.title).collect();
-        assert!(titles.len() < items.len(), "titles must repeat for joins to fire");
+        assert!(
+            titles.len() < items.len(),
+            "titles must repeat for joins to fire"
+        );
     }
 
     #[test]
@@ -308,9 +313,8 @@ mod tests {
     fn end_to_end_rss_matches_are_produced() {
         let gen = RssQueryGenerator::new(0.8);
         let mut rng = StdRng::seed_from_u64(17);
-        let mut engine = MmqjpEngine::new(
-            EngineConfig::mmqjp_view_mat().with_retain_documents(false),
-        );
+        let mut engine =
+            MmqjpEngine::new(EngineConfig::mmqjp_view_mat().with_retain_documents(false));
         for q in gen.generate_queries(200, &mut rng) {
             engine.register_query(q).unwrap();
         }

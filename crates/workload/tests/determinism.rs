@@ -1,0 +1,186 @@
+//! Deterministic-seed tests for the workload generators: the Zipf sampler's
+//! distribution shape, and that the flat/complex schema generators produce
+//! schema-valid queries and documents reproducibly under a fixed `StdRng`
+//! seed.
+
+use mmqjp_workload::{
+    ComplexSchemaWorkload, FlatSchemaWorkload, RssStreamConfig, RssStreamGenerator, Zipf,
+};
+use mmqjp_xpath::NodeTest;
+use mmqjp_xscl::XsclQuery;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Collect the tag names a query's two tree patterns reference.
+fn query_tags(q: &XsclQuery) -> HashSet<String> {
+    let (l, r) = q.blocks().expect("generated queries are joins");
+    let mut tags = HashSet::new();
+    for block in [l, r] {
+        for node in block.pattern.nodes() {
+            match node.test() {
+                NodeTest::Tag(t) => {
+                    tags.insert(t.clone());
+                }
+                other => panic!("generators only emit tag tests, got {other:?}"),
+            }
+        }
+    }
+    tags
+}
+
+#[test]
+fn zipf_empirical_frequencies_match_pmf() {
+    let n = 6;
+    let theta = 0.8;
+    let z = Zipf::new(n, theta);
+    let mut rng = StdRng::seed_from_u64(20_070_611);
+    let draws = 40_000usize;
+    let mut counts = vec![0usize; n + 1];
+    for _ in 0..draws {
+        counts[z.sample(&mut rng)] += 1;
+    }
+    // Empirical frequency of every outcome within 2 percentage points of the
+    // exact pmf — loose enough for any healthy uniform source, tight enough
+    // to catch a broken sampler or a skew inversion.
+    for (k, &count) in counts.iter().enumerate().skip(1) {
+        let freq = count as f64 / draws as f64;
+        assert!(
+            (freq - z.pmf(k)).abs() < 0.02,
+            "outcome {k}: frequency {freq:.4} vs pmf {:.4}",
+            z.pmf(k)
+        );
+    }
+    // Shape: strictly more mass on smaller outcomes for positive theta.
+    assert!(counts[1] > counts[n]);
+}
+
+#[test]
+fn zipf_uniform_when_theta_zero_empirically() {
+    let z = Zipf::new(4, 0.0);
+    let mut rng = StdRng::seed_from_u64(99);
+    let draws = 40_000usize;
+    let mut counts = [0usize; 5];
+    for _ in 0..draws {
+        counts[z.sample(&mut rng)] += 1;
+    }
+    for (k, &count) in counts.iter().enumerate().skip(1) {
+        let freq = count as f64 / draws as f64;
+        assert!(
+            (freq - 0.25).abs() < 0.02,
+            "outcome {k}: frequency {freq:.4}"
+        );
+    }
+}
+
+#[test]
+fn flat_generator_is_deterministic_under_fixed_seed() {
+    let w = FlatSchemaWorkload::new(6, 0.8);
+    let a: Vec<String> = w
+        .generate_queries(40, &mut StdRng::seed_from_u64(12345))
+        .iter()
+        .map(|q| q.to_string())
+        .collect();
+    let b: Vec<String> = w
+        .generate_queries(40, &mut StdRng::seed_from_u64(12345))
+        .iter()
+        .map(|q| q.to_string())
+        .collect();
+    assert_eq!(a, b);
+    // A different seed must not reproduce the same sequence.
+    let c: Vec<String> = w
+        .generate_queries(40, &mut StdRng::seed_from_u64(54321))
+        .iter()
+        .map(|q| q.to_string())
+        .collect();
+    assert_ne!(a, c);
+}
+
+#[test]
+fn flat_generator_queries_and_documents_are_schema_valid() {
+    let w = FlatSchemaWorkload::new(6, 0.8);
+    let schema_tags: HashSet<String> = std::iter::once("item".to_owned())
+        .chain(w.leaf_tags().iter().cloned())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(777);
+    for q in w.generate_queries(60, &mut rng) {
+        let tags = query_tags(&q);
+        assert!(
+            tags.is_subset(&schema_tags),
+            "query references tags outside the schema: {tags:?}"
+        );
+        let (l, r) = q.blocks().unwrap();
+        l.pattern.check_invariants().unwrap();
+        r.pattern.check_invariants().unwrap();
+    }
+    let (d1, d2) = w.documents();
+    d1.check_invariants().unwrap();
+    d2.check_invariants().unwrap();
+}
+
+#[test]
+fn complex_generator_is_deterministic_under_fixed_seed() {
+    let w = ComplexSchemaWorkload::new(4, 4, 0.8);
+    let a: Vec<String> = w
+        .generate_queries(40, &mut StdRng::seed_from_u64(2007))
+        .iter()
+        .map(|q| q.to_string())
+        .collect();
+    let b: Vec<String> = w
+        .generate_queries(40, &mut StdRng::seed_from_u64(2007))
+        .iter()
+        .map(|q| q.to_string())
+        .collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn complex_generator_queries_and_documents_are_schema_valid() {
+    let w = ComplexSchemaWorkload::new(4, 4, 0.8);
+    let mut schema_tags: HashSet<String> = std::iter::once("doc".to_owned()).collect();
+    for m in 0..4 {
+        schema_tags.insert(w.mid_tag(m));
+        for l in 0..4 {
+            schema_tags.insert(w.leaf_tag(m, l));
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(404);
+    for q in w.generate_queries(60, &mut rng) {
+        let tags = query_tags(&q);
+        assert!(
+            tags.is_subset(&schema_tags),
+            "query references tags outside the schema: {tags:?}"
+        );
+    }
+    let (d1, d2) = w.documents();
+    d1.check_invariants().unwrap();
+    d2.check_invariants().unwrap();
+    // 1 root + 4 intermediates + 16 leaves.
+    assert_eq!(d1.len(), 21);
+    assert_eq!(d2.len(), 21);
+}
+
+#[test]
+fn rss_stream_is_deterministic_under_fixed_config_seed() {
+    let config = RssStreamConfig {
+        channels: 10,
+        items: 50,
+        title_vocabulary: 20,
+        description_vocabulary: 30,
+        skew: 0.8,
+        seed: 31415,
+    };
+    let a = RssStreamGenerator::new(config.clone()).documents();
+    let b = RssStreamGenerator::new(config.clone()).documents();
+    assert_eq!(a.len(), 50);
+    assert_eq!(a.len(), b.len());
+    for (da, db) in a.iter().zip(&b) {
+        assert_eq!(mmqjp_xml::serialize(da), mmqjp_xml::serialize(db));
+        da.check_invariants().unwrap();
+    }
+    // A different seed must produce a different stream.
+    let c = RssStreamGenerator::new(RssStreamConfig { seed: 8, ..config }).documents();
+    let serialize_all =
+        |docs: &[mmqjp_xml::Document]| docs.iter().map(mmqjp_xml::serialize).collect::<Vec<_>>();
+    assert_ne!(serialize_all(&a), serialize_all(&c));
+}

@@ -286,8 +286,7 @@ impl Document {
             return Err(XmlError::NotAnElement { id: parent.raw() });
         }
         let id = NodeId::from_raw(self.nodes.len() as u32);
-        self.nodes
-            .push(Node::new_element(id, tag, Some(parent)));
+        self.nodes.push(Node::new_element(id, tag, Some(parent)));
         self.nodes[parent.index()].children.push(id);
         Ok(id)
     }
@@ -417,7 +416,10 @@ mod tests {
     #[test]
     fn lca_flat_document() {
         let d = figure1_doc();
-        assert_eq!(d.lca(NodeId::from_raw(1), NodeId::from_raw(3)), NodeId::ROOT);
+        assert_eq!(
+            d.lca(NodeId::from_raw(1), NodeId::from_raw(3)),
+            NodeId::ROOT
+        );
         assert_eq!(
             d.lca(NodeId::from_raw(2), NodeId::from_raw(2)),
             NodeId::from_raw(2)

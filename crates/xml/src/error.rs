@@ -137,14 +137,18 @@ mod tests {
     #[test]
     fn display_other_variants() {
         assert!(!XmlError::EmptyDocument.to_string().is_empty());
-        assert!(XmlError::MultipleRoots { offset: 3 }.to_string().contains('3'));
+        assert!(XmlError::MultipleRoots { offset: 3 }
+            .to_string()
+            .contains('3'));
         assert!(XmlError::UnknownEntity {
             name: "bogus".into(),
             offset: 1
         }
         .to_string()
         .contains("bogus"));
-        assert!(XmlError::InvalidNodeId { id: 9, len: 4 }.to_string().contains('9'));
+        assert!(XmlError::InvalidNodeId { id: 9, len: 4 }
+            .to_string()
+            .contains('9'));
         assert!(XmlError::NotAnElement { id: 2 }.to_string().contains('2'));
     }
 

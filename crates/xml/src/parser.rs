@@ -95,7 +95,11 @@ impl<'a> Parser<'a> {
         if self.starts_with("<?xml") {
             match self.input[self.pos..].find("?>") {
                 Some(rel) => self.pos += rel + 2,
-                None => return Err(XmlError::UnexpectedEof { context: "XML declaration" }),
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        context: "XML declaration",
+                    })
+                }
             }
         }
         Ok(())
@@ -208,7 +212,11 @@ impl<'a> Parser<'a> {
                         expected: "quoted attribute value",
                     })
                 }
-                None => return Err(XmlError::UnexpectedEof { context: "attribute value" }),
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        context: "attribute value",
+                    })
+                }
             };
             let start = self.pos;
             while let Some(b) = self.peek() {
@@ -218,7 +226,9 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
             if self.at_eof() {
-                return Err(XmlError::UnexpectedEof { context: "attribute value" });
+                return Err(XmlError::UnexpectedEof {
+                    context: "attribute value",
+                });
             }
             let raw = &self.input[start..self.pos];
             self.pos += 1; // closing quote
@@ -230,7 +240,9 @@ impl<'a> Parser<'a> {
     fn parse_content(&mut self, doc: &mut Document, node: NodeId, open_tag: &str) -> XmlResult<()> {
         loop {
             if self.at_eof() {
-                return Err(XmlError::UnexpectedEof { context: "element content" });
+                return Err(XmlError::UnexpectedEof {
+                    context: "element content",
+                });
             }
             if self.starts_with("</") {
                 self.pos += 2;
@@ -257,22 +269,28 @@ impl<'a> Parser<'a> {
                         }
                         self.pos = start + rel + 3;
                     }
-                    None => return Err(XmlError::UnexpectedEof { context: "CDATA section" }),
+                    None => {
+                        return Err(XmlError::UnexpectedEof {
+                            context: "CDATA section",
+                        })
+                    }
                 }
             } else if self.starts_with("<?") {
                 match self.input[self.pos..].find("?>") {
                     Some(rel) => self.pos += rel + 2,
                     None => {
-                        return Err(XmlError::UnexpectedEof { context: "processing instruction" })
+                        return Err(XmlError::UnexpectedEof {
+                            context: "processing instruction",
+                        })
                     }
                 }
             } else if self.peek() == Some(b'<') {
                 // Child element.
                 self.pos += 1;
                 let tag = self.parse_name()?;
-                let child = doc.append_child(node, tag.clone()).map_err(|_| {
-                    XmlError::NotAnElement { id: node.raw() }
-                })?;
+                let child = doc
+                    .append_child(node, tag.clone())
+                    .map_err(|_| XmlError::NotAnElement { id: node.raw() })?;
                 self.parse_attributes_into(doc, child)?;
                 self.skip_whitespace();
                 if self.starts_with("/>") {
@@ -341,11 +359,11 @@ fn decode_entities(raw: &str, base_offset: usize) -> XmlResult<String> {
             "quot" => Some('"'),
             "apos" => Some('\''),
             _ if name.starts_with("#x") || name.starts_with("#X") => {
-                u32::from_str_radix(&name[2..], 16).ok().and_then(char::from_u32)
+                u32::from_str_radix(&name[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
             }
-            _ if name.starts_with('#') => {
-                name[1..].parse::<u32>().ok().and_then(char::from_u32)
-            }
+            _ if name.starts_with('#') => name[1..].parse::<u32>().ok().and_then(char::from_u32),
             _ => None,
         };
         match decoded {

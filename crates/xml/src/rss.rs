@@ -211,7 +211,10 @@ mod tests {
     fn field_node_lookup() {
         let doc = sample_item().to_document(DocId(1));
         let title = field_node(&doc, "title").unwrap();
-        assert_eq!(doc.string_value(title), "Beginning RSS and Atom Programming");
+        assert_eq!(
+            doc.string_value(title),
+            "Beginning RSS and Atom Programming"
+        );
         assert!(field_node(&doc, "nope").is_none());
     }
 

@@ -51,7 +51,10 @@ impl fmt::Display for XPathError {
                 "unexpected character {found:?} at offset {offset}: expected {expected}"
             ),
             XPathError::DuplicateVariable { name } => {
-                write!(f, "variable `{name}` is bound more than once in the pattern")
+                write!(
+                    f,
+                    "variable `{name}` is bound more than once in the pattern"
+                )
             }
             XPathError::EmptyPattern => write!(f, "pattern contains no steps"),
             XPathError::UnknownVariable { name } => {

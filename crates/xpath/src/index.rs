@@ -255,9 +255,7 @@ mod tests {
     #[test]
     fn evaluate_edge_bindings_with_requested_edges() {
         let mut idx = PatternIndex::new();
-        let id = idx.register(
-            parse_pattern("S//book->x1[.//author->x2][.//title->x3]").unwrap(),
-        );
+        let id = idx.register(parse_pattern("S//book->x1[.//author->x2][.//title->x3]").unwrap());
         let mut requested = HashMap::new();
         // Only ask for the (book, title) edge.
         requested.insert(id, vec![(PatternNodeId(0), PatternNodeId(2))]);

@@ -45,6 +45,6 @@ mod witness;
 pub use error::{XPathError, XPathResult};
 pub use index::{PatternId, PatternIndex, PatternIndexStats};
 pub use matcher::PatternMatcher;
-pub use parser::{parse_pattern, parse_path};
+pub use parser::{parse_path, parse_pattern};
 pub use pattern::{Axis, NodeTest, PatternNode, PatternNodeId, TreePattern};
 pub use witness::{binding_string_value, EdgeBinding, Witness, WitnessSet};

@@ -277,7 +277,10 @@ impl<'p> PatternMatcher<'p> {
             let bindings: Vec<(String, NodeId)> = self
                 .pattern
                 .nodes()
-                .filter_map(|p| p.variable().map(|v| (v.to_owned(), partial[p.id().index()])))
+                .filter_map(|p| {
+                    p.variable()
+                        .map(|v| (v.to_owned(), partial[p.id().index()]))
+                })
                 .collect();
             results.push(Witness::new(bindings));
             return;
@@ -374,10 +377,7 @@ mod tests {
         // different order than our fixture, which numbers them 1,2 — plus the
         // title and category pairs. What matters is the multiset of
         // (variable pair, child tag) combinations.
-        let p = parse_pattern(
-            "S//book->x1[.//author->x2][.//title->x3][.//category->x7]",
-        )
-        .unwrap();
+        let p = parse_pattern("S//book->x1[.//author->x2][.//title->x3][.//category->x7]").unwrap();
         let m = PatternMatcher::new(&p);
         let bindings = m.all_edge_bindings(&d1());
         let author_pairs: Vec<_> = bindings

@@ -206,7 +206,9 @@ impl<'a> Parser<'a> {
                 found: c,
                 expected: "tag name, '*' or '@attr'",
             }),
-            None => Err(XPathError::UnexpectedEnd { context: "node test" }),
+            None => Err(XPathError::UnexpectedEnd {
+                context: "node test",
+            }),
         }
     }
 

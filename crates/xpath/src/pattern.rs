@@ -204,7 +204,12 @@ impl TreePattern {
     /// Add a child step under `parent`. Children may be added in any order;
     /// ids remain insertion-ordered (which is pre-order when built by the
     /// parser).
-    pub fn add_child(&mut self, parent: PatternNodeId, axis: Axis, test: NodeTest) -> PatternNodeId {
+    pub fn add_child(
+        &mut self,
+        parent: PatternNodeId,
+        axis: Axis,
+        test: NodeTest,
+    ) -> PatternNodeId {
         let id = PatternNodeId(self.nodes.len() as u32);
         self.nodes.push(PatternNode {
             id,
@@ -273,10 +278,7 @@ impl TreePattern {
     /// queries receive identical names — implementing the paper's
     /// "same definition ⇒ same variable name" assumption.
     pub fn assign_canonical_variables(&mut self) {
-        let paths: Vec<String> = self
-            .node_ids()
-            .map(|id| self.definition_path(id))
-            .collect();
+        let paths: Vec<String> = self.node_ids().map(|id| self.definition_path(id)).collect();
         for (idx, path) in paths.iter().enumerate() {
             if self.nodes[idx].variable.is_none() {
                 self.nodes[idx].variable = Some(format!("_{path}"));
@@ -297,11 +299,7 @@ impl TreePattern {
             cur = node.parent();
         }
         steps.reverse();
-        format!(
-            "{}{}",
-            self.stream.as_deref().unwrap_or(""),
-            steps.join("")
-        )
+        format!("{}{}", self.stream.as_deref().unwrap_or(""), steps.join(""))
     }
 
     /// A canonical signature of the entire pattern (structure + variables),
@@ -311,11 +309,7 @@ impl TreePattern {
     pub fn signature(&self) -> String {
         fn encode(p: &TreePattern, id: PatternNodeId) -> String {
             let node = p.node(id);
-            let mut kids: Vec<String> = node
-                .children()
-                .iter()
-                .map(|&c| encode(p, c))
-                .collect();
+            let mut kids: Vec<String> = node.children().iter().map(|&c| encode(p, c)).collect();
             kids.sort();
             format!(
                 "{}{}[{}]({})",
@@ -388,9 +382,17 @@ mod tests {
     fn q1_block1() -> TreePattern {
         let mut p = TreePattern::new(Some("S".into()), Axis::Descendant, NodeTest::tag("book"));
         p.bind_variable(PatternNodeId::ROOT, "x1").unwrap();
-        let a = p.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag("author"));
+        let a = p.add_child(
+            PatternNodeId::ROOT,
+            Axis::Descendant,
+            NodeTest::tag("author"),
+        );
         p.bind_variable(a, "x2").unwrap();
-        let t = p.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag("title"));
+        let t = p.add_child(
+            PatternNodeId::ROOT,
+            Axis::Descendant,
+            NodeTest::tag("title"),
+        );
         p.bind_variable(t, "x3").unwrap();
         p
     }
@@ -409,7 +411,13 @@ mod tests {
         assert!(p.binds("x3"));
         assert!(!p.binds("x9"));
         assert!(p.variable_node("x9").is_err());
-        assert_eq!(p.edges(), vec![(PatternNodeId(0), PatternNodeId(1)), (PatternNodeId(0), PatternNodeId(2))]);
+        assert_eq!(
+            p.edges(),
+            vec![
+                (PatternNodeId(0), PatternNodeId(1)),
+                (PatternNodeId(0), PatternNodeId(2))
+            ]
+        );
         p.check_invariants().unwrap();
     }
 
@@ -436,9 +444,17 @@ mod tests {
     #[test]
     fn canonical_variables_same_definition_same_name() {
         let mut p1 = TreePattern::new(Some("S".into()), Axis::Descendant, NodeTest::tag("blog"));
-        p1.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag("author"));
+        p1.add_child(
+            PatternNodeId::ROOT,
+            Axis::Descendant,
+            NodeTest::tag("author"),
+        );
         let mut p2 = TreePattern::new(Some("S".into()), Axis::Descendant, NodeTest::tag("blog"));
-        p2.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag("author"));
+        p2.add_child(
+            PatternNodeId::ROOT,
+            Axis::Descendant,
+            NodeTest::tag("author"),
+        );
         p1.assign_canonical_variables();
         p2.assign_canonical_variables();
         assert_eq!(
@@ -459,17 +475,37 @@ mod tests {
     #[test]
     fn signature_ignores_sibling_order() {
         let mut a = TreePattern::new(None, Axis::Descendant, NodeTest::tag("book"));
-        a.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag("author"));
-        a.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag("title"));
+        a.add_child(
+            PatternNodeId::ROOT,
+            Axis::Descendant,
+            NodeTest::tag("author"),
+        );
+        a.add_child(
+            PatternNodeId::ROOT,
+            Axis::Descendant,
+            NodeTest::tag("title"),
+        );
 
         let mut b = TreePattern::new(None, Axis::Descendant, NodeTest::tag("book"));
-        b.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag("title"));
-        b.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag("author"));
+        b.add_child(
+            PatternNodeId::ROOT,
+            Axis::Descendant,
+            NodeTest::tag("title"),
+        );
+        b.add_child(
+            PatternNodeId::ROOT,
+            Axis::Descendant,
+            NodeTest::tag("author"),
+        );
 
         assert_eq!(a.signature(), b.signature());
 
         let mut c = TreePattern::new(None, Axis::Descendant, NodeTest::tag("blog"));
-        c.add_child(PatternNodeId::ROOT, Axis::Descendant, NodeTest::tag("author"));
+        c.add_child(
+            PatternNodeId::ROOT,
+            Axis::Descendant,
+            NodeTest::tag("author"),
+        );
         assert_ne!(a.signature(), c.signature());
     }
 

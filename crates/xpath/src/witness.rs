@@ -1,7 +1,7 @@
 //! Witness types: the output of Stage-1 XPath evaluation.
 
-use mmqjp_xml::{Document, NodeId};
 use crate::pattern::{NodeTest, PatternNodeId, TreePattern};
+use mmqjp_xml::{Document, NodeId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 

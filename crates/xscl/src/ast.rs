@@ -306,12 +306,10 @@ mod tests {
     use mmqjp_xpath::parse_pattern;
 
     fn q1() -> XsclQuery {
-        let left = QueryBlock::new(
-            parse_pattern("S//book->x1[.//author->x2][.//title->x3]").unwrap(),
-        );
-        let right = QueryBlock::new(
-            parse_pattern("S//blog->x4[.//author->x5][.//title->x6]").unwrap(),
-        );
+        let left =
+            QueryBlock::new(parse_pattern("S//book->x1[.//author->x2][.//title->x3]").unwrap());
+        let right =
+            QueryBlock::new(parse_pattern("S//blog->x4[.//author->x5][.//title->x6]").unwrap());
         XsclQuery::join(
             left,
             JoinOp::FollowedBy,

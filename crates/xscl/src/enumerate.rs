@@ -81,9 +81,8 @@ pub fn enumerate_bipartite_edge_sets(k: usize) -> Vec<BipartiteEdges> {
     }
     for m in 1..=k {
         for n in 1..=k {
-            let all_edges: Vec<(usize, usize)> = (0..m)
-                .flat_map(|i| (0..n).map(move |j| (i, j)))
-                .collect();
+            let all_edges: Vec<(usize, usize)> =
+                (0..m).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
             if all_edges.len() < k {
                 continue;
             }
@@ -180,7 +179,13 @@ pub fn partitions(n: usize, groups: usize) -> Vec<Vec<usize>> {
 fn flat_reduced_graph(graph: &BipartiteEdges) -> ReducedGraph {
     let left = flat_pattern("lhs", graph.left_vertices);
     let right = flat_pattern("rhs", graph.right_vertices);
-    build_reduced(&left, graph.left_vertices, &right, graph.right_vertices, &graph.edges)
+    build_reduced(
+        &left,
+        graph.left_vertices,
+        &right,
+        graph.right_vertices,
+        &graph.edges,
+    )
 }
 
 /// Build the reduced graph a 3-level-schema query would have, given which
@@ -192,7 +197,13 @@ fn complex_reduced_graph(
 ) -> ReducedGraph {
     let left = grouped_pattern("lhs", left_partition);
     let right = grouped_pattern("rhs", right_partition);
-    build_reduced(&left, graph.left_vertices, &right, graph.right_vertices, &graph.edges)
+    build_reduced(
+        &left,
+        graph.left_vertices,
+        &right,
+        graph.right_vertices,
+        &graph.edges,
+    )
 }
 
 /// A flat pattern: root with `leaves` join leaves (tags leaf0, leaf1, ...).

@@ -48,13 +48,19 @@ impl fmt::Display for XsclError {
             XsclError::Parse { message } => write!(f, "XSCL parse error: {message}"),
             XsclError::Pattern(e) => write!(f, "query block pattern error: {e}"),
             XsclError::UnboundVariable { variable, side } => {
-                write!(f, "variable `{variable}` is not bound in the {side} query block")
+                write!(
+                    f,
+                    "variable `{variable}` is not bound in the {side} query block"
+                )
             }
             XsclError::NotNormalizable { reason } => {
                 write!(f, "query is not in value-join normal form: {reason}")
             }
             XsclError::NoValueJoins => {
-                write!(f, "query has no value-join predicates (pure tree-pattern subscription)")
+                write!(
+                    f,
+                    "query has no value-join predicates (pure tree-pattern subscription)"
+                )
             }
             XsclError::Unsupported { feature } => write!(f, "unsupported XSCL feature: {feature}"),
         }

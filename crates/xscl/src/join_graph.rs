@@ -80,20 +80,18 @@ impl JoinGraph {
         }
         let mut value_edges = Vec::with_capacity(predicates.len());
         for p in predicates {
-            let l = left
-                .pattern
-                .variable_node(&p.left_var)
-                .map_err(|_| XsclError::UnboundVariable {
+            let l = left.pattern.variable_node(&p.left_var).map_err(|_| {
+                XsclError::UnboundVariable {
                     variable: p.left_var.clone(),
                     side: "left",
-                })?;
-            let r = right
-                .pattern
-                .variable_node(&p.right_var)
-                .map_err(|_| XsclError::UnboundVariable {
+                }
+            })?;
+            let r = right.pattern.variable_node(&p.right_var).map_err(|_| {
+                XsclError::UnboundVariable {
                     variable: p.right_var.clone(),
                     side: "right",
-                })?;
+                }
+            })?;
             value_edges.push((l, r));
         }
         Ok(JoinGraph {
@@ -167,7 +165,13 @@ impl fmt::Display for JoinGraph {
                 )
             })
             .collect();
-        write!(f, "value joins: {} ({} within {})", edges.join(", "), self.op, self.window)
+        write!(
+            f,
+            "value joins: {} ({} within {})",
+            edges.join(", "),
+            self.op,
+            self.window
+        )
     }
 }
 
@@ -207,10 +211,7 @@ mod tests {
         let q = parse_query(Q1).unwrap();
         let g = JoinGraph::from_query(&q).unwrap();
         assert_eq!(g.num_value_joins(), 2);
-        assert_eq!(
-            g.left.node(g.value_edges[0].0).variable(),
-            Some("x2")
-        );
+        assert_eq!(g.left.node(g.value_edges[0].0).variable(), Some("x2"));
     }
 
     #[test]

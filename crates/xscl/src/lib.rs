@@ -36,7 +36,9 @@ pub mod normalize;
 pub mod parser;
 pub mod template;
 
-pub use ast::{FromClause, JoinOp, QueryBlock, QueryId, SelectClause, ValueJoin, Window, XsclQuery};
+pub use ast::{
+    FromClause, JoinOp, QueryBlock, QueryId, SelectClause, ValueJoin, Window, XsclQuery,
+};
 pub use error::{XsclError, XsclResult};
 pub use join_graph::{JoinGraph, Side};
 pub use minor::{ReducedGraph, ReducedNode, ReducedTree};

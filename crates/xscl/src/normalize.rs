@@ -216,10 +216,8 @@ mod tests {
 
     #[test]
     fn anonymous_nodes_receive_variables() {
-        let q = parse_query(
-            "S//book[.//author->a] FOLLOWED BY{a=b, 10} S//blog[.//author->b]",
-        )
-        .unwrap();
+        let q = parse_query("S//book[.//author->a] FOLLOWED BY{a=b, 10} S//blog[.//author->b]")
+            .unwrap();
         let n = normalize_query(&q).unwrap();
         let (l, _) = n.query.blocks().unwrap();
         // The anonymous //book root now carries its canonical name.

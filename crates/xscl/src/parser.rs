@@ -289,7 +289,7 @@ mod tests {
         assert_eq!(q.predicates().len(), 2);
         assert_eq!(q.predicates()[0], ValueJoin::new("x5", "x5'"));
         let (l, r) = q.blocks().unwrap();
-        assert_eq!(l.pattern.signature() == r.pattern.signature(), false);
+        assert_ne!(l.pattern.signature(), r.pattern.signature());
         // Same structural shape, different variable names.
         assert!(l.pattern.binds("x5"));
         assert!(r.pattern.binds("x5'"));

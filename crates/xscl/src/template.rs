@@ -20,9 +20,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a query template within a catalog.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TemplateId(pub u32);
 
 impl TemplateId {
@@ -263,16 +261,10 @@ pub fn isomorphism(a: &ReducedGraph, b: &ReducedGraph) -> Option<Vec<usize>> {
         }
     };
 
-    let a_value_edges: std::collections::HashSet<(usize, usize)> = a
-        .value_edges
-        .iter()
-        .map(|&(l, r)| (l, nl + r))
-        .collect();
-    let b_value_edges: std::collections::HashSet<(usize, usize)> = b
-        .value_edges
-        .iter()
-        .map(|&(l, r)| (l, nl + r))
-        .collect();
+    let a_value_edges: std::collections::HashSet<(usize, usize)> =
+        a.value_edges.iter().map(|&(l, r)| (l, nl + r)).collect();
+    let b_value_edges: std::collections::HashSet<(usize, usize)> =
+        b.value_edges.iter().map(|&(l, r)| (l, nl + r)).collect();
 
     // mapping[a_pos] = Some(b_pos)
     let mut mapping: Vec<Option<usize>> = vec![None; total];
@@ -281,6 +273,7 @@ pub fn isomorphism(a: &ReducedGraph, b: &ReducedGraph) -> Option<Vec<usize>> {
     // Order: left positions then right positions (parents precede children in
     // ReducedTree construction order, so a node's parent is always mapped
     // before the node itself).
+    #[allow(clippy::too_many_arguments)]
     fn backtrack(
         pos: usize,
         total: usize,
@@ -312,8 +305,12 @@ pub fn isomorphism(a: &ReducedGraph, b: &ReducedGraph) -> Option<Vec<usize>> {
                 continue;
             }
             // Parent consistency.
-            let a_parent_global = a_node.parent.map(|p| if side == Side::Left { p } else { nl + p });
-            let b_parent_global = b_node.parent.map(|p| if side == Side::Left { p } else { nl + p });
+            let a_parent_global = a_node
+                .parent
+                .map(|p| if side == Side::Left { p } else { nl + p });
+            let b_parent_global = b_node
+                .parent
+                .map(|p| if side == Side::Left { p } else { nl + p });
             match (a_parent_global, b_parent_global) {
                 (None, None) => {}
                 (Some(ap), Some(bp)) => {

@@ -1,0 +1,163 @@
+//! Round-trip tests for the XSCL front end on the paper's running example:
+//! `parse → normalize → template` on Q1/Q2 (Table 2), display round-trips,
+//! and error-path assertions for malformed query strings.
+
+use mmqjp_xscl::{
+    normalize_query, parse_query, JoinGraph, ReducedGraph, TemplateCatalog, XsclError,
+};
+
+/// Q1 of Table 2: book announcement followed by a blog article from one of
+/// its authors with the same title.
+const Q1: &str = "S//book->x1[.//author->x2][.//title->x3] \
+    FOLLOWED BY{x2=x5 AND x3=x6, 1000} \
+    S//blog->x4[.//author->x5][.//title->x6]";
+
+/// Q2 of Table 2: same author, same category.
+const Q2: &str = "S//book->x1[.//author->x2][.//category->x7] \
+    FOLLOWED BY{x2=x5 AND x7=x8, 1000} \
+    S//blog->x4[.//author->x5][.//category->x8]";
+
+fn reduced_graph(text: &str) -> ReducedGraph {
+    let parsed = parse_query(text).expect("paper query parses");
+    let normalized = normalize_query(&parsed).expect("paper query normalizes");
+    let graph = JoinGraph::from_query(&normalized.query).expect("join graph builds");
+    ReducedGraph::from_join_graph(&graph)
+}
+
+#[test]
+fn q1_parse_display_roundtrip() {
+    let q = parse_query(Q1).unwrap();
+    let q2 = parse_query(&q.to_string()).unwrap();
+    assert_eq!(q.predicates(), q2.predicates());
+    assert_eq!(q.window(), q2.window());
+    assert_eq!(q.op(), q2.op());
+    let (l, r) = q.blocks().unwrap();
+    let (l2, r2) = q2.blocks().unwrap();
+    assert_eq!(l.pattern.signature(), l2.pattern.signature());
+    assert_eq!(r.pattern.signature(), r2.pattern.signature());
+}
+
+#[test]
+fn q2_parse_display_roundtrip() {
+    let q = parse_query(Q2).unwrap();
+    let q2 = parse_query(&q.to_string()).unwrap();
+    assert_eq!(q.predicates(), q2.predicates());
+    assert_eq!(q.window(), q2.window());
+    assert_eq!(q.op(), q2.op());
+}
+
+#[test]
+fn q1_normalization_is_idempotent() {
+    let q = parse_query(Q1).unwrap();
+    let once = normalize_query(&q).unwrap().query;
+    let twice = normalize_query(&once).unwrap().query;
+    assert_eq!(once.predicates(), twice.predicates());
+    let (l1, r1) = once.blocks().unwrap();
+    let (l2, r2) = twice.blocks().unwrap();
+    assert_eq!(l1.pattern.signature(), l2.pattern.signature());
+    assert_eq!(r1.pattern.signature(), r2.pattern.signature());
+}
+
+#[test]
+fn q1_and_q2_share_one_template() {
+    // The paper's central observation (Table 3): Q1 and Q2 differ only in
+    // which document fields they join, so their reduced join graphs are
+    // isomorphic and they compile to the same query template.
+    let g1 = reduced_graph(Q1);
+    let g2 = reduced_graph(Q2);
+    let mut catalog = TemplateCatalog::new();
+    let m1 = catalog.insert(&g1);
+    let m2 = catalog.insert(&g2);
+    assert_eq!(m1.template, m2.template);
+    assert_eq!(catalog.len(), 1);
+    assert_eq!(catalog.memberships(), 2);
+}
+
+#[test]
+fn template_round_trip_is_stable_across_catalogs() {
+    // Inserting the same reduced graph into a fresh catalog finds the same
+    // shape again: find() locates what insert() created.
+    let g1 = reduced_graph(Q1);
+    let mut catalog = TemplateCatalog::new();
+    let m = catalog.insert(&g1);
+    assert_eq!(catalog.find(&reduced_graph(Q1)), Some(m.template));
+    assert_eq!(catalog.find(&reduced_graph(Q2)), Some(m.template));
+}
+
+// ---------------------------------------------------------------------------
+// Error paths
+// ---------------------------------------------------------------------------
+
+#[test]
+fn empty_query_is_a_parse_error() {
+    assert!(matches!(parse_query(""), Err(XsclError::Parse { .. })));
+    assert!(matches!(
+        parse_query("   \t "),
+        Err(XsclError::Parse { .. })
+    ));
+}
+
+#[test]
+fn missing_right_block_is_rejected() {
+    // The text after the window clause is an empty pattern.
+    let err = parse_query("S//book->x1[.//author->x2] FOLLOWED BY{x2=x5, 100}").unwrap_err();
+    assert!(
+        matches!(err, XsclError::Parse { .. } | XsclError::Pattern(_)),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn malformed_window_is_a_parse_error() {
+    let err = parse_query("S//a->x1[.//f->x2] FOLLOWED BY{x2=y2, banana} S//b->y1[.//f->y2]")
+        .unwrap_err();
+    assert!(matches!(err, XsclError::Parse { .. }), "got {err:?}");
+}
+
+#[test]
+fn unbound_join_variable_is_rejected() {
+    // `zz` appears in the join predicate but is bound in neither block.
+    let result = parse_query("S//a->x1[.//f->x2] FOLLOWED BY{x2=zz, 100} S//b->y1[.//f->y2]")
+        .and_then(|q| normalize_query(&q).map(|_| ()));
+    match result {
+        Err(XsclError::UnboundVariable { variable, .. }) => assert_eq!(variable, "zz"),
+        other => panic!("expected UnboundVariable, got {other:?}"),
+    }
+}
+
+#[test]
+fn join_without_value_joins_is_rejected_by_normalization() {
+    // The parser refuses an empty predicate list syntactically, so strip the
+    // predicates from a parsed Q1 through the public AST.
+    let mut q = parse_query(Q1).unwrap();
+    if let mmqjp_xscl::FromClause::Join { predicates, .. } = &mut q.from {
+        predicates.clear();
+    } else {
+        panic!("Q1 must parse to a join");
+    }
+    let err = normalize_query(&q).unwrap_err();
+    assert!(matches!(err, XsclError::NoValueJoins), "got {err:?}");
+}
+
+#[test]
+fn single_block_query_is_not_a_join() {
+    // A pure tree-pattern subscription parses and normalizes, but is not a
+    // join and has no join graph — Stage 2 never sees it.
+    let q = parse_query("S//book->x1[.//author->x2]").unwrap();
+    assert!(!q.is_join());
+    assert!(!normalize_query(&q).unwrap().query.is_join());
+    assert!(matches!(
+        JoinGraph::from_query(&q),
+        Err(XsclError::Unsupported { .. })
+    ));
+}
+
+#[test]
+fn error_display_is_informative() {
+    let err = parse_query("").unwrap_err();
+    let shown = err.to_string();
+    assert!(
+        shown.to_lowercase().contains("parse"),
+        "display should mention parsing: {shown}"
+    );
+}

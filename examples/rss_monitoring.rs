@@ -31,7 +31,9 @@ fn main() {
         .with_retain_documents(false);
         let mut engine = MmqjpEngine::new(config);
         for q in queries.clone() {
-            engine.register_query(q).expect("generated queries are valid");
+            engine
+                .register_query(q)
+                .expect("generated queries are valid");
         }
 
         let stream = RssStreamGenerator::new(RssStreamConfig {

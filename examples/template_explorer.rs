@@ -16,7 +16,10 @@ fn main() {
     let num_queries = arg_or(1, 10_000);
 
     println!("Table 3 — number of possible query templates by #value joins");
-    println!("{:>4}  {:>12}  {:>15}", "#VJ", "flat schema", "complex schema");
+    println!(
+        "{:>4}  {:>12}  {:>15}",
+        "#VJ", "flat schema", "complex schema"
+    );
     for k in 1..=4 {
         let flat = count_flat_templates(k);
         let complex = if k <= 3 {
@@ -34,7 +37,9 @@ fn main() {
     let flat = FlatSchemaWorkload::new(6, 0.8);
     let mut engine = MmqjpEngine::new(EngineConfig::mmqjp());
     for q in flat.generate_queries(num_queries, &mut rng) {
-        engine.register_query(q).expect("generated queries are valid");
+        engine
+            .register_query(q)
+            .expect("generated queries are valid");
     }
     println!(
         "  simple schema (6 leaves):  {} queries -> {} templates, {} distinct patterns",
@@ -46,7 +51,9 @@ fn main() {
     let complex = ComplexSchemaWorkload::new(4, 4, 0.8);
     let mut engine = MmqjpEngine::new(EngineConfig::mmqjp());
     for q in complex.generate_queries(num_queries, &mut rng) {
-        engine.register_query(q).expect("generated queries are valid");
+        engine
+            .register_query(q)
+            .expect("generated queries are valid");
     }
     println!(
         "  complex schema (16 leaves): {} queries -> {} templates, {} distinct patterns",

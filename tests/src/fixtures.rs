@@ -79,26 +79,25 @@ pub fn run_stream(engine: &mut MmqjpEngine, docs: Vec<Document>) -> Vec<MatchOut
     out
 }
 
-/// A comparable key for a match (query, left doc, right doc, sorted
-/// bindings). Output documents are excluded: Sequential and MMQJP construct
-/// identical documents, but comparing them is redundant given the bindings.
-pub fn match_key(m: &MatchOutput) -> (u64, u64, u64, Vec<(String, u64, u32)>) {
+/// A comparable key for a match: `(query, left doc, right doc, sorted
+/// (variable, doc, node) bindings)`.
+pub type MatchKey = (u64, u64, u64, Vec<(String, u64, u32)>);
+
+/// The [`MatchKey`] of one match. Output documents are excluded: Sequential
+/// and MMQJP construct identical documents, but comparing them is redundant
+/// given the bindings.
+pub fn match_key(m: &MatchOutput) -> MatchKey {
     let mut bindings: Vec<(String, u64, u32)> = m
         .bindings
         .iter()
         .map(|b| (b.variable.clone(), b.doc.raw(), b.node.raw()))
         .collect();
     bindings.sort();
-    (
-        m.query.raw(),
-        m.left_doc.raw(),
-        m.right_doc.raw(),
-        bindings,
-    )
+    (m.query.raw(), m.left_doc.raw(), m.right_doc.raw(), bindings)
 }
 
 /// Sorted match keys of a match list.
-pub fn match_keys(matches: &[MatchOutput]) -> Vec<(u64, u64, u64, Vec<(String, u64, u32)>)> {
+pub fn match_keys(matches: &[MatchOutput]) -> Vec<MatchKey> {
     let mut keys: Vec<_> = matches.iter().map(match_key).collect();
     keys.sort();
     keys

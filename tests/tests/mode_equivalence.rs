@@ -35,7 +35,8 @@ fn assert_modes_agree(queries: &[XsclQuery], docs: &[Document]) -> usize {
         match &reference {
             None => reference = Some(keys),
             Some(r) => assert_eq!(
-                r, &keys,
+                r,
+                &keys,
                 "mode {mode:?} disagrees with {:?}",
                 ProcessingMode::Sequential
             ),

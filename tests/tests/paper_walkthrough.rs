@@ -2,8 +2,8 @@
 //! Tables 1–2 against the documents of Figures 1–2, following the
 //! Section 4.4.1 walkthrough and the Table 4 relation contents.
 
-use mmqjp_integration_tests::{all_modes, d1, d2, engine_with_queries, Q1, Q2, Q3};
 use mmqjp_core::QueryId;
+use mmqjp_integration_tests::{all_modes, d1, d2, engine_with_queries, Q1, Q2, Q3};
 use mmqjp_xml::{serialize, NodeId};
 
 #[test]
@@ -42,7 +42,10 @@ fn q1_output_document_contains_both_subtrees() {
     engine.process_document(d1()).unwrap();
     let out = engine.process_document(d2()).unwrap();
     assert_eq!(out.len(), 1);
-    let doc = out[0].document.as_ref().expect("SELECT * constructs a document");
+    let doc = out[0]
+        .document
+        .as_ref()
+        .expect("SELECT * constructs a document");
     // "The root of the output document has two subtrees, where the first
     // corresponds to the subtree rooted at the book element in d1, and the
     // second to the subtree rooted at the blog element in d2."

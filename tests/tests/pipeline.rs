@@ -35,8 +35,12 @@ fn raw_xml_to_matches() {
         )
         .unwrap();
 
-    let book = parse_document(BOOK_XML).unwrap().with_timestamp(Timestamp(1));
-    let blog = parse_document(BLOG_XML).unwrap().with_timestamp(Timestamp(2));
+    let book = parse_document(BOOK_XML)
+        .unwrap()
+        .with_timestamp(Timestamp(1));
+    let blog = parse_document(BLOG_XML)
+        .unwrap()
+        .with_timestamp(Timestamp(2));
 
     assert!(engine.process_document(book).unwrap().is_empty());
     let matches = engine.process_document(blog).unwrap();
@@ -103,11 +107,7 @@ fn xscl_analysis_pipeline_is_consistent_with_engine_registration() {
     let engine_template = &engine.registry().templates()[0].template;
     assert_eq!(engine_template.num_meta_vars(), 6);
     assert_eq!(engine_template.num_left(), 3);
-    assert!(mmqjp_xscl::template::isomorphism(
-        &reduced,
-        &engine_template.graph
-    )
-    .is_some());
+    assert!(mmqjp_xscl::template::isomorphism(&reduced, &engine_template.graph).is_some());
 }
 
 #[test]
@@ -139,12 +139,13 @@ fn attribute_values_participate_in_joins() {
             "S//book->b[./@isbn->i] FOLLOWED BY{i=r, 100} S//blog->g[.//isbn_ref->r]",
         )
         .unwrap();
-    let book = parse_document(BOOK_XML).unwrap().with_timestamp(Timestamp(1));
-    let blog = parse_document(
-        "<blog><author>Someone</author><isbn_ref>0764579169</isbn_ref></blog>",
-    )
-    .unwrap()
-    .with_timestamp(Timestamp(2));
+    let book = parse_document(BOOK_XML)
+        .unwrap()
+        .with_timestamp(Timestamp(1));
+    let blog =
+        parse_document("<blog><author>Someone</author><isbn_ref>0764579169</isbn_ref></blog>")
+            .unwrap()
+            .with_timestamp(Timestamp(2));
     assert!(engine.process_document(book).unwrap().is_empty());
     let out = engine.process_document(blog).unwrap();
     assert_eq!(out.len(), 1);

@@ -1,0 +1,26 @@
+//! Minimal, dependency-free stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as forward-looking annotations (no code
+//! actually serializes anything yet), so this stub provides marker traits with
+//! blanket implementations and derive macros that expand to nothing. When the
+//! real `serde` is available, this vendored crate can be deleted and the
+//! workspace dependency pointed back at crates.io without touching any source.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for all types.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

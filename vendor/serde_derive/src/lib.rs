@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives backing the vendored serde stub.
+//!
+//! The stub's traits carry blanket implementations, so the derives have
+//! nothing to generate — they exist purely so `#[derive(Serialize,
+//! Deserialize)]` attributes in the workspace compile unchanged.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the stub `Serialize` trait is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the stub `Deserialize` trait is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
