@@ -1,0 +1,55 @@
+//! Figure 17 (beyond the paper): wall-clock RSS throughput of the
+//! `ShardedEngine` vs shard count, for MMQJP and MMQJP with view
+//! materialization on the Figure-16 workload.
+//!
+//! Expected shape on an `N`-core machine: throughput grows with the shard
+//! count until it saturates at the core count (each shard is an independent
+//! engine on its own thread; the document stream is replicated, so Stage-1
+//! work is partly duplicated and scaling is sublinear). On a single-core
+//! runner the sweep degenerates to ≈ 1× — the table still prints the
+//! speedup column so the trend is visible wherever the bench runs.
+
+use mmqjp_bench::{figure_header, run_sharded_rss_benchmark, scale};
+use mmqjp_core::ProcessingMode;
+
+pub fn main() {
+    figure_header(
+        "Figure 17",
+        "RSS stream — wall-clock throughput vs shard count (query-population sharding)",
+    );
+    let scale = scale();
+    let items = scale.rss_items();
+    let batch = scale.rss_batch();
+    let shard_counts = scale.shard_counts();
+    let num_queries = *scale.query_counts().last().expect("non-empty sweep");
+    println!(
+        "stream: {items} items, 418 channels, batch size {batch}, {num_queries} queries, \
+         {} cores available",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    for mode in [ProcessingMode::MmqjpViewMat, ProcessingMode::Mmqjp] {
+        println!("\n=== Figure 17 — {} ===", mode.label());
+        println!(
+            "{:>24}  {:>18}  {:>12}  {:>10}",
+            "shards", "throughput", "speedup", "matches"
+        );
+        let mut base = None;
+        for &shards in &shard_counts {
+            let run = run_sharded_rss_benchmark(mode, shards, num_queries, items, batch, 16);
+            let base = *base.get_or_insert(run.wall_throughput);
+            let speedup = if base > 0.0 {
+                run.wall_throughput / base
+            } else {
+                0.0
+            };
+            println!(
+                "{:>24}  {:>18}  {:>11.2}x  {:>10}",
+                format!("{shards} shards"),
+                format!("{:.0} docs/s", run.wall_throughput),
+                speedup,
+                run.matches,
+            );
+        }
+    }
+}

@@ -11,7 +11,7 @@
 //! (`default`, `paper`, `smoke`); see
 //! [`mmqjp_workload::BenchScale`].
 
-use mmqjp_core::{EngineConfig, MmqjpEngine, PhaseTimings, ProcessingMode};
+use mmqjp_core::{EngineConfig, MmqjpEngine, PhaseTimings, ProcessingMode, ShardedEngine};
 use mmqjp_workload::{
     BenchScale, ComplexSchemaWorkload, FlatSchemaWorkload, RssQueryGenerator, RssStreamConfig,
     RssStreamGenerator,
@@ -185,6 +185,74 @@ pub fn run_rss_benchmark(
     }
 }
 
+/// Result of one sharded RSS stream replay (Figure 17).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedRssRun {
+    /// Wall-clock throughput of the replay loop in documents per second.
+    /// Unlike [`RssRun::throughput`] (which counts only single-threaded
+    /// Stage-2 time) this is end-to-end wall time — the quantity sharding
+    /// actually improves on a multi-core machine.
+    pub wall_throughput: f64,
+    /// Total matches produced.
+    pub matches: usize,
+    /// Sum of per-shard template counts (shared templates are replicated
+    /// into every shard holding one of their member queries).
+    pub templates: usize,
+}
+
+/// Replay the Figure-16 RSS workload through a [`ShardedEngine`] with the
+/// given shard count and inner mode, measuring wall-clock throughput.
+pub fn run_sharded_rss_benchmark(
+    mode: ProcessingMode,
+    num_shards: usize,
+    num_queries: usize,
+    items: usize,
+    batch: usize,
+    seed: u64,
+) -> ShardedRssRun {
+    let generator = RssQueryGenerator::new(0.8);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let queries = generator.generate_queries(num_queries, &mut rng);
+    let config = EngineConfig {
+        mode,
+        ..EngineConfig::default()
+    }
+    .with_retain_documents(false)
+    .with_num_shards(num_shards);
+    let mut engine = ShardedEngine::new(config);
+    for q in queries {
+        engine
+            .register_query(q)
+            .expect("generated queries register cleanly");
+    }
+
+    let stream = RssStreamGenerator::new(RssStreamConfig {
+        items,
+        ..RssStreamConfig::default()
+    });
+    let docs = stream.documents();
+    let num_docs = docs.len();
+    let mut matches = 0usize;
+    let start = std::time::Instant::now();
+    for chunk in docs.chunks(batch.max(1)) {
+        matches += engine
+            .process_batch(chunk.to_vec())
+            .expect("batch processes")
+            .len();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = engine.stats().expect("shard workers are alive");
+    ShardedRssRun {
+        wall_throughput: if elapsed > 0.0 {
+            num_docs as f64 / elapsed
+        } else {
+            0.0
+        },
+        matches,
+        templates: stats.templates,
+    }
+}
+
 /// The scale selected through the environment.
 pub fn scale() -> BenchScale {
     BenchScale::from_env()
@@ -232,6 +300,17 @@ mod tests {
         let run = run_rss_benchmark(ProcessingMode::MmqjpViewMat, 30, 100, 50, 3);
         assert!(run.templates <= 5);
         assert!(run.throughput >= 0.0);
+    }
+
+    #[test]
+    fn sharded_rss_benchmark_matches_single_engine_counts() {
+        let single = run_rss_benchmark(ProcessingMode::Mmqjp, 30, 100, 50, 3);
+        for shards in [1, 3] {
+            let sharded = run_sharded_rss_benchmark(ProcessingMode::Mmqjp, shards, 30, 100, 50, 3);
+            assert_eq!(sharded.matches, single.matches, "{shards} shards");
+            assert!(sharded.wall_throughput > 0.0);
+            assert!(sharded.templates >= single.templates);
+        }
     }
 
     #[test]

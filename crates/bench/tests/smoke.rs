@@ -38,6 +38,7 @@ bench_smoke! {
     fig14_viewmat_simple => "../benches/fig14_viewmat_simple.rs";
     fig15_viewmat_complex => "../benches/fig15_viewmat_complex.rs";
     fig16_rss_throughput => "../benches/fig16_rss_throughput.rs";
+    fig17_sharded_throughput => "../benches/fig17_sharded_throughput.rs";
     micro_operators => "../benches/micro_operators.rs";
     table3_templates => "../benches/table3_templates.rs";
 }

@@ -53,6 +53,13 @@ pub struct EngineConfig {
     /// already processed. The paper assumes in-order streams; disabling this
     /// lets out-of-order events in (they simply join as if on time).
     pub enforce_in_order: bool,
+    /// Number of query-population shards used by
+    /// [`ShardedEngine`](crate::ShardedEngine): the registered queries are
+    /// hash-partitioned across this many independent engine instances, each
+    /// running on its own worker thread in the configured [`mode`](Self::mode).
+    /// `0` is treated as `1`. Ignored by the single-threaded
+    /// [`MmqjpEngine`](crate::MmqjpEngine).
+    pub num_shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -63,6 +70,7 @@ impl Default for EngineConfig {
             retain_documents: true,
             prune_state_by_window: false,
             enforce_in_order: false,
+            num_shards: 1,
         }
     }
 }
@@ -109,6 +117,13 @@ impl EngineConfig {
         self.prune_state_by_window = prune;
         self
     }
+
+    /// Builder-style setter for the shard count used by
+    /// [`ShardedEngine`](crate::ShardedEngine).
+    pub fn with_num_shards(mut self, num_shards: usize) -> Self {
+        self.num_shards = num_shards;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +137,7 @@ mod tests {
         assert_eq!(c.view_cache_capacity, None);
         assert!(c.retain_documents);
         assert!(!c.prune_state_by_window);
+        assert_eq!(c.num_shards, 1);
     }
 
     #[test]
@@ -139,10 +155,12 @@ mod tests {
         let c = EngineConfig::mmqjp_view_mat()
             .with_view_cache_capacity(Some(128))
             .with_retain_documents(false)
-            .with_prune_state_by_window(true);
+            .with_prune_state_by_window(true)
+            .with_num_shards(4);
         assert_eq!(c.view_cache_capacity, Some(128));
         assert!(!c.retain_documents);
         assert!(c.prune_state_by_window);
+        assert_eq!(c.num_shards, 4);
     }
 
     #[test]

@@ -52,7 +52,16 @@ pub struct MmqjpEngine {
 impl MmqjpEngine {
     /// Create an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
-        let interner = Arc::new(StringInterner::new());
+        MmqjpEngine::with_interner(config, Arc::new(StringInterner::new()))
+    }
+
+    /// Create an engine sharing an existing string interner.
+    ///
+    /// [`StringInterner`] is thread-safe, so several engines (for example the
+    /// shards of a [`ShardedEngine`](crate::ShardedEngine)) can intern
+    /// through the same instance concurrently; symbols stay comparable across
+    /// all of them and shared strings are stored once.
+    pub fn with_interner(config: EngineConfig, interner: Arc<StringInterner>) -> Self {
         let view_cache = ViewCache::new(config.view_cache_capacity);
         MmqjpEngine {
             registry: Registry::new(Arc::clone(&interner)),
@@ -187,9 +196,6 @@ impl MmqjpEngine {
 
         // ---- Stage 2: value-join processing --------------------------------
         let mut outputs = single_block_outputs;
-        if self.registry.templates().is_empty() && outputs.is_empty() {
-            // No join queries and no single-block matches: just maintain state.
-        }
         if !self.registry.templates().is_empty() && !batch.is_empty() {
             let result_rows = match self.config.mode {
                 ProcessingMode::Sequential => self.evaluate_sequential(&batch, &mut timings)?,

@@ -34,6 +34,13 @@ pub enum CoreError {
         /// The raw query id.
         id: u64,
     },
+    /// A shard worker thread of a [`ShardedEngine`](crate::ShardedEngine) is
+    /// gone (its thread panicked or was shut down), so the request could not
+    /// be completed.
+    ShardUnavailable {
+        /// Index of the unavailable shard.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -47,6 +54,9 @@ impl fmt::Display for CoreError {
                 "out-of-order document: timestamp {timestamp} is older than already-processed {newest}"
             ),
             CoreError::UnknownQuery { id } => write!(f, "unknown query id {id}"),
+            CoreError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} worker is unavailable")
+            }
         }
     }
 }
@@ -90,6 +100,9 @@ mod tests {
         .to_string()
         .contains("out-of-order"));
         assert!(CoreError::UnknownQuery { id: 7 }.to_string().contains('7'));
+        assert!(CoreError::ShardUnavailable { shard: 2 }
+            .to_string()
+            .contains("shard 2"));
     }
 
     #[test]

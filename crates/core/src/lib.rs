@@ -26,6 +26,12 @@
 //! A naive **Sequential** mode (one conjunctive query per registered query
 //! per document) is provided as the paper's baseline.
 //!
+//! For multi-core operation, [`ShardedEngine`] hash-partitions the query
+//! population across `N` independent engine shards on worker threads,
+//! replicates the document stream to all of them, and merges the per-shard
+//! matches into a deterministic, canonically-ordered result — identical to a
+//! single engine's output for every shard count and inner mode.
+//!
 //! # Quick start
 //!
 //! ```
@@ -67,15 +73,17 @@ mod error;
 mod output;
 mod registry;
 mod relations;
+mod shard;
 mod stats;
 mod view_cache;
 
 pub use config::{EngineConfig, ProcessingMode};
 pub use engine::MmqjpEngine;
 pub use error::{CoreError, CoreResult};
-pub use output::{Binding, MatchOutput};
+pub use output::{sort_matches, Binding, MatchOutput};
 pub use registry::{QueryRuntime, Registry, TemplateRuntime};
 pub use relations::{schemas, WitnessBatch};
+pub use shard::ShardedEngine;
 pub use stats::{EngineStats, PhaseTimings};
 pub use view_cache::{ViewCache, ViewCacheStats};
 

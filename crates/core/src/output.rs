@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One variable binding reported in a match.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Binding {
     /// The query's (canonical) variable name.
     pub variable: String,
@@ -53,6 +53,31 @@ impl MatchOutput {
     pub fn binding(&self, variable: &str) -> Option<&Binding> {
         self.bindings.iter().find(|b| b.variable == variable)
     }
+
+    /// Compare two matches by `(query, left_doc, right_doc, bindings)`.
+    ///
+    /// This is a total order on the matches a batch can produce: the bindings
+    /// determine the result tuple the match was built from, so two matches
+    /// comparing `Equal` are identical (including their constructed output
+    /// document). Used by [`sort_matches`] to impose the canonical order.
+    pub fn canonical_cmp(&self, other: &MatchOutput) -> std::cmp::Ordering {
+        self.query
+            .cmp(&other.query)
+            .then_with(|| self.left_doc.cmp(&other.left_doc))
+            .then_with(|| self.right_doc.cmp(&other.right_doc))
+            .then_with(|| self.bindings.cmp(&other.bindings))
+    }
+}
+
+/// Sort matches into the canonical `(query, left_doc, right_doc, bindings)`
+/// order.
+///
+/// [`ShardedEngine`](crate::ShardedEngine) returns every batch in this order
+/// so its output is deterministic and directly comparable with a
+/// canonically-sorted single-engine run, independent of shard count and
+/// thread interleaving.
+pub fn sort_matches(matches: &mut [MatchOutput]) {
+    matches.sort_by(MatchOutput::canonical_cmp);
 }
 
 impl fmt::Display for MatchOutput {
@@ -122,6 +147,33 @@ mod tests {
         assert_eq!(m.binding("S//book//author"), Some(&b));
         assert!(m.binding("missing").is_none());
         assert!(m.to_string().contains("Q3"));
+    }
+
+    #[test]
+    fn canonical_order_sorts_by_query_docs_then_bindings() {
+        let m = |q: u64, l: u64, r: u64, node: u32| MatchOutput {
+            query: QueryId(q),
+            publish: None,
+            left_doc: DocId(l),
+            right_doc: DocId(r),
+            bindings: vec![Binding {
+                variable: "v".into(),
+                doc: DocId(l),
+                node: NodeId::from_raw(node),
+            }],
+            document: None,
+        };
+        let mut matches = vec![m(2, 1, 3, 0), m(1, 2, 3, 0), m(1, 1, 3, 5), m(1, 1, 3, 2)];
+        sort_matches(&mut matches);
+        let keys: Vec<(u64, u64, u32)> = matches
+            .iter()
+            .map(|o| (o.query.raw(), o.left_doc.raw(), o.bindings[0].node.raw()))
+            .collect();
+        assert_eq!(keys, vec![(1, 1, 2), (1, 1, 5), (1, 2, 0), (2, 1, 0)]);
+        assert_eq!(
+            matches[0].canonical_cmp(&matches[0]),
+            std::cmp::Ordering::Equal
+        );
     }
 
     #[test]

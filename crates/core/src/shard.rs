@@ -1,0 +1,532 @@
+//! Multi-core processing through query-population sharding.
+//!
+//! The paper's Join Processor is a single-threaded component; its evaluation
+//! is inherently shareable across queries but not, by itself, across cores.
+//! [`ShardedEngine`] scales it out the standard pub/sub way: the *query
+//! population* is hash-partitioned across `N` independent [`MmqjpEngine`]
+//! shards and the *document stream* is replicated to all of them. Each shard
+//! runs on a long-lived worker thread, owns its own registry, join state and
+//! view cache, and evaluates its query subset in the configured
+//! [`ProcessingMode`](crate::ProcessingMode) — a shard is just a smaller
+//! engine, so sharding composes with Sequential, MMQJP and MMQJP+VM alike.
+//!
+//! ```text
+//!                         ┌──────────────────────────────┐
+//!   documents ───────────▶│ fan-out (clone per shard)    │
+//!                         └──┬───────────┬───────────┬───┘
+//!                            ▼           ▼           ▼
+//!                       ┌─────────┐ ┌─────────┐ ┌─────────┐
+//!   queries ──hash(qid)▶│ shard 0 │ │ shard 1 │ │ shard 2 │  worker threads,
+//!                       │ MMQJP   │ │ MMQJP   │ │ MMQJP   │  one MmqjpEngine
+//!                       └────┬────┘ └────┬────┘ └────┬────┘  each
+//!                            ▼           ▼           ▼
+//!                         ┌──────────────────────────────┐
+//!   matches ◀─────────────│ deterministic canonical merge│
+//!                         └──────────────────────────────┘
+//! ```
+//!
+//! # Determinism
+//!
+//! Every shard sees the full document stream in arrival order, so the shards
+//! assign identical document ids and timestamps and each query produces
+//! exactly the matches it would produce in a single engine. The merged batch
+//! output is sorted into the canonical
+//! `(query, left_doc, right_doc, bindings)` order (see
+//! [`sort_matches`](crate::sort_matches)), which makes the result
+//! independent of shard count and thread interleaving: a `ShardedEngine` with
+//! any `N` returns exactly a canonically-sorted single-engine batch.
+//!
+//! # Thread-safety audit
+//!
+//! The engine state is `Send` by construction: the registry, witness
+//! relations and view cache own their data outright (no `Rc`, no
+//! thread-bound interior mutability), and the one shared component — the
+//! [`StringInterner`] — is behind `Arc` + `RwLock` and is shared by all
+//! shards so symbols stay comparable engine-wide. The `assert_send`
+//! bindings at the bottom of this module enforce this at compile time.
+
+use crate::config::EngineConfig;
+use crate::engine::MmqjpEngine;
+use crate::error::{CoreError, CoreResult};
+use crate::output::{sort_matches, MatchOutput};
+use crate::stats::EngineStats;
+use mmqjp_relational::StringInterner;
+use mmqjp_xml::Document;
+use mmqjp_xscl::{QueryId, XsclQuery};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+/// A request sent to a shard worker thread. Every request carries a reply
+/// channel; the worker answers each request exactly once, in order.
+enum Request {
+    /// Register a query under the given engine-global id.
+    Register {
+        query: Box<XsclQuery>,
+        global: QueryId,
+        reply: Sender<CoreResult<()>>,
+    },
+    /// Process a document batch and return the shard's matches, with query
+    /// ids already translated back to engine-global ids.
+    Batch {
+        docs: Vec<Document>,
+        reply: Sender<CoreResult<Vec<MatchOutput>>>,
+    },
+    /// Snapshot the shard's statistics.
+    Stats { reply: Sender<EngineStats> },
+}
+
+/// One shard: the channel into its worker thread and the join handle.
+struct Shard {
+    sender: Option<Sender<Request>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A multi-core MMQJP engine: `N` independent [`MmqjpEngine`] shards over a
+/// hash-partitioned query population, fed by replicating every document batch
+/// and merged into a deterministic, canonically-ordered match stream.
+///
+/// The API mirrors [`MmqjpEngine`]: register queries, then feed documents or
+/// batches. [`EngineConfig::num_shards`] selects the shard count; every other
+/// config knob applies to each shard individually.
+///
+/// ```
+/// use mmqjp_core::{EngineConfig, ShardedEngine};
+/// use mmqjp_xml::rss;
+///
+/// let mut engine = ShardedEngine::new(EngineConfig::default().with_num_shards(4));
+/// engine.register_query_text(
+///     "S//book->x1[.//author->x2][.//title->x3] \
+///      FOLLOWED BY{x2=x5 AND x3=x6, 100} \
+///      S//blog->x4[.//author->x5][.//title->x6]",
+/// ).unwrap();
+///
+/// let d1 = rss::book_announcement(&["Danny Ayers"], "RSS", &[], "Wrox", "0764579169");
+/// let d2 = rss::blog_article("Danny Ayers", "http://...", "RSS", "Books", "...");
+/// assert!(engine.process_document(d1).unwrap().is_empty());
+/// assert_eq!(engine.process_document(d2).unwrap().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ShardedEngine {
+    config: EngineConfig,
+    interner: Arc<StringInterner>,
+    shards: Vec<Shard>,
+    queries_per_shard: Vec<usize>,
+    next_query: u64,
+}
+
+impl ShardedEngine {
+    /// Create a sharded engine with [`EngineConfig::num_shards`] shards
+    /// (a count of `0` is treated as `1`), each running the configured
+    /// processing mode on its own worker thread.
+    pub fn new(config: EngineConfig) -> Self {
+        let num_shards = config.num_shards.max(1);
+        let interner = Arc::new(StringInterner::new());
+        let shards = (0..num_shards)
+            .map(|i| {
+                let engine = MmqjpEngine::with_interner(config.clone(), Arc::clone(&interner));
+                let (sender, receiver) = channel();
+                let handle = thread::Builder::new()
+                    .name(format!("mmqjp-shard-{i}"))
+                    .spawn(move || shard_worker(engine, receiver))
+                    .expect("spawning a shard worker thread succeeds");
+                Shard {
+                    sender: Some(sender),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ShardedEngine {
+            config,
+            interner,
+            shards,
+            queries_per_shard: vec![0; num_shards],
+            next_query: 0,
+        }
+    }
+
+    /// The engine configuration (shared by every shard).
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of registered queries across all shards.
+    pub fn num_queries(&self) -> usize {
+        self.next_query as usize
+    }
+
+    /// Number of queries assigned to each shard, by shard index.
+    pub fn queries_per_shard(&self) -> &[usize] {
+        &self.queries_per_shard
+    }
+
+    /// The string interner shared by all shards.
+    pub fn interner(&self) -> &Arc<StringInterner> {
+        &self.interner
+    }
+
+    /// The shard a query id is assigned to.
+    pub fn shard_of(&self, id: QueryId) -> usize {
+        shard_of(id, self.shards.len())
+    }
+
+    /// Register a query from its textual XSCL form. Returns the query id.
+    pub fn register_query_text(&mut self, text: &str) -> CoreResult<QueryId> {
+        let query = mmqjp_xscl::parse_query(text)?;
+        self.register_query(query)
+    }
+
+    /// Register a parsed query on the shard its id hashes to. Returns the
+    /// engine-global query id, which matches the id a single [`MmqjpEngine`]
+    /// registering the same queries in the same order would assign.
+    pub fn register_query(&mut self, query: XsclQuery) -> CoreResult<QueryId> {
+        let global = QueryId(self.next_query);
+        let shard = shard_of(global, self.shards.len());
+        let (reply, response) = channel();
+        self.send(
+            shard,
+            Request::Register {
+                query: Box::new(query),
+                global,
+                reply,
+            },
+        )?;
+        response
+            .recv()
+            .map_err(|_| CoreError::ShardUnavailable { shard })??;
+        // Failed registrations consume no id, matching the single engine.
+        self.next_query += 1;
+        self.queries_per_shard[shard] += 1;
+        Ok(global)
+    }
+
+    /// Process one document, returning its matches in canonical order.
+    pub fn process_document(&mut self, doc: Document) -> CoreResult<Vec<MatchOutput>> {
+        self.process_batch(vec![doc])
+    }
+
+    /// Process a batch of documents in arrival order.
+    ///
+    /// The batch is fanned out to every shard (each shard maintains the full
+    /// join state for its query subset), the per-shard matches are collected,
+    /// and the merged result is returned in the canonical
+    /// `(query, left_doc, right_doc, bindings)` order. The batched-evaluation
+    /// trade-off of [`MmqjpEngine::process_batch`] applies unchanged.
+    pub fn process_batch(&mut self, docs: Vec<Document>) -> CoreResult<Vec<MatchOutput>> {
+        if docs.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Fan the batch out to all shards before collecting any reply so the
+        // shards process it concurrently. The last shard takes ownership of
+        // the batch; the others get clones.
+        let mut responses = Vec::with_capacity(self.shards.len());
+        let mut docs = Some(docs);
+        for shard in 0..self.shards.len() {
+            let batch = if shard + 1 == self.shards.len() {
+                docs.take().expect("batch is moved out exactly once")
+            } else {
+                docs.as_ref().expect("batch not yet moved").clone()
+            };
+            let (reply, response) = channel();
+            self.send(shard, Request::Batch { docs: batch, reply })?;
+            responses.push(response);
+        }
+        // Collect every reply even after an error: the shards advance in
+        // lockstep, and draining keeps them synchronized for the next batch.
+        let mut merged = Vec::new();
+        let mut first_error = None;
+        for (shard, response) in responses.into_iter().enumerate() {
+            match response.recv() {
+                Ok(Ok(outputs)) => merged.extend(outputs),
+                Ok(Err(e)) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+                Err(_) => {
+                    if first_error.is_none() {
+                        first_error = Some(CoreError::ShardUnavailable { shard });
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        sort_matches(&mut merged);
+        Ok(merged)
+    }
+
+    /// Aggregate statistics: the field-wise sum of every shard's
+    /// [`EngineStats`] (see the `Sum` impl on [`EngineStats`] for the exact
+    /// semantics — notably `documents_processed` counts per-shard work, so it
+    /// is `num_shards ×` the number of ingested documents). Errors with
+    /// [`CoreError::ShardUnavailable`] if a shard worker is gone, rather than
+    /// silently under-reporting.
+    pub fn stats(&self) -> CoreResult<EngineStats> {
+        Ok(self.shard_stats()?.into_iter().sum())
+    }
+
+    /// Per-shard statistics snapshots, by shard index.
+    pub fn shard_stats(&self) -> CoreResult<Vec<EngineStats>> {
+        let mut responses = Vec::with_capacity(self.shards.len());
+        for shard in 0..self.shards.len() {
+            let (reply, response) = channel();
+            self.send(shard, Request::Stats { reply })?;
+            responses.push(response);
+        }
+        responses
+            .into_iter()
+            .enumerate()
+            .map(|(shard, response)| {
+                response
+                    .recv()
+                    .map_err(|_| CoreError::ShardUnavailable { shard })
+            })
+            .collect()
+    }
+
+    fn send(&self, shard: usize, request: Request) -> CoreResult<()> {
+        self.shards[shard]
+            .sender
+            .as_ref()
+            .ok_or(CoreError::ShardUnavailable { shard })?
+            .send(request)
+            .map_err(|_| CoreError::ShardUnavailable { shard })
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        for shard in &mut self.shards {
+            // Dropping the sender closes the channel; the worker loop exits.
+            shard.sender.take();
+        }
+        for shard in &mut self.shards {
+            if let Some(handle) = shard.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("alive", &self.sender.is_some())
+            .finish()
+    }
+}
+
+/// Deterministic shard assignment: a Fibonacci-style multiplicative hash of
+/// the query id. Using the *high* bits keeps the distribution even for the
+/// sequential ids the engine assigns (the low bits of `id * odd-constant`
+/// would reduce to `id mod n`).
+fn shard_of(id: QueryId, num_shards: usize) -> usize {
+    ((id.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % num_shards as u64) as usize
+}
+
+/// The worker loop: owns one shard's engine, serves requests until the
+/// sending half of the channel is dropped.
+///
+/// `global_ids` maps the shard-local query index (the order queries were
+/// registered on this shard) to the engine-global [`QueryId`], so the matches
+/// leaving the shard always speak the global id space.
+fn shard_worker(mut engine: MmqjpEngine, requests: Receiver<Request>) {
+    let mut global_ids: Vec<QueryId> = Vec::new();
+    while let Ok(request) = requests.recv() {
+        match request {
+            Request::Register {
+                query,
+                global,
+                reply,
+            } => {
+                let result = engine.register_query(*query).map(|local| {
+                    debug_assert_eq!(local.raw() as usize, global_ids.len());
+                    global_ids.push(global);
+                });
+                let _ = reply.send(result);
+            }
+            Request::Batch { docs, reply } => {
+                let result = engine.process_batch(docs).map(|mut outputs| {
+                    for output in &mut outputs {
+                        output.query = global_ids[output.query.raw() as usize];
+                    }
+                    outputs
+                });
+                let _ = reply.send(result);
+            }
+            Request::Stats { reply } => {
+                let _ = reply.send(engine.stats());
+            }
+        }
+    }
+}
+
+// Compile-time audit that everything crossing (or living on) a shard thread
+// is `Send`: the engine with its registry / relations / view cache, the
+// shared interner, and the request/response payloads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<MmqjpEngine>();
+    assert_send::<Arc<StringInterner>>();
+    assert_send::<Request>();
+    assert_send::<CoreResult<Vec<MatchOutput>>>();
+    assert_send::<EngineStats>();
+    assert_send::<ShardedEngine>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProcessingMode;
+    use mmqjp_xml::{rss, Timestamp};
+
+    const Q1: &str = "S//book->x1[.//author->x2][.//title->x3] \
+        FOLLOWED BY{x2=x5 AND x3=x6, 100} \
+        S//blog->x4[.//author->x5][.//title->x6]";
+    const Q2: &str = "S//book->x1[.//author->x2][.//category->x7] \
+        FOLLOWED BY{x2=x5 AND x7=x8, 200} \
+        S//blog->x4[.//author->x5][.//category->x8]";
+    const Q3: &str = "S//blog->x4[.//author->x5][.//title->x6] \
+        FOLLOWED BY{x5=x5' AND x6=x6', 300} \
+        S//blog->x4'[.//author->x5'][.//title->x6']";
+
+    fn d1() -> Document {
+        rss::book_announcement(
+            &["Danny Ayers", "Andrew Watt"],
+            "Beginning RSS and Atom Programming",
+            &["Scripting & Programming", "Web Site Development"],
+            "Wrox",
+            "0764579169",
+        )
+        .with_timestamp(Timestamp(10))
+    }
+
+    fn d2() -> Document {
+        rss::blog_article(
+            "Danny Ayers",
+            "http://dannyayers.com/topics/books/rss-book",
+            "Beginning RSS and Atom Programming",
+            "Scripting & Programming",
+            "Just heard ...",
+        )
+        .with_timestamp(Timestamp(20))
+    }
+
+    fn sharded(config: EngineConfig) -> ShardedEngine {
+        let mut e = ShardedEngine::new(config);
+        e.register_query_text(Q1).unwrap();
+        e.register_query_text(Q2).unwrap();
+        e.register_query_text(Q3).unwrap();
+        e
+    }
+
+    #[test]
+    fn walkthrough_matches_single_engine_for_every_shard_count() {
+        let mut single = MmqjpEngine::new(EngineConfig::mmqjp());
+        for q in [Q1, Q2, Q3] {
+            single.register_query_text(q).unwrap();
+        }
+        single.process_document(d1()).unwrap();
+        let mut expected = single.process_document(d2()).unwrap();
+        sort_matches(&mut expected);
+        assert_eq!(expected.len(), 2);
+
+        for shards in [1, 2, 3, 7] {
+            let mut e = sharded(EngineConfig::mmqjp().with_num_shards(shards));
+            assert_eq!(e.num_shards(), shards);
+            assert!(e.process_document(d1()).unwrap().is_empty());
+            let outputs = e.process_document(d2()).unwrap();
+            assert_eq!(outputs, expected, "shard count {shards} diverges");
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_clamped_to_one() {
+        let e = ShardedEngine::new(EngineConfig::mmqjp().with_num_shards(0));
+        assert_eq!(e.num_shards(), 1);
+    }
+
+    #[test]
+    fn queries_are_distributed_and_ids_are_global() {
+        let mut e = ShardedEngine::new(EngineConfig::mmqjp().with_num_shards(4));
+        let mut expected = vec![0usize; 4];
+        for i in 0..20 {
+            let id = e.register_query_text(Q1).unwrap();
+            assert_eq!(id, QueryId(i));
+            expected[e.shard_of(id)] += 1;
+        }
+        assert_eq!(e.num_queries(), 20);
+        assert_eq!(e.queries_per_shard(), expected.as_slice());
+        assert_eq!(e.queries_per_shard().iter().sum::<usize>(), 20);
+        // With 20 sequential ids the multiplicative hash touches > 1 shard.
+        assert!(expected.iter().filter(|&&c| c > 0).count() > 1);
+    }
+
+    #[test]
+    fn failed_registration_consumes_no_id() {
+        let mut e = ShardedEngine::new(EngineConfig::mmqjp().with_num_shards(3));
+        assert!(e.register_query_text("not a query at all ///").is_err());
+        assert_eq!(e.num_queries(), 0);
+        let id = e.register_query_text(Q1).unwrap();
+        assert_eq!(id, QueryId(0));
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let mut e = sharded(EngineConfig::mmqjp_view_mat().with_num_shards(2));
+        e.process_document(d1()).unwrap();
+        e.process_document(d2()).unwrap();
+        let per_shard = e.shard_stats().unwrap();
+        assert_eq!(per_shard.len(), 2);
+        let total = e.stats().unwrap();
+        assert_eq!(total, per_shard.into_iter().sum());
+        assert_eq!(total.queries_registered, 3);
+        // Every shard sees every document.
+        assert_eq!(total.documents_processed, 2 * e.num_shards());
+        assert_eq!(total.results_emitted, 2);
+        assert_eq!(e.config().mode, ProcessingMode::MmqjpViewMat);
+        assert!(!e.interner().is_empty());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut e = sharded(EngineConfig::mmqjp().with_num_shards(2));
+        assert!(e.process_batch(Vec::new()).unwrap().is_empty());
+        assert_eq!(e.stats().unwrap().documents_processed, 0);
+    }
+
+    #[test]
+    fn out_of_order_document_errors_like_the_single_engine() {
+        let mut config = EngineConfig::mmqjp().with_num_shards(3);
+        config.enforce_in_order = true;
+        let mut e = sharded(config);
+        e.process_document(d1().with_timestamp(Timestamp(100)))
+            .unwrap();
+        let err = e
+            .process_document(d2().with_timestamp(Timestamp(50)))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::OutOfOrderDocument { .. }));
+        // The engine keeps working after the rejected document.
+        let out = e
+            .process_document(d2().with_timestamp(Timestamp(120)))
+            .unwrap();
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn more_shards_than_queries_leaves_some_shards_empty() {
+        let mut e = ShardedEngine::new(EngineConfig::mmqjp().with_num_shards(7));
+        e.register_query_text(Q1).unwrap();
+        assert!(e.queries_per_shard().contains(&0));
+        e.process_document(d1()).unwrap();
+        let out = e.process_document(d2()).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

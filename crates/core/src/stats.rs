@@ -7,7 +7,8 @@
 //! paper reports separately or excludes).
 
 use serde::{Deserialize, Serialize};
-use std::ops::AddAssign;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
 use std::time::Duration;
 
 /// Cumulative wall-clock time per processing phase.
@@ -114,6 +115,44 @@ impl EngineStats {
     }
 }
 
+/// Summing engine stats adds every counter and timing field. This is the
+/// aggregation [`ShardedEngine`](crate::ShardedEngine) uses: each query lives
+/// in exactly one shard, so `queries_registered` sums to the global query
+/// count, while per-shard quantities (`documents_processed`, `templates`,
+/// timings, ...) sum to the total work done across all shards — every
+/// document is replicated to every shard, so `documents_processed` of an
+/// `N`-shard engine is `N ×` the number of ingested documents.
+impl AddAssign for EngineStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.documents_processed += rhs.documents_processed;
+        self.results_emitted += rhs.results_emitted;
+        self.queries_registered += rhs.queries_registered;
+        self.templates += rhs.templates;
+        self.distinct_patterns += rhs.distinct_patterns;
+        self.rbin_tuples += rhs.rbin_tuples;
+        self.rdoc_tuples += rhs.rdoc_tuples;
+        self.view_cache_hits += rhs.view_cache_hits;
+        self.view_cache_misses += rhs.view_cache_misses;
+        self.view_cache_evictions += rhs.view_cache_evictions;
+        self.timings += rhs.timings;
+    }
+}
+
+impl Add for EngineStats {
+    type Output = EngineStats;
+
+    fn add(mut self, rhs: Self) -> EngineStats {
+        self += rhs;
+        self
+    }
+}
+
+impl Sum for EngineStats {
+    fn sum<I: Iterator<Item = EngineStats>>(iter: I) -> EngineStats {
+        iter.fold(EngineStats::default(), Add::add)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +193,59 @@ mod tests {
         let s = EngineStats::default();
         assert_eq!(s.throughput_docs_per_sec(), 0.0);
         assert_eq!(s.join_throughput_docs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn engine_stats_sum_adds_every_counter() {
+        let a = EngineStats {
+            documents_processed: 1,
+            results_emitted: 2,
+            queries_registered: 3,
+            templates: 4,
+            distinct_patterns: 5,
+            rbin_tuples: 6,
+            rdoc_tuples: 7,
+            view_cache_hits: 8,
+            view_cache_misses: 9,
+            view_cache_evictions: 10,
+            timings: PhaseTimings {
+                xpath: Duration::from_millis(1),
+                ..Default::default()
+            },
+        };
+        let b = EngineStats {
+            documents_processed: 10,
+            results_emitted: 20,
+            queries_registered: 30,
+            templates: 40,
+            distinct_patterns: 50,
+            rbin_tuples: 60,
+            rdoc_tuples: 70,
+            view_cache_hits: 80,
+            view_cache_misses: 90,
+            view_cache_evictions: 100,
+            timings: PhaseTimings {
+                xpath: Duration::from_millis(2),
+                ..Default::default()
+            },
+        };
+        let s: EngineStats = [a, b].into_iter().sum();
+        assert_eq!(s.documents_processed, 11);
+        assert_eq!(s.results_emitted, 22);
+        assert_eq!(s.queries_registered, 33);
+        assert_eq!(s.templates, 44);
+        assert_eq!(s.distinct_patterns, 55);
+        assert_eq!(s.rbin_tuples, 66);
+        assert_eq!(s.rdoc_tuples, 77);
+        assert_eq!(s.view_cache_hits, 88);
+        assert_eq!(s.view_cache_misses, 99);
+        assert_eq!(s.view_cache_evictions, 110);
+        assert_eq!(s.timings.xpath, Duration::from_millis(3));
+        assert_eq!(s, a + b);
+        assert_eq!(
+            Vec::<EngineStats>::new().into_iter().sum::<EngineStats>(),
+            EngineStats::default()
+        );
     }
 
     #[test]

@@ -110,6 +110,16 @@ impl BenchScale {
         }
     }
 
+    /// The shard-count sweep of the sharded-throughput experiment
+    /// (Figure 17): the query population is hash-partitioned across this
+    /// many worker threads.
+    pub fn shard_counts(&self) -> Vec<usize> {
+        match self {
+            BenchScale::Paper => vec![1, 2, 4, 8, 16],
+            BenchScale::Default | BenchScale::Smoke => vec![1, 2, 4, 8],
+        }
+    }
+
     /// Batch size used for the RSS replay (the paper batches SQL statements;
     /// we batch witness loading the same way).
     pub fn rss_batch(&self) -> usize {
@@ -147,6 +157,9 @@ mod tests {
         assert!(smoke.sequential_cap() <= default.sequential_cap());
         assert!(paper.viewmat_queries() >= default.viewmat_queries());
         assert!(paper.rss_batch() >= smoke.rss_batch());
+        assert!(paper.shard_counts().len() >= smoke.shard_counts().len());
+        assert!(smoke.shard_counts().contains(&1));
+        assert!(smoke.shard_counts().contains(&4));
     }
 
     #[test]

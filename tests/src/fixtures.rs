@@ -1,7 +1,9 @@
 //! Shared fixtures: the paper's running example (Figures 1–2, Tables 1–2)
 //! and helpers for building engines in each processing mode.
 
-use mmqjp_core::{EngineConfig, MatchOutput, MmqjpEngine, ProcessingMode};
+use mmqjp_core::{
+    sort_matches, EngineConfig, MatchOutput, MmqjpEngine, ProcessingMode, ShardedEngine,
+};
 use mmqjp_xml::{rss, Document, Timestamp};
 
 /// Q1 of Table 2: book announcement followed by a blog article from one of
@@ -55,6 +57,11 @@ pub fn all_modes() -> [ProcessingMode; 3] {
     ]
 }
 
+/// Shard counts the equivalence suite exercises: the degenerate single shard,
+/// even splits, and a count (7) that leaves some shards nearly or completely
+/// empty on small query sets.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
 /// Build an engine in the given mode with the given queries registered.
 pub fn engine_with_queries(mode: ProcessingMode, queries: &[&str]) -> MmqjpEngine {
     let config = EngineConfig {
@@ -75,6 +82,43 @@ pub fn run_stream(engine: &mut MmqjpEngine, docs: Vec<Document>) -> Vec<MatchOut
     let mut out = Vec::new();
     for doc in docs {
         out.extend(engine.process_document(doc).expect("processing succeeds"));
+    }
+    out
+}
+
+/// Run a stream of documents through a sharded engine, collecting all
+/// matches (each document's matches arrive already canonically ordered).
+pub fn run_stream_sharded(engine: &mut ShardedEngine, docs: Vec<Document>) -> Vec<MatchOutput> {
+    let mut out = Vec::new();
+    for doc in docs {
+        out.extend(engine.process_document(doc).expect("processing succeeds"));
+    }
+    out
+}
+
+/// Build a sharded engine from a (per-shard) config, shard count and query
+/// set.
+pub fn sharded_engine_with_queries(
+    config: EngineConfig,
+    num_shards: usize,
+    queries: &[mmqjp_xscl::XsclQuery],
+) -> ShardedEngine {
+    let mut engine = ShardedEngine::new(config.with_num_shards(num_shards));
+    for q in queries {
+        engine.register_query(q.clone()).expect("query registers");
+    }
+    engine
+}
+
+/// Run a stream through a single engine, canonically sorting each call's
+/// matches the way [`ShardedEngine`] does — the result is byte-comparable
+/// with [`run_stream_sharded`] on the same workload.
+pub fn run_stream_sorted(engine: &mut MmqjpEngine, docs: Vec<Document>) -> Vec<MatchOutput> {
+    let mut out = Vec::new();
+    for doc in docs {
+        let mut matches = engine.process_document(doc).expect("processing succeeds");
+        sort_matches(&mut matches);
+        out.extend(matches);
     }
     out
 }

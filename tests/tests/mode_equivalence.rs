@@ -1,10 +1,15 @@
 //! The central correctness property of the reproduction: the three Stage-2
 //! strategies (Sequential, MMQJP, MMQJP with view materialization) produce
 //! exactly the same matches on the same workload — template sharing and view
-//! materialization are pure optimizations.
+//! materialization are pure optimizations — and the multi-core
+//! `ShardedEngine` reproduces each of them byte for byte at every shard
+//! count: Sharded ≡ Sequential ≡ MMQJP ≡ MMQJP+VM.
 
 use mmqjp_core::{EngineConfig, MmqjpEngine, ProcessingMode};
-use mmqjp_integration_tests::{all_modes, match_keys, run_stream};
+use mmqjp_integration_tests::{
+    all_modes, match_keys, run_stream, run_stream_sharded, run_stream_sorted,
+    sharded_engine_with_queries, SHARD_COUNTS,
+};
 use mmqjp_workload::{
     ComplexSchemaWorkload, FlatSchemaWorkload, RssQueryGenerator, RssStreamConfig,
     RssStreamGenerator,
@@ -14,22 +19,31 @@ use mmqjp_xscl::XsclQuery;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Run the same queries and documents through every mode and assert the match
-/// sets coincide. Returns the number of matches (for sanity assertions).
-fn assert_modes_agree(queries: &[XsclQuery], docs: &[Document]) -> usize {
+/// Run the same queries and documents through every mode (with an optional
+/// config tweak) and assert the match sets coincide; additionally run every
+/// mode through `ShardedEngine` at each [`SHARD_COUNTS`] entry and assert
+/// the sharded output is byte-identical to the (canonically ordered)
+/// single-engine output of the same mode. Returns the number of matches.
+fn assert_modes_agree_with(
+    queries: &[XsclQuery],
+    docs: &[Document],
+    tweak: impl Fn(EngineConfig) -> EngineConfig,
+) -> usize {
     let mut reference: Option<Vec<_>> = None;
     let mut count = 0;
     for mode in all_modes() {
-        let config = EngineConfig {
-            mode,
-            ..EngineConfig::default()
-        }
-        .with_retain_documents(false);
-        let mut engine = MmqjpEngine::new(config);
+        let config = tweak(
+            EngineConfig {
+                mode,
+                ..EngineConfig::default()
+            }
+            .with_retain_documents(false),
+        );
+        let mut engine = MmqjpEngine::new(config.clone());
         for q in queries {
             engine.register_query(q.clone()).expect("query registers");
         }
-        let matches = run_stream(&mut engine, docs.to_vec());
+        let matches = run_stream_sorted(&mut engine, docs.to_vec());
         let keys = match_keys(&matches);
         count = keys.len();
         match &reference {
@@ -41,8 +55,59 @@ fn assert_modes_agree(queries: &[XsclQuery], docs: &[Document]) -> usize {
                 ProcessingMode::Sequential
             ),
         }
+        for &num_shards in shard_counts_for(mode, docs.len()) {
+            let mut sharded = sharded_engine_with_queries(config.clone(), num_shards, queries);
+            let sharded_matches = run_stream_sharded(&mut sharded, docs.to_vec());
+            assert_eq!(
+                sharded_matches, matches,
+                "Sharded({num_shards}) diverges from single-engine {mode:?}"
+            );
+        }
     }
     count
+}
+
+/// Shard counts to sweep for a given inner mode and stream length.
+///
+/// Every sharded run costs roughly `num_shards ×` the per-shard fixed work
+/// (Stage-1 patterns and templates are replicated into each shard holding
+/// one of their queries), with no wall-clock win on the single-CPU CI
+/// runners, so the sweep is budgeted: short streams exercise the full
+/// [`SHARD_COUNTS`] sweep in every mode; long streams exercise small counts
+/// in the cheap MMQJP modes (the large counts are certified by the short
+/// scenarios, which share all the engine code). Sequential — whose per-query
+/// evaluation dwarfs everything else — gets one representative count on
+/// short streams only.
+fn shard_counts_for(mode: ProcessingMode, num_docs: usize) -> &'static [usize] {
+    let light = num_docs <= 60;
+    match mode {
+        ProcessingMode::Sequential => {
+            if light {
+                &[4]
+            } else {
+                &[]
+            }
+        }
+        ProcessingMode::Mmqjp => {
+            if light {
+                &SHARD_COUNTS
+            } else {
+                &[1, 2]
+            }
+        }
+        ProcessingMode::MmqjpViewMat => {
+            if light {
+                &SHARD_COUNTS
+            } else {
+                &[2, 4]
+            }
+        }
+    }
+}
+
+/// [`assert_modes_agree_with`] with the default configuration.
+fn assert_modes_agree(queries: &[XsclQuery], docs: &[Document]) -> usize {
+    assert_modes_agree_with(queries, docs, |config| config)
 }
 
 /// A small document stream over the flat schema: several documents whose
@@ -115,6 +180,32 @@ fn modes_agree_with_finite_windows() {
 }
 
 #[test]
+fn modes_agree_with_state_pruning() {
+    // Window-based pruning is per-shard: a shard prunes by the maximum window
+    // of *its* query subset, which can be tighter than the global maximum
+    // when windows are heterogeneous. Pruning only ever discards state no
+    // resident query can reach, so the matches must still coincide. Mix three
+    // window lengths to make the per-shard maxima genuinely differ.
+    let mut rng = StdRng::seed_from_u64(909);
+    let mut queries = Vec::new();
+    for window in [5, 15, 40] {
+        let generator = RssQueryGenerator::new(0.8).with_window(mmqjp_xscl::Window::Time(window));
+        queries.extend(generator.generate_queries(25, &mut rng));
+    }
+    let docs = RssStreamGenerator::new(RssStreamConfig {
+        items: 60,
+        channels: 6,
+        title_vocabulary: 8,
+        description_vocabulary: 12,
+        ..RssStreamConfig::default()
+    })
+    .documents();
+    assert_modes_agree_with(&queries, &docs, |config| {
+        config.with_prune_state_by_window(true)
+    });
+}
+
+#[test]
 fn view_cache_capacity_does_not_change_results() {
     // A tiny LRU view cache forces constant eviction and recomputation; the
     // results must not change.
@@ -163,18 +254,33 @@ fn batched_processing_agrees_across_modes() {
             ..EngineConfig::default()
         }
         .with_retain_documents(false);
-        let mut engine = MmqjpEngine::new(config);
+        let mut engine = MmqjpEngine::new(config.clone());
         for q in &queries {
             engine.register_query(q.clone()).unwrap();
         }
         let mut matches = Vec::new();
         for chunk in docs.chunks(30) {
-            matches.extend(engine.process_batch(chunk.to_vec()).unwrap());
+            let mut batch = engine.process_batch(chunk.to_vec()).unwrap();
+            mmqjp_core::sort_matches(&mut batch);
+            matches.extend(batch);
         }
         let keys = match_keys(&matches);
         match &reference {
             None => reference = Some(keys),
             Some(r) => assert_eq!(r, &keys, "mode {mode:?} disagrees"),
+        }
+        // Sharded batches must be byte-identical to the single engine's
+        // (canonically ordered) batches.
+        for &num_shards in shard_counts_for(mode, docs.len()) {
+            let mut sharded = sharded_engine_with_queries(config.clone(), num_shards, &queries);
+            let mut sharded_matches = Vec::new();
+            for chunk in docs.chunks(30) {
+                sharded_matches.extend(sharded.process_batch(chunk.to_vec()).unwrap());
+            }
+            assert_eq!(
+                sharded_matches, matches,
+                "Sharded({num_shards}) batched run diverges from {mode:?}"
+            );
         }
     }
 }

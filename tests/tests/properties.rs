@@ -1,7 +1,7 @@
 //! Property-based tests (proptest) over the core data structures and the
 //! engine's end-to-end invariants.
 
-use mmqjp_core::{EngineConfig, MmqjpEngine, ProcessingMode};
+use mmqjp_core::{sort_matches, EngineConfig, MmqjpEngine, ProcessingMode, ShardedEngine};
 use mmqjp_integration_tests::{match_keys, run_stream};
 use mmqjp_relational::{ops, Relation, Schema, Value};
 use mmqjp_xml::{parse_document, serialize, Document, DocumentBuilder, Timestamp};
@@ -262,6 +262,53 @@ proptest! {
                 Some(r) => prop_assert_eq!(r, &keys, "mode {:?} disagrees", mode),
             }
         }
+    }
+
+    #[test]
+    fn sharded_engine_equals_single_engine_and_stats_sum(
+        query_texts in prop::collection::vec(flat_query_strategy(), 1..10),
+        mut docs in prop::collection::vec(flat_document_strategy(), 1..6),
+        num_shards in 1usize..8,
+        mode_index in 0usize..3,
+        batch_size in 1usize..4,
+    ) {
+        for (i, d) in docs.iter_mut().enumerate() {
+            d.set_timestamp(Timestamp((i as u64 + 1) * 10));
+        }
+        let mode = [
+            ProcessingMode::Sequential,
+            ProcessingMode::Mmqjp,
+            ProcessingMode::MmqjpViewMat,
+        ][mode_index];
+        let config = EngineConfig { mode, ..EngineConfig::default() }
+            .with_retain_documents(false);
+
+        let mut single = MmqjpEngine::new(config.clone());
+        let mut sharded = ShardedEngine::new(config.with_num_shards(num_shards));
+        for t in &query_texts {
+            let a = single.register_query_text(t).unwrap();
+            let b = sharded.register_query_text(t).unwrap();
+            prop_assert_eq!(a, b, "query id assignment diverged");
+        }
+
+        // Batched processing: the sharded output must equal the single
+        // engine's canonically-ordered output batch for batch.
+        for chunk in docs.chunks(batch_size) {
+            let mut expected = single.process_batch(chunk.to_vec()).unwrap();
+            sort_matches(&mut expected);
+            let got = sharded.process_batch(chunk.to_vec()).unwrap();
+            prop_assert_eq!(&got, &expected, "sharded({}) batch diverged", num_shards);
+        }
+
+        // Merged stats are exactly the field-wise sum of the per-shard stats.
+        let per_shard = sharded.shard_stats().unwrap();
+        prop_assert_eq!(per_shard.len(), num_shards);
+        let merged = sharded.stats().unwrap();
+        prop_assert_eq!(merged, per_shard.iter().copied().sum());
+        prop_assert_eq!(merged.queries_registered, query_texts.len());
+        prop_assert_eq!(merged.documents_processed, docs.len() * num_shards);
+        prop_assert_eq!(merged.results_emitted,
+            per_shard.iter().map(|s| s.results_emitted).sum::<usize>());
     }
 
     #[test]
