@@ -11,10 +11,12 @@
 //! (`default`, `paper`, `smoke`); see
 //! [`mmqjp_workload::BenchScale`].
 
-use mmqjp_core::{EngineConfig, MmqjpEngine, PhaseTimings, ProcessingMode, ShardedEngine};
+use mmqjp_core::{
+    EngineConfig, EngineStats, MmqjpEngine, PhaseTimings, ProcessingMode, ShardedEngine,
+};
 use mmqjp_workload::{
-    BenchScale, ComplexSchemaWorkload, FlatSchemaWorkload, RssQueryGenerator, RssStreamConfig,
-    RssStreamGenerator,
+    BenchScale, ChurnConfig, ChurnWorkload, ComplexSchemaWorkload, FlatSchemaWorkload,
+    RssQueryGenerator, RssStreamConfig, RssStreamGenerator,
 };
 use mmqjp_xml::Document;
 use mmqjp_xscl::XsclQuery;
@@ -253,6 +255,74 @@ pub fn run_sharded_rss_benchmark(
     }
 }
 
+/// Result of one sustained-throughput churn replay (Figure 18).
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnRun {
+    /// Steady-state throughput: wall-clock docs/s over the *second half* of
+    /// the stream, after the windows have filled. With incremental expiry
+    /// this stays flat as the stream grows; with rebuild-on-prune it falls.
+    pub steady_throughput: f64,
+    /// Wall-clock docs/s over the whole stream.
+    pub total_throughput: f64,
+    /// Total matches produced.
+    pub matches: usize,
+    /// Final engine statistics (eviction counters, resident state).
+    pub stats: EngineStats,
+}
+
+/// Replay a churn-heavy windowed stream of `items` documents against the
+/// standard churn query set in the given mode, with window pruning and
+/// document retention enabled (the sustained-operation configuration), and
+/// measure steady-state wall-clock throughput.
+pub fn run_churn_benchmark(mode: ProcessingMode, num_queries: usize, items: usize) -> ChurnRun {
+    let workload = ChurnWorkload::new(ChurnConfig {
+        items,
+        num_queries,
+        ..ChurnConfig::default()
+    });
+    let config = EngineConfig {
+        mode,
+        ..EngineConfig::default()
+    }
+    .with_prune_state_by_window(true);
+    let mut engine = MmqjpEngine::new(config);
+    for q in workload.queries() {
+        engine
+            .register_query(q)
+            .expect("generated queries register cleanly");
+    }
+    let docs = workload.documents_with_items(items);
+    let half = docs.len() / 2;
+    let mut matches = 0usize;
+    let start = std::time::Instant::now();
+    let mut half_elapsed = 0.0f64;
+    for (i, doc) in docs.into_iter().enumerate() {
+        if i == half {
+            half_elapsed = start.elapsed().as_secs_f64();
+        }
+        matches += engine
+            .process_document(doc)
+            .expect("document processes")
+            .len();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let steady_secs = elapsed - half_elapsed;
+    ChurnRun {
+        steady_throughput: if steady_secs > 0.0 {
+            (items - half) as f64 / steady_secs
+        } else {
+            0.0
+        },
+        total_throughput: if elapsed > 0.0 {
+            items as f64 / elapsed
+        } else {
+            0.0
+        },
+        matches,
+        stats: engine.stats(),
+    }
+}
+
 /// The scale selected through the environment.
 pub fn scale() -> BenchScale {
     BenchScale::from_env()
@@ -311,6 +381,24 @@ mod tests {
             assert!(sharded.wall_throughput > 0.0);
             assert!(sharded.templates >= single.templates);
         }
+    }
+
+    #[test]
+    fn churn_benchmark_reports_eviction_counters() {
+        // 500 items span 1000 time units — well past the largest (400)
+        // window, so state must churn.
+        let run = run_churn_benchmark(ProcessingMode::MmqjpViewMat, 20, 500);
+        assert!(run.matches > 0);
+        assert!(run.steady_throughput > 0.0);
+        assert!(run.total_throughput > 0.0);
+        assert!(
+            run.stats.state_rows_evicted > 0,
+            "a 1000-time-unit churn stream must evict state: {:?}",
+            run.stats
+        );
+        assert!(run.stats.docs_evicted > 0);
+        // Resident state is bounded by the windows, below stream length.
+        assert!(run.stats.docs_retained < 300);
     }
 
     #[test]

@@ -48,7 +48,40 @@ pub struct EngineConfig {
     /// Purge join state belonging to documents that have fallen out of every
     /// registered query's window. Only effective when all registered queries
     /// have finite time windows.
+    ///
+    /// Independent of this flag, the *document retention* maps (timestamps
+    /// and, with [`retain_documents`](Self::retain_documents), full
+    /// documents) are always evicted once a document has aged beyond every
+    /// registered window and [`doc_retention_cap`](Self::doc_retention_cap),
+    /// so a long-running engine does not leak retained documents.
+    ///
+    /// Retention ages are measured against the newest timestamp seen, so for
+    /// *in-order* streams eviction is invisible in results. When
+    /// [`enforce_in_order`](Self::enforce_in_order) is off, a document
+    /// arriving more than the retention bound later than the newest
+    /// timestamp cannot join with the already-evicted documents of that
+    /// aged-out range (the same best-effort semantics window pruning always
+    /// had); keep windows infinite and the cap unset if such stragglers must
+    /// match arbitrarily old state.
     pub prune_state_by_window: bool,
+    /// Hard cap (in timestamp units) on how long documents and their
+    /// timestamps are retained for output construction and temporal
+    /// filtering, regardless of query windows. Acts as a memory backstop
+    /// when queries have infinite (or no) windows; when finite windows exist
+    /// the effective retention bound is the *smaller* of the maximum window
+    /// and this cap — capping below the maximum window trades dropped
+    /// matches (and `document: None` outputs) for bounded memory. `None`
+    /// (the default) means retention is bounded by the registered windows
+    /// alone.
+    pub doc_retention_cap: Option<u64>,
+    /// Width (in timestamp units) of the buckets the windowed join state is
+    /// partitioned into. Expired state is dropped a whole bucket at a time,
+    /// so the width trades eviction granularity (state can outlive its
+    /// window by up to one bucket; the temporal filter still applies, so
+    /// results are unaffected) against bookkeeping overhead. `None` (the
+    /// default) derives the width from the registered windows:
+    /// `max(1, bound / 16)`.
+    pub state_bucket_width: Option<u64>,
     /// Reject documents whose timestamp is older than the newest timestamp
     /// already processed. The paper assumes in-order streams; disabling this
     /// lets out-of-order events in (they simply join as if on time).
@@ -69,6 +102,8 @@ impl Default for EngineConfig {
             view_cache_capacity: None,
             retain_documents: true,
             prune_state_by_window: false,
+            doc_retention_cap: None,
+            state_bucket_width: None,
             enforce_in_order: false,
             num_shards: 1,
         }
@@ -118,6 +153,18 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style setter for the document-retention cap.
+    pub fn with_doc_retention_cap(mut self, cap: Option<u64>) -> Self {
+        self.doc_retention_cap = cap;
+        self
+    }
+
+    /// Builder-style setter for the join-state bucket width.
+    pub fn with_state_bucket_width(mut self, width: Option<u64>) -> Self {
+        self.state_bucket_width = width;
+        self
+    }
+
     /// Builder-style setter for the shard count used by
     /// [`ShardedEngine`](crate::ShardedEngine).
     pub fn with_num_shards(mut self, num_shards: usize) -> Self {
@@ -137,6 +184,8 @@ mod tests {
         assert_eq!(c.view_cache_capacity, None);
         assert!(c.retain_documents);
         assert!(!c.prune_state_by_window);
+        assert_eq!(c.doc_retention_cap, None);
+        assert_eq!(c.state_bucket_width, None);
         assert_eq!(c.num_shards, 1);
     }
 
@@ -156,10 +205,14 @@ mod tests {
             .with_view_cache_capacity(Some(128))
             .with_retain_documents(false)
             .with_prune_state_by_window(true)
+            .with_doc_retention_cap(Some(5000))
+            .with_state_bucket_width(Some(50))
             .with_num_shards(4);
         assert_eq!(c.view_cache_capacity, Some(128));
         assert!(!c.retain_documents);
         assert!(c.prune_state_by_window);
+        assert_eq!(c.doc_retention_cap, Some(5000));
+        assert_eq!(c.state_bucket_width, Some(50));
         assert_eq!(c.num_shards, 4);
     }
 

@@ -6,7 +6,8 @@ use crate::cqt;
 use crate::error::{CoreError, CoreResult};
 use crate::output::{construct_join_output, Binding, MatchOutput};
 use crate::registry::{QueryRuntime, Registration, Registry};
-use crate::relations::{merge_into_state, schemas, WitnessBatch};
+use crate::relations::{schemas, WitnessBatch};
+use crate::state::{key_int, key_sym, JoinState};
 use crate::stats::{EngineStats, PhaseTimings};
 use crate::view_cache::ViewCache;
 use mmqjp_relational::{Database, Relation, StringInterner, Symbol, Value};
@@ -28,21 +29,9 @@ pub struct MmqjpEngine {
     config: EngineConfig,
     interner: Arc<StringInterner>,
     registry: Registry,
-    /// Join state: `Rbin(docid, var1, var2, node1, node2)`.
-    rbin: Relation,
-    /// Join state: `Rdoc(docid, node, strVal)`.
-    rdoc: Relation,
-    /// Join state: `RdocTS(docid, timestamp)`.
-    rdoc_ts: Relation,
-    /// Index over `Rdoc` rows by string value, for `RL` slice computation.
-    rdoc_by_strval: HashMap<Symbol, Vec<usize>>,
-    /// Index over `Rbin` rows by `(docid, node2)`, for `RL` slice
-    /// computation.
-    rbin_by_docnode: HashMap<(i64, i64), Vec<usize>>,
-    /// Timestamps of processed documents.
-    doc_timestamps: HashMap<i64, u64>,
-    /// Retained documents for output construction.
-    doc_store: HashMap<u64, Document>,
+    /// The windowed join state: time-bucketed `Rbin`/`Rdoc`/`RdocTS`,
+    /// per-bucket secondary indexes and the document-retention maps.
+    state: JoinState,
     view_cache: ViewCache,
     stats: EngineStats,
     next_doc_seq: u64,
@@ -65,13 +54,7 @@ impl MmqjpEngine {
         let view_cache = ViewCache::new(config.view_cache_capacity);
         MmqjpEngine {
             registry: Registry::new(Arc::clone(&interner)),
-            rbin: Relation::new(schemas::bin()),
-            rdoc: Relation::new(schemas::doc()),
-            rdoc_ts: Relation::new(schemas::doc_ts()),
-            rdoc_by_strval: HashMap::new(),
-            rbin_by_docnode: HashMap::new(),
-            doc_timestamps: HashMap::new(),
-            doc_store: HashMap::new(),
+            state: JoinState::new(config.prune_state_by_window),
             view_cache,
             stats: EngineStats::default(),
             next_doc_seq: 0,
@@ -92,8 +75,10 @@ impl MmqjpEngine {
         s.queries_registered = self.registry.num_queries();
         s.templates = self.registry.num_templates();
         s.distinct_patterns = self.registry.num_patterns();
-        s.rbin_tuples = self.rbin.len();
-        s.rdoc_tuples = self.rdoc.len();
+        s.rbin_tuples = self.state.rbin_len();
+        s.rdoc_tuples = self.state.rdoc_len();
+        s.state_buckets = self.state.num_buckets();
+        s.docs_retained = self.state.docs_retained();
         let vc = self.view_cache.stats();
         s.view_cache_hits = vc.hits;
         s.view_cache_misses = vc.misses;
@@ -211,8 +196,9 @@ impl MmqjpEngine {
 
         // ---- Maintenance (Algorithm 2 / 5) ---------------------------------
         let t_maint = Instant::now();
-        self.maintain_state(&batch, &prepared_docs);
+        let maintenance = self.maintain_state(&batch, &prepared_docs);
         timings.maintenance += t_maint.elapsed();
+        maintenance?;
 
         self.stats.documents_processed += prepared_docs.len();
         self.stats.results_emitted += outputs.len();
@@ -234,7 +220,7 @@ impl MmqjpEngine {
         timings: &mut PhaseTimings,
     ) -> CoreResult<Vec<(i64, Relation)>> {
         let (rl, rr) = if materialized {
-            let (rl, rr) = self.compute_rl_rr(batch, timings);
+            let (rl, rr) = self.compute_rl_rr(batch, timings)?;
             (Some(rl), Some(rr))
         } else {
             (None, None)
@@ -242,7 +228,7 @@ impl MmqjpEngine {
 
         let t0 = Instant::now();
         let db = self.build_database(batch, rl, rr);
-        let mut results = Vec::new();
+        let mut results = Ok(Vec::new());
         let num_templates = self.registry.templates().len();
         for i in 0..num_templates {
             let cq = if materialized {
@@ -250,14 +236,27 @@ impl MmqjpEngine {
             } else {
                 self.registry.templates()[i].cqt_basic.clone()
             };
-            let rows = db.evaluate(&cq)?.distinct();
-            if !rows.is_empty() {
-                results.push((-1, rows));
+            // Collect instead of `?`: the join state and RT relations live
+            // inside `db` until restore_database, and an early return would
+            // drop them all.
+            match db.evaluate(&cq) {
+                Ok(rows) => {
+                    let rows = rows.distinct();
+                    if !rows.is_empty() {
+                        if let Ok(results) = results.as_mut() {
+                            results.push((-1, rows));
+                        }
+                    }
+                }
+                Err(e) => {
+                    results = Err(e);
+                    break;
+                }
             }
         }
         self.restore_database(db);
         timings.conjunctive += t0.elapsed();
-        Ok(results)
+        Ok(results?)
     }
 
     /// Evaluate every registered query independently (the paper's Sequential
@@ -269,20 +268,31 @@ impl MmqjpEngine {
     ) -> CoreResult<Vec<(i64, Relation)>> {
         let t0 = Instant::now();
         let db = self.build_database(batch, None, None);
-        let mut results = Vec::new();
+        let mut results = Ok(Vec::new());
         let num_queries = self.registry.num_queries();
-        for qi in 0..num_queries {
+        'queries: for qi in 0..num_queries {
             let regs = self.registry.queries()[qi].registrations.clone();
             for reg in regs {
-                let rows = db.evaluate(&reg.sequential_cqt)?.distinct();
-                if !rows.is_empty() {
-                    results.push((reg.rid, rows));
+                // Collect instead of `?` — see evaluate_mmqjp.
+                match db.evaluate(&reg.sequential_cqt) {
+                    Ok(rows) => {
+                        let rows = rows.distinct();
+                        if !rows.is_empty() {
+                            if let Ok(results) = results.as_mut() {
+                                results.push((reg.rid, rows));
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        results = Err(e);
+                        break 'queries;
+                    }
                 }
             }
         }
         self.restore_database(db);
         timings.conjunctive += t0.elapsed();
-        Ok(results)
+        Ok(results?)
     }
 
     /// Compute the shared `RL` and `RR` intermediates (Algorithm 4, lines
@@ -291,30 +301,28 @@ impl MmqjpEngine {
         &mut self,
         batch: &WitnessBatch,
         timings: &mut PhaseTimings,
-    ) -> (Relation, Relation) {
+    ) -> CoreResult<(Relation, Relation)> {
         // STR: distinct string values of the current batch that also occur in
         // the join state (a semi-join of RdocW with Rdoc on strVal).
         let t_rvj = Instant::now();
         let mut str_values: Vec<Symbol> = Vec::new();
         let mut seen: HashSet<Symbol> = HashSet::new();
-        for row in batch.rdoc_w.iter() {
-            if let Some(sym) = row[2].as_sym() {
-                if self.rdoc_by_strval.contains_key(&sym) && seen.insert(sym) {
-                    str_values.push(sym);
-                }
-            }
-        }
         // Per-batch index of RdocW rows by string value and of RbinW rows by
         // (docid, node2), used to build the RR slices.
         let mut rdocw_by_str: HashMap<Symbol, Vec<usize>> = HashMap::new();
         for (i, row) in batch.rdoc_w.iter().enumerate() {
-            if let Some(sym) = row[2].as_sym() {
-                rdocw_by_str.entry(sym).or_default().push(i);
+            let sym = key_sym(row, 2, "RdocW", "strVal")?;
+            if self.state.contains_strval(sym) && seen.insert(sym) {
+                str_values.push(sym);
             }
+            rdocw_by_str.entry(sym).or_default().push(i);
         }
         let mut rbinw_by_docnode: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
         for (i, row) in batch.rbin_w.iter().enumerate() {
-            let key = (row[0].as_int().unwrap_or(-1), row[4].as_int().unwrap_or(-1));
+            let key = (
+                key_int(row, 0, "RbinW", "docid")?,
+                key_int(row, 4, "RbinW", "node2")?,
+            );
             rbinw_by_docnode.entry(key).or_default().push(i);
         }
         timings.compute_rvj += t_rvj.elapsed();
@@ -328,7 +336,7 @@ impl MmqjpEngine {
                 rl.extend_from(slice).expect("cached slice has RL schema");
                 continue;
             }
-            let slice = self.compute_rl_slice(s);
+            let slice = self.state.rl_slice(s)?;
             rl.extend_from(&slice)
                 .expect("computed slice has RL schema");
             self.view_cache.insert(s, slice);
@@ -341,8 +349,8 @@ impl MmqjpEngine {
         for &s in &str_values {
             for &doc_row in rdocw_by_str.get(&s).map(|v| v.as_slice()).unwrap_or(&[]) {
                 let row = &batch.rdoc_w.tuples()[doc_row];
-                let docid = row[0].as_int().unwrap_or(-1);
-                let node = row[1].as_int().unwrap_or(-1);
+                let docid = key_int(row, 0, "RdocW", "docid")?;
+                let node = key_int(row, 1, "RdocW", "node")?;
                 for &bin_row in rbinw_by_docnode
                     .get(&(docid, node))
                     .map(|v| v.as_slice())
@@ -362,36 +370,7 @@ impl MmqjpEngine {
             }
         }
         timings.compute_rr += t_rr.elapsed();
-        (rl, rr)
-    }
-
-    /// Compute one `RL` slice: `σ_strVal=s(Rdoc) ⋈_{docid, node=node2} Rbin`.
-    fn compute_rl_slice(&self, s: Symbol) -> Relation {
-        let mut slice = Relation::new(schemas::rl());
-        let Some(doc_rows) = self.rdoc_by_strval.get(&s) else {
-            return slice;
-        };
-        for &doc_row in doc_rows {
-            let row = &self.rdoc.tuples()[doc_row];
-            let docid = row[0].as_int().unwrap_or(-1);
-            let node = row[1].as_int().unwrap_or(-1);
-            if let Some(bin_rows) = self.rbin_by_docnode.get(&(docid, node)) {
-                for &bin_row in bin_rows {
-                    let b = &self.rbin.tuples()[bin_row];
-                    slice
-                        .push_values(vec![
-                            b[0].clone(),
-                            b[1].clone(),
-                            b[2].clone(),
-                            b[3].clone(),
-                            b[4].clone(),
-                            Value::Sym(s),
-                        ])
-                        .expect("RL arity");
-                }
-            }
-        }
-        slice
+        Ok((rl, rr))
     }
 
     // --------------------------------------------------------------------
@@ -399,7 +378,9 @@ impl MmqjpEngine {
     // --------------------------------------------------------------------
 
     /// Move the persistent relations (and per-batch relations) into a
-    /// [`Database`] for conjunctive-query evaluation.
+    /// [`Database`] for conjunctive-query evaluation. The segmented join
+    /// state moves in without flattening — the evaluator iterates both
+    /// layouts through the same code path.
     fn build_database(
         &mut self,
         batch: &WitnessBatch,
@@ -407,14 +388,8 @@ impl MmqjpEngine {
         rr: Option<Relation>,
     ) -> Database {
         let mut db = Database::new();
-        db.register(
-            cqt::RBIN,
-            std::mem::replace(&mut self.rbin, Relation::new(schemas::bin())),
-        );
-        db.register(
-            cqt::RDOC,
-            std::mem::replace(&mut self.rdoc, Relation::new(schemas::doc())),
-        );
+        db.register(cqt::RBIN, self.state.take_rbin());
+        db.register(cqt::RDOC, self.state.take_rdoc());
         db.register(cqt::RBIN_W, batch.rbin_w.clone());
         db.register(cqt::RDOC_W, batch.rdoc_w.clone());
         if let Some(rl) = rl {
@@ -435,12 +410,24 @@ impl MmqjpEngine {
 
     /// Move the persistent relations back out of the evaluation database.
     fn restore_database(&mut self, mut db: Database) {
-        self.rbin = db.remove(cqt::RBIN).expect("Rbin was registered");
-        self.rdoc = db.remove(cqt::RDOC).expect("Rdoc was registered");
+        self.state.restore_rbin(
+            db.remove(cqt::RBIN)
+                .expect("Rbin was registered")
+                .into_segmented()
+                .expect("Rbin is stored segmented"),
+        );
+        self.state.restore_rdoc(
+            db.remove(cqt::RDOC)
+                .expect("Rdoc was registered")
+                .into_segmented()
+                .expect("Rdoc is stored segmented"),
+        );
         for (i, t) in self.registry.templates_mut().iter_mut().enumerate() {
             t.rt = db
                 .remove(&cqt::rt_name(i))
-                .expect("RT relation was registered");
+                .expect("RT relation was registered")
+                .into_flat()
+                .expect("RT is stored flat");
         }
     }
 
@@ -479,10 +466,16 @@ impl MmqjpEngine {
             let Some((query, registration)) = self.registry.resolve_rid(rid) else {
                 continue;
             };
-            let Some(&ts1) = self.doc_timestamps.get(&d1) else {
+            // Document ids are u64 end-to-end; a negative id in a result row
+            // cannot refer to any retained or in-batch document.
+            let (Ok(d1), Ok(d2)) = (u64::try_from(d1), u64::try_from(d2)) else {
                 continue;
             };
-            let Some(ts2) = batch.timestamp_of(DocId(d2 as u64)).map(|t| t.raw()) else {
+            let (d1, d2) = (DocId(d1), DocId(d2));
+            let Some(ts1) = self.state.doc_timestamp(d1) else {
+                continue;
+            };
+            let Some(ts2) = batch.timestamp_of(d2).map(|t| t.raw()) else {
                 continue;
             };
             let window = query.window.unwrap_or(mmqjp_xscl::Window::Infinite);
@@ -502,8 +495,8 @@ impl MmqjpEngine {
                 registration,
                 row,
                 nodes_offset,
-                DocId(d1 as u64),
-                DocId(d2 as u64),
+                d1,
+                d2,
                 batch_docs,
             ));
         }
@@ -578,7 +571,7 @@ impl MmqjpEngine {
         d2: DocId,
         batch_docs: &[Document],
     ) -> Option<Document> {
-        let prev_doc = self.doc_store.get(&d1.raw())?;
+        let prev_doc = self.state.document(d1)?;
         let cur_doc = batch_docs.iter().find(|d| d.id() == d2)?;
 
         // Root binding of a side: the binding of the template-side root
@@ -649,7 +642,7 @@ impl MmqjpEngine {
     // State maintenance (Algorithm 2 / Algorithm 5)
     // --------------------------------------------------------------------
 
-    fn maintain_state(&mut self, batch: &WitnessBatch, docs: &[Document]) {
+    fn maintain_state(&mut self, batch: &WitnessBatch, docs: &[Document]) -> CoreResult<()> {
         // Algorithm 5: fold the current documents' RR contributions into the
         // cached RL slices so future documents find them materialized.
         if self.config.mode == ProcessingMode::MmqjpViewMat {
@@ -659,16 +652,19 @@ impl MmqjpEngine {
             // first use).
             let mut rbinw_by_docnode: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
             for (i, row) in batch.rbin_w.iter().enumerate() {
-                let key = (row[0].as_int().unwrap_or(-1), row[4].as_int().unwrap_or(-1));
+                let key = (
+                    key_int(row, 0, "RbinW", "docid")?,
+                    key_int(row, 4, "RbinW", "node2")?,
+                );
                 rbinw_by_docnode.entry(key).or_default().push(i);
             }
             for row in batch.rdoc_w.iter() {
-                let Some(sym) = row[2].as_sym() else { continue };
+                let sym = key_sym(row, 2, "RdocW", "strVal")?;
                 if !self.view_cache.contains(sym) {
                     continue;
                 }
-                let docid = row[0].as_int().unwrap_or(-1);
-                let node = row[1].as_int().unwrap_or(-1);
+                let docid = key_int(row, 0, "RdocW", "docid")?;
+                let node = key_int(row, 1, "RdocW", "node")?;
                 let mut addition = Relation::new(schemas::rl());
                 for &bin_row in rbinw_by_docnode
                     .get(&(docid, node))
@@ -693,83 +689,70 @@ impl MmqjpEngine {
             }
         }
 
-        // Algorithm 2: append the batch to the join state, maintaining the
-        // incremental indexes.
-        let rdoc_base = self.rdoc.len();
-        let rbin_base = self.rbin.len();
-        merge_into_state(batch, &mut self.rbin, &mut self.rdoc, &mut self.rdoc_ts);
-        for (offset, row) in self.rdoc.tuples()[rdoc_base..].iter().enumerate() {
-            if let Some(sym) = row[2].as_sym() {
-                self.rdoc_by_strval
-                    .entry(sym)
-                    .or_default()
-                    .push(rdoc_base + offset);
-            }
-        }
-        for (offset, row) in self.rbin.tuples()[rbin_base..].iter().enumerate() {
-            let key = (row[0].as_int().unwrap_or(-1), row[4].as_int().unwrap_or(-1));
-            self.rbin_by_docnode
-                .entry(key)
-                .or_default()
-                .push(rbin_base + offset);
-        }
-        for row in batch.rdoc_ts_w.iter() {
-            if let (Some(d), Some(ts)) = (row[0].as_int(), row[1].as_int()) {
-                self.doc_timestamps.insert(d, ts as u64);
-            }
-        }
-        if self.config.retain_documents {
-            for doc in docs {
-                self.doc_store.insert(doc.id().raw(), doc.clone());
-            }
-        }
+        // Algorithm 2: append the batch into its timestamp buckets,
+        // maintaining the per-bucket indexes and the retention ledger. The
+        // bucket width follows the registered windows; if documents were
+        // processed before any windowed query existed, the provisional width
+        // is revised (with a one-time re-partition) once a bound appears.
+        let derived = match self.config.state_bucket_width {
+            Some(w) => Some(w.max(1)),
+            None => self.width_hint().map(JoinState::derive_width),
+        };
+        self.state.ensure_width(derived)?;
+        self.state
+            .absorb(batch, docs, self.config.retain_documents)?;
 
-        // Optional window-based pruning.
+        // Window expiry: drop whole buckets that no registered window can
+        // reach — O(expired rows), no index rebuild — and invalidate exactly
+        // the view-cache slices whose string values lost rows.
         if self.config.prune_state_by_window {
             if let Some(window) = self.registry.max_window() {
-                self.prune_state(window);
+                let cutoff = self.newest_timestamp.saturating_sub(window);
+                let eviction = self.state.evict_join_state(cutoff);
+                if !eviction.expired_strvals.is_empty() {
+                    let before = self.view_cache.len();
+                    self.view_cache
+                        .invalidate_if(|k| eviction.expired_strvals.contains(&k));
+                    self.stats.view_slices_invalidated += before - self.view_cache.len();
+                }
+                self.stats.state_buckets_evicted += eviction.buckets;
+                self.stats.state_rows_evicted += eviction.rows;
             }
         }
+
+        // Document retention is bounded even when join-state pruning is off:
+        // once a document has aged beyond every registered window (and the
+        // configured cap), neither the temporal filter nor output
+        // construction can ever need it again.
+        if let Some(bound) = self.doc_retention_bound() {
+            let cutoff = self.newest_timestamp.saturating_sub(bound);
+            self.stats.docs_evicted += self.state.evict_documents(cutoff);
+        }
+        Ok(())
     }
 
-    /// Remove join state belonging to documents that have fallen out of every
-    /// query's window.
-    fn prune_state(&mut self, max_window: u64) {
-        let cutoff = self.newest_timestamp.saturating_sub(max_window);
-        let expired: HashSet<i64> = self
-            .doc_timestamps
-            .iter()
-            .filter(|(_, &ts)| ts < cutoff)
-            .map(|(&d, _)| d)
-            .collect();
-        if expired.is_empty() {
-            return;
-        }
-        self.rdoc
-            .retain(|t| !expired.contains(&t[0].as_int().unwrap_or(-1)));
-        self.rbin
-            .retain(|t| !expired.contains(&t[0].as_int().unwrap_or(-1)));
-        self.rdoc_ts
-            .retain(|t| !expired.contains(&t[0].as_int().unwrap_or(-1)));
-        for d in &expired {
-            self.doc_timestamps.remove(d);
-            self.doc_store.remove(&(*d as u64));
-        }
-        // Row indexes refer to positions that shifted; rebuild them, and drop
-        // cached slices (they may reference pruned documents).
-        self.rdoc_by_strval.clear();
-        for (i, row) in self.rdoc.iter().enumerate() {
-            if let Some(sym) = row[2].as_sym() {
-                self.rdoc_by_strval.entry(sym).or_default().push(i);
-            }
-        }
-        self.rbin_by_docnode.clear();
-        for (i, row) in self.rbin.iter().enumerate() {
-            let key = (row[0].as_int().unwrap_or(-1), row[4].as_int().unwrap_or(-1));
-            self.rbin_by_docnode.entry(key).or_default().push(i);
-        }
-        self.view_cache.clear();
+    /// How long documents (and their timestamps) must be retained: the
+    /// maximum registered window, tightened or replaced by
+    /// [`EngineConfig::doc_retention_cap`]. `None` — retain forever — only
+    /// when some window is infinite *and* no cap is configured.
+    fn doc_retention_bound(&self) -> Option<u64> {
+        min_bound(self.registry.max_window(), self.config.doc_retention_cap)
     }
+
+    /// The retention span the bucket width is derived from. Uses the largest
+    /// *finite* window even when infinite windows exist (width is a pure
+    /// granularity parameter — see [`JoinState`]).
+    fn width_hint(&self) -> Option<u64> {
+        min_bound(
+            self.registry.max_finite_window(),
+            self.config.doc_retention_cap,
+        )
+    }
+}
+
+/// The smaller of two optional bounds; `None` only when both are absent.
+fn min_bound(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    a.into_iter().chain(b).min()
 }
 
 #[cfg(test)]
@@ -1080,6 +1063,138 @@ mod tests {
             .process_document(d2().with_timestamp(Timestamp(1005)))
             .unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn window_pruning_is_incremental_and_counted() {
+        // Bucketed expiry: no rebuild, whole buckets dropped, counters
+        // reported. Width 1 (window 10 / 16 floors to 1) gives near-exact
+        // granularity, so the book's state is gone after the jump to ts 1000.
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp().with_prune_state_by_window(true));
+        e.register_query_text(
+            "S//book->x1[.//title->x3] FOLLOWED BY{x3=x6, 10} S//blog->x4[.//title->x6]",
+        )
+        .unwrap();
+        e.process_document(d1().with_timestamp(Timestamp(1)))
+            .unwrap();
+        e.process_document(d2().with_timestamp(Timestamp(1000)))
+            .unwrap();
+        let stats = e.stats();
+        assert!(stats.state_buckets_evicted > 0);
+        assert!(stats.state_rows_evicted > 0);
+        assert!(stats.docs_evicted > 0);
+        assert!(stats.state_buckets >= 1);
+    }
+
+    #[test]
+    fn doc_retention_is_bounded_without_state_pruning() {
+        // The leak fix: with prune_state_by_window = false (the default) and
+        // retain_documents = true, documents and timestamps are still
+        // evicted once they age beyond every registered window. Join state
+        // is deliberately left alone in this configuration.
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp());
+        assert!(!e.config().prune_state_by_window);
+        e.register_query_text(
+            "S//book->x1[.//title->x3] FOLLOWED BY{x3=x6, 10} S//blog->x4[.//title->x6]",
+        )
+        .unwrap();
+        for i in 0..100u64 {
+            e.process_document(d1().with_timestamp(Timestamp(1 + i * 5)))
+                .unwrap();
+        }
+        let stats = e.stats();
+        assert!(
+            stats.docs_retained <= 16,
+            "doc store must plateau, got {} retained",
+            stats.docs_retained
+        );
+        assert_eq!(stats.docs_evicted + stats.docs_retained, 100);
+        // Join state is untouched by doc eviction.
+        assert!(stats.rdoc_tuples >= 100);
+        // Matches still fire across the retained window: the books at ts 491
+        // and 496 are both within 10 of the blog at ts 497.
+        let out = e
+            .process_document(d2().with_timestamp(Timestamp(1 + 99 * 5 + 1)))
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(
+            out.iter().all(|o| o.document.is_some()),
+            "retained docs build the outputs"
+        );
+    }
+
+    #[test]
+    fn doc_retention_cap_bounds_infinite_windows() {
+        // With an infinite window nothing could ever be evicted; the config
+        // cap acts as the explicit memory backstop.
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp().with_doc_retention_cap(Some(50)));
+        e.register_query_text(
+            "S//book->x1[.//title->x3] FOLLOWED BY{x3=x6, INF} S//blog->x4[.//title->x6]",
+        )
+        .unwrap();
+        for i in 0..100u64 {
+            e.process_document(d1().with_timestamp(Timestamp(1 + i * 5)))
+                .unwrap();
+        }
+        let stats = e.stats();
+        assert!(
+            stats.docs_retained <= 32,
+            "cap must bound retention, got {}",
+            stats.docs_retained
+        );
+        assert!(stats.docs_evicted >= 68);
+
+        // Without the cap the same stream retains every document.
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp());
+        e.register_query_text(
+            "S//book->x1[.//title->x3] FOLLOWED BY{x3=x6, INF} S//blog->x4[.//title->x6]",
+        )
+        .unwrap();
+        for i in 0..100u64 {
+            e.process_document(d1().with_timestamp(Timestamp(1 + i * 5)))
+                .unwrap();
+        }
+        assert_eq!(e.stats().docs_retained, 100);
+    }
+
+    #[test]
+    fn pruning_invalidates_only_expired_view_slices() {
+        // Two distinct titles: after the first expires, its slice is
+        // invalidated while the survivor's cached slice keeps serving hits.
+        let mut e = MmqjpEngine::new(
+            EngineConfig::mmqjp_view_mat()
+                .with_prune_state_by_window(true)
+                .with_state_bucket_width(Some(10)),
+        );
+        e.register_query_text(Q3).unwrap();
+        let old_blog = rss::blog_article("Ann", "u1", "Old Title", "c", "d");
+        let live_blog = rss::blog_article("Ann", "u2", "Live Title", "c", "d");
+        e.process_document(old_blog.with_timestamp(Timestamp(1)))
+            .unwrap();
+        e.process_document(live_blog.clone().with_timestamp(Timestamp(290)))
+            .unwrap();
+        // Warm the cache for "Live Title" (and match the ts-290 posting).
+        let out = e
+            .process_document(live_blog.clone().with_timestamp(Timestamp(295)))
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        // Jump far enough that the old posting's bucket expires (window is
+        // 300); the live postings stay in-window.
+        let out = e
+            .process_document(live_blog.clone().with_timestamp(Timestamp(500)))
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        let stats = e.stats();
+        assert!(stats.state_rows_evicted > 0, "old posting must expire");
+        assert!(
+            stats.view_slices_invalidated >= 1,
+            "expired slice is invalidated"
+        );
+        // The surviving slice still produces cache hits afterwards.
+        let hits_before = e.stats().view_cache_hits;
+        e.process_document(live_blog.with_timestamp(Timestamp(505)))
+            .unwrap();
+        assert!(e.stats().view_cache_hits > hits_before);
     }
 
     #[test]

@@ -41,6 +41,18 @@ pub enum CoreError {
         /// Index of the unavailable shard.
         shard: usize,
     },
+    /// A join-state or witness tuple carried a value of the wrong type in an
+    /// index-key column. This indicates state corruption (or a bug in witness
+    /// construction), never a user error: the engine refuses to silently
+    /// collapse such rows onto a sentinel key.
+    CorruptStateRow {
+        /// Name of the relation holding the malformed row.
+        relation: &'static str,
+        /// Name of the offending column.
+        column: &'static str,
+        /// Debug rendering of the malformed value.
+        value: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -57,6 +69,14 @@ impl fmt::Display for CoreError {
             CoreError::ShardUnavailable { shard } => {
                 write!(f, "shard {shard} worker is unavailable")
             }
+            CoreError::CorruptStateRow {
+                relation,
+                column,
+                value,
+            } => write!(
+                f,
+                "corrupt state row: {relation}.{column} holds {value} instead of an index key"
+            ),
         }
     }
 }
@@ -103,6 +123,13 @@ mod tests {
         assert!(CoreError::ShardUnavailable { shard: 2 }
             .to_string()
             .contains("shard 2"));
+        let e = CoreError::CorruptStateRow {
+            relation: "Rdoc",
+            column: "strVal",
+            value: "Null".into(),
+        };
+        assert!(e.to_string().contains("Rdoc.strVal"));
+        assert!(e.to_string().contains("Null"));
     }
 
     #[test]

@@ -74,6 +74,7 @@ mod output;
 mod registry;
 mod relations;
 mod shard;
+mod state;
 mod stats;
 mod view_cache;
 

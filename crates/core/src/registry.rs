@@ -367,6 +367,20 @@ impl Registry {
             self.max_finite_window
         }
     }
+
+    /// The maximum *finite* time window registered so far, even when other
+    /// queries have infinite (or count) windows. Used to derive the
+    /// join-state bucket width, which is a granularity (never a correctness)
+    /// parameter.
+    pub fn max_finite_window(&self) -> Option<u64> {
+        self.max_finite_window
+    }
+
+    /// `true` when some registered join query has an infinite or count
+    /// window, which forbids window-based eviction of join state.
+    pub fn has_infinite_window(&self) -> bool {
+        self.any_infinite_window
+    }
 }
 
 /// Encode a window as the `wl` column value.
@@ -518,12 +532,16 @@ mod tests {
         r.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp)
             .unwrap();
         assert_eq!(r.max_window(), Some(100));
+        assert_eq!(r.max_finite_window(), Some(100));
+        assert!(!r.has_infinite_window());
         r.register(
             parse_query("S//a->x FOLLOWED BY{x=y, INF} S//b->y").unwrap(),
             ProcessingMode::Mmqjp,
         )
         .unwrap();
         assert_eq!(r.max_window(), None);
+        assert_eq!(r.max_finite_window(), Some(100));
+        assert!(r.has_infinite_window());
         assert_eq!(window_length(Window::Time(5)), 5);
         assert_eq!(window_length(Window::Infinite), i64::MAX);
         assert_eq!(window_length(Window::Count(3)), i64::MAX);

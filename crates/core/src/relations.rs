@@ -188,23 +188,6 @@ impl Default for WitnessBatch {
     }
 }
 
-/// Merge a witness batch into the persistent join state (Algorithm 2 of the
-/// paper): `Rdoc ∪= RdocW`, `Rbin ∪= RbinW`, `RdocTS ∪= RdocTSW`.
-pub fn merge_into_state(
-    batch: &WitnessBatch,
-    rbin: &mut Relation,
-    rdoc: &mut Relation,
-    rdoc_ts: &mut Relation,
-) {
-    rbin.extend_from(&batch.rbin_w)
-        .expect("Rbin schema matches RbinW");
-    rdoc.extend_from(&batch.rdoc_w)
-        .expect("Rdoc schema matches RdocW");
-    rdoc_ts
-        .extend_from(&batch.rdoc_ts_w)
-        .expect("RdocTS schema matches RdocTSW");
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,27 +284,6 @@ mod tests {
 
         // The duplicated edge request collapses to one RbinW row per author.
         assert_eq!(batch.rbin_w.len(), 2);
-    }
-
-    #[test]
-    fn merge_into_state_appends() {
-        let mut pattern = parse_pattern("S//book->b[.//title->t]").unwrap();
-        pattern.assign_canonical_variables();
-        let matcher = PatternMatcher::new(&pattern);
-        let doc = d1();
-        let bindings = matcher.all_edge_bindings(&doc);
-        let interner = interner();
-        let mut batch = WitnessBatch::new();
-        batch.add_document(&doc, &[(&pattern, bindings)], &interner);
-
-        let mut rbin = Relation::new(schemas::bin());
-        let mut rdoc = Relation::new(schemas::doc());
-        let mut rdoc_ts = Relation::new(schemas::doc_ts());
-        merge_into_state(&batch, &mut rbin, &mut rdoc, &mut rdoc_ts);
-        merge_into_state(&batch, &mut rbin, &mut rdoc, &mut rdoc_ts);
-        assert_eq!(rbin.len(), 2);
-        assert_eq!(rdoc.len(), 2);
-        assert_eq!(rdoc_ts.len(), 2);
     }
 
     #[test]

@@ -81,6 +81,20 @@ pub struct EngineStats {
     pub rbin_tuples: usize,
     /// Tuples currently held in the `Rdoc` join-state relation.
     pub rdoc_tuples: usize,
+    /// Timestamp buckets currently resident in the segmented join state.
+    pub state_buckets: usize,
+    /// Documents currently retained for output construction / temporal
+    /// filtering.
+    pub docs_retained: usize,
+    /// Join-state buckets dropped by window expiry so far.
+    pub state_buckets_evicted: usize,
+    /// Join-state rows (`Rbin` + `Rdoc`) dropped by window expiry so far.
+    pub state_rows_evicted: usize,
+    /// Retained documents (and their timestamps) evicted so far.
+    pub docs_evicted: usize,
+    /// Materialized `RL` view-cache slices invalidated by window expiry so
+    /// far (targeted invalidation — unaffected slices survive pruning).
+    pub view_slices_invalidated: usize,
     /// View-cache hits (view-materialization mode).
     pub view_cache_hits: usize,
     /// View-cache misses.
@@ -131,6 +145,12 @@ impl AddAssign for EngineStats {
         self.distinct_patterns += rhs.distinct_patterns;
         self.rbin_tuples += rhs.rbin_tuples;
         self.rdoc_tuples += rhs.rdoc_tuples;
+        self.state_buckets += rhs.state_buckets;
+        self.docs_retained += rhs.docs_retained;
+        self.state_buckets_evicted += rhs.state_buckets_evicted;
+        self.state_rows_evicted += rhs.state_rows_evicted;
+        self.docs_evicted += rhs.docs_evicted;
+        self.view_slices_invalidated += rhs.view_slices_invalidated;
         self.view_cache_hits += rhs.view_cache_hits;
         self.view_cache_misses += rhs.view_cache_misses;
         self.view_cache_evictions += rhs.view_cache_evictions;
@@ -205,6 +225,12 @@ mod tests {
             distinct_patterns: 5,
             rbin_tuples: 6,
             rdoc_tuples: 7,
+            state_buckets: 1,
+            docs_retained: 2,
+            state_buckets_evicted: 3,
+            state_rows_evicted: 4,
+            docs_evicted: 5,
+            view_slices_invalidated: 6,
             view_cache_hits: 8,
             view_cache_misses: 9,
             view_cache_evictions: 10,
@@ -221,6 +247,12 @@ mod tests {
             distinct_patterns: 50,
             rbin_tuples: 60,
             rdoc_tuples: 70,
+            state_buckets: 10,
+            docs_retained: 20,
+            state_buckets_evicted: 30,
+            state_rows_evicted: 40,
+            docs_evicted: 50,
+            view_slices_invalidated: 60,
             view_cache_hits: 80,
             view_cache_misses: 90,
             view_cache_evictions: 100,
@@ -237,6 +269,12 @@ mod tests {
         assert_eq!(s.distinct_patterns, 55);
         assert_eq!(s.rbin_tuples, 66);
         assert_eq!(s.rdoc_tuples, 77);
+        assert_eq!(s.state_buckets, 11);
+        assert_eq!(s.docs_retained, 22);
+        assert_eq!(s.state_buckets_evicted, 33);
+        assert_eq!(s.state_rows_evicted, 44);
+        assert_eq!(s.docs_evicted, 55);
+        assert_eq!(s.view_slices_invalidated, 66);
         assert_eq!(s.view_cache_hits, 88);
         assert_eq!(s.view_cache_misses, 99);
         assert_eq!(s.view_cache_evictions, 110);

@@ -15,9 +15,14 @@
 //!   equi-join, natural join, semi-join, anti-join, union, difference,
 //!   cross product, distinct.
 //! * [`HashIndex`] — multi-column hash indexes over relations.
+//! * [`SegmentedRelation`] — bucketed relation storage with stable
+//!   [`RowHandle`]s, used for windowed join state whose expiry must be a
+//!   whole-bucket drop rather than a retain-and-rebuild.
 //! * [`ConjunctiveQuery`] / [`Database`] — a Datalog-style conjunctive query
 //!   representation with a greedy connected-join planner and a hash-join
-//!   executor. This is what evaluates each query template's `CQ_T`.
+//!   executor. This is what evaluates each query template's `CQ_T`. The
+//!   database stores [`StoredRelation`]s, so flat and segmented relations
+//!   evaluate through the same code path.
 //!
 //! The engine is deliberately not a general DBMS: no transactions, no
 //! persistence, no SQL parser. It is, however, a complete and correct
@@ -57,13 +62,15 @@ mod interner;
 pub mod ops;
 mod relation;
 mod schema;
+mod segment;
 mod value;
 
 pub use conjunctive::{Atom, ConjunctiveQuery, Term};
-pub use database::{relation_from_rows, Database};
+pub use database::{relation_from_rows, Database, StoredRelation, StoredTuples};
 pub use error::{RelError, RelResult};
 pub use index::HashIndex;
 pub use interner::{StringInterner, Symbol};
 pub use relation::{Relation, Tuple};
 pub use schema::Schema;
+pub use segment::{BucketId, RowHandle, SegmentedRelation, SegmentedTuples};
 pub use value::Value;

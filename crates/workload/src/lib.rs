@@ -15,6 +15,10 @@
 //! * [`rss`] — a synthetic RSS/Atom feed stream standing in for the paper's
 //!   private 418-channel / 225 K-item trace (Section 6.3), together with the
 //!   corresponding random query generator over the five feed-item fields.
+//! * [`churn`] — a churn-heavy *windowed* variant of the RSS workload for
+//!   sustained-throughput experiments: finite heterogeneous windows over a
+//!   long stream, so join state continuously expires while value joins keep
+//!   firing.
 //! * [`params`] — the default parameter values of Table 5 and the scale
 //!   knobs used by the benchmark harness.
 //!
@@ -24,12 +28,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod churn;
 pub mod complex_schema;
 pub mod flat_schema;
 pub mod params;
 pub mod rss;
 pub mod zipf;
 
+pub use churn::{ChurnConfig, ChurnWorkload};
 pub use complex_schema::ComplexSchemaWorkload;
 pub use flat_schema::FlatSchemaWorkload;
 pub use params::{BenchScale, Defaults};

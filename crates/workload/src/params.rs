@@ -120,6 +120,27 @@ impl BenchScale {
         }
     }
 
+    /// Stream lengths (in feed items) swept by the sustained-throughput
+    /// churn experiment (Figure 18, beyond the paper): doubling lengths so
+    /// any per-batch cost that grows with total stream length shows up as a
+    /// falling docs/s curve.
+    pub fn churn_stream_lengths(&self) -> Vec<usize> {
+        match self {
+            BenchScale::Paper => vec![5_000, 10_000, 20_000, 40_000],
+            BenchScale::Default => vec![1_000, 2_000, 4_000],
+            BenchScale::Smoke => vec![250, 500],
+        }
+    }
+
+    /// Number of queries registered for the churn experiment.
+    pub fn churn_queries(&self) -> usize {
+        match self {
+            BenchScale::Paper => 500,
+            BenchScale::Default => 100,
+            BenchScale::Smoke => 25,
+        }
+    }
+
     /// Batch size used for the RSS replay (the paper batches SQL statements;
     /// we batch witness loading the same way).
     pub fn rss_batch(&self) -> usize {
@@ -160,6 +181,11 @@ mod tests {
         assert!(paper.shard_counts().len() >= smoke.shard_counts().len());
         assert!(smoke.shard_counts().contains(&1));
         assert!(smoke.shard_counts().contains(&4));
+        assert!(paper.churn_stream_lengths().len() >= smoke.churn_stream_lengths().len());
+        assert!(paper.churn_queries() > smoke.churn_queries());
+        // Doubling lengths: the last entry is at least 2x the first.
+        let lengths = default.churn_stream_lengths();
+        assert!(lengths.last().unwrap() >= &(2 * lengths[0]));
     }
 
     #[test]

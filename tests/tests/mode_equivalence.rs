@@ -11,8 +11,8 @@ use mmqjp_integration_tests::{
     sharded_engine_with_queries, SHARD_COUNTS,
 };
 use mmqjp_workload::{
-    ComplexSchemaWorkload, FlatSchemaWorkload, RssQueryGenerator, RssStreamConfig,
-    RssStreamGenerator,
+    ChurnConfig, ChurnWorkload, ComplexSchemaWorkload, FlatSchemaWorkload, RssQueryGenerator,
+    RssStreamConfig, RssStreamGenerator,
 };
 use mmqjp_xml::{Document, Timestamp};
 use mmqjp_xscl::XsclQuery;
@@ -203,6 +203,49 @@ fn modes_agree_with_state_pruning() {
     assert_modes_agree_with(&queries, &docs, |config| {
         config.with_prune_state_by_window(true)
     });
+}
+
+#[test]
+fn modes_agree_on_long_windowed_churn_stream() {
+    // The sustained-operation scenario: a stream several times longer than
+    // the largest window, with incremental bucketed expiry active the whole
+    // time. Heterogeneous windows make per-shard expiry cutoffs differ, and
+    // the bucketed drop retains rows slightly past their window (never less)
+    // — the temporal filter must keep every mode and shard count
+    // byte-identical through all of it.
+    let workload = ChurnWorkload::new(ChurnConfig {
+        items: 150,
+        num_queries: 45,
+        windows: vec![25, 60, 160],
+        ..ChurnConfig::default()
+    });
+    let queries = workload.queries();
+    let docs = workload.documents();
+    let matches = assert_modes_agree_with(&queries, &docs, |config| {
+        config.with_prune_state_by_window(true)
+    });
+    assert!(matches > 0, "the churn workload must produce matches");
+}
+
+#[test]
+fn doc_retention_eviction_does_not_change_results() {
+    // The doc_store/doc_timestamps leak fix evicts retention state even when
+    // join-state pruning is off (the default); matches must be unaffected,
+    // with and without an explicit retention cap at the window bound.
+    let workload = ChurnWorkload::new(ChurnConfig {
+        items: 90,
+        num_queries: 30,
+        windows: vec![30, 90],
+        ..ChurnConfig::default()
+    });
+    let queries = workload.queries();
+    let docs = workload.documents();
+    let baseline = assert_modes_agree(&queries, &docs);
+    let capped = assert_modes_agree_with(&queries, &docs, |config| {
+        config.with_doc_retention_cap(Some(90))
+    });
+    assert_eq!(baseline, capped);
+    assert!(baseline > 0);
 }
 
 #[test]
