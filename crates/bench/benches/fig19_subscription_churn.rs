@@ -1,0 +1,79 @@
+//! Figure 19 (beyond the paper): steady-state throughput under online
+//! subscription churn.
+//!
+//! Replays a Poisson subscribe/unsubscribe mix interleaved with the
+//! windowed RSS stream: for every document, ~0.25 subscriptions arrive and
+//! ~0.25 depart, so the live population stays flat while the *cumulative*
+//! number of lifecycle events grows with the stream. Two stream lengths are
+//! swept, the second 10× the first.
+//!
+//! Expected shape: steady-state docs/s stays **flat** (≤1.1× degradation)
+//! on the 10×-longer stream, because `unregister_query` is O(the departing
+//! query's footprint) — RT tuples removed in place, refcounted pattern
+//! drops, no registry rebuild. The final columns contrast the live
+//! population against the append-only population (the same script with
+//! unsubscribes ignored — what an engine without a query lifecycle would
+//! accumulate): live queries/templates/patterns plateau where the
+//! append-only engine grows linearly with stream length.
+
+use mmqjp_bench::{figure_header, run_subscription_churn_benchmark, scale};
+use mmqjp_core::ProcessingMode;
+
+pub fn main() {
+    figure_header(
+        "Figure 19",
+        "subscription churn — steady-state throughput and state plateau vs stream length",
+    );
+    let scale = scale();
+    let lengths = scale.subscription_churn_lengths();
+    let initial = scale.subscription_churn_queries();
+    println!(
+        "{initial} initial queries, Poisson subscribe/unsubscribe at 0.25/doc, \
+         windows 40/120/400, prune_state_by_window=on"
+    );
+
+    for mode in [ProcessingMode::MmqjpViewMat, ProcessingMode::Mmqjp] {
+        println!("\n=== Figure 19 — {} ===", mode.label());
+        println!(
+            "{:>12}  {:>18}  {:>9}  {:>11}  {:>11}  {:>12}  {:>12}  {:>12}",
+            "stream",
+            "steady docs/s",
+            "matches",
+            "registered",
+            "live",
+            "tmpl retired",
+            "pat dropped",
+            "append-only"
+        );
+        let mut baseline = None;
+        for &items in &lengths {
+            let run = run_subscription_churn_benchmark(mode, initial, items, true);
+            let append_only = run_subscription_churn_benchmark(mode, initial, items, false);
+            let base = *baseline.get_or_insert(run.steady_throughput);
+            let vs_base = if base > 0.0 {
+                run.steady_throughput / base
+            } else {
+                0.0
+            };
+            println!(
+                "{:>12}  {:>18}  {:>9}  {:>11}  {:>11}  {:>12}  {:>12}  {:>12}",
+                format!("{items} docs"),
+                format!("{:.0} ({:.2}x)", run.steady_throughput, vs_base),
+                run.matches,
+                run.total_registered,
+                format!(
+                    "{}q/{}t/{}p",
+                    run.stats.queries_registered, run.stats.templates, run.stats.distinct_patterns
+                ),
+                run.stats.templates_retired,
+                run.stats.patterns_dropped,
+                format!(
+                    "{}q/{}t/{}p",
+                    append_only.stats.queries_registered,
+                    append_only.stats.templates,
+                    append_only.stats.distinct_patterns
+                ),
+            );
+        }
+    }
+}

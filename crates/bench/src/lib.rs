@@ -323,6 +323,91 @@ pub fn run_churn_benchmark(mode: ProcessingMode, num_queries: usize, items: usiz
     }
 }
 
+/// Result of one subscription-churn replay (Figure 19).
+#[derive(Debug, Clone, Copy)]
+pub struct SubscriptionChurnRun {
+    /// Steady-state throughput: wall-clock docs/s over the second half of
+    /// the stream (subscription events are replayed inline, so this includes
+    /// register/unregister cost). With O(footprint) unregistration this
+    /// stays flat as the stream — and therefore the cumulative number of
+    /// lifecycle events — grows 10×.
+    pub steady_throughput: f64,
+    /// Total matches produced.
+    pub matches: usize,
+    /// Queries registered over the whole replay (cumulative).
+    pub total_registered: usize,
+    /// Final engine statistics (live population, retirement counters,
+    /// resident state).
+    pub stats: EngineStats,
+}
+
+/// Replay a subscription-churn script of `items` documents in the given
+/// mode. With `honor_unregister = false` the unsubscribe events are skipped
+/// — the append-only population an engine without a query lifecycle would
+/// accumulate — which makes the resident-state plateau visible by contrast.
+pub fn run_subscription_churn_benchmark(
+    mode: ProcessingMode,
+    initial_queries: usize,
+    items: usize,
+    honor_unregister: bool,
+) -> SubscriptionChurnRun {
+    use mmqjp_workload::{SubscriptionChurnConfig, SubscriptionEvent};
+    let workload = mmqjp_workload::SubscriptionChurnWorkload::new(SubscriptionChurnConfig {
+        items,
+        initial_queries,
+        ..SubscriptionChurnConfig::default()
+    });
+    let config = EngineConfig {
+        mode,
+        ..EngineConfig::default()
+    }
+    .with_prune_state_by_window(true);
+    let mut engine = MmqjpEngine::new(config);
+    let events = workload.events_with_items(items);
+    let mut reg_ids = Vec::new();
+    let half = items / 2;
+    let mut docs_seen = 0usize;
+    let mut matches = 0usize;
+    let start = std::time::Instant::now();
+    let mut half_elapsed = 0.0f64;
+    for event in events {
+        match event {
+            SubscriptionEvent::Register(q) => {
+                reg_ids.push(engine.register_query(*q).expect("query registers"));
+            }
+            SubscriptionEvent::Unregister(n) => {
+                if honor_unregister {
+                    engine
+                        .unregister_query(reg_ids[n])
+                        .expect("scripted targets are live");
+                }
+            }
+            SubscriptionEvent::Document(d) => {
+                if docs_seen == half {
+                    half_elapsed = start.elapsed().as_secs_f64();
+                }
+                docs_seen += 1;
+                matches += engine
+                    .process_document(*d)
+                    .expect("document processes")
+                    .len();
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let steady_secs = elapsed - half_elapsed;
+    SubscriptionChurnRun {
+        steady_throughput: if steady_secs > 0.0 {
+            (docs_seen - half) as f64 / steady_secs
+        } else {
+            0.0
+        },
+        matches,
+        total_registered: reg_ids.len(),
+        stats: engine.stats(),
+    }
+}
+
 /// The scale selected through the environment.
 pub fn scale() -> BenchScale {
     BenchScale::from_env()
@@ -399,6 +484,25 @@ mod tests {
         assert!(run.stats.docs_evicted > 0);
         // Resident state is bounded by the windows, below stream length.
         assert!(run.stats.docs_retained < 300);
+    }
+
+    #[test]
+    fn subscription_churn_benchmark_contrasts_live_and_append_only() {
+        let run = run_subscription_churn_benchmark(ProcessingMode::Mmqjp, 12, 200, true);
+        assert!(run.matches > 0);
+        assert!(run.steady_throughput > 0.0);
+        assert!(run.stats.queries_unregistered > 0, "{:?}", run.stats);
+        assert_eq!(
+            run.stats.queries_registered,
+            run.total_registered - run.stats.queries_unregistered
+        );
+        // The same script with unsubscribes ignored accumulates the whole
+        // population — the growth an engine without a query lifecycle pays.
+        let append = run_subscription_churn_benchmark(ProcessingMode::Mmqjp, 12, 200, false);
+        assert_eq!(append.total_registered, run.total_registered);
+        assert_eq!(append.stats.queries_registered, append.total_registered);
+        assert!(append.stats.queries_registered > run.stats.queries_registered);
+        assert!(append.stats.distinct_patterns >= run.stats.distinct_patterns);
     }
 
     #[test]

@@ -82,6 +82,16 @@ pub struct EngineConfig {
     /// default) derives the width from the registered windows:
     /// `max(1, bound / 16)`.
     pub state_bucket_width: Option<u64>,
+    /// When a query unregisters and some canonical variables lose their last
+    /// live pattern, drop the view-cache slices that still carry rows under
+    /// those variables. The slices are pure caches — dropping them never
+    /// changes results (survivors' slices are recomputed on demand) — so
+    /// this is a memory/latency trade-off: leave it on (the default) for
+    /// long-running deployments with subscription churn; turn it off to
+    /// keep unregistration strictly O(registry footprint) with stale slice
+    /// rows left to age out through window expiry. Only meaningful in
+    /// [`ProcessingMode::MmqjpViewMat`].
+    pub purge_views_on_unregister: bool,
     /// Reject documents whose timestamp is older than the newest timestamp
     /// already processed. The paper assumes in-order streams; disabling this
     /// lets out-of-order events in (they simply join as if on time).
@@ -104,6 +114,7 @@ impl Default for EngineConfig {
             prune_state_by_window: false,
             doc_retention_cap: None,
             state_bucket_width: None,
+            purge_views_on_unregister: true,
             enforce_in_order: false,
             num_shards: 1,
         }
@@ -165,6 +176,12 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style setter for view-cache purging on unregistration.
+    pub fn with_purge_views_on_unregister(mut self, purge: bool) -> Self {
+        self.purge_views_on_unregister = purge;
+        self
+    }
+
     /// Builder-style setter for the shard count used by
     /// [`ShardedEngine`](crate::ShardedEngine).
     pub fn with_num_shards(mut self, num_shards: usize) -> Self {
@@ -186,6 +203,7 @@ mod tests {
         assert!(!c.prune_state_by_window);
         assert_eq!(c.doc_retention_cap, None);
         assert_eq!(c.state_bucket_width, None);
+        assert!(c.purge_views_on_unregister);
         assert_eq!(c.num_shards, 1);
     }
 
@@ -207,12 +225,14 @@ mod tests {
             .with_prune_state_by_window(true)
             .with_doc_retention_cap(Some(5000))
             .with_state_bucket_width(Some(50))
+            .with_purge_views_on_unregister(false)
             .with_num_shards(4);
         assert_eq!(c.view_cache_capacity, Some(128));
         assert!(!c.retain_documents);
         assert!(c.prune_state_by_window);
         assert_eq!(c.doc_retention_cap, Some(5000));
         assert_eq!(c.state_bucket_width, Some(50));
+        assert!(!c.purge_views_on_unregister);
         assert_eq!(c.num_shards, 4);
     }
 

@@ -10,7 +10,7 @@ use crate::relations::{schemas, WitnessBatch};
 use crate::state::{key_int, key_sym, JoinState};
 use crate::stats::{EngineStats, PhaseTimings};
 use crate::view_cache::ViewCache;
-use mmqjp_relational::{Database, Relation, StringInterner, Symbol, Value};
+use mmqjp_relational::{ConjunctiveQuery, Database, Relation, StringInterner, Symbol, Value};
 use mmqjp_xml::{DocId, Document, NodeId};
 use mmqjp_xpath::{PatternMatcher, TreePattern};
 use mmqjp_xscl::{JoinOp, QueryId, SelectClause, Side, XsclQuery};
@@ -118,8 +118,60 @@ impl MmqjpEngine {
     }
 
     /// Register a parsed query. Returns the query id.
+    ///
+    /// A subscription registered mid-stream only joins documents that
+    /// arrive after it: resident join state from earlier documents is never
+    /// matched against it, so registration order (not just the query set)
+    /// defines each query's visible stream.
     pub fn register_query(&mut self, query: XsclQuery) -> CoreResult<QueryId> {
-        self.registry.register(query, self.config.mode)
+        self.registry
+            .register(query, self.config.mode, self.next_doc_seq)
+    }
+
+    /// Unregister a query, incrementally releasing every shared structure it
+    /// participated in: its `RT` tuples are removed in place (an emptied
+    /// template is retired from the catalog), its Stage-1 pattern and
+    /// requested-edge registrations are released through reference counts,
+    /// the window bounds are recomputed so document retention can tighten,
+    /// and view-cache slices carrying rows under now-dead canonical
+    /// variables are reclaimed (see
+    /// [`EngineConfig::purge_views_on_unregister`]).
+    ///
+    /// The cost is O(the departing query's footprint) — never a registry
+    /// rebuild. Freed [`QueryId`]s are tombstoned and never reused, so shard
+    /// assignment and the canonical output order stay deterministic across
+    /// churn. Join-state rows that only the departed query's patterns
+    /// produced are left to age out with their time bucket (they are
+    /// semantically inert — no live `RT` tuple joins them — and window
+    /// expiry bounds their lifetime); everything else is reclaimed eagerly.
+    ///
+    /// Errors with [`CoreError::UnknownQuery`] for ids never assigned or
+    /// already unregistered.
+    pub fn unregister_query(&mut self, id: QueryId) -> CoreResult<()> {
+        let effects = self.registry.unregister(id)?;
+        self.stats.queries_unregistered += 1;
+        self.stats.templates_retired += effects.templates_retired;
+        self.stats.patterns_dropped += effects.patterns_dropped;
+        if self.config.purge_views_on_unregister && !effects.dead_vars.is_empty() {
+            let dead: HashSet<Symbol> = effects.dead_vars.iter().copied().collect();
+            self.stats.view_slices_invalidated += self.view_cache.purge_dead_vars(&dead);
+        }
+        // When the retention bound tightened, re-derive the bucket width so
+        // eviction granularity follows the surviving windows (a one-time
+        // re-partition of resident state; never widens). Skipped while no
+        // retention bound exists at all (an infinite-window query is live
+        // and no cap is set): nothing can be evicted then, so re-bucketing
+        // unbounded state would be pure cost — the tighten happens when the
+        // bound-blocking query itself departs.
+        if effects.window_changed
+            && self.config.state_bucket_width.is_none()
+            && self.doc_retention_bound().is_some()
+        {
+            if let Some(width) = self.width_hint().map(JoinState::derive_width) {
+                self.state.tighten_width(width)?;
+            }
+        }
+        Ok(())
     }
 
     /// Process one document, returning the matches it produced.
@@ -181,7 +233,7 @@ impl MmqjpEngine {
 
         // ---- Stage 2: value-join processing --------------------------------
         let mut outputs = single_block_outputs;
-        if !self.registry.templates().is_empty() && !batch.is_empty() {
+        if self.registry.num_templates() > 0 && !batch.is_empty() {
             let result_rows = match self.config.mode {
                 ProcessingMode::Sequential => self.evaluate_sequential(&batch, &mut timings)?,
                 ProcessingMode::Mmqjp => self.evaluate_mmqjp(&batch, false, &mut timings)?,
@@ -227,15 +279,23 @@ impl MmqjpEngine {
         };
 
         let t0 = Instant::now();
+        // The per-template conjunctive queries, cloned up front so the
+        // registry is free while the evaluation database holds its
+        // relations. Retired template slots are skipped.
+        let template_cqts: Vec<ConjunctiveQuery> = self
+            .registry
+            .templates()
+            .map(|t| {
+                if materialized {
+                    t.cqt_materialized.clone()
+                } else {
+                    t.cqt_basic.clone()
+                }
+            })
+            .collect();
         let db = self.build_database(batch, rl, rr);
         let mut results = Ok(Vec::new());
-        let num_templates = self.registry.templates().len();
-        for i in 0..num_templates {
-            let cq = if materialized {
-                self.registry.templates()[i].cqt_materialized.clone()
-            } else {
-                self.registry.templates()[i].cqt_basic.clone()
-            };
+        for cq in template_cqts {
             // Collect instead of `?`: the join state and RT relations live
             // inside `db` until restore_database, and an early return would
             // drop them all.
@@ -267,26 +327,33 @@ impl MmqjpEngine {
         timings: &mut PhaseTimings,
     ) -> CoreResult<Vec<(i64, Relation)>> {
         let t0 = Instant::now();
+        // Per-orientation conjunctive queries of the live population, in
+        // query-id order (tombstoned queries are skipped).
+        let per_query_cqts: Vec<(i64, ConjunctiveQuery)> = self
+            .registry
+            .queries()
+            .flat_map(|q| {
+                q.registrations
+                    .iter()
+                    .map(|r| (r.rid, r.sequential_cqt.clone()))
+            })
+            .collect();
         let db = self.build_database(batch, None, None);
         let mut results = Ok(Vec::new());
-        let num_queries = self.registry.num_queries();
-        'queries: for qi in 0..num_queries {
-            let regs = self.registry.queries()[qi].registrations.clone();
-            for reg in regs {
-                // Collect instead of `?` — see evaluate_mmqjp.
-                match db.evaluate(&reg.sequential_cqt) {
-                    Ok(rows) => {
-                        let rows = rows.distinct();
-                        if !rows.is_empty() {
-                            if let Ok(results) = results.as_mut() {
-                                results.push((reg.rid, rows));
-                            }
+        for (rid, cq) in per_query_cqts {
+            // Collect instead of `?` — see evaluate_mmqjp.
+            match db.evaluate(&cq) {
+                Ok(rows) => {
+                    let rows = rows.distinct();
+                    if !rows.is_empty() {
+                        if let Ok(results) = results.as_mut() {
+                            results.push((rid, rows));
                         }
                     }
-                    Err(e) => {
-                        results = Err(e);
-                        break 'queries;
-                    }
+                }
+                Err(e) => {
+                    results = Err(e);
+                    break;
                 }
             }
         }
@@ -398,7 +465,10 @@ impl MmqjpEngine {
         if let Some(rr) = rr {
             db.register(cqt::RR, rr);
         }
-        for (i, t) in self.registry.templates_mut().iter_mut().enumerate() {
+        for (i, slot) in self.registry.template_slots_mut().iter_mut().enumerate() {
+            let Some(t) = slot.as_mut() else {
+                continue; // retired template: no RT relation to move
+            };
             let arity = t.template.num_meta_vars();
             db.register(
                 cqt::rt_name(i),
@@ -422,7 +492,10 @@ impl MmqjpEngine {
                 .into_segmented()
                 .expect("Rdoc is stored segmented"),
         );
-        for (i, t) in self.registry.templates_mut().iter_mut().enumerate() {
+        for (i, slot) in self.registry.template_slots_mut().iter_mut().enumerate() {
+            let Some(t) = slot.as_mut() else {
+                continue;
+            };
             t.rt = db
                 .remove(&cqt::rt_name(i))
                 .expect("RT relation was registered")
@@ -472,6 +545,11 @@ impl MmqjpEngine {
                 continue;
             };
             let (d1, d2) = (DocId(d1), DocId(d2));
+            // A subscription only joins documents that arrived after its
+            // registration (document ids are arrival sequence numbers).
+            if d1.raw() <= query.arrival_floor || d2.raw() <= query.arrival_floor {
+                continue;
+            }
             let Some(ts1) = self.state.doc_timestamp(d1) else {
                 continue;
             };
@@ -514,7 +592,11 @@ impl MmqjpEngine {
         d2: DocId,
         batch_docs: &[Document],
     ) -> MatchOutput {
-        let template = &self.registry.templates()[registration.template.index()].template;
+        let template = &self
+            .registry
+            .template_runtime(registration.template)
+            .expect("a resolved registration's template is live")
+            .template;
         let num_left = template.num_left();
         let num_vars = template.num_meta_vars();
 
@@ -1217,6 +1299,155 @@ mod tests {
         e.register_query_text(Q1).unwrap();
         assert!(e.process_batch(Vec::new()).unwrap().is_empty());
         assert_eq!(e.stats().documents_processed, 0);
+    }
+
+    #[test]
+    fn unregistered_query_stops_matching_and_survivors_continue() {
+        for config in [
+            EngineConfig::sequential(),
+            EngineConfig::mmqjp(),
+            EngineConfig::mmqjp_view_mat(),
+        ] {
+            let mut e = engine(config);
+            e.process_document(d1()).unwrap();
+            // Unregister Q1 mid-window: only Q2 still matches d2.
+            e.unregister_query(QueryId(0)).unwrap();
+            let out = e
+                .process_document(d2().with_timestamp(Timestamp(20)))
+                .unwrap();
+            assert_eq!(out.len(), 1, "mode {:?}", e.config().mode);
+            assert_eq!(out[0].query, QueryId(1));
+            let stats = e.stats();
+            assert_eq!(stats.queries_registered, 2);
+            assert_eq!(stats.queries_unregistered, 1);
+            // Q1's patterns were shared with Q2/Q3, so nothing dropped yet.
+            assert_eq!(stats.templates, 1);
+        }
+    }
+
+    #[test]
+    fn unregistering_everything_retires_templates_and_patterns() {
+        let mut e = engine(EngineConfig::mmqjp());
+        e.process_document(d1()).unwrap();
+        for id in [0, 1, 2] {
+            e.unregister_query(QueryId(id)).unwrap();
+        }
+        let stats = e.stats();
+        assert_eq!(stats.queries_registered, 0);
+        assert_eq!(stats.queries_unregistered, 3);
+        assert_eq!(stats.templates, 0);
+        assert_eq!(stats.templates_retired, 1);
+        assert_eq!(stats.distinct_patterns, 0);
+        assert_eq!(stats.patterns_dropped, 4);
+        // Further documents produce nothing and ids are never reused.
+        let out = e.process_document(d2()).unwrap();
+        assert!(out.is_empty());
+        let id = e.register_query_text(Q1).unwrap();
+        assert_eq!(id, QueryId(3));
+        // Double unregister errors.
+        assert!(matches!(
+            e.unregister_query(QueryId(0)),
+            Err(CoreError::UnknownQuery { .. })
+        ));
+    }
+
+    #[test]
+    fn unregister_purges_dead_view_slices() {
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp_view_mat());
+        e.register_query_text(Q3).unwrap(); // blog-blog self join
+        let blog = |ts: u64| {
+            rss::blog_article("Ann", "u1", "Same Title", "c", "d").with_timestamp(Timestamp(ts))
+        };
+        e.process_document(blog(1)).unwrap();
+        e.process_document(blog(2)).unwrap();
+        assert!(e.stats().view_cache_misses > 0);
+        let before = e.stats().view_slices_invalidated;
+        e.unregister_query(QueryId(0)).unwrap();
+        // The blog pattern died with its only subscriber; its cached slices
+        // were reclaimed.
+        let stats = e.stats();
+        assert_eq!(stats.patterns_dropped, 1);
+        assert!(
+            stats.view_slices_invalidated > before,
+            "dead-variable slices must be purged: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn doc_retention_tightens_after_widest_window_unregisters() {
+        // Regression for the latent gap: the registry used to compute
+        // max_finite_window once and only grow it. With the multiset it
+        // tightens, and document retention follows on the next batch.
+        let mut e = MmqjpEngine::new(EngineConfig::mmqjp());
+        let narrow = e
+            .register_query_text(
+                "S//book->x1[.//title->x3] FOLLOWED BY{x3=x6, 10} S//blog->x4[.//title->x6]",
+            )
+            .unwrap();
+        let wide = e
+            .register_query_text(
+                "S//book->x1[.//title->x3] FOLLOWED BY{x3=x6, 10000} S//blog->x4[.//title->x6]",
+            )
+            .unwrap();
+        let _ = narrow;
+        for i in 0..40u64 {
+            e.process_document(d1().with_timestamp(Timestamp(1 + i * 5)))
+                .unwrap();
+        }
+        // The 10000 window retains everything.
+        assert_eq!(e.stats().docs_retained, 40);
+        e.unregister_query(wide).unwrap();
+        assert_eq!(e.registry().max_window(), Some(10));
+        // The next documents prune retention down to the 10-unit window.
+        for i in 40..44u64 {
+            e.process_document(d1().with_timestamp(Timestamp(1 + i * 5)))
+                .unwrap();
+        }
+        let stats = e.stats();
+        assert!(
+            stats.docs_retained <= 16,
+            "retention must tighten to the surviving window, got {}",
+            stats.docs_retained
+        );
+        assert_eq!(stats.docs_retained + stats.docs_evicted, 44);
+    }
+
+    #[test]
+    fn mid_stream_registration_never_sees_prior_documents() {
+        // A subscription only joins documents arriving after it: resident
+        // join state (here produced by a twin query's identical patterns)
+        // is never matched against a later registration. This is what makes
+        // unregister ≡ fresh-engine-with-survivors exact even when queries
+        // are re-registered mid-stream.
+        for config in [
+            EngineConfig::sequential(),
+            EngineConfig::mmqjp(),
+            EngineConfig::mmqjp_view_mat(),
+        ] {
+            let mode = config.mode;
+            let mut e = MmqjpEngine::new(config);
+            e.register_query_text(Q1).unwrap();
+            e.process_document(d1()).unwrap(); // doc 1, pre-dates the twin
+            let twin = e.register_query_text(Q1).unwrap();
+            let out = e.process_document(d2()).unwrap();
+            // The original query matches (d1, d2); the twin must not — d1
+            // arrived before it subscribed.
+            assert_eq!(out.len(), 1, "mode {mode:?}");
+            assert_eq!(out[0].query, QueryId(0));
+            // A fresh post-registration book: the original pairs the new
+            // blog with both books, the twin only with the post-subscription
+            // one.
+            e.process_document(d1().with_timestamp(Timestamp(30)))
+                .unwrap();
+            let out = e
+                .process_document(d2().with_timestamp(Timestamp(40)))
+                .unwrap();
+            let mut queries: Vec<u64> = out.iter().map(|o| o.query.raw()).collect();
+            queries.sort_unstable();
+            assert_eq!(queries, vec![0, 0, twin.raw()], "mode {mode:?}");
+            let twin_match = out.iter().find(|o| o.query == twin).unwrap();
+            assert_eq!(twin_match.left_doc, DocId(3));
+        }
     }
 
     #[test]

@@ -1,17 +1,29 @@
-//! Query registration: templates, `RT` relations, per-query metadata and the
-//! Stage-1 pattern index.
+//! Query registration and the full subscription lifecycle: templates, `RT`
+//! relations, per-query metadata and the Stage-1 pattern index.
+//!
+//! Queries can be [`register`](Registry::register)ed *and*
+//! [`unregister`](Registry::unregister)ed at runtime. Unregistration is
+//! incremental — O(the departing query's footprint), never a registry
+//! rebuild: the query's `RT` tuples are removed in place, its pattern and
+//! requested-edge registrations are released through reference counts (the
+//! pattern index drops a pattern when its last subscriber leaves), an
+//! emptied template is retired from the catalog, and the window bounds are
+//! recomputed from a window multiset so document retention can *tighten*
+//! after the widest-window query departs. Freed [`QueryId`]s (and template /
+//! pattern ids) are tombstoned, never reused, which keeps shard assignment
+//! and the canonical output order deterministic across churn.
 
 use crate::config::ProcessingMode;
 use crate::cqt;
 use crate::error::{CoreError, CoreResult};
 use crate::relations::schemas;
-use mmqjp_relational::{ConjunctiveQuery, Relation, StringInterner, Value};
+use mmqjp_relational::{ConjunctiveQuery, Relation, StringInterner, Symbol, Value};
 use mmqjp_xpath::{PatternId, PatternIndex, PatternNodeId, TreePattern};
 use mmqjp_xscl::{
     normalize_query, FromClause, JoinGraph, JoinOp, QueryId, QueryTemplate, ReducedGraph,
     SelectClause, Side, TemplateCatalog, TemplateId, Window, XsclQuery,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Runtime state of one query template: the representative template, its
@@ -73,6 +85,17 @@ pub struct Registration {
     pub prev_pattern: TreePattern,
     /// Pattern playing the current-document (right) role in this orientation.
     pub cur_pattern: TreePattern,
+    /// Pattern-index id of [`prev_pattern`](Self::prev_pattern) (released on
+    /// unregistration).
+    pub prev_pid: PatternId,
+    /// Pattern-index id of [`cur_pattern`](Self::cur_pattern).
+    pub cur_pid: PatternId,
+    /// The structural edges this orientation requested for
+    /// [`prev_pattern`](Self::prev_pattern) (released on unregistration).
+    pub prev_edges: Vec<(PatternNodeId, PatternNodeId)>,
+    /// The structural edges this orientation requested for
+    /// [`cur_pattern`](Self::cur_pattern).
+    pub cur_edges: Vec<(PatternNodeId, PatternNodeId)>,
     /// The per-query conjunctive query used by the Sequential baseline.
     pub sequential_cqt: ConjunctiveQuery,
 }
@@ -96,6 +119,14 @@ pub struct QueryRuntime {
     pub registrations: Vec<Registration>,
     /// For single-block subscriptions, the (normalized) pattern.
     pub single_pattern: Option<TreePattern>,
+    /// Pattern-index id of [`single_pattern`](Self::single_pattern).
+    pub single_pid: Option<PatternId>,
+    /// Number of documents the engine had processed when this query
+    /// registered. A subscription only joins documents that arrived after
+    /// it — document sequence numbers `<= arrival_floor` are filtered out of
+    /// its matches, so a query (re-)registered mid-stream never picks up
+    /// join state that happens to be resident from before its subscription.
+    pub arrival_floor: u64,
 }
 
 impl QueryRuntime {
@@ -105,21 +136,56 @@ impl QueryRuntime {
     }
 }
 
+/// The incremental effects of one [`Registry::unregister`] call, reported so
+/// the engine can maintain its counters and caches.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct UnregisterEffects {
+    /// Distinct Stage-1 patterns dropped because the departing query was
+    /// their last subscriber.
+    pub patterns_dropped: usize,
+    /// Templates retired (their `RT` relation became empty and their catalog
+    /// slot was tombstoned).
+    pub templates_retired: usize,
+    /// Canonical variable symbols no live pattern binds anymore; view-cache
+    /// slices carrying rows under these symbols can be reclaimed.
+    pub dead_vars: Vec<Symbol>,
+    /// `true` when the departing query changed the registered window bounds
+    /// (so retention can tighten).
+    pub window_changed: bool,
+}
+
 /// The registry of all registered queries, their templates and the Stage-1
 /// pattern index.
 #[derive(Debug)]
 pub struct Registry {
     interner: Arc<StringInterner>,
     pattern_index: PatternIndex,
+    /// The live requested-edge lists handed to Stage 1, one per pattern, in
+    /// first-registration order (kept deterministic across churn).
     requested_edges: HashMap<PatternId, Vec<(PatternNodeId, PatternNodeId)>>,
+    /// Reference counts behind `requested_edges`: how many live
+    /// registrations requested each `(pattern, edge)`.
+    edge_refs: HashMap<PatternId, HashMap<(PatternNodeId, PatternNodeId), usize>>,
+    /// How many live *distinct* patterns bind each canonical variable
+    /// symbol. A symbol leaving this map means no future witness row can
+    /// carry it.
+    var_refs: HashMap<Symbol, usize>,
     catalog: TemplateCatalog,
-    templates: Vec<TemplateRuntime>,
-    queries: Vec<QueryRuntime>,
+    /// Template runtimes by `TemplateId` index; `None` marks a retired
+    /// template (ids are never reused). Boxed so a tombstoned slot costs a
+    /// pointer, not the full runtime footprint, under unbounded churn.
+    templates: Vec<Option<Box<TemplateRuntime>>>,
+    live_templates: usize,
+    /// Query runtimes by `QueryId` index; `None` marks an unregistered query
+    /// (ids are never reused). Boxed for the same reason as `templates`.
+    queries: Vec<Option<Box<QueryRuntime>>>,
+    live_queries: usize,
     rid_map: HashMap<i64, (usize, usize)>,
-    /// Maximum finite time window across registered join queries; `None`
-    /// while any registered query has an infinite (or count) window.
-    max_finite_window: Option<u64>,
-    any_infinite_window: bool,
+    /// Multiset of finite time windows across live join queries, so the
+    /// maximum can tighten when the widest-window query unregisters.
+    finite_windows: BTreeMap<u64, usize>,
+    /// Number of live join queries with an infinite (or count) window.
+    infinite_windows: usize,
 }
 
 impl Registry {
@@ -129,12 +195,16 @@ impl Registry {
             interner,
             pattern_index: PatternIndex::new(),
             requested_edges: HashMap::new(),
+            edge_refs: HashMap::new(),
+            var_refs: HashMap::new(),
             catalog: TemplateCatalog::new(),
             templates: Vec::new(),
+            live_templates: 0,
             queries: Vec::new(),
+            live_queries: 0,
             rid_map: HashMap::new(),
-            max_finite_window: None,
-            any_infinite_window: false,
+            finite_windows: BTreeMap::new(),
+            infinite_windows: 0,
         }
     }
 
@@ -143,8 +213,15 @@ impl Registry {
     /// `mode` determines whether the Sequential per-query conjunctive query
     /// is compiled (it is skipped in MMQJP modes to keep registration cheap
     /// for very large query sets, and compiled unconditionally in
-    /// [`ProcessingMode::Sequential`]).
-    pub fn register(&mut self, query: XsclQuery, mode: ProcessingMode) -> CoreResult<QueryId> {
+    /// [`ProcessingMode::Sequential`]). `arrival_floor` is the number of
+    /// documents already processed: the new subscription only joins
+    /// documents arriving after it (see [`QueryRuntime::arrival_floor`]).
+    pub fn register(
+        &mut self,
+        query: XsclQuery,
+        mode: ProcessingMode,
+        arrival_floor: u64,
+    ) -> CoreResult<QueryId> {
         let normalized = normalize_query(&query).map_err(|e| match e {
             // Single-block subscriptions are allowed; other errors propagate.
             mmqjp_xscl::XsclError::NoValueJoins => mmqjp_xscl::XsclError::NoValueJoins,
@@ -160,7 +237,7 @@ impl Registry {
         let runtime = match &nq.from {
             FromClause::Single(block) => {
                 // Pure tree-pattern subscription: Stage 1 only.
-                self.pattern_index.register(block.pattern.clone());
+                let pid = self.index_pattern(&block.pattern);
                 QueryRuntime {
                     id,
                     op: None,
@@ -169,13 +246,14 @@ impl Registry {
                     select: nq.select,
                     registrations: Vec::new(),
                     single_pattern: Some(block.pattern.clone()),
+                    single_pid: Some(pid),
+                    arrival_floor,
                     query: nq,
                 }
             }
             FromClause::Join { op, window, .. } => {
                 let op = *op;
                 let window = *window;
-                self.track_window(window);
                 let graph = JoinGraph::from_query(&nq)?;
                 let mut registrations = Vec::new();
                 let orientations: Vec<(JoinGraph, bool)> = match op {
@@ -187,9 +265,10 @@ impl Registry {
                     let membership = self.catalog.insert(&reduced);
                     // Create the template runtime if this is a new template.
                     if membership.template.index() == self.templates.len() {
-                        self.templates.push(TemplateRuntime::new(
+                        self.templates.push(Some(Box::new(TemplateRuntime::new(
                             self.catalog.template(membership.template).clone(),
-                        ));
+                        ))));
+                        self.live_templates += 1;
                     }
                     let rid = (id.raw() as i64) * 2 + if swapped { 1 } else { 0 };
                     // RT tuple: (qid, var1..varm, wl).
@@ -198,7 +277,7 @@ impl Registry {
                         tuple.push(Value::Sym(self.interner.intern(var)));
                     }
                     tuple.push(Value::Int(window_length(window)));
-                    self.templates[membership.template.index()]
+                    self.template_mut(membership.template)
                         .rt
                         .push_values(tuple)?;
 
@@ -207,11 +286,16 @@ impl Registry {
                     // the requested edge set.
                     let prev_pattern = oriented.left.clone();
                     let cur_pattern = oriented.right.clone();
-                    self.register_pattern_edges(&prev_pattern, &reduced, Side::Left);
-                    self.register_pattern_edges(&cur_pattern, &reduced, Side::Right);
+                    let (prev_pid, prev_edges) =
+                        self.register_pattern_edges(&prev_pattern, &reduced, Side::Left);
+                    let (cur_pid, cur_edges) =
+                        self.register_pattern_edges(&cur_pattern, &reduced, Side::Right);
 
                     let sequential_cqt = if mode == ProcessingMode::Sequential {
-                        let template = &self.templates[membership.template.index()].template;
+                        let template = &self
+                            .template_runtime(membership.template)
+                            .expect("template was just created or joined")
+                            .template;
                         cqt::per_query_cqt(template, &membership.assignment, &self.interner)
                     } else {
                         // Placeholder; never evaluated outside Sequential mode.
@@ -225,12 +309,17 @@ impl Registry {
                         swapped,
                         prev_pattern,
                         cur_pattern,
+                        prev_pid,
+                        cur_pid,
+                        prev_edges,
+                        cur_edges,
                         sequential_cqt,
                     };
                     self.rid_map
                         .insert(rid, (id.raw() as usize, registrations.len()));
                     registrations.push(registration);
                 }
+                self.track_window(window);
                 QueryRuntime {
                     id,
                     op: Some(op),
@@ -239,12 +328,99 @@ impl Registry {
                     select: nq.select,
                     registrations,
                     single_pattern: None,
+                    single_pid: None,
+                    arrival_floor,
                     query: nq,
                 }
             }
         };
-        self.queries.push(runtime);
+        self.queries.push(Some(Box::new(runtime)));
+        self.live_queries += 1;
         Ok(id)
+    }
+
+    /// Unregister a query, incrementally releasing every shared structure it
+    /// participated in. O(the query's footprint): its `RT` tuples, its
+    /// pattern and edge registrations and — when it was the last subscriber —
+    /// the dropped patterns and retired templates. Ids are tombstoned, never
+    /// reused. Errors with [`CoreError::UnknownQuery`] for ids that were
+    /// never assigned or already unregistered.
+    pub fn unregister(&mut self, id: QueryId) -> CoreResult<UnregisterEffects> {
+        let runtime = self
+            .queries
+            .get_mut(id.raw() as usize)
+            .and_then(Option::take)
+            .ok_or(CoreError::UnknownQuery { id: id.raw() })?;
+        self.live_queries -= 1;
+
+        let mut effects = UnregisterEffects::default();
+        if let Some(pid) = runtime.single_pid {
+            self.release_pattern(pid, &mut effects);
+        }
+        for reg in &runtime.registrations {
+            self.rid_map.remove(&reg.rid);
+            // Remove this orientation's RT tuple in place, preserving the
+            // registration order of the surviving members.
+            let rid_value = Value::Int(reg.rid);
+            let template = self.template_mut(reg.template);
+            template.rt.retain(|row| row[0] != rid_value);
+            if template.rt.is_empty() {
+                // Last member left: retire the template from the catalog.
+                self.templates[reg.template.index()] = None;
+                self.live_templates -= 1;
+                self.catalog.remove(reg.template);
+                effects.templates_retired += 1;
+            }
+            self.release_pattern_edges(reg.prev_pid, &reg.prev_edges, &mut effects);
+            self.release_pattern_edges(reg.cur_pid, &reg.cur_edges, &mut effects);
+        }
+        if let Some(window) = runtime.window {
+            effects.window_changed = self.untrack_window(window);
+        }
+        Ok(effects)
+    }
+
+    /// Register a pattern with the Stage-1 index, counting its canonical
+    /// variables when it is newly distinct.
+    fn index_pattern(&mut self, pattern: &TreePattern) -> PatternId {
+        let pid = self.pattern_index.register(pattern.clone());
+        if self.pattern_index.refcount(pid) == 1 {
+            for (var, _) in pattern.variables() {
+                *self.var_refs.entry(self.interner.intern(var)).or_insert(0) += 1;
+            }
+        }
+        pid
+    }
+
+    /// Release one registration of a pattern; when it was the last, drop the
+    /// pattern and report any canonical variables that died with it.
+    fn release_pattern(&mut self, pid: PatternId, effects: &mut UnregisterEffects) {
+        // Collect the variables only when this release will drop the
+        // pattern — the common shared-pattern path stays allocation-free.
+        let vars: Vec<Symbol> = if self.pattern_index.refcount(pid) == 1 {
+            self.pattern_index
+                .pattern(pid)
+                .variables()
+                .iter()
+                .map(|(var, _)| self.interner.intern(var))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if self.pattern_index.unregister(pid) {
+            effects.patterns_dropped += 1;
+            self.requested_edges.remove(&pid);
+            self.edge_refs.remove(&pid);
+            for sym in vars {
+                if let Some(count) = self.var_refs.get_mut(&sym) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.var_refs.remove(&sym);
+                        effects.dead_vars.push(sym);
+                    }
+                }
+            }
+        }
     }
 
     fn register_pattern_edges(
@@ -252,36 +428,89 @@ impl Registry {
         pattern: &TreePattern,
         reduced: &ReducedGraph,
         side: Side,
-    ) {
-        let pid = self.pattern_index.register(pattern.clone());
-        let entry = self.requested_edges.entry(pid).or_default();
+    ) -> (PatternId, Vec<(PatternNodeId, PatternNodeId)>) {
+        let pid = self.index_pattern(pattern);
+        // The edge set this registration requests: the reduced structural
+        // edges, plus degenerate self edges for join-node roots so their
+        // bindings reach the witness relations even without an incoming
+        // structural edge.
+        let mut edges: Vec<(PatternNodeId, PatternNodeId)> = Vec::new();
         for edge in reduced.structural_edges(side) {
-            if !entry.contains(&edge) {
-                entry.push(edge);
+            if !edges.contains(&edge) {
+                edges.push(edge);
             }
         }
-        // Join-node roots need a degenerate self edge so their bindings reach
-        // the witness relations even without an incoming structural edge.
         let tree = reduced.tree(side);
         for node in &tree.nodes {
             if node.parent.is_none() && node.is_join_node {
                 let self_edge = (node.original, node.original);
-                if !entry.contains(&self_edge) {
-                    entry.push(self_edge);
+                if !edges.contains(&self_edge) {
+                    edges.push(self_edge);
                 }
             }
         }
+        let counts = self.edge_refs.entry(pid).or_default();
+        let list = self.requested_edges.entry(pid).or_default();
+        for edge in &edges {
+            let count = counts.entry(*edge).or_insert(0);
+            *count += 1;
+            if *count == 1 && !list.contains(edge) {
+                list.push(*edge);
+            }
+        }
+        (pid, edges)
+    }
+
+    /// Release the requested edges of one registration, then the pattern
+    /// registration itself.
+    fn release_pattern_edges(
+        &mut self,
+        pid: PatternId,
+        edges: &[(PatternNodeId, PatternNodeId)],
+        effects: &mut UnregisterEffects,
+    ) {
+        if let Some(counts) = self.edge_refs.get_mut(&pid) {
+            for edge in edges {
+                if let Some(count) = counts.get_mut(edge) {
+                    *count -= 1;
+                    if *count == 0 {
+                        counts.remove(edge);
+                        if let Some(list) = self.requested_edges.get_mut(&pid) {
+                            list.retain(|e| e != edge);
+                        }
+                    }
+                }
+            }
+        }
+        self.release_pattern(pid, effects);
     }
 
     fn track_window(&mut self, window: Window) {
         match window {
+            Window::Time(t) => *self.finite_windows.entry(t).or_insert(0) += 1,
+            Window::Infinite | Window::Count(_) => self.infinite_windows += 1,
+        }
+    }
+
+    /// Remove one query's window from the multiset; returns `true` when the
+    /// registered bounds changed (the maximum finite window tightened or the
+    /// last infinite window left).
+    fn untrack_window(&mut self, window: Window) -> bool {
+        let before = (self.max_finite_window(), self.has_infinite_window());
+        match window {
             Window::Time(t) => {
-                self.max_finite_window = Some(self.max_finite_window.unwrap_or(0).max(t));
+                if let Some(count) = self.finite_windows.get_mut(&t) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.finite_windows.remove(&t);
+                    }
+                }
             }
             Window::Infinite | Window::Count(_) => {
-                self.any_infinite_window = true;
+                self.infinite_windows = self.infinite_windows.saturating_sub(1);
             }
         }
+        before != (self.max_finite_window(), self.has_infinite_window())
     }
 
     /// The string interner shared with the engine.
@@ -289,41 +518,62 @@ impl Registry {
         &self.interner
     }
 
-    /// Number of registered queries.
+    /// Number of live (registered and not unregistered) queries.
     pub fn num_queries(&self) -> usize {
+        self.live_queries
+    }
+
+    /// Total number of query ids ever assigned (unregistered ids are
+    /// tombstoned, never reused, so this never decreases).
+    pub fn total_queries_registered(&self) -> usize {
         self.queries.len()
     }
 
-    /// Number of distinct templates.
+    /// Number of live templates.
     pub fn num_templates(&self) -> usize {
-        self.templates.len()
+        self.live_templates
     }
 
-    /// Number of distinct Stage-1 patterns.
+    /// Number of distinct live Stage-1 patterns.
     pub fn num_patterns(&self) -> usize {
         self.pattern_index.len()
     }
 
-    /// The template runtimes.
-    pub fn templates(&self) -> &[TemplateRuntime] {
-        &self.templates
+    /// Iterate over the live template runtimes in template-id order.
+    pub fn templates(&self) -> impl Iterator<Item = &TemplateRuntime> {
+        self.templates.iter().filter_map(|t| t.as_deref())
     }
 
-    /// Mutable access to the template runtimes (the engine temporarily moves
-    /// `RT` relations into its evaluation database).
-    pub(crate) fn templates_mut(&mut self) -> &mut Vec<TemplateRuntime> {
+    /// The template runtime for an id, if the template is live.
+    pub fn template_runtime(&self, id: TemplateId) -> Option<&TemplateRuntime> {
+        self.templates.get(id.index()).and_then(|t| t.as_deref())
+    }
+
+    /// A live template runtime by id; panics on retired ids (internal use on
+    /// ids validated live).
+    fn template_mut(&mut self, id: TemplateId) -> &mut TemplateRuntime {
+        self.templates[id.index()]
+            .as_deref_mut()
+            .expect("template id refers to a retired template")
+    }
+
+    /// Mutable access to the template runtime slots (the engine temporarily
+    /// moves `RT` relations into its evaluation database). Indices are
+    /// `TemplateId` indices; `None` slots are retired templates.
+    pub(crate) fn template_slots_mut(&mut self) -> &mut Vec<Option<Box<TemplateRuntime>>> {
         &mut self.templates
     }
 
-    /// The registered queries.
-    pub fn queries(&self) -> &[QueryRuntime] {
-        &self.queries
+    /// Iterate over the live queries in query-id order.
+    pub fn queries(&self) -> impl Iterator<Item = &QueryRuntime> {
+        self.queries.iter().filter_map(|q| q.as_deref())
     }
 
-    /// Look up a query by id.
+    /// Look up a live query by id.
     pub fn query(&self, id: QueryId) -> CoreResult<&QueryRuntime> {
         self.queries
             .get(id.raw() as usize)
+            .and_then(|q| q.as_deref())
             .ok_or(CoreError::UnknownQuery { id: id.raw() })
     }
 
@@ -331,7 +581,7 @@ impl Registry {
     /// query and orientation it belongs to.
     pub fn resolve_rid(&self, rid: i64) -> Option<(&QueryRuntime, &Registration)> {
         let (qi, ri) = self.rid_map.get(&rid)?;
-        let q = self.queries.get(*qi)?;
+        let q = self.queries.get(*qi)?.as_deref()?;
         let r = q.registrations.get(*ri)?;
         Some((q, r))
     }
@@ -357,29 +607,30 @@ impl Registry {
         &self.catalog
     }
 
-    /// The maximum window across registered join queries: `Some(t)` when all
-    /// join queries have finite time windows, `None` otherwise. Used by
-    /// window-based state pruning.
+    /// The maximum window across *live* join queries: `Some(t)` when all
+    /// live join queries have finite time windows, `None` otherwise. Used by
+    /// window-based state pruning; recomputed on every population change, so
+    /// the bound tightens when the widest-window query unregisters.
     pub fn max_window(&self) -> Option<u64> {
-        if self.any_infinite_window {
+        if self.infinite_windows > 0 {
             None
         } else {
-            self.max_finite_window
+            self.max_finite_window()
         }
     }
 
-    /// The maximum *finite* time window registered so far, even when other
-    /// queries have infinite (or count) windows. Used to derive the
+    /// The maximum *finite* time window across live join queries, even when
+    /// other queries have infinite (or count) windows. Used to derive the
     /// join-state bucket width, which is a granularity (never a correctness)
     /// parameter.
     pub fn max_finite_window(&self) -> Option<u64> {
-        self.max_finite_window
+        self.finite_windows.keys().next_back().copied()
     }
 
-    /// `true` when some registered join query has an infinite or count
-    /// window, which forbids window-based eviction of join state.
+    /// `true` when some live join query has an infinite or count window,
+    /// which forbids window-based eviction of join state.
     pub fn has_infinite_window(&self) -> bool {
-        self.any_infinite_window
+        self.infinite_windows > 0
     }
 }
 
@@ -414,13 +665,13 @@ mod tests {
     fn paper_example_queries_share_one_template() {
         let mut r = registry();
         let id1 = r
-            .register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp)
+            .register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp, 0)
             .unwrap();
         let id2 = r
-            .register(parse_query(Q2).unwrap(), ProcessingMode::Mmqjp)
+            .register(parse_query(Q2).unwrap(), ProcessingMode::Mmqjp, 0)
             .unwrap();
         let id3 = r
-            .register(parse_query(Q3).unwrap(), ProcessingMode::Mmqjp)
+            .register(parse_query(Q3).unwrap(), ProcessingMode::Mmqjp, 0)
             .unwrap();
         assert_eq!(id1, QueryId(0));
         assert_eq!(id2, QueryId(1));
@@ -428,7 +679,7 @@ mod tests {
         assert_eq!(r.num_queries(), 3);
         assert_eq!(r.num_templates(), 1);
         // The RT relation mirrors Table 4(a): three tuples, one per query.
-        let rt = &r.templates()[0].rt;
+        let rt = &r.templates().next().unwrap().rt;
         assert_eq!(rt.len(), 3);
         assert_eq!(rt.schema().arity(), 8); // qid + 6 vars + wl
 
@@ -448,7 +699,7 @@ mod tests {
         let mut r = registry();
         let q = "S//item->a[.//title->t1] JOIN{t1=t2, 50} S//post->b[.//title->t2]";
         let id = r
-            .register(parse_query(q).unwrap(), ProcessingMode::Mmqjp)
+            .register(parse_query(q).unwrap(), ProcessingMode::Mmqjp, 0)
             .unwrap();
         let runtime = r.query(id).unwrap();
         assert!(runtime.is_join());
@@ -465,7 +716,7 @@ mod tests {
         // The two orientations of an asymmetric query land in the same
         // single-value-join template.
         assert_eq!(r.num_templates(), 1);
-        assert_eq!(r.templates()[0].members(), 2);
+        assert_eq!(r.templates().next().unwrap().members(), 2);
     }
 
     #[test]
@@ -475,6 +726,7 @@ mod tests {
             .register(
                 parse_query("S//blog[.//author]").unwrap(),
                 ProcessingMode::Mmqjp,
+                0,
             )
             .unwrap();
         let runtime = r.query(id).unwrap();
@@ -493,6 +745,7 @@ mod tests {
             parse_query("S//book->b[.//author->a] FOLLOWED BY{a=x, 10} S//blog->g[.//author->x]")
                 .unwrap(),
             ProcessingMode::Mmqjp,
+            0,
         )
         .unwrap();
         let total_edges: usize = r.requested_edges().values().map(|v| v.len()).sum();
@@ -503,7 +756,7 @@ mod tests {
             }
         }
         // Q1 adds real structural edges.
-        r.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp)
+        r.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp, 0)
             .unwrap();
         let q1_edges: usize = r.requested_edges().values().map(|v| v.len()).sum();
         assert_eq!(q1_edges, 2 + 4);
@@ -512,24 +765,22 @@ mod tests {
     #[test]
     fn sequential_mode_compiles_per_query_cqt() {
         let mut r = registry();
-        r.register(parse_query(Q1).unwrap(), ProcessingMode::Sequential)
+        r.register(parse_query(Q1).unwrap(), ProcessingMode::Sequential, 0)
             .unwrap();
-        let reg = &r.queries()[0].registrations[0];
+        let reg = &r.queries().next().unwrap().registrations[0];
         assert_eq!(reg.sequential_cqt.num_atoms(), 8);
         // In MMQJP mode the per-query CQT is left empty.
         let mut r2 = registry();
-        r2.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp)
+        r2.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp, 0)
             .unwrap();
-        assert_eq!(
-            r2.queries()[0].registrations[0].sequential_cqt.num_atoms(),
-            0
-        );
+        let reg2 = &r2.queries().next().unwrap().registrations[0];
+        assert_eq!(reg2.sequential_cqt.num_atoms(), 0);
     }
 
     #[test]
     fn window_tracking() {
         let mut r = registry();
-        r.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp)
+        r.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp, 0)
             .unwrap();
         assert_eq!(r.max_window(), Some(100));
         assert_eq!(r.max_finite_window(), Some(100));
@@ -537,6 +788,7 @@ mod tests {
         r.register(
             parse_query("S//a->x FOLLOWED BY{x=y, INF} S//b->y").unwrap(),
             ProcessingMode::Mmqjp,
+            0,
         )
         .unwrap();
         assert_eq!(r.max_window(), None);
@@ -545,6 +797,179 @@ mod tests {
         assert_eq!(window_length(Window::Time(5)), 5);
         assert_eq!(window_length(Window::Infinite), i64::MAX);
         assert_eq!(window_length(Window::Count(3)), i64::MAX);
+    }
+
+    #[test]
+    fn unregister_shrinks_shared_template_in_place() {
+        let mut r = registry();
+        let id1 = r
+            .register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp, 0)
+            .unwrap();
+        let id2 = r
+            .register(parse_query(Q2).unwrap(), ProcessingMode::Mmqjp, 0)
+            .unwrap();
+        let id3 = r
+            .register(parse_query(Q3).unwrap(), ProcessingMode::Mmqjp, 0)
+            .unwrap();
+        assert_eq!(r.templates().next().unwrap().members(), 3);
+        let patterns_before = r.num_patterns();
+
+        // Q2 leaves: its RT tuple goes, the template survives with Q1 and
+        // Q3 (in registration order), and the two category patterns it was
+        // the only subscriber of are dropped.
+        let effects = r.unregister(id2).unwrap();
+        assert_eq!(r.num_queries(), 2);
+        assert_eq!(r.num_templates(), 1);
+        let rt = &r.templates().next().unwrap().rt;
+        assert_eq!(rt.len(), 2);
+        let wls: Vec<i64> = rt.iter().map(|t| t[7].as_int().unwrap()).collect();
+        assert_eq!(wls, vec![100, 300]);
+        assert_eq!(effects.patterns_dropped, 2);
+        assert_eq!(effects.templates_retired, 0);
+        assert_eq!(r.num_patterns(), patterns_before - 2);
+        // The unregistered id is gone and resolves nowhere.
+        assert!(matches!(r.query(id2), Err(CoreError::UnknownQuery { .. })));
+        assert!(r.resolve_rid((id2.raw() as i64) * 2).is_none());
+        // Survivors still resolve.
+        assert!(r.query(id1).is_ok());
+        assert!(r.query(id3).is_ok());
+
+        // The last two members leave: the template is retired.
+        let e1 = r.unregister(id1).unwrap();
+        assert_eq!(e1.templates_retired, 0);
+        let e3 = r.unregister(id3).unwrap();
+        assert_eq!(e3.templates_retired, 1);
+        assert_eq!(r.num_templates(), 0);
+        assert_eq!(r.num_patterns(), 0);
+        assert_eq!(r.num_queries(), 0);
+        assert!(r.requested_edges().is_empty());
+        // Unregistering twice fails.
+        assert!(matches!(
+            r.unregister(id1),
+            Err(CoreError::UnknownQuery { .. })
+        ));
+        // A fresh registration never reuses a freed id.
+        let id4 = r
+            .register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp, 0)
+            .unwrap();
+        assert_eq!(id4, QueryId(3));
+        assert_eq!(r.total_queries_registered(), 4);
+    }
+
+    #[test]
+    fn unregister_recomputes_window_bounds() {
+        let mut r = registry();
+        let narrow = r
+            .register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp, 0)
+            .unwrap(); // window 100
+        let wide = r
+            .register(parse_query(Q3).unwrap(), ProcessingMode::Mmqjp, 0)
+            .unwrap(); // window 300
+        let inf = r
+            .register(
+                parse_query("S//a->x FOLLOWED BY{x=y, INF} S//b->y").unwrap(),
+                ProcessingMode::Mmqjp,
+                0,
+            )
+            .unwrap();
+        assert_eq!(r.max_window(), None);
+        assert_eq!(r.max_finite_window(), Some(300));
+
+        // The infinite-window query leaves: pruning becomes possible again.
+        let effects = r.unregister(inf).unwrap();
+        assert!(effects.window_changed);
+        assert_eq!(r.max_window(), Some(300));
+        assert!(!r.has_infinite_window());
+
+        // The widest finite window leaves: the bound tightens.
+        let effects = r.unregister(wide).unwrap();
+        assert!(effects.window_changed);
+        assert_eq!(r.max_window(), Some(100));
+        assert_eq!(r.max_finite_window(), Some(100));
+
+        // The last windowed query leaves: no bound remains.
+        let effects = r.unregister(narrow).unwrap();
+        assert!(effects.window_changed);
+        assert_eq!(r.max_window(), None);
+        assert_eq!(r.max_finite_window(), None);
+    }
+
+    #[test]
+    fn unregister_duplicate_window_keeps_the_bound() {
+        let mut r = registry();
+        let a = r
+            .register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp, 0)
+            .unwrap();
+        let b = r
+            .register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp, 0)
+            .unwrap();
+        assert_eq!(r.max_window(), Some(100));
+        let effects = r.unregister(a).unwrap();
+        assert!(!effects.window_changed, "the twin still holds window 100");
+        assert_eq!(r.max_window(), Some(100));
+        let effects = r.unregister(b).unwrap();
+        assert!(effects.window_changed);
+        assert_eq!(r.max_window(), None);
+    }
+
+    #[test]
+    fn unregister_releases_shared_patterns_by_refcount() {
+        let mut r = registry();
+        // Q1 and Q3 share the blog(author, title) pattern.
+        let id1 = r
+            .register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp, 0)
+            .unwrap();
+        let id3 = r
+            .register(parse_query(Q3).unwrap(), ProcessingMode::Mmqjp, 0)
+            .unwrap();
+        assert_eq!(r.num_patterns(), 2); // book(a,t) and the shared blog(a,t)
+        let effects = r.unregister(id1).unwrap();
+        // The book pattern dies with Q1; the shared blog pattern survives.
+        assert_eq!(effects.patterns_dropped, 1);
+        assert_eq!(r.num_patterns(), 1);
+        let effects = r.unregister(id3).unwrap();
+        assert_eq!(effects.patterns_dropped, 1);
+        assert_eq!(r.num_patterns(), 0);
+        // Dead canonical variables were reported for reclamation.
+        assert!(!effects.dead_vars.is_empty());
+    }
+
+    #[test]
+    fn unregister_single_block_subscription() {
+        let mut r = registry();
+        let id = r
+            .register(
+                parse_query("S//blog[.//author]").unwrap(),
+                ProcessingMode::Mmqjp,
+                0,
+            )
+            .unwrap();
+        assert_eq!(r.num_patterns(), 1);
+        let effects = r.unregister(id).unwrap();
+        assert_eq!(effects.patterns_dropped, 1);
+        assert_eq!(r.num_patterns(), 0);
+        assert_eq!(r.num_queries(), 0);
+        assert!(!effects.window_changed);
+    }
+
+    #[test]
+    fn reregistered_isomorphic_query_starts_a_fresh_template() {
+        let mut r = registry();
+        let id1 = r
+            .register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp, 0)
+            .unwrap();
+        let t1 = r.queries().next().unwrap().registrations[0].template;
+        r.unregister(id1).unwrap();
+        assert_eq!(r.num_templates(), 0);
+        let id2 = r
+            .register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp, 0)
+            .unwrap();
+        assert_ne!(id2, id1);
+        let t2 = r.queries().next().unwrap().registrations[0].template;
+        assert_ne!(t2, t1, "retired template ids are never revived");
+        assert_eq!(r.num_templates(), 1);
+        assert_eq!(r.template_runtime(t2).unwrap().members(), 1);
+        assert!(r.template_runtime(t1).is_none());
     }
 
     #[test]
@@ -560,9 +985,9 @@ mod tests {
     #[test]
     fn template_runtime_metadata() {
         let mut r = registry();
-        r.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp)
+        r.register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp, 0)
             .unwrap();
-        let tr = &r.templates()[0];
+        let tr = r.templates().next().unwrap();
         assert_eq!(tr.rt_name(), "RT_0");
         assert_eq!(tr.members(), 1);
         assert_eq!(tr.template.num_meta_vars(), 6);

@@ -66,6 +66,11 @@ enum Request {
         global: QueryId,
         reply: Sender<CoreResult<()>>,
     },
+    /// Unregister the query registered under the given engine-global id.
+    Unregister {
+        global: QueryId,
+        reply: Sender<CoreResult<()>>,
+    },
     /// Process a document batch and return the shard's matches, with query
     /// ids already translated back to engine-global ids.
     Batch {
@@ -113,6 +118,7 @@ pub struct ShardedEngine {
     shards: Vec<Shard>,
     queries_per_shard: Vec<usize>,
     next_query: u64,
+    live_queries: usize,
 }
 
 impl ShardedEngine {
@@ -142,6 +148,7 @@ impl ShardedEngine {
             shards,
             queries_per_shard: vec![0; num_shards],
             next_query: 0,
+            live_queries: 0,
         }
     }
 
@@ -155,12 +162,18 @@ impl ShardedEngine {
         self.shards.len()
     }
 
-    /// Total number of registered queries across all shards.
+    /// Total number of live registered queries across all shards.
     pub fn num_queries(&self) -> usize {
+        self.live_queries
+    }
+
+    /// Total number of query ids ever assigned (freed ids are tombstoned,
+    /// never reused).
+    pub fn total_queries_registered(&self) -> usize {
         self.next_query as usize
     }
 
-    /// Number of queries assigned to each shard, by shard index.
+    /// Number of live queries assigned to each shard, by shard index.
     pub fn queries_per_shard(&self) -> &[usize] {
         &self.queries_per_shard
     }
@@ -201,8 +214,27 @@ impl ShardedEngine {
             .map_err(|_| CoreError::ShardUnavailable { shard })??;
         // Failed registrations consume no id, matching the single engine.
         self.next_query += 1;
+        self.live_queries += 1;
         self.queries_per_shard[shard] += 1;
         Ok(global)
+    }
+
+    /// Unregister a query on the shard that owns it. Mirrors
+    /// [`MmqjpEngine::unregister_query`]: the owning shard incrementally
+    /// releases the query's footprint, and the freed id is never reused.
+    /// Errors with [`CoreError::UnknownQuery`] for ids never assigned or
+    /// already unregistered, and [`CoreError::ShardUnavailable`] if the
+    /// owning shard's worker is gone.
+    pub fn unregister_query(&mut self, id: QueryId) -> CoreResult<()> {
+        let shard = shard_of(id, self.shards.len());
+        let (reply, response) = channel();
+        self.send(shard, Request::Unregister { global: id, reply })?;
+        response
+            .recv()
+            .map_err(|_| CoreError::ShardUnavailable { shard })??;
+        self.live_queries -= 1;
+        self.queries_per_shard[shard] -= 1;
+        Ok(())
     }
 
     /// Process one document, returning its matches in canonical order.
@@ -339,6 +371,8 @@ fn shard_of(id: QueryId, num_shards: usize) -> usize {
 /// leaving the shard always speak the global id space.
 fn shard_worker(mut engine: MmqjpEngine, requests: Receiver<Request>) {
     let mut global_ids: Vec<QueryId> = Vec::new();
+    let mut local_of: std::collections::HashMap<QueryId, QueryId> =
+        std::collections::HashMap::new();
     while let Ok(request) = requests.recv() {
         match request {
             Request::Register {
@@ -349,7 +383,17 @@ fn shard_worker(mut engine: MmqjpEngine, requests: Receiver<Request>) {
                 let result = engine.register_query(*query).map(|local| {
                     debug_assert_eq!(local.raw() as usize, global_ids.len());
                     global_ids.push(global);
+                    local_of.insert(global, local);
                 });
+                let _ = reply.send(result);
+            }
+            Request::Unregister { global, reply } => {
+                let result = match local_of.get(&global) {
+                    Some(&local) => engine.unregister_query(local).map(|()| {
+                        local_of.remove(&global);
+                    }),
+                    None => Err(CoreError::UnknownQuery { id: global.raw() }),
+                };
                 let _ = reply.send(result);
             }
             Request::Batch { docs, reply } => {
@@ -518,6 +562,40 @@ mod tests {
             .process_document(d2().with_timestamp(Timestamp(120)))
             .unwrap();
         assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn unregister_routes_to_the_owning_shard() {
+        for shards in [1, 2, 4] {
+            let mut e = sharded(EngineConfig::mmqjp().with_num_shards(shards));
+            assert_eq!(e.num_queries(), 3);
+            e.process_document(d1()).unwrap();
+            // Q1 departs; Q2 keeps matching d2.
+            e.unregister_query(QueryId(0)).unwrap();
+            assert_eq!(e.num_queries(), 2);
+            assert_eq!(e.total_queries_registered(), 3);
+            assert_eq!(e.queries_per_shard().iter().sum::<usize>(), 2);
+            let out = e.process_document(d2()).unwrap();
+            assert_eq!(out.len(), 1, "{shards} shards");
+            assert_eq!(out[0].query, QueryId(1));
+            let stats = e.stats().unwrap();
+            assert_eq!(stats.queries_registered, 2);
+            assert_eq!(stats.queries_unregistered, 1);
+            // Double unregister and unknown ids error without poisoning the
+            // engine.
+            assert!(matches!(
+                e.unregister_query(QueryId(0)),
+                Err(CoreError::UnknownQuery { .. })
+            ));
+            assert!(matches!(
+                e.unregister_query(QueryId(99)),
+                Err(CoreError::UnknownQuery { .. })
+            ));
+            assert_eq!(e.num_queries(), 2);
+            // Freed global ids are never reused.
+            let id = e.register_query_text(Q1).unwrap();
+            assert_eq!(id, QueryId(3));
+        }
     }
 
     #[test]

@@ -105,6 +105,14 @@ pub(crate) fn key_doc_id(
     }
 }
 
+/// The newest timestamp a bucket of the given width can contain.
+fn latest_ts_of_bucket(bucket: BucketId, width: u64) -> u64 {
+    bucket
+        .saturating_add(1)
+        .saturating_mul(width)
+        .saturating_sub(1)
+}
+
 /// Timestamp of a retention-ledger row (`RdocTS(docid, timestamp)`).
 fn ledger_ts(row: &[Value]) -> CoreResult<u64> {
     u64::try_from(key_int(row, 1, "RdocTS", "timestamp")?).map_err(|_| CoreError::CorruptStateRow {
@@ -227,6 +235,66 @@ impl JoinState {
     /// Derive a bucket width from a retention bound.
     pub fn derive_width(bound: u64) -> u64 {
         (bound / BUCKETS_PER_WINDOW).max(1)
+    }
+
+    /// Tighten the bucket width after the registered retention bound shrank
+    /// (the widest-window query unregistered). Without this, eviction would
+    /// keep operating at the old, coarse granularity and resident state
+    /// could outlive the new bound by up to one old-width bucket.
+    ///
+    /// The retention ledger is re-partitioned exactly (its rows carry their
+    /// own timestamps). The join-state buckets are re-partitioned by
+    /// document timestamp where the document is still retained; rows whose
+    /// document already aged out of the retention maps land in the *latest*
+    /// bucket their old bucket could span, so they are never evicted earlier
+    /// than their true timestamp allows (results stay identical — the
+    /// temporal filter re-checks every window anyway). One-time O(resident
+    /// state); a no-op when the width would grow or is not yet set.
+    pub fn tighten_width(&mut self, new_width: u64) -> CoreResult<()> {
+        let new_width = new_width.max(1);
+        let Some(current) = self.bucket_width else {
+            return Ok(());
+        };
+        if new_width >= current {
+            return Ok(());
+        }
+        self.bucket_width = Some(new_width);
+        self.width_final = true;
+        let old_ledger =
+            std::mem::replace(&mut self.ledger, SegmentedRelation::new(schemas::doc_ts()));
+        for row in old_ledger.iter() {
+            let ts = ledger_ts(row)?;
+            self.insert_ledger_row(row.clone(), ts)?;
+        }
+        if self.bucketed {
+            let old_rdoc =
+                std::mem::replace(&mut self.rdoc, SegmentedRelation::new(schemas::doc()));
+            let old_rbin =
+                std::mem::replace(&mut self.rbin, SegmentedRelation::new(schemas::bin()));
+            self.indexes.clear();
+            self.strval_rows.clear();
+            for (bucket, seg) in old_rdoc.buckets() {
+                let fallback = latest_ts_of_bucket(bucket, current);
+                for row in seg.iter() {
+                    let ts = self.known_doc_ts(row).unwrap_or(fallback);
+                    self.insert_rdoc_row(row.clone(), ts)?;
+                }
+            }
+            for (bucket, seg) in old_rbin.buckets() {
+                let fallback = latest_ts_of_bucket(bucket, current);
+                for row in seg.iter() {
+                    let ts = self.known_doc_ts(row).unwrap_or(fallback);
+                    self.insert_rbin_row(row.clone(), ts)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Timestamp of a state row's document, when it is still retained.
+    fn known_doc_ts(&self, row: &[Value]) -> Option<u64> {
+        let doc = row[0].as_int().and_then(|v| u64::try_from(v).ok())?;
+        self.doc_timestamp(DocId(doc))
     }
 
     /// Re-partition every resident row under a new bucket width (only used
@@ -706,6 +774,57 @@ mod tests {
         assert!(s.contains_strval(interner.get("val3").unwrap()));
         assert_eq!(s.evict_documents(35), 2);
         assert_eq!(s.docs_retained(), 2);
+    }
+
+    #[test]
+    fn tighten_width_repartitions_resident_state() {
+        let (mut s, interner) = state(625);
+        for i in 1..=5u64 {
+            let d = doc(i, i * 40);
+            s.absorb(&batch_for(&d, &format!("val{i}"), &interner), &[d], true)
+                .unwrap();
+        }
+        // All rows share the single coarse bucket: a cutoff of 100 evicts
+        // nothing.
+        assert_eq!(s.num_buckets(), 1);
+        assert_eq!(s.evict_join_state(100).buckets, 0);
+        assert_eq!(s.evict_documents(100), 0);
+
+        // The retention bound tightened (widest window departed): width 10.
+        s.tighten_width(10).unwrap();
+        assert_eq!(s.bucket_width(), Some(10));
+        assert_eq!(s.num_buckets(), 5);
+        assert_eq!(s.rdoc_len(), 5);
+        // Slices still work and eviction now operates at the new granularity.
+        assert_eq!(s.rl_slice(interner.get("val3").unwrap()).unwrap().len(), 1);
+        let ev = s.evict_join_state(100);
+        assert_eq!(ev.buckets, 2); // ts 40 and 80
+        assert_eq!(s.evict_documents(100), 2);
+        assert_eq!(s.docs_retained(), 3);
+        // Widening (or equal) requests are no-ops.
+        s.tighten_width(10_000).unwrap();
+        assert_eq!(s.bucket_width(), Some(10));
+    }
+
+    #[test]
+    fn tighten_width_places_orphan_rows_conservatively() {
+        // A join-state row whose document already left the retention maps
+        // must land in the *latest* bucket its old bucket could span.
+        let (mut s, interner) = state(100);
+        let d = doc(1, 30);
+        s.absorb(&batch_for(&d, "v", &interner), &[d], true)
+            .unwrap();
+        // Forget the document (as retention-cap eviction would) but keep the
+        // join rows: evict via the ledger only.
+        assert_eq!(s.evict_documents(200), 1);
+        assert_eq!(s.rdoc_len(), 1);
+        s.tighten_width(10).unwrap();
+        // The orphan row sits in the last bucket of old bucket 0 (ts 99 →
+        // bucket 9), surviving any cutoff its real timestamp could survive.
+        let ev = s.evict_join_state(31);
+        assert_eq!(ev.rows, 0);
+        let ev = s.evict_join_state(100);
+        assert_eq!(ev.rows, 2);
     }
 
     #[cfg(debug_assertions)]

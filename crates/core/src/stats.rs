@@ -71,12 +71,20 @@ pub struct EngineStats {
     pub documents_processed: usize,
     /// Query matches emitted so far.
     pub results_emitted: usize,
-    /// Registered queries.
+    /// Live registered queries (registered and not unregistered).
     pub queries_registered: usize,
-    /// Distinct query templates currently in the catalog.
+    /// Queries unregistered so far (cumulative).
+    pub queries_unregistered: usize,
+    /// Distinct query templates currently live in the catalog.
     pub templates: usize,
-    /// Distinct tree patterns registered with the Stage-1 index.
+    /// Templates retired so far because their last member query
+    /// unregistered (cumulative).
+    pub templates_retired: usize,
+    /// Distinct tree patterns currently live in the Stage-1 index.
     pub distinct_patterns: usize,
+    /// Stage-1 patterns dropped so far because their last subscriber
+    /// unregistered (cumulative).
+    pub patterns_dropped: usize,
     /// Tuples currently held in the `Rbin` join-state relation.
     pub rbin_tuples: usize,
     /// Tuples currently held in the `Rdoc` join-state relation.
@@ -141,8 +149,11 @@ impl AddAssign for EngineStats {
         self.documents_processed += rhs.documents_processed;
         self.results_emitted += rhs.results_emitted;
         self.queries_registered += rhs.queries_registered;
+        self.queries_unregistered += rhs.queries_unregistered;
         self.templates += rhs.templates;
+        self.templates_retired += rhs.templates_retired;
         self.distinct_patterns += rhs.distinct_patterns;
+        self.patterns_dropped += rhs.patterns_dropped;
         self.rbin_tuples += rhs.rbin_tuples;
         self.rdoc_tuples += rhs.rdoc_tuples;
         self.state_buckets += rhs.state_buckets;
@@ -221,8 +232,11 @@ mod tests {
             documents_processed: 1,
             results_emitted: 2,
             queries_registered: 3,
+            queries_unregistered: 11,
             templates: 4,
+            templates_retired: 12,
             distinct_patterns: 5,
+            patterns_dropped: 13,
             rbin_tuples: 6,
             rdoc_tuples: 7,
             state_buckets: 1,
@@ -243,8 +257,11 @@ mod tests {
             documents_processed: 10,
             results_emitted: 20,
             queries_registered: 30,
+            queries_unregistered: 110,
             templates: 40,
+            templates_retired: 120,
             distinct_patterns: 50,
+            patterns_dropped: 130,
             rbin_tuples: 60,
             rdoc_tuples: 70,
             state_buckets: 10,
@@ -265,8 +282,11 @@ mod tests {
         assert_eq!(s.documents_processed, 11);
         assert_eq!(s.results_emitted, 22);
         assert_eq!(s.queries_registered, 33);
+        assert_eq!(s.queries_unregistered, 121);
         assert_eq!(s.templates, 44);
+        assert_eq!(s.templates_retired, 132);
         assert_eq!(s.distinct_patterns, 55);
+        assert_eq!(s.patterns_dropped, 143);
         assert_eq!(s.rbin_tuples, 66);
         assert_eq!(s.rdoc_tuples, 77);
         assert_eq!(s.state_buckets, 11);

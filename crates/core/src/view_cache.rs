@@ -144,6 +144,26 @@ impl ViewCache {
         self.slices.retain(|k, _| !pred(*k));
     }
 
+    /// Drop every slice that still carries a row whose `var1`/`var2` symbol
+    /// is in `dead` — canonical variables no live pattern binds anymore,
+    /// because their last subscribing query unregistered. Returns the number
+    /// of slices reclaimed. Dropping a slice never changes results: slices
+    /// are pure caches and are recomputed from the join state on demand.
+    pub fn purge_dead_vars(&mut self, dead: &std::collections::HashSet<Symbol>) -> usize {
+        if dead.is_empty() {
+            return 0;
+        }
+        let before = self.slices.len();
+        self.slices.retain(|_, entry| {
+            !entry.relation.iter().any(|row| {
+                [&row[1], &row[2]]
+                    .iter()
+                    .any(|v| v.as_sym().is_some_and(|s| dead.contains(&s)))
+            })
+        });
+        before - self.slices.len()
+    }
+
     /// Current statistics snapshot.
     pub fn stats(&self) -> ViewCacheStats {
         ViewCacheStats {
@@ -242,6 +262,38 @@ mod tests {
         assert!(cache.contains(b));
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn purge_dead_vars_reclaims_only_touched_slices() {
+        let interner = StringInterner::new();
+        let dead_var = interner.intern("S//gone//leaf");
+        let live_var = interner.intern("S//blog//title");
+        let mk = |var: Symbol| {
+            let mut r = Relation::new(schemas::rl());
+            r.push_values(vec![
+                Value::Int(1),
+                Value::Sym(var),
+                Value::Sym(var),
+                Value::Int(0),
+                Value::Int(1),
+                Value::Int(42),
+            ])
+            .unwrap();
+            r
+        };
+        let a = interner.intern("value-a");
+        let b = interner.intern("value-b");
+        let mut cache = ViewCache::new(None);
+        cache.insert(a, mk(dead_var));
+        cache.insert(b, mk(live_var));
+        let dead: std::collections::HashSet<Symbol> = [dead_var].into_iter().collect();
+        assert_eq!(cache.purge_dead_vars(&dead), 1);
+        assert!(!cache.contains(a));
+        assert!(cache.contains(b));
+        // An empty dead set is a no-op.
+        assert_eq!(cache.purge_dead_vars(&Default::default()), 0);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

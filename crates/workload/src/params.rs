@@ -141,6 +141,29 @@ impl BenchScale {
         }
     }
 
+    /// Stream lengths swept by the subscription-churn experiment
+    /// (Figure 19, beyond the paper): a base length and a 10×-longer stream,
+    /// so any unregistration cost that scales with the registry (rather than
+    /// the departing query's footprint) shows up as degraded steady-state
+    /// docs/s on the long run.
+    pub fn subscription_churn_lengths(&self) -> Vec<usize> {
+        match self {
+            BenchScale::Paper => vec![2_000, 20_000],
+            BenchScale::Default => vec![400, 4_000],
+            BenchScale::Smoke => vec![40, 400],
+        }
+    }
+
+    /// Initial subscription population for the subscription-churn
+    /// experiment.
+    pub fn subscription_churn_queries(&self) -> usize {
+        match self {
+            BenchScale::Paper => 300,
+            BenchScale::Default => 60,
+            BenchScale::Smoke => 12,
+        }
+    }
+
     /// Batch size used for the RSS replay (the paper batches SQL statements;
     /// we batch witness loading the same way).
     pub fn rss_batch(&self) -> usize {

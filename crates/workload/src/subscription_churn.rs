@@ -1,0 +1,298 @@
+//! Online subscription churn: a Poisson subscribe/unsubscribe mix over a
+//! windowed RSS stream.
+//!
+//! Real pub/sub populations churn — users subscribe and unsubscribe
+//! continuously while documents keep flowing. This workload interleaves a
+//! long, join-heavy windowed document stream (the same generator the
+//! [`churn`](crate::churn) workload uses) with subscription lifecycle
+//! events: for every document, a Poisson-distributed number of new
+//! subscriptions arrives and a matching Poisson-distributed number of
+//! existing subscriptions departs, keeping the live population statistically
+//! stable around its initial size.
+//!
+//! An engine with an incremental `unregister_query` sustains flat
+//! steady-state throughput and a flat resident-state plateau on this
+//! workload; an append-only engine (one that merely *stops reporting* for
+//! departed queries, or the pre-lifecycle engine that could not remove them
+//! at all) accumulates templates, patterns and `RT` tuples linearly with
+//! stream length. The `fig19_subscription_churn` bench and the
+//! subscription-churn boundedness tests are built on this generator.
+
+use crate::rss::{RssQueryGenerator, RssStreamConfig, RssStreamGenerator};
+use mmqjp_xml::Document;
+use mmqjp_xscl::{Window, XsclQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the subscription-churn workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubscriptionChurnConfig {
+    /// Number of feed items in the stream (timestamps advance by 2 per
+    /// item).
+    pub items: usize,
+    /// Size of the initial subscription population, registered before the
+    /// first document.
+    pub initial_queries: usize,
+    /// Expected number of *subscribe* events per document; the unsubscribe
+    /// rate is the same, so the live population stays statistically stable.
+    pub churn_rate: f64,
+    /// The finite time windows assigned round-robin to generated queries.
+    pub windows: Vec<u64>,
+    /// Title vocabulary size (small ⇒ heavy cross-item joining).
+    pub title_vocabulary: usize,
+    /// Description vocabulary size.
+    pub description_vocabulary: usize,
+    /// Number of channels.
+    pub channels: usize,
+    /// Zipf parameter for query shape and vocabulary popularity.
+    pub skew: f64,
+    /// Seed for deterministic generation.
+    pub seed: u64,
+}
+
+impl Default for SubscriptionChurnConfig {
+    fn default() -> Self {
+        SubscriptionChurnConfig {
+            items: 1_000,
+            initial_queries: 80,
+            churn_rate: 0.25,
+            windows: vec![40, 120, 400],
+            title_vocabulary: 40,
+            description_vocabulary: 80,
+            channels: 25,
+            skew: 0.8,
+            seed: 1719,
+        }
+    }
+}
+
+/// One event of the interleaved subscription/document script.
+#[derive(Debug, Clone)]
+pub enum SubscriptionEvent {
+    /// Register this query. The driver should append the returned
+    /// [`QueryId`](mmqjp_xscl::QueryId) to its registration list — later
+    /// [`Unregister`](SubscriptionEvent::Unregister) events refer to
+    /// registrations by position in that list.
+    Register(Box<XsclQuery>),
+    /// Unregister the `n`-th `Register` event of this script (0-based).
+    /// The generator guarantees the target is live at this point: it was
+    /// registered earlier and no previous event unregistered it.
+    Unregister(usize),
+    /// Process this document.
+    Document(Box<Document>),
+}
+
+/// Generator of the subscription-churn script: an initial query population,
+/// then documents interleaved with Poisson subscribe/unsubscribe events.
+#[derive(Debug, Clone)]
+pub struct SubscriptionChurnWorkload {
+    config: SubscriptionChurnConfig,
+}
+
+impl SubscriptionChurnWorkload {
+    /// Create a workload for the given configuration.
+    pub fn new(config: SubscriptionChurnConfig) -> Self {
+        assert!(!config.windows.is_empty(), "need at least one window");
+        assert!(config.initial_queries > 0, "need a live population");
+        SubscriptionChurnWorkload { config }
+    }
+
+    /// The configuration this workload was built with.
+    pub fn config(&self) -> &SubscriptionChurnConfig {
+        &self.config
+    }
+
+    /// The largest configured window.
+    pub fn max_window(&self) -> u64 {
+        *self.config.windows.iter().max().expect("non-empty windows")
+    }
+
+    /// Generate the full event script for the configured stream length.
+    pub fn events(&self) -> Vec<SubscriptionEvent> {
+        self.events_with_items(self.config.items)
+    }
+
+    /// Generate the event script for a different stream length with
+    /// otherwise identical parameters (used by the bench to sweep length).
+    /// Scripts of different lengths share their prefix.
+    pub fn events_with_items(&self, items: usize) -> Vec<SubscriptionEvent> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let docs = RssStreamGenerator::new(RssStreamConfig {
+            items,
+            channels: self.config.channels,
+            title_vocabulary: self.config.title_vocabulary,
+            description_vocabulary: self.config.description_vocabulary,
+            skew: self.config.skew,
+            seed: self.config.seed,
+        })
+        .documents();
+
+        let mut events = Vec::with_capacity(items * 2 + self.config.initial_queries);
+        // Registration positions still live, by Register-event ordinal.
+        let mut live: Vec<usize> = Vec::new();
+        let mut registered = 0usize;
+        let mut register =
+            |events: &mut Vec<SubscriptionEvent>, live: &mut Vec<usize>, rng: &mut StdRng| {
+                let window = self.config.windows[registered % self.config.windows.len()];
+                let generator =
+                    RssQueryGenerator::new(self.config.skew).with_window(Window::Time(window));
+                let query = generator
+                    .generate_queries(1, rng)
+                    .pop()
+                    .expect("one query was requested");
+                events.push(SubscriptionEvent::Register(Box::new(query)));
+                live.push(registered);
+                registered += 1;
+            };
+
+        for _ in 0..self.config.initial_queries {
+            register(&mut events, &mut live, &mut rng);
+        }
+        for doc in docs {
+            for _ in 0..poisson(&mut rng, self.config.churn_rate) {
+                register(&mut events, &mut live, &mut rng);
+            }
+            // Unsubscribe as a birth–death process: the departure rate is
+            // proportional to the live population, so it equilibrates at
+            // `initial_queries` instead of drifting on a random walk.
+            let departure_rate =
+                self.config.churn_rate * live.len() as f64 / self.config.initial_queries as f64;
+            for _ in 0..poisson(&mut rng, departure_rate) {
+                // Keep at least one live subscription so the stream always
+                // exercises the join path.
+                if live.len() <= 1 {
+                    break;
+                }
+                let victim = rng.gen_range(0..live.len());
+                events.push(SubscriptionEvent::Unregister(live.swap_remove(victim)));
+            }
+            events.push(SubscriptionEvent::Document(Box::new(doc)));
+        }
+        events
+    }
+}
+
+impl Default for SubscriptionChurnWorkload {
+    fn default() -> Self {
+        SubscriptionChurnWorkload::new(SubscriptionChurnConfig::default())
+    }
+}
+
+/// Draw from a Poisson distribution (Knuth's product method; fine for the
+/// small rates this workload uses).
+fn poisson(rng: &mut StdRng, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen_range(0.0..1.0);
+        if p <= limit || k >= 64 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmqjp_core::{EngineConfig, MmqjpEngine};
+    use mmqjp_xscl::QueryId;
+
+    #[test]
+    fn script_is_deterministic_and_well_formed() {
+        let w = SubscriptionChurnWorkload::new(SubscriptionChurnConfig {
+            items: 200,
+            ..SubscriptionChurnConfig::default()
+        });
+        let events = w.events();
+        let again = w.events();
+        assert_eq!(events.len(), again.len());
+        assert_eq!(w.max_window(), 400);
+
+        let mut registered = 0usize;
+        let mut live = std::collections::HashSet::new();
+        let mut docs = 0usize;
+        let mut unregisters = 0usize;
+        for e in &events {
+            match e {
+                SubscriptionEvent::Register(_) => {
+                    live.insert(registered);
+                    registered += 1;
+                }
+                SubscriptionEvent::Unregister(n) => {
+                    assert!(live.remove(n), "unregister of a non-live target {n}");
+                    unregisters += 1;
+                }
+                SubscriptionEvent::Document(_) => docs += 1,
+            }
+        }
+        assert_eq!(docs, 200);
+        assert!(registered > 80, "churn must add subscriptions");
+        assert!(unregisters > 0, "churn must remove subscriptions");
+        assert!(!live.is_empty());
+        // The population stays near its initial size: departures track
+        // arrivals.
+        let net = live.len() as i64 - 80;
+        assert!(net.abs() < 40, "population drifted to {}", live.len());
+    }
+
+    #[test]
+    fn scripts_of_different_lengths_share_their_prefix() {
+        let w = SubscriptionChurnWorkload::default();
+        let short = w.events_with_items(50);
+        let long = w.events_with_items(100);
+        assert!(short.len() < long.len());
+        for (a, b) in short.iter().zip(&long) {
+            match (a, b) {
+                (SubscriptionEvent::Register(x), SubscriptionEvent::Register(y)) => {
+                    assert_eq!(x.to_string(), y.to_string())
+                }
+                (SubscriptionEvent::Unregister(x), SubscriptionEvent::Unregister(y)) => {
+                    assert_eq!(x, y)
+                }
+                (SubscriptionEvent::Document(x), SubscriptionEvent::Document(y)) => {
+                    assert_eq!(x.timestamp(), y.timestamp())
+                }
+                (a, b) => panic!("prefix diverged: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn replaying_the_script_matches_and_churns() {
+        let w = SubscriptionChurnWorkload::new(SubscriptionChurnConfig {
+            items: 250,
+            initial_queries: 30,
+            churn_rate: 0.4,
+            ..SubscriptionChurnConfig::default()
+        });
+        let mut engine = MmqjpEngine::new(EngineConfig::mmqjp().with_prune_state_by_window(true));
+        let mut reg_ids: Vec<QueryId> = Vec::new();
+        let mut matches = 0usize;
+        for event in w.events() {
+            match event {
+                SubscriptionEvent::Register(q) => {
+                    reg_ids.push(engine.register_query(*q).unwrap());
+                }
+                SubscriptionEvent::Unregister(n) => {
+                    engine.unregister_query(reg_ids[n]).unwrap();
+                }
+                SubscriptionEvent::Document(d) => {
+                    matches += engine.process_document(*d).unwrap().len();
+                }
+            }
+        }
+        assert!(matches > 0, "small vocabularies must produce joins");
+        let stats = engine.stats();
+        assert!(stats.queries_unregistered > 0);
+        assert_eq!(
+            stats.queries_registered,
+            reg_ids.len() - stats.queries_unregistered
+        );
+    }
+}

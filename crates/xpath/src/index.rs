@@ -9,6 +9,11 @@
 //! * de-duplicates structurally identical patterns (same
 //!   [`TreePattern::signature`]); each distinct pattern is evaluated at most
 //!   once per document regardless of how many queries reference it;
+//! * reference-counts registrations so a pattern can be
+//!   [`unregister`](PatternIndex::unregister)ed when a subscription departs:
+//!   the pattern is dropped (and stops being evaluated) once its last
+//!   subscriber leaves, while [`PatternId`]s stay stable — dropped slots are
+//!   tombstoned, never reused;
 //! * pre-filters patterns by their *root tag* using a per-document tag set,
 //!   so patterns that cannot possibly match (e.g. `//book...` on a blog
 //!   document) are skipped without running the matcher;
@@ -51,12 +56,25 @@ pub struct PatternIndexStats {
 }
 
 /// A shared index over the tree patterns of many query blocks.
+///
+/// Registrations are reference-counted per distinct pattern: `register`
+/// increments the count of the (deduplicated) pattern, `unregister`
+/// decrements it and tombstones the slot when the last subscriber leaves.
+/// [`PatternId`]s are never reused, so ids handed out earlier stay valid
+/// for the patterns that are still live.
 #[derive(Debug, Default, Clone)]
 pub struct PatternIndex {
-    patterns: Vec<TreePattern>,
+    /// Pattern slots; `None` marks a dropped (tombstoned) pattern. Boxed so
+    /// a tombstoned slot costs a pointer, not the pattern footprint, under
+    /// unbounded churn.
+    patterns: Vec<Option<Box<TreePattern>>>,
     by_signature: HashMap<String, PatternId>,
     /// Root tags per pattern (None = wildcard / cannot pre-filter).
     root_tags: Vec<Option<String>>,
+    /// Number of live registrations per slot.
+    refcounts: Vec<usize>,
+    /// Number of live (non-tombstoned) patterns.
+    live: usize,
     registered_blocks: usize,
     evaluated_last: usize,
     skipped_last: usize,
@@ -69,11 +87,14 @@ impl PatternIndex {
     }
 
     /// Register a pattern, returning its id. Structurally identical patterns
-    /// (same signature) are shared and return the same id.
+    /// (same signature) are shared and return the same id; every call
+    /// increments the pattern's reference count (see
+    /// [`unregister`](PatternIndex::unregister)).
     pub fn register(&mut self, pattern: TreePattern) -> PatternId {
         self.registered_blocks += 1;
         let sig = pattern.signature();
         if let Some(&id) = self.by_signature.get(&sig) {
+            self.refcounts[id.index()] += 1;
             return id;
         }
         let id = PatternId(self.patterns.len() as u32);
@@ -82,54 +103,87 @@ impl PatternIndex {
             _ => None,
         };
         self.root_tags.push(root_tag);
-        self.patterns.push(pattern);
+        self.patterns.push(Some(Box::new(pattern)));
+        self.refcounts.push(1);
+        self.live += 1;
         self.by_signature.insert(sig, id);
         id
     }
 
-    /// Number of distinct patterns stored.
+    /// Release one registration of a pattern. Returns `true` when this was
+    /// the last registration and the pattern was dropped from the index
+    /// (its slot is tombstoned; the id is never reused). A subsequent
+    /// `register` of the same structure allocates a fresh id.
+    pub fn unregister(&mut self, id: PatternId) -> bool {
+        let idx = id.index();
+        let count = &mut self.refcounts[idx];
+        assert!(*count > 0, "unregister of a dropped pattern {id:?}");
+        *count -= 1;
+        if *count > 0 {
+            return false;
+        }
+        let pattern = self.patterns[idx]
+            .take()
+            .expect("a positive refcount implies a live pattern");
+        self.by_signature.remove(&pattern.signature());
+        self.root_tags[idx] = None;
+        self.live -= 1;
+        true
+    }
+
+    /// Number of live registrations of a pattern (0 for dropped slots).
+    pub fn refcount(&self, id: PatternId) -> usize {
+        self.refcounts[id.index()]
+    }
+
+    /// Number of distinct live patterns stored.
     pub fn len(&self) -> usize {
-        self.patterns.len()
+        self.live
     }
 
-    /// `true` when no patterns are registered.
+    /// `true` when no live patterns are registered.
     pub fn is_empty(&self) -> bool {
-        self.patterns.is_empty()
+        self.live == 0
     }
 
-    /// The pattern stored under an id.
+    /// The pattern stored under an id. Panics for tombstoned (dropped) ids.
     pub fn pattern(&self, id: PatternId) -> &TreePattern {
-        &self.patterns[id.index()]
+        self.patterns[id.index()]
+            .as_ref()
+            .expect("pattern id refers to a dropped pattern")
     }
 
-    /// Iterate over `(id, pattern)` pairs.
+    /// Iterate over live `(id, pattern)` pairs.
     pub fn patterns(&self) -> impl Iterator<Item = (PatternId, &TreePattern)> {
         self.patterns
             .iter()
             .enumerate()
-            .map(|(i, p)| (PatternId(i as u32), p))
+            .filter_map(|(i, p)| p.as_deref().map(|p| (PatternId(i as u32), p)))
     }
 
     /// Index statistics (sharing factor, last-evaluation counters).
     pub fn stats(&self) -> PatternIndexStats {
         PatternIndexStats {
             registered_blocks: self.registered_blocks,
-            distinct_patterns: self.patterns.len(),
+            distinct_patterns: self.live,
             evaluated_last: self.evaluated_last,
             skipped_last: self.skipped_last,
         }
     }
 
-    /// Ids of patterns that can potentially match the document, using the
-    /// root-tag pre-filter.
+    /// Ids of live patterns that can potentially match the document, using
+    /// the root-tag pre-filter.
     fn candidate_ids(&self, doc: &Document) -> Vec<PatternId> {
         let doc_tags: HashSet<&str> = doc.nodes().map(|n| n.tag()).collect();
         self.patterns
             .iter()
             .enumerate()
-            .filter(|(i, _)| match &self.root_tags[*i] {
-                Some(tag) => doc_tags.contains(tag.as_str()),
-                None => true,
+            .filter(|(i, p)| {
+                p.is_some()
+                    && match &self.root_tags[*i] {
+                        Some(tag) => doc_tags.contains(tag.as_str()),
+                        None => true,
+                    }
             })
             .map(|(i, _)| PatternId(i as u32))
             .collect()
@@ -139,11 +193,11 @@ impl PatternIndex {
     /// witnesses per matching pattern.
     pub fn evaluate_witnesses(&mut self, doc: &Document) -> Vec<(PatternId, Vec<Witness>)> {
         let candidates = self.candidate_ids(doc);
-        self.skipped_last = self.patterns.len() - candidates.len();
+        self.skipped_last = self.live - candidates.len();
         self.evaluated_last = candidates.len();
         let mut out = Vec::new();
         for id in candidates {
-            let matcher = PatternMatcher::new(&self.patterns[id.index()]);
+            let matcher = PatternMatcher::new(self.pattern(id));
             let ws = matcher.witnesses(doc);
             if !ws.is_empty() {
                 out.push((id, ws));
@@ -165,11 +219,11 @@ impl PatternIndex {
         requested_edges: &HashMap<PatternId, Vec<(PatternNodeId, PatternNodeId)>>,
     ) -> Vec<(PatternId, Vec<EdgeBinding>)> {
         let candidates = self.candidate_ids(doc);
-        self.skipped_last = self.patterns.len() - candidates.len();
+        self.skipped_last = self.live - candidates.len();
         self.evaluated_last = candidates.len();
         let mut out = Vec::new();
         for id in candidates {
-            let pattern = &self.patterns[id.index()];
+            let pattern = self.pattern(id);
             let matcher = PatternMatcher::new(pattern);
             let bindings = match requested_edges.get(&id) {
                 Some(edges) => matcher.edge_bindings(doc, edges),
@@ -274,6 +328,49 @@ mod tests {
         assert_eq!(results.len(), 1);
         // one author edge pair + one title edge pair
         assert_eq!(results[0].1.len(), 2);
+    }
+
+    #[test]
+    fn unregister_is_refcounted_and_tombstones_slots() {
+        let mut idx = PatternIndex::new();
+        let a = idx.register(parse_pattern("S//book->x1[.//author->x2]").unwrap());
+        let a2 = idx.register(parse_pattern("S//book->x1[.//author->x2]").unwrap());
+        let b = idx.register(parse_pattern("S//blog->x4[.//author->x5]").unwrap());
+        assert_eq!(a, a2);
+        assert_eq!(idx.refcount(a), 2);
+        assert_eq!(idx.refcount(b), 1);
+
+        // First release: shared pattern survives.
+        assert!(!idx.unregister(a));
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.refcount(a), 1);
+        // Last release: pattern dropped, slot tombstoned, evaluation skips it.
+        assert!(idx.unregister(a));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.refcount(a), 0);
+        let results = idx.evaluate_witnesses(&book_doc());
+        assert!(results.is_empty());
+        assert_eq!(idx.stats().evaluated_last, 0);
+        assert_eq!(idx.stats().distinct_patterns, 1);
+
+        // Re-registering the same structure allocates a fresh id; the old id
+        // is never reused.
+        let a3 = idx.register(parse_pattern("S//book->x1[.//author->x2]").unwrap());
+        assert_ne!(a3, a);
+        assert_eq!(a3.index(), 2);
+        assert_eq!(idx.len(), 2);
+        let results = idx.evaluate_witnesses(&book_doc());
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, a3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregister of a dropped pattern")]
+    fn unregister_of_dropped_pattern_panics() {
+        let mut idx = PatternIndex::new();
+        let a = idx.register(parse_pattern("S//book->x1").unwrap());
+        assert!(idx.unregister(a));
+        idx.unregister(a);
     }
 
     #[test]

@@ -134,10 +134,18 @@ pub struct TemplateMembership {
 }
 
 /// The catalog of all templates discovered so far.
+///
+/// Templates can be [`remove`](TemplateCatalog::remove)d when their last
+/// member query departs: the slot is tombstoned (ids are never reused) and
+/// the structure stops matching future inserts, so a later isomorphic query
+/// starts a fresh template.
 #[derive(Debug, Clone, Default)]
 pub struct TemplateCatalog {
-    templates: Vec<QueryTemplate>,
+    /// Template slots; `None` marks a retired template (boxed so the
+    /// tombstone costs a pointer under unbounded churn).
+    templates: Vec<Option<Box<QueryTemplate>>>,
     by_invariant: HashMap<String, Vec<TemplateId>>,
+    live: usize,
     memberships: usize,
 }
 
@@ -147,14 +155,14 @@ impl TemplateCatalog {
         TemplateCatalog::default()
     }
 
-    /// Number of distinct templates.
+    /// Number of distinct live templates.
     pub fn len(&self) -> usize {
-        self.templates.len()
+        self.live
     }
 
-    /// `true` when no templates exist yet.
+    /// `true` when no live templates exist.
     pub fn is_empty(&self) -> bool {
-        self.templates.is_empty()
+        self.live == 0
     }
 
     /// Number of successful `insert` calls (registered query orientations).
@@ -162,14 +170,34 @@ impl TemplateCatalog {
         self.memberships
     }
 
-    /// A template by id.
+    /// A template by id. Panics for retired (removed) ids.
     pub fn template(&self, id: TemplateId) -> &QueryTemplate {
-        &self.templates[id.index()]
+        self.templates[id.index()]
+            .as_deref()
+            .expect("template id refers to a retired template")
     }
 
-    /// Iterate over all templates.
+    /// Iterate over all live templates.
     pub fn templates(&self) -> impl Iterator<Item = &QueryTemplate> {
-        self.templates.iter()
+        self.templates.iter().filter_map(|t| t.as_deref())
+    }
+
+    /// Retire a template whose last member query departed. The slot is
+    /// tombstoned — the id is never reused — and the structure will no
+    /// longer be found by [`find`](TemplateCatalog::find) or matched by
+    /// future inserts. Returns the removed template, or `None` when the id
+    /// was already retired.
+    pub fn remove(&mut self, id: TemplateId) -> Option<QueryTemplate> {
+        let template = *self.templates.get_mut(id.index())?.take()?;
+        self.live -= 1;
+        let invariant = template.graph.invariant();
+        if let Some(candidates) = self.by_invariant.get_mut(&invariant) {
+            candidates.retain(|&tid| tid != id);
+            if candidates.is_empty() {
+                self.by_invariant.remove(&invariant);
+            }
+        }
+        Some(template)
     }
 
     /// Register a query's reduced graph: find the template it belongs to (or
@@ -179,7 +207,9 @@ impl TemplateCatalog {
         let invariant = graph.invariant();
         if let Some(candidates) = self.by_invariant.get(&invariant) {
             for &tid in candidates {
-                let template = &self.templates[tid.index()];
+                let template = self.templates[tid.index()]
+                    .as_deref()
+                    .expect("by_invariant only references live templates");
                 if let Some(mapping) = isomorphism(graph, &template.graph) {
                     // mapping[i] = template position of graph position i.
                     // We need assignment[j] = variable of the graph node
@@ -205,7 +235,8 @@ impl TemplateCatalog {
         let assignment: Vec<String> = (0..template.num_meta_vars())
             .map(|i| graph_variable(graph, i).to_owned())
             .collect();
-        self.templates.push(template);
+        self.templates.push(Some(Box::new(template)));
+        self.live += 1;
         self.by_invariant.entry(invariant).or_default().push(id);
         TemplateMembership {
             template: id,
@@ -213,7 +244,7 @@ impl TemplateCatalog {
         }
     }
 
-    /// Check whether a graph already has a matching template, without
+    /// Check whether a graph already has a matching live template, without
     /// inserting.
     pub fn find(&self, graph: &ReducedGraph) -> Option<TemplateId> {
         let invariant = graph.invariant();
@@ -221,7 +252,7 @@ impl TemplateCatalog {
         candidates
             .iter()
             .copied()
-            .find(|tid| isomorphism(graph, &self.templates[tid.index()].graph).is_some())
+            .find(|tid| isomorphism(graph, &self.template(*tid).graph).is_some())
     }
 }
 
@@ -545,6 +576,29 @@ mod tests {
         assert_eq!(catalog.templates().count(), 1);
         assert_eq!(m.template.to_string(), "T0");
         assert_eq!(m.template.raw(), 0);
+    }
+
+    #[test]
+    fn remove_retires_the_template_and_never_reuses_its_id() {
+        let mut catalog = TemplateCatalog::new();
+        let g1 = reduced(Q1);
+        let m1 = catalog.insert(&g1);
+        let removed = catalog.remove(m1.template).unwrap();
+        assert_eq!(removed.id, m1.template);
+        assert_eq!(catalog.len(), 0);
+        assert!(catalog.is_empty());
+        assert!(catalog.find(&g1).is_none());
+        assert_eq!(catalog.templates().count(), 0);
+        // Removing again is a no-op.
+        assert!(catalog.remove(m1.template).is_none());
+        // A later isomorphic insert starts a fresh template under a new id.
+        let m2 = catalog.insert(&reduced(Q2));
+        assert_ne!(m2.template, m1.template);
+        assert_eq!(m2.template.index(), 1);
+        assert_eq!(catalog.len(), 1);
+        // The retired slot stays retired; the new one is live.
+        assert_eq!(catalog.find(&g1), Some(m2.template));
+        assert_eq!(catalog.memberships(), 2);
     }
 
     #[test]

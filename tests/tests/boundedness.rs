@@ -120,6 +120,131 @@ fn sharded_engine_state_is_bounded_too() {
 }
 
 // ---------------------------------------------------------------------------
+// Subscription churn: resident state plateaus with a stable live population
+// ---------------------------------------------------------------------------
+
+#[test]
+fn subscription_churn_state_plateaus_over_10k_cycles() {
+    // 10 000 subscribe/unsubscribe cycles with a stable live population
+    // (see POPULATION/DOC_EVERY below), documents interleaved throughout.
+    // Resident state — query/template/pattern populations, join-state
+    // buckets and retained documents — must stay flat: the engine of a
+    // long-running deployment sheds dead subscriptions instead of
+    // accumulating them.
+    // A pool of 16 query shapes over a 12-strong live population: at any
+    // moment some shapes have no live subscriber, so churn keeps dropping
+    // and re-creating patterns instead of only shrinking shared ones. Shape
+    // 0 is structurally unique (a two-value-join template of its own), so
+    // its template is retired and re-created once per pool rotation.
+    let pool: Vec<mmqjp_xscl::XsclQuery> = (0..16)
+        .map(|i| {
+            let text = if i == 0 {
+                "S//item->lr[.//f0->l0][.//f1->l1] FOLLOWED BY{l0=r0 AND l1=r1, 30} \
+                 S//item->rr[.//f0->r0][.//f1->r1]"
+                    .to_owned()
+            } else {
+                format!(
+                    "S//item->lr[.//f{i}->l0] FOLLOWED BY{{l0=r0, {}}} S//item->rr[.//f{i}->r0]",
+                    30 + 10 * (i % 3) as u64
+                )
+            };
+            mmqjp_xscl::parse_query(&text).unwrap()
+        })
+        .collect();
+    let doc = |i: u64| {
+        let mut b = mmqjp_xml::DocumentBuilder::new("item");
+        for tag in 0..6 {
+            b.child_text(format!("f{tag}"), "v0");
+        }
+        b.finish().with_timestamp(Timestamp(1 + i * 5))
+    };
+
+    const POPULATION: usize = 12;
+    const CYCLES: usize = 10_000;
+    const DOC_EVERY: usize = 8;
+    let mut engine = MmqjpEngine::new(
+        EngineConfig::mmqjp()
+            .with_prune_state_by_window(true)
+            .with_retain_documents(true),
+    );
+    let mut live: std::collections::VecDeque<mmqjp_core::QueryId> =
+        std::collections::VecDeque::new();
+    for q in pool.iter().cycle().take(POPULATION) {
+        live.push_back(engine.register_query(q.clone()).unwrap());
+    }
+
+    let mut matches = 0usize;
+    let mut docs_sent = 0u64;
+    let mut warm = None;
+    let mut later_max = mmqjp_core::EngineStats::default();
+    for cycle in 0..CYCLES {
+        // One churn cycle: a new subscription arrives, the oldest departs —
+        // the live population stays at POPULATION throughout.
+        live.push_back(
+            engine
+                .register_query(pool[cycle % pool.len()].clone())
+                .unwrap(),
+        );
+        let oldest = live.pop_front().expect("population is non-empty");
+        engine.unregister_query(oldest).unwrap();
+        if cycle % DOC_EVERY == 0 {
+            docs_sent += 1;
+            matches += engine.process_document(doc(docs_sent)).unwrap().len();
+        }
+        if cycle == CYCLES / 10 {
+            warm = Some(engine.stats());
+        } else if cycle > CYCLES / 10 && cycle % 25 == 0 {
+            let stats = engine.stats();
+            later_max.queries_registered =
+                later_max.queries_registered.max(stats.queries_registered);
+            later_max.templates = later_max.templates.max(stats.templates);
+            later_max.distinct_patterns = later_max.distinct_patterns.max(stats.distinct_patterns);
+            later_max.state_buckets = later_max.state_buckets.max(stats.state_buckets);
+            later_max.docs_retained = later_max.docs_retained.max(stats.docs_retained);
+        }
+    }
+    let warm = warm.expect("warmup snapshot taken");
+    assert!(matches > 0, "the stream must keep matching through churn");
+    let stats = engine.stats();
+    assert_eq!(
+        stats.queries_registered, POPULATION,
+        "live population is stable"
+    );
+    assert_eq!(stats.queries_unregistered, CYCLES);
+    // Populations plateau: the post-warmup maxima never exceed small
+    // constants tied to the pool, not to the cycle count.
+    assert_eq!(later_max.queries_registered, POPULATION);
+    assert!(
+        later_max.templates <= warm.templates + 1,
+        "templates grew: {} -> {}",
+        warm.templates,
+        later_max.templates
+    );
+    assert!(
+        later_max.distinct_patterns <= warm.distinct_patterns + 2,
+        "patterns grew: {} -> {}",
+        warm.distinct_patterns,
+        later_max.distinct_patterns
+    );
+    assert!(
+        later_max.state_buckets <= warm.state_buckets * 2 + 8,
+        "state buckets grew: {} -> {}",
+        warm.state_buckets,
+        later_max.state_buckets
+    );
+    assert!(
+        later_max.docs_retained <= warm.docs_retained * 2 + 8,
+        "doc store grew: {} -> {}",
+        warm.docs_retained,
+        later_max.docs_retained
+    );
+    // Retirement kept pace with churn: patterns and templates were dropped
+    // throughout, not leaked.
+    assert!(stats.patterns_dropped > 0);
+    assert!(stats.templates_retired > 0);
+}
+
+// ---------------------------------------------------------------------------
 // Incremental expiry == fresh engine on the in-window suffix
 // ---------------------------------------------------------------------------
 

@@ -12,7 +12,7 @@ fn three_example_queries_share_one_template_with_six_meta_variables() {
         let engine = engine_with_queries(mode, &[Q1, Q2, Q3]);
         assert_eq!(engine.num_queries(), 3);
         assert_eq!(engine.num_templates(), 1, "mode {mode:?}");
-        let template = &engine.registry().templates()[0];
+        let template = engine.registry().templates().next().unwrap();
         assert_eq!(template.template.num_meta_vars(), 6);
         // RT mirrors Table 4(a): one tuple per query, qid + 6 vars + wl.
         assert_eq!(template.rt.len(), 3);

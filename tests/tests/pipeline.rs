@@ -104,7 +104,7 @@ fn xscl_analysis_pipeline_is_consistent_with_engine_registration() {
     // Engine path: the engine must arrive at a template of the same shape.
     let mut engine = MmqjpEngine::new(EngineConfig::mmqjp());
     engine.register_query_text(text).unwrap();
-    let engine_template = &engine.registry().templates()[0].template;
+    let engine_template = &engine.registry().templates().next().unwrap().template;
     assert_eq!(engine_template.num_meta_vars(), 6);
     assert_eq!(engine_template.num_left(), 3);
     assert!(mmqjp_xscl::template::isomorphism(&reduced, &engine_template.graph).is_some());

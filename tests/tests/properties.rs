@@ -230,6 +230,30 @@ proptest! {
 // Engine-level properties
 // ---------------------------------------------------------------------------
 
+/// One step of a random subscription-churn script.
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    /// Register this query text.
+    Register(String),
+    /// Unregister one of the currently live registrations (`pick % live`
+    /// at replay time; a no-op when none are live).
+    Unregister(usize),
+    /// Process this document batch.
+    Batch(Vec<Document>),
+}
+
+/// Decode the raw generated tuples into a churn script: codes 0–1 register,
+/// 2 unregisters, 3–5 process a batch (so documents dominate the mix).
+fn decode_churn_ops(raw: Vec<(usize, String, usize, Vec<Document>)>) -> Vec<ChurnOp> {
+    raw.into_iter()
+        .map(|(code, query, pick, docs)| match code {
+            0 | 1 => ChurnOp::Register(query),
+            2 => ChurnOp::Unregister(pick),
+            _ => ChurnOp::Batch(docs),
+        })
+        .collect()
+}
+
 proptest! {
     // End-to-end cases are more expensive; keep the case count moderate.
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -309,6 +333,136 @@ proptest! {
         prop_assert_eq!(merged.documents_processed, docs.len() * num_shards);
         prop_assert_eq!(merged.results_emitted,
             per_shard.iter().map(|s| s.results_emitted).sum::<usize>());
+    }
+
+    #[test]
+    fn random_churn_interleavings_match_the_survivor_engine(
+        raw_ops in prop::collection::vec(
+            (
+                0usize..6,
+                flat_query_strategy(),
+                0usize..64,
+                prop::collection::vec(flat_document_strategy(), 1..3),
+            ),
+            1..16,
+        ),
+        mode_index in 0usize..3,
+    ) {
+        let ops = decode_churn_ops(raw_ops);
+        let mode = [
+            ProcessingMode::Sequential,
+            ProcessingMode::Mmqjp,
+            ProcessingMode::MmqjpViewMat,
+        ][mode_index];
+        let config = EngineConfig { mode, ..EngineConfig::default() }
+            .with_retain_documents(false);
+
+        // Resolve unregister targets against the ops seen so far, so every
+        // script is valid: an Unregister picks among the still-live earlier
+        // registrations (and becomes a no-op when none are live).
+        let mut churned = MmqjpEngine::new(config.clone());
+        let mut reference = MmqjpEngine::new(config);
+        let mut churned_ids: Vec<mmqjp_xscl::QueryId> = Vec::new();
+        let mut live: Vec<usize> = Vec::new(); // ordinals of live registrations
+        let mut doomed: Vec<usize> = Vec::new();
+
+        // Pass 1: determine which registrations survive (to know what the
+        // reference engine must hold) without touching an engine.
+        let mut reg_count = 0usize;
+        for op in &ops {
+            match op {
+                ChurnOp::Register(_) => {
+                    live.push(reg_count);
+                    reg_count += 1;
+                }
+                ChurnOp::Unregister(pick) => {
+                    if !live.is_empty() {
+                        doomed.push(live.remove(pick % live.len()));
+                    }
+                }
+                ChurnOp::Batch(_) => {}
+            }
+        }
+        let doomed_set: std::collections::HashSet<usize> = doomed.iter().copied().collect();
+
+        // Pass 2: replay. The reference engine registers only survivors, at
+        // the same stream positions.
+        let mut live: Vec<usize> = Vec::new();
+        let mut reg_ordinal = 0usize;
+        let mut ts = 0u64;
+        let mut survivors = std::collections::HashSet::new();
+        let mut churned_of_ref = std::collections::HashMap::new();
+        let mut total_unregs = 0usize;
+        let mut max_seen_id = None::<mmqjp_xscl::QueryId>;
+        for op in &ops {
+            match op {
+                ChurnOp::Register(text) => {
+                    let cid = churned.register_query_text(text).unwrap();
+                    // No QueryId reuse, ever: ids are strictly increasing.
+                    if let Some(prev) = max_seen_id {
+                        prop_assert!(cid > prev, "id {cid:?} reused after {prev:?}");
+                    }
+                    max_seen_id = Some(cid);
+                    churned_ids.push(cid);
+                    if !doomed_set.contains(&reg_ordinal) {
+                        survivors.insert(cid);
+                        let rid = reference.register_query_text(text).unwrap();
+                        churned_of_ref.insert(rid, cid);
+                    }
+                    live.push(reg_ordinal);
+                    reg_ordinal += 1;
+                }
+                ChurnOp::Unregister(pick) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let victim = live.remove(pick % live.len());
+                    let before = churned.stats();
+                    churned.unregister_query(churned_ids[victim]).unwrap();
+                    total_unregs += 1;
+                    let after = churned.stats();
+                    // Monotonicity under pure unregister: the live template
+                    // and pattern populations never grow.
+                    prop_assert!(after.templates <= before.templates);
+                    prop_assert!(after.distinct_patterns <= before.distinct_patterns);
+                    prop_assert_eq!(after.queries_registered, before.queries_registered - 1);
+                }
+                ChurnOp::Batch(docs) => {
+                    let mut batch = docs.clone();
+                    for d in batch.iter_mut() {
+                        ts += 10;
+                        d.set_timestamp(Timestamp(ts));
+                    }
+                    let mut got: Vec<_> = churned
+                        .process_batch(batch.clone())
+                        .unwrap()
+                        .into_iter()
+                        .filter(|m| survivors.contains(&m.query))
+                        .collect();
+                    let mut expected: Vec<_> = reference
+                        .process_batch(batch)
+                        .unwrap()
+                        .into_iter()
+                        .map(|mut m| {
+                            m.query = churned_of_ref[&m.query];
+                            m
+                        })
+                        .collect();
+                    sort_matches(&mut got);
+                    sort_matches(&mut expected);
+                    prop_assert_eq!(got, expected, "churned diverged in {:?}", mode);
+                }
+            }
+        }
+        // Exact lifecycle counters.
+        let stats = churned.stats();
+        prop_assert_eq!(stats.queries_unregistered, total_unregs);
+        prop_assert_eq!(stats.queries_registered, churned_ids.len() - total_unregs);
+        prop_assert_eq!(stats.queries_registered, survivors.len());
+        // The surviving populations agree with the reference engine.
+        let ref_stats = reference.stats();
+        prop_assert_eq!(stats.templates, ref_stats.templates);
+        prop_assert_eq!(stats.distinct_patterns, ref_stats.distinct_patterns);
     }
 
     #[test]
