@@ -7,7 +7,10 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mmqjp_core::{EngineConfig, MmqjpEngine};
-use mmqjp_relational::{ops, Relation, Schema, Value};
+use mmqjp_relational::{
+    ops, Atom, ConjunctiveQuery, Database, ExecScratch, PhysicalPlan, PlanInput, Relation, Schema,
+    Term, Value,
+};
 use mmqjp_workload::{FlatSchemaWorkload, RssQueryGenerator, RssStreamConfig, RssStreamGenerator};
 use mmqjp_xpath::{parse_pattern, PatternMatcher};
 use mmqjp_xscl::{normalize_query, JoinGraph, ReducedGraph, TemplateCatalog};
@@ -26,6 +29,51 @@ fn bench_hash_join(c: &mut Criterion) {
     }
     c.bench_function("relational/hash_join_2k_x_2k", |b| {
         b.iter(|| ops::hash_join(&left, &right, &["k"], &["k"]).unwrap().len())
+    });
+}
+
+fn bench_rowid_vs_materializing_join(c: &mut Criterion) {
+    // The late-materialization contrast on one conjunctive join:
+    // `out(x, y) :- l(k, x), r(k, y)`. The materializing legs clone binding
+    // relations and combined tuples per call (ops::hash_join and the
+    // interpreting Database::evaluate); the row-id leg executes the compiled
+    // PhysicalPlan over borrowed inputs with pooled scratch, materializing
+    // only the final output tuples.
+    let mut left = Relation::new(Schema::new(["k", "x"]));
+    let mut right = Relation::new(Schema::new(["k", "y"]));
+    for i in 0..2000i64 {
+        left.push_values(vec![Value::Int(i % 200), Value::Int(i)])
+            .unwrap();
+        right
+            .push_values(vec![Value::Int(i % 300), Value::Int(i)])
+            .unwrap();
+    }
+    let cq = ConjunctiveQuery::new(["x", "y"])
+        .atom(Atom::new("l", [Term::var("k"), Term::var("x")]))
+        .atom(Atom::new("r", [Term::var("k"), Term::var("y")]));
+    let mut db = Database::new();
+    db.register("l", left.clone());
+    db.register("r", right.clone());
+
+    c.bench_function("relational/materializing_join_interpreted_2k", |b| {
+        b.iter(|| db.evaluate(&cq).unwrap().len())
+    });
+
+    let plan = PhysicalPlan::compile(&cq, |_| Some(2)).unwrap();
+    let inputs: Vec<PlanInput<'_>> = plan
+        .relations()
+        .iter()
+        .map(|name| {
+            if name == "l" {
+                PlanInput::from(&left)
+            } else {
+                PlanInput::from(&right)
+            }
+        })
+        .collect();
+    let mut scratch = ExecScratch::new();
+    c.bench_function("relational/rowid_join_compiled_2k", |b| {
+        b.iter(|| plan.execute(&inputs, &mut scratch, false).len())
     });
 }
 
@@ -126,6 +174,7 @@ criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_hash_join,
+        bench_rowid_vs_materializing_join,
         bench_pattern_matching,
         bench_template_insertion,
         bench_query_registration,

@@ -17,7 +17,8 @@
 //! the node bound at meta-variable position `i`, `v{i}` the variable-name
 //! symbol at position `i`, `s{e}` the string value of value-join edge `e`.
 
-use mmqjp_relational::{Atom, ConjunctiveQuery, StringInterner, Term, Value};
+use crate::relations::schemas;
+use mmqjp_relational::{Atom, ConjunctiveQuery, PhysicalPlan, StringInterner, Term, Value};
 use mmqjp_xscl::{QueryTemplate, Side};
 
 /// Name of the `Rdoc` relation in the engine database.
@@ -36,6 +37,58 @@ pub const RR: &str = "RR";
 /// Name of the `RT` relation for a template index.
 pub fn rt_name(template_index: usize) -> String {
     format!("RT_{template_index}")
+}
+
+/// Arity of an engine relation by name, for plan compilation. `rt_name` /
+/// `rt_arity` describe the one template-specific relation; everything else
+/// has a fixed schema (see [`schemas`]).
+pub(crate) fn relation_arity(name: &str, rt_name: &str, rt_arity: usize) -> Option<usize> {
+    match name {
+        RBIN | RBIN_W => Some(schemas::bin().arity()),
+        RDOC | RDOC_W => Some(schemas::doc().arity()),
+        RL => Some(schemas::rl().arity()),
+        RR => Some(schemas::rr().arity()),
+        n if n == rt_name => Some(rt_arity),
+        _ => None,
+    }
+}
+
+/// Which engine relation each of a compiled plan's input slots reads.
+/// Resolved once at registration so `process_batch` never matches relation
+/// *names* on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PlanInputKind {
+    /// The segmented `Rbin` join state.
+    Rbin,
+    /// The segmented `Rdoc` join state.
+    Rdoc,
+    /// The current batch's `RbinW` witness relation.
+    RbinW,
+    /// The current batch's `RdocW` witness relation.
+    RdocW,
+    /// The per-batch `RL` intermediate (view-materialization mode).
+    Rl,
+    /// The per-batch `RR` intermediate (view-materialization mode).
+    Rr,
+    /// The owning template's `RT` relation.
+    Rt,
+}
+
+/// Map a compiled plan's input slots to [`PlanInputKind`]s.
+pub(crate) fn plan_input_kinds(plan: &PhysicalPlan, rt_name: &str) -> Vec<PlanInputKind> {
+    plan.relations()
+        .iter()
+        .map(|name| match name.as_str() {
+            RBIN => PlanInputKind::Rbin,
+            RDOC => PlanInputKind::Rdoc,
+            RBIN_W => PlanInputKind::RbinW,
+            RDOC_W => PlanInputKind::RdocW,
+            RL => PlanInputKind::Rl,
+            RR => PlanInputKind::Rr,
+            n if n == rt_name => PlanInputKind::Rt,
+            other => unreachable!("engine CQTs never reference relation `{other}`"),
+        })
+        .collect()
 }
 
 fn n(i: usize) -> Term {

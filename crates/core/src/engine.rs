@@ -2,19 +2,21 @@
 //! of registered XSCL queries (Algorithms 1–5 of the paper).
 
 use crate::config::{EngineConfig, ProcessingMode};
-use crate::cqt;
+use crate::cqt::PlanInputKind;
 use crate::error::{CoreError, CoreResult};
 use crate::output::{construct_join_output, Binding, MatchOutput};
 use crate::registry::{QueryRuntime, Registration, Registry};
-use crate::relations::{schemas, WitnessBatch};
+use crate::relations::{rl_row, schemas, WitnessBatch};
 use crate::state::{key_int, key_sym, JoinState};
 use crate::stats::{EngineStats, PhaseTimings};
 use crate::view_cache::ViewCache;
-use mmqjp_relational::{ConjunctiveQuery, Database, Relation, StringInterner, Symbol, Value};
+use mmqjp_relational::{
+    ChunkedRows, ExecScratch, FxHashMap, PlanInput, Relation, StringInterner, Symbol, Value,
+};
 use mmqjp_xml::{DocId, Document, NodeId};
 use mmqjp_xpath::{PatternMatcher, TreePattern};
 use mmqjp_xscl::{JoinOp, QueryId, SelectClause, Side, XsclQuery};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -33,6 +35,9 @@ pub struct MmqjpEngine {
     /// per-bucket secondary indexes and the document-retention maps.
     state: JoinState,
     view_cache: ViewCache,
+    /// Pooled executor buffers (selection vectors, join hash tables,
+    /// row-id intermediates) reused by every plan execution of this engine.
+    scratch: ExecScratch,
     stats: EngineStats,
     next_doc_seq: u64,
     newest_timestamp: u64,
@@ -56,6 +61,7 @@ impl MmqjpEngine {
             registry: Registry::new(Arc::clone(&interner)),
             state: JoinState::new(config.prune_state_by_window),
             view_cache,
+            scratch: ExecScratch::new(),
             stats: EngineStats::default(),
             next_doc_seq: 0,
             newest_timestamp: 0,
@@ -79,6 +85,9 @@ impl MmqjpEngine {
         s.rdoc_tuples = self.state.rdoc_len();
         s.state_buckets = self.state.num_buckets();
         s.docs_retained = self.state.docs_retained();
+        s.plans_compiled = self.registry.plans_compiled();
+        s.rows_materialized = self.scratch.rows_materialized() as usize;
+        s.scratch_reuses = self.scratch.scratch_reuses() as usize;
         let vc = self.view_cache.stats();
         s.view_cache_hits = vc.hits;
         s.view_cache_misses = vc.misses;
@@ -232,12 +241,49 @@ impl MmqjpEngine {
         timings.xpath += t0.elapsed();
 
         // ---- Stage 2: value-join processing --------------------------------
+        // The compiled plans execute over *borrowed* state: the registry's
+        // templates (plans and RT relations), the segmented join state and
+        // the batch's witness relations are read in place — nothing is
+        // cloned or moved per batch. Split field borrows keep the scratch
+        // pool and view cache writable alongside.
         let mut outputs = single_block_outputs;
+        // The per-batch RbinW index built during view-materialized
+        // evaluation is handed on to maintenance so it is never built twice.
+        let mut rbinw_index: Option<RbinwByDocnode> = None;
         if self.registry.num_templates() > 0 && !batch.is_empty() {
             let result_rows = match self.config.mode {
-                ProcessingMode::Sequential => self.evaluate_sequential(&batch, &mut timings)?,
-                ProcessingMode::Mmqjp => self.evaluate_mmqjp(&batch, false, &mut timings)?,
-                ProcessingMode::MmqjpViewMat => self.evaluate_mmqjp(&batch, true, &mut timings)?,
+                ProcessingMode::Sequential => evaluate_sequential(
+                    &self.registry,
+                    &self.state,
+                    &mut self.scratch,
+                    &batch,
+                    &mut timings,
+                )?,
+                ProcessingMode::Mmqjp => {
+                    let (rows, _) = evaluate_mmqjp(
+                        &self.registry,
+                        &self.state,
+                        &mut self.view_cache,
+                        &mut self.scratch,
+                        &batch,
+                        false,
+                        &mut timings,
+                    )?;
+                    rows
+                }
+                ProcessingMode::MmqjpViewMat => {
+                    let (rows, index) = evaluate_mmqjp(
+                        &self.registry,
+                        &self.state,
+                        &mut self.view_cache,
+                        &mut self.scratch,
+                        &batch,
+                        true,
+                        &mut timings,
+                    )?;
+                    rbinw_index = index;
+                    rows
+                }
             };
             let t_out = Instant::now();
             for (rid, rows) in result_rows {
@@ -248,7 +294,7 @@ impl MmqjpEngine {
 
         // ---- Maintenance (Algorithm 2 / 5) ---------------------------------
         let t_maint = Instant::now();
-        let maintenance = self.maintain_state(&batch, &prepared_docs);
+        let maintenance = self.maintain_state(batch, &prepared_docs, rbinw_index);
         timings.maintenance += t_maint.elapsed();
         maintenance?;
 
@@ -256,252 +302,6 @@ impl MmqjpEngine {
         self.stats.results_emitted += outputs.len();
         self.stats.timings += timings;
         Ok(outputs)
-    }
-
-    // --------------------------------------------------------------------
-    // Stage-2 evaluation strategies
-    // --------------------------------------------------------------------
-
-    /// Evaluate all templates with the basic or materialized conjunctive
-    /// queries. Returns, per result relation, `(rid filter, rows)` where
-    /// `rid = -1` marks template results (which carry their own qid column).
-    fn evaluate_mmqjp(
-        &mut self,
-        batch: &WitnessBatch,
-        materialized: bool,
-        timings: &mut PhaseTimings,
-    ) -> CoreResult<Vec<(i64, Relation)>> {
-        let (rl, rr) = if materialized {
-            let (rl, rr) = self.compute_rl_rr(batch, timings)?;
-            (Some(rl), Some(rr))
-        } else {
-            (None, None)
-        };
-
-        let t0 = Instant::now();
-        // The per-template conjunctive queries, cloned up front so the
-        // registry is free while the evaluation database holds its
-        // relations. Retired template slots are skipped.
-        let template_cqts: Vec<ConjunctiveQuery> = self
-            .registry
-            .templates()
-            .map(|t| {
-                if materialized {
-                    t.cqt_materialized.clone()
-                } else {
-                    t.cqt_basic.clone()
-                }
-            })
-            .collect();
-        let db = self.build_database(batch, rl, rr);
-        let mut results = Ok(Vec::new());
-        for cq in template_cqts {
-            // Collect instead of `?`: the join state and RT relations live
-            // inside `db` until restore_database, and an early return would
-            // drop them all.
-            match db.evaluate(&cq) {
-                Ok(rows) => {
-                    let rows = rows.distinct();
-                    if !rows.is_empty() {
-                        if let Ok(results) = results.as_mut() {
-                            results.push((-1, rows));
-                        }
-                    }
-                }
-                Err(e) => {
-                    results = Err(e);
-                    break;
-                }
-            }
-        }
-        self.restore_database(db);
-        timings.conjunctive += t0.elapsed();
-        Ok(results?)
-    }
-
-    /// Evaluate every registered query independently (the paper's Sequential
-    /// baseline).
-    fn evaluate_sequential(
-        &mut self,
-        batch: &WitnessBatch,
-        timings: &mut PhaseTimings,
-    ) -> CoreResult<Vec<(i64, Relation)>> {
-        let t0 = Instant::now();
-        // Per-orientation conjunctive queries of the live population, in
-        // query-id order (tombstoned queries are skipped).
-        let per_query_cqts: Vec<(i64, ConjunctiveQuery)> = self
-            .registry
-            .queries()
-            .flat_map(|q| {
-                q.registrations
-                    .iter()
-                    .map(|r| (r.rid, r.sequential_cqt.clone()))
-            })
-            .collect();
-        let db = self.build_database(batch, None, None);
-        let mut results = Ok(Vec::new());
-        for (rid, cq) in per_query_cqts {
-            // Collect instead of `?` — see evaluate_mmqjp.
-            match db.evaluate(&cq) {
-                Ok(rows) => {
-                    let rows = rows.distinct();
-                    if !rows.is_empty() {
-                        if let Ok(results) = results.as_mut() {
-                            results.push((rid, rows));
-                        }
-                    }
-                }
-                Err(e) => {
-                    results = Err(e);
-                    break;
-                }
-            }
-        }
-        self.restore_database(db);
-        timings.conjunctive += t0.elapsed();
-        Ok(results?)
-    }
-
-    /// Compute the shared `RL` and `RR` intermediates (Algorithm 4, lines
-    /// 2–8), consulting and maintaining the view cache for `RL` slices.
-    fn compute_rl_rr(
-        &mut self,
-        batch: &WitnessBatch,
-        timings: &mut PhaseTimings,
-    ) -> CoreResult<(Relation, Relation)> {
-        // STR: distinct string values of the current batch that also occur in
-        // the join state (a semi-join of RdocW with Rdoc on strVal).
-        let t_rvj = Instant::now();
-        let mut str_values: Vec<Symbol> = Vec::new();
-        let mut seen: HashSet<Symbol> = HashSet::new();
-        // Per-batch index of RdocW rows by string value and of RbinW rows by
-        // (docid, node2), used to build the RR slices.
-        let mut rdocw_by_str: HashMap<Symbol, Vec<usize>> = HashMap::new();
-        for (i, row) in batch.rdoc_w.iter().enumerate() {
-            let sym = key_sym(row, 2, "RdocW", "strVal")?;
-            if self.state.contains_strval(sym) && seen.insert(sym) {
-                str_values.push(sym);
-            }
-            rdocw_by_str.entry(sym).or_default().push(i);
-        }
-        let mut rbinw_by_docnode: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
-        for (i, row) in batch.rbin_w.iter().enumerate() {
-            let key = (
-                key_int(row, 0, "RbinW", "docid")?,
-                key_int(row, 4, "RbinW", "node2")?,
-            );
-            rbinw_by_docnode.entry(key).or_default().push(i);
-        }
-        timings.compute_rvj += t_rvj.elapsed();
-
-        // RL slices: from the cache when possible, otherwise computed from
-        // Rdoc ⋈ Rbin.
-        let t_rl = Instant::now();
-        let mut rl = Relation::new(schemas::rl());
-        for &s in &str_values {
-            if let Some(slice) = self.view_cache.get(s) {
-                rl.extend_from(slice).expect("cached slice has RL schema");
-                continue;
-            }
-            let slice = self.state.rl_slice(s)?;
-            rl.extend_from(&slice)
-                .expect("computed slice has RL schema");
-            self.view_cache.insert(s, slice);
-        }
-        timings.compute_rl += t_rl.elapsed();
-
-        // RR slices: always computed (they involve the current document).
-        let t_rr = Instant::now();
-        let mut rr = Relation::new(schemas::rl());
-        for &s in &str_values {
-            for &doc_row in rdocw_by_str.get(&s).map(|v| v.as_slice()).unwrap_or(&[]) {
-                let row = &batch.rdoc_w.tuples()[doc_row];
-                let docid = key_int(row, 0, "RdocW", "docid")?;
-                let node = key_int(row, 1, "RdocW", "node")?;
-                for &bin_row in rbinw_by_docnode
-                    .get(&(docid, node))
-                    .map(|v| v.as_slice())
-                    .unwrap_or(&[])
-                {
-                    let b = &batch.rbin_w.tuples()[bin_row];
-                    rr.push_values(vec![
-                        b[0].clone(),
-                        b[1].clone(),
-                        b[2].clone(),
-                        b[3].clone(),
-                        b[4].clone(),
-                        Value::Sym(s),
-                    ])
-                    .expect("RR arity");
-                }
-            }
-        }
-        timings.compute_rr += t_rr.elapsed();
-        Ok((rl, rr))
-    }
-
-    // --------------------------------------------------------------------
-    // Database assembly
-    // --------------------------------------------------------------------
-
-    /// Move the persistent relations (and per-batch relations) into a
-    /// [`Database`] for conjunctive-query evaluation. The segmented join
-    /// state moves in without flattening — the evaluator iterates both
-    /// layouts through the same code path.
-    fn build_database(
-        &mut self,
-        batch: &WitnessBatch,
-        rl: Option<Relation>,
-        rr: Option<Relation>,
-    ) -> Database {
-        let mut db = Database::new();
-        db.register(cqt::RBIN, self.state.take_rbin());
-        db.register(cqt::RDOC, self.state.take_rdoc());
-        db.register(cqt::RBIN_W, batch.rbin_w.clone());
-        db.register(cqt::RDOC_W, batch.rdoc_w.clone());
-        if let Some(rl) = rl {
-            db.register(cqt::RL, rl);
-        }
-        if let Some(rr) = rr {
-            db.register(cqt::RR, rr);
-        }
-        for (i, slot) in self.registry.template_slots_mut().iter_mut().enumerate() {
-            let Some(t) = slot.as_mut() else {
-                continue; // retired template: no RT relation to move
-            };
-            let arity = t.template.num_meta_vars();
-            db.register(
-                cqt::rt_name(i),
-                std::mem::replace(&mut t.rt, Relation::new(schemas::rt(arity))),
-            );
-        }
-        db
-    }
-
-    /// Move the persistent relations back out of the evaluation database.
-    fn restore_database(&mut self, mut db: Database) {
-        self.state.restore_rbin(
-            db.remove(cqt::RBIN)
-                .expect("Rbin was registered")
-                .into_segmented()
-                .expect("Rbin is stored segmented"),
-        );
-        self.state.restore_rdoc(
-            db.remove(cqt::RDOC)
-                .expect("Rdoc was registered")
-                .into_segmented()
-                .expect("Rdoc is stored segmented"),
-        );
-        for (i, slot) in self.registry.template_slots_mut().iter_mut().enumerate() {
-            let Some(t) = slot.as_mut() else {
-                continue;
-            };
-            t.rt = db
-                .remove(&cqt::rt_name(i))
-                .expect("RT relation was registered")
-                .into_flat()
-                .expect("RT is stored flat");
-        }
     }
 
     // --------------------------------------------------------------------
@@ -724,22 +524,24 @@ impl MmqjpEngine {
     // State maintenance (Algorithm 2 / Algorithm 5)
     // --------------------------------------------------------------------
 
-    fn maintain_state(&mut self, batch: &WitnessBatch, docs: &[Document]) -> CoreResult<()> {
+    fn maintain_state(
+        &mut self,
+        batch: WitnessBatch,
+        docs: &[Document],
+        rbinw_index: Option<RbinwByDocnode>,
+    ) -> CoreResult<()> {
         // Algorithm 5: fold the current documents' RR contributions into the
         // cached RL slices so future documents find them materialized.
         if self.config.mode == ProcessingMode::MmqjpViewMat {
             // Group the batch's RdocW rows by string value and append the
             // corresponding RbinW rows to the matching cache slices (only for
             // string values already cached — new values will be computed on
-            // first use).
-            let mut rbinw_by_docnode: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
-            for (i, row) in batch.rbin_w.iter().enumerate() {
-                let key = (
-                    key_int(row, 0, "RbinW", "docid")?,
-                    key_int(row, 4, "RbinW", "node2")?,
-                );
-                rbinw_by_docnode.entry(key).or_default().push(i);
-            }
+            // first use). The RbinW index was usually already built during
+            // evaluation; it is only rebuilt when Stage 2 was skipped.
+            let rbinw_by_docnode = match rbinw_index {
+                Some(index) => index,
+                None => rbinw_by_docnode(&batch)?,
+            };
             for row in batch.rdoc_w.iter() {
                 let sym = key_sym(row, 2, "RdocW", "strVal")?;
                 if !self.view_cache.contains(sym) {
@@ -754,16 +556,7 @@ impl MmqjpEngine {
                     .unwrap_or(&[])
                 {
                     let b = &batch.rbin_w.tuples()[bin_row];
-                    addition
-                        .push_values(vec![
-                            b[0].clone(),
-                            b[1].clone(),
-                            b[2].clone(),
-                            b[3].clone(),
-                            b[4].clone(),
-                            Value::Sym(sym),
-                        ])
-                        .expect("RL arity");
+                    addition.push_values(rl_row(b, sym)).expect("RL arity");
                 }
                 if !addition.is_empty() {
                     self.view_cache.append(sym, &addition);
@@ -781,6 +574,8 @@ impl MmqjpEngine {
             None => self.width_hint().map(JoinState::derive_width),
         };
         self.state.ensure_width(derived)?;
+        // The batch is consumed here: its witness rows move whole into the
+        // segmented store, no per-row field copies.
         self.state
             .absorb(batch, docs, self.config.retain_documents)?;
 
@@ -830,6 +625,231 @@ impl MmqjpEngine {
             self.config.doc_retention_cap,
         )
     }
+}
+
+// ------------------------------------------------------------------------
+// Stage-2 evaluation strategies (compiled-plan execution)
+// ------------------------------------------------------------------------
+//
+// These are free functions over the engine's parts (registry, state, view
+// cache, scratch) rather than `&mut self` methods so the borrow checker can
+// see that plan execution only *reads* the registry and join state while
+// writing the scratch pool — which is what lets the hot path run without
+// moving or cloning any relation.
+
+/// The per-batch evaluation context: chunked views over the segmented join
+/// state (built once, O(#buckets)), the batch's witness relations and the
+/// optional `RL`/`RR` intermediates. Every plan execution of the batch
+/// resolves its input slots against this.
+struct EvalInputs<'a> {
+    rbin: ChunkedRows<'a>,
+    rdoc: ChunkedRows<'a>,
+    batch: &'a WitnessBatch,
+    rl: Option<Relation>,
+    rr: Option<Relation>,
+}
+
+impl<'a> EvalInputs<'a> {
+    fn new(state: &'a JoinState, batch: &'a WitnessBatch) -> Self {
+        EvalInputs {
+            rbin: ChunkedRows::from_segmented(state.rbin()),
+            rdoc: ChunkedRows::from_segmented(state.rdoc()),
+            batch,
+            rl: None,
+            rr: None,
+        }
+    }
+
+    /// Resolve a plan's input slots for one execution. `rt` is the owning
+    /// template's `RT` relation (`None` for per-query plans, which never
+    /// reference one).
+    fn resolve<'b>(
+        &'b self,
+        kinds: &[PlanInputKind],
+        rt: Option<&'b Relation>,
+        inputs: &mut Vec<PlanInput<'b>>,
+    ) {
+        inputs.clear();
+        for kind in kinds {
+            inputs.push(match kind {
+                PlanInputKind::Rbin => PlanInput::from(&self.rbin),
+                PlanInputKind::Rdoc => PlanInput::from(&self.rdoc),
+                PlanInputKind::RbinW => PlanInput::from(&self.batch.rbin_w),
+                PlanInputKind::RdocW => PlanInput::from(&self.batch.rdoc_w),
+                PlanInputKind::Rl => PlanInput::from(
+                    self.rl
+                        .as_ref()
+                        .expect("RL is computed in materialized mode"),
+                ),
+                PlanInputKind::Rr => PlanInput::from(
+                    self.rr
+                        .as_ref()
+                        .expect("RR is computed in materialized mode"),
+                ),
+                PlanInputKind::Rt => PlanInput::from(rt.expect("template plans carry an RT input")),
+            });
+        }
+    }
+}
+
+/// Per-batch index of `RbinW` rows by `(docid, node2)`, used both to build
+/// the `RR` slices and to fold the batch into cached `RL` slices.
+type RbinwByDocnode = FxHashMap<(i64, i64), Vec<usize>>;
+
+/// One Stage-2 result set: `(rid filter, rows)` per non-empty evaluation,
+/// where `rid = -1` marks template results (which carry their own qid
+/// column).
+type ResultRows = Vec<(i64, Relation)>;
+
+/// Build the [`RbinwByDocnode`] index for a batch.
+fn rbinw_by_docnode(batch: &WitnessBatch) -> CoreResult<RbinwByDocnode> {
+    let mut index: RbinwByDocnode = FxHashMap::default();
+    for (i, row) in batch.rbin_w.iter().enumerate() {
+        let key = (
+            key_int(row, 0, "RbinW", "docid")?,
+            key_int(row, 4, "RbinW", "node2")?,
+        );
+        index.entry(key).or_default().push(i);
+    }
+    Ok(index)
+}
+
+/// Evaluate all templates with their compiled basic or materialized plans.
+/// Returns, per result relation, `(rid filter, rows)` where `rid = -1` marks
+/// template results (which carry their own qid column), plus — in
+/// materialized mode — the batch's `RbinW` index so maintenance can reuse
+/// it instead of rebuilding it.
+fn evaluate_mmqjp(
+    registry: &Registry,
+    state: &JoinState,
+    view_cache: &mut ViewCache,
+    scratch: &mut ExecScratch,
+    batch: &WitnessBatch,
+    materialized: bool,
+    timings: &mut PhaseTimings,
+) -> CoreResult<(ResultRows, Option<RbinwByDocnode>)> {
+    let mut ctx = EvalInputs::new(state, batch);
+    let mut rbinw_index = None;
+    if materialized {
+        let (rl, rr, index) = compute_rl_rr(state, view_cache, batch, timings)?;
+        ctx.rl = Some(rl);
+        ctx.rr = Some(rr);
+        rbinw_index = Some(index);
+    }
+
+    let t0 = Instant::now();
+    let mut results = Vec::new();
+    let mut inputs: Vec<PlanInput<'_>> = Vec::new();
+    for t in registry.templates() {
+        let (plan, kinds) = if materialized {
+            (t.plan_materialized.as_ref(), &t.inputs_materialized)
+        } else {
+            (t.plan_basic.as_ref(), &t.inputs_basic)
+        };
+        let plan = plan.expect("the plan variant for the engine's mode is compiled");
+        ctx.resolve(kinds, Some(&t.rt), &mut inputs);
+        let rows = plan.execute(&inputs, scratch, true);
+        if !rows.is_empty() {
+            results.push((-1, rows));
+        }
+    }
+    timings.conjunctive += t0.elapsed();
+    Ok((results, rbinw_index))
+}
+
+/// Evaluate every registered query's compiled per-query plan independently
+/// (the paper's Sequential baseline).
+fn evaluate_sequential(
+    registry: &Registry,
+    state: &JoinState,
+    scratch: &mut ExecScratch,
+    batch: &WitnessBatch,
+    timings: &mut PhaseTimings,
+) -> CoreResult<ResultRows> {
+    let t0 = Instant::now();
+    let ctx = EvalInputs::new(state, batch);
+    let mut results = Vec::new();
+    let mut inputs: Vec<PlanInput<'_>> = Vec::new();
+    // Live queries in query-id order; tombstoned queries are skipped.
+    for q in registry.queries() {
+        for r in &q.registrations {
+            let Some(plan) = r.sequential_plan.as_ref() else {
+                continue; // registered under an MMQJP mode; never evaluated
+            };
+            ctx.resolve(&r.sequential_inputs, None, &mut inputs);
+            let rows = plan.execute(&inputs, scratch, true);
+            if !rows.is_empty() {
+                results.push((r.rid, rows));
+            }
+        }
+    }
+    timings.conjunctive += t0.elapsed();
+    Ok(results)
+}
+
+/// Compute the shared `RL` and `RR` intermediates (Algorithm 4, lines 2–8),
+/// consulting and maintaining the view cache for `RL` slices. Also returns
+/// the batch's `RbinW` index for reuse by state maintenance.
+fn compute_rl_rr(
+    state: &JoinState,
+    view_cache: &mut ViewCache,
+    batch: &WitnessBatch,
+    timings: &mut PhaseTimings,
+) -> CoreResult<(Relation, Relation, RbinwByDocnode)> {
+    // STR: distinct string values of the current batch that also occur in
+    // the join state (a semi-join of RdocW with Rdoc on strVal).
+    let t_rvj = Instant::now();
+    let mut str_values: Vec<Symbol> = Vec::new();
+    let mut seen: HashSet<Symbol> = HashSet::new();
+    // Per-batch index of RdocW rows by string value and of RbinW rows by
+    // (docid, node2), used to build the RR slices.
+    let mut rdocw_by_str: FxHashMap<Symbol, Vec<usize>> = FxHashMap::default();
+    for (i, row) in batch.rdoc_w.iter().enumerate() {
+        let sym = key_sym(row, 2, "RdocW", "strVal")?;
+        if state.contains_strval(sym) && seen.insert(sym) {
+            str_values.push(sym);
+        }
+        rdocw_by_str.entry(sym).or_default().push(i);
+    }
+    let rbinw_by_docnode = rbinw_by_docnode(batch)?;
+    timings.compute_rvj += t_rvj.elapsed();
+
+    // RL slices: from the cache when possible, otherwise computed from
+    // Rdoc ⋈ Rbin.
+    let t_rl = Instant::now();
+    let mut rl = Relation::new(schemas::rl());
+    for &s in &str_values {
+        if let Some(slice) = view_cache.get(s) {
+            rl.extend_from(slice).expect("cached slice has RL schema");
+            continue;
+        }
+        let slice = state.rl_slice(s)?;
+        rl.extend_from(&slice)
+            .expect("computed slice has RL schema");
+        view_cache.insert(s, slice);
+    }
+    timings.compute_rl += t_rl.elapsed();
+
+    // RR slices: always computed (they involve the current document).
+    let t_rr = Instant::now();
+    let mut rr = Relation::new(schemas::rl());
+    for &s in &str_values {
+        for &doc_row in rdocw_by_str.get(&s).map(|v| v.as_slice()).unwrap_or(&[]) {
+            let row = &batch.rdoc_w.tuples()[doc_row];
+            let docid = key_int(row, 0, "RdocW", "docid")?;
+            let node = key_int(row, 1, "RdocW", "node")?;
+            for &bin_row in rbinw_by_docnode
+                .get(&(docid, node))
+                .map(|v| v.as_slice())
+                .unwrap_or(&[])
+            {
+                let b = &batch.rbin_w.tuples()[bin_row];
+                rr.push_values(rl_row(b, s)).expect("RR arity");
+            }
+        }
+    }
+    timings.compute_rr += t_rr.elapsed();
+    Ok((rl, rr, rbinw_by_docnode))
 }
 
 /// The smaller of two optional bounds; `None` only when both are absent.
@@ -1054,6 +1074,60 @@ mod tests {
         assert_eq!(e.config().mode, ProcessingMode::MmqjpViewMat);
         assert!(!e.interner().is_empty());
         assert_eq!(e.registry().num_queries(), 3);
+    }
+
+    #[test]
+    fn hot_path_executes_compiled_plans_from_pooled_scratch() {
+        // The no-per-batch-allocation contract: plans are compiled once at
+        // registration (never per batch), every execution after the first
+        // runs on the engine's pooled scratch buffers, and result rows are
+        // materialized exactly once. CQs and witness relations are never
+        // cloned on the hot path — the old build/restore database round
+        // trip is gone, so the only per-batch products are these counters.
+        for config in [
+            EngineConfig::sequential(),
+            EngineConfig::mmqjp(),
+            EngineConfig::mmqjp_view_mat(),
+        ] {
+            let mode = config.mode;
+            let mut e = engine(config);
+            let plans_after_registration = e.stats().plans_compiled;
+            match mode {
+                // Three queries share one template; exactly the variant this
+                // mode executes is compiled.
+                ProcessingMode::Mmqjp | ProcessingMode::MmqjpViewMat => {
+                    assert_eq!(plans_after_registration, 1, "mode {mode:?}")
+                }
+                // One per-query plan per orientation, no template plans.
+                ProcessingMode::Sequential => {
+                    assert_eq!(plans_after_registration, 3, "mode {mode:?}")
+                }
+            }
+
+            let batches = 4u64;
+            for i in 0..batches {
+                e.process_document(d1().with_timestamp(Timestamp(10 + 2 * i)))
+                    .unwrap();
+            }
+            let out = e
+                .process_document(d2().with_timestamp(Timestamp(20)))
+                .unwrap();
+            assert!(!out.is_empty());
+            let stats = e.stats();
+            // Registration never happened again mid-stream.
+            assert_eq!(stats.plans_compiled, plans_after_registration);
+            // Every execution after the very first reused the pooled
+            // scratch: executions = batches x live plans of the mode.
+            let plans_per_batch = match mode {
+                ProcessingMode::Sequential => 3, // one per query orientation
+                _ => 1,                          // one per template
+            };
+            let executions = (batches as usize + 1) * plans_per_batch;
+            assert_eq!(stats.scratch_reuses, executions - 1, "mode {mode:?}");
+            // Late materialization: at least one row per emitted match was
+            // built, and none more than the distinct result rows.
+            assert!(stats.rows_materialized >= stats.results_emitted);
+        }
     }
 
     #[test]

@@ -14,10 +14,10 @@
 //! and the canonical output order deterministic across churn.
 
 use crate::config::ProcessingMode;
-use crate::cqt;
+use crate::cqt::{self, PlanInputKind};
 use crate::error::{CoreError, CoreResult};
 use crate::relations::schemas;
-use mmqjp_relational::{ConjunctiveQuery, Relation, StringInterner, Symbol, Value};
+use mmqjp_relational::{ConjunctiveQuery, PhysicalPlan, Relation, StringInterner, Symbol, Value};
 use mmqjp_xpath::{PatternId, PatternIndex, PatternNodeId, TreePattern};
 use mmqjp_xscl::{
     normalize_query, FromClause, JoinGraph, JoinOp, QueryId, QueryTemplate, ReducedGraph,
@@ -27,37 +27,80 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Runtime state of one query template: the representative template, its
-/// `RT` relation (one tuple per registered query orientation) and the two
-/// compiled conjunctive-query forms.
+/// `RT` relation (one tuple per registered query orientation), the two
+/// declarative conjunctive-query forms and the compiled physical plan for
+/// the variant the engine's mode executes.
 #[derive(Debug, Clone)]
 pub struct TemplateRuntime {
     /// The template.
     pub template: QueryTemplate,
     /// `RT(qid, var1, ..., varm, wl)` — one tuple per member orientation.
     pub rt: Relation,
-    /// Algorithm-1 conjunctive query over the base witness relations.
+    /// Algorithm-1 conjunctive query over the base witness relations (the
+    /// declarative form; execution uses [`plan_basic`](Self::plan_basic)).
     pub cqt_basic: ConjunctiveQuery,
     /// Algorithm-4 conjunctive query over `RL` / `RR`.
     pub cqt_materialized: ConjunctiveQuery,
+    /// [`cqt_basic`](Self::cqt_basic) compiled to a physical plan at
+    /// registration time; `process_batch` executes it by reference. Only
+    /// compiled when the engine's mode is [`ProcessingMode::Mmqjp`] — the
+    /// one mode that executes the basic form.
+    pub plan_basic: Option<PhysicalPlan>,
+    /// [`cqt_materialized`](Self::cqt_materialized) compiled to a physical
+    /// plan. Only compiled in [`ProcessingMode::MmqjpViewMat`].
+    pub plan_materialized: Option<PhysicalPlan>,
+    /// The engine relations behind `plan_basic`'s input slots.
+    pub(crate) inputs_basic: Vec<PlanInputKind>,
+    /// The engine relations behind `plan_materialized`'s input slots.
+    pub(crate) inputs_materialized: Vec<PlanInputKind>,
+    rt_name: String,
 }
 
 impl TemplateRuntime {
-    fn new(template: QueryTemplate) -> Self {
+    /// Build the runtime for a new template, compiling exactly the plan
+    /// variant the engine's (fixed) mode executes: basic for `Mmqjp`,
+    /// materialized for `MmqjpViewMat`, neither for `Sequential` (which
+    /// runs per-query plans). Returns the runtime and the number of plans
+    /// compiled.
+    fn new(template: QueryTemplate, mode: ProcessingMode) -> (Self, usize) {
         let rt = Relation::new(schemas::rt(template.num_meta_vars()));
+        let rt_arity = rt.schema().arity();
         let name = cqt::rt_name(template.id.index());
         let cqt_basic = cqt::template_cqt_basic(&template, &name);
         let cqt_materialized = cqt::template_cqt_materialized(&template, &name);
-        TemplateRuntime {
+        let arity_of = |rel: &str| cqt::relation_arity(rel, &name, rt_arity);
+        let plan_basic = (mode == ProcessingMode::Mmqjp)
+            .then(|| PhysicalPlan::compile(&cqt_basic, arity_of).expect("template CQT compiles"));
+        let plan_materialized = (mode == ProcessingMode::MmqjpViewMat).then(|| {
+            PhysicalPlan::compile(&cqt_materialized, arity_of)
+                .expect("materialized template CQT compiles")
+        });
+        let compiled = usize::from(plan_basic.is_some()) + usize::from(plan_materialized.is_some());
+        let inputs_basic = plan_basic
+            .as_ref()
+            .map(|p| cqt::plan_input_kinds(p, &name))
+            .unwrap_or_default();
+        let inputs_materialized = plan_materialized
+            .as_ref()
+            .map(|p| cqt::plan_input_kinds(p, &name))
+            .unwrap_or_default();
+        let runtime = TemplateRuntime {
             template,
             rt,
             cqt_basic,
             cqt_materialized,
-        }
+            plan_basic,
+            plan_materialized,
+            inputs_basic,
+            inputs_materialized,
+            rt_name: name,
+        };
+        (runtime, compiled)
     }
 
     /// Name of this template's `RT` relation in the engine database.
     pub fn rt_name(&self) -> String {
-        cqt::rt_name(self.template.id.index())
+        self.rt_name.clone()
     }
 
     /// Number of registered query orientations in this template.
@@ -98,6 +141,12 @@ pub struct Registration {
     pub cur_edges: Vec<(PatternNodeId, PatternNodeId)>,
     /// The per-query conjunctive query used by the Sequential baseline.
     pub sequential_cqt: ConjunctiveQuery,
+    /// [`sequential_cqt`](Self::sequential_cqt) compiled to a physical plan
+    /// (`None` outside [`ProcessingMode::Sequential`], where the per-query
+    /// form is never evaluated).
+    pub sequential_plan: Option<PhysicalPlan>,
+    /// The engine relations behind `sequential_plan`'s input slots.
+    pub(crate) sequential_inputs: Vec<PlanInputKind>,
 }
 
 /// Runtime state of one registered query.
@@ -186,6 +235,9 @@ pub struct Registry {
     finite_windows: BTreeMap<u64, usize>,
     /// Number of live join queries with an infinite (or count) window.
     infinite_windows: usize,
+    /// Physical plans compiled so far (one per new template in the MMQJP
+    /// modes, one per orientation in Sequential mode). Cumulative.
+    plans_compiled: usize,
 }
 
 impl Registry {
@@ -205,6 +257,7 @@ impl Registry {
             rid_map: HashMap::new(),
             finite_windows: BTreeMap::new(),
             infinite_windows: 0,
+            plans_compiled: 0,
         }
     }
 
@@ -263,12 +316,17 @@ impl Registry {
                 for (oriented, swapped) in orientations {
                     let reduced = ReducedGraph::from_join_graph(&oriented);
                     let membership = self.catalog.insert(&reduced);
-                    // Create the template runtime if this is a new template.
+                    // Create the template runtime if this is a new template
+                    // (the CQT form the engine's mode executes is compiled
+                    // to a physical plan exactly once, here).
                     if membership.template.index() == self.templates.len() {
-                        self.templates.push(Some(Box::new(TemplateRuntime::new(
+                        let (runtime, compiled) = TemplateRuntime::new(
                             self.catalog.template(membership.template).clone(),
-                        ))));
+                            mode,
+                        );
+                        self.templates.push(Some(Box::new(runtime)));
                         self.live_templates += 1;
+                        self.plans_compiled += compiled;
                     }
                     let rid = (id.raw() as i64) * 2 + if swapped { 1 } else { 0 };
                     // RT tuple: (qid, var1..varm, wl).
@@ -291,15 +349,31 @@ impl Registry {
                     let (cur_pid, cur_edges) =
                         self.register_pattern_edges(&cur_pattern, &reduced, Side::Right);
 
-                    let sequential_cqt = if mode == ProcessingMode::Sequential {
+                    let (sequential_cqt, sequential_plan, sequential_inputs) = if mode
+                        == ProcessingMode::Sequential
+                    {
                         let template = &self
                             .template_runtime(membership.template)
                             .expect("template was just created or joined")
                             .template;
-                        cqt::per_query_cqt(template, &membership.assignment, &self.interner)
+                        let cq =
+                            cqt::per_query_cqt(template, &membership.assignment, &self.interner);
+                        // Per-query CQTs only touch the fixed-schema base
+                        // relations; no RT atom to resolve.
+                        let plan =
+                            PhysicalPlan::compile(&cq, |rel| cqt::relation_arity(rel, "", 0))
+                                .expect("per-query CQT compiles");
+                        let inputs = cqt::plan_input_kinds(&plan, "");
+                        self.plans_compiled += 1;
+                        (cq, Some(plan), inputs)
                     } else {
-                        // Placeholder; never evaluated outside Sequential mode.
-                        ConjunctiveQuery::new(Vec::<String>::new())
+                        // Placeholder; never evaluated outside Sequential
+                        // mode.
+                        (
+                            ConjunctiveQuery::new(Vec::<String>::new()),
+                            None,
+                            Vec::new(),
+                        )
                     };
 
                     let registration = Registration {
@@ -314,6 +388,8 @@ impl Registry {
                         prev_edges,
                         cur_edges,
                         sequential_cqt,
+                        sequential_plan,
+                        sequential_inputs,
                     };
                     self.rid_map
                         .insert(rid, (id.raw() as usize, registrations.len()));
@@ -557,13 +633,6 @@ impl Registry {
             .expect("template id refers to a retired template")
     }
 
-    /// Mutable access to the template runtime slots (the engine temporarily
-    /// moves `RT` relations into its evaluation database). Indices are
-    /// `TemplateId` indices; `None` slots are retired templates.
-    pub(crate) fn template_slots_mut(&mut self) -> &mut Vec<Option<Box<TemplateRuntime>>> {
-        &mut self.templates
-    }
-
     /// Iterate over the live queries in query-id order.
     pub fn queries(&self) -> impl Iterator<Item = &QueryRuntime> {
         self.queries.iter().filter_map(|q| q.as_deref())
@@ -631,6 +700,13 @@ impl Registry {
     /// which forbids window-based eviction of join state.
     pub fn has_infinite_window(&self) -> bool {
         self.infinite_windows > 0
+    }
+
+    /// Physical plans compiled at registration time so far (cumulative; one
+    /// per new template in the MMQJP modes, one per orientation in
+    /// Sequential mode).
+    pub fn plans_compiled(&self) -> usize {
+        self.plans_compiled
     }
 }
 

@@ -19,8 +19,8 @@
 //! window, so results are bit-identical for any width.
 
 use crate::error::{CoreError, CoreResult};
-use crate::relations::{schemas, WitnessBatch};
-use mmqjp_relational::{BucketId, Relation, SegmentedRelation, Symbol, Tuple, Value};
+use crate::relations::{rl_row, schemas, WitnessBatch};
+use mmqjp_relational::{BucketId, FxHashMap, Relation, SegmentedRelation, Symbol, Tuple, Value};
 use mmqjp_xml::{DocId, Document};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -128,11 +128,11 @@ fn ledger_ts(row: &[Value]) -> CoreResult<u64> {
 #[derive(Debug, Default, Clone)]
 struct BucketIndex {
     /// `Rdoc` rows by string value: offsets into the bucket's `Rdoc` segment.
-    rdoc_by_strval: HashMap<Symbol, Vec<u32>>,
+    rdoc_by_strval: FxHashMap<Symbol, Vec<u32>>,
     /// `Rbin` rows by `(docid, node2)`: offsets into the bucket's `Rbin`
     /// segment. A document's `Rdoc` and `Rbin` rows share its timestamp and
     /// therefore its bucket, so probes never cross buckets.
-    rbin_by_docnode: HashMap<(i64, i64), Vec<u32>>,
+    rbin_by_docnode: FxHashMap<(i64, i64), Vec<u32>>,
 }
 
 /// Summary of one join-state eviction pass.
@@ -174,7 +174,7 @@ pub(crate) struct JoinState {
     /// Resident `Rdoc` row count per string value, across all buckets —
     /// keeps [`JoinState::contains_strval`] O(1) on the per-document `STR`
     /// path instead of probing every bucket's index.
-    strval_rows: HashMap<Symbol, usize>,
+    strval_rows: FxHashMap<Symbol, usize>,
     /// Timestamps of retained documents (temporal filter of Algorithm 3).
     doc_timestamps: HashMap<DocId, u64>,
     /// Retained documents for output construction.
@@ -193,7 +193,7 @@ impl JoinState {
             rdoc: SegmentedRelation::new(schemas::doc()),
             ledger: SegmentedRelation::new(schemas::doc_ts()),
             indexes: BTreeMap::new(),
-            strval_rows: HashMap::new(),
+            strval_rows: FxHashMap::default(),
             doc_timestamps: HashMap::new(),
             doc_store: HashMap::new(),
         }
@@ -378,12 +378,13 @@ impl JoinState {
         self.doc_store.get(&doc)
     }
 
-    /// Absorb a processed batch into the state (Algorithm 2): append the
-    /// witness rows into their timestamp buckets, maintain the per-bucket
+    /// Absorb a processed batch into the state (Algorithm 2): move the
+    /// witness rows whole into their timestamp buckets — the batch is
+    /// consumed, so no per-value copies happen — maintain the per-bucket
     /// indexes and the retention ledger, and retain documents when asked to.
     pub fn absorb(
         &mut self,
-        batch: &WitnessBatch,
+        batch: WitnessBatch,
         docs: &[Document],
         retain_documents: bool,
     ) -> CoreResult<()> {
@@ -402,20 +403,26 @@ impl JoinState {
                 })
         };
 
-        for row in batch.rdoc_w.iter() {
-            let docid = key_int(row, 0, "RdocW", "docid")?;
+        let WitnessBatch {
+            rbin_w,
+            rdoc_w,
+            rdoc_ts_w,
+            ..
+        } = batch;
+        for row in rdoc_w.into_tuples() {
+            let docid = key_int(&row, 0, "RdocW", "docid")?;
             let ts = doc_ts(docid, "RdocW")?;
-            self.insert_rdoc_row(row.clone(), ts)?;
+            self.insert_rdoc_row(row, ts)?;
         }
-        for row in batch.rbin_w.iter() {
-            let docid = key_int(row, 0, "RbinW", "docid")?;
+        for row in rbin_w.into_tuples() {
+            let docid = key_int(&row, 0, "RbinW", "docid")?;
             let ts = doc_ts(docid, "RbinW")?;
-            self.insert_rbin_row(row.clone(), ts)?;
+            self.insert_rbin_row(row, ts)?;
         }
-        for row in batch.rdoc_ts_w.iter() {
-            let doc = key_doc_id(row, 0, "RdocTSW", "docid")?;
-            let ts = ledger_ts(row)?;
-            self.insert_ledger_row(row.clone(), ts)?;
+        for row in rdoc_ts_w.into_tuples() {
+            let doc = key_doc_id(&row, 0, "RdocTSW", "docid")?;
+            let ts = ledger_ts(&row)?;
+            self.insert_ledger_row(row, ts)?;
             self.doc_timestamps.insert(doc, ts);
         }
         if retain_documents {
@@ -498,40 +505,22 @@ impl JoinState {
                     .expect("indexed bucket has an Rbin segment");
                 for &boff in bin_rows {
                     let b = &rbin_seg.tuples()[boff as usize];
-                    slice
-                        .push_values(vec![
-                            b[0].clone(),
-                            b[1].clone(),
-                            b[2].clone(),
-                            b[3].clone(),
-                            b[4].clone(),
-                            Value::Sym(s),
-                        ])
-                        .expect("RL arity");
+                    slice.push_values(rl_row(b, s)).expect("RL arity");
                 }
             }
         }
         Ok(slice)
     }
 
-    /// Move `Rbin` out for conjunctive-query evaluation (zero-copy).
-    pub fn take_rbin(&mut self) -> SegmentedRelation {
-        std::mem::replace(&mut self.rbin, SegmentedRelation::new(schemas::bin()))
+    /// The segmented `Rbin` join state. Plan execution borrows it directly
+    /// (via [`ChunkedRows`](mmqjp_relational::ChunkedRows)); nothing moves.
+    pub fn rbin(&self) -> &SegmentedRelation {
+        &self.rbin
     }
 
-    /// Move `Rdoc` out for conjunctive-query evaluation (zero-copy).
-    pub fn take_rdoc(&mut self) -> SegmentedRelation {
-        std::mem::replace(&mut self.rdoc, SegmentedRelation::new(schemas::doc()))
-    }
-
-    /// Return `Rbin` after evaluation.
-    pub fn restore_rbin(&mut self, rbin: SegmentedRelation) {
-        self.rbin = rbin;
-    }
-
-    /// Return `Rdoc` after evaluation.
-    pub fn restore_rdoc(&mut self, rdoc: SegmentedRelation) {
-        self.rdoc = rdoc;
+    /// The segmented `Rdoc` join state, borrowed for plan execution.
+    pub fn rdoc(&self) -> &SegmentedRelation {
+        &self.rdoc
     }
 
     /// Drop every join-state bucket that lies entirely before `cutoff_ts`
@@ -640,7 +629,7 @@ mod tests {
         let (mut s, interner) = state(10);
         for i in 1..=5u64 {
             let d = doc(i, i * 7);
-            s.absorb(&batch_for(&d, "shared", &interner), &[d], true)
+            s.absorb(batch_for(&d, "shared", &interner), &[d], true)
                 .unwrap();
         }
         assert_eq!(s.rdoc_len(), 5);
@@ -663,7 +652,7 @@ mod tests {
         let (mut s, interner) = state(10);
         for i in 1..=6u64 {
             let d = doc(i, i * 10);
-            s.absorb(&batch_for(&d, &format!("val{i}"), &interner), &[d], true)
+            s.absorb(batch_for(&d, &format!("val{i}"), &interner), &[d], true)
                 .unwrap();
         }
         // Cutoff 35: buckets 1 and 2 (ts 10, 20) lie entirely below it and
@@ -701,7 +690,7 @@ mod tests {
         let interner = Arc::new(StringInterner::new());
         for i in 1..=4u64 {
             let d = doc(i, i * 100);
-            s.absorb(&batch_for(&d, "x", &interner), &[d], false)
+            s.absorb(batch_for(&d, "x", &interner), &[d], false)
                 .unwrap();
         }
         assert_eq!(s.num_buckets(), 1);
@@ -713,17 +702,18 @@ mod tests {
     }
 
     #[test]
-    fn take_and_restore_round_trip() {
+    fn join_state_is_borrowed_for_evaluation() {
+        // The old take/restore round trip is gone: plan execution borrows
+        // the segmented relations in place (via ChunkedRows) and the state
+        // keeps serving slices throughout.
         let (mut s, interner) = state(10);
         let d = doc(1, 5);
-        s.absorb(&batch_for(&d, "t", &interner), &[d], false)
+        s.absorb(batch_for(&d, "t", &interner), &[d], false)
             .unwrap();
-        let rbin = s.take_rbin();
-        let rdoc = s.take_rdoc();
+        let rbin = mmqjp_relational::ChunkedRows::from_segmented(s.rbin());
+        let rdoc = mmqjp_relational::ChunkedRows::from_segmented(s.rdoc());
         assert_eq!(rbin.len(), 1);
-        assert_eq!(s.rbin_len(), 0);
-        s.restore_rbin(rbin);
-        s.restore_rdoc(rdoc);
+        assert_eq!(rdoc.len(), 1);
         assert_eq!(s.rbin_len(), 1);
         assert_eq!(s.rl_slice(interner.get("t").unwrap()).unwrap().len(), 1);
     }
@@ -754,7 +744,7 @@ mod tests {
         s.ensure_width(None).unwrap();
         for i in 1..=4u64 {
             let d = doc(i, i * 10);
-            s.absorb(&batch_for(&d, &format!("val{i}"), &interner), &[d], true)
+            s.absorb(batch_for(&d, &format!("val{i}"), &interner), &[d], true)
                 .unwrap();
         }
         // Everything sits in one coarse provisional bucket.
@@ -781,7 +771,7 @@ mod tests {
         let (mut s, interner) = state(625);
         for i in 1..=5u64 {
             let d = doc(i, i * 40);
-            s.absorb(&batch_for(&d, &format!("val{i}"), &interner), &[d], true)
+            s.absorb(batch_for(&d, &format!("val{i}"), &interner), &[d], true)
                 .unwrap();
         }
         // All rows share the single coarse bucket: a cutoff of 100 evicts
@@ -812,8 +802,7 @@ mod tests {
         // must land in the *latest* bucket its old bucket could span.
         let (mut s, interner) = state(100);
         let d = doc(1, 30);
-        s.absorb(&batch_for(&d, "v", &interner), &[d], true)
-            .unwrap();
+        s.absorb(batch_for(&d, "v", &interner), &[d], true).unwrap();
         // Forget the document (as retention-cap eviction would) but keep the
         // join rows: evict via the ledger only.
         assert_eq!(s.evict_documents(200), 1);

@@ -109,6 +109,22 @@ pub struct EngineStats {
     pub view_cache_misses: usize,
     /// View-cache evictions.
     pub view_cache_evictions: usize,
+    /// Physical plans compiled at registration time (cumulative; one per
+    /// new template in the MMQJP modes — the variant the engine's mode
+    /// executes — and one per orientation in Sequential mode). Plans are
+    /// executed by reference per batch, never re-compiled or cloned on the
+    /// hot path.
+    pub plans_compiled: usize,
+    /// Output tuples materialized by the compiled-plan executor. Late
+    /// materialization builds each result row exactly once, at the final
+    /// head projection; intermediate join results are row ids only.
+    pub rows_materialized: usize,
+    /// Plan executions that ran on the engine's pooled scratch buffers —
+    /// every execution after the first. Together with
+    /// [`plans_compiled`](Self::plans_compiled) this certifies that plans
+    /// and executor buffers are engine-lifetime objects, not per-batch
+    /// ones: an execution allocates nothing but its result relation.
+    pub scratch_reuses: usize,
     /// Cumulative per-phase timings.
     pub timings: PhaseTimings,
 }
@@ -165,6 +181,9 @@ impl AddAssign for EngineStats {
         self.view_cache_hits += rhs.view_cache_hits;
         self.view_cache_misses += rhs.view_cache_misses;
         self.view_cache_evictions += rhs.view_cache_evictions;
+        self.plans_compiled += rhs.plans_compiled;
+        self.rows_materialized += rhs.rows_materialized;
+        self.scratch_reuses += rhs.scratch_reuses;
         self.timings += rhs.timings;
     }
 }
@@ -248,6 +267,9 @@ mod tests {
             view_cache_hits: 8,
             view_cache_misses: 9,
             view_cache_evictions: 10,
+            plans_compiled: 14,
+            rows_materialized: 15,
+            scratch_reuses: 16,
             timings: PhaseTimings {
                 xpath: Duration::from_millis(1),
                 ..Default::default()
@@ -273,6 +295,9 @@ mod tests {
             view_cache_hits: 80,
             view_cache_misses: 90,
             view_cache_evictions: 100,
+            plans_compiled: 140,
+            rows_materialized: 150,
+            scratch_reuses: 160,
             timings: PhaseTimings {
                 xpath: Duration::from_millis(2),
                 ..Default::default()
@@ -298,6 +323,9 @@ mod tests {
         assert_eq!(s.view_cache_hits, 88);
         assert_eq!(s.view_cache_misses, 99);
         assert_eq!(s.view_cache_evictions, 110);
+        assert_eq!(s.plans_compiled, 154);
+        assert_eq!(s.rows_materialized, 165);
+        assert_eq!(s.scratch_reuses, 176);
         assert_eq!(s.timings.xpath, Duration::from_millis(3));
         assert_eq!(s, a + b);
         assert_eq!(

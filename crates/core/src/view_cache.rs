@@ -8,9 +8,8 @@
 //! with LRU replacement models the paper's remark that "the size of the view
 //! cache can be set according to the memory constraint of the system".
 
-use mmqjp_relational::{Relation, Symbol};
+use mmqjp_relational::{FxHashMap, Relation, Symbol};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Counters describing cache effectiveness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -27,11 +26,12 @@ pub struct ViewCacheStats {
     pub resident_tuples: usize,
 }
 
-/// A string-keyed LRU cache of `RL` slices.
+/// A string-keyed LRU cache of `RL` slices (keyed with the Fx hasher — the
+/// keys are interned symbols probed once per distinct batch string value).
 #[derive(Debug, Clone)]
 pub struct ViewCache {
     capacity: Option<usize>,
-    slices: HashMap<Symbol, CacheEntry>,
+    slices: FxHashMap<Symbol, CacheEntry>,
     clock: u64,
     hits: usize,
     misses: usize,
@@ -50,7 +50,7 @@ impl ViewCache {
     pub fn new(capacity: Option<usize>) -> Self {
         ViewCache {
             capacity,
-            slices: HashMap::new(),
+            slices: FxHashMap::default(),
             clock: 0,
             hits: 0,
             misses: 0,

@@ -1,9 +1,9 @@
 //! Hash indexes over relations.
 
 use crate::error::RelResult;
+use crate::fxhash::FxHashMap;
 use crate::relation::{Relation, Tuple};
 use crate::value::Value;
-use std::collections::HashMap;
 
 /// A multi-column hash index mapping key values to the row indices of a
 /// relation that carry them.
@@ -11,11 +11,13 @@ use std::collections::HashMap;
 /// The Join Processor builds hash indexes over the probe side of every
 /// equi-join, and the engine keeps a persistent index over the `strVal`
 /// column of `Rdoc` so Algorithm 4's semi-join (`RdocW ⋉ Rdoc`) is a hash
-/// lookup per distinct current-document string value.
+/// lookup per distinct current-document string value. Keyed with
+/// [`FxHasher`](crate::FxHasher): index keys are interned symbols and small
+/// integers, where the Fx mix beats SipHash by a wide margin.
 #[derive(Debug, Clone, Default)]
 pub struct HashIndex {
     key_columns: Vec<usize>,
-    map: HashMap<Vec<Value>, Vec<usize>>,
+    map: FxHashMap<Vec<Value>, Vec<usize>>,
 }
 
 impl HashIndex {
@@ -30,7 +32,8 @@ impl HashIndex {
 
     /// Build an index keyed on column positions.
     pub fn build_on_indices(relation: &Relation, key_columns: Vec<usize>) -> Self {
-        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(relation.len());
+        let mut map: FxHashMap<Vec<Value>, Vec<usize>> =
+            FxHashMap::with_capacity_and_hasher(relation.len(), Default::default());
         for (row, tuple) in relation.iter().enumerate() {
             let key: Vec<Value> = key_columns.iter().map(|&c| tuple[c].clone()).collect();
             map.entry(key).or_default().push(row);

@@ -23,6 +23,16 @@
 //!   executor. This is what evaluates each query template's `CQ_T`. The
 //!   database stores [`StoredRelation`]s, so flat and segmented relations
 //!   evaluate through the same code path.
+//! * [`PhysicalPlan`] — the compiled form of a conjunctive query: column
+//!   names interned to dense [`ColId`]s, filters and join keys resolved to
+//!   positions at compile time, and a late-materialization executor that
+//!   joins row ids over borrowed inputs (flat or segmented via
+//!   [`ChunkedRows`]) with pooled [`ExecScratch`] buffers, materializing
+//!   each output tuple exactly once. This is what the MMQJP engine executes
+//!   per batch; the interpreting [`Database::evaluate`] remains as the
+//!   reference implementation.
+//! * [`FxHasher`] — a vendored Fx-style hasher ([`FxHashMap`],
+//!   [`FxHashSet`]) for the join build/probe tables and index segments.
 //!
 //! The engine is deliberately not a general DBMS: no transactions, no
 //! persistence, no SQL parser. It is, however, a complete and correct
@@ -57,9 +67,11 @@
 mod conjunctive;
 mod database;
 mod error;
+mod fxhash;
 mod index;
 mod interner;
 pub mod ops;
+mod plan;
 mod relation;
 mod schema;
 mod segment;
@@ -68,8 +80,10 @@ mod value;
 pub use conjunctive::{Atom, ConjunctiveQuery, Term};
 pub use database::{relation_from_rows, Database, StoredRelation, StoredTuples};
 pub use error::{RelError, RelResult};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::HashIndex;
 pub use interner::{StringInterner, Symbol};
+pub use plan::{ChunkedRows, ColId, ExecScratch, PhysicalPlan, PlanInput};
 pub use relation::{Relation, Tuple};
 pub use schema::Schema;
 pub use segment::{BucketId, RowHandle, SegmentedRelation, SegmentedTuples};

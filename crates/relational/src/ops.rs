@@ -6,11 +6,11 @@
 //! the MMQJP workload and keeping the cost model of the paper intact.
 
 use crate::error::{RelError, RelResult};
+use crate::fxhash::FxHashSet;
 use crate::index::HashIndex;
 use crate::relation::{Relation, Tuple};
 use crate::schema::Schema;
 use crate::value::Value;
-use std::collections::HashSet;
 
 /// Selection: keep tuples satisfying `pred`.
 pub fn select(input: &Relation, mut pred: impl FnMut(&Tuple) -> bool) -> Relation {
@@ -236,7 +236,7 @@ pub fn difference(left: &Relation, right: &Relation) -> RelResult<Relation> {
             found: right.schema().arity(),
         });
     }
-    let right_set: HashSet<&Tuple> = right.iter().collect();
+    let right_set: FxHashSet<&Tuple> = right.iter().collect();
     let mut out = Relation::new(left.schema().clone());
     for t in left.iter() {
         if !right_set.contains(t) {

@@ -1,0 +1,1033 @@
+//! Compiled physical plans for conjunctive queries, with a
+//! late-materialization execution kernel.
+//!
+//! [`Database::evaluate`](crate::Database::evaluate) interprets a
+//! [`ConjunctiveQuery`] from scratch on every call: column names are resolved
+//! by string lookup, every atom is materialized into a binding relation
+//! (cloning the matching tuples), and every hash join clones full combined
+//! rows. A [`PhysicalPlan`] performs all of that resolution exactly once, at
+//! compile time — variables are interned to dense [`ColId`]s, relation names
+//! to input slots, constant and repeated-variable filters to positional
+//! checks — and execution then operates on *row ids* only:
+//!
+//! * selections produce row-id vectors over borrowed inputs (no tuple is
+//!   copied);
+//! * each hash join produces strided row-id tuples — one id per already
+//!   joined atom — keyed by [`FxHasher`](crate::FxHasher) value hashes with
+//!   exact verification on probe;
+//! * full output tuples are materialized exactly once, at the final head
+//!   projection (optionally deduplicated in the same pass).
+//!
+//! All executor buffers live in an [`ExecScratch`] pool the caller owns and
+//! reuses across executions, so steady-state evaluation performs no
+//! per-batch allocations beyond the result relation itself.
+//!
+//! Execution replicates the interpreter *byte for byte*: the same greedy
+//! connected join order (chosen per execution from the actual filtered
+//! cardinalities — the one planning decision that must stay data-dependent),
+//! the same build-on-the-smaller-side hash joins, the same output row order.
+//! The `properties.rs` proptest in the integration suite certifies this
+//! equivalence on random relations and queries.
+
+use crate::conjunctive::{ConjunctiveQuery, Term};
+use crate::error::{RelError, RelResult};
+use crate::fxhash::{FxHashMap, FxHasher};
+use crate::relation::{Relation, Tuple};
+use crate::schema::Schema;
+use crate::segment::SegmentedRelation;
+use crate::value::Value;
+use std::hash::{Hash, Hasher};
+
+/// A dense column id assigned to each distinct query variable at compile
+/// time. All runtime bookkeeping (bound-variable sets, key resolution, head
+/// projection) uses these ids; variable *names* never appear on the hot
+/// path.
+pub type ColId = u32;
+
+/// Sentinel for "no entry" in the executor's intrusive hash chains.
+const NONE: u32 = u32::MAX;
+
+/// One compiled body atom: its input slot plus the pre-resolved positional
+/// filters and variable bindings.
+#[derive(Debug, Clone)]
+struct PhysAtom {
+    /// Index into [`PhysicalPlan::relations`].
+    rel: u32,
+    /// `(position, constant)`: the column at `position` must equal the
+    /// constant.
+    consts: Vec<(u32, Value)>,
+    /// `(position, first_position)`: intra-atom repeated variables; the two
+    /// columns must be equal.
+    dups: Vec<(u32, u32)>,
+    /// The atom's distinct variables in first-occurrence order, each with
+    /// the column position of its first occurrence.
+    vars: Vec<(ColId, u32)>,
+}
+
+/// A conjunctive query compiled against fixed relation arities.
+///
+/// Compile once (at query-registration time), execute per batch with
+/// [`PhysicalPlan::execute`] over borrowed inputs and a pooled
+/// [`ExecScratch`].
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    head: Vec<ColId>,
+    head_schema: Schema,
+    atoms: Vec<PhysAtom>,
+    relations: Vec<String>,
+    col_names: Vec<String>,
+}
+
+impl PhysicalPlan {
+    /// Compile a conjunctive query. `arity_of` supplies the arity of each
+    /// relation the body mentions (`None` for unknown relations). Fails with
+    /// the same errors interpretation would: [`RelError::MalformedQuery`]
+    /// for structurally invalid queries or arity mismatches,
+    /// [`RelError::UnknownRelation`] for unresolvable atoms.
+    pub fn compile(
+        query: &ConjunctiveQuery,
+        arity_of: impl Fn(&str) -> Option<usize>,
+    ) -> RelResult<PhysicalPlan> {
+        query
+            .validate()
+            .map_err(|reason| RelError::MalformedQuery { reason })?;
+
+        let mut col_names: Vec<String> = Vec::new();
+        let col_of = |name: &str, col_names: &mut Vec<String>| -> ColId {
+            match col_names.iter().position(|c| c == name) {
+                Some(i) => i as ColId,
+                None => {
+                    col_names.push(name.to_owned());
+                    (col_names.len() - 1) as ColId
+                }
+            }
+        };
+
+        let mut relations: Vec<String> = Vec::new();
+        let mut atoms = Vec::with_capacity(query.body.len());
+        for atom in &query.body {
+            let arity = arity_of(&atom.relation).ok_or_else(|| RelError::UnknownRelation {
+                relation: atom.relation.clone(),
+            })?;
+            if atom.terms.len() != arity {
+                return Err(RelError::MalformedQuery {
+                    reason: format!(
+                        "atom {} has arity {}, relation has arity {}",
+                        atom,
+                        atom.terms.len(),
+                        arity
+                    ),
+                });
+            }
+            let rel = match relations.iter().position(|r| r == &atom.relation) {
+                Some(i) => i as u32,
+                None => {
+                    relations.push(atom.relation.clone());
+                    (relations.len() - 1) as u32
+                }
+            };
+            let mut consts = Vec::new();
+            let mut dups = Vec::new();
+            let mut vars: Vec<(ColId, u32)> = Vec::new();
+            // First-occurrence position of each variable within this atom.
+            let mut first: Vec<(&str, u32)> = Vec::new();
+            for (pos, term) in atom.terms.iter().enumerate() {
+                match term {
+                    Term::Const(c) => consts.push((pos as u32, c.clone())),
+                    Term::Var(v) => match first.iter().find(|(name, _)| name == v) {
+                        Some(&(_, first_pos)) => dups.push((pos as u32, first_pos)),
+                        None => {
+                            first.push((v, pos as u32));
+                            vars.push((col_of(v, &mut col_names), pos as u32));
+                        }
+                    },
+                }
+            }
+            atoms.push(PhysAtom {
+                rel,
+                consts,
+                dups,
+                vars,
+            });
+        }
+
+        let head: Vec<ColId> = query
+            .head
+            .iter()
+            .map(|h| {
+                col_names
+                    .iter()
+                    .position(|c| c == h)
+                    .map(|i| i as ColId)
+                    .ok_or_else(|| RelError::MalformedQuery {
+                        reason: format!("head variable `{h}` is not bound in the body"),
+                    })
+            })
+            .collect::<RelResult<_>>()?;
+
+        // The head may repeat a variable (the interpreter's projection path
+        // allows duplicate output columns); build the schema through
+        // `project`, which accepts duplicates, rather than `Schema::new`,
+        // which asserts uniqueness.
+        let mut distinct_head: Vec<&str> = Vec::new();
+        for h in &query.head {
+            if !distinct_head.contains(&h.as_str()) {
+                distinct_head.push(h);
+            }
+        }
+        let head_refs: Vec<&str> = query.head.iter().map(String::as_str).collect();
+        let head_schema = Schema::new(distinct_head)
+            .project(&head_refs)
+            .expect("head names project from themselves");
+
+        Ok(PhysicalPlan {
+            head,
+            head_schema,
+            atoms,
+            relations,
+            col_names,
+        })
+    }
+
+    /// The distinct relation names the plan reads, in input-slot order.
+    /// [`execute`](Self::execute) expects one [`PlanInput`] per entry, in
+    /// this order.
+    pub fn relations(&self) -> &[String] {
+        &self.relations
+    }
+
+    /// The output schema (the head variables, in head order).
+    pub fn head_schema(&self) -> &Schema {
+        &self.head_schema
+    }
+
+    /// Number of body atoms.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of distinct variables (compiled [`ColId`]s).
+    pub fn num_columns(&self) -> usize {
+        self.col_names.len()
+    }
+
+    /// Execute the plan over `inputs` (one per [`relations`](Self::relations)
+    /// entry, same order), reusing `scratch` for every internal buffer. With
+    /// `distinct`, duplicate head tuples are dropped in the materialization
+    /// pass (first occurrence wins — identical to
+    /// [`Relation::distinct`] applied afterwards, without the extra copy).
+    ///
+    /// # Panics
+    /// Panics if `inputs.len()` differs from the number of plan relations.
+    pub fn execute(
+        &self,
+        inputs: &[PlanInput<'_>],
+        scratch: &mut ExecScratch,
+        distinct: bool,
+    ) -> Relation {
+        assert_eq!(
+            inputs.len(),
+            self.relations.len(),
+            "one PlanInput per plan relation"
+        );
+        let ExecScratch {
+            sels,
+            ht,
+            chain,
+            hits,
+            cur,
+            next,
+            out_ht,
+            out_chain,
+            bound,
+            lens,
+            filtered,
+            order,
+            remaining,
+            step_rels,
+            acc,
+            left_keys,
+            right_keys,
+            head_specs,
+            rows_materialized,
+            scratch_reuses,
+            primed,
+        } = scratch;
+        if *primed {
+            *scratch_reuses += 1;
+        } else {
+            *primed = true;
+        }
+
+        let n = self.atoms.len();
+        let mut out = Relation::new(self.head_schema.clone());
+        if n == 0 {
+            return out;
+        }
+
+        // ---- Selection: per-atom row-id vectors -------------------------
+        while sels.len() < n {
+            sels.push(Vec::new());
+        }
+        lens.clear();
+        filtered.clear();
+        for (i, atom) in self.atoms.iter().enumerate() {
+            let input = &inputs[atom.rel as usize];
+            if atom.consts.is_empty() && atom.dups.is_empty() {
+                // Unfiltered atom: the selection is the whole relation; no
+                // row-id vector is materialized.
+                filtered.push(false);
+                lens.push(input.len());
+            } else {
+                let sel = &mut sels[i];
+                sel.clear();
+                for row_id in 0..input.len() {
+                    let row = input.get(row_id);
+                    let ok = atom.consts.iter().all(|(pos, c)| &row[*pos as usize] == c)
+                        && atom
+                            .dups
+                            .iter()
+                            .all(|(pos, first)| row[*pos as usize] == row[*first as usize]);
+                    if ok {
+                        sel.push(row_id);
+                    }
+                }
+                filtered.push(true);
+                lens.push(sels[i].len() as u32);
+            }
+        }
+        // A conjunction with an empty atom is empty, whatever the rest holds.
+        if lens.contains(&0) {
+            return out;
+        }
+
+        // ---- Join order (replicates the interpreter's greedy planner) ---
+        join_order(
+            &self.atoms,
+            lens,
+            self.col_names.len(),
+            bound,
+            remaining,
+            order,
+        );
+        step_rels.clear();
+        step_rels.extend(order.iter().map(|&i| self.atoms[i].rel));
+
+        // ---- Pipeline of row-id hash joins ------------------------------
+        // `cur` holds the intermediate result: `stride` row ids per logical
+        // row, one per already joined atom (in `order` position). `acc` maps
+        // each bound column to the `(step, position)` it is fetched from.
+        acc.clear();
+        let first = order[0];
+        cur.clear();
+        if filtered[first] {
+            cur.extend_from_slice(&sels[first]);
+        } else {
+            cur.extend(0..lens[first]);
+        }
+        for (col, pos) in &self.atoms[first].vars {
+            acc.push((*col, 0, *pos));
+        }
+        let mut stride = 1usize;
+
+        for (step, &ai) in order.iter().enumerate().skip(1) {
+            let atom = &self.atoms[ai];
+            let right = &inputs[atom.rel as usize];
+            // Key columns: the atom's variables already bound on the left.
+            left_keys.clear();
+            right_keys.clear();
+            for (col, pos) in &atom.vars {
+                if let Some(&(_, s, p)) = acc.iter().find(|(c, _, _)| c == col) {
+                    left_keys.push((s, p));
+                    right_keys.push(*pos);
+                }
+            }
+            let left_rows = cur.len() / stride;
+            let right_rows = lens[ai] as usize;
+            let right_sel: Option<&[u32]> = if filtered[ai] { Some(&sels[ai]) } else { None };
+            let left = LeftRows {
+                cur: cur.as_slice(),
+                stride,
+                inputs,
+                step_rels: step_rels.as_slice(),
+            };
+
+            next.clear();
+            if left_keys.is_empty() {
+                // Disconnected body: cross product, left-outer order.
+                for l in 0..left_rows {
+                    for r in 0..right_rows {
+                        next.extend_from_slice(&cur[l * stride..(l + 1) * stride]);
+                        next.push(base_id(right_sel, r));
+                    }
+                }
+            } else if left_rows <= right_rows {
+                // Build on the intermediate, probe with the atom's rows —
+                // build-on-the-smaller-side, larger side iterated in order.
+                ht.clear();
+                chain.clear();
+                chain.resize(left_rows, NONE);
+                for (l, link) in chain.iter_mut().enumerate() {
+                    let h = left.hash_key(l, left_keys);
+                    let slot = ht.entry(h).or_insert(NONE);
+                    *link = *slot;
+                    *slot = l as u32;
+                }
+                for r in 0..right_rows {
+                    let rid = base_id(right_sel, r);
+                    let row = right.get(rid);
+                    let h = hash_row(row, right_keys);
+                    hits.clear();
+                    let mut cand = ht.get(&h).copied().unwrap_or(NONE);
+                    while cand != NONE {
+                        if left.key_equals(cand as usize, left_keys, row, right_keys) {
+                            hits.push(cand);
+                        }
+                        cand = chain[cand as usize];
+                    }
+                    // The chain yields descending build order; the
+                    // interpreter's index probes in ascending (insertion)
+                    // order.
+                    for &l in hits.iter().rev() {
+                        let l = l as usize;
+                        next.extend_from_slice(&cur[l * stride..(l + 1) * stride]);
+                        next.push(rid);
+                    }
+                }
+            } else {
+                // Build on the atom's rows, probe with the intermediate.
+                ht.clear();
+                chain.clear();
+                chain.resize(right_rows, NONE);
+                for (r, link) in chain.iter_mut().enumerate() {
+                    let row = right.get(base_id(right_sel, r));
+                    let h = hash_row(row, right_keys);
+                    let slot = ht.entry(h).or_insert(NONE);
+                    *link = *slot;
+                    *slot = r as u32;
+                }
+                for l in 0..left_rows {
+                    let h = left.hash_key(l, left_keys);
+                    hits.clear();
+                    let mut cand = ht.get(&h).copied().unwrap_or(NONE);
+                    while cand != NONE {
+                        let rid = base_id(right_sel, cand as usize);
+                        if left.key_equals(l, left_keys, right.get(rid), right_keys) {
+                            hits.push(cand);
+                        }
+                        cand = chain[cand as usize];
+                    }
+                    for &r in hits.iter().rev() {
+                        next.extend_from_slice(&cur[l * stride..(l + 1) * stride]);
+                        next.push(base_id(right_sel, r as usize));
+                    }
+                }
+            }
+            std::mem::swap(cur, next);
+            stride += 1;
+            if cur.is_empty() {
+                return out;
+            }
+            for (col, pos) in &atom.vars {
+                if !acc.iter().any(|(c, _, _)| c == col) {
+                    acc.push((*col, step as u32, *pos));
+                }
+            }
+        }
+
+        // ---- Materialize: head projection, tuples built exactly once ----
+        head_specs.clear();
+        for col in &self.head {
+            let &(_, s, p) = acc
+                .iter()
+                .find(|(c, _, _)| c == col)
+                .expect("validate() guarantees head variables are bound");
+            head_specs.push((s, p));
+        }
+        let rows = cur.len() / stride;
+        if distinct {
+            out_ht.clear();
+            out_chain.clear();
+        }
+        let left = LeftRows {
+            cur: cur.as_slice(),
+            stride,
+            inputs,
+            step_rels: step_rels.as_slice(),
+        };
+        for row_idx in 0..rows {
+            if distinct {
+                // Dedup *before* building anything: hash and compare the
+                // projected values in place, so duplicate rows are never
+                // materialized at all.
+                let mut hasher = FxHasher::default();
+                for &(s, p) in head_specs.iter() {
+                    left.value(row_idx, s, p).hash(&mut hasher);
+                }
+                let h = hasher.finish();
+                let mut cand = out_ht.get(&h).copied().unwrap_or(NONE);
+                let mut duplicate = false;
+                while cand != NONE {
+                    let existing = &out.tuples()[cand as usize];
+                    if head_specs
+                        .iter()
+                        .enumerate()
+                        .all(|(k, &(s, p))| left.value(row_idx, s, p) == &existing[k])
+                    {
+                        duplicate = true;
+                        break;
+                    }
+                    cand = out_chain[cand as usize];
+                }
+                if duplicate {
+                    continue;
+                }
+                let idx = out.len() as u32;
+                let slot = out_ht.entry(h).or_insert(NONE);
+                out_chain.push(*slot);
+                *slot = idx;
+            }
+            let mut tuple: Tuple = Vec::with_capacity(head_specs.len());
+            for &(s, p) in head_specs.iter() {
+                tuple.push(left.value(row_idx, s, p).clone());
+            }
+            out.push_unchecked(tuple);
+        }
+        *rows_materialized += out.len() as u64;
+        out
+    }
+}
+
+/// The base row id behind selection position `pos` (`sel[pos]`, or `pos`
+/// itself for unfiltered atoms).
+#[inline]
+fn base_id(sel: Option<&[u32]>, pos: usize) -> u32 {
+    match sel {
+        Some(ids) => ids[pos],
+        None => pos as u32,
+    }
+}
+
+/// Replicates [`Database`](crate::Database)'s greedy connected join
+/// ordering over the compiled metadata: start from the smallest (filtered)
+/// atom, then always take the atom sharing the most bound variables,
+/// tie-breaking on fewer rows and then on body position. Writes the order
+/// into the pooled `order` buffer.
+fn join_order(
+    atoms: &[PhysAtom],
+    lens: &[u32],
+    num_cols: usize,
+    bound: &mut Vec<bool>,
+    remaining: &mut Vec<usize>,
+    order: &mut Vec<usize>,
+) {
+    let n = atoms.len();
+    remaining.clear();
+    remaining.extend(0..n);
+    remaining.sort_by_key(|&i| lens[i]);
+    let first = remaining.remove(0);
+    order.clear();
+    order.push(first);
+    bound.clear();
+    bound.resize(num_cols, false);
+    for (col, _) in &atoms[first].vars {
+        bound[*col as usize] = true;
+    }
+    while !remaining.is_empty() {
+        let mut best: Option<(usize, usize, u32)> = None;
+        for (pos, &i) in remaining.iter().enumerate() {
+            let shared = atoms[i]
+                .vars
+                .iter()
+                .filter(|(c, _)| bound[*c as usize])
+                .count();
+            let size = lens[i];
+            best = match best {
+                None => Some((pos, shared, size)),
+                Some((bpos, bshared, bsize)) => {
+                    if shared > bshared || (shared == bshared && size < bsize) {
+                        Some((pos, shared, size))
+                    } else {
+                        Some((bpos, bshared, bsize))
+                    }
+                }
+            };
+        }
+        let (pos, _, _) = best.expect("remaining is non-empty");
+        let i = remaining.remove(pos);
+        for (col, _) in &atoms[i].vars {
+            bound[*col as usize] = true;
+        }
+        order.push(i);
+    }
+}
+
+/// The left (intermediate) side of a join step: strided row-id tuples plus
+/// the tables their column values are fetched from (`step_rels` maps each
+/// join step to its input slot).
+#[derive(Clone, Copy)]
+struct LeftRows<'b> {
+    cur: &'b [u32],
+    stride: usize,
+    inputs: &'b [PlanInput<'b>],
+    step_rels: &'b [u32],
+}
+
+impl<'b> LeftRows<'b> {
+    /// The value of intermediate row `l` at accumulated source `(s, p)`.
+    #[inline]
+    fn value(&self, l: usize, s: u32, p: u32) -> &'b Value {
+        let base = self.cur[l * self.stride + s as usize];
+        &self.inputs[self.step_rels[s as usize] as usize].get(base)[p as usize]
+    }
+
+    /// Hash the join key of intermediate row `l`.
+    #[inline]
+    fn hash_key(&self, l: usize, left_keys: &[(u32, u32)]) -> u64 {
+        let mut h = FxHasher::default();
+        for &(s, p) in left_keys {
+            self.value(l, s, p).hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Exact key comparison behind the hash (collisions must not join).
+    #[inline]
+    fn key_equals(
+        &self,
+        l: usize,
+        left_keys: &[(u32, u32)],
+        right_row: &Tuple,
+        right_keys: &[u32],
+    ) -> bool {
+        left_keys
+            .iter()
+            .zip(right_keys)
+            .all(|(&(s, p), &rp)| self.value(l, s, p) == &right_row[rp as usize])
+    }
+}
+
+/// Hash the join key of one base row at the given positions.
+#[inline]
+fn hash_row(row: &Tuple, keys: &[u32]) -> u64 {
+    let mut h = FxHasher::default();
+    for &p in keys {
+        row[p as usize].hash(&mut h);
+    }
+    h.finish()
+}
+
+/// A random-access view over the buckets of a [`SegmentedRelation`],
+/// prepared once per batch (O(#buckets)) so plan execution can address
+/// segmented join state by global row id without flattening it.
+#[derive(Debug, Clone, Default)]
+pub struct ChunkedRows<'a> {
+    starts: Vec<u32>,
+    chunks: Vec<&'a [Tuple]>,
+    len: u32,
+}
+
+impl<'a> ChunkedRows<'a> {
+    /// Build the view over a segmented relation's resident buckets (bucket
+    /// order, then insertion order — the relation's iteration order).
+    ///
+    /// # Panics
+    /// Panics if the relation holds `u32::MAX` rows or more: row ids are
+    /// `u32` throughout the executor (with `u32::MAX` as the chain
+    /// sentinel), and the bound is enforced here rather than wrapping
+    /// silently.
+    pub fn from_segmented(relation: &'a SegmentedRelation) -> Self {
+        assert!(
+            relation.len() < u32::MAX as usize,
+            "plan inputs are limited to u32::MAX - 1 rows, got {}",
+            relation.len()
+        );
+        let mut starts = Vec::with_capacity(relation.num_buckets());
+        let mut chunks = Vec::with_capacity(relation.num_buckets());
+        let mut len = 0u32;
+        for (_, segment) in relation.buckets() {
+            starts.push(len);
+            chunks.push(segment.tuples());
+            len += segment.len() as u32;
+        }
+        ChunkedRows {
+            starts,
+            chunks,
+            len,
+        }
+    }
+
+    /// Total number of rows.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// `true` when no bucket holds any row.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn get(&self, i: u32) -> &'a Tuple {
+        debug_assert!(i < self.len);
+        let chunk = self.starts.partition_point(|&s| s <= i) - 1;
+        &self.chunks[chunk][(i - self.starts[chunk]) as usize]
+    }
+}
+
+/// One borrowed plan input: a flat tuple slice or a chunked view over
+/// segmented storage. Cheap to copy; all variants give O(1)-ish row access
+/// (chunked access is a binary search over the bucket starts).
+#[derive(Debug, Clone, Copy)]
+pub enum PlanInput<'a> {
+    /// Rows of a flat [`Relation`].
+    Flat(&'a [Tuple]),
+    /// Rows of a [`SegmentedRelation`], via a prepared [`ChunkedRows`] view.
+    Chunked(&'a ChunkedRows<'a>),
+}
+
+impl<'a> PlanInput<'a> {
+    /// Number of rows.
+    ///
+    /// # Panics
+    /// Panics for flat inputs of `u32::MAX` rows or more (row ids are `u32`
+    /// throughout the executor; see [`ChunkedRows::from_segmented`]).
+    pub fn len(&self) -> u32 {
+        match self {
+            PlanInput::Flat(rows) => {
+                assert!(
+                    rows.len() < u32::MAX as usize,
+                    "plan inputs are limited to u32::MAX - 1 rows, got {}",
+                    rows.len()
+                );
+                rows.len() as u32
+            }
+            PlanInput::Chunked(rows) => rows.len(),
+        }
+    }
+
+    /// `true` when the input holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The row with the given id.
+    #[inline]
+    pub fn get(&self, i: u32) -> &'a Tuple {
+        match self {
+            PlanInput::Flat(rows) => &rows[i as usize],
+            PlanInput::Chunked(rows) => rows.get(i),
+        }
+    }
+}
+
+impl<'a> From<&'a Relation> for PlanInput<'a> {
+    fn from(r: &'a Relation) -> Self {
+        PlanInput::Flat(r.tuples())
+    }
+}
+
+impl<'a> From<&'a ChunkedRows<'a>> for PlanInput<'a> {
+    fn from(r: &'a ChunkedRows<'a>) -> Self {
+        // Zero or one resident bucket — the common case when window pruning
+        // is off (everything lives in bucket 0) — degrades to a flat slice,
+        // skipping the per-access bucket search entirely.
+        match r.chunks.as_slice() {
+            [] => PlanInput::Flat(&[]),
+            [only] => PlanInput::Flat(only),
+            _ => PlanInput::Chunked(r),
+        }
+    }
+}
+
+/// The pooled executor state: selection vectors, join hash tables (intrusive
+/// chains — clearing never frees the buckets), intermediate row-id buffers
+/// and the distinct table. Owned by the caller (the MMQJP engine keeps one
+/// per engine) and reused across every plan execution, so steady-state
+/// evaluation allocates nothing but the output relation.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    sels: Vec<Vec<u32>>,
+    ht: FxHashMap<u64, u32>,
+    chain: Vec<u32>,
+    hits: Vec<u32>,
+    cur: Vec<u32>,
+    next: Vec<u32>,
+    out_ht: FxHashMap<u64, u32>,
+    out_chain: Vec<u32>,
+    bound: Vec<bool>,
+    lens: Vec<u32>,
+    filtered: Vec<bool>,
+    order: Vec<usize>,
+    remaining: Vec<usize>,
+    step_rels: Vec<u32>,
+    acc: Vec<(ColId, u32, u32)>,
+    left_keys: Vec<(u32, u32)>,
+    right_keys: Vec<u32>,
+    head_specs: Vec<(u32, u32)>,
+    rows_materialized: u64,
+    scratch_reuses: u64,
+    primed: bool,
+}
+
+impl ExecScratch {
+    /// Create an empty scratch pool.
+    pub fn new() -> Self {
+        ExecScratch::default()
+    }
+
+    /// Output tuples materialized across all executions (each result row is
+    /// built exactly once, at the final projection).
+    pub fn rows_materialized(&self) -> u64 {
+        self.rows_materialized
+    }
+
+    /// Executions that ran entirely on pooled buffers (every execution after
+    /// the first).
+    pub fn scratch_reuses(&self) -> u64 {
+        self.scratch_reuses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conjunctive::Atom;
+    use crate::database::{relation_from_rows, Database};
+
+    fn edges_db() -> (Database, Vec<(String, Relation)>) {
+        let edge = relation_from_rows(
+            ["src", "dst"],
+            vec![
+                [Value::int(1), Value::int(2)],
+                [Value::int(2), Value::int(3)],
+                [Value::int(3), Value::int(4)],
+                [Value::int(2), Value::int(4)],
+            ],
+        );
+        let label = relation_from_rows(
+            ["node", "color"],
+            vec![
+                [Value::int(1), Value::str("red")],
+                [Value::int(2), Value::str("blue")],
+                [Value::int(3), Value::str("red")],
+                [Value::int(4), Value::str("blue")],
+            ],
+        );
+        let mut db = Database::new();
+        db.register("edge", edge.clone());
+        db.register("label", label.clone());
+        (
+            db,
+            vec![("edge".to_owned(), edge), ("label".to_owned(), label)],
+        )
+    }
+
+    fn run_both(query: &ConjunctiveQuery) -> (Relation, Relation) {
+        let (db, rels) = edges_db();
+        let interpreted = db.evaluate(query).unwrap();
+        let plan = PhysicalPlan::compile(query, |name| {
+            rels.iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, r)| r.schema().arity())
+        })
+        .unwrap();
+        let inputs: Vec<PlanInput<'_>> = plan
+            .relations()
+            .iter()
+            .map(|name| {
+                PlanInput::from(
+                    &rels
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .expect("plan relation exists")
+                        .1,
+                )
+            })
+            .collect();
+        let mut scratch = ExecScratch::new();
+        let compiled = plan.execute(&inputs, &mut scratch, false);
+        (compiled, interpreted)
+    }
+
+    #[test]
+    fn two_hop_paths_match_interpreter_byte_for_byte() {
+        let q = ConjunctiveQuery::new(["X", "Z"])
+            .atom(Atom::new("edge", [Term::var("X"), Term::var("Y")]))
+            .atom(Atom::new("edge", [Term::var("Y"), Term::var("Z")]));
+        let (compiled, interpreted) = run_both(&q);
+        assert_eq!(compiled, interpreted);
+        assert_eq!(compiled.len(), 3);
+    }
+
+    #[test]
+    fn constants_and_repeated_variables() {
+        let q = ConjunctiveQuery::new(["Z"])
+            .atom(Atom::new("edge", [Term::constant(2i64), Term::var("Z")]));
+        let (compiled, interpreted) = run_both(&q);
+        assert_eq!(compiled, interpreted);
+        assert_eq!(compiled.len(), 2);
+
+        let mut db = Database::new();
+        let pair = relation_from_rows(
+            ["a", "b"],
+            vec![
+                [Value::int(1), Value::int(1)],
+                [Value::int(1), Value::int(2)],
+                [Value::int(3), Value::int(3)],
+            ],
+        );
+        db.register("pair", pair.clone());
+        let q =
+            ConjunctiveQuery::new(["X"]).atom(Atom::new("pair", [Term::var("X"), Term::var("X")]));
+        let plan = PhysicalPlan::compile(&q, |_| Some(2)).unwrap();
+        let mut scratch = ExecScratch::new();
+        let compiled = plan.execute(&[PlanInput::from(&pair)], &mut scratch, false);
+        assert_eq!(compiled, db.evaluate(&q).unwrap());
+        assert_eq!(compiled.len(), 2);
+    }
+
+    #[test]
+    fn three_way_join_and_distinct() {
+        let q = ConjunctiveQuery::new(["C"])
+            .atom(Atom::new("edge", [Term::var("X"), Term::var("Y")]))
+            .atom(Atom::new("label", [Term::var("X"), Term::var("C")]))
+            .atom(Atom::new("label", [Term::var("Y"), Term::var("C2")]));
+        let (compiled, interpreted) = run_both(&q);
+        assert_eq!(compiled, interpreted);
+
+        // Distinct in the materialization pass == Relation::distinct after.
+        let (db, rels) = edges_db();
+        let plan = PhysicalPlan::compile(&q, |name| {
+            rels.iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, r)| r.schema().arity())
+        })
+        .unwrap();
+        let inputs: Vec<PlanInput<'_>> = plan
+            .relations()
+            .iter()
+            .map(|name| PlanInput::from(&rels.iter().find(|(n, _)| n == name).unwrap().1))
+            .collect();
+        let mut scratch = ExecScratch::new();
+        let deduped = plan.execute(&inputs, &mut scratch, true);
+        assert_eq!(deduped, db.evaluate(&q).unwrap().distinct());
+        assert!(deduped.len() < compiled.len());
+    }
+
+    #[test]
+    fn disconnected_body_is_a_cross_product() {
+        let q = ConjunctiveQuery::new(["X", "N"])
+            .atom(Atom::new("edge", [Term::var("X"), Term::constant(2i64)]))
+            .atom(Atom::new(
+                "label",
+                [Term::var("N"), Term::constant(Value::str("red"))],
+            ));
+        let (compiled, interpreted) = run_both(&q);
+        assert_eq!(compiled, interpreted);
+        assert_eq!(compiled.len(), 2);
+    }
+
+    #[test]
+    fn chunked_inputs_match_flat_inputs() {
+        let (_, rels) = edges_db();
+        let q = ConjunctiveQuery::new(["X", "Z"])
+            .atom(Atom::new("edge", [Term::var("X"), Term::var("Y")]))
+            .atom(Atom::new("edge", [Term::var("Y"), Term::var("Z")]));
+        let plan = PhysicalPlan::compile(&q, |_| Some(2)).unwrap();
+        let mut scratch = ExecScratch::new();
+        let flat = plan.execute(&[PlanInput::from(&rels[0].1)], &mut scratch, false);
+
+        // Split the edge relation across three buckets, preserving row order
+        // within the chunked iteration.
+        let mut seg = SegmentedRelation::new(rels[0].1.schema().clone());
+        for (i, t) in rels[0].1.iter().enumerate() {
+            seg.push((i / 2) as u64, t.clone()).unwrap();
+        }
+        let chunked = ChunkedRows::from_segmented(&seg);
+        assert_eq!(chunked.len(), 4);
+        assert!(!chunked.is_empty());
+        let via_chunks = plan.execute(&[PlanInput::from(&chunked)], &mut scratch, false);
+        assert_eq!(flat, via_chunks);
+        assert!(scratch.scratch_reuses() >= 1);
+        assert_eq!(scratch.rows_materialized(), (flat.len() * 2) as u64);
+    }
+
+    #[test]
+    fn empty_atom_short_circuits() {
+        let empty = Relation::new(Schema::new(["a", "b"]));
+        let q = ConjunctiveQuery::new(["X"])
+            .atom(Atom::new("edge", [Term::var("X"), Term::var("Y")]))
+            .atom(Atom::new("none", [Term::var("Y"), Term::var("Z")]));
+        let (_, rels) = edges_db();
+        let plan = PhysicalPlan::compile(&q, |_| Some(2)).unwrap();
+        let mut scratch = ExecScratch::new();
+        let inputs: Vec<PlanInput<'_>> = plan
+            .relations()
+            .iter()
+            .map(|name| {
+                if name == "edge" {
+                    PlanInput::from(&rels[0].1)
+                } else {
+                    PlanInput::from(&empty)
+                }
+            })
+            .collect();
+        let result = plan.execute(&inputs, &mut scratch, false);
+        assert!(result.is_empty());
+        assert_eq!(result.schema().columns(), &["X"]);
+    }
+
+    #[test]
+    fn duplicate_head_variables_match_the_interpreter() {
+        // The interpreter's projection accepts a repeated head variable;
+        // compilation must too (and produce the same two-column result).
+        let q = ConjunctiveQuery::new(["X", "X"])
+            .atom(Atom::new("edge", [Term::var("X"), Term::var("Y")]));
+        let (compiled, interpreted) = run_both(&q);
+        assert_eq!(compiled, interpreted);
+        assert_eq!(compiled.schema().arity(), 2);
+    }
+
+    #[test]
+    fn compile_rejects_bad_queries() {
+        // Unknown relation.
+        let q = ConjunctiveQuery::new(["X"]).atom(Atom::new("nope", [Term::var("X")]));
+        assert!(matches!(
+            PhysicalPlan::compile(&q, |_| None).unwrap_err(),
+            RelError::UnknownRelation { .. }
+        ));
+        // Arity mismatch.
+        let q = ConjunctiveQuery::new(["X"]).atom(Atom::new("edge", [Term::var("X")]));
+        assert!(matches!(
+            PhysicalPlan::compile(&q, |_| Some(2)).unwrap_err(),
+            RelError::MalformedQuery { .. }
+        ));
+        // Unbound head.
+        let q =
+            ConjunctiveQuery::new(["Q"]).atom(Atom::new("edge", [Term::var("X"), Term::var("Y")]));
+        assert!(matches!(
+            PhysicalPlan::compile(&q, |_| Some(2)).unwrap_err(),
+            RelError::MalformedQuery { .. }
+        ));
+        // Empty body.
+        let q = ConjunctiveQuery::new(["X"]);
+        assert!(matches!(
+            PhysicalPlan::compile(&q, |_| Some(2)).unwrap_err(),
+            RelError::MalformedQuery { .. }
+        ));
+    }
+
+    #[test]
+    fn plan_metadata_accessors() {
+        let q = ConjunctiveQuery::new(["X", "Z"])
+            .atom(Atom::new("edge", [Term::var("X"), Term::var("Y")]))
+            .atom(Atom::new("edge", [Term::var("Y"), Term::var("Z")]))
+            .atom(Atom::new("label", [Term::var("Z"), Term::var("C")]));
+        let plan = PhysicalPlan::compile(&q, |_| Some(2)).unwrap();
+        assert_eq!(plan.relations(), &["edge".to_owned(), "label".to_owned()]);
+        assert_eq!(plan.num_atoms(), 3);
+        assert_eq!(plan.num_columns(), 4); // X, Y, Z, C
+        assert_eq!(plan.head_schema().columns(), &["X", "Z"]);
+    }
+}

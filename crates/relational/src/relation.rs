@@ -60,6 +60,13 @@ impl Relation {
         &self.tuples
     }
 
+    /// Consume the relation, returning its tuples (insertion order). Lets
+    /// callers move whole rows onward — e.g. into the engine's segmented
+    /// join state — without per-value clones.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
     /// Iterate over tuples.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
         self.tuples.iter()
