@@ -14,6 +14,10 @@
 use mmqjp_bench::{figure_header, fmt_throughput, print_table, run_rss_benchmark, scale, MODES};
 use mmqjp_core::ProcessingMode;
 
+/// Fixed workload seed: the query set and stream are deterministic, so two
+/// runs on the same machine and scale differ only by timer noise.
+const SEED: u64 = 16;
+
 pub fn main() {
     figure_header(
         "Figure 16",
@@ -35,7 +39,7 @@ pub fn main() {
                 values.push("(skipped)".to_owned());
                 continue;
             }
-            let run = run_rss_benchmark(mode, n, items, batch, 16);
+            let run = run_rss_benchmark(mode, n, items, batch, SEED);
             series.push((n, mode.label(), run.throughput));
             values.push(fmt_throughput(run.throughput));
         }
@@ -64,13 +68,20 @@ pub fn main() {
 }
 
 /// Hand-rolled JSON for the docs/s series (no serde_json in the build
-/// environment): `{"figure", "scale", "items", "batch", "series": [...]}`.
+/// environment): `{"figure", "scale", "items", "batch", "seed", "note",
+/// "series": [...]}`.
 fn fig16_json(scale: &str, items: usize, batch: usize, series: &[(usize, &str, f64)]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"figure\": \"fig16_rss_throughput\",\n");
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     out.push_str(&format!("  \"items\": {items},\n"));
     out.push_str(&format!("  \"batch\": {batch},\n"));
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(
+        "  \"note\": \"docs_per_sec counts single-threaded Stage-2 join time only \
+         (release build); absolute numbers vary by machine — only the cross-mode \
+         ratios at equal query counts are comparable across runs\",\n",
+    );
     out.push_str("  \"series\": [\n");
     let entries: Vec<String> = series
         .iter()

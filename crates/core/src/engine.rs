@@ -11,7 +11,7 @@ use crate::state::{key_int, key_sym, JoinState};
 use crate::stats::{EngineStats, PhaseTimings};
 use crate::view_cache::ViewCache;
 use mmqjp_relational::{
-    ChunkedRows, ExecScratch, FxHashMap, PlanInput, Relation, StringInterner, Symbol, Value,
+    ChunkedRows, ExecScratch, FxHashMap, PlanInput, Relation, RowRef, StringInterner, Symbol,
 };
 use mmqjp_xml::{DocId, Document, NodeId};
 use mmqjp_xpath::{PatternMatcher, TreePattern};
@@ -386,7 +386,7 @@ impl MmqjpEngine {
         &self,
         query: &QueryRuntime,
         registration: &Registration,
-        row: &[Value],
+        row: RowRef<'_>,
         nodes_offset: usize,
         d1: DocId,
         d2: DocId,
@@ -447,7 +447,7 @@ impl MmqjpEngine {
         &self,
         registration: &Registration,
         template: &mmqjp_xscl::QueryTemplate,
-        row: &[Value],
+        row: RowRef<'_>,
         nodes_offset: usize,
         d1: DocId,
         d2: DocId,
@@ -543,19 +543,19 @@ impl MmqjpEngine {
                 None => rbinw_by_docnode(&batch)?,
             };
             for row in batch.rdoc_w.iter() {
-                let sym = key_sym(row, 2, "RdocW", "strVal")?;
+                let sym = key_sym(&row[2], "RdocW", "strVal")?;
                 if !self.view_cache.contains(sym) {
                     continue;
                 }
-                let docid = key_int(row, 0, "RdocW", "docid")?;
-                let node = key_int(row, 1, "RdocW", "node")?;
+                let docid = key_int(&row[0], "RdocW", "docid")?;
+                let node = key_int(&row[1], "RdocW", "node")?;
                 let mut addition = Relation::new(schemas::rl());
                 for &bin_row in rbinw_by_docnode
                     .get(&(docid, node))
                     .map(|v| v.as_slice())
                     .unwrap_or(&[])
                 {
-                    let b = &batch.rbin_w.tuples()[bin_row];
+                    let b = batch.rbin_w.row(bin_row);
                     addition.push_values(rl_row(b, sym)).expect("RL arity");
                 }
                 if !addition.is_empty() {
@@ -647,6 +647,16 @@ struct EvalInputs<'a> {
     batch: &'a WitnessBatch,
     rl: Option<Relation>,
     rr: Option<Relation>,
+    /// Basic MMQJP mode only: the resident `Rdoc` rows whose string value
+    /// occurs in the current batch, computed once per batch and shared by
+    /// every template. Sound because every basic-plan `Rdoc` atom equates
+    /// its strVal variable with an `RdocW` atom's — rows with absent string
+    /// values can never join.
+    rdoc_restricted: Option<Relation>,
+    /// Basic MMQJP mode only: the resident `Rbin` rows of documents that
+    /// survive the `Rdoc` restriction. Only substituted for plans that also
+    /// read `Rdoc` (all left-side atoms share its document variable there).
+    rbin_restricted: Option<Relation>,
 }
 
 impl<'a> EvalInputs<'a> {
@@ -657,6 +667,8 @@ impl<'a> EvalInputs<'a> {
             batch,
             rl: None,
             rr: None,
+            rdoc_restricted: None,
+            rbin_restricted: None,
         }
     }
 
@@ -670,10 +682,22 @@ impl<'a> EvalInputs<'a> {
         inputs: &mut Vec<PlanInput<'b>>,
     ) {
         inputs.clear();
+        // The Rbin restriction is derived from the restricted Rdoc's
+        // document ids, so it is only sound for plans whose Rbin atoms share
+        // a document variable with an Rdoc atom — i.e. plans that read Rdoc.
+        let narrow_rbin = self.rbin_restricted.is_some() && kinds.contains(&PlanInputKind::Rdoc);
         for kind in kinds {
             inputs.push(match kind {
+                PlanInputKind::Rbin if narrow_rbin => PlanInput::from(
+                    self.rbin_restricted
+                        .as_ref()
+                        .expect("narrow_rbin implies a restricted Rbin"),
+                ),
                 PlanInputKind::Rbin => PlanInput::from(&self.rbin),
-                PlanInputKind::Rdoc => PlanInput::from(&self.rdoc),
+                PlanInputKind::Rdoc => match &self.rdoc_restricted {
+                    Some(restricted) => PlanInput::from(restricted),
+                    None => PlanInput::from(&self.rdoc),
+                },
                 PlanInputKind::RbinW => PlanInput::from(&self.batch.rbin_w),
                 PlanInputKind::RdocW => PlanInput::from(&self.batch.rdoc_w),
                 PlanInputKind::Rl => PlanInput::from(
@@ -706,8 +730,8 @@ fn rbinw_by_docnode(batch: &WitnessBatch) -> CoreResult<RbinwByDocnode> {
     let mut index: RbinwByDocnode = FxHashMap::default();
     for (i, row) in batch.rbin_w.iter().enumerate() {
         let key = (
-            key_int(row, 0, "RbinW", "docid")?,
-            key_int(row, 4, "RbinW", "node2")?,
+            key_int(&row[0], "RbinW", "docid")?,
+            key_int(&row[4], "RbinW", "node2")?,
         );
         index.entry(key).or_default().push(i);
     }
@@ -735,9 +759,31 @@ fn evaluate_mmqjp(
         ctx.rl = Some(rl);
         ctx.rr = Some(rr);
         rbinw_index = Some(index);
+    } else {
+        // Basic MMQJP: restrict the shared join-state inputs to the rows the
+        // batch can actually join, once, before the per-template loop. Every
+        // basic plan's Rdoc atom equates its strVal variable with an RdocW
+        // atom's, so Rdoc rows under string values absent from the batch are
+        // dead weight every template would otherwise re-scan — this is the
+        // shared work the view-materialized mode gets from its RL/RR
+        // intermediates, without materializing any view.
+        let t_restrict = Instant::now();
+        let mut strvals: Vec<Symbol> = Vec::new();
+        let mut seen: HashSet<Symbol> = HashSet::new();
+        for row in batch.rdoc_w.iter() {
+            let sym = key_sym(&row[2], "RdocW", "strVal")?;
+            if seen.insert(sym) {
+                strvals.push(sym);
+            }
+        }
+        let (rdoc, docids) = state.rdoc_for_strvals(&strvals)?;
+        ctx.rbin_restricted = Some(state.rbin_for_docids(&docids));
+        ctx.rdoc_restricted = Some(rdoc);
+        timings.compute_rvj += t_restrict.elapsed();
     }
 
     let t0 = Instant::now();
+    let mat0 = scratch.materialize_time();
     let mut results = Vec::new();
     let mut inputs: Vec<PlanInput<'_>> = Vec::new();
     for t in registry.templates() {
@@ -753,7 +799,9 @@ fn evaluate_mmqjp(
             results.push((-1, rows));
         }
     }
-    timings.conjunctive += t0.elapsed();
+    let materialize = scratch.materialize_time().saturating_sub(mat0);
+    timings.conjunctive += t0.elapsed().saturating_sub(materialize);
+    timings.materialize += materialize;
     Ok((results, rbinw_index))
 }
 
@@ -767,6 +815,7 @@ fn evaluate_sequential(
     timings: &mut PhaseTimings,
 ) -> CoreResult<ResultRows> {
     let t0 = Instant::now();
+    let mat0 = scratch.materialize_time();
     let ctx = EvalInputs::new(state, batch);
     let mut results = Vec::new();
     let mut inputs: Vec<PlanInput<'_>> = Vec::new();
@@ -783,7 +832,9 @@ fn evaluate_sequential(
             }
         }
     }
-    timings.conjunctive += t0.elapsed();
+    let materialize = scratch.materialize_time().saturating_sub(mat0);
+    timings.conjunctive += t0.elapsed().saturating_sub(materialize);
+    timings.materialize += materialize;
     Ok(results)
 }
 
@@ -805,7 +856,7 @@ fn compute_rl_rr(
     // (docid, node2), used to build the RR slices.
     let mut rdocw_by_str: FxHashMap<Symbol, Vec<usize>> = FxHashMap::default();
     for (i, row) in batch.rdoc_w.iter().enumerate() {
-        let sym = key_sym(row, 2, "RdocW", "strVal")?;
+        let sym = key_sym(&row[2], "RdocW", "strVal")?;
         if state.contains_strval(sym) && seen.insert(sym) {
             str_values.push(sym);
         }
@@ -835,15 +886,15 @@ fn compute_rl_rr(
     let mut rr = Relation::new(schemas::rl());
     for &s in &str_values {
         for &doc_row in rdocw_by_str.get(&s).map(|v| v.as_slice()).unwrap_or(&[]) {
-            let row = &batch.rdoc_w.tuples()[doc_row];
-            let docid = key_int(row, 0, "RdocW", "docid")?;
-            let node = key_int(row, 1, "RdocW", "node")?;
+            let row = batch.rdoc_w.row(doc_row);
+            let docid = key_int(&row[0], "RdocW", "docid")?;
+            let node = key_int(&row[1], "RdocW", "node")?;
             for &bin_row in rbinw_by_docnode
                 .get(&(docid, node))
                 .map(|v| v.as_slice())
                 .unwrap_or(&[])
             {
-                let b = &batch.rbin_w.tuples()[bin_row];
+                let b = batch.rbin_w.row(bin_row);
                 rr.push_values(rl_row(b, s)).expect("RR arity");
             }
         }

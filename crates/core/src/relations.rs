@@ -19,7 +19,7 @@
 //! Variable names and node string values are interned; node ids, document ids
 //! and timestamps are integers.
 
-use mmqjp_relational::{Relation, StringInterner, Symbol, Value};
+use mmqjp_relational::{Relation, RowRef, StringInterner, Symbol, Value};
 use mmqjp_xml::{DocId, Document, NodeId, Timestamp};
 use mmqjp_xpath::{binding_string_value, EdgeBinding, TreePattern};
 use std::collections::HashSet;
@@ -67,10 +67,10 @@ pub mod schemas {
 }
 
 /// Build one `RL`/`RR` row: an `Rbin`-shaped row extended with the join
-/// string value, copied whole in one step (no per-field clones).
-pub(crate) fn rl_row(bin_row: &[Value], strval: Symbol) -> Vec<Value> {
+/// string value.
+pub(crate) fn rl_row(bin_row: RowRef<'_>, strval: Symbol) -> Vec<Value> {
     let mut row = Vec::with_capacity(bin_row.len() + 1);
-    row.extend_from_slice(bin_row);
+    row.extend(bin_row.iter().cloned());
     row.push(Value::Sym(strval));
     row
 }

@@ -527,14 +527,39 @@ mod tests {
         let mut e = sharded(EngineConfig::mmqjp_view_mat().with_num_shards(2));
         e.process_document(d1()).unwrap();
         e.process_document(d2()).unwrap();
+        // A repeated blog article re-joins under already-cached string
+        // values, so the view caches register hits as well as misses.
+        e.process_document(d2().with_timestamp(Timestamp(30)))
+            .unwrap();
         let per_shard = e.shard_stats().unwrap();
         assert_eq!(per_shard.len(), 2);
         let total = e.stats().unwrap();
-        assert_eq!(total, per_shard.into_iter().sum());
+        assert_eq!(total, per_shard.iter().copied().sum());
         assert_eq!(total.queries_registered, 3);
         // Every shard sees every document.
-        assert_eq!(total.documents_processed, 2 * e.num_shards());
-        assert_eq!(total.results_emitted, 2);
+        assert_eq!(total.documents_processed, 3 * e.num_shards());
+        // Q1/Q2 match (book, blog) for each of the two blog timestamps; Q3
+        // (blog FOLLOWED BY blog) matches the repeated article pair.
+        assert_eq!(total.results_emitted, 5);
+        // View-cache counters aggregate across shards: the merged stats are
+        // the exact field-wise sums of nonzero per-shard counters.
+        assert!(total.view_cache_misses > 0, "caches were exercised");
+        assert!(total.view_cache_hits > 0, "repeat strvals hit the caches");
+        assert_eq!(
+            total.view_cache_hits,
+            per_shard.iter().map(|s| s.view_cache_hits).sum::<usize>()
+        );
+        assert_eq!(
+            total.view_cache_misses,
+            per_shard.iter().map(|s| s.view_cache_misses).sum::<usize>()
+        );
+        assert_eq!(
+            total.view_cache_evictions,
+            per_shard
+                .iter()
+                .map(|s| s.view_cache_evictions)
+                .sum::<usize>()
+        );
         assert_eq!(e.config().mode, ProcessingMode::MmqjpViewMat);
         assert!(!e.interner().is_empty());
     }

@@ -20,7 +20,9 @@
 
 use crate::error::{CoreError, CoreResult};
 use crate::relations::{rl_row, schemas, WitnessBatch};
-use mmqjp_relational::{BucketId, FxHashMap, Relation, SegmentedRelation, Symbol, Tuple, Value};
+use mmqjp_relational::{
+    BucketId, FxHashMap, Relation, RowRef, SegmentedRelation, Symbol, Tuple, Value,
+};
 use mmqjp_xml::{DocId, Document};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -32,66 +34,52 @@ const DEFAULT_BUCKET_WIDTH: u64 = 1024;
 /// derived from the registered windows.
 pub(crate) const BUCKETS_PER_WINDOW: u64 = 16;
 
-/// Extract an integer index key from a state/witness row, erroring (and
-/// asserting in debug builds) instead of collapsing malformed rows onto a
-/// sentinel key.
-pub(crate) fn key_int(
-    row: &[Value],
-    col: usize,
-    relation: &'static str,
-    column: &'static str,
-) -> CoreResult<i64> {
-    match row[col].as_int() {
-        Some(v) => Ok(v),
+/// Extract an integer index key from a state/witness row value, erroring
+/// (and asserting in debug builds) instead of collapsing malformed rows onto
+/// a sentinel key. Takes the already-indexed [`Value`] so both owned tuples
+/// and borrowed [`RowRef`]s feed it the same way.
+pub(crate) fn key_int(v: &Value, relation: &'static str, column: &'static str) -> CoreResult<i64> {
+    match v.as_int() {
+        Some(i) => Ok(i),
         None => {
-            debug_assert!(
-                false,
-                "non-integer index key {relation}.{column}: {:?}",
-                row[col]
-            );
+            debug_assert!(false, "non-integer index key {relation}.{column}: {v:?}");
             Err(CoreError::CorruptStateRow {
                 relation,
                 column,
-                value: format!("{:?}", row[col]),
+                value: format!("{v:?}"),
             })
         }
     }
 }
 
-/// Extract an interned-symbol index key from a state/witness row.
+/// Extract an interned-symbol index key from a state/witness row value.
 pub(crate) fn key_sym(
-    row: &[Value],
-    col: usize,
+    v: &Value,
     relation: &'static str,
     column: &'static str,
 ) -> CoreResult<Symbol> {
-    match row[col].as_sym() {
+    match v.as_sym() {
         Some(s) => Ok(s),
         None => {
-            debug_assert!(
-                false,
-                "non-symbol index key {relation}.{column}: {:?}",
-                row[col]
-            );
+            debug_assert!(false, "non-symbol index key {relation}.{column}: {v:?}");
             Err(CoreError::CorruptStateRow {
                 relation,
                 column,
-                value: format!("{:?}", row[col]),
+                value: format!("{v:?}"),
             })
         }
     }
 }
 
-/// Extract a document id from a state/witness row. Document ids are `u64`
-/// end-to-end ([`DocId`]); rows store them as non-negative `Value::Int`s, and
-/// a negative value is corruption, not a key.
+/// Extract a document id from a state/witness row value. Document ids are
+/// `u64` end-to-end ([`DocId`]); rows store them as non-negative
+/// `Value::Int`s, and a negative value is corruption, not a key.
 pub(crate) fn key_doc_id(
-    row: &[Value],
-    col: usize,
+    v: &Value,
     relation: &'static str,
     column: &'static str,
 ) -> CoreResult<DocId> {
-    let raw = key_int(row, col, relation, column)?;
+    let raw = key_int(v, relation, column)?;
     match u64::try_from(raw) {
         Ok(v) => Ok(DocId(v)),
         Err(_) => {
@@ -113,12 +101,13 @@ fn latest_ts_of_bucket(bucket: BucketId, width: u64) -> u64 {
         .saturating_sub(1)
 }
 
-/// Timestamp of a retention-ledger row (`RdocTS(docid, timestamp)`).
-fn ledger_ts(row: &[Value]) -> CoreResult<u64> {
-    u64::try_from(key_int(row, 1, "RdocTS", "timestamp")?).map_err(|_| CoreError::CorruptStateRow {
+/// Timestamp of a retention-ledger row (`RdocTS(docid, timestamp)`), from
+/// its `timestamp` value.
+fn ledger_ts(v: &Value) -> CoreResult<u64> {
+    u64::try_from(key_int(v, "RdocTS", "timestamp")?).map_err(|_| CoreError::CorruptStateRow {
         relation: "RdocTS",
         column: "timestamp",
-        value: format!("{:?}", row[1]),
+        value: format!("{v:?}"),
     })
 }
 
@@ -263,8 +252,8 @@ impl JoinState {
         let old_ledger =
             std::mem::replace(&mut self.ledger, SegmentedRelation::new(schemas::doc_ts()));
         for row in old_ledger.iter() {
-            let ts = ledger_ts(row)?;
-            self.insert_ledger_row(row.clone(), ts)?;
+            let ts = ledger_ts(&row[1])?;
+            self.insert_ledger_row(row.to_vec(), ts)?;
         }
         if self.bucketed {
             let old_rdoc =
@@ -277,14 +266,14 @@ impl JoinState {
                 let fallback = latest_ts_of_bucket(bucket, current);
                 for row in seg.iter() {
                     let ts = self.known_doc_ts(row).unwrap_or(fallback);
-                    self.insert_rdoc_row(row.clone(), ts)?;
+                    self.insert_rdoc_row(row.to_vec(), ts)?;
                 }
             }
             for (bucket, seg) in old_rbin.buckets() {
                 let fallback = latest_ts_of_bucket(bucket, current);
                 for row in seg.iter() {
                     let ts = self.known_doc_ts(row).unwrap_or(fallback);
-                    self.insert_rbin_row(row.clone(), ts)?;
+                    self.insert_rbin_row(row.to_vec(), ts)?;
                 }
             }
         }
@@ -292,7 +281,7 @@ impl JoinState {
     }
 
     /// Timestamp of a state row's document, when it is still retained.
-    fn known_doc_ts(&self, row: &[Value]) -> Option<u64> {
+    fn known_doc_ts(&self, row: RowRef<'_>) -> Option<u64> {
         let doc = row[0].as_int().and_then(|v| u64::try_from(v).ok())?;
         self.doc_timestamp(DocId(doc))
     }
@@ -310,22 +299,22 @@ impl JoinState {
         self.strval_rows.clear();
         for row in old_rdoc.iter() {
             let ts = self.resident_doc_ts(row, "Rdoc")?;
-            self.insert_rdoc_row(row.clone(), ts)?;
+            self.insert_rdoc_row(row.to_vec(), ts)?;
         }
         for row in old_rbin.iter() {
             let ts = self.resident_doc_ts(row, "Rbin")?;
-            self.insert_rbin_row(row.clone(), ts)?;
+            self.insert_rbin_row(row.to_vec(), ts)?;
         }
         for row in old_ledger.iter() {
-            let ts = ledger_ts(row)?;
-            self.insert_ledger_row(row.clone(), ts)?;
+            let ts = ledger_ts(&row[1])?;
+            self.insert_ledger_row(row.to_vec(), ts)?;
         }
         Ok(())
     }
 
     /// Timestamp of the resident document a state row belongs to.
-    fn resident_doc_ts(&self, row: &[Value], relation: &'static str) -> CoreResult<u64> {
-        let doc = key_doc_id(row, 0, relation, "docid")?;
+    fn resident_doc_ts(&self, row: RowRef<'_>, relation: &'static str) -> CoreResult<u64> {
+        let doc = key_doc_id(&row[0], relation, "docid")?;
         self.doc_timestamp(doc)
             .ok_or_else(|| CoreError::CorruptStateRow {
                 relation,
@@ -409,19 +398,19 @@ impl JoinState {
             rdoc_ts_w,
             ..
         } = batch;
-        for row in rdoc_w.into_tuples() {
-            let docid = key_int(&row, 0, "RdocW", "docid")?;
+        for row in rdoc_w.into_rows() {
+            let docid = key_int(&row[0], "RdocW", "docid")?;
             let ts = doc_ts(docid, "RdocW")?;
             self.insert_rdoc_row(row, ts)?;
         }
-        for row in rbin_w.into_tuples() {
-            let docid = key_int(&row, 0, "RbinW", "docid")?;
+        for row in rbin_w.into_rows() {
+            let docid = key_int(&row[0], "RbinW", "docid")?;
             let ts = doc_ts(docid, "RbinW")?;
             self.insert_rbin_row(row, ts)?;
         }
-        for row in rdoc_ts_w.into_tuples() {
-            let doc = key_doc_id(&row, 0, "RdocTSW", "docid")?;
-            let ts = ledger_ts(&row)?;
+        for row in rdoc_ts_w.into_rows() {
+            let doc = key_doc_id(&row[0], "RdocTSW", "docid")?;
+            let ts = ledger_ts(&row[1])?;
             self.insert_ledger_row(row, ts)?;
             self.doc_timestamps.insert(doc, ts);
         }
@@ -436,7 +425,7 @@ impl JoinState {
     /// Insert one `Rdoc` row into its bucket, maintaining the per-bucket
     /// index and the global string-value row count.
     fn insert_rdoc_row(&mut self, row: Tuple, ts: u64) -> CoreResult<()> {
-        let sym = key_sym(&row, 2, "Rdoc", "strVal")?;
+        let sym = key_sym(&row[2], "Rdoc", "strVal")?;
         let bucket = self.join_bucket(ts);
         let handle = self.rdoc.push(bucket, row)?;
         self.indexes
@@ -453,8 +442,8 @@ impl JoinState {
     /// Insert one `Rbin` row into its bucket, maintaining the per-bucket
     /// index.
     fn insert_rbin_row(&mut self, row: Tuple, ts: u64) -> CoreResult<()> {
-        let docid = key_int(&row, 0, "Rbin", "docid")?;
-        let node2 = key_int(&row, 4, "Rbin", "node2")?;
+        let docid = key_int(&row[0], "Rbin", "docid")?;
+        let node2 = key_int(&row[4], "Rbin", "node2")?;
         let bucket = self.join_bucket(ts);
         let handle = self.rbin.push(bucket, row)?;
         self.indexes
@@ -493,9 +482,9 @@ impl JoinState {
                 .bucket(bucket)
                 .expect("indexed bucket has an Rdoc segment");
             for &off in doc_rows {
-                let row = &rdoc_seg.tuples()[off as usize];
-                let docid = key_int(row, 0, "Rdoc", "docid")?;
-                let node = key_int(row, 1, "Rdoc", "node")?;
+                let row = rdoc_seg.row(off as usize);
+                let docid = key_int(&row[0], "Rdoc", "docid")?;
+                let node = key_int(&row[1], "Rdoc", "node")?;
                 let Some(bin_rows) = index.rbin_by_docnode.get(&(docid, node)) else {
                     continue;
                 };
@@ -504,12 +493,92 @@ impl JoinState {
                     .bucket(bucket)
                     .expect("indexed bucket has an Rbin segment");
                 for &boff in bin_rows {
-                    let b = &rbin_seg.tuples()[boff as usize];
+                    let b = rbin_seg.row(boff as usize);
                     slice.push_values(rl_row(b, s)).expect("RL arity");
                 }
             }
         }
         Ok(slice)
+    }
+
+    /// Restrict the resident `Rdoc` state to the rows whose string value
+    /// occurs in `strvals`, gathered through the per-bucket
+    /// `rdoc_by_strval` indexes: O(buckets × |strvals| + matching rows)
+    /// instead of a full state scan. Rows come out in bucket order, then
+    /// ascending in-bucket offset — a deterministic subsequence of the full
+    /// iteration order. Also returns the document ids the restricted rows
+    /// mention (they feed [`JoinState::rbin_for_docids`]).
+    ///
+    /// Soundness: in every basic-template conjunctive query, each `Rdoc`
+    /// atom's `strVal` variable is shared with an `RdocW` atom of the same
+    /// value-join edge, so `Rdoc` rows whose string value is absent from the
+    /// current batch's `RdocW` cannot contribute to any result.
+    pub(crate) fn rdoc_for_strvals(
+        &self,
+        strvals: &[Symbol],
+    ) -> CoreResult<(Relation, HashSet<i64>)> {
+        let mut out = Relation::new(schemas::doc());
+        let mut docids: HashSet<i64> = HashSet::new();
+        let mut offs: Vec<u32> = Vec::new();
+        for (&bucket, index) in &self.indexes {
+            offs.clear();
+            for s in strvals {
+                if let Some(rows) = index.rdoc_by_strval.get(s) {
+                    offs.extend_from_slice(rows);
+                }
+            }
+            if offs.is_empty() {
+                continue;
+            }
+            // Each row is indexed under exactly one string value, so the
+            // gathered offsets are distinct; sorting restores scan order.
+            offs.sort_unstable();
+            let seg = self
+                .rdoc
+                .bucket(bucket)
+                .expect("indexed bucket has an Rdoc segment");
+            for &off in &offs {
+                let row = seg.row(off as usize);
+                docids.insert(key_int(&row[0], "Rdoc", "docid")?);
+                out.push_values(row.to_vec()).expect("Rdoc arity");
+            }
+        }
+        Ok((out, docids))
+    }
+
+    /// Restrict the resident `Rbin` state to the rows of the given
+    /// documents, gathered through the per-bucket `rbin_by_docnode` indexes.
+    /// Row order matches [`JoinState::rdoc_for_strvals`]: bucket order, then
+    /// ascending in-bucket offset.
+    ///
+    /// Soundness: every left-side atom of a basic-template conjunctive query
+    /// shares the single stored-document variable, so `Rbin` rows of
+    /// documents absent from the restricted `Rdoc` cannot join into any
+    /// result.
+    pub(crate) fn rbin_for_docids(&self, docids: &HashSet<i64>) -> Relation {
+        let mut out = Relation::new(schemas::bin());
+        let mut offs: Vec<u32> = Vec::new();
+        for (&bucket, index) in &self.indexes {
+            offs.clear();
+            for (&(docid, _), rows) in &index.rbin_by_docnode {
+                if docids.contains(&docid) {
+                    offs.extend_from_slice(rows);
+                }
+            }
+            if offs.is_empty() {
+                continue;
+            }
+            offs.sort_unstable();
+            let seg = self
+                .rbin
+                .bucket(bucket)
+                .expect("indexed bucket has an Rbin segment");
+            for &off in &offs {
+                out.push_values(seg.row(off as usize).to_vec())
+                    .expect("Rbin arity");
+            }
+        }
+        out
     }
 
     /// The segmented `Rbin` join state. Plan execution borrows it directly
@@ -820,23 +889,50 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-integer index key")]
     fn malformed_key_asserts_in_debug() {
-        let row = vec![Value::Null, Value::Int(1)];
-        let _ = key_int(&row, 0, "Rdoc", "docid");
+        let row = [Value::Null, Value::Int(1)];
+        let _ = key_int(&row[0], "Rdoc", "docid");
     }
 
     #[test]
     fn key_helpers_accept_well_formed_rows() {
         let interner = StringInterner::new();
-        let row = vec![
+        let row = [
             Value::Int(7),
             Value::Sym(interner.intern("s")),
             Value::Int(-3),
         ];
-        assert_eq!(key_int(&row, 0, "R", "a").unwrap(), 7);
+        assert_eq!(key_int(&row[0], "R", "a").unwrap(), 7);
         assert_eq!(
-            key_sym(&row, 1, "R", "b").unwrap(),
+            key_sym(&row[1], "R", "b").unwrap(),
             interner.get("s").unwrap()
         );
-        assert_eq!(key_doc_id(&row, 0, "R", "a").unwrap(), DocId(7));
+        assert_eq!(key_doc_id(&row[0], "R", "a").unwrap(), DocId(7));
+    }
+
+    #[test]
+    fn batch_restriction_follows_the_indexes() {
+        let (mut s, interner) = state(10);
+        for i in 1..=6u64 {
+            let d = doc(i, i * 7);
+            let strval = if i % 2 == 0 { "even" } else { "odd" };
+            s.absorb(batch_for(&d, strval, &interner), &[d], false)
+                .unwrap();
+        }
+        let even = interner.get("even").unwrap();
+        let (rdoc, docids) = s.rdoc_for_strvals(&[even]).unwrap();
+        assert_eq!(rdoc.len(), 3);
+        assert_eq!(docids, HashSet::from([2, 4, 6]));
+        // Every restricted row carries the requested string value.
+        assert!(rdoc.iter().all(|r| r[2] == Value::Sym(even)));
+        let rbin = s.rbin_for_docids(&docids);
+        assert_eq!(rbin.len(), 3);
+        assert!(rbin
+            .iter()
+            .all(|r| matches!(r[0].as_int(), Some(d) if d % 2 == 0)));
+        // An absent string value restricts to nothing.
+        let (empty, no_docs) = s.rdoc_for_strvals(&[interner.intern("absent")]).unwrap();
+        assert!(empty.is_empty());
+        assert!(no_docs.is_empty());
+        assert!(s.rbin_for_docids(&no_docs).is_empty());
     }
 }

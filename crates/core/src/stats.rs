@@ -17,15 +17,22 @@ pub struct PhaseTimings {
     /// Stage 1: XPath evaluation and witness-relation construction.
     pub xpath: Duration,
     /// Computing the common string values `STR` / the `Rvj` semi-join
-    /// (view-materialization mode only).
+    /// (view-materialization mode), or gathering the batch-restricted
+    /// `Rdoc`/`Rbin` inputs shared by every template (basic MMQJP mode).
     pub compute_rvj: Duration,
     /// Computing (or fetching from the view cache) the `RL` slices.
     pub compute_rl: Duration,
     /// Computing the `RR` slices.
     pub compute_rr: Duration,
     /// Evaluating the per-template (or per-query, in Sequential mode)
-    /// conjunctive queries.
+    /// conjunctive queries: selection, join ordering and the row-id join
+    /// pipeline (everything up to the final head projection).
     pub conjunctive: Duration,
+    /// Materializing output tuples at the final head projection of the
+    /// compiled plans (the late-materialization step of the columnar
+    /// kernel). Split out from [`conjunctive`](Self::conjunctive) so the
+    /// per-stage cost of a batch is visible.
+    pub materialize: Duration,
     /// Temporal filtering and output-document construction (Algorithm 3).
     pub output: Duration,
     /// Join-state and view-cache maintenance (Algorithms 2 and 5).
@@ -40,6 +47,7 @@ impl PhaseTimings {
             + self.compute_rl
             + self.compute_rr
             + self.conjunctive
+            + self.materialize
             + self.output
             + self.maintenance
     }
@@ -48,7 +56,7 @@ impl PhaseTimings {
     /// in Figures 8–15: everything in Stage 2 except output construction and
     /// state maintenance.
     pub fn stage2_join_time(&self) -> Duration {
-        self.compute_rvj + self.compute_rl + self.compute_rr + self.conjunctive
+        self.compute_rvj + self.compute_rl + self.compute_rr + self.conjunctive + self.materialize
     }
 }
 
@@ -59,6 +67,7 @@ impl AddAssign for PhaseTimings {
         self.compute_rl += rhs.compute_rl;
         self.compute_rr += rhs.compute_rr;
         self.conjunctive += rhs.conjunctive;
+        self.materialize += rhs.materialize;
         self.output += rhs.output;
         self.maintenance += rhs.maintenance;
     }
@@ -215,11 +224,12 @@ mod tests {
             compute_rl: Duration::from_millis(3),
             compute_rr: Duration::from_millis(4),
             conjunctive: Duration::from_millis(5),
+            materialize: Duration::from_millis(8),
             output: Duration::from_millis(6),
             maintenance: Duration::from_millis(7),
         };
-        assert_eq!(t.total(), Duration::from_millis(28));
-        assert_eq!(t.stage2_join_time(), Duration::from_millis(14));
+        assert_eq!(t.total(), Duration::from_millis(36));
+        assert_eq!(t.stage2_join_time(), Duration::from_millis(22));
     }
 
     #[test]

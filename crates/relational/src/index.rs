@@ -2,7 +2,7 @@
 
 use crate::error::RelResult;
 use crate::fxhash::FxHashMap;
-use crate::relation::{Relation, Tuple};
+use crate::relation::{Relation, RowRef};
 use crate::value::Value;
 
 /// A multi-column hash index mapping key values to the row indices of a
@@ -30,12 +30,17 @@ impl HashIndex {
         Ok(Self::build_on_indices(relation, cols))
     }
 
-    /// Build an index keyed on column positions.
+    /// Build an index keyed on column positions. The build walks the key
+    /// columns' contiguous value slices rather than whole rows.
     pub fn build_on_indices(relation: &Relation, key_columns: Vec<usize>) -> Self {
         let mut map: FxHashMap<Vec<Value>, Vec<usize>> =
             FxHashMap::with_capacity_and_hasher(relation.len(), Default::default());
-        for (row, tuple) in relation.iter().enumerate() {
-            let key: Vec<Value> = key_columns.iter().map(|&c| tuple[c].clone()).collect();
+        let cols: Vec<&[Value]> = key_columns
+            .iter()
+            .map(|&c| relation.col_values(c))
+            .collect();
+        for row in 0..relation.len() {
+            let key: Vec<Value> = cols.iter().map(|c| c[row].clone()).collect();
             map.entry(key).or_default().push(row);
         }
         HashIndex { key_columns, map }
@@ -51,12 +56,19 @@ impl HashIndex {
         self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
-    /// Row indices matching the key extracted from `tuple` using the probe
-    /// column positions `probe_columns` (which must have the same length as
-    /// the index key).
-    pub fn probe<'a>(&'a self, tuple: &Tuple, probe_columns: &[usize]) -> &'a [usize] {
+    /// Row indices matching the key extracted from `tuple` (a value slice)
+    /// using the probe column positions `probe_columns` (which must have the
+    /// same length as the index key).
+    pub fn probe<'a>(&'a self, tuple: &[Value], probe_columns: &[usize]) -> &'a [usize] {
         debug_assert_eq!(probe_columns.len(), self.key_columns.len());
         let key: Vec<Value> = probe_columns.iter().map(|&c| tuple[c].clone()).collect();
+        self.map.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Row indices matching the key extracted from a borrowed relation row.
+    pub fn probe_row<'a>(&'a self, row: RowRef<'_>, probe_columns: &[usize]) -> &'a [usize] {
+        debug_assert_eq!(probe_columns.len(), self.key_columns.len());
+        let key: Vec<Value> = probe_columns.iter().map(|&c| row[c].clone()).collect();
         self.map.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
@@ -71,7 +83,7 @@ impl HashIndex {
     }
 
     /// Add a new row to the index incrementally.
-    pub fn insert_row(&mut self, tuple: &Tuple, row: usize) {
+    pub fn insert_row(&mut self, tuple: &[Value], row: usize) {
         let key: Vec<Value> = self.key_columns.iter().map(|&c| tuple[c].clone()).collect();
         self.map.entry(key).or_default().push(row);
     }
@@ -128,6 +140,8 @@ mod tests {
         // Probe with a tuple whose age is at position 0.
         let probe_tuple = vec![Value::int(30)];
         assert_eq!(idx.probe(&probe_tuple, &[0]), &[0, 2, 3]);
+        // Probing with a borrowed row finds the same partners.
+        assert_eq!(idx.probe_row(r.row(0), &[2]), &[0, 2, 3]);
     }
 
     #[test]

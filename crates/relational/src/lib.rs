@@ -8,7 +8,9 @@
 //! external dependency with an embedded engine providing exactly the
 //! machinery the Join Processor needs:
 //!
-//! * [`Value`], [`Tuple`], [`Schema`], [`Relation`] — the data model. String
+//! * [`Value`], [`Tuple`], [`Schema`], [`Relation`] — the data model.
+//!   Relations store their values **column-major** (one contiguous `Vec` per
+//!   column), with borrowed [`RowRef`] views for row-oriented access. String
 //!   values and variable names are interned through [`StringInterner`] so
 //!   equality joins compare fixed-width symbols.
 //! * [`ops`] — relational algebra operators: selection, projection, hash
@@ -58,7 +60,7 @@
 //!     .atom(Atom::new("parent", [Term::var("Y"), Term::var("Z")]));
 //! let result = db.evaluate(&q).unwrap();
 //! assert_eq!(result.len(), 1);
-//! assert_eq!(result.tuples()[0][0], Value::str("alice"));
+//! assert_eq!(result.row(0)[0], Value::str("alice"));
 //! ```
 
 #![warn(missing_docs)]
@@ -84,7 +86,7 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::HashIndex;
 pub use interner::{StringInterner, Symbol};
 pub use plan::{ChunkedRows, ColId, ExecScratch, PhysicalPlan, PlanInput};
-pub use relation::{Relation, Tuple};
+pub use relation::{Relation, RowRef, Rows, Tuple};
 pub use schema::Schema;
 pub use segment::{BucketId, RowHandle, SegmentedRelation, SegmentedTuples};
 pub use value::Value;

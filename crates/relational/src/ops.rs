@@ -3,49 +3,63 @@
 //! All operators are functions from relations to relations; none mutate their
 //! inputs. Equi-joins are hash joins (build on the smaller input, probe with
 //! the larger), matching what a disk-based engine's planner would pick for
-//! the MMQJP workload and keeping the cost model of the paper intact.
+//! the MMQJP workload and keeping the cost model of the paper intact. Over
+//! the columnar [`Relation`] layout, projection and rename are whole-column
+//! clones, and row-oriented operators work through [`RowRef`] views.
 
 use crate::error::{RelError, RelResult};
 use crate::fxhash::FxHashSet;
 use crate::index::HashIndex;
-use crate::relation::{Relation, Tuple};
+use crate::relation::{Relation, RowRef};
 use crate::schema::Schema;
 use crate::value::Value;
 
 /// Selection: keep tuples satisfying `pred`.
-pub fn select(input: &Relation, mut pred: impl FnMut(&Tuple) -> bool) -> Relation {
+pub fn select(input: &Relation, mut pred: impl FnMut(RowRef<'_>) -> bool) -> Relation {
     let mut out = Relation::new(input.schema().clone());
     for t in input.iter() {
         if pred(t) {
-            out.push_unchecked(t.clone());
+            out.push_row(t);
         }
     }
     out
 }
 
-/// Selection on a single column equality (`column = value`).
+/// Selection on a single column equality (`column = value`), as a tight scan
+/// over the column's contiguous values.
 pub fn select_eq(input: &Relation, column: &str, value: &Value) -> RelResult<Relation> {
     let idx = input.schema().require(column)?;
-    Ok(select(input, |t| &t[idx] == value))
+    let col = input.col_values(idx);
+    let mut out = Relation::new(input.schema().clone());
+    for (row, v) in col.iter().enumerate() {
+        if v == value {
+            out.push_row(input.row(row));
+        }
+    }
+    Ok(out)
 }
 
 /// Projection onto the named columns (preserves duplicates; combine with
-/// [`Relation::distinct`] for set semantics).
+/// [`Relation::distinct`] for set semantics). Columnar storage makes this a
+/// clone of the selected column vectors — no per-row work.
 pub fn project(input: &Relation, columns: &[&str]) -> RelResult<Relation> {
     let idxs: Vec<usize> = columns
         .iter()
         .map(|c| input.schema().require(c))
         .collect::<RelResult<_>>()?;
     let schema = input.schema().project(columns)?;
-    let mut out = Relation::new(schema);
-    for t in input.iter() {
-        out.push_unchecked(idxs.iter().map(|&i| t[i].clone()).collect());
+    let cols: Vec<Vec<Value>> = idxs.iter().map(|&i| input.col_values(i).to_vec()).collect();
+    let mut out = Relation::from_columns(schema, cols)?;
+    if columns.is_empty() {
+        // A nullary projection still yields one (empty) tuple per input row;
+        // with no columns the length cannot be inferred from the data.
+        out.set_len(input.len());
     }
     Ok(out)
 }
 
 /// Rename columns: `renames` maps old name → new name. Columns not mentioned
-/// keep their names.
+/// keep their names. A pure metadata change plus a column clone.
 pub fn rename(input: &Relation, renames: &[(&str, &str)]) -> RelResult<Relation> {
     for (old, _) in renames {
         input.schema().require(old)?;
@@ -62,7 +76,10 @@ pub fn rename(input: &Relation, renames: &[(&str, &str)]) -> RelResult<Relation>
                 .unwrap_or_else(|| c.clone())
         })
         .collect();
-    Relation::with_tuples(Schema::new(new_cols), input.tuples().to_vec())
+    let cols: Vec<Vec<Value>> = (0..input.schema().arity())
+        .map(|i| input.col_values(i).to_vec())
+        .collect();
+    Relation::from_columns(Schema::new(new_cols), cols)
 }
 
 /// Hash equi-join of `left` and `right` on `left_keys[i] = right_keys[i]`.
@@ -98,19 +115,15 @@ pub fn hash_join(
     if left.len() <= right.len() {
         let index = HashIndex::build_on_indices(left, left_idx);
         for rt in right.iter() {
-            for &lrow in index.probe(rt, &right_idx) {
-                let mut combined = left.tuples()[lrow].clone();
-                combined.extend(rt.iter().cloned());
-                out.push_unchecked(combined);
+            for &lrow in index.probe_row(rt, &right_idx) {
+                out.push_concat(left.row(lrow), rt);
             }
         }
     } else {
         let index = HashIndex::build_on_indices(right, right_idx);
         for lt in left.iter() {
-            for &rrow in index.probe(lt, &left_idx) {
-                let mut combined = lt.clone();
-                combined.extend(right.tuples()[rrow].iter().cloned());
-                out.push_unchecked(combined);
+            for &rrow in index.probe_row(lt, &left_idx) {
+                out.push_concat(lt, right.row(rrow));
             }
         }
     }
@@ -182,8 +195,8 @@ pub fn semi_join(
     let index = HashIndex::build_on_indices(right, right_idx);
     let mut out = Relation::new(left.schema().clone());
     for t in left.iter() {
-        if !index.probe(t, &left_idx).is_empty() {
-            out.push_unchecked(t.clone());
+        if !index.probe_row(t, &left_idx).is_empty() {
+            out.push_row(t);
         }
     }
     Ok(out)
@@ -213,8 +226,8 @@ pub fn anti_join(
     let index = HashIndex::build_on_indices(right, right_idx);
     let mut out = Relation::new(left.schema().clone());
     for t in left.iter() {
-        if index.probe(t, &left_idx).is_empty() {
-            out.push_unchecked(t.clone());
+        if index.probe_row(t, &left_idx).is_empty() {
+            out.push_row(t);
         }
     }
     Ok(out)
@@ -236,11 +249,15 @@ pub fn difference(left: &Relation, right: &Relation) -> RelResult<Relation> {
             found: right.schema().arity(),
         });
     }
-    let right_set: FxHashSet<&Tuple> = right.iter().collect();
+    let right_set: FxHashSet<Vec<&Value>> = right
+        .iter()
+        .map(|t| t.iter().collect::<Vec<&Value>>())
+        .collect();
     let mut out = Relation::new(left.schema().clone());
     for t in left.iter() {
-        if !right_set.contains(t) {
-            out.push_unchecked(t.clone());
+        let key: Vec<&Value> = t.iter().collect();
+        if !right_set.contains(&key) {
+            out.push_row(t);
         }
     }
     Ok(out)
@@ -252,9 +269,7 @@ pub fn cross_product(left: &Relation, right: &Relation) -> RelResult<Relation> {
     let mut out = Relation::new(left.schema().concat(right.schema()));
     for lt in left.iter() {
         for rt in right.iter() {
-            let mut combined = lt.clone();
-            combined.extend(rt.iter().cloned());
-            out.push_unchecked(combined);
+            out.push_concat(lt, rt);
         }
     }
     Ok(out)
@@ -278,7 +293,7 @@ pub fn count_by(input: &Relation, key_columns: &[&str]) -> RelResult<Relation> {
     for (key, count) in counts {
         let mut row = key;
         row.push(Value::Int(count));
-        out.push_unchecked(row);
+        out.push_values(row).expect("key arity plus count column");
     }
     Ok(out)
 }

@@ -1,4 +1,4 @@
-//! Compiled physical plans for conjunctive queries, with a
+//! Compiled physical plans for conjunctive queries, with a columnar,
 //! late-materialization execution kernel.
 //!
 //! [`Database::evaluate`](crate::Database::evaluate) interprets a
@@ -8,35 +8,47 @@
 //! rows. A [`PhysicalPlan`] performs all of that resolution exactly once, at
 //! compile time — variables are interned to dense [`ColId`]s, relation names
 //! to input slots, constant and repeated-variable filters to positional
-//! checks — and execution then operates on *row ids* only:
+//! checks — and execution then operates on *row ids* over the columnar
+//! [`Relation`] layout:
 //!
-//! * selections produce row-id vectors over borrowed inputs (no tuple is
-//!   copied);
+//! * selections are per-constraint passes over contiguous column slices,
+//!   producing row-id vectors (no tuple is copied and no row is assembled);
+//! * join-key hashes for each atom's rows are computed **column-wise in
+//!   batch** into a pooled buffer before the build/probe loop runs;
 //! * each hash join produces strided row-id tuples — one id per already
 //!   joined atom — keyed by [`FxHasher`](crate::FxHasher) value hashes with
-//!   exact verification on probe;
+//!   exact per-column verification on probe;
 //! * full output tuples are materialized exactly once, at the final head
-//!   projection (optionally deduplicated in the same pass).
+//!   projection, appended column-by-column (optionally deduplicated in the
+//!   same pass).
 //!
 //! All executor buffers live in an [`ExecScratch`] pool the caller owns and
 //! reuses across executions, so steady-state evaluation performs no
 //! per-batch allocations beyond the result relation itself.
 //!
-//! Execution replicates the interpreter *byte for byte*: the same greedy
-//! connected join order (chosen per execution from the actual filtered
-//! cardinalities — the one planning decision that must stay data-dependent),
-//! the same build-on-the-smaller-side hash joins, the same output row order.
-//! The `properties.rs` proptest in the integration suite certifies this
-//! equivalence on random relations and queries.
+//! The greedy join order is driven by **sampled selectivity estimates**
+//! rather than raw cardinalities: each atom column's distinct-value count is
+//! estimated from up to 64 hashed samples, and the planner picks the
+//! connected atom minimizing the estimated intermediate size. This is what
+//! keeps low-selectivity joins (e.g. two variable-name columns over the
+//! whole `Rbin` state) from running early and exploding the intermediate.
+//!
+//! Execution replicates the interpreter *byte for byte*: the same
+//! estimate-driven greedy connected join order (computed per execution from
+//! the actual filtered inputs — the one planning decision that must stay
+//! data-dependent), the same build-on-the-smaller-side hash joins, the same
+//! output row order. The `properties.rs` proptest in the integration suite
+//! certifies this equivalence on random relations and queries.
 
 use crate::conjunctive::{ConjunctiveQuery, Term};
 use crate::error::{RelError, RelResult};
 use crate::fxhash::{FxHashMap, FxHasher};
-use crate::relation::{Relation, Tuple};
+use crate::relation::{Relation, RowRef};
 use crate::schema::Schema;
 use crate::segment::SegmentedRelation;
 use crate::value::Value;
 use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
 
 /// A dense column id assigned to each distinct query variable at compile
 /// time. All runtime bookkeeping (bound-variable sets, key resolution, head
@@ -46,6 +58,9 @@ pub type ColId = u32;
 
 /// Sentinel for "no entry" in the executor's intrusive hash chains.
 const NONE: u32 = u32::MAX;
+
+/// Number of rows sampled per column for the distinct-count estimate.
+pub(crate) const DISTINCT_SAMPLE: usize = 64;
 
 /// One compiled body atom: its input slot plus the pre-resolved positional
 /// filters and variable bindings.
@@ -232,9 +247,12 @@ impl PhysicalPlan {
         );
         let ExecScratch {
             sels,
+            samples,
             ht,
             chain,
             hits,
+            hash_states,
+            hash_buf,
             cur,
             next,
             out_ht,
@@ -251,6 +269,7 @@ impl PhysicalPlan {
             head_specs,
             rows_materialized,
             scratch_reuses,
+            materialize_nanos,
             primed,
         } = scratch;
         if *primed {
@@ -266,6 +285,8 @@ impl PhysicalPlan {
         }
 
         // ---- Selection: per-atom row-id vectors -------------------------
+        // Each constraint is one pass over a contiguous column slice: the
+        // first constraint seeds the row-id vector, the rest filter it.
         while sels.len() < n {
             sels.push(Vec::new());
         }
@@ -279,19 +300,7 @@ impl PhysicalPlan {
                 filtered.push(false);
                 lens.push(input.len());
             } else {
-                let sel = &mut sels[i];
-                sel.clear();
-                for row_id in 0..input.len() {
-                    let row = input.get(row_id);
-                    let ok = atom.consts.iter().all(|(pos, c)| &row[*pos as usize] == c)
-                        && atom
-                            .dups
-                            .iter()
-                            .all(|(pos, first)| row[*pos as usize] == row[*first as usize]);
-                    if ok {
-                        sel.push(row_id);
-                    }
-                }
+                select_atom(atom, input, &mut sels[i]);
                 filtered.push(true);
                 lens.push(sels[i].len() as u32);
             }
@@ -301,10 +310,46 @@ impl PhysicalPlan {
             return out;
         }
 
+        // ---- Sampled column hashes per atom -----------------------------
+        // Up to [`DISTINCT_SAMPLE`] evenly strided row samples per atom,
+        // hashed per variable column (flattened column-major). The join
+        // order estimates the distinct count of any bound-column
+        // *combination* from them, which — unlike per-column estimates
+        // multiplied under an independence assumption — stays honest for
+        // correlated columns. Only multi-atom bodies need them.
+        while samples.len() < n {
+            samples.push(Vec::new());
+        }
+        if n > 1 {
+            for (i, atom) in self.atoms.iter().enumerate() {
+                let input = &inputs[atom.rel as usize];
+                let nrows = lens[i] as usize;
+                let s = &mut samples[i];
+                s.clear();
+                let sc = nrows.min(DISTINCT_SAMPLE);
+                let step = nrows / sc; // nrows >= 1: empty atoms returned above
+                if filtered[i] {
+                    let sel = &sels[i];
+                    for &(_, pos) in &atom.vars {
+                        for j in 0..sc {
+                            s.push(hash_value(input.value(sel[j * step], pos)));
+                        }
+                    }
+                } else {
+                    for &(_, pos) in &atom.vars {
+                        for j in 0..sc {
+                            s.push(hash_value(input.value((j * step) as u32, pos)));
+                        }
+                    }
+                }
+            }
+        }
+
         // ---- Join order (replicates the interpreter's greedy planner) ---
         join_order(
             &self.atoms,
             lens,
+            samples,
             self.col_names.len(),
             bound,
             remaining,
@@ -351,6 +396,18 @@ impl PhysicalPlan {
                 inputs,
                 step_rels: step_rels.as_slice(),
             };
+            // Batch the right side's key hashes column-wise before the
+            // build/probe loop (both branches consume `hash_buf[r]`).
+            if !left_keys.is_empty() {
+                batch_hashes(
+                    right,
+                    right_sel,
+                    right_keys,
+                    right_rows,
+                    hash_states,
+                    hash_buf,
+                );
+            }
 
             next.clear();
             if left_keys.is_empty() {
@@ -373,14 +430,12 @@ impl PhysicalPlan {
                     *link = *slot;
                     *slot = l as u32;
                 }
-                for r in 0..right_rows {
+                for (r, &h) in hash_buf.iter().enumerate().take(right_rows) {
                     let rid = base_id(right_sel, r);
-                    let row = right.get(rid);
-                    let h = hash_row(row, right_keys);
                     hits.clear();
                     let mut cand = ht.get(&h).copied().unwrap_or(NONE);
                     while cand != NONE {
-                        if left.key_equals(cand as usize, left_keys, row, right_keys) {
+                        if left.key_equals(cand as usize, left_keys, right, rid, right_keys) {
                             hits.push(cand);
                         }
                         cand = chain[cand as usize];
@@ -400,9 +455,7 @@ impl PhysicalPlan {
                 chain.clear();
                 chain.resize(right_rows, NONE);
                 for (r, link) in chain.iter_mut().enumerate() {
-                    let row = right.get(base_id(right_sel, r));
-                    let h = hash_row(row, right_keys);
-                    let slot = ht.entry(h).or_insert(NONE);
+                    let slot = ht.entry(hash_buf[r]).or_insert(NONE);
                     *link = *slot;
                     *slot = r as u32;
                 }
@@ -412,7 +465,7 @@ impl PhysicalPlan {
                     let mut cand = ht.get(&h).copied().unwrap_or(NONE);
                     while cand != NONE {
                         let rid = base_id(right_sel, cand as usize);
-                        if left.key_equals(l, left_keys, right.get(rid), right_keys) {
+                        if left.key_equals(l, left_keys, right, rid, right_keys) {
                             hits.push(cand);
                         }
                         cand = chain[cand as usize];
@@ -436,6 +489,10 @@ impl PhysicalPlan {
         }
 
         // ---- Materialize: head projection, tuples built exactly once ----
+        // Values are appended column-by-column into the output's columnar
+        // storage; with `distinct`, rows are hashed and compared in place
+        // *before* anything is cloned.
+        let mat_start = Instant::now();
         head_specs.clear();
         for col in &self.head {
             let &(_, s, p) = acc
@@ -455,6 +512,7 @@ impl PhysicalPlan {
             inputs,
             step_rels: step_rels.as_slice(),
         };
+        let mut out_len = 0usize;
         for row_idx in 0..rows {
             if distinct {
                 // Dedup *before* building anything: hash and compare the
@@ -468,12 +526,9 @@ impl PhysicalPlan {
                 let mut cand = out_ht.get(&h).copied().unwrap_or(NONE);
                 let mut duplicate = false;
                 while cand != NONE {
-                    let existing = &out.tuples()[cand as usize];
-                    if head_specs
-                        .iter()
-                        .enumerate()
-                        .all(|(k, &(s, p))| left.value(row_idx, s, p) == &existing[k])
-                    {
+                    if head_specs.iter().enumerate().all(|(k, &(s, p))| {
+                        left.value(row_idx, s, p) == &out.col_values(k)[cand as usize]
+                    }) {
                         duplicate = true;
                         break;
                     }
@@ -482,20 +537,134 @@ impl PhysicalPlan {
                 if duplicate {
                     continue;
                 }
-                let idx = out.len() as u32;
                 let slot = out_ht.entry(h).or_insert(NONE);
                 out_chain.push(*slot);
-                *slot = idx;
+                *slot = out_len as u32;
             }
-            let mut tuple: Tuple = Vec::with_capacity(head_specs.len());
-            for &(s, p) in head_specs.iter() {
-                tuple.push(left.value(row_idx, s, p).clone());
+            let cols = out.cols_mut();
+            for (k, &(s, p)) in head_specs.iter().enumerate() {
+                cols[k].push(left.value(row_idx, s, p).clone());
             }
-            out.push_unchecked(tuple);
+            out_len += 1;
         }
-        *rows_materialized += out.len() as u64;
+        out.set_len(out_len);
+        *rows_materialized += out_len as u64;
+        *materialize_nanos += mat_start.elapsed().as_nanos() as u64;
         out
     }
+}
+
+/// Fill `sel` with the row ids of `input` satisfying the atom's constant and
+/// repeated-variable constraints. Each constraint is one tight pass over a
+/// contiguous column slice (per chunk, for segmented inputs); row ids come
+/// out ascending.
+fn select_atom(atom: &PhysAtom, input: &PlanInput<'_>, sel: &mut Vec<u32>) {
+    sel.clear();
+    match input {
+        PlanInput::Flat(rel) => select_chunk(atom, rel, 0, sel),
+        PlanInput::Chunked(c) => {
+            for (k, rel) in c.chunks.iter().enumerate() {
+                select_chunk(atom, rel, c.starts[k], sel);
+            }
+        }
+    }
+}
+
+/// One chunk's share of [`select_atom`]: seed from the first constraint's
+/// column scan, then filter the candidates one constraint (one column pass)
+/// at a time.
+fn select_chunk(atom: &PhysAtom, rel: &Relation, base: u32, sel: &mut Vec<u32>) {
+    if rel.is_empty() {
+        return;
+    }
+    let start = sel.len();
+    let mut dups = atom.dups.as_slice();
+    if let Some((pos, c)) = atom.consts.first() {
+        let col = rel.col_values(*pos as usize);
+        for (i, v) in col.iter().enumerate() {
+            if v == c {
+                sel.push(base + i as u32);
+            }
+        }
+    } else {
+        let (pos, first) = dups[0];
+        let (a, b) = (rel.col_values(pos as usize), rel.col_values(first as usize));
+        for i in 0..rel.len() {
+            if a[i] == b[i] {
+                sel.push(base + i as u32);
+            }
+        }
+        dups = &dups[1..];
+    }
+    for (pos, c) in atom.consts.iter().skip(1) {
+        let col = rel.col_values(*pos as usize);
+        retain_from(sel, start, |rid| &col[(rid - base) as usize] == c);
+    }
+    for &(pos, first) in dups {
+        let a = rel.col_values(pos as usize);
+        let b = rel.col_values(first as usize);
+        retain_from(sel, start, |rid| {
+            a[(rid - base) as usize] == b[(rid - base) as usize]
+        });
+    }
+}
+
+/// In-place filter of `sel[start..]`, preserving order.
+fn retain_from(sel: &mut Vec<u32>, start: usize, mut keep: impl FnMut(u32) -> bool) {
+    let mut w = start;
+    for r in start..sel.len() {
+        let v = sel[r];
+        if keep(v) {
+            sel[w] = v;
+            w += 1;
+        }
+    }
+    sel.truncate(w);
+}
+
+/// Compute the key hashes of the right (atom) side **column-wise**: one pass
+/// per key column over the column's values (contiguous slices for unfiltered
+/// flat/chunked inputs, gathered through the selection vector otherwise),
+/// folding into a pooled row of [`FxHasher`] states. Equivalent to hashing
+/// each row's key values in order, but touches memory column-by-column.
+fn batch_hashes(
+    input: &PlanInput<'_>,
+    sel: Option<&[u32]>,
+    keys: &[u32],
+    rows: usize,
+    states: &mut Vec<FxHasher>,
+    out: &mut Vec<u64>,
+) {
+    states.clear();
+    states.resize(rows, FxHasher::default());
+    for &p in keys.iter() {
+        match sel {
+            Some(ids) => {
+                for (i, &rid) in ids.iter().enumerate() {
+                    input.value(rid, p).hash(&mut states[i]);
+                }
+            }
+            None => match input {
+                PlanInput::Flat(rel) => {
+                    let col = rel.col_values(p as usize);
+                    for (i, v) in col.iter().enumerate() {
+                        v.hash(&mut states[i]);
+                    }
+                }
+                PlanInput::Chunked(c) => {
+                    let mut i = 0usize;
+                    for rel in &c.chunks {
+                        for v in rel.col_values(p as usize) {
+                            v.hash(&mut states[i]);
+                            i += 1;
+                        }
+                    }
+                }
+            },
+        }
+    }
+    out.clear();
+    out.extend(states.iter().map(FxHasher::finish));
 }
 
 /// The base row id behind selection position `pos` (`sel[pos]`, or `pos`
@@ -508,14 +677,113 @@ fn base_id(sel: Option<&[u32]>, pos: usize) -> u32 {
     }
 }
 
-/// Replicates [`Database`](crate::Database)'s greedy connected join
-/// ordering over the compiled metadata: start from the smallest (filtered)
-/// atom, then always take the atom sharing the most bound variables,
-/// tie-breaking on fewer rows and then on body position. Writes the order
-/// into the pooled `order` buffer.
+/// The Fx hash of one value (used for sampled distinct estimates; shared
+/// with the interpreter so both sides derive identical estimates).
+#[inline]
+pub(crate) fn hash_value(v: &Value) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// Combine a per-column sample hash into a running per-row tuple hash, so a
+/// set of columns sampled independently can be treated as one composite
+/// column. Shared with the interpreter's planner so both sides compute
+/// identical estimates; order-sensitive, but both planners fold columns in
+/// the same first-occurrence variable order.
+#[inline]
+pub(crate) fn mix_hash(acc: u64, h: u64) -> u64 {
+    (acc.rotate_left(5) ^ h).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Estimate the number of distinct values among `n` rows from the sampled
+/// hashes in `hs` (one per sampled row): scale the sample's distinct count
+/// to the full row count and clamp to `[distinct, n]`. Sorts `hs` in place;
+/// deterministic. Returns 0 for an empty sample.
+pub(crate) fn scaled_distinct(hs: &mut [u64], n: usize) -> u64 {
+    if hs.is_empty() {
+        return 0;
+    }
+    hs.sort_unstable();
+    let mut distinct = 1u64;
+    for w in hs.windows(2) {
+        if w[0] != w[1] {
+            distinct += 1;
+        }
+    }
+    ((distinct as u128 * n as u128 / hs.len() as u128) as u64).clamp(distinct, n as u64)
+}
+
+/// Estimate the number of distinct values among `n` rows from up to
+/// [`DISTINCT_SAMPLE`] evenly strided hashed samples. Deterministic;
+/// `hash_at` receives row positions `0, step, 2*step, ...`.
+#[cfg(test)]
+pub(crate) fn estimate_distinct(n: usize, mut hash_at: impl FnMut(usize) -> u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let sample = n.min(DISTINCT_SAMPLE);
+    let step = n / sample;
+    let mut hashes = [0u64; DISTINCT_SAMPLE];
+    for (j, slot) in hashes[..sample].iter_mut().enumerate() {
+        *slot = hash_at(j * step);
+    }
+    scaled_distinct(&mut hashes[..sample], n)
+}
+
+/// One join-order candidate: `(position in remaining, connected, filtered
+/// len, sampled distinct estimate of the combined shared-column tuple,
+/// shared bound vars)`.
+type OrderCand = (usize, bool, u64, u64, usize);
+
+/// `true` when candidate `c` beats `b`: connected first, then the smaller
+/// estimated *growth ratio* `len / distinct(shared-column tuple)` — the
+/// factor the candidate multiplies the intermediate by — then more shared
+/// variables, fewer rows and earlier body position (the stable default).
+/// Ratios are compared exactly by cross-multiplying in 128 bits
+/// (`c.len * b.sel` vs `b.len * c.sel`), never by dividing: absolute output
+/// estimates compound the error of every previous step and collapse to ties
+/// under integer division, which is precisely how a tag-only join that
+/// multiplies the intermediate 30× can end up ranked above a string-value
+/// join that keeps it flat.
+#[inline]
+fn order_better(c: OrderCand, b: OrderCand) -> bool {
+    if c.1 != b.1 {
+        return c.1;
+    }
+    let (c_ratio, b_ratio) = (
+        u128::from(c.2) * u128::from(b.3),
+        u128::from(b.2) * u128::from(c.3),
+    );
+    if c_ratio != b_ratio {
+        return c_ratio < b_ratio;
+    }
+    if c.4 != b.4 {
+        return c.4 > b.4;
+    }
+    if c.2 != b.2 {
+        return c.2 < b.2;
+    }
+    false
+}
+
+/// Replicates [`Database`](crate::Database)'s greedy connected join ordering
+/// over the compiled metadata: start from the smallest (filtered) atom, then
+/// repeatedly take the connected atom with the smallest estimated growth
+/// ratio `|atom| / distinct(shared-column tuple)` — tie-breaking on more
+/// shared variables, fewer rows and body position. The divisor is a sampled
+/// distinct estimate of the shared columns *combined* (per-sample hashes
+/// mixed into one tuple hash), not a product of per-column estimates: a
+/// product assumes independence and overstates the selectivity of
+/// correlated columns, while the combined estimate both pulls a
+/// many-variable atom (e.g. a template's `RT`) in early and keeps a
+/// correlated tag-pair join ranked behind a genuinely selective one.
+/// Disconnected atoms (cross products) are only taken when no connected
+/// atom remains. Writes the order into the pooled `order` buffer.
 fn join_order(
     atoms: &[PhysAtom],
     lens: &[u32],
+    samples: &[Vec<u64>],
     num_cols: usize,
     bound: &mut Vec<bool>,
     remaining: &mut Vec<usize>,
@@ -534,26 +802,40 @@ fn join_order(
         bound[*col as usize] = true;
     }
     while !remaining.is_empty() {
-        let mut best: Option<(usize, usize, u32)> = None;
+        let mut best: Option<OrderCand> = None;
         for (pos, &i) in remaining.iter().enumerate() {
-            let shared = atoms[i]
-                .vars
-                .iter()
-                .filter(|(c, _)| bound[*c as usize])
-                .count();
-            let size = lens[i];
-            best = match best {
-                None => Some((pos, shared, size)),
-                Some((bpos, bshared, bsize)) => {
-                    if shared > bshared || (shared == bshared && size < bsize) {
-                        Some((pos, shared, size))
-                    } else {
-                        Some((bpos, bshared, bsize))
+            let nrows = lens[i] as usize;
+            let sc = nrows.min(DISTINCT_SAMPLE);
+            let mut combo = [0u64; DISTINCT_SAMPLE];
+            let mut shared = 0usize;
+            for (k, (col, _)) in atoms[i].vars.iter().enumerate() {
+                if bound[*col as usize] {
+                    shared += 1;
+                    let hs = &samples[i][k * sc..(k + 1) * sc];
+                    for (c, &h) in combo[..sc].iter_mut().zip(hs) {
+                        *c = mix_hash(*c, h);
                     }
                 }
+            }
+            // Distinct estimate of the *combined* shared-column tuple.
+            let sel = if shared > 0 && sc > 0 {
+                scaled_distinct(&mut combo[..sc], nrows).max(1)
+            } else {
+                1
             };
+            let cand = (pos, shared > 0, u64::from(lens[i]), sel, shared);
+            best = Some(match best {
+                None => cand,
+                Some(b) => {
+                    if order_better(cand, b) {
+                        cand
+                    } else {
+                        b
+                    }
+                }
+            });
         }
-        let (pos, _, _) = best.expect("remaining is non-empty");
+        let (pos, ..) = best.expect("remaining is non-empty");
         let i = remaining.remove(pos);
         for (col, _) in &atoms[i].vars {
             bound[*col as usize] = true;
@@ -578,7 +860,7 @@ impl<'b> LeftRows<'b> {
     #[inline]
     fn value(&self, l: usize, s: u32, p: u32) -> &'b Value {
         let base = self.cur[l * self.stride + s as usize];
-        &self.inputs[self.step_rels[s as usize] as usize].get(base)[p as usize]
+        self.inputs[self.step_rels[s as usize] as usize].value(base, p)
     }
 
     /// Hash the join key of intermediate row `l`.
@@ -591,30 +873,22 @@ impl<'b> LeftRows<'b> {
         h.finish()
     }
 
-    /// Exact key comparison behind the hash (collisions must not join).
+    /// Exact key comparison behind the hash (collisions must not join),
+    /// value-by-value against the right input's columns.
     #[inline]
     fn key_equals(
         &self,
         l: usize,
         left_keys: &[(u32, u32)],
-        right_row: &Tuple,
+        right: &PlanInput<'b>,
+        rid: u32,
         right_keys: &[u32],
     ) -> bool {
         left_keys
             .iter()
             .zip(right_keys)
-            .all(|(&(s, p), &rp)| self.value(l, s, p) == &right_row[rp as usize])
+            .all(|(&(s, p), &rp)| self.value(l, s, p) == right.value(rid, rp))
     }
-}
-
-/// Hash the join key of one base row at the given positions.
-#[inline]
-fn hash_row(row: &Tuple, keys: &[u32]) -> u64 {
-    let mut h = FxHasher::default();
-    for &p in keys {
-        row[p as usize].hash(&mut h);
-    }
-    h.finish()
 }
 
 /// A random-access view over the buckets of a [`SegmentedRelation`],
@@ -623,7 +897,7 @@ fn hash_row(row: &Tuple, keys: &[u32]) -> u64 {
 #[derive(Debug, Clone, Default)]
 pub struct ChunkedRows<'a> {
     starts: Vec<u32>,
-    chunks: Vec<&'a [Tuple]>,
+    chunks: Vec<&'a Relation>,
     len: u32,
 }
 
@@ -647,7 +921,7 @@ impl<'a> ChunkedRows<'a> {
         let mut len = 0u32;
         for (_, segment) in relation.buckets() {
             starts.push(len);
-            chunks.push(segment.tuples());
+            chunks.push(segment);
             len += segment.len() as u32;
         }
         ChunkedRows {
@@ -667,21 +941,34 @@ impl<'a> ChunkedRows<'a> {
         self.len == 0
     }
 
+    /// The chunk index and in-chunk offset of global row `i`.
     #[inline]
-    fn get(&self, i: u32) -> &'a Tuple {
+    fn locate(&self, i: u32) -> (usize, u32) {
         debug_assert!(i < self.len);
         let chunk = self.starts.partition_point(|&s| s <= i) - 1;
-        &self.chunks[chunk][(i - self.starts[chunk]) as usize]
+        (chunk, i - self.starts[chunk])
+    }
+
+    #[inline]
+    fn get(&self, i: u32) -> RowRef<'a> {
+        let (chunk, off) = self.locate(i);
+        self.chunks[chunk].row(off as usize)
+    }
+
+    #[inline]
+    fn value(&self, i: u32, pos: u32) -> &'a Value {
+        let (chunk, off) = self.locate(i);
+        &self.chunks[chunk].col_values(pos as usize)[off as usize]
     }
 }
 
-/// One borrowed plan input: a flat tuple slice or a chunked view over
+/// One borrowed plan input: a flat columnar relation or a chunked view over
 /// segmented storage. Cheap to copy; all variants give O(1)-ish row access
 /// (chunked access is a binary search over the bucket starts).
 #[derive(Debug, Clone, Copy)]
 pub enum PlanInput<'a> {
-    /// Rows of a flat [`Relation`].
-    Flat(&'a [Tuple]),
+    /// A flat [`Relation`].
+    Flat(&'a Relation),
     /// Rows of a [`SegmentedRelation`], via a prepared [`ChunkedRows`] view.
     Chunked(&'a ChunkedRows<'a>),
 }
@@ -694,13 +981,13 @@ impl<'a> PlanInput<'a> {
     /// throughout the executor; see [`ChunkedRows::from_segmented`]).
     pub fn len(&self) -> u32 {
         match self {
-            PlanInput::Flat(rows) => {
+            PlanInput::Flat(rel) => {
                 assert!(
-                    rows.len() < u32::MAX as usize,
+                    rel.len() < u32::MAX as usize,
                     "plan inputs are limited to u32::MAX - 1 rows, got {}",
-                    rows.len()
+                    rel.len()
                 );
-                rows.len() as u32
+                rel.len() as u32
             }
             PlanInput::Chunked(rows) => rows.len(),
         }
@@ -713,44 +1000,56 @@ impl<'a> PlanInput<'a> {
 
     /// The row with the given id.
     #[inline]
-    pub fn get(&self, i: u32) -> &'a Tuple {
+    pub fn get(&self, i: u32) -> RowRef<'a> {
         match self {
-            PlanInput::Flat(rows) => &rows[i as usize],
+            PlanInput::Flat(rel) => rel.row(i as usize),
             PlanInput::Chunked(rows) => rows.get(i),
+        }
+    }
+
+    /// The value of row `i` at column position `pos`.
+    #[inline]
+    pub fn value(&self, i: u32, pos: u32) -> &'a Value {
+        match self {
+            PlanInput::Flat(rel) => &rel.col_values(pos as usize)[i as usize],
+            PlanInput::Chunked(rows) => rows.value(i, pos),
         }
     }
 }
 
 impl<'a> From<&'a Relation> for PlanInput<'a> {
     fn from(r: &'a Relation) -> Self {
-        PlanInput::Flat(r.tuples())
+        PlanInput::Flat(r)
     }
 }
 
 impl<'a> From<&'a ChunkedRows<'a>> for PlanInput<'a> {
     fn from(r: &'a ChunkedRows<'a>) -> Self {
-        // Zero or one resident bucket — the common case when window pruning
-        // is off (everything lives in bucket 0) — degrades to a flat slice,
+        // A single resident bucket — the common case when window pruning is
+        // off (everything lives in bucket 0) — degrades to a flat relation,
         // skipping the per-access bucket search entirely.
         match r.chunks.as_slice() {
-            [] => PlanInput::Flat(&[]),
             [only] => PlanInput::Flat(only),
             _ => PlanInput::Chunked(r),
         }
     }
 }
 
-/// The pooled executor state: selection vectors, join hash tables (intrusive
-/// chains — clearing never frees the buckets), intermediate row-id buffers
-/// and the distinct table. Owned by the caller (the MMQJP engine keeps one
-/// per engine) and reused across every plan execution, so steady-state
+/// The pooled executor state: selection vectors, sampled column hashes,
+/// join hash tables (intrusive chains — clearing never frees the buckets),
+/// the batched key-hash buffers, intermediate row-id buffers and the
+/// distinct table. Owned by the caller (the MMQJP engine keeps one per
+/// engine) and reused across every plan execution, so steady-state
 /// evaluation allocates nothing but the output relation.
 #[derive(Debug, Default)]
 pub struct ExecScratch {
     sels: Vec<Vec<u32>>,
+    samples: Vec<Vec<u64>>,
     ht: FxHashMap<u64, u32>,
     chain: Vec<u32>,
     hits: Vec<u32>,
+    hash_states: Vec<FxHasher>,
+    hash_buf: Vec<u64>,
     cur: Vec<u32>,
     next: Vec<u32>,
     out_ht: FxHashMap<u64, u32>,
@@ -767,6 +1066,7 @@ pub struct ExecScratch {
     head_specs: Vec<(u32, u32)>,
     rows_materialized: u64,
     scratch_reuses: u64,
+    materialize_nanos: u64,
     primed: bool,
 }
 
@@ -786,6 +1086,14 @@ impl ExecScratch {
     /// the first).
     pub fn scratch_reuses(&self) -> u64 {
         self.scratch_reuses
+    }
+
+    /// Cumulative wall-clock time spent in the materialization pass (head
+    /// projection + inline dedup) across all executions. Lets callers split
+    /// "joining row ids" from "building output tuples" in their per-stage
+    /// timings.
+    pub fn materialize_time(&self) -> Duration {
+        Duration::from_nanos(self.materialize_nanos)
     }
 }
 
@@ -942,7 +1250,7 @@ mod tests {
         // within the chunked iteration.
         let mut seg = SegmentedRelation::new(rels[0].1.schema().clone());
         for (i, t) in rels[0].1.iter().enumerate() {
-            seg.push((i / 2) as u64, t.clone()).unwrap();
+            seg.push((i / 2) as u64, t.to_vec()).unwrap();
         }
         let chunked = ChunkedRows::from_segmented(&seg);
         assert_eq!(chunked.len(), 4);
@@ -1029,5 +1337,35 @@ mod tests {
         assert_eq!(plan.num_atoms(), 3);
         assert_eq!(plan.num_columns(), 4); // X, Y, Z, C
         assert_eq!(plan.head_schema().columns(), &["X", "Z"]);
+    }
+
+    #[test]
+    fn distinct_estimates_are_deterministic_and_bounded() {
+        // All-equal column: estimate collapses to 1.
+        assert_eq!(estimate_distinct(100, |_| 42), 1);
+        // All-distinct sample: estimate is the row count.
+        assert_eq!(estimate_distinct(50, |j| j as u64), 50);
+        // Scaling: 64 samples with 32 distinct hashes over 128 rows
+        // extrapolates to ~64, clamped within [distinct, n].
+        let est = estimate_distinct(128, |j| (j % 32) as u64);
+        assert!((32..=128).contains(&est));
+        // Empty input.
+        assert_eq!(estimate_distinct(0, |_| 0), 0);
+    }
+
+    #[test]
+    fn materialize_time_accumulates() {
+        let (_, rels) = edges_db();
+        let q = ConjunctiveQuery::new(["X", "Z"])
+            .atom(Atom::new("edge", [Term::var("X"), Term::var("Y")]))
+            .atom(Atom::new("edge", [Term::var("Y"), Term::var("Z")]));
+        let plan = PhysicalPlan::compile(&q, |_| Some(2)).unwrap();
+        let mut scratch = ExecScratch::new();
+        let _ = plan.execute(&[PlanInput::from(&rels[0].1)], &mut scratch, false);
+        // Nanosecond clocks can in principle read 0 for a tiny pass, but the
+        // counter must exist and be monotone across executions.
+        let first = scratch.materialize_time();
+        let _ = plan.execute(&[PlanInput::from(&rels[0].1)], &mut scratch, false);
+        assert!(scratch.materialize_time() >= first);
     }
 }

@@ -1,4 +1,12 @@
-//! Relations: a schema plus a bag of tuples.
+//! Relations: a schema plus a bag of tuples, stored column-major.
+//!
+//! Storage is **columnar**: one contiguous `Vec<Value>` per column. The MMQJP
+//! hot paths (selection filters, join-key hashing, head projection) each
+//! touch a handful of columns of relations that are hundreds to thousands of
+//! rows long, so laying values out per column turns those passes into tight
+//! loops over contiguous memory instead of pointer-chasing across row `Vec`s.
+//! Row-oriented access remains available through [`RowRef`], a cheap
+//! `(columns, row-index)` view that indexes like a slice.
 
 use crate::error::{RelError, RelResult};
 use crate::schema::Schema;
@@ -6,11 +14,117 @@ use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
+use std::ops::Index;
 
-/// A tuple is a row of values, positionally matching a [`Schema`].
+/// A tuple is an owned row of values, positionally matching a [`Schema`].
+/// Relations store values column-major; `Tuple` is the exchange format for
+/// inserting and extracting whole rows.
 pub type Tuple = Vec<Value>;
 
-/// An in-memory relation (bag semantics).
+/// A borrowed view of one row of a columnar [`Relation`].
+///
+/// Indexes like a slice (`row[2]` is the value in column 2) and compares by
+/// value, so most row-oriented code reads the same as it would over an owned
+/// [`Tuple`]. Copy-cheap: two words.
+#[derive(Debug, Clone, Copy)]
+pub struct RowRef<'a> {
+    cols: &'a [Vec<Value>],
+    row: usize,
+}
+
+impl<'a> RowRef<'a> {
+    /// The value in column `i`, with the *relation's* lifetime (not the
+    /// view's), so extracted references outlive the `RowRef` itself.
+    #[inline]
+    pub fn get(&self, i: usize) -> &'a Value {
+        &self.cols[i][self.row]
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// `true` for zero-column rows.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Iterate over the row's values in column order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a Value> {
+        let row = self.row;
+        self.cols.iter().map(move |c| &c[row])
+    }
+
+    /// Copy the row into an owned [`Tuple`].
+    pub fn to_vec(&self) -> Tuple {
+        self.iter().cloned().collect()
+    }
+}
+
+impl Index<usize> for RowRef<'_> {
+    type Output = Value;
+
+    #[inline]
+    fn index(&self, i: usize) -> &Value {
+        &self.cols[i][self.row]
+    }
+}
+
+impl PartialEq for RowRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cols.len() == other.cols.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for RowRef<'_> {}
+
+impl PartialEq<[Value]> for RowRef<'_> {
+    fn eq(&self, other: &[Value]) -> bool {
+        self.cols.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl PartialEq<Tuple> for RowRef<'_> {
+    fn eq(&self, other: &Tuple) -> bool {
+        self == other.as_slice()
+    }
+}
+
+/// Iterator over the rows of a [`Relation`], yielding [`RowRef`]s.
+#[derive(Debug, Clone)]
+pub struct Rows<'a> {
+    cols: &'a [Vec<Value>],
+    row: usize,
+    len: usize,
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = RowRef<'a>;
+
+    fn next(&mut self) -> Option<RowRef<'a>> {
+        if self.row < self.len {
+            let r = RowRef {
+                cols: self.cols,
+                row: self.row,
+            };
+            self.row += 1;
+            Some(r)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.len - self.row;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+
+/// An in-memory relation (bag semantics), stored column-major.
 ///
 /// Relations are the unit of data exchanged between the XPath Evaluator and
 /// the Join Processor: the witness relations `RbinW`, `RdocW`, `RdocTSW`, the
@@ -19,15 +133,18 @@ pub type Tuple = Vec<Value>;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Relation {
     schema: Schema,
-    tuples: Vec<Tuple>,
+    cols: Vec<Vec<Value>>,
+    len: usize,
 }
 
 impl Relation {
     /// Create an empty relation with the given schema.
     pub fn new(schema: Schema) -> Self {
+        let cols = vec![Vec::new(); schema.arity()];
         Relation {
             schema,
-            tuples: Vec::new(),
+            cols,
+            len: 0,
         }
     }
 
@@ -40,6 +157,27 @@ impl Relation {
         Ok(r)
     }
 
+    /// Create a relation directly from column vectors (one per schema
+    /// column, all the same length).
+    pub fn from_columns(schema: Schema, cols: Vec<Vec<Value>>) -> RelResult<Self> {
+        if cols.len() != schema.arity() {
+            return Err(RelError::ArityMismatch {
+                context: format!("relation {} from columns", schema),
+                expected: schema.arity(),
+                found: cols.len(),
+            });
+        }
+        let len = cols.first().map(|c| c.len()).unwrap_or(0);
+        if let Some(bad) = cols.iter().find(|c| c.len() != len) {
+            return Err(RelError::ArityMismatch {
+                context: format!("ragged columns for relation {}", schema),
+                expected: len,
+                found: bad.len(),
+            });
+        }
+        Ok(Relation { schema, cols, len })
+    }
+
     /// The relation's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
@@ -47,29 +185,58 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.len
     }
 
     /// `true` when the relation holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len == 0
     }
 
-    /// All tuples, in insertion order.
-    pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+    /// The contiguous values of the column at `idx`, in row order. This is
+    /// the columnar fast path: selection and hashing loop over these slices.
+    #[inline]
+    pub fn col_values(&self, idx: usize) -> &[Value] {
+        &self.cols[idx]
     }
 
-    /// Consume the relation, returning its tuples (insertion order). Lets
-    /// callers move whole rows onward — e.g. into the engine's segmented
-    /// join state — without per-value clones.
-    pub fn into_tuples(self) -> Vec<Tuple> {
-        self.tuples
+    /// A borrowed view of the row at `index`.
+    ///
+    /// # Panics
+    /// Panics when `index >= len` (on first column access for zero-arity
+    /// relations).
+    #[inline]
+    pub fn row(&self, index: usize) -> RowRef<'_> {
+        debug_assert!(index < self.len);
+        RowRef {
+            cols: &self.cols,
+            row: index,
+        }
     }
 
-    /// Iterate over tuples.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.tuples.iter()
+    /// Consume the relation, returning its rows as owned tuples (insertion
+    /// order). Lets callers move whole rows onward — e.g. into the engine's
+    /// segmented join state — without per-value clones.
+    pub fn into_rows(self) -> Vec<Tuple> {
+        let len = self.len;
+        let mut iters: Vec<_> = self.cols.into_iter().map(|c| c.into_iter()).collect();
+        (0..len)
+            .map(|_| {
+                iters
+                    .iter_mut()
+                    .map(|it| it.next().expect("columns share the relation length"))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Iterate over rows.
+    pub fn iter(&self) -> Rows<'_> {
+        Rows {
+            cols: &self.cols,
+            row: 0,
+            len: self.len,
+        }
     }
 
     /// Append a tuple, validating its arity against the schema.
@@ -81,15 +248,45 @@ impl Relation {
                 found: tuple.len(),
             });
         }
-        self.tuples.push(tuple);
+        for (col, v) in self.cols.iter_mut().zip(tuple) {
+            col.push(v);
+        }
+        self.len += 1;
         Ok(())
     }
 
-    /// Append a tuple without arity checking (used by operators that already
-    /// construct tuples of the right width).
-    pub(crate) fn push_unchecked(&mut self, tuple: Tuple) {
-        debug_assert_eq!(tuple.len(), self.schema.arity());
-        self.tuples.push(tuple);
+    /// Append a borrowed row of matching arity, cloning its values.
+    pub(crate) fn push_row(&mut self, row: RowRef<'_>) {
+        debug_assert_eq!(row.len(), self.schema.arity());
+        for (col, v) in self.cols.iter_mut().zip(row.iter()) {
+            col.push(v.clone());
+        }
+        self.len += 1;
+    }
+
+    /// Append the concatenation of two borrowed rows (used by the join and
+    /// cross-product operators, whose output schema is the concatenation of
+    /// the input schemas).
+    pub(crate) fn push_concat(&mut self, left: RowRef<'_>, right: RowRef<'_>) {
+        debug_assert_eq!(left.len() + right.len(), self.schema.arity());
+        for (col, v) in self.cols.iter_mut().zip(left.iter().chain(right.iter())) {
+            col.push(v.clone());
+        }
+        self.len += 1;
+    }
+
+    /// Mutable access to the raw column vectors for in-crate operators that
+    /// append column-wise. Callers must keep the columns equal-length and
+    /// call [`set_len`](Self::set_len) afterwards.
+    pub(crate) fn cols_mut(&mut self) -> &mut [Vec<Value>] {
+        &mut self.cols
+    }
+
+    /// Restore the row-count invariant after direct column writes through
+    /// [`cols_mut`](Self::cols_mut).
+    pub(crate) fn set_len(&mut self, len: usize) {
+        debug_assert!(self.cols.iter().all(|c| c.len() == len));
+        self.len = len;
     }
 
     /// Append all tuples from `other`. The schemas must be equal.
@@ -101,24 +298,36 @@ impl Relation {
                 found: other.schema.arity(),
             });
         }
-        self.tuples.extend(other.tuples.iter().cloned());
+        for (col, ocol) in self.cols.iter_mut().zip(&other.cols) {
+            col.extend(ocol.iter().cloned());
+        }
+        self.len += other.len;
         Ok(())
     }
 
     /// Remove all tuples, keeping the schema.
     pub fn clear(&mut self) {
-        self.tuples.clear();
+        for col in &mut self.cols {
+            col.clear();
+        }
+        self.len = 0;
     }
 
-    /// Retain only tuples for which the predicate returns `true`.
-    pub fn retain(&mut self, mut pred: impl FnMut(&Tuple) -> bool) {
-        self.tuples.retain(|t| pred(t));
+    /// Retain only rows for which the predicate returns `true`.
+    pub fn retain(&mut self, mut pred: impl FnMut(RowRef<'_>) -> bool) {
+        let keep: Vec<bool> = (0..self.len).map(|i| pred(self.row(i))).collect();
+        let kept = keep.iter().filter(|&&k| k).count();
+        for col in &mut self.cols {
+            let mut it = keep.iter();
+            col.retain(|_| *it.next().expect("mask covers every row"));
+        }
+        self.len = kept;
     }
 
     /// The value at `(row, column-name)`.
     pub fn value(&self, row: usize, column: &str) -> RelResult<&Value> {
         let idx = self.schema.require(column)?;
-        Ok(&self.tuples[row][idx])
+        Ok(&self.cols[idx][row])
     }
 
     /// Column index lookup shorthand.
@@ -128,11 +337,12 @@ impl Relation {
 
     /// Produce a new relation with duplicate tuples removed (set semantics).
     pub fn distinct(&self) -> Relation {
-        let mut seen: HashSet<&Tuple> = HashSet::with_capacity(self.tuples.len());
+        let mut seen: HashSet<Vec<&Value>> = HashSet::with_capacity(self.len);
         let mut out = Relation::new(self.schema.clone());
-        for t in &self.tuples {
-            if seen.insert(t) {
-                out.tuples.push(t.clone());
+        for i in 0..self.len {
+            let key: Vec<&Value> = self.cols.iter().map(|c| &c[i]).collect();
+            if seen.insert(key) {
+                out.push_row(self.row(i));
             }
         }
         out
@@ -140,9 +350,23 @@ impl Relation {
 
     /// Sort tuples lexicographically (useful for deterministic test output).
     pub fn sorted(&self) -> Relation {
-        let mut out = self.clone();
-        out.tuples.sort();
-        out
+        let mut idx: Vec<usize> = (0..self.len).collect();
+        idx.sort_by(|&a, &b| {
+            self.cols
+                .iter()
+                .map(|c| &c[a])
+                .cmp(self.cols.iter().map(|c| &c[b]))
+        });
+        let cols = self
+            .cols
+            .iter()
+            .map(|c| idx.iter().map(|&i| c[i].clone()).collect())
+            .collect();
+        Relation {
+            schema: self.schema.clone(),
+            cols,
+            len: self.len,
+        }
     }
 
     /// Collect the distinct values of one column.
@@ -150,9 +374,9 @@ impl Relation {
         let idx = self.schema.require(column)?;
         let mut seen = HashSet::new();
         let mut out = Vec::new();
-        for t in &self.tuples {
-            if seen.insert(&t[idx]) {
-                out.push(t[idx].clone());
+        for v in &self.cols[idx] {
+            if seen.insert(v) {
+                out.push(v.clone());
             }
         }
         Ok(out)
@@ -162,15 +386,15 @@ impl Relation {
     /// strings). Used by the view cache to account for its budget.
     pub fn approx_bytes(&self) -> usize {
         // Each Value is a small enum; 32 bytes is a conservative estimate
-        // including the Vec overhead amortized per value.
-        self.tuples.len() * self.schema.arity() * 32 + std::mem::size_of::<Self>()
+        // including the per-column Vec overhead amortized per value.
+        self.len * self.schema.arity() * 32 + std::mem::size_of::<Self>()
     }
 }
 
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.schema)?;
-        for t in &self.tuples {
+        for t in self.iter() {
             let row: Vec<String> = t.iter().map(|v| v.to_string()).collect();
             writeln!(f, "  [{}]", row.join(", "))?;
         }
@@ -210,6 +434,58 @@ mod tests {
     }
 
     #[test]
+    fn columnar_layout_is_visible_per_column() {
+        let r = sample();
+        assert_eq!(r.col_values(0), &[Value::int(1), Value::int(1)]);
+        assert_eq!(
+            r.col_values(2),
+            &[Value::str("Danny Ayers"), Value::str("Andrew Watt")]
+        );
+        let row = r.row(1);
+        assert_eq!(row.len(), 3);
+        assert!(!row.is_empty());
+        assert_eq!(row[1], Value::int(3));
+        assert_eq!(row.get(2), &Value::str("Andrew Watt"));
+        assert_eq!(row.to_vec()[0], Value::int(1));
+        assert_eq!(r.row(0), r.row(0));
+        assert_ne!(r.row(0), r.row(1));
+    }
+
+    #[test]
+    fn into_rows_round_trips() {
+        let r = sample();
+        let rows = r.clone().into_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(r.row(0), rows[0]);
+        assert_eq!(r.row(1), rows[1]);
+        let back = Relation::with_tuples(r.schema().clone(), rows).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn from_columns_validates_shape() {
+        let schema = Schema::new(["a", "b"]);
+        let ok = Relation::from_columns(
+            schema.clone(),
+            vec![
+                vec![Value::int(1), Value::int(2)],
+                vec![Value::int(3), Value::int(4)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok.row(1).to_vec(), vec![Value::int(2), Value::int(4)]);
+        // Wrong column count.
+        assert!(Relation::from_columns(schema.clone(), vec![vec![Value::int(1)]]).is_err());
+        // Ragged columns.
+        assert!(Relation::from_columns(
+            schema,
+            vec![vec![Value::int(1)], vec![Value::int(2), Value::int(3)]],
+        )
+        .is_err());
+    }
+
+    #[test]
     fn arity_mismatch_rejected() {
         let mut r = Relation::new(Schema::new(["a", "b"]));
         let err = r.push_values(vec![Value::int(1)]).unwrap_err();
@@ -240,7 +516,7 @@ mod tests {
     #[test]
     fn distinct_removes_duplicates() {
         let mut r = sample();
-        let dup = r.tuples()[0].clone();
+        let dup = r.row(0).to_vec();
         r.push_values(dup).unwrap();
         assert_eq!(r.len(), 3);
         assert_eq!(r.distinct().len(), 2);
@@ -276,6 +552,7 @@ mod tests {
         let mut r = sample();
         r.retain(|t| t[1] == Value::int(2));
         assert_eq!(r.len(), 1);
+        assert_eq!(r.col_values(1), &[Value::int(2)]);
         r.clear();
         assert!(r.is_empty());
     }

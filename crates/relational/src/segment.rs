@@ -12,7 +12,7 @@
 //! instead of a retain-and-rebuild over the entire relation.
 
 use crate::error::{RelError, RelResult};
-use crate::relation::{Relation, Tuple};
+use crate::relation::{Relation, RowRef, Rows, Tuple};
 use crate::schema::Schema;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -101,10 +101,11 @@ impl SegmentedRelation {
     }
 
     /// The row behind a handle, if its bucket is still resident.
-    pub fn row(&self, handle: RowHandle) -> Option<&Tuple> {
-        self.segments
-            .get(&handle.bucket)
-            .and_then(|s| s.tuples().get(handle.offset as usize))
+    pub fn row(&self, handle: RowHandle) -> Option<RowRef<'_>> {
+        self.segments.get(&handle.bucket).and_then(|s| {
+            let off = handle.offset as usize;
+            (off < s.len()).then(|| s.row(off))
+        })
     }
 
     /// The bucket's tuples, if resident.
@@ -121,7 +122,7 @@ impl SegmentedRelation {
     pub fn iter(&self) -> SegmentedTuples<'_> {
         SegmentedTuples {
             buckets: self.segments.values(),
-            current: [].iter(),
+            current: None,
         }
     }
 
@@ -158,22 +159,22 @@ impl SegmentedRelation {
     }
 }
 
-/// Iterator over every tuple of a [`SegmentedRelation`].
+/// Iterator over every row of a [`SegmentedRelation`], yielding [`RowRef`]s.
 #[derive(Debug, Clone)]
 pub struct SegmentedTuples<'a> {
     buckets: std::collections::btree_map::Values<'a, BucketId, Relation>,
-    current: std::slice::Iter<'a, Tuple>,
+    current: Option<Rows<'a>>,
 }
 
 impl<'a> Iterator for SegmentedTuples<'a> {
-    type Item = &'a Tuple;
+    type Item = RowRef<'a>;
 
-    fn next(&mut self) -> Option<&'a Tuple> {
+    fn next(&mut self) -> Option<RowRef<'a>> {
         loop {
-            if let Some(t) = self.current.next() {
+            if let Some(t) = self.current.as_mut().and_then(Iterator::next) {
                 return Some(t);
             }
-            self.current = self.buckets.next()?.tuples().iter();
+            self.current = Some(self.buckets.next()?.iter());
         }
     }
 }
@@ -220,7 +221,7 @@ mod tests {
         );
         assert_eq!(s.len(), 3);
         assert_eq!(s.num_buckets(), 2);
-        assert_eq!(s.row(h1), Some(&row(2, 31)));
+        assert_eq!(s.row(h1).map(|r| r.to_vec()), Some(row(2, 31)));
     }
 
     #[test]
@@ -256,7 +257,7 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert_eq!(s.num_buckets(), 1);
         // The surviving handle still resolves to the same row.
-        assert_eq!(s.row(kept), Some(&row(3, 0)));
+        assert_eq!(s.row(kept).map(|r| r.to_vec()), Some(row(3, 0)));
         // Evicting again is a no-op.
         assert!(s.evict_below(3).is_empty());
     }
