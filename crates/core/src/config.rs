@@ -103,6 +103,15 @@ pub struct EngineConfig {
     /// `0` is treated as `1`. Ignored by the single-threaded
     /// [`MmqjpEngine`](crate::MmqjpEngine).
     pub num_shards: usize,
+    /// Number of worker threads in the document-parallel Stage-1 front stage
+    /// of [`ShardedEngine`](crate::ShardedEngine). `0` (the default) keeps
+    /// the original replicated-document topology: every shard parses every
+    /// document itself. Any value `>= 1` switches the sharded engine to the
+    /// hybrid topology: documents are parsed and pattern-matched exactly
+    /// once by a pool of this many front workers, and only the resulting
+    /// witness rows are routed to the query shards that subscribed to them.
+    /// Ignored by the single-threaded [`MmqjpEngine`](crate::MmqjpEngine).
+    pub front_pool: usize,
 }
 
 impl Default for EngineConfig {
@@ -117,6 +126,7 @@ impl Default for EngineConfig {
             purge_views_on_unregister: true,
             enforce_in_order: false,
             num_shards: 1,
+            front_pool: 0,
         }
     }
 }
@@ -188,6 +198,15 @@ impl EngineConfig {
         self.num_shards = num_shards;
         self
     }
+
+    /// Builder-style setter for the document-parallel front pool used by
+    /// [`ShardedEngine`](crate::ShardedEngine). `0` keeps the replicated
+    /// topology; `>= 1` enables hybrid parse-once sharding with that many
+    /// Stage-1 workers.
+    pub fn with_front_pool(mut self, front_pool: usize) -> Self {
+        self.front_pool = front_pool;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +224,7 @@ mod tests {
         assert_eq!(c.state_bucket_width, None);
         assert!(c.purge_views_on_unregister);
         assert_eq!(c.num_shards, 1);
+        assert_eq!(c.front_pool, 0);
     }
 
     #[test]
@@ -226,7 +246,8 @@ mod tests {
             .with_doc_retention_cap(Some(5000))
             .with_state_bucket_width(Some(50))
             .with_purge_views_on_unregister(false)
-            .with_num_shards(4);
+            .with_num_shards(4)
+            .with_front_pool(2);
         assert_eq!(c.view_cache_capacity, Some(128));
         assert!(!c.retain_documents);
         assert!(c.prune_state_by_window);
@@ -234,6 +255,7 @@ mod tests {
         assert_eq!(c.state_bucket_width, Some(50));
         assert!(!c.purge_views_on_unregister);
         assert_eq!(c.num_shards, 4);
+        assert_eq!(c.front_pool, 2);
     }
 
     #[test]

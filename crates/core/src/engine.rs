@@ -6,7 +6,7 @@ use crate::cqt::PlanInputKind;
 use crate::error::{CoreError, CoreResult};
 use crate::output::{construct_join_output, Binding, MatchOutput};
 use crate::registry::{QueryRuntime, Registration, Registry};
-use crate::relations::{rl_row, schemas, WitnessBatch};
+use crate::relations::{rl_row, schemas, RoutedBatch, WitnessBatch};
 use crate::state::{key_int, key_sym, JoinState};
 use crate::stats::{EngineStats, PhaseTimings};
 use crate::view_cache::ViewCache;
@@ -251,40 +251,7 @@ impl MmqjpEngine {
         // evaluation is handed on to maintenance so it is never built twice.
         let mut rbinw_index: Option<RbinwByDocnode> = None;
         if self.registry.num_templates() > 0 && !batch.is_empty() {
-            let result_rows = match self.config.mode {
-                ProcessingMode::Sequential => evaluate_sequential(
-                    &self.registry,
-                    &self.state,
-                    &mut self.scratch,
-                    &batch,
-                    &mut timings,
-                )?,
-                ProcessingMode::Mmqjp => {
-                    let (rows, _) = evaluate_mmqjp(
-                        &self.registry,
-                        &self.state,
-                        &mut self.view_cache,
-                        &mut self.scratch,
-                        &batch,
-                        false,
-                        &mut timings,
-                    )?;
-                    rows
-                }
-                ProcessingMode::MmqjpViewMat => {
-                    let (rows, index) = evaluate_mmqjp(
-                        &self.registry,
-                        &self.state,
-                        &mut self.view_cache,
-                        &mut self.scratch,
-                        &batch,
-                        true,
-                        &mut timings,
-                    )?;
-                    rbinw_index = index;
-                    rows
-                }
-            };
+            let result_rows = self.evaluate_stage2(&batch, &mut rbinw_index, &mut timings)?;
             let t_out = Instant::now();
             for (rid, rows) in result_rows {
                 outputs.extend(self.produce_outputs(rid, &rows, &batch, &prepared_docs));
@@ -293,8 +260,12 @@ impl MmqjpEngine {
         }
 
         // ---- Maintenance (Algorithm 2 / 5) ---------------------------------
+        let meta: Vec<(DocId, u64)> = prepared_docs
+            .iter()
+            .map(|d| (d.id(), d.timestamp().raw()))
+            .collect();
         let t_maint = Instant::now();
-        let maintenance = self.maintain_state(batch, &prepared_docs, rbinw_index);
+        let maintenance = self.maintain_state(batch, &meta, &prepared_docs, rbinw_index);
         timings.maintenance += t_maint.elapsed();
         maintenance?;
 
@@ -302,6 +273,100 @@ impl MmqjpEngine {
         self.stats.results_emitted += outputs.len();
         self.stats.timings += timings;
         Ok(outputs)
+    }
+
+    /// Process a witness batch routed by the hybrid
+    /// [`ShardedEngine`](crate::ShardedEngine) front stage.
+    ///
+    /// Stage 1 (parsing, pattern matching, witness construction and
+    /// single-block subscriptions) already happened exactly once at the
+    /// front; this entry point runs only Stage 2 and state maintenance over
+    /// the routed witness rows. The front stage owns document-id assignment
+    /// and in-order enforcement, so no ids are assigned and no order check
+    /// happens here — the local sequence/watermark are synced from the
+    /// routed metadata so mid-stream registrations get the same arrival
+    /// floor a single engine would assign. `documents_processed` is *not*
+    /// incremented (the front stage counts each document once, globally).
+    pub fn process_witness_batch(&mut self, routed: RoutedBatch) -> CoreResult<Vec<MatchOutput>> {
+        let RoutedBatch {
+            batch,
+            doc_meta,
+            docs,
+        } = routed;
+        if doc_meta.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut timings = PhaseTimings::default();
+        for &(doc, ts) in &doc_meta {
+            self.next_doc_seq = self.next_doc_seq.max(doc.raw());
+            self.newest_timestamp = self.newest_timestamp.max(ts);
+        }
+
+        let mut outputs = Vec::new();
+        let mut rbinw_index: Option<RbinwByDocnode> = None;
+        if self.registry.num_templates() > 0 && !batch.is_empty() {
+            let result_rows = self.evaluate_stage2(&batch, &mut rbinw_index, &mut timings)?;
+            let t_out = Instant::now();
+            for (rid, rows) in result_rows {
+                // `docs` is empty unless documents are retained; output
+                // document construction is gated on retention, so an empty
+                // slice is never consulted.
+                outputs.extend(self.produce_outputs(rid, &rows, &batch, &docs));
+            }
+            timings.output += t_out.elapsed();
+        }
+
+        let t_maint = Instant::now();
+        let maintenance = self.maintain_state(batch, &doc_meta, &docs, rbinw_index);
+        timings.maintenance += t_maint.elapsed();
+        maintenance?;
+
+        self.stats.results_emitted += outputs.len();
+        self.stats.timings += timings;
+        Ok(outputs)
+    }
+
+    /// Stage-2 dispatch shared by the document and witness ingest paths.
+    fn evaluate_stage2(
+        &mut self,
+        batch: &WitnessBatch,
+        rbinw_index: &mut Option<RbinwByDocnode>,
+        timings: &mut PhaseTimings,
+    ) -> CoreResult<ResultRows> {
+        match self.config.mode {
+            ProcessingMode::Sequential => evaluate_sequential(
+                &self.registry,
+                &self.state,
+                &mut self.scratch,
+                batch,
+                timings,
+            ),
+            ProcessingMode::Mmqjp => {
+                let (rows, _) = evaluate_mmqjp(
+                    &self.registry,
+                    &self.state,
+                    &mut self.view_cache,
+                    &mut self.scratch,
+                    batch,
+                    false,
+                    timings,
+                )?;
+                Ok(rows)
+            }
+            ProcessingMode::MmqjpViewMat => {
+                let (rows, index) = evaluate_mmqjp(
+                    &self.registry,
+                    &self.state,
+                    &mut self.view_cache,
+                    &mut self.scratch,
+                    batch,
+                    true,
+                    timings,
+                )?;
+                *rbinw_index = index;
+                Ok(rows)
+            }
+        }
     }
 
     // --------------------------------------------------------------------
@@ -527,6 +592,7 @@ impl MmqjpEngine {
     fn maintain_state(
         &mut self,
         batch: WitnessBatch,
+        meta: &[(DocId, u64)],
         docs: &[Document],
         rbinw_index: Option<RbinwByDocnode>,
     ) -> CoreResult<()> {
@@ -577,7 +643,7 @@ impl MmqjpEngine {
         // The batch is consumed here: its witness rows move whole into the
         // segmented store, no per-row field copies.
         self.state
-            .absorb(batch, docs, self.config.retain_documents)?;
+            .absorb_routed(batch, meta, docs, self.config.retain_documents)?;
 
         // Window expiry: drop whole buckets that no registered window can
         // reach — O(expired rows), no index rebuild — and invalidate exactly

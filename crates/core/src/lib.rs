@@ -27,10 +27,16 @@
 //! per document) is provided as the paper's baseline.
 //!
 //! For multi-core operation, [`ShardedEngine`] hash-partitions the query
-//! population across `N` independent engine shards on worker threads,
-//! replicates the document stream to all of them, and merges the per-shard
-//! matches into a deterministic, canonically-ordered result — identical to a
-//! single engine's output for every shard count and inner mode.
+//! population across `N` independent engine shards on worker threads and
+//! merges the per-shard matches into a deterministic, canonically-ordered
+//! result — identical to a single engine's output for every shard count and
+//! inner mode. Two topologies are available: the replicated topology sends
+//! every document batch to every shard (each shard re-runs Stage 1), while
+//! the hybrid topology (`EngineConfig::front_pool >= 1`) parses and
+//! pattern-matches each document exactly once in a document-parallel front
+//! stage and routes only the witness rows ([`RoutedBatch`]) to the shards
+//! that subscribed to them, pipelining Stage 1 of batch `k+1` with Stage 2
+//! of batch `k`.
 //!
 //! # Quick start
 //!
@@ -83,8 +89,8 @@ pub use engine::MmqjpEngine;
 pub use error::{CoreError, CoreResult};
 pub use output::{sort_matches, Binding, MatchOutput};
 pub use registry::{QueryRuntime, Registry, TemplateRuntime};
-pub use relations::{schemas, WitnessBatch};
-pub use shard::ShardedEngine;
+pub use relations::{schemas, RoutedBatch, WitnessBatch};
+pub use shard::{ShardedEngine, WitnessRouter};
 pub use stats::{EngineStats, PhaseTimings};
 pub use view_cache::{ViewCache, ViewCacheStats};
 

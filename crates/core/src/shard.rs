@@ -1,40 +1,65 @@
-//! Multi-core processing through query-population sharding.
+//! Multi-core processing through query-population sharding, with an
+//! optional document-parallel Stage-1 front stage.
 //!
 //! The paper's Join Processor is a single-threaded component; its evaluation
 //! is inherently shareable across queries but not, by itself, across cores.
-//! [`ShardedEngine`] scales it out the standard pub/sub way: the *query
+//! [`ShardedEngine`] scales it out along two axes:
+//!
+//! **Replicated topology** (`front_pool == 0`, the original): the *query
 //! population* is hash-partitioned across `N` independent [`MmqjpEngine`]
 //! shards and the *document stream* is replicated to all of them. Each shard
 //! runs on a long-lived worker thread, owns its own registry, join state and
 //! view cache, and evaluates its query subset in the configured
 //! [`ProcessingMode`](crate::ProcessingMode) — a shard is just a smaller
 //! engine, so sharding composes with Sequential, MMQJP and MMQJP+VM alike.
+//! Parse + Stage-1 cost multiplies with the shard count, because every shard
+//! re-runs Stage 1 over every document.
+//!
+//! **Hybrid topology** (`front_pool >= 1`): a pool of Stage-1 *front
+//! workers* parses and pattern-matches each document exactly once
+//! (documents of a batch are range-partitioned across the pool), and a
+//! [`WitnessRouter`] delivers the resulting witness rows to precisely the
+//! shards whose queries subscribed to them. Shards run Stage 2 only, over
+//! routed rows ([`RoutedBatch`]) — whole documents are shipped to shards
+//! only when `retain_documents` requires them for `SELECT *` output
+//! construction. Under [`process_batches`](ShardedEngine::process_batches)
+//! the two stages are pipelined with an in-flight depth of one: the front
+//! parses batch `k+1` while the shards join batch `k`.
 //!
 //! ```text
-//!                         ┌──────────────────────────────┐
-//!   documents ───────────▶│ fan-out (clone per shard)    │
-//!                         └──┬───────────┬───────────┬───┘
-//!                            ▼           ▼           ▼
-//!                       ┌─────────┐ ┌─────────┐ ┌─────────┐
-//!   queries ──hash(qid)▶│ shard 0 │ │ shard 1 │ │ shard 2 │  worker threads,
-//!                       │ MMQJP   │ │ MMQJP   │ │ MMQJP   │  one MmqjpEngine
-//!                       └────┬────┘ └────┬────┘ └────┬────┘  each
-//!                            ▼           ▼           ▼
-//!                         ┌──────────────────────────────┐
-//!   matches ◀─────────────│ deterministic canonical merge│
-//!                         └──────────────────────────────┘
+//!   replicated (front_pool = 0)         hybrid (front_pool >= 1)
+//!
+//!   docs ─▶ fan-out (clone/shard)       docs ─▶ front pool: parse once,
+//!             │     │     │                     Stage 1 + single-blocks
+//!             ▼     ▼     ▼                        │ witness rows
+//!          ┌─────┐┌─────┐┌─────┐                   ▼
+//!   qid ──▶│shard││shard││shard│             WitnessRouter
+//!   hash   │ S1+ ││ S1+ ││ S1+ │           (per-shard subscription filter)
+//!          │ S2  ││ S2  ││ S2  │              │     │     │
+//!          └──┬──┘└──┬──┘└──┬──┘              ▼     ▼     ▼
+//!             ▼     ▼     ▼                ┌─────┐┌─────┐┌─────┐
+//!          canonical merge          qid ──▶│shard││shard││shard│
+//!                                   hash   │ S2  ││ S2  ││ S2  │  Stage 2
+//!                                          └──┬──┘└──┬──┘└──┬──┘  only
+//!                                             ▼     ▼     ▼
+//!                                          canonical merge
 //! ```
 //!
 //! # Determinism
 //!
-//! Every shard sees the full document stream in arrival order, so the shards
-//! assign identical document ids and timestamps and each query produces
-//! exactly the matches it would produce in a single engine. The merged batch
-//! output is sorted into the canonical
-//! `(query, left_doc, right_doc, bindings)` order (see
+//! In the replicated topology every shard sees the full document stream in
+//! arrival order, so the shards assign identical document ids and timestamps
+//! and each query produces exactly the matches it would produce in a single
+//! engine. In the hybrid topology the front stage owns id/timestamp
+//! assignment and routes each shard exactly the witness rows that shard
+//! would have derived itself (the same canonical variables, interned through
+//! the shared interner, filtered to the shard's requested edges) — so Stage 2
+//! is fed byte-equal inputs either way. The merged batch output is sorted
+//! into the canonical `(query, left_doc, right_doc, bindings)` order (see
 //! [`sort_matches`](crate::sort_matches)), which makes the result
-//! independent of shard count and thread interleaving: a `ShardedEngine` with
-//! any `N` returns exactly a canonically-sorted single-engine batch.
+//! independent of topology, shard count and thread interleaving: a
+//! `ShardedEngine` with any `N` and any front-pool size returns exactly a
+//! canonically-sorted single-engine batch.
 //!
 //! # Thread-safety audit
 //!
@@ -48,23 +73,34 @@
 use crate::config::EngineConfig;
 use crate::engine::MmqjpEngine;
 use crate::error::{CoreError, CoreResult};
-use crate::output::{sort_matches, MatchOutput};
+use crate::output::{sort_matches, Binding, MatchOutput};
+use crate::relations::{RoutedBatch, WitnessBatch};
 use crate::stats::EngineStats;
 use mmqjp_relational::StringInterner;
-use mmqjp_xml::Document;
-use mmqjp_xscl::{QueryId, XsclQuery};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use mmqjp_xml::{DocId, Document, Timestamp};
+use mmqjp_xpath::{
+    EdgeBinding, PatternId, PatternIndex, PatternMatcher, PatternNodeId, TreePattern,
+};
+use mmqjp_xscl::{QueryId, SelectClause, XsclQuery};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// A structural pattern edge, identified by its endpoint pattern nodes.
+type Edge = (PatternNodeId, PatternNodeId);
 
 /// A request sent to a shard worker thread. Every request carries a reply
 /// channel; the worker answers each request exactly once, in order.
 enum Request {
-    /// Register a query under the given engine-global id.
+    /// Register a query under the given engine-global id. The reply carries
+    /// the query's Stage-1 footprint so the hybrid front stage can mirror
+    /// the subscription.
     Register {
         query: Box<XsclQuery>,
         global: QueryId,
-        reply: Sender<CoreResult<()>>,
+        reply: Sender<CoreResult<Box<ShardFootprint>>>,
     },
     /// Unregister the query registered under the given engine-global id.
     Unregister {
@@ -72,13 +108,33 @@ enum Request {
         reply: Sender<CoreResult<()>>,
     },
     /// Process a document batch and return the shard's matches, with query
-    /// ids already translated back to engine-global ids.
+    /// ids already translated back to engine-global ids (replicated
+    /// topology: the shard runs Stage 1 itself).
     Batch {
         docs: Vec<Document>,
         reply: Sender<CoreResult<Vec<MatchOutput>>>,
     },
+    /// Process a routed witness batch (hybrid topology: Stage 1 already
+    /// happened at the front) and return the shard's matches with
+    /// engine-global query ids.
+    Witness {
+        routed: Box<RoutedBatch>,
+        reply: Sender<CoreResult<Vec<MatchOutput>>>,
+    },
     /// Snapshot the shard's statistics.
     Stats { reply: Sender<EngineStats> },
+}
+
+/// The Stage-1 footprint of one registered query, reported by its owning
+/// shard so the front stage can subscribe the shard to exactly the witness
+/// rows the query needs.
+struct ShardFootprint {
+    /// Join-side patterns with their requested structural edges (one `prev`
+    /// and one `cur` entry per registered orientation).
+    patterns: Vec<(TreePattern, Vec<Edge>)>,
+    /// Single-block subscription (pattern, publish target, select clause) —
+    /// answered entirely at the front stage in hybrid mode.
+    single: Option<(TreePattern, Option<String>, SelectClause)>,
 }
 
 /// One shard: the channel into its worker thread and the join handle.
@@ -87,19 +143,307 @@ struct Shard {
     handle: Option<JoinHandle<()>>,
 }
 
+// ------------------------------------------------------------------------
+// Witness routing (hybrid front stage)
+// ------------------------------------------------------------------------
+
+/// Routes Stage-1 witness rows to the query shards whose subscriptions
+/// requested them.
+///
+/// Subscriptions are tracked per `(pattern, shard)` as refcounted edge sets
+/// (the edge list preserves first-subscription order, mirroring the order
+/// `Registry::requested_edges` would build on a replicated shard). Routing
+/// one document appends to every shard's [`WitnessBatch`]: all shards get
+/// the document's retention-ledger row (each shard tracks every timestamp
+/// for temporal filtering), while the pattern bindings are filtered per
+/// shard to exactly the edges it subscribed to — so a shard's batch holds
+/// the same witness rows it would have derived by re-running Stage 1 over
+/// its own requested-edge set.
+///
+/// The router is exported so the routing invariant can be exercised
+/// directly by property tests: rows of a pattern edge travel to precisely
+/// its subscribing shards (no broadcast), an edge with a single subscriber
+/// lands on exactly one shard, and the union across shards restricted to
+/// the subscribed edge sets reproduces the single-engine witness multiset.
+#[derive(Debug, Clone, Default)]
+pub struct WitnessRouter {
+    subs: HashMap<PatternId, BTreeMap<usize, EdgeSubs>>,
+}
+
+/// One shard's refcounted edge subscriptions for one pattern.
+#[derive(Debug, Clone, Default)]
+struct EdgeSubs {
+    /// Subscribed edges in first-subscription order.
+    list: Vec<Edge>,
+    refs: HashMap<Edge, usize>,
+}
+
+impl WitnessRouter {
+    /// An empty router: no shard subscribes to anything.
+    pub fn new() -> Self {
+        WitnessRouter::default()
+    }
+
+    /// `true` when no shard subscribes to any pattern.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Subscribe `shard` to the given structural edges of `pattern`.
+    /// Subscriptions are refcounted per `(shard, pattern, edge)`, so
+    /// several queries of one shard can request overlapping edge sets.
+    pub fn subscribe(&mut self, shard: usize, pattern: PatternId, edges: &[Edge]) {
+        let subs = self
+            .subs
+            .entry(pattern)
+            .or_default()
+            .entry(shard)
+            .or_default();
+        for &edge in edges {
+            let count = subs.refs.entry(edge).or_insert(0);
+            if *count == 0 {
+                subs.list.push(edge);
+            }
+            *count += 1;
+        }
+    }
+
+    /// Release one subscription previously made with
+    /// [`subscribe`](Self::subscribe). Edges whose last reference departs
+    /// stop being routed; a pattern with no subscribing shard left is
+    /// dropped from the routing table entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the `(shard, pattern, edge)` subscription does not exist
+    /// — unbalanced release calls are a bookkeeping bug, not a runtime
+    /// condition.
+    pub fn unsubscribe(&mut self, shard: usize, pattern: PatternId, edges: &[Edge]) {
+        let shards = self
+            .subs
+            .get_mut(&pattern)
+            .expect("unsubscribe of a pattern with no subscriptions");
+        let subs = shards
+            .get_mut(&shard)
+            .expect("unsubscribe of a shard that never subscribed");
+        for edge in edges {
+            let count = subs
+                .refs
+                .get_mut(edge)
+                .expect("unsubscribe of an edge that was never subscribed");
+            *count -= 1;
+            if *count == 0 {
+                subs.refs.remove(edge);
+                subs.list.retain(|e| e != edge);
+            }
+        }
+        if subs.refs.is_empty() {
+            shards.remove(&shard);
+        }
+        if shards.is_empty() {
+            self.subs.remove(&pattern);
+        }
+    }
+
+    /// The shards subscribed to a pattern, in ascending shard order.
+    pub fn subscribers(&self, pattern: PatternId) -> Vec<usize> {
+        self.subs
+            .get(&pattern)
+            .map(|shards| shards.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Route one document's Stage-1 output into per-shard witness batches
+    /// (one batch slot per shard, `batches.len()` == shard count). Every
+    /// batch receives the document's ledger row; witness rows go only to
+    /// subscribing shards. Returns the number of witness rows appended
+    /// across all batches (the routing fan-out of this document).
+    pub fn route_document(
+        &self,
+        doc: &Document,
+        bindings: &[(PatternId, Vec<EdgeBinding>)],
+        index: &PatternIndex,
+        interner: &Arc<StringInterner>,
+        batches: &mut [WitnessBatch],
+    ) -> usize {
+        let before: usize = batches.iter().map(WitnessBatch::num_witness_rows).sum();
+        let mut per_shard: Vec<Vec<(&TreePattern, Vec<EdgeBinding>)>> =
+            (0..batches.len()).map(|_| Vec::new()).collect();
+        for (pid, edge_bindings) in bindings {
+            let Some(shards) = self.subs.get(pid) else {
+                continue;
+            };
+            let pattern = index.pattern(*pid);
+            // Resolve each binding's pattern edge once; the per-shard loop
+            // below only consults the precomputed edge.
+            let edges: Vec<Edge> = edge_bindings
+                .iter()
+                .map(|b| binding_edge(pattern, b))
+                .collect();
+            for (&shard, subs) in shards {
+                let filtered: Vec<EdgeBinding> = edge_bindings
+                    .iter()
+                    .zip(&edges)
+                    .filter(|(_, edge)| subs.refs.contains_key(edge))
+                    .map(|(b, _)| b.clone())
+                    .collect();
+                if !filtered.is_empty() {
+                    per_shard[shard].push((pattern, filtered));
+                }
+            }
+        }
+        for (batch, patterns) in batches.iter_mut().zip(&per_shard) {
+            batch.add_document(doc, patterns, interner);
+        }
+        let after: usize = batches.iter().map(WitnessBatch::num_witness_rows).sum();
+        after - before
+    }
+}
+
+/// The pattern edge a Stage-1 binding instantiates, recovered from its
+/// variable names (edge bindings carry the canonical variables of their
+/// pattern, which map back to unique pattern nodes).
+fn binding_edge(pattern: &TreePattern, binding: &EdgeBinding) -> Edge {
+    (
+        pattern
+            .variable_node(&binding.ancestor_var)
+            .expect("edge binding ancestor variable exists in its pattern"),
+        pattern
+            .variable_node(&binding.descendant_var)
+            .expect("edge binding descendant variable exists in its pattern"),
+    )
+}
+
+// ------------------------------------------------------------------------
+// Front stage (hybrid topology)
+// ------------------------------------------------------------------------
+
+/// A request to a Stage-1 front worker.
+enum FrontRequest {
+    /// Replace the worker's snapshot of the Stage-1 state. Sent after every
+    /// subscription change; churn is rare relative to batches, so a
+    /// full-clone broadcast keeps the per-document hot path lock-free.
+    Sync {
+        index: Box<PatternIndex>,
+        requested: HashMap<PatternId, Vec<Edge>>,
+        singles: Vec<FrontSingle>,
+        reply: Sender<()>,
+    },
+    /// Parse a run of documents (ids and timestamps already assigned by the
+    /// coordinator) and return their Stage-1 output.
+    Parse {
+        docs: Vec<Document>,
+        reply: Sender<ParsedChunk>,
+    },
+}
+
+/// A single-block subscription evaluated at the front stage (its matches
+/// never involve Stage 2, so in hybrid mode they are answered where the
+/// document is parsed).
+#[derive(Debug, Clone)]
+struct FrontSingle {
+    global: QueryId,
+    pattern: TreePattern,
+    publish: Option<String>,
+    select: SelectClause,
+}
+
+/// One front worker's Stage-1 output for its slice of a batch.
+struct ParsedChunk {
+    docs: Vec<ParsedDoc>,
+    /// Wall-clock time this worker spent on the slice (summed across the
+    /// pool into the front's `timings.xpath` — total parse work, not
+    /// elapsed time).
+    elapsed: Duration,
+}
+
+/// Stage-1 output for one document.
+struct ParsedDoc {
+    doc: Document,
+    bindings: Vec<(PatternId, Vec<EdgeBinding>)>,
+    singles: Vec<MatchOutput>,
+}
+
+/// One front worker: the channel into its thread and the join handle.
+#[derive(Debug)]
+struct FrontWorker {
+    sender: Option<Sender<FrontRequest>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Per registered query: what the coordinator must release from the front
+/// stage when the query unregisters.
+#[derive(Debug)]
+struct FrontFootprint {
+    shard: usize,
+    patterns: Vec<(PatternId, Vec<Edge>)>,
+    single: bool,
+}
+
+/// The document-parallel Stage-1 front stage of the hybrid topology.
+#[derive(Debug)]
+struct FrontStage {
+    workers: Vec<FrontWorker>,
+    /// Master pattern index: the union of every shard's join-side patterns,
+    /// refcounted per registration exactly like a `Registry`'s own index.
+    index: PatternIndex,
+    /// Global requested-edge union per pattern, in first-request order.
+    requested: HashMap<PatternId, Vec<Edge>>,
+    /// Refcounts behind [`requested`](Self::requested).
+    edge_refs: HashMap<PatternId, HashMap<Edge, usize>>,
+    router: WitnessRouter,
+    /// Single-block subscriptions in ascending global-id order (the order a
+    /// single engine evaluates them in).
+    singles: Vec<FrontSingle>,
+    footprints: HashMap<u64, FrontFootprint>,
+    /// Front-stage statistics: `documents_processed` / `docs_parsed_once`
+    /// (each document exactly once), `witnesses_routed`, `pipeline_stalls`,
+    /// `results_emitted` (single-block matches) and `timings.xpath` (total
+    /// Stage-1 work). All Stage-2 fields stay zero.
+    stats: EngineStats,
+    /// The global document sequence; in hybrid mode ids are assigned here,
+    /// not in the shards.
+    next_doc_seq: u64,
+    /// Newest timestamp seen; in-order enforcement happens here, before
+    /// anything is dispatched.
+    newest_timestamp: u64,
+}
+
+/// The front stage's Stage-1 product for one batch, ready for dispatch.
+struct StagedBatch {
+    shard_batches: Vec<WitnessBatch>,
+    doc_meta: Vec<(DocId, u64)>,
+    /// The prepared documents — retained for shipping only when
+    /// `retain_documents` is on, empty otherwise.
+    docs: Vec<Document>,
+    /// The front's single-block matches for this batch.
+    singles: Vec<MatchOutput>,
+}
+
+/// One batch in flight at the shards.
+struct InFlight {
+    responses: Vec<Receiver<CoreResult<Vec<MatchOutput>>>>,
+    singles: Vec<MatchOutput>,
+}
+
 /// A multi-core MMQJP engine: `N` independent [`MmqjpEngine`] shards over a
-/// hash-partitioned query population, fed by replicating every document batch
-/// and merged into a deterministic, canonically-ordered match stream.
+/// hash-partitioned query population, merged into a deterministic,
+/// canonically-ordered match stream.
 ///
 /// The API mirrors [`MmqjpEngine`]: register queries, then feed documents or
-/// batches. [`EngineConfig::num_shards`] selects the shard count; every other
-/// config knob applies to each shard individually.
+/// batches. [`EngineConfig::num_shards`] selects the shard count and
+/// [`EngineConfig::front_pool`] the topology — `0` replicates every document
+/// batch to every shard, `>= 1` parses each document once in a
+/// document-parallel front stage and routes witness rows to subscribing
+/// shards. Every other config knob applies to each shard individually.
 ///
 /// ```
 /// use mmqjp_core::{EngineConfig, ShardedEngine};
 /// use mmqjp_xml::rss;
 ///
-/// let mut engine = ShardedEngine::new(EngineConfig::default().with_num_shards(4));
+/// // Hybrid topology: 2 front workers parse once, 4 shards join.
+/// let mut engine = ShardedEngine::new(
+///     EngineConfig::default().with_num_shards(4).with_front_pool(2));
 /// engine.register_query_text(
 ///     "S//book->x1[.//author->x2][.//title->x3] \
 ///      FOLLOWED BY{x2=x5 AND x3=x6, 100} \
@@ -110,12 +454,14 @@ struct Shard {
 /// let d2 = rss::blog_article("Danny Ayers", "http://...", "RSS", "Books", "...");
 /// assert!(engine.process_document(d1).unwrap().is_empty());
 /// assert_eq!(engine.process_document(d2).unwrap().len(), 1);
+/// assert_eq!(engine.front_stats().docs_parsed_once, 2);
 /// ```
 #[derive(Debug)]
 pub struct ShardedEngine {
     config: EngineConfig,
     interner: Arc<StringInterner>,
     shards: Vec<Shard>,
+    front: Option<FrontStage>,
     queries_per_shard: Vec<usize>,
     next_query: u64,
     live_queries: usize,
@@ -124,7 +470,9 @@ pub struct ShardedEngine {
 impl ShardedEngine {
     /// Create a sharded engine with [`EngineConfig::num_shards`] shards
     /// (a count of `0` is treated as `1`), each running the configured
-    /// processing mode on its own worker thread.
+    /// processing mode on its own worker thread. With
+    /// [`EngineConfig::front_pool`]` >= 1`, additionally spawns that many
+    /// Stage-1 front workers and switches to the hybrid topology.
     pub fn new(config: EngineConfig) -> Self {
         let num_shards = config.num_shards.max(1);
         let interner = Arc::new(StringInterner::new());
@@ -142,10 +490,39 @@ impl ShardedEngine {
                 }
             })
             .collect();
+        let front = (config.front_pool > 0).then(|| {
+            let workers = (0..config.front_pool)
+                .map(|i| {
+                    let retain_documents = config.retain_documents;
+                    let (sender, receiver) = channel();
+                    let handle = thread::Builder::new()
+                        .name(format!("mmqjp-front-{i}"))
+                        .spawn(move || front_worker(retain_documents, receiver))
+                        .expect("spawning a front worker thread succeeds");
+                    FrontWorker {
+                        sender: Some(sender),
+                        handle: Some(handle),
+                    }
+                })
+                .collect();
+            FrontStage {
+                workers,
+                index: PatternIndex::default(),
+                requested: HashMap::new(),
+                edge_refs: HashMap::new(),
+                router: WitnessRouter::new(),
+                singles: Vec::new(),
+                footprints: HashMap::new(),
+                stats: EngineStats::default(),
+                next_doc_seq: 0,
+                newest_timestamp: 0,
+            }
+        });
         ShardedEngine {
             config,
             interner,
             shards,
+            front,
             queries_per_shard: vec![0; num_shards],
             next_query: 0,
             live_queries: 0,
@@ -160,6 +537,11 @@ impl ShardedEngine {
     /// The number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The number of Stage-1 front workers (`0` in the replicated topology).
+    pub fn front_pool(&self) -> usize {
+        self.front.as_ref().map_or(0, |f| f.workers.len())
     }
 
     /// Total number of live registered queries across all shards.
@@ -188,6 +570,12 @@ impl ShardedEngine {
         shard_of(id, self.shards.len())
     }
 
+    /// The hybrid front stage's witness router, if the hybrid topology is
+    /// enabled. Exposes the live subscription table for inspection.
+    pub fn witness_router(&self) -> Option<&WitnessRouter> {
+        self.front.as_ref().map(|f| &f.router)
+    }
+
     /// Register a query from its textual XSCL form. Returns the query id.
     pub fn register_query_text(&mut self, text: &str) -> CoreResult<QueryId> {
         let query = mmqjp_xscl::parse_query(text)?;
@@ -209,13 +597,16 @@ impl ShardedEngine {
                 reply,
             },
         )?;
-        response
+        let footprint = response
             .recv()
             .map_err(|_| CoreError::ShardUnavailable { shard })??;
         // Failed registrations consume no id, matching the single engine.
         self.next_query += 1;
         self.live_queries += 1;
         self.queries_per_shard[shard] += 1;
+        if self.front.is_some() {
+            self.front_subscribe(shard, global, *footprint)?;
+        }
         Ok(global)
     }
 
@@ -234,6 +625,9 @@ impl ShardedEngine {
             .map_err(|_| CoreError::ShardUnavailable { shard })??;
         self.live_queries -= 1;
         self.queries_per_shard[shard] -= 1;
+        if self.front.is_some() {
+            self.front_unsubscribe(id)?;
+        }
         Ok(())
     }
 
@@ -244,14 +638,21 @@ impl ShardedEngine {
 
     /// Process a batch of documents in arrival order.
     ///
-    /// The batch is fanned out to every shard (each shard maintains the full
-    /// join state for its query subset), the per-shard matches are collected,
-    /// and the merged result is returned in the canonical
-    /// `(query, left_doc, right_doc, bindings)` order. The batched-evaluation
-    /// trade-off of [`MmqjpEngine::process_batch`] applies unchanged.
+    /// Replicated topology: the batch is fanned out to every shard (each
+    /// shard maintains the full join state for its query subset). Hybrid
+    /// topology: the front pool runs Stage 1 once and the shards receive
+    /// routed witness rows. Either way the per-shard matches are collected
+    /// and merged into the canonical `(query, left_doc, right_doc,
+    /// bindings)` order. The batched-evaluation trade-off of
+    /// [`MmqjpEngine::process_batch`] applies unchanged.
     pub fn process_batch(&mut self, docs: Vec<Document>) -> CoreResult<Vec<MatchOutput>> {
         if docs.is_empty() {
             return Ok(Vec::new());
+        }
+        if self.front.is_some() {
+            let staged = self.front_stage1(docs)?;
+            let in_flight = self.dispatch_routed(staged)?;
+            return self.collect_shard_outputs(in_flight, false);
         }
         // Fan the batch out to all shards before collecting any reply so the
         // shards process it concurrently. The last shard takes ownership of
@@ -268,40 +669,95 @@ impl ShardedEngine {
             self.send(shard, Request::Batch { docs: batch, reply })?;
             responses.push(response);
         }
-        // Collect every reply even after an error: the shards advance in
-        // lockstep, and draining keeps them synchronized for the next batch.
-        let mut merged = Vec::new();
-        let mut first_error = None;
-        for (shard, response) in responses.into_iter().enumerate() {
-            match response.recv() {
-                Ok(Ok(outputs)) => merged.extend(outputs),
-                Ok(Err(e)) => {
-                    if first_error.is_none() {
-                        first_error = Some(e);
-                    }
+        self.collect_shard_outputs(
+            InFlight {
+                responses,
+                singles: Vec::new(),
+            },
+            false,
+        )
+    }
+
+    /// Process a sequence of batches, returning each batch's canonical
+    /// matches in order. Equivalent to calling
+    /// [`process_batch`](Self::process_batch) per batch — same outputs,
+    /// same state — but in the hybrid topology the stages are pipelined
+    /// with an in-flight depth of one: the front pool parses batch `k+1`
+    /// while the shards join batch `k`. Batches whose Stage-1 output was
+    /// ready before the shards finished the previous batch are counted in
+    /// [`EngineStats::pipeline_stalls`] (the front waited on Stage 2).
+    ///
+    /// On error the failing batch's [`CoreError`] is returned and the
+    /// outputs of earlier batches in the same call are discarded; the
+    /// shards stay drained and synchronized, so processing can continue
+    /// with the next batch, exactly like the single engine after a rejected
+    /// batch.
+    pub fn process_batches(
+        &mut self,
+        batches: Vec<Vec<Document>>,
+    ) -> CoreResult<Vec<Vec<MatchOutput>>> {
+        if self.front.is_none() {
+            return batches
+                .into_iter()
+                .map(|batch| self.process_batch(batch))
+                .collect();
+        }
+        let mut results = Vec::with_capacity(batches.len());
+        let mut in_flight: Option<InFlight> = None;
+        for batch in batches {
+            if batch.is_empty() {
+                // Nothing to parse or dispatch; settle the pipeline so the
+                // empty result lands at the right position.
+                if let Some(prev) = in_flight.take() {
+                    results.push(self.collect_shard_outputs(prev, false)?);
                 }
-                Err(_) => {
-                    if first_error.is_none() {
-                        first_error = Some(CoreError::ShardUnavailable { shard });
-                    }
-                }
+                results.push(Vec::new());
+                continue;
             }
+            let staged = match self.front_stage1(batch) {
+                Ok(staged) => staged,
+                Err(e) => {
+                    // Drain the in-flight batch before propagating, keeping
+                    // the shards synchronized for the next call.
+                    if let Some(prev) = in_flight.take() {
+                        let _ = self.collect_shard_outputs(prev, false);
+                    }
+                    return Err(e);
+                }
+            };
+            if let Some(prev) = in_flight.take() {
+                results.push(self.collect_shard_outputs(prev, true)?);
+            }
+            in_flight = Some(self.dispatch_routed(staged)?);
         }
-        if let Some(e) = first_error {
-            return Err(e);
+        if let Some(prev) = in_flight.take() {
+            results.push(self.collect_shard_outputs(prev, false)?);
         }
-        sort_matches(&mut merged);
-        Ok(merged)
+        Ok(results)
     }
 
     /// Aggregate statistics: the field-wise sum of every shard's
-    /// [`EngineStats`] (see the `Sum` impl on [`EngineStats`] for the exact
-    /// semantics — notably `documents_processed` counts per-shard work, so it
-    /// is `num_shards ×` the number of ingested documents). Errors with
-    /// [`CoreError::ShardUnavailable`] if a shard worker is gone, rather than
-    /// silently under-reporting.
+    /// [`EngineStats`], plus the front stage's own stats in the hybrid
+    /// topology (see the `Sum` impl on [`EngineStats`] for the exact
+    /// semantics — notably `documents_processed` counts per-shard work in
+    /// the replicated topology, so it is `num_shards ×` the number of
+    /// ingested documents there, while the hybrid front counts each
+    /// document exactly once). Errors with [`CoreError::ShardUnavailable`]
+    /// if a shard worker is gone, rather than silently under-reporting.
     pub fn stats(&self) -> CoreResult<EngineStats> {
-        Ok(self.shard_stats()?.into_iter().sum())
+        let mut total: EngineStats = self.shard_stats()?.into_iter().sum();
+        if let Some(front) = &self.front {
+            total += front.stats;
+        }
+        Ok(total)
+    }
+
+    /// The hybrid front stage's statistics: `docs_parsed_once`,
+    /// `witnesses_routed`, `pipeline_stalls`, single-block
+    /// `results_emitted` and Stage-1 `timings.xpath`. All-zero in the
+    /// replicated topology (which has no front stage).
+    pub fn front_stats(&self) -> EngineStats {
+        self.front.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
     /// Per-shard statistics snapshots, by shard index.
@@ -331,12 +787,329 @@ impl ShardedEngine {
             .send(request)
             .map_err(|_| CoreError::ShardUnavailable { shard })
     }
+
+    // ----------------------------------------------------------------
+    // Hybrid topology internals
+    // ----------------------------------------------------------------
+
+    /// Mirror a freshly registered query's Stage-1 footprint into the front
+    /// stage: merge its patterns into the master index and the global
+    /// requested-edge union, subscribe its shard in the router, take over
+    /// its single-block subscription, and re-sync the front workers.
+    fn front_subscribe(
+        &mut self,
+        shard: usize,
+        global: QueryId,
+        footprint: ShardFootprint,
+    ) -> CoreResult<()> {
+        let front = self.front.as_mut().expect("hybrid topology is enabled");
+        let mut resolved = Vec::with_capacity(footprint.patterns.len());
+        for (pattern, edges) in footprint.patterns {
+            let pid = front.index.register(pattern);
+            let refs = front.edge_refs.entry(pid).or_default();
+            let list = front.requested.entry(pid).or_default();
+            for &edge in &edges {
+                let count = refs.entry(edge).or_insert(0);
+                if *count == 0 {
+                    list.push(edge);
+                }
+                *count += 1;
+            }
+            front.router.subscribe(shard, pid, &edges);
+            resolved.push((pid, edges));
+        }
+        let single = footprint.single.is_some();
+        if let Some((pattern, publish, select)) = footprint.single {
+            // Global ids are assigned in ascending order and never reused,
+            // so pushing keeps the list in single-engine evaluation order.
+            front.singles.push(FrontSingle {
+                global,
+                pattern,
+                publish,
+                select,
+            });
+        }
+        front.footprints.insert(
+            global.raw(),
+            FrontFootprint {
+                shard,
+                patterns: resolved,
+                single,
+            },
+        );
+        self.sync_front()
+    }
+
+    /// Release a departing query's front-stage footprint (the inverse of
+    /// [`front_subscribe`](Self::front_subscribe)) and re-sync the workers.
+    fn front_unsubscribe(&mut self, global: QueryId) -> CoreResult<()> {
+        let front = self.front.as_mut().expect("hybrid topology is enabled");
+        let footprint = front
+            .footprints
+            .remove(&global.raw())
+            .expect("a live query has a front footprint");
+        for (pid, edges) in &footprint.patterns {
+            front.router.unsubscribe(footprint.shard, *pid, edges);
+            let refs = front
+                .edge_refs
+                .get_mut(pid)
+                .expect("a subscribed pattern has edge refcounts");
+            let list = front
+                .requested
+                .get_mut(pid)
+                .expect("a subscribed pattern has requested edges");
+            for edge in edges {
+                let count = refs.get_mut(edge).expect("a requested edge is refcounted");
+                *count -= 1;
+                if *count == 0 {
+                    refs.remove(edge);
+                    list.retain(|e| e != edge);
+                }
+            }
+            if refs.is_empty() {
+                front.edge_refs.remove(pid);
+                front.requested.remove(pid);
+            }
+            front.index.unregister(*pid);
+        }
+        if footprint.single {
+            front.singles.retain(|s| s.global != global);
+        }
+        self.sync_front()
+    }
+
+    /// Broadcast the current Stage-1 snapshot (master index, requested-edge
+    /// union, single-block list) to every front worker and wait for their
+    /// acknowledgements, so the next batch is parsed against the updated
+    /// subscriptions.
+    fn sync_front(&mut self) -> CoreResult<()> {
+        let front = self.front.as_mut().expect("hybrid topology is enabled");
+        let mut acks = Vec::with_capacity(front.workers.len());
+        for (i, worker) in front.workers.iter().enumerate() {
+            let (reply, response) = channel();
+            worker
+                .sender
+                .as_ref()
+                .ok_or(CoreError::ShardUnavailable { shard: i })?
+                .send(FrontRequest::Sync {
+                    index: Box::new(front.index.clone()),
+                    requested: front.requested.clone(),
+                    singles: front.singles.clone(),
+                    reply,
+                })
+                .map_err(|_| CoreError::ShardUnavailable { shard: i })?;
+            acks.push(response);
+        }
+        for (i, ack) in acks.into_iter().enumerate() {
+            ack.recv()
+                .map_err(|_| CoreError::ShardUnavailable { shard: i })?;
+        }
+        Ok(())
+    }
+
+    /// Run Stage 1 for one batch: assign ids/timestamps (the front owns the
+    /// global sequence), enforce in-order arrival, parse and pattern-match
+    /// document-parallel across the front pool, answer single-block
+    /// subscriptions, and route the witness rows into per-shard batches.
+    fn front_stage1(&mut self, docs: Vec<Document>) -> CoreResult<StagedBatch> {
+        let num_shards = self.shards.len();
+        let retain_documents = self.config.retain_documents;
+        let enforce_in_order = self.config.enforce_in_order;
+        let front = self.front.as_mut().expect("hybrid topology is enabled");
+
+        // Mirror the single engine's Stage-1 loop: ids/timestamps are
+        // assigned per document in arrival order, and a rejected document
+        // aborts the whole batch before anything reaches a shard (the
+        // sequence numbers consumed so far stay consumed, exactly like
+        // `MmqjpEngine::process_batch`).
+        let mut prepared = Vec::with_capacity(docs.len());
+        for mut doc in docs {
+            front.next_doc_seq += 1;
+            doc.set_id(DocId(front.next_doc_seq));
+            if doc.timestamp().raw() == 0 {
+                doc.set_timestamp(Timestamp(front.next_doc_seq));
+            }
+            if enforce_in_order && doc.timestamp().raw() < front.newest_timestamp {
+                return Err(CoreError::OutOfOrderDocument {
+                    timestamp: doc.timestamp().raw(),
+                    newest: front.newest_timestamp,
+                });
+            }
+            front.newest_timestamp = front.newest_timestamp.max(doc.timestamp().raw());
+            prepared.push(doc);
+        }
+
+        // Document-parallel Stage 1: contiguous slices across the pool keep
+        // arrival order trivially reconstructible on collection.
+        let chunk_len = prepared.len().div_ceil(front.workers.len()).max(1);
+        let mut pending = Vec::new();
+        let mut iter = prepared.into_iter();
+        loop {
+            let slice: Vec<Document> = iter.by_ref().take(chunk_len).collect();
+            if slice.is_empty() {
+                break;
+            }
+            let worker = pending.len();
+            let (reply, response) = channel();
+            front.workers[worker]
+                .sender
+                .as_ref()
+                .ok_or(CoreError::ShardUnavailable { shard: worker })?
+                .send(FrontRequest::Parse { docs: slice, reply })
+                .map_err(|_| CoreError::ShardUnavailable { shard: worker })?;
+            pending.push(response);
+        }
+        let mut parsed: Vec<ParsedDoc> = Vec::new();
+        let mut parse_work = Duration::ZERO;
+        for (worker, response) in pending.into_iter().enumerate() {
+            let chunk = response
+                .recv()
+                .map_err(|_| CoreError::ShardUnavailable { shard: worker })?;
+            parse_work += chunk.elapsed;
+            parsed.extend(chunk.docs);
+        }
+
+        // Route the witness rows: still Stage-1 work (witness construction),
+        // done once here instead of once per shard.
+        let t_route = Instant::now();
+        let mut shard_batches: Vec<WitnessBatch> =
+            (0..num_shards).map(|_| WitnessBatch::new()).collect();
+        let mut singles = Vec::new();
+        let mut doc_meta = Vec::with_capacity(parsed.len());
+        let mut retained = Vec::new();
+        let mut routed_rows = 0usize;
+        for doc in parsed {
+            routed_rows += front.router.route_document(
+                &doc.doc,
+                &doc.bindings,
+                &front.index,
+                &self.interner,
+                &mut shard_batches,
+            );
+            singles.extend(doc.singles);
+            doc_meta.push((doc.doc.id(), doc.doc.timestamp().raw()));
+            if retain_documents {
+                retained.push(doc.doc);
+            }
+        }
+        front.stats.documents_processed += doc_meta.len();
+        front.stats.docs_parsed_once += doc_meta.len();
+        front.stats.witnesses_routed += routed_rows;
+        front.stats.results_emitted += singles.len();
+        front.stats.timings.xpath += parse_work + t_route.elapsed();
+        Ok(StagedBatch {
+            shard_batches,
+            doc_meta,
+            docs: retained,
+            singles,
+        })
+    }
+
+    /// Send one staged batch's routed witness rows to every shard (the last
+    /// shard takes ownership of the retained documents; the others get
+    /// clones) without waiting for the replies.
+    fn dispatch_routed(&mut self, staged: StagedBatch) -> CoreResult<InFlight> {
+        let StagedBatch {
+            shard_batches,
+            doc_meta,
+            docs,
+            singles,
+        } = staged;
+        let num_shards = self.shards.len();
+        let mut responses = Vec::with_capacity(num_shards);
+        let mut docs = Some(docs);
+        for (shard, batch) in shard_batches.into_iter().enumerate() {
+            let shard_docs = if shard + 1 == num_shards {
+                docs.take().expect("documents are moved out exactly once")
+            } else {
+                docs.as_ref().expect("documents not yet moved").clone()
+            };
+            let (reply, response) = channel();
+            self.send(
+                shard,
+                Request::Witness {
+                    routed: Box::new(RoutedBatch {
+                        batch,
+                        doc_meta: doc_meta.clone(),
+                        docs: shard_docs,
+                    }),
+                    reply,
+                },
+            )?;
+            responses.push(response);
+        }
+        Ok(InFlight { responses, singles })
+    }
+
+    /// Collect every shard's reply for one batch — even after an error, so
+    /// the shards advance in lockstep — and merge the matches (plus the
+    /// front's single-block matches) into canonical order. When
+    /// `overlapped`, the front just finished Stage 1 of the *next* batch;
+    /// a shard that has not replied yet then means the front is stalling on
+    /// Stage 2, counted once per batch in `pipeline_stalls`.
+    fn collect_shard_outputs(
+        &mut self,
+        in_flight: InFlight,
+        overlapped: bool,
+    ) -> CoreResult<Vec<MatchOutput>> {
+        let InFlight { responses, singles } = in_flight;
+        let mut merged = singles;
+        let mut first_error = None;
+        let mut stalled = false;
+        for (shard, response) in responses.into_iter().enumerate() {
+            let received = if overlapped {
+                match response.try_recv() {
+                    Ok(result) => Ok(result),
+                    Err(TryRecvError::Empty) => {
+                        stalled = true;
+                        response.recv().map_err(|_| ())
+                    }
+                    Err(TryRecvError::Disconnected) => Err(()),
+                }
+            } else {
+                response.recv().map_err(|_| ())
+            };
+            match received {
+                Ok(Ok(outputs)) => merged.extend(outputs),
+                Ok(Err(e)) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+                Err(()) => {
+                    if first_error.is_none() {
+                        first_error = Some(CoreError::ShardUnavailable { shard });
+                    }
+                }
+            }
+        }
+        if stalled {
+            if let Some(front) = self.front.as_mut() {
+                front.stats.pipeline_stalls += 1;
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        sort_matches(&mut merged);
+        Ok(merged)
+    }
 }
 
 impl Drop for ShardedEngine {
     fn drop(&mut self) {
+        if let Some(front) = &mut self.front {
+            for worker in &mut front.workers {
+                // Dropping the sender closes the channel; the loop exits.
+                worker.sender.take();
+            }
+            for worker in &mut front.workers {
+                if let Some(handle) = worker.handle.take() {
+                    let _ = handle.join();
+                }
+            }
+        }
         for shard in &mut self.shards {
-            // Dropping the sender closes the channel; the worker loop exits.
             shard.sender.take();
         }
         for shard in &mut self.shards {
@@ -384,6 +1157,20 @@ fn shard_worker(mut engine: MmqjpEngine, requests: Receiver<Request>) {
                     debug_assert_eq!(local.raw() as usize, global_ids.len());
                     global_ids.push(global);
                     local_of.insert(global, local);
+                    let runtime = engine
+                        .registry()
+                        .query(local)
+                        .expect("a just-registered query is live");
+                    let mut patterns = Vec::new();
+                    for r in &runtime.registrations {
+                        patterns.push((r.prev_pattern.clone(), r.prev_edges.clone()));
+                        patterns.push((r.cur_pattern.clone(), r.cur_edges.clone()));
+                    }
+                    let single = runtime
+                        .single_pattern
+                        .as_ref()
+                        .map(|p| (p.clone(), runtime.publish.clone(), runtime.select));
+                    Box::new(ShardFootprint { patterns, single })
                 });
                 let _ = reply.send(result);
             }
@@ -405,6 +1192,15 @@ fn shard_worker(mut engine: MmqjpEngine, requests: Receiver<Request>) {
                 });
                 let _ = reply.send(result);
             }
+            Request::Witness { routed, reply } => {
+                let result = engine.process_witness_batch(*routed).map(|mut outputs| {
+                    for output in &mut outputs {
+                        output.query = global_ids[output.query.raw() as usize];
+                    }
+                    outputs
+                });
+                let _ = reply.send(result);
+            }
             Request::Stats { reply } => {
                 let _ = reply.send(engine.stats());
             }
@@ -412,14 +1208,101 @@ fn shard_worker(mut engine: MmqjpEngine, requests: Receiver<Request>) {
     }
 }
 
-// Compile-time audit that everything crossing (or living on) a shard thread
-// is `Send`: the engine with its registry / relations / view cache, the
-// shared interner, and the request/response payloads.
+/// The front-worker loop: holds a snapshot of the Stage-1 state (master
+/// pattern index, requested-edge union, single-block subscriptions) and
+/// parses document slices against it. Snapshots are replaced wholesale by
+/// `Sync` requests on subscription churn.
+fn front_worker(retain_documents: bool, requests: Receiver<FrontRequest>) {
+    let mut index = PatternIndex::default();
+    let mut requested: HashMap<PatternId, Vec<Edge>> = HashMap::new();
+    let mut singles: Vec<FrontSingle> = Vec::new();
+    while let Ok(request) = requests.recv() {
+        match request {
+            FrontRequest::Sync {
+                index: new_index,
+                requested: new_requested,
+                singles: new_singles,
+                reply,
+            } => {
+                index = *new_index;
+                requested = new_requested;
+                singles = new_singles;
+                let _ = reply.send(());
+            }
+            FrontRequest::Parse { docs, reply } => {
+                let t0 = Instant::now();
+                let parsed = docs
+                    .into_iter()
+                    .map(|doc| {
+                        let bindings = index.evaluate_edge_bindings(&doc, &requested);
+                        let single_matches = match_front_singles(&singles, &doc, retain_documents);
+                        ParsedDoc {
+                            doc,
+                            bindings,
+                            singles: single_matches,
+                        }
+                    })
+                    .collect();
+                let _ = reply.send(ParsedChunk {
+                    docs: parsed,
+                    elapsed: t0.elapsed(),
+                });
+            }
+        }
+    }
+}
+
+/// Answer single-block subscriptions at the front stage. Mirrors
+/// `MmqjpEngine::match_single_block_queries` — same witness enumeration,
+/// same output shape — but speaks engine-global query ids directly.
+fn match_front_singles(
+    singles: &[FrontSingle],
+    doc: &Document,
+    retain_documents: bool,
+) -> Vec<MatchOutput> {
+    let mut outputs = Vec::new();
+    for s in singles {
+        let matcher = PatternMatcher::new(&s.pattern);
+        for w in matcher.witnesses(doc) {
+            let bindings = w
+                .bindings()
+                .iter()
+                .map(|(v, n)| Binding {
+                    variable: v.clone(),
+                    doc: doc.id(),
+                    node: *n,
+                })
+                .collect();
+            let document = if retain_documents && s.select == SelectClause::Star {
+                Some(doc.clone())
+            } else {
+                None
+            };
+            outputs.push(MatchOutput {
+                query: s.global,
+                publish: s.publish.clone(),
+                left_doc: doc.id(),
+                right_doc: doc.id(),
+                bindings,
+                document,
+            });
+        }
+    }
+    outputs
+}
+
+// Compile-time audit that everything crossing (or living on) a shard or
+// front-worker thread is `Send`: the engine with its registry / relations /
+// view cache, the shared interner, and the request/response payloads of
+// both worker kinds.
 const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<MmqjpEngine>();
     assert_send::<Arc<StringInterner>>();
     assert_send::<Request>();
+    assert_send::<FrontRequest>();
+    assert_send::<ParsedChunk>();
+    assert_send::<RoutedBatch>();
     assert_send::<CoreResult<Vec<MatchOutput>>>();
     assert_send::<EngineStats>();
     assert_send::<ShardedEngine>();
@@ -429,7 +1312,7 @@ const _: () = {
 mod tests {
     use super::*;
     use crate::config::ProcessingMode;
-    use mmqjp_xml::{rss, Timestamp};
+    use mmqjp_xml::rss;
 
     const Q1: &str = "S//book->x1[.//author->x2][.//title->x3] \
         FOLLOWED BY{x2=x5 AND x3=x6, 100} \
@@ -440,6 +1323,9 @@ mod tests {
     const Q3: &str = "S//blog->x4[.//author->x5][.//title->x6] \
         FOLLOWED BY{x5=x5' AND x6=x6', 300} \
         S//blog->x4'[.//author->x5'][.//title->x6']";
+    /// A single-block subscription (no join): matched at the front stage in
+    /// hybrid mode.
+    const Q_SINGLE: &str = "S//book->x1[.//author->x2]";
 
     fn d1() -> Document {
         rss::book_announcement(
@@ -492,9 +1378,168 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_walkthrough_matches_single_engine_for_every_topology() {
+        let mut single = MmqjpEngine::new(EngineConfig::mmqjp());
+        for q in [Q1, Q2, Q3, Q_SINGLE] {
+            single.register_query_text(q).unwrap();
+        }
+        let mut expected_d1 = single.process_document(d1()).unwrap();
+        sort_matches(&mut expected_d1);
+        let mut expected_d2 = single.process_document(d2()).unwrap();
+        sort_matches(&mut expected_d2);
+        // Q_SINGLE matches the book announcement on arrival.
+        assert!(!expected_d1.is_empty());
+        assert_eq!(expected_d2.len(), 2);
+
+        for front_pool in [1, 2, 4] {
+            for shards in [1, 2, 3, 7] {
+                let mut e = ShardedEngine::new(
+                    EngineConfig::mmqjp()
+                        .with_num_shards(shards)
+                        .with_front_pool(front_pool),
+                );
+                for q in [Q1, Q2, Q3, Q_SINGLE] {
+                    e.register_query_text(q).unwrap();
+                }
+                assert_eq!(e.front_pool(), front_pool);
+                let out1 = e.process_document(d1()).unwrap();
+                assert_eq!(out1, expected_d1, "{front_pool} front / {shards} shards");
+                let out2 = e.process_document(d2()).unwrap();
+                assert_eq!(out2, expected_d2, "{front_pool} front / {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_stats_count_documents_once_and_sum_exactly() {
+        let mut e = sharded(EngineConfig::mmqjp().with_num_shards(3).with_front_pool(2));
+        e.process_document(d1()).unwrap();
+        e.process_document(d2()).unwrap();
+        let per_shard = e.shard_stats().unwrap();
+        let front = e.front_stats();
+        let total = e.stats().unwrap();
+        // Exact decomposition: aggregate == shard sum + front stats.
+        let shard_sum: EngineStats = per_shard.iter().copied().sum();
+        assert_eq!(total, shard_sum + front);
+        // Documents are parsed and counted exactly once, at the front.
+        assert_eq!(front.documents_processed, 2);
+        assert_eq!(front.docs_parsed_once, 2);
+        assert_eq!(total.documents_processed, 2);
+        assert!(per_shard.iter().all(|s| s.documents_processed == 0));
+        // Witness rows were routed (both documents carry witnesses).
+        assert!(front.witnesses_routed > 0);
+        assert_eq!(total.witnesses_routed, front.witnesses_routed);
+        // Shards did no Stage-1 work; the front did all of it.
+        assert!(per_shard.iter().all(|s| s.timings.xpath == Duration::ZERO));
+        assert!(front.timings.xpath > Duration::ZERO);
+        // Join results still come from the shards.
+        assert_eq!(total.results_emitted, 2);
+    }
+
+    #[test]
+    fn hybrid_unregister_releases_front_subscriptions() {
+        let mut e = sharded(EngineConfig::mmqjp().with_num_shards(2).with_front_pool(1));
+        assert!(!e.witness_router().unwrap().is_empty());
+        e.process_document(d1()).unwrap();
+        e.unregister_query(QueryId(0)).unwrap();
+        let out = e.process_document(d2()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].query, QueryId(1));
+        e.unregister_query(QueryId(1)).unwrap();
+        e.unregister_query(QueryId(2)).unwrap();
+        // The routing table empties with the last subscription.
+        assert!(e.witness_router().unwrap().is_empty());
+        assert!(e
+            .process_document(d2().with_timestamp(Timestamp(30)))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn hybrid_pipelined_batches_equal_batchwise_processing() {
+        let docs: Vec<Document> = (0..6)
+            .map(|i| {
+                let doc = if i % 2 == 0 { d1() } else { d2() };
+                doc.with_timestamp(Timestamp(10 + i * 10))
+            })
+            .collect();
+        let batches: Vec<Vec<Document>> = docs.chunks(1).map(|c| c.to_vec()).collect();
+
+        // Reference: batch-at-a-time on the unpipelined entry point.
+        let mut reference = sharded(EngineConfig::mmqjp().with_num_shards(2).with_front_pool(2));
+        let expected: Vec<Vec<MatchOutput>> = batches
+            .clone()
+            .into_iter()
+            .map(|b| reference.process_batch(b).unwrap())
+            .collect();
+
+        let mut pipelined = sharded(EngineConfig::mmqjp().with_num_shards(2).with_front_pool(2));
+        let results = pipelined.process_batches(batches).unwrap();
+        assert_eq!(results, expected);
+        assert_eq!(
+            pipelined.stats().unwrap().results_emitted,
+            expected.iter().map(Vec::len).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn witness_router_routes_only_to_subscribers() {
+        use mmqjp_xpath::parse_pattern;
+        let mut index = PatternIndex::default();
+        let mut p1 = parse_pattern("S//book->b[.//author->a]").unwrap();
+        p1.assign_canonical_variables();
+        let mut p2 = parse_pattern("S//book->b[.//title->t]").unwrap();
+        p2.assign_canonical_variables();
+        let edges1: Vec<Edge> = p1.edges();
+        let edges2: Vec<Edge> = p2.edges();
+        let pid1 = index.register(p1.clone());
+        let pid2 = index.register(p2.clone());
+
+        let mut router = WitnessRouter::new();
+        router.subscribe(0, pid1, &edges1);
+        router.subscribe(2, pid2, &edges2);
+        assert_eq!(router.subscribers(pid1), vec![0]);
+        assert_eq!(router.subscribers(pid2), vec![2]);
+
+        let interner = Arc::new(StringInterner::new());
+        let doc = d1().with_id(DocId(1));
+        let mut requested: HashMap<PatternId, Vec<Edge>> = HashMap::new();
+        requested.insert(pid1, edges1.clone());
+        requested.insert(pid2, edges2.clone());
+        let bindings = index.evaluate_edge_bindings(&doc, &requested);
+        assert!(!bindings.is_empty());
+
+        let mut batches = vec![
+            WitnessBatch::new(),
+            WitnessBatch::new(),
+            WitnessBatch::new(),
+        ];
+        let routed = router.route_document(&doc, &bindings, &index, &interner, &mut batches);
+        assert!(routed > 0);
+        // Shard 1 subscribed to nothing: ledger row only.
+        assert_eq!(batches[1].num_witness_rows(), 0);
+        assert_eq!(batches[1].rdoc_ts_w.len(), 1);
+        // Shards 0 and 2 got exactly their subscribed patterns' rows.
+        assert!(batches[0].num_witness_rows() > 0);
+        assert!(batches[2].num_witness_rows() > 0);
+        assert_eq!(
+            routed,
+            batches[0].num_witness_rows() + batches[2].num_witness_rows()
+        );
+        // Unsubscribing shard 0 drops its pattern from the table.
+        router.unsubscribe(0, pid1, &edges1);
+        assert_eq!(router.subscribers(pid1), Vec::<usize>::new());
+        assert!(!router.is_empty());
+        router.unsubscribe(2, pid2, &edges2);
+        assert!(router.is_empty());
+    }
+
+    #[test]
     fn zero_shards_is_clamped_to_one() {
         let e = ShardedEngine::new(EngineConfig::mmqjp().with_num_shards(0));
         assert_eq!(e.num_shards(), 1);
+        assert_eq!(e.front_pool(), 0);
+        assert!(e.witness_router().is_none());
     }
 
     #[test]
@@ -515,9 +1560,10 @@ mod tests {
 
     #[test]
     fn failed_registration_consumes_no_id() {
-        let mut e = ShardedEngine::new(EngineConfig::mmqjp().with_num_shards(3));
+        let mut e = ShardedEngine::new(EngineConfig::mmqjp().with_num_shards(3).with_front_pool(1));
         assert!(e.register_query_text("not a query at all ///").is_err());
         assert_eq!(e.num_queries(), 0);
+        assert!(e.witness_router().unwrap().is_empty());
         let id = e.register_query_text(Q1).unwrap();
         assert_eq!(id, QueryId(0));
     }
@@ -535,6 +1581,8 @@ mod tests {
         assert_eq!(per_shard.len(), 2);
         let total = e.stats().unwrap();
         assert_eq!(total, per_shard.iter().copied().sum());
+        // The replicated topology has no front stage.
+        assert_eq!(e.front_stats(), EngineStats::default());
         assert_eq!(total.queries_registered, 3);
         // Every shard sees every document.
         assert_eq!(total.documents_processed, 3 * e.num_shards());
@@ -569,24 +1617,34 @@ mod tests {
         let mut e = sharded(EngineConfig::mmqjp().with_num_shards(2));
         assert!(e.process_batch(Vec::new()).unwrap().is_empty());
         assert_eq!(e.stats().unwrap().documents_processed, 0);
+        // Hybrid: same, including via the pipelined entry point.
+        let mut h = sharded(EngineConfig::mmqjp().with_num_shards(2).with_front_pool(1));
+        assert!(h.process_batch(Vec::new()).unwrap().is_empty());
+        let results = h.process_batches(vec![Vec::new(), Vec::new()]).unwrap();
+        assert_eq!(results, vec![Vec::new(), Vec::new()]);
+        assert_eq!(h.stats().unwrap().documents_processed, 0);
     }
 
     #[test]
     fn out_of_order_document_errors_like_the_single_engine() {
-        let mut config = EngineConfig::mmqjp().with_num_shards(3);
-        config.enforce_in_order = true;
-        let mut e = sharded(config);
-        e.process_document(d1().with_timestamp(Timestamp(100)))
-            .unwrap();
-        let err = e
-            .process_document(d2().with_timestamp(Timestamp(50)))
-            .unwrap_err();
-        assert!(matches!(err, CoreError::OutOfOrderDocument { .. }));
-        // The engine keeps working after the rejected document.
-        let out = e
-            .process_document(d2().with_timestamp(Timestamp(120)))
-            .unwrap();
-        assert!(!out.is_empty());
+        for front_pool in [0, 2] {
+            let mut config = EngineConfig::mmqjp()
+                .with_num_shards(3)
+                .with_front_pool(front_pool);
+            config.enforce_in_order = true;
+            let mut e = sharded(config);
+            e.process_document(d1().with_timestamp(Timestamp(100)))
+                .unwrap();
+            let err = e
+                .process_document(d2().with_timestamp(Timestamp(50)))
+                .unwrap_err();
+            assert!(matches!(err, CoreError::OutOfOrderDocument { .. }));
+            // The engine keeps working after the rejected document.
+            let out = e
+                .process_document(d2().with_timestamp(Timestamp(120)))
+                .unwrap();
+            assert!(!out.is_empty(), "front pool {front_pool}");
+        }
     }
 
     #[test]

@@ -134,6 +134,22 @@ pub struct EngineStats {
     /// and executor buffers are engine-lifetime objects, not per-batch
     /// ones: an execution allocates nothing but its result relation.
     pub scratch_reuses: usize,
+    /// Documents parsed and Stage-1-evaluated exactly once by the hybrid
+    /// front stage of [`ShardedEngine`](crate::ShardedEngine) (with
+    /// `front_pool >= 1`). Zero for single engines and for the replicated
+    /// topology, where every shard re-parses every document.
+    pub docs_parsed_once: usize,
+    /// Witness rows (`RbinW` + `RdocW`) the hybrid front stage routed to
+    /// query shards. Rows for a pattern travel only to the shards whose
+    /// queries subscribed to it, so this counts deliveries: a row shared by
+    /// subscribers on two shards is routed (and counted) twice.
+    pub witnesses_routed: usize,
+    /// Batches for which the pipelined hybrid front finished Stage 1 of
+    /// batch `k+1` before the shards had finished Stage 2 of batch `k` —
+    /// i.e. the front stalled waiting for the join stage. A high ratio of
+    /// stalls to batches means Stage 2 is the bottleneck and more shards
+    /// would help; zero stalls mean Stage 1 is.
+    pub pipeline_stalls: usize,
     /// Cumulative per-phase timings.
     pub timings: PhaseTimings,
 }
@@ -166,9 +182,12 @@ impl EngineStats {
 /// aggregation [`ShardedEngine`](crate::ShardedEngine) uses: each query lives
 /// in exactly one shard, so `queries_registered` sums to the global query
 /// count, while per-shard quantities (`documents_processed`, `templates`,
-/// timings, ...) sum to the total work done across all shards — every
-/// document is replicated to every shard, so `documents_processed` of an
-/// `N`-shard engine is `N ×` the number of ingested documents.
+/// timings, ...) sum to the total work done across all shards. In the
+/// replicated topology (`front_pool == 0`) every document is replicated to
+/// every shard, so `documents_processed` of an `N`-shard engine is `N ×` the
+/// number of ingested documents; in the hybrid topology documents are
+/// counted once, by the front stage, so the aggregate equals the number of
+/// ingested documents.
 impl AddAssign for EngineStats {
     fn add_assign(&mut self, rhs: Self) {
         self.documents_processed += rhs.documents_processed;
@@ -193,6 +212,9 @@ impl AddAssign for EngineStats {
         self.plans_compiled += rhs.plans_compiled;
         self.rows_materialized += rhs.rows_materialized;
         self.scratch_reuses += rhs.scratch_reuses;
+        self.docs_parsed_once += rhs.docs_parsed_once;
+        self.witnesses_routed += rhs.witnesses_routed;
+        self.pipeline_stalls += rhs.pipeline_stalls;
         self.timings += rhs.timings;
     }
 }
@@ -280,6 +302,9 @@ mod tests {
             plans_compiled: 14,
             rows_materialized: 15,
             scratch_reuses: 16,
+            docs_parsed_once: 17,
+            witnesses_routed: 18,
+            pipeline_stalls: 19,
             timings: PhaseTimings {
                 xpath: Duration::from_millis(1),
                 ..Default::default()
@@ -308,6 +333,9 @@ mod tests {
             plans_compiled: 140,
             rows_materialized: 150,
             scratch_reuses: 160,
+            docs_parsed_once: 170,
+            witnesses_routed: 180,
+            pipeline_stalls: 190,
             timings: PhaseTimings {
                 xpath: Duration::from_millis(2),
                 ..Default::default()
@@ -336,6 +364,9 @@ mod tests {
         assert_eq!(s.plans_compiled, 154);
         assert_eq!(s.rows_materialized, 165);
         assert_eq!(s.scratch_reuses, 176);
+        assert_eq!(s.docs_parsed_once, 187);
+        assert_eq!(s.witnesses_routed, 198);
+        assert_eq!(s.pipeline_stalls, 209);
         assert_eq!(s.timings.xpath, Duration::from_millis(3));
         assert_eq!(s, a + b);
         assert_eq!(

@@ -62,6 +62,11 @@ pub fn all_modes() -> [ProcessingMode; 3] {
 /// empty on small query sets.
 pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
 
+/// Front-pool sizes the hybrid-topology sweep exercises: a single worker (no
+/// document parallelism, routing only), an even pool, and a pool larger than
+/// most test batches (workers with empty slices).
+pub const FRONT_POOLS: [usize; 3] = [1, 2, 4];
+
 /// Build an engine in the given mode with the given queries registered.
 pub fn engine_with_queries(mode: ProcessingMode, queries: &[&str]) -> MmqjpEngine {
     let config = EngineConfig {
@@ -104,6 +109,26 @@ pub fn sharded_engine_with_queries(
     queries: &[mmqjp_xscl::XsclQuery],
 ) -> ShardedEngine {
     let mut engine = ShardedEngine::new(config.with_num_shards(num_shards));
+    for q in queries {
+        engine.register_query(q.clone()).expect("query registers");
+    }
+    engine
+}
+
+/// Build a sharded engine with an explicit topology: `front_pool == 0` is
+/// the replicated topology (every shard re-runs Stage 1), `>= 1` the hybrid
+/// parse-once topology with that many Stage-1 front workers.
+pub fn sharded_engine_with_topology(
+    config: EngineConfig,
+    num_shards: usize,
+    front_pool: usize,
+    queries: &[mmqjp_xscl::XsclQuery],
+) -> ShardedEngine {
+    let mut engine = ShardedEngine::new(
+        config
+            .with_num_shards(num_shards)
+            .with_front_pool(front_pool),
+    );
     for q in queries {
         engine.register_query(q.clone()).expect("query registers");
     }

@@ -1,17 +1,23 @@
 //! Property-based tests (proptest) over the core data structures and the
 //! engine's end-to-end invariants.
 
-use mmqjp_core::{sort_matches, EngineConfig, MmqjpEngine, ProcessingMode, ShardedEngine};
+use mmqjp_core::{
+    sort_matches, EngineConfig, MmqjpEngine, ProcessingMode, ShardedEngine, WitnessBatch,
+    WitnessRouter,
+};
 use mmqjp_integration_tests::{match_keys, run_stream};
 use mmqjp_relational::{
     ops, Atom, ChunkedRows, ConjunctiveQuery, Database, ExecScratch, PhysicalPlan, PlanInput,
-    Relation, Schema, SegmentedRelation, Term, Value,
+    Relation, Schema, SegmentedRelation, StringInterner, Term, Value,
 };
-use mmqjp_xml::{parse_document, serialize, Document, DocumentBuilder, Timestamp};
+use mmqjp_xml::{parse_document, serialize, DocId, Document, DocumentBuilder, Timestamp};
+use mmqjp_xpath::{PatternId, PatternIndex, PatternNodeId};
 use mmqjp_xscl::{
     normalize_query, parse_query, JoinGraph, ReducedGraph, TemplateCatalog, ValueJoin,
 };
 use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Generators
@@ -366,6 +372,154 @@ proptest! {
         let (l2, r2) = twice.blocks().unwrap();
         prop_assert_eq!(l1.pattern.signature(), l2.pattern.signature());
         prop_assert_eq!(r1.pattern.signature(), r2.pattern.signature());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Witness routing (hybrid sharding)
+// ---------------------------------------------------------------------------
+
+/// The witness rows of a batch as a sorted multiset of rendered rows.
+/// Routing may append a pattern's rows in a different order than direct
+/// evaluation (the subscribed edge list is merge-ordered, the requested map
+/// insertion-ordered), so batches are compared order-insensitively.
+fn witness_multiset(batch: &WitnessBatch) -> Vec<String> {
+    let mut rows: Vec<String> = batch
+        .rbin_w
+        .iter()
+        .map(|t| format!("bin{:?}", t.to_vec()))
+        .chain(batch.rdoc_w.iter().map(|t| format!("doc{:?}", t.to_vec())))
+        .collect();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The hybrid topology's routing theorem: for any query population,
+    /// shard assignment and document stream, the witness rows routed to a
+    /// shard are exactly the rows that shard would have derived by running
+    /// Stage 1 over its own requested-edge map — rows partition along the
+    /// subscription map, nothing is duplicated or lost. A row reaches a
+    /// shard if and only if one of the shard's own patterns derives it, and
+    /// the union across shards is exactly the single-engine Stage-1 output.
+    #[test]
+    fn witness_routing_is_a_partition_of_stage1_output(
+        query_texts in prop::collection::vec(flat_query_strategy(), 1..8),
+        mut docs in prop::collection::vec(flat_document_strategy(), 1..5),
+        num_shards in 1usize..6,
+    ) {
+        for (i, d) in docs.iter_mut().enumerate() {
+            d.set_id(DocId(i as u64 + 1));
+            d.set_timestamp(Timestamp((i as u64 + 1) * 10));
+        }
+
+        // Harvest each query's (pattern, requested edges) registrations from
+        // a scratch engine, exactly as the sharded front stage does, and
+        // build the merged pattern set + router for a round-robin shard
+        // assignment (the routing theorem must hold for any assignment).
+        let mut engine = MmqjpEngine::new(EngineConfig::mmqjp());
+        let mut ids = Vec::new();
+        for t in &query_texts {
+            ids.push(engine.register_query_text(t).unwrap());
+        }
+        let mut index = PatternIndex::new();
+        let mut union_req: HashMap<PatternId, Vec<(PatternNodeId, PatternNodeId)>> =
+            HashMap::new();
+        let mut shard_req: Vec<HashMap<PatternId, Vec<(PatternNodeId, PatternNodeId)>>> =
+            vec![HashMap::new(); num_shards];
+        let mut router = WitnessRouter::new();
+        let mut everything = WitnessRouter::new();
+        for (i, id) in ids.iter().enumerate() {
+            let shard = i % num_shards;
+            for reg in &engine.registry().query(*id).unwrap().registrations {
+                for (pattern, edges) in [
+                    (&reg.prev_pattern, &reg.prev_edges),
+                    (&reg.cur_pattern, &reg.cur_edges),
+                ] {
+                    let pid = index.register(pattern.clone());
+                    for req in [
+                        union_req.entry(pid).or_default(),
+                        shard_req[shard].entry(pid).or_default(),
+                    ] {
+                        for e in edges {
+                            if !req.contains(e) {
+                                req.push(*e);
+                            }
+                        }
+                    }
+                    router.subscribe(shard, pid, edges);
+                    everything.subscribe(0, pid, edges);
+                }
+            }
+        }
+
+        // Route every document's Stage-1 output; `everything` plays the
+        // single-engine reference (one shard subscribed to it all).
+        let interner = Arc::new(StringInterner::new());
+        let mut routed: Vec<WitnessBatch> =
+            (0..num_shards).map(|_| WitnessBatch::new()).collect();
+        let mut global = vec![WitnessBatch::new()];
+        for doc in &docs {
+            let bindings = index.evaluate_edge_bindings(doc, &union_req);
+            router.route_document(doc, &bindings, &index, &interner, &mut routed);
+            everything.route_document(doc, &bindings, &index, &interner, &mut global);
+        }
+
+        // Every shard sees every document's retention-ledger row, witnesses
+        // or not — window pruning depends on it.
+        for batch in &routed {
+            prop_assert_eq!(batch.rdoc_ts_w.len(), docs.len());
+            prop_assert_eq!(batch.doc_ids.len(), docs.len());
+        }
+
+        // Each shard's routed rows are exactly what it would self-derive
+        // from its own requested-edge map. (Patterns absent from a map get
+        // the all-edges fallback, so the self-derived evaluation must drop
+        // bindings of patterns the shard never requested.)
+        for (shard, req) in shard_req.iter().enumerate() {
+            let mut derived = WitnessBatch::new();
+            for doc in &docs {
+                let bindings: Vec<_> = index
+                    .evaluate_edge_bindings(doc, req)
+                    .into_iter()
+                    .filter(|(pid, _)| req.contains_key(pid))
+                    .collect();
+                let with_patterns: Vec<_> = bindings
+                    .iter()
+                    .map(|(pid, b)| (index.pattern(*pid), b.clone()))
+                    .collect();
+                derived.add_document(doc, &with_patterns, &interner);
+            }
+            prop_assert_eq!(
+                witness_multiset(&routed[shard]),
+                witness_multiset(&derived),
+                "shard {} routed rows diverge from self-derived Stage-1",
+                shard
+            );
+        }
+
+        // Nothing is lost or invented: the set union of routed rows equals
+        // the single-subscriber reference's rows. (Set, not multiset:
+        // structurally distinct patterns share canonical variables, so two
+        // patterns on different shards may each legitimately derive the same
+        // witness row — the reference's per-document dedup collapses those
+        // into one row while every subscribing shard keeps its own copy.)
+        let mut union_rows: Vec<String> = routed.iter().flat_map(witness_multiset).collect();
+        union_rows.sort();
+        union_rows.dedup();
+        prop_assert_eq!(
+            union_rows,
+            witness_multiset(&global[0]),
+            "routed union diverges from the single-engine Stage-1 output"
+        );
+
+        // Degenerate exact partition: one shard must receive the reference
+        // output row for row.
+        if num_shards == 1 {
+            prop_assert_eq!(witness_multiset(&routed[0]), witness_multiset(&global[0]));
+        }
     }
 }
 
