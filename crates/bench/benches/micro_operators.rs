@@ -28,7 +28,7 @@ fn bench_hash_join(c: &mut Criterion) {
             .unwrap();
     }
     c.bench_function("relational/hash_join_2k_x_2k", |b| {
-        b.iter(|| ops::hash_join(&left, &right, &["k"], &["k"]).unwrap().len())
+        b.iter(|| ops::hash_join(&left, &right, &["k"], &["k"]).unwrap().len());
     });
 }
 
@@ -56,7 +56,7 @@ fn bench_rowid_vs_materializing_join(c: &mut Criterion) {
     db.register("r", right.clone());
 
     c.bench_function("relational/materializing_join_interpreted_2k", |b| {
-        b.iter(|| db.evaluate(&cq).unwrap().len())
+        b.iter(|| db.evaluate(&cq).unwrap().len());
     });
 
     let plan = PhysicalPlan::compile(&cq, |_| Some(2)).unwrap();
@@ -73,7 +73,7 @@ fn bench_rowid_vs_materializing_join(c: &mut Criterion) {
         .collect();
     let mut scratch = ExecScratch::new();
     c.bench_function("relational/rowid_join_compiled_2k", |b| {
-        b.iter(|| plan.execute(&inputs, &mut scratch, false).len())
+        b.iter(|| plan.execute(&inputs, &mut scratch, false).len());
     });
 }
 
@@ -89,10 +89,10 @@ fn bench_pattern_matching(c: &mut Criterion) {
         parse_pattern("S//item->r[.//title->t][.//channel_url->u][.//description->d]").unwrap();
     let matcher = PatternMatcher::new(&pattern);
     c.bench_function("xpath/witnesses_feed_item", |b| {
-        b.iter(|| matcher.witnesses(&item).len())
+        b.iter(|| matcher.witnesses(&item).len());
     });
     c.bench_function("xpath/edge_bindings_feed_item", |b| {
-        b.iter(|| matcher.all_edge_bindings(&item).len())
+        b.iter(|| matcher.all_edge_bindings(&item).len());
     });
 }
 
@@ -117,7 +117,7 @@ fn bench_template_insertion(c: &mut Criterion) {
                 catalog.len()
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -135,7 +135,7 @@ fn bench_query_registration(c: &mut Criterion) {
                 engine.num_templates()
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -166,7 +166,7 @@ fn bench_document_processing(c: &mut Criterion) {
             },
             |(mut engine, doc)| engine.process_document(doc).unwrap().len(),
             BatchSize::LargeInput,
-        )
+        );
     });
 }
 

@@ -11,6 +11,8 @@
 //! (`default`, `paper`, `smoke`); see
 //! [`mmqjp_workload::BenchScale`].
 
+#![forbid(unsafe_code)]
+
 use mmqjp_core::{
     EngineConfig, EngineStats, MmqjpEngine, PhaseTimings, ProcessingMode, ShardedEngine,
 };

@@ -112,6 +112,14 @@ pub struct EngineConfig {
     /// witness rows are routed to the query shards that subscribed to them.
     /// Ignored by the single-threaded [`MmqjpEngine`](crate::MmqjpEngine).
     pub front_pool: usize,
+    /// Verify every compiled physical plan against its source conjunctive
+    /// query at registration time (schema/variable coverage, join-graph
+    /// connectivity, the batch-restriction soundness precondition, …).
+    /// Verification is a few microseconds per registration and turns subtle
+    /// planner regressions into immediate, typed
+    /// [`RegistrationError`](crate::CoreError)s, so it defaults to on;
+    /// disable it only for registration-throughput experiments.
+    pub verify_plans: bool,
 }
 
 impl Default for EngineConfig {
@@ -127,6 +135,7 @@ impl Default for EngineConfig {
             enforce_in_order: false,
             num_shards: 1,
             front_pool: 0,
+            verify_plans: true,
         }
     }
 }
@@ -207,6 +216,12 @@ impl EngineConfig {
         self.front_pool = front_pool;
         self
     }
+
+    /// Builder-style setter for registration-time plan verification.
+    pub fn with_verify_plans(mut self, verify: bool) -> Self {
+        self.verify_plans = verify;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +240,7 @@ mod tests {
         assert!(c.purge_views_on_unregister);
         assert_eq!(c.num_shards, 1);
         assert_eq!(c.front_pool, 0);
+        assert!(c.verify_plans);
     }
 
     #[test]
@@ -247,7 +263,8 @@ mod tests {
             .with_state_bucket_width(Some(50))
             .with_purge_views_on_unregister(false)
             .with_num_shards(4)
-            .with_front_pool(2);
+            .with_front_pool(2)
+            .with_verify_plans(false);
         assert_eq!(c.view_cache_capacity, Some(128));
         assert!(!c.retain_documents);
         assert!(c.prune_state_by_window);
@@ -256,6 +273,7 @@ mod tests {
         assert!(!c.purge_views_on_unregister);
         assert_eq!(c.num_shards, 4);
         assert_eq!(c.front_pool, 2);
+        assert!(!c.verify_plans);
     }
 
     #[test]

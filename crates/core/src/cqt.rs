@@ -157,7 +157,7 @@ pub fn template_cqt_basic(template: &QueryTemplate, rt: &str) -> ConjunctiveQuer
         match side {
             Side::Left => q.push_atom(Atom::new(RBIN, [Term::var("d1"), v(p), v(c), n(p), n(c)])),
             Side::Right => {
-                q.push_atom(Atom::new(RBIN_W, [Term::var("d2"), v(p), v(c), n(p), n(c)]))
+                q.push_atom(Atom::new(RBIN_W, [Term::var("d2"), v(p), v(c), n(p), n(c)]));
             }
         }
     }
@@ -199,7 +199,7 @@ pub fn template_cqt_materialized(template: &QueryTemplate, rt: &str) -> Conjunct
         match side {
             Side::Left => q.push_atom(Atom::new(RBIN, [Term::var("d1"), v(p), v(c), n(p), n(c)])),
             Side::Right => {
-                q.push_atom(Atom::new(RBIN_W, [Term::var("d2"), v(p), v(c), n(p), n(c)]))
+                q.push_atom(Atom::new(RBIN_W, [Term::var("d2"), v(p), v(c), n(p), n(c)]));
             }
         }
     }

@@ -1,6 +1,7 @@
 //! The MMQJP engine: two-stage processing of XML streams against a large set
 //! of registered XSCL queries (Algorithms 1–5 of the paper).
 
+use crate::audit::AuditViolation;
 use crate::config::{EngineConfig, ProcessingMode};
 use crate::cqt::PlanInputKind;
 use crate::error::{CoreError, CoreResult};
@@ -57,8 +58,10 @@ impl MmqjpEngine {
     /// all of them and shared strings are stored once.
     pub fn with_interner(config: EngineConfig, interner: Arc<StringInterner>) -> Self {
         let view_cache = ViewCache::new(config.view_cache_capacity);
+        let mut registry = Registry::new(Arc::clone(&interner));
+        registry.set_verify_plans(config.verify_plans);
         MmqjpEngine {
-            registry: Registry::new(Arc::clone(&interner)),
+            registry,
             state: JoinState::new(config.prune_state_by_window),
             view_cache,
             scratch: ExecScratch::new(),
@@ -93,6 +96,27 @@ impl MmqjpEngine {
         s.view_cache_misses = vc.misses;
         s.view_cache_evictions = vc.evictions;
         s
+    }
+
+    /// Run a full invariant audit over the engine's redundant bookkeeping —
+    /// registry refcounts, catalog discipline, join-state indexes and
+    /// counters, document accounting and the timestamp watermark — returning
+    /// every violated invariant as a typed [`AuditViolation`]. Read-only and
+    /// side-effect free; a healthy engine returns an empty vector, and any
+    /// violation indicates an engine bug (see [`crate::audit`]).
+    pub fn audit(&self) -> Vec<AuditViolation> {
+        let mut out = Vec::new();
+        self.registry.audit(&mut out);
+        self.state.audit(self.newest_timestamp, &mut out);
+        // Out-of-order rejections consume sequence numbers without counting
+        // a document, so processed <= assigned (never more).
+        if self.stats.documents_processed as u64 > self.next_doc_seq {
+            out.push(AuditViolation::DocumentAccounting {
+                documents_processed: self.stats.documents_processed,
+                doc_seq: self.next_doc_seq,
+            });
+        }
+        out
     }
 
     /// Number of registered queries.
@@ -235,7 +259,7 @@ impl MmqjpEngine {
                 .into_iter()
                 .map(|(pid, bindings)| (self.registry.pattern_index().pattern(pid), bindings))
                 .collect();
-            batch.add_document(&doc, &with_patterns, &self.interner);
+            batch.add_document(&doc, &with_patterns, &self.interner)?;
             prepared_docs.push(doc);
         }
         timings.xpath += t0.elapsed();
@@ -254,7 +278,7 @@ impl MmqjpEngine {
             let result_rows = self.evaluate_stage2(&batch, &mut rbinw_index, &mut timings)?;
             let t_out = Instant::now();
             for (rid, rows) in result_rows {
-                outputs.extend(self.produce_outputs(rid, &rows, &batch, &prepared_docs));
+                outputs.extend(self.produce_outputs(rid, &rows, &batch, &prepared_docs)?);
             }
             timings.output += t_out.elapsed();
         }
@@ -311,7 +335,7 @@ impl MmqjpEngine {
                 // `docs` is empty unless documents are retained; output
                 // document construction is gated on retention, so an empty
                 // slice is never consulted.
-                outputs.extend(self.produce_outputs(rid, &rows, &batch, &docs));
+                outputs.extend(self.produce_outputs(rid, &rows, &batch, &docs)?);
             }
             timings.output += t_out.elapsed();
         }
@@ -382,7 +406,7 @@ impl MmqjpEngine {
         rows: &Relation,
         batch: &WitnessBatch,
         batch_docs: &[Document],
-    ) -> Vec<MatchOutput> {
+    ) -> CoreResult<Vec<MatchOutput>> {
         let mut outputs = Vec::new();
         let template_mode = rid_override < 0;
         for row in rows.iter() {
@@ -441,9 +465,9 @@ impl MmqjpEngine {
                 d1,
                 d2,
                 batch_docs,
-            ));
+            )?);
         }
-        outputs
+        Ok(outputs)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -456,11 +480,13 @@ impl MmqjpEngine {
         d1: DocId,
         d2: DocId,
         batch_docs: &[Document],
-    ) -> MatchOutput {
+    ) -> CoreResult<MatchOutput> {
         let template = &self
             .registry
             .template_runtime(registration.template)
-            .expect("a resolved registration's template is live")
+            .ok_or(CoreError::internal(
+                "a resolved registration's template is live",
+            ))?
             .template;
         let num_left = template.num_left();
         let num_vars = template.num_meta_vars();
@@ -492,19 +518,19 @@ impl MmqjpEngine {
                 d1,
                 d2,
                 batch_docs,
-            )
+            )?
         } else {
             None
         };
 
-        MatchOutput {
+        Ok(MatchOutput {
             query: query.id,
             publish: query.publish.clone(),
             left_doc,
             right_doc,
             bindings,
             document,
-        }
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -517,9 +543,13 @@ impl MmqjpEngine {
         d1: DocId,
         d2: DocId,
         batch_docs: &[Document],
-    ) -> Option<Document> {
-        let prev_doc = self.state.document(d1)?;
-        let cur_doc = batch_docs.iter().find(|d| d.id() == d2)?;
+    ) -> CoreResult<Option<Document>> {
+        let Some(prev_doc) = self.state.document(d1) else {
+            return Ok(None);
+        };
+        let Some(cur_doc) = batch_docs.iter().find(|d| d.id() == d2) else {
+            return Ok(None);
+        };
 
         // Root binding of a side: the binding of the template-side root
         // position when that position corresponds to the query's pattern
@@ -541,11 +571,11 @@ impl MmqjpEngine {
 
         // The output puts the query's left block first.
         let out = if registration.swapped {
-            construct_join_output(cur_doc, cur_root, prev_doc, prev_root)
+            construct_join_output(cur_doc, cur_root, prev_doc, prev_root)?
         } else {
-            construct_join_output(prev_doc, prev_root, cur_doc, cur_root)
+            construct_join_output(prev_doc, prev_root, cur_doc, cur_root)?
         };
-        Some(out)
+        Ok(Some(out))
     }
 
     /// Answer single-block subscriptions directly from the pattern matcher.
@@ -622,10 +652,10 @@ impl MmqjpEngine {
                     .unwrap_or(&[])
                 {
                     let b = batch.rbin_w.row(bin_row);
-                    addition.push_values(rl_row(b, sym)).expect("RL arity");
+                    addition.push_values(rl_row(b, sym))?;
                 }
                 if !addition.is_empty() {
-                    self.view_cache.append(sym, &addition);
+                    self.view_cache.append(sym, &addition)?;
                 }
             }
         }
@@ -746,7 +776,7 @@ impl<'a> EvalInputs<'a> {
         kinds: &[PlanInputKind],
         rt: Option<&'b Relation>,
         inputs: &mut Vec<PlanInput<'b>>,
-    ) {
+    ) -> CoreResult<()> {
         inputs.clear();
         // The Rbin restriction is derived from the restricted Rdoc's
         // document ids, so it is only sound for plans whose Rbin atoms share
@@ -757,7 +787,7 @@ impl<'a> EvalInputs<'a> {
                 PlanInputKind::Rbin if narrow_rbin => PlanInput::from(
                     self.rbin_restricted
                         .as_ref()
-                        .expect("narrow_rbin implies a restricted Rbin"),
+                        .ok_or(CoreError::internal("narrow_rbin implies a restricted Rbin"))?,
                 ),
                 PlanInputKind::Rbin => PlanInput::from(&self.rbin),
                 PlanInputKind::Rdoc => match &self.rdoc_restricted {
@@ -769,16 +799,19 @@ impl<'a> EvalInputs<'a> {
                 PlanInputKind::Rl => PlanInput::from(
                     self.rl
                         .as_ref()
-                        .expect("RL is computed in materialized mode"),
+                        .ok_or(CoreError::internal("RL is computed in materialized mode"))?,
                 ),
                 PlanInputKind::Rr => PlanInput::from(
                     self.rr
                         .as_ref()
-                        .expect("RR is computed in materialized mode"),
+                        .ok_or(CoreError::internal("RR is computed in materialized mode"))?,
                 ),
-                PlanInputKind::Rt => PlanInput::from(rt.expect("template plans carry an RT input")),
+                PlanInputKind::Rt => PlanInput::from(
+                    rt.ok_or(CoreError::internal("template plans carry an RT input"))?,
+                ),
             });
         }
+        Ok(())
     }
 }
 
@@ -843,7 +876,7 @@ fn evaluate_mmqjp(
             }
         }
         let (rdoc, docids) = state.rdoc_for_strvals(&strvals)?;
-        ctx.rbin_restricted = Some(state.rbin_for_docids(&docids));
+        ctx.rbin_restricted = Some(state.rbin_for_docids(&docids)?);
         ctx.rdoc_restricted = Some(rdoc);
         timings.compute_rvj += t_restrict.elapsed();
     }
@@ -858,8 +891,10 @@ fn evaluate_mmqjp(
         } else {
             (t.plan_basic.as_ref(), &t.inputs_basic)
         };
-        let plan = plan.expect("the plan variant for the engine's mode is compiled");
-        ctx.resolve(kinds, Some(&t.rt), &mut inputs);
+        let plan = plan.ok_or(CoreError::internal(
+            "the plan variant for the engine's mode is compiled",
+        ))?;
+        ctx.resolve(kinds, Some(&t.rt), &mut inputs)?;
         let rows = plan.execute(&inputs, scratch, true);
         if !rows.is_empty() {
             results.push((-1, rows));
@@ -891,7 +926,7 @@ fn evaluate_sequential(
             let Some(plan) = r.sequential_plan.as_ref() else {
                 continue; // registered under an MMQJP mode; never evaluated
             };
-            ctx.resolve(&r.sequential_inputs, None, &mut inputs);
+            ctx.resolve(&r.sequential_inputs, None, &mut inputs)?;
             let rows = plan.execute(&inputs, scratch, true);
             if !rows.is_empty() {
                 results.push((r.rid, rows));
@@ -937,12 +972,11 @@ fn compute_rl_rr(
     let mut rl = Relation::new(schemas::rl());
     for &s in &str_values {
         if let Some(slice) = view_cache.get(s) {
-            rl.extend_from(slice).expect("cached slice has RL schema");
+            rl.extend_from(slice)?;
             continue;
         }
         let slice = state.rl_slice(s)?;
-        rl.extend_from(&slice)
-            .expect("computed slice has RL schema");
+        rl.extend_from(&slice)?;
         view_cache.insert(s, slice);
     }
     timings.compute_rl += t_rl.elapsed();
@@ -961,7 +995,7 @@ fn compute_rl_rr(
                 .unwrap_or(&[])
             {
                 let b = batch.rbin_w.row(bin_row);
-                rr.push_values(rl_row(b, s)).expect("RR arity");
+                rr.push_values(rl_row(b, s))?;
             }
         }
     }
@@ -1213,11 +1247,11 @@ mod tests {
                 // Three queries share one template; exactly the variant this
                 // mode executes is compiled.
                 ProcessingMode::Mmqjp | ProcessingMode::MmqjpViewMat => {
-                    assert_eq!(plans_after_registration, 1, "mode {mode:?}")
+                    assert_eq!(plans_after_registration, 1, "mode {mode:?}");
                 }
                 // One per-query plan per orientation, no template plans.
                 ProcessingMode::Sequential => {
-                    assert_eq!(plans_after_registration, 3, "mode {mode:?}")
+                    assert_eq!(plans_after_registration, 3, "mode {mode:?}");
                 }
             }
 

@@ -41,6 +41,13 @@ pub enum CoreError {
         /// Index of the unavailable shard.
         shard: usize,
     },
+    /// An internal engine invariant did not hold. This always indicates a
+    /// bug in the engine (never a user error); the engine reports it as a
+    /// typed error instead of panicking on the processing path.
+    Internal {
+        /// Which invariant was violated.
+        context: &'static str,
+    },
     /// A join-state or witness tuple carried a value of the wrong type in an
     /// index-key column. This indicates state corruption (or a bug in witness
     /// construction), never a user error: the engine refuses to silently
@@ -69,6 +76,9 @@ impl fmt::Display for CoreError {
             CoreError::ShardUnavailable { shard } => {
                 write!(f, "shard {shard} worker is unavailable")
             }
+            CoreError::Internal { context } => {
+                write!(f, "internal engine invariant violated: {context}")
+            }
             CoreError::CorruptStateRow {
                 relation,
                 column,
@@ -78,6 +88,13 @@ impl fmt::Display for CoreError {
                 "corrupt state row: {relation}.{column} holds {value} instead of an index key"
             ),
         }
+    }
+}
+
+impl CoreError {
+    /// Shorthand for an [`Internal`](Self::Internal) invariant violation.
+    pub(crate) fn internal(context: &'static str) -> Self {
+        CoreError::Internal { context }
     }
 }
 
@@ -123,6 +140,9 @@ mod tests {
         assert!(CoreError::ShardUnavailable { shard: 2 }
             .to_string()
             .contains("shard 2"));
+        assert!(CoreError::internal("watermark went backwards")
+            .to_string()
+            .contains("watermark went backwards"));
         let e = CoreError::CorruptStateRow {
             relation: "Rdoc",
             column: "strVal",

@@ -71,7 +71,12 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Hot paths return typed errors instead of panicking; the unit tests are
+// free to unwrap.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
+mod audit;
 mod config;
 mod cqt;
 mod engine;
@@ -84,6 +89,7 @@ mod state;
 mod stats;
 mod view_cache;
 
+pub use audit::AuditViolation;
 pub use config::{EngineConfig, ProcessingMode};
 pub use engine::MmqjpEngine;
 pub use error::{CoreError, CoreResult};

@@ -1,6 +1,7 @@
 //! Query match outputs and default output-document construction
 //! (Algorithm 3 and the `SELECT *` semantics of Section 2).
 
+use crate::error::{CoreError, CoreResult};
 use mmqjp_xml::{DocId, Document, NodeId};
 use mmqjp_xscl::QueryId;
 use serde::{Deserialize, Serialize};
@@ -98,20 +99,25 @@ pub fn construct_join_output(
     left_root: NodeId,
     right_doc: &Document,
     right_root: NodeId,
-) -> Document {
+) -> CoreResult<Document> {
     let mut out = Document::new("result");
-    copy_subtree(left_doc, left_root, &mut out, NodeId::ROOT);
-    copy_subtree(right_doc, right_root, &mut out, NodeId::ROOT);
-    out
+    copy_subtree(left_doc, left_root, &mut out, NodeId::ROOT)?;
+    copy_subtree(right_doc, right_root, &mut out, NodeId::ROOT)?;
+    Ok(out)
 }
 
 /// Copy the subtree of `src` rooted at `src_node` under `dst_parent` in
 /// `dst`.
-fn copy_subtree(src: &Document, src_node: NodeId, dst: &mut Document, dst_parent: NodeId) {
+fn copy_subtree(
+    src: &Document,
+    src_node: NodeId,
+    dst: &mut Document,
+    dst_parent: NodeId,
+) -> CoreResult<()> {
     let node = src.node(src_node);
     let new_id = dst
         .append_child(dst_parent, node.tag())
-        .expect("output document is built in pre-order");
+        .map_err(|_| CoreError::internal("output document is built in pre-order"))?;
     if let Some(text) = node.text() {
         dst.set_text(new_id, text);
     }
@@ -119,8 +125,9 @@ fn copy_subtree(src: &Document, src_node: NodeId, dst: &mut Document, dst_parent
         dst.set_attribute(new_id, name.clone(), value.clone());
     }
     for &child in node.children() {
-        copy_subtree(src, child, dst, new_id);
+        copy_subtree(src, child, dst, new_id)?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -192,7 +199,7 @@ mod tests {
             "Book Announcement",
             "Just heard ...",
         );
-        let out = construct_join_output(&d1, NodeId::ROOT, &d2, NodeId::ROOT);
+        let out = construct_join_output(&d1, NodeId::ROOT, &d2, NodeId::ROOT).unwrap();
         assert_eq!(out.root().tag(), "result");
         assert_eq!(out.root().children().len(), 2);
         let xml = serialize(&out);
@@ -211,7 +218,7 @@ mod tests {
         let author = d1.first_with_tag("author").unwrap();
         let d2 = rss::blog_article("A", "u", "T", "C", "D");
         let title = d2.first_with_tag("title").unwrap();
-        let out = construct_join_output(&d1, author, &d2, title);
+        let out = construct_join_output(&d1, author, &d2, title).unwrap();
         assert_eq!(out.len(), 3);
         let xml = serialize(&out);
         assert_eq!(xml, "<result><author>A</author><title>T</title></result>");

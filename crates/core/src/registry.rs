@@ -13,11 +13,15 @@
 //! pattern ids) are tombstoned, never reused, which keeps shard assignment
 //! and the canonical output order deterministic across churn.
 
+use crate::audit::AuditViolation;
 use crate::config::ProcessingMode;
 use crate::cqt::{self, PlanInputKind};
 use crate::error::{CoreError, CoreResult};
 use crate::relations::schemas;
-use mmqjp_relational::{ConjunctiveQuery, PhysicalPlan, Relation, StringInterner, Symbol, Value};
+use mmqjp_relational::{
+    verify_plan_strict, ConjunctiveQuery, PhysicalPlan, Relation, SharedKeyRule, StringInterner,
+    Symbol, Value, VerifyOptions,
+};
 use mmqjp_xpath::{PatternId, PatternIndex, PatternNodeId, TreePattern};
 use mmqjp_xscl::{
     normalize_query, FromClause, JoinGraph, JoinOp, QueryId, QueryTemplate, ReducedGraph,
@@ -60,21 +64,42 @@ impl TemplateRuntime {
     /// Build the runtime for a new template, compiling exactly the plan
     /// variant the engine's (fixed) mode executes: basic for `Mmqjp`,
     /// materialized for `MmqjpViewMat`, neither for `Sequential` (which
-    /// runs per-query plans). Returns the runtime and the number of plans
-    /// compiled.
-    fn new(template: QueryTemplate, mode: ProcessingMode) -> (Self, usize) {
+    /// runs per-query plans). With `verify`, each compiled plan is checked
+    /// against its source CQT and the engine schemas before it is accepted
+    /// (see [`mmqjp_relational::verify`]); a violation rejects the
+    /// registration with a typed diagnostic. Returns the runtime and the
+    /// number of plans compiled.
+    fn new(
+        template: QueryTemplate,
+        mode: ProcessingMode,
+        verify: bool,
+    ) -> CoreResult<(Self, usize)> {
         let rt = Relation::new(schemas::rt(template.num_meta_vars()));
         let rt_arity = rt.schema().arity();
         let name = cqt::rt_name(template.id.index());
         let cqt_basic = cqt::template_cqt_basic(&template, &name);
         let cqt_materialized = cqt::template_cqt_materialized(&template, &name);
         let arity_of = |rel: &str| cqt::relation_arity(rel, &name, rt_arity);
-        let plan_basic = (mode == ProcessingMode::Mmqjp)
-            .then(|| PhysicalPlan::compile(&cqt_basic, arity_of).expect("template CQT compiles"));
-        let plan_materialized = (mode == ProcessingMode::MmqjpViewMat).then(|| {
-            PhysicalPlan::compile(&cqt_materialized, arity_of)
-                .expect("materialized template CQT compiles")
-        });
+        let plan_basic = if mode == ProcessingMode::Mmqjp {
+            let plan = PhysicalPlan::compile(&cqt_basic, arity_of)?;
+            if verify {
+                verify_compiled(&plan, &cqt_basic, arity_of, true)?;
+            }
+            Some(plan)
+        } else {
+            None
+        };
+        let plan_materialized = if mode == ProcessingMode::MmqjpViewMat {
+            let plan = PhysicalPlan::compile(&cqt_materialized, arity_of)?;
+            if verify {
+                // The batch-restriction precondition only concerns the basic
+                // form's Rdoc atoms; the materialized form reads RL/RR.
+                verify_compiled(&plan, &cqt_materialized, arity_of, false)?;
+            }
+            Some(plan)
+        } else {
+            None
+        };
         let compiled = usize::from(plan_basic.is_some()) + usize::from(plan_materialized.is_some());
         let inputs_basic = plan_basic
             .as_ref()
@@ -95,7 +120,7 @@ impl TemplateRuntime {
             inputs_materialized,
             rt_name: name,
         };
-        (runtime, compiled)
+        Ok((runtime, compiled))
     }
 
     /// Name of this template's `RT` relation in the engine database.
@@ -185,6 +210,29 @@ impl QueryRuntime {
     }
 }
 
+/// Check a compiled plan against its source conjunctive query and the engine
+/// schemas, raising any [`PlanViolation`](mmqjp_relational::PlanViolation)s
+/// as a typed [`CoreError::Relational`] error. `batch_restriction` adds the
+/// PR 6 soundness precondition for plans over the base witness relations:
+/// every `Rdoc` atom must equate its `strVal` column (term position 2) with
+/// some `RdocW` atom, because batch evaluation restricts the `Rdoc` state
+/// scan to the string values present in the current batch.
+fn verify_compiled(
+    plan: &PhysicalPlan,
+    query: &ConjunctiveQuery,
+    arity_of: impl Fn(&str) -> Option<usize>,
+    batch_restriction: bool,
+) -> CoreResult<()> {
+    let options = VerifyOptions {
+        shared_key: batch_restriction.then(|| SharedKeyRule {
+            left: cqt::RDOC.to_owned(),
+            right: cqt::RDOC_W.to_owned(),
+            position: 2,
+        }),
+    };
+    verify_plan_strict(plan, query, arity_of, &options).map_err(CoreError::from)
+}
+
 /// The incremental effects of one [`Registry::unregister`] call, reported so
 /// the engine can maintain its counters and caches.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -238,6 +286,9 @@ pub struct Registry {
     /// Physical plans compiled so far (one per new template in the MMQJP
     /// modes, one per orientation in Sequential mode). Cumulative.
     plans_compiled: usize,
+    /// Verify every compiled plan against its source CQT at registration
+    /// time (see [`EngineConfig::verify_plans`](crate::EngineConfig)).
+    verify_plans: bool,
 }
 
 impl Registry {
@@ -258,7 +309,15 @@ impl Registry {
             finite_windows: BTreeMap::new(),
             infinite_windows: 0,
             plans_compiled: 0,
+            verify_plans: true,
         }
+    }
+
+    /// Enable or disable registration-time plan verification (on by
+    /// default). The engine forwards
+    /// [`EngineConfig::verify_plans`](crate::EngineConfig) here.
+    pub fn set_verify_plans(&mut self, verify: bool) {
+        self.verify_plans = verify;
     }
 
     /// Register a query (already parsed). Returns its id.
@@ -269,6 +328,9 @@ impl Registry {
     /// [`ProcessingMode::Sequential`]). `arrival_floor` is the number of
     /// documents already processed: the new subscription only joins
     /// documents arriving after it (see [`QueryRuntime::arrival_floor`]).
+    // Takes the query by value to mirror the public `MmqjpEngine::register`
+    // signature it backs; the registry keeps the normalized copy.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn register(
         &mut self,
         query: XsclQuery,
@@ -323,7 +385,8 @@ impl Registry {
                         let (runtime, compiled) = TemplateRuntime::new(
                             self.catalog.template(membership.template).clone(),
                             mode,
-                        );
+                            self.verify_plans,
+                        )?;
                         self.templates.push(Some(Box::new(runtime)));
                         self.live_templates += 1;
                         self.plans_compiled += compiled;
@@ -335,7 +398,7 @@ impl Registry {
                         tuple.push(Value::Sym(self.interner.intern(var)));
                     }
                     tuple.push(Value::Int(window_length(window)));
-                    self.template_mut(membership.template)
+                    self.template_mut(membership.template)?
                         .rt
                         .push_values(tuple)?;
 
@@ -354,15 +417,19 @@ impl Registry {
                     {
                         let template = &self
                             .template_runtime(membership.template)
-                            .expect("template was just created or joined")
+                            .ok_or(CoreError::internal(
+                                "a just-created or just-joined template is not live",
+                            ))?
                             .template;
                         let cq =
                             cqt::per_query_cqt(template, &membership.assignment, &self.interner);
                         // Per-query CQTs only touch the fixed-schema base
                         // relations; no RT atom to resolve.
-                        let plan =
-                            PhysicalPlan::compile(&cq, |rel| cqt::relation_arity(rel, "", 0))
-                                .expect("per-query CQT compiles");
+                        let arity_of = |rel: &str| cqt::relation_arity(rel, "", 0);
+                        let plan = PhysicalPlan::compile(&cq, arity_of)?;
+                        if self.verify_plans {
+                            verify_compiled(&plan, &cq, arity_of, true)?;
+                        }
                         let inputs = cqt::plan_input_kinds(&plan, "");
                         self.plans_compiled += 1;
                         (cq, Some(plan), inputs)
@@ -438,7 +505,7 @@ impl Registry {
             // Remove this orientation's RT tuple in place, preserving the
             // registration order of the surviving members.
             let rid_value = Value::Int(reg.rid);
-            let template = self.template_mut(reg.template);
+            let template = self.template_mut(reg.template)?;
             template.rt.retain(|row| row[0] != rid_value);
             if template.rt.is_empty() {
                 // Last member left: retire the template from the catalog.
@@ -625,12 +692,15 @@ impl Registry {
         self.templates.get(id.index()).and_then(|t| t.as_deref())
     }
 
-    /// A live template runtime by id; panics on retired ids (internal use on
+    /// A live template runtime by id; errors on retired ids (internal use on
     /// ids validated live).
-    fn template_mut(&mut self, id: TemplateId) -> &mut TemplateRuntime {
-        self.templates[id.index()]
-            .as_deref_mut()
-            .expect("template id refers to a retired template")
+    fn template_mut(&mut self, id: TemplateId) -> CoreResult<&mut TemplateRuntime> {
+        self.templates
+            .get_mut(id.index())
+            .and_then(|t| t.as_deref_mut())
+            .ok_or(CoreError::internal(
+                "template id refers to a retired template",
+            ))
     }
 
     /// Iterate over the live queries in query-id order.
@@ -707,6 +777,271 @@ impl Registry {
     /// Sequential mode).
     pub fn plans_compiled(&self) -> usize {
         self.plans_compiled
+    }
+
+    /// Cross-check every refcounted / mirrored registry structure against a
+    /// recount over the live queries, appending one [`AuditViolation`] per
+    /// inconsistency. Read-only; a healthy registry appends nothing. See
+    /// [`MmqjpEngine::audit`](crate::MmqjpEngine::audit).
+    pub(crate) fn audit(&self, out: &mut Vec<AuditViolation>) {
+        // Live counters vs tombstone recounts.
+        let counted_queries = self.queries.iter().filter(|q| q.is_some()).count();
+        if counted_queries != self.live_queries {
+            out.push(AuditViolation::LiveQueryCount {
+                tracked: self.live_queries,
+                counted: counted_queries,
+            });
+        }
+        let counted_templates = self.templates.iter().filter(|t| t.is_some()).count();
+        if counted_templates != self.live_templates {
+            out.push(AuditViolation::LiveTemplateCount {
+                tracked: self.live_templates,
+                counted: counted_templates,
+            });
+        }
+        if self.catalog.len() != counted_templates {
+            out.push(AuditViolation::CatalogSize {
+                catalog: self.catalog.len(),
+                live_templates: counted_templates,
+            });
+        }
+
+        // One recount pass over the live queries: template membership,
+        // pattern registrations, requested edges, windows and rids.
+        let mut rt_expected: HashMap<usize, usize> = HashMap::new();
+        let mut pattern_expected: HashMap<PatternId, usize> = HashMap::new();
+        let mut edge_expected: HashMap<PatternId, HashMap<(PatternNodeId, PatternNodeId), usize>> =
+            HashMap::new();
+        let mut finite_expected: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut infinite_expected = 0usize;
+        let mut live_rids: HashMap<i64, (usize, usize)> = HashMap::new();
+        for (qi, slot) in self.queries.iter().enumerate() {
+            let Some(q) = slot.as_deref() else { continue };
+            if let Some(pid) = q.single_pid {
+                *pattern_expected.entry(pid).or_insert(0) += 1;
+            }
+            match q.window {
+                Some(Window::Time(t)) => *finite_expected.entry(t).or_insert(0) += 1,
+                Some(Window::Infinite | Window::Count(_)) => infinite_expected += 1,
+                None => {}
+            }
+            for (ri, reg) in q.registrations.iter().enumerate() {
+                match self
+                    .templates
+                    .get(reg.template.index())
+                    .and_then(|t| t.as_deref())
+                {
+                    None => out.push(AuditViolation::RetiredTemplateReferenced {
+                        query: q.id.raw(),
+                        template: reg.template.index(),
+                    }),
+                    Some(tr) => {
+                        *rt_expected.entry(reg.template.index()).or_insert(0) += 1;
+                        let rid_value = Value::Int(reg.rid);
+                        if !tr.rt.iter().any(|row| row[0] == rid_value) {
+                            out.push(AuditViolation::MissingRtTuple {
+                                template: reg.template.index(),
+                                rid: reg.rid,
+                            });
+                        }
+                    }
+                }
+                match self.rid_map.get(&reg.rid) {
+                    None => out.push(AuditViolation::RidMap {
+                        rid: reg.rid,
+                        reason: "live orientation missing from the rid map",
+                    }),
+                    Some(&target) if target != (qi, ri) => out.push(AuditViolation::RidMap {
+                        rid: reg.rid,
+                        reason: "rid map points at the wrong orientation",
+                    }),
+                    Some(_) => {}
+                }
+                live_rids.insert(reg.rid, (qi, ri));
+                for (pid, edges) in [
+                    (reg.prev_pid, &reg.prev_edges),
+                    (reg.cur_pid, &reg.cur_edges),
+                ] {
+                    *pattern_expected.entry(pid).or_insert(0) += 1;
+                    let per_edge = edge_expected.entry(pid).or_default();
+                    for edge in edges {
+                        *per_edge.entry(*edge).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+
+        // The rid map holds nothing beyond the live orientations.
+        for rid in self.rid_map.keys() {
+            if !live_rids.contains_key(rid) {
+                out.push(AuditViolation::RidMap {
+                    rid: *rid,
+                    reason: "rid map entry has no live orientation",
+                });
+            }
+        }
+
+        // Each live template's RT relation: exactly one tuple per live
+        // member orientation.
+        for (ti, slot) in self.templates.iter().enumerate() {
+            let Some(tr) = slot.as_deref() else { continue };
+            let expected = rt_expected.get(&ti).copied().unwrap_or(0);
+            if tr.rt.len() != expected {
+                out.push(AuditViolation::TemplateMembership {
+                    template: ti,
+                    rt_rows: tr.rt.len(),
+                    registrations: expected,
+                });
+            }
+        }
+
+        // Pattern-index refcounts, in both directions: every indexed pattern
+        // carries exactly its live-registration count, and every registered
+        // pattern is indexed.
+        let indexed: HashMap<PatternId, usize> = self
+            .pattern_index
+            .patterns()
+            .map(|(pid, _)| (pid, self.pattern_index.refcount(pid)))
+            .collect();
+        for (&pid, &refs) in &indexed {
+            let expected = pattern_expected.get(&pid).copied().unwrap_or(0);
+            if refs != expected {
+                out.push(AuditViolation::PatternRefcount {
+                    pattern: pid.raw(),
+                    index_refs: refs,
+                    expected,
+                });
+            }
+        }
+        for (&pid, &expected) in &pattern_expected {
+            if !indexed.contains_key(&pid) {
+                out.push(AuditViolation::PatternRefcount {
+                    pattern: pid.raw(),
+                    index_refs: 0,
+                    expected,
+                });
+            }
+        }
+
+        // Edge refcounts and the deterministic requested-edge lists.
+        audit_edge_tables(&edge_expected, &self.edge_refs, &self.requested_edges, out);
+
+        // Canonical-variable refcounts: one count per *distinct* live
+        // pattern binding the variable.
+        let mut var_expected: HashMap<Symbol, usize> = HashMap::new();
+        for (_, pattern) in self.pattern_index.patterns() {
+            for (var, _) in pattern.variables() {
+                *var_expected.entry(self.interner.intern(var)).or_insert(0) += 1;
+            }
+        }
+        for (&sym, &expected) in &var_expected {
+            let tracked = self.var_refs.get(&sym).copied().unwrap_or(0);
+            if tracked != expected {
+                out.push(AuditViolation::VariableRefcount {
+                    variable: self
+                        .interner
+                        .resolve(sym)
+                        .map(|s| s.to_string())
+                        .unwrap_or_default(),
+                    tracked,
+                    expected,
+                });
+            }
+        }
+        for (&sym, &tracked) in &self.var_refs {
+            if !var_expected.contains_key(&sym) {
+                out.push(AuditViolation::VariableRefcount {
+                    variable: self
+                        .interner
+                        .resolve(sym)
+                        .map(|s| s.to_string())
+                        .unwrap_or_default(),
+                    tracked,
+                    expected: 0,
+                });
+            }
+        }
+
+        // The window multiset equals a recount over the live join queries.
+        if self.finite_windows != finite_expected {
+            out.push(AuditViolation::WindowMultiset {
+                reason: "finite-window multiset differs from the live join queries",
+            });
+        }
+        if self.infinite_windows != infinite_expected {
+            out.push(AuditViolation::WindowMultiset {
+                reason: "infinite-window count differs from the live join queries",
+            });
+        }
+    }
+}
+
+/// Cross-check per-`(pattern, edge)` refcount maps and their mirrored
+/// deterministic edge lists against a recount (`expected`). Shared between
+/// the registry audit and the hybrid front-stage audit, which maintain the
+/// same pair of structures.
+pub(crate) fn audit_edge_tables(
+    expected: &HashMap<PatternId, HashMap<(PatternNodeId, PatternNodeId), usize>>,
+    edge_refs: &HashMap<PatternId, HashMap<(PatternNodeId, PatternNodeId), usize>>,
+    requested_edges: &HashMap<PatternId, Vec<(PatternNodeId, PatternNodeId)>>,
+    out: &mut Vec<AuditViolation>,
+) {
+    let edge_key = |e: &(PatternNodeId, PatternNodeId)| (e.0.raw(), e.1.raw());
+    let all_pids: std::collections::BTreeSet<PatternId> = expected
+        .keys()
+        .chain(edge_refs.keys())
+        .copied()
+        .map(|p| PatternId(p.raw()))
+        .collect();
+    for pid in all_pids {
+        let want = expected.get(&pid);
+        let have = edge_refs.get(&pid);
+        let edges: std::collections::BTreeSet<(u32, u32)> = want
+            .into_iter()
+            .flat_map(HashMap::keys)
+            .chain(have.into_iter().flat_map(HashMap::keys))
+            .map(edge_key)
+            .collect();
+        for (a, b) in edges {
+            let edge = (PatternNodeId(a), PatternNodeId(b));
+            let want_n = want.and_then(|m| m.get(&edge)).copied().unwrap_or(0);
+            let have_n = have.and_then(|m| m.get(&edge)).copied().unwrap_or(0);
+            if want_n != have_n {
+                out.push(AuditViolation::EdgeRefcount {
+                    pattern: pid.raw(),
+                    edge: (a, b),
+                    tracked: have_n,
+                    expected: want_n,
+                });
+            }
+        }
+        // The deterministic list mirrors the refcount map's key set with no
+        // duplicates.
+        let list = requested_edges.get(&pid).map(Vec::as_slice).unwrap_or(&[]);
+        let mut seen: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
+        let mut duplicated = false;
+        for edge in list {
+            if !seen.insert(edge_key(edge)) {
+                duplicated = true;
+            }
+        }
+        if duplicated {
+            out.push(AuditViolation::RequestedEdgeList {
+                pattern: pid.raw(),
+                reason: "duplicate edge in the requested-edge list",
+            });
+        }
+        let keys: std::collections::BTreeSet<(u32, u32)> = have
+            .into_iter()
+            .flat_map(HashMap::keys)
+            .map(edge_key)
+            .collect();
+        if seen != keys {
+            out.push(AuditViolation::RequestedEdgeList {
+                pattern: pid.raw(),
+                reason: "requested-edge list does not mirror the refcount map",
+            });
+        }
     }
 }
 
@@ -1046,6 +1381,57 @@ mod tests {
         assert_eq!(r.num_templates(), 1);
         assert_eq!(r.template_runtime(t2).unwrap().members(), 1);
         assert!(r.template_runtime(t1).is_none());
+    }
+
+    #[test]
+    fn audit_is_clean_and_detects_seeded_violations() {
+        let mut r = registry();
+        let id1 = r
+            .register(parse_query(Q1).unwrap(), ProcessingMode::Mmqjp, 0)
+            .unwrap();
+        r.register(parse_query(Q3).unwrap(), ProcessingMode::Mmqjp, 0)
+            .unwrap();
+        r.unregister(id1).unwrap();
+        let mut out = Vec::new();
+        r.audit(&mut out);
+        assert!(out.is_empty(), "healthy registry reported: {out:?}");
+
+        // Seed a counter drift: the auditor must recount and object.
+        r.live_queries += 1;
+        let mut out = Vec::new();
+        r.audit(&mut out);
+        assert!(out.iter().any(|v| matches!(
+            v,
+            AuditViolation::LiveQueryCount {
+                tracked: 2,
+                counted: 1
+            }
+        )));
+        r.live_queries -= 1;
+
+        // Seed a window-multiset drift.
+        *r.finite_windows.entry(999).or_insert(0) += 1;
+        let mut out = Vec::new();
+        r.audit(&mut out);
+        assert!(out
+            .iter()
+            .any(|v| matches!(v, AuditViolation::WindowMultiset { .. })));
+        r.finite_windows.remove(&999);
+
+        // Seed an edge-refcount drift on some live pattern.
+        let pid = *r.edge_refs.keys().next().unwrap();
+        if let Some(count) = r
+            .edge_refs
+            .get_mut(&pid)
+            .and_then(|m| m.values_mut().next())
+        {
+            *count += 1;
+        }
+        let mut out = Vec::new();
+        r.audit(&mut out);
+        assert!(out
+            .iter()
+            .any(|v| matches!(v, AuditViolation::EdgeRefcount { .. })));
     }
 
     #[test]

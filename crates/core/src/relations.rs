@@ -19,6 +19,7 @@
 //! Variable names and node string values are interned; node ids, document ids
 //! and timestamps are integers.
 
+use crate::error::{CoreError, CoreResult};
 use mmqjp_relational::{Relation, RowRef, StringInterner, Symbol, Value};
 use mmqjp_xml::{DocId, Document, NodeId, Timestamp};
 use mmqjp_xpath::{binding_string_value, EdgeBinding, TreePattern};
@@ -120,15 +121,13 @@ impl WitnessBatch {
         doc: &Document,
         bindings: &[(&TreePattern, Vec<EdgeBinding>)],
         interner: &Arc<StringInterner>,
-    ) {
+    ) -> CoreResult<()> {
         let docid = Value::Int(doc.id().raw() as i64);
         self.doc_ids.push(doc.id());
-        self.rdoc_ts_w
-            .push_values(vec![
-                docid.clone(),
-                Value::Int(doc.timestamp().raw() as i64),
-            ])
-            .expect("RdocTSW arity");
+        self.rdoc_ts_w.push_values(vec![
+            docid.clone(),
+            Value::Int(doc.timestamp().raw() as i64),
+        ])?;
 
         // Track which (node) string values we already emitted for this doc so
         // RdocW stays duplicate-free, and which variable-pair bindings we
@@ -149,35 +148,32 @@ impl WitnessBatch {
                 )) {
                     continue;
                 }
-                self.rbin_w
-                    .push_values(vec![
-                        docid.clone(),
-                        Value::Sym(var1),
-                        Value::Sym(var2),
-                        Value::Int(b.ancestor.raw() as i64),
-                        Value::Int(b.descendant.raw() as i64),
-                    ])
-                    .expect("RbinW arity");
+                self.rbin_w.push_values(vec![
+                    docid.clone(),
+                    Value::Sym(var1),
+                    Value::Sym(var2),
+                    Value::Int(b.ancestor.raw() as i64),
+                    Value::Int(b.descendant.raw() as i64),
+                ])?;
                 // The descendant endpoint is the one whose string value
                 // participates in value joins (value joins attach to the
                 // child position of structural edges; self-edges cover
                 // single-node sides).
                 if emitted.insert(b.descendant) {
-                    let pattern_node = pattern
-                        .variable_node(&b.descendant_var)
-                        .expect("edge binding variable exists in its pattern");
+                    let pattern_node = pattern.variable_node(&b.descendant_var).map_err(|_| {
+                        CoreError::internal("edge binding variable exists in its pattern")
+                    })?;
                     let sval = binding_string_value(doc, pattern, pattern_node, b.descendant);
                     let sym = interner.intern(&sval);
-                    self.rdoc_w
-                        .push_values(vec![
-                            docid.clone(),
-                            Value::Int(b.descendant.raw() as i64),
-                            Value::Sym(sym),
-                        ])
-                        .expect("RdocW arity");
+                    self.rdoc_w.push_values(vec![
+                        docid.clone(),
+                        Value::Int(b.descendant.raw() as i64),
+                        Value::Sym(sym),
+                    ])?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Number of witness rows (`RbinW` + `RdocW`) in the batch. The
@@ -276,7 +272,9 @@ mod tests {
 
         let interner = interner();
         let mut batch = WitnessBatch::new();
-        batch.add_document(&doc, &[(&pattern, bindings)], &interner);
+        batch
+            .add_document(&doc, &[(&pattern, bindings)], &interner)
+            .unwrap();
 
         assert_eq!(batch.num_documents(), 1);
         assert!(!batch.is_empty());
@@ -318,7 +316,9 @@ mod tests {
         assert_eq!(bindings.len(), 4); // 2 authors x 2 requests
         let interner = interner();
         let mut batch = WitnessBatch::new();
-        batch.add_document(&doc, &[(&pattern, bindings)], &interner);
+        batch
+            .add_document(&doc, &[(&pattern, bindings)], &interner)
+            .unwrap();
         assert_eq!(batch.rdoc_w.len(), 2); // one row per author node
 
         // The duplicated edge request collapses to one RbinW row per author.
@@ -335,7 +335,9 @@ mod tests {
         for i in 0..3u64 {
             let doc = d1().with_id(DocId(i)).with_timestamp(Timestamp(i * 10));
             let bindings = matcher.all_edge_bindings(&doc);
-            batch.add_document(&doc, &[(&pattern, bindings)], &interner);
+            batch
+                .add_document(&doc, &[(&pattern, bindings)], &interner)
+                .unwrap();
         }
         assert_eq!(batch.num_documents(), 3);
         assert_eq!(batch.rdoc_ts_w.len(), 3);

@@ -70,6 +70,7 @@
 //! shards so symbols stay comparable engine-wide. The `assert_send`
 //! bindings at the bottom of this module enforce this at compile time.
 
+use crate::audit::AuditViolation;
 use crate::config::EngineConfig;
 use crate::engine::MmqjpEngine;
 use crate::error::{CoreError, CoreResult};
@@ -123,6 +124,9 @@ enum Request {
     },
     /// Snapshot the shard's statistics.
     Stats { reply: Sender<EngineStats> },
+    /// Run the shard engine's invariant audit (see [`MmqjpEngine::audit`])
+    /// and return its violations.
+    Audit { reply: Sender<Vec<AuditViolation>> },
 }
 
 /// The Stage-1 footprint of one registered query, reported by its owning
@@ -213,24 +217,27 @@ impl WitnessRouter {
     /// stop being routed; a pattern with no subscribing shard left is
     /// dropped from the routing table entirely.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the `(shard, pattern, edge)` subscription does not exist
-    /// — unbalanced release calls are a bookkeeping bug, not a runtime
-    /// condition.
-    pub fn unsubscribe(&mut self, shard: usize, pattern: PatternId, edges: &[Edge]) {
-        let shards = self
-            .subs
-            .get_mut(&pattern)
-            .expect("unsubscribe of a pattern with no subscriptions");
-        let subs = shards
-            .get_mut(&shard)
-            .expect("unsubscribe of a shard that never subscribed");
+    /// Returns [`CoreError::Internal`] when the `(shard, pattern, edge)`
+    /// subscription does not exist — unbalanced release calls are a
+    /// bookkeeping bug, not a runtime condition.
+    pub fn unsubscribe(
+        &mut self,
+        shard: usize,
+        pattern: PatternId,
+        edges: &[Edge],
+    ) -> CoreResult<()> {
+        let shards = self.subs.get_mut(&pattern).ok_or(CoreError::internal(
+            "unsubscribe of a pattern with no subscriptions",
+        ))?;
+        let subs = shards.get_mut(&shard).ok_or(CoreError::internal(
+            "unsubscribe of a shard that never subscribed",
+        ))?;
         for edge in edges {
-            let count = subs
-                .refs
-                .get_mut(edge)
-                .expect("unsubscribe of an edge that was never subscribed");
+            let count = subs.refs.get_mut(edge).ok_or(CoreError::internal(
+                "unsubscribe of an edge that was never subscribed",
+            ))?;
             *count -= 1;
             if *count == 0 {
                 subs.refs.remove(edge);
@@ -243,6 +250,7 @@ impl WitnessRouter {
         if shards.is_empty() {
             self.subs.remove(&pattern);
         }
+        Ok(())
     }
 
     /// The shards subscribed to a pattern, in ascending shard order.
@@ -265,7 +273,7 @@ impl WitnessRouter {
         index: &PatternIndex,
         interner: &Arc<StringInterner>,
         batches: &mut [WitnessBatch],
-    ) -> usize {
+    ) -> CoreResult<usize> {
         let before: usize = batches.iter().map(WitnessBatch::num_witness_rows).sum();
         let mut per_shard: Vec<Vec<(&TreePattern, Vec<EdgeBinding>)>> =
             (0..batches.len()).map(|_| Vec::new()).collect();
@@ -279,7 +287,7 @@ impl WitnessRouter {
             let edges: Vec<Edge> = edge_bindings
                 .iter()
                 .map(|b| binding_edge(pattern, b))
-                .collect();
+                .collect::<CoreResult<_>>()?;
             for (&shard, subs) in shards {
                 let filtered: Vec<EdgeBinding> = edge_bindings
                     .iter()
@@ -293,25 +301,27 @@ impl WitnessRouter {
             }
         }
         for (batch, patterns) in batches.iter_mut().zip(&per_shard) {
-            batch.add_document(doc, patterns, interner);
+            batch.add_document(doc, patterns, interner)?;
         }
         let after: usize = batches.iter().map(WitnessBatch::num_witness_rows).sum();
-        after - before
+        Ok(after - before)
     }
 }
 
 /// The pattern edge a Stage-1 binding instantiates, recovered from its
 /// variable names (edge bindings carry the canonical variables of their
 /// pattern, which map back to unique pattern nodes).
-fn binding_edge(pattern: &TreePattern, binding: &EdgeBinding) -> Edge {
-    (
-        pattern
-            .variable_node(&binding.ancestor_var)
-            .expect("edge binding ancestor variable exists in its pattern"),
+fn binding_edge(pattern: &TreePattern, binding: &EdgeBinding) -> CoreResult<Edge> {
+    Ok((
+        pattern.variable_node(&binding.ancestor_var).map_err(|_| {
+            CoreError::internal("edge binding ancestor variable exists in its pattern")
+        })?,
         pattern
             .variable_node(&binding.descendant_var)
-            .expect("edge binding descendant variable exists in its pattern"),
-    )
+            .map_err(|_| {
+                CoreError::internal("edge binding descendant variable exists in its pattern")
+            })?,
+    ))
 }
 
 // ------------------------------------------------------------------------
@@ -483,6 +493,7 @@ impl ShardedEngine {
                 let handle = thread::Builder::new()
                     .name(format!("mmqjp-shard-{i}"))
                     .spawn(move || shard_worker(engine, receiver))
+                    // lint:allow one-time startup; a failed spawn leaves no engine to return
                     .expect("spawning a shard worker thread succeeds");
                 Shard {
                     sender: Some(sender),
@@ -498,6 +509,7 @@ impl ShardedEngine {
                     let handle = thread::Builder::new()
                         .name(format!("mmqjp-front-{i}"))
                         .spawn(move || front_worker(retain_documents, receiver))
+                        // lint:allow one-time startup; a failed spawn leaves no engine to return
                         .expect("spawning a front worker thread succeeds");
                     FrontWorker {
                         sender: Some(sender),
@@ -661,8 +673,10 @@ impl ShardedEngine {
         let mut docs = Some(docs);
         for shard in 0..self.shards.len() {
             let batch = if shard + 1 == self.shards.len() {
+                // lint:allow the loop takes the batch only on its final iteration
                 docs.take().expect("batch is moved out exactly once")
             } else {
+                // lint:allow the loop takes the batch only on its final iteration
                 docs.as_ref().expect("batch not yet moved").clone()
             };
             let (reply, response) = channel();
@@ -779,6 +793,197 @@ impl ShardedEngine {
             .collect()
     }
 
+    /// Run a full invariant audit across the topology: every shard engine's
+    /// own [`MmqjpEngine::audit`] (violations come back wrapped in
+    /// [`AuditViolation::Shard`]), the coordinator's per-shard query
+    /// accounting, and — in the hybrid topology — the front stage's mirrored
+    /// subscription state (master pattern index, global requested-edge
+    /// union, witness-router table and single-block list), each recomputed
+    /// from the live query footprints. Read-only; a healthy engine returns
+    /// an empty vector. Errors with [`CoreError::ShardUnavailable`] if a
+    /// shard worker is gone.
+    pub fn audit(&self) -> CoreResult<Vec<AuditViolation>> {
+        let mut out = Vec::new();
+        let mut responses = Vec::with_capacity(self.shards.len());
+        for shard in 0..self.shards.len() {
+            let (reply, response) = channel();
+            self.send(shard, Request::Audit { reply })?;
+            responses.push(response);
+        }
+        for (shard, response) in responses.into_iter().enumerate() {
+            let violations = response
+                .recv()
+                .map_err(|_| CoreError::ShardUnavailable { shard })?;
+            out.extend(
+                violations
+                    .into_iter()
+                    .map(|violation| AuditViolation::Shard {
+                        shard,
+                        violation: Box::new(violation),
+                    }),
+            );
+        }
+
+        let summed: usize = self.queries_per_shard.iter().sum();
+        if summed != self.live_queries {
+            out.push(AuditViolation::QueriesPerShardSum {
+                tracked: self.live_queries,
+                summed,
+            });
+        }
+
+        if let Some(front) = &self.front {
+            // Hybrid shards never count documents themselves; the front
+            // stage counts each exactly once.
+            for (shard, stats) in self.shard_stats()?.into_iter().enumerate() {
+                if stats.documents_processed != 0 {
+                    out.push(AuditViolation::HybridShardCountsDocuments {
+                        shard,
+                        documents: stats.documents_processed,
+                    });
+                }
+            }
+            self.audit_front(front, &mut out);
+        }
+        Ok(out)
+    }
+
+    /// Recompute the front stage's expected subscription state from its live
+    /// query footprints and compare it against the maintained mirrors.
+    fn audit_front(&self, front: &FrontStage, out: &mut Vec<AuditViolation>) {
+        if front.footprints.len() != self.live_queries {
+            out.push(AuditViolation::FrontSubscription {
+                pattern: u32::MAX,
+                reason: "footprint count differs from the live queries",
+            });
+        }
+
+        // One recount pass over the footprints: master-index refcounts, the
+        // global edge union, per-shard router subscriptions and singles.
+        let mut pattern_expected: HashMap<PatternId, usize> = HashMap::new();
+        let mut edge_expected: HashMap<PatternId, HashMap<Edge, usize>> = HashMap::new();
+        let mut router_expected: HashMap<PatternId, BTreeMap<usize, HashMap<Edge, usize>>> =
+            HashMap::new();
+        let mut singles_expected = 0usize;
+        for footprint in front.footprints.values() {
+            if footprint.single {
+                singles_expected += 1;
+            }
+            for (pid, edges) in &footprint.patterns {
+                *pattern_expected.entry(*pid).or_insert(0) += 1;
+                let per_edge = edge_expected.entry(*pid).or_default();
+                let per_shard = router_expected
+                    .entry(*pid)
+                    .or_default()
+                    .entry(footprint.shard)
+                    .or_default();
+                for edge in edges {
+                    *per_edge.entry(*edge).or_insert(0) += 1;
+                    *per_shard.entry(*edge).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // Master pattern index, both directions.
+        let indexed: HashMap<PatternId, usize> = front
+            .index
+            .patterns()
+            .map(|(pid, _)| (pid, front.index.refcount(pid)))
+            .collect();
+        for (&pid, &refs) in &indexed {
+            let expected = pattern_expected.get(&pid).copied().unwrap_or(0);
+            if refs != expected {
+                out.push(AuditViolation::PatternRefcount {
+                    pattern: pid.raw(),
+                    index_refs: refs,
+                    expected,
+                });
+            }
+        }
+        for (&pid, &expected) in &pattern_expected {
+            if !indexed.contains_key(&pid) {
+                out.push(AuditViolation::PatternRefcount {
+                    pattern: pid.raw(),
+                    index_refs: 0,
+                    expected,
+                });
+            }
+        }
+
+        // Global requested-edge union and its refcounts.
+        crate::registry::audit_edge_tables(&edge_expected, &front.edge_refs, &front.requested, out);
+
+        // Router table: per (pattern, shard), the refcounted edge set and
+        // its first-subscription-order list mirror the footprints.
+        let all_pids: std::collections::BTreeSet<PatternId> = router_expected
+            .keys()
+            .chain(front.router.subs.keys())
+            .copied()
+            .collect();
+        for pid in all_pids {
+            let want = router_expected.get(&pid);
+            let have = front.router.subs.get(&pid);
+            let shards: std::collections::BTreeSet<usize> = want
+                .into_iter()
+                .flat_map(BTreeMap::keys)
+                .chain(have.into_iter().flat_map(BTreeMap::keys))
+                .copied()
+                .collect();
+            for shard in shards {
+                let want_edges = want.and_then(|m| m.get(&shard));
+                let have_subs = have.and_then(|m| m.get(&shard));
+                let want_total: usize = want_edges.map_or(0, |m| m.values().sum());
+                let have_total: usize = have_subs.map_or(0, |s| s.refs.values().sum());
+                let refs_match = match (want_edges, have_subs) {
+                    (None, None) => true,
+                    (Some(w), Some(s)) => *w == s.refs,
+                    _ => want_total == 0 && have_total == 0,
+                };
+                if !refs_match {
+                    out.push(AuditViolation::FrontSubscription {
+                        pattern: pid.raw(),
+                        reason: "router edge refcounts differ from the live footprints",
+                    });
+                }
+                if let Some(subs) = have_subs {
+                    let mut seen = std::collections::HashSet::new();
+                    if !subs.list.iter().all(|e| seen.insert(*e)) {
+                        out.push(AuditViolation::FrontSubscription {
+                            pattern: pid.raw(),
+                            reason: "duplicate edge in a router subscription list",
+                        });
+                    }
+                    if seen != subs.refs.keys().copied().collect() {
+                        out.push(AuditViolation::FrontSubscription {
+                            pattern: pid.raw(),
+                            reason: "router subscription list does not mirror its refcounts",
+                        });
+                    }
+                }
+            }
+        }
+
+        // Single-block subscriptions: count and membership.
+        if front.singles.len() != singles_expected {
+            out.push(AuditViolation::FrontSinglesCount {
+                listed: front.singles.len(),
+                expected: singles_expected,
+            });
+        }
+        for single in &front.singles {
+            let covered = front
+                .footprints
+                .get(&single.global.raw())
+                .is_some_and(|f| f.single);
+            if !covered {
+                out.push(AuditViolation::FrontSubscription {
+                    pattern: u32::MAX,
+                    reason: "front single-block entry has no live footprint",
+                });
+            }
+        }
+    }
+
     fn send(&self, shard: usize, request: Request) -> CoreResult<()> {
         self.shards[shard]
             .sender
@@ -802,7 +1007,10 @@ impl ShardedEngine {
         global: QueryId,
         footprint: ShardFootprint,
     ) -> CoreResult<()> {
-        let front = self.front.as_mut().expect("hybrid topology is enabled");
+        let front = self
+            .front
+            .as_mut()
+            .ok_or(CoreError::internal("hybrid topology is enabled"))?;
         let mut resolved = Vec::with_capacity(footprint.patterns.len());
         for (pattern, edges) in footprint.patterns {
             let pid = front.index.register(pattern);
@@ -843,23 +1051,26 @@ impl ShardedEngine {
     /// Release a departing query's front-stage footprint (the inverse of
     /// [`front_subscribe`](Self::front_subscribe)) and re-sync the workers.
     fn front_unsubscribe(&mut self, global: QueryId) -> CoreResult<()> {
-        let front = self.front.as_mut().expect("hybrid topology is enabled");
+        let front = self
+            .front
+            .as_mut()
+            .ok_or(CoreError::internal("hybrid topology is enabled"))?;
         let footprint = front
             .footprints
             .remove(&global.raw())
-            .expect("a live query has a front footprint");
+            .ok_or(CoreError::internal("a live query has a front footprint"))?;
         for (pid, edges) in &footprint.patterns {
-            front.router.unsubscribe(footprint.shard, *pid, edges);
-            let refs = front
-                .edge_refs
-                .get_mut(pid)
-                .expect("a subscribed pattern has edge refcounts");
-            let list = front
-                .requested
-                .get_mut(pid)
-                .expect("a subscribed pattern has requested edges");
+            front.router.unsubscribe(footprint.shard, *pid, edges)?;
+            let refs = front.edge_refs.get_mut(pid).ok_or(CoreError::internal(
+                "a subscribed pattern has edge refcounts",
+            ))?;
+            let list = front.requested.get_mut(pid).ok_or(CoreError::internal(
+                "a subscribed pattern has requested edges",
+            ))?;
             for edge in edges {
-                let count = refs.get_mut(edge).expect("a requested edge is refcounted");
+                let count = refs
+                    .get_mut(edge)
+                    .ok_or(CoreError::internal("a requested edge is refcounted"))?;
                 *count -= 1;
                 if *count == 0 {
                     refs.remove(edge);
@@ -883,7 +1094,10 @@ impl ShardedEngine {
     /// acknowledgements, so the next batch is parsed against the updated
     /// subscriptions.
     fn sync_front(&mut self) -> CoreResult<()> {
-        let front = self.front.as_mut().expect("hybrid topology is enabled");
+        let front = self
+            .front
+            .as_mut()
+            .ok_or(CoreError::internal("hybrid topology is enabled"))?;
         let mut acks = Vec::with_capacity(front.workers.len());
         for (i, worker) in front.workers.iter().enumerate() {
             let (reply, response) = channel();
@@ -915,7 +1129,10 @@ impl ShardedEngine {
         let num_shards = self.shards.len();
         let retain_documents = self.config.retain_documents;
         let enforce_in_order = self.config.enforce_in_order;
-        let front = self.front.as_mut().expect("hybrid topology is enabled");
+        let front = self
+            .front
+            .as_mut()
+            .ok_or(CoreError::internal("hybrid topology is enabled"))?;
 
         // Mirror the single engine's Stage-1 loop: ids/timestamps are
         // assigned per document in arrival order, and a rejected document
@@ -985,7 +1202,7 @@ impl ShardedEngine {
                 &front.index,
                 &self.interner,
                 &mut shard_batches,
-            );
+            )?;
             singles.extend(doc.singles);
             doc_meta.push((doc.doc.id(), doc.doc.timestamp().raw()));
             if retain_documents {
@@ -1020,8 +1237,10 @@ impl ShardedEngine {
         let mut docs = Some(docs);
         for (shard, batch) in shard_batches.into_iter().enumerate() {
             let shard_docs = if shard + 1 == num_shards {
+                // lint:allow the loop takes the documents only on its final iteration
                 docs.take().expect("documents are moved out exactly once")
             } else {
+                // lint:allow the loop takes the documents only on its final iteration
                 docs.as_ref().expect("documents not yet moved").clone()
             };
             let (reply, response) = channel();
@@ -1142,6 +1361,8 @@ fn shard_of(id: QueryId, num_shards: usize) -> usize {
 /// `global_ids` maps the shard-local query index (the order queries were
 /// registered on this shard) to the engine-global [`QueryId`], so the matches
 /// leaving the shard always speak the global id space.
+// The spawned worker thread must own its receiver (`'static` loop).
+#[allow(clippy::needless_pass_by_value)]
 fn shard_worker(mut engine: MmqjpEngine, requests: Receiver<Request>) {
     let mut global_ids: Vec<QueryId> = Vec::new();
     let mut local_of: std::collections::HashMap<QueryId, QueryId> =
@@ -1153,14 +1374,11 @@ fn shard_worker(mut engine: MmqjpEngine, requests: Receiver<Request>) {
                 global,
                 reply,
             } => {
-                let result = engine.register_query(*query).map(|local| {
+                let result = engine.register_query(*query).and_then(|local| {
                     debug_assert_eq!(local.raw() as usize, global_ids.len());
                     global_ids.push(global);
                     local_of.insert(global, local);
-                    let runtime = engine
-                        .registry()
-                        .query(local)
-                        .expect("a just-registered query is live");
+                    let runtime = engine.registry().query(local)?;
                     let mut patterns = Vec::new();
                     for r in &runtime.registrations {
                         patterns.push((r.prev_pattern.clone(), r.prev_edges.clone()));
@@ -1170,7 +1388,7 @@ fn shard_worker(mut engine: MmqjpEngine, requests: Receiver<Request>) {
                         .single_pattern
                         .as_ref()
                         .map(|p| (p.clone(), runtime.publish.clone(), runtime.select));
-                    Box::new(ShardFootprint { patterns, single })
+                    Ok(Box::new(ShardFootprint { patterns, single }))
                 });
                 let _ = reply.send(result);
             }
@@ -1204,6 +1422,9 @@ fn shard_worker(mut engine: MmqjpEngine, requests: Receiver<Request>) {
             Request::Stats { reply } => {
                 let _ = reply.send(engine.stats());
             }
+            Request::Audit { reply } => {
+                let _ = reply.send(engine.audit());
+            }
         }
     }
 }
@@ -1212,6 +1433,8 @@ fn shard_worker(mut engine: MmqjpEngine, requests: Receiver<Request>) {
 /// pattern index, requested-edge union, single-block subscriptions) and
 /// parses document slices against it. Snapshots are replaced wholesale by
 /// `Sync` requests on subscription churn.
+// The spawned front worker must own its receiver (`'static` loop).
+#[allow(clippy::needless_pass_by_value)]
 fn front_worker(retain_documents: bool, requests: Receiver<FrontRequest>) {
     let mut index = PatternIndex::default();
     let mut requested: HashMap<PatternId, Vec<Edge>> = HashMap::new();
@@ -1514,7 +1737,9 @@ mod tests {
             WitnessBatch::new(),
             WitnessBatch::new(),
         ];
-        let routed = router.route_document(&doc, &bindings, &index, &interner, &mut batches);
+        let routed = router
+            .route_document(&doc, &bindings, &index, &interner, &mut batches)
+            .unwrap();
         assert!(routed > 0);
         // Shard 1 subscribed to nothing: ledger row only.
         assert_eq!(batches[1].num_witness_rows(), 0);
@@ -1527,10 +1752,10 @@ mod tests {
             batches[0].num_witness_rows() + batches[2].num_witness_rows()
         );
         // Unsubscribing shard 0 drops its pattern from the table.
-        router.unsubscribe(0, pid1, &edges1);
+        router.unsubscribe(0, pid1, &edges1).unwrap();
         assert_eq!(router.subscribers(pid1), Vec::<usize>::new());
         assert!(!router.is_empty());
-        router.unsubscribe(2, pid2, &edges2);
+        router.unsubscribe(2, pid2, &edges2).unwrap();
         assert!(router.is_empty());
     }
 

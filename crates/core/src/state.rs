@@ -18,6 +18,7 @@
 //! one extra bucket, but the temporal filter of Algorithm 3 re-checks every
 //! window, so results are bit-identical for any width.
 
+use crate::audit::AuditViolation;
 use crate::error::{CoreError, CoreResult};
 use crate::relations::{rl_row, schemas, WitnessBatch};
 use mmqjp_relational::{
@@ -324,8 +325,9 @@ impl JoinState {
     }
 
     fn width(&self) -> u64 {
-        self.bucket_width
-            .expect("bucket width is set before the first absorb")
+        // lint:allow ensure_width runs before every absorb/evict path; a
+        // fallback of the provisional default keeps this total regardless
+        self.bucket_width.unwrap_or(DEFAULT_BUCKET_WIDTH)
     }
 
     fn join_bucket(&self, ts: u64) -> BucketId {
@@ -500,7 +502,7 @@ impl JoinState {
             let rdoc_seg = self
                 .rdoc
                 .bucket(bucket)
-                .expect("indexed bucket has an Rdoc segment");
+                .ok_or(CoreError::internal("indexed bucket has an Rdoc segment"))?;
             for &off in doc_rows {
                 let row = rdoc_seg.row(off as usize);
                 let docid = key_int(&row[0], "Rdoc", "docid")?;
@@ -511,10 +513,10 @@ impl JoinState {
                 let rbin_seg = self
                     .rbin
                     .bucket(bucket)
-                    .expect("indexed bucket has an Rbin segment");
+                    .ok_or(CoreError::internal("indexed bucket has an Rbin segment"))?;
                 for &boff in bin_rows {
                     let b = rbin_seg.row(boff as usize);
-                    slice.push_values(rl_row(b, s)).expect("RL arity");
+                    slice.push_values(rl_row(b, s))?;
                 }
             }
         }
@@ -556,11 +558,11 @@ impl JoinState {
             let seg = self
                 .rdoc
                 .bucket(bucket)
-                .expect("indexed bucket has an Rdoc segment");
+                .ok_or(CoreError::internal("indexed bucket has an Rdoc segment"))?;
             for &off in &offs {
                 let row = seg.row(off as usize);
                 docids.insert(key_int(&row[0], "Rdoc", "docid")?);
-                out.push_values(row.to_vec()).expect("Rdoc arity");
+                out.push_values(row.to_vec())?;
             }
         }
         Ok((out, docids))
@@ -575,7 +577,7 @@ impl JoinState {
     /// shares the single stored-document variable, so `Rbin` rows of
     /// documents absent from the restricted `Rdoc` cannot join into any
     /// result.
-    pub(crate) fn rbin_for_docids(&self, docids: &HashSet<i64>) -> Relation {
+    pub(crate) fn rbin_for_docids(&self, docids: &HashSet<i64>) -> CoreResult<Relation> {
         let mut out = Relation::new(schemas::bin());
         let mut offs: Vec<u32> = Vec::new();
         for (&bucket, index) in &self.indexes {
@@ -592,13 +594,12 @@ impl JoinState {
             let seg = self
                 .rbin
                 .bucket(bucket)
-                .expect("indexed bucket has an Rbin segment");
+                .ok_or(CoreError::internal("indexed bucket has an Rbin segment"))?;
             for &off in &offs {
-                out.push_values(seg.row(off as usize).to_vec())
-                    .expect("Rbin arity");
+                out.push_values(seg.row(off as usize).to_vec())?;
             }
         }
-        out
+        Ok(out)
     }
 
     /// The segmented `Rbin` join state. Plan execution borrows it directly
@@ -642,6 +643,151 @@ impl JoinState {
             out.rows += seg.len();
         }
         out
+    }
+
+    /// Cross-check the join state's secondary structures against its
+    /// segmented relations, appending one [`AuditViolation`] per
+    /// inconsistency: index offsets in range, indexed keys matching the
+    /// resident rows, full index coverage, the global string-value counters,
+    /// document store ⊆ retention map, single-bucket discipline when
+    /// unbucketed, and the watermark bounding every retained timestamp.
+    /// Read-only. See [`MmqjpEngine::audit`](crate::MmqjpEngine::audit).
+    pub fn audit(&self, newest_timestamp: u64, out: &mut Vec<AuditViolation>) {
+        let mut rdoc_indexed = 0usize;
+        let mut rbin_indexed = 0usize;
+        let mut strval_indexed: FxHashMap<Symbol, usize> = FxHashMap::default();
+        for (&bucket, index) in &self.indexes {
+            match self.rdoc.bucket(bucket) {
+                None => {
+                    if !index.rdoc_by_strval.is_empty() {
+                        out.push(AuditViolation::MissingBucketIndex {
+                            relation: "Rdoc",
+                            bucket,
+                        });
+                    }
+                }
+                Some(seg) => {
+                    for (&sym, offs) in &index.rdoc_by_strval {
+                        *strval_indexed.entry(sym).or_insert(0) += offs.len();
+                        for &off in offs {
+                            if off as usize >= seg.len() {
+                                out.push(AuditViolation::IndexOffsetOutOfRange {
+                                    relation: "Rdoc",
+                                    bucket,
+                                    offset: off,
+                                    rows: seg.len(),
+                                });
+                                continue;
+                            }
+                            rdoc_indexed += 1;
+                            if seg.row(off as usize)[2] != Value::Sym(sym) {
+                                out.push(AuditViolation::IndexKeyMismatch {
+                                    relation: "Rdoc",
+                                    bucket,
+                                    offset: off,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            match self.rbin.bucket(bucket) {
+                None => {
+                    if !index.rbin_by_docnode.is_empty() {
+                        out.push(AuditViolation::MissingBucketIndex {
+                            relation: "Rbin",
+                            bucket,
+                        });
+                    }
+                }
+                Some(seg) => {
+                    for (&(docid, node2), offs) in &index.rbin_by_docnode {
+                        for &off in offs {
+                            if off as usize >= seg.len() {
+                                out.push(AuditViolation::IndexOffsetOutOfRange {
+                                    relation: "Rbin",
+                                    bucket,
+                                    offset: off,
+                                    rows: seg.len(),
+                                });
+                                continue;
+                            }
+                            rbin_indexed += 1;
+                            let row = seg.row(off as usize);
+                            if row[0].as_int() != Some(docid) || row[4].as_int() != Some(node2) {
+                                out.push(AuditViolation::IndexKeyMismatch {
+                                    relation: "Rbin",
+                                    bucket,
+                                    offset: off,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Every non-empty segment bucket is covered by an index segment, and
+        // the indexes address exactly the resident rows.
+        for (bucket, seg) in self.rdoc.buckets() {
+            if !seg.is_empty() && !self.indexes.contains_key(&bucket) {
+                out.push(AuditViolation::MissingBucketIndex {
+                    relation: "Rdoc",
+                    bucket,
+                });
+            }
+        }
+        for (bucket, seg) in self.rbin.buckets() {
+            if !seg.is_empty() && !self.indexes.contains_key(&bucket) {
+                out.push(AuditViolation::MissingBucketIndex {
+                    relation: "Rbin",
+                    bucket,
+                });
+            }
+        }
+        if rdoc_indexed != self.rdoc.len() {
+            out.push(AuditViolation::IndexedRowCount {
+                relation: "Rdoc",
+                indexed: rdoc_indexed,
+                resident: self.rdoc.len(),
+            });
+        }
+        if rbin_indexed != self.rbin.len() {
+            out.push(AuditViolation::IndexedRowCount {
+                relation: "Rbin",
+                indexed: rbin_indexed,
+                resident: self.rbin.len(),
+            });
+        }
+        // The global per-string counters equal the per-bucket index sums
+        // (and in particular hold no zero entries, which the computed side
+        // never produces).
+        if self.strval_rows != strval_indexed {
+            out.push(AuditViolation::StrvalRowCount {
+                tracked: self.strval_rows.values().sum(),
+                indexed: strval_indexed.values().sum(),
+            });
+        }
+        // The document store is a subset of the retention-timestamp map.
+        for doc in self.doc_store.keys() {
+            if !self.doc_timestamps.contains_key(doc) {
+                out.push(AuditViolation::OrphanStoredDocument { doc: doc.raw() });
+            }
+        }
+        // An unbucketed state collapses its join rows into one bucket.
+        if !self.bucketed && self.indexes.len() > 1 {
+            out.push(AuditViolation::UnbucketedStateSpread {
+                buckets: self.indexes.len(),
+            });
+        }
+        // The watermark bounds every retained timestamp.
+        if let Some(&observed) = self.doc_timestamps.values().max() {
+            if observed > newest_timestamp {
+                out.push(AuditViolation::WatermarkRegression {
+                    newest: newest_timestamp,
+                    observed,
+                });
+            }
+        }
     }
 
     /// Drop every retention-ledger bucket entirely before `cutoff_ts`,
@@ -905,6 +1051,76 @@ mod tests {
         assert_eq!(ev.rows, 2);
     }
 
+    #[test]
+    fn audit_is_clean_and_detects_seeded_violations() {
+        let (mut s, interner) = state(10);
+        for i in 1..=4u64 {
+            let d = doc(i, i * 7);
+            s.absorb(batch_for(&d, "shared", &interner), &[d], true)
+                .unwrap();
+        }
+        s.evict_join_state(15);
+        let mut out = Vec::new();
+        s.audit(28, &mut out);
+        assert!(out.is_empty(), "healthy state reported: {out:?}");
+
+        // A watermark behind a retained timestamp is a violation.
+        let mut out = Vec::new();
+        s.audit(20, &mut out);
+        assert!(out.iter().any(|v| matches!(
+            v,
+            AuditViolation::WatermarkRegression {
+                newest: 20,
+                observed: 28
+            }
+        )));
+
+        // Seed a string-value counter drift.
+        let sym = interner.get("shared").unwrap();
+        *s.strval_rows.get_mut(&sym).unwrap() += 1;
+        let mut out = Vec::new();
+        s.audit(28, &mut out);
+        assert!(out
+            .iter()
+            .any(|v| matches!(v, AuditViolation::StrvalRowCount { .. })));
+        *s.strval_rows.get_mut(&sym).unwrap() -= 1;
+
+        // Seed an out-of-range index offset.
+        let bucket = *s.indexes.keys().next().unwrap();
+        s.indexes
+            .get_mut(&bucket)
+            .unwrap()
+            .rdoc_by_strval
+            .get_mut(&sym)
+            .unwrap()
+            .push(10_000);
+        let mut out = Vec::new();
+        s.audit(28, &mut out);
+        assert!(out.iter().any(|v| matches!(
+            v,
+            AuditViolation::IndexOffsetOutOfRange {
+                relation: "Rdoc",
+                ..
+            }
+        )));
+
+        // An orphan stored document (no retention timestamp) is caught.
+        let (mut s2, interner2) = state(10);
+        let d = doc(9, 50);
+        s2.absorb(
+            batch_for(&d, "x", &interner2),
+            std::slice::from_ref(&d),
+            true,
+        )
+        .unwrap();
+        s2.doc_timestamps.remove(&DocId(9));
+        let mut out = Vec::new();
+        s2.audit(50, &mut out);
+        assert!(out
+            .iter()
+            .any(|v| matches!(v, AuditViolation::OrphanStoredDocument { doc: 9 })));
+    }
+
     #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "non-integer index key")]
@@ -944,7 +1160,7 @@ mod tests {
         assert_eq!(docids, HashSet::from([2, 4, 6]));
         // Every restricted row carries the requested string value.
         assert!(rdoc.iter().all(|r| r[2] == Value::Sym(even)));
-        let rbin = s.rbin_for_docids(&docids);
+        let rbin = s.rbin_for_docids(&docids).unwrap();
         assert_eq!(rbin.len(), 3);
         assert!(rbin
             .iter()
@@ -953,6 +1169,6 @@ mod tests {
         let (empty, no_docs) = s.rdoc_for_strvals(&[interner.intern("absent")]).unwrap();
         assert!(empty.is_empty());
         assert!(no_docs.is_empty());
-        assert!(s.rbin_for_docids(&no_docs).is_empty());
+        assert!(s.rbin_for_docids(&no_docs).unwrap().is_empty());
     }
 }

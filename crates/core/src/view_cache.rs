@@ -8,6 +8,7 @@
 //! with LRU replacement models the paper's remark that "the size of the view
 //! cache can be set according to the memory constraint of the system".
 
+use crate::error::{CoreError, CoreResult};
 use mmqjp_relational::{FxHashMap, Relation, Symbol};
 use serde::{Deserialize, Serialize};
 
@@ -116,7 +117,7 @@ impl ViewCache {
 
     /// Append tuples to an existing slice (Algorithm 5's `RL,s ∪= RR,s`),
     /// creating the slice if absent.
-    pub fn append(&mut self, key: Symbol, tuples: &Relation) {
+    pub fn append(&mut self, key: Symbol, tuples: &Relation) -> CoreResult<()> {
         self.clock += 1;
         let clock = self.clock;
         match self.slices.get_mut(&key) {
@@ -124,13 +125,14 @@ impl ViewCache {
                 entry
                     .relation
                     .extend_from(tuples)
-                    .expect("cached slices share the RL schema");
+                    .map_err(|_| CoreError::internal("cached slices share the RL schema"))?;
                 entry.last_used = clock;
             }
             None => {
                 self.insert(key, tuples.clone());
             }
         }
+        Ok(())
     }
 
     /// Drop every cached slice (used when the join state is pruned).
@@ -243,8 +245,8 @@ mod tests {
         let interner = StringInterner::new();
         let k = interner.intern("title");
         let mut cache = ViewCache::new(None);
-        cache.append(k, &slice(2));
-        cache.append(k, &slice(3));
+        cache.append(k, &slice(2)).unwrap();
+        cache.append(k, &slice(3)).unwrap();
         assert_eq!(cache.stats().resident_tuples, 5);
         assert_eq!(cache.len(), 1);
     }

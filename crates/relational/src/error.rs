@@ -1,5 +1,6 @@
 //! Error types for the relational engine.
 
+use crate::verify::PlanViolation;
 use std::fmt;
 
 /// Convenience result alias used throughout the crate.
@@ -43,6 +44,12 @@ pub enum RelError {
         /// Human-readable description.
         reason: String,
     },
+    /// A compiled plan failed registration-time verification
+    /// (see [`crate::verify`]).
+    PlanVerification {
+        /// Every violation found, in check order.
+        violations: Vec<PlanViolation>,
+    },
 }
 
 impl fmt::Display for RelError {
@@ -69,6 +76,17 @@ impl fmt::Display for RelError {
                 "join key length mismatch: {left} left keys vs {right} right keys"
             ),
             RelError::MalformedQuery { reason } => write!(f, "malformed query: {reason}"),
+            RelError::PlanVerification { violations } => {
+                write!(
+                    f,
+                    "plan verification failed ({} violations):",
+                    violations.len()
+                )?;
+                for v in violations {
+                    write!(f, "\n  - {v}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -38,13 +38,13 @@ impl Hasher for FxHasher {
     fn write(&mut self, mut bytes: &[u8]) {
         while bytes.len() >= 8 {
             let (chunk, rest) = bytes.split_at(8);
-            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"))); // lint:allow split_at(8) yields 8 bytes
             bytes = rest;
         }
         if bytes.len() >= 4 {
             let (chunk, rest) = bytes.split_at(4);
             self.add_to_hash(u64::from(u32::from_le_bytes(
-                chunk.try_into().expect("4-byte chunk"),
+                chunk.try_into().expect("4-byte chunk"), // lint:allow split_at(4) yields 4 bytes
             )));
             bytes = rest;
         }

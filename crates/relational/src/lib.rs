@@ -65,6 +65,10 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Hot paths return typed errors instead of panicking; the unit tests are
+// free to unwrap.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod conjunctive;
 mod database;
@@ -78,6 +82,7 @@ mod relation;
 mod schema;
 mod segment;
 mod value;
+pub mod verify;
 
 pub use conjunctive::{Atom, ConjunctiveQuery, Term};
 pub use database::{relation_from_rows, Database, StoredRelation, StoredTuples};
@@ -90,3 +95,4 @@ pub use relation::{Relation, RowRef, Rows, Tuple};
 pub use schema::Schema;
 pub use segment::{BucketId, RowHandle, SegmentedRelation, SegmentedTuples};
 pub use value::Value;
+pub use verify::{verify_plan, verify_plan_strict, PlanViolation, SharedKeyRule, VerifyOptions};

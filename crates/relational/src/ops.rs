@@ -293,7 +293,7 @@ pub fn count_by(input: &Relation, key_columns: &[&str]) -> RelResult<Relation> {
     for (key, count) in counts {
         let mut row = key;
         row.push(Value::Int(count));
-        out.push_values(row).expect("key arity plus count column");
+        out.push_values(row).expect("key arity plus count column"); // lint:allow schema built with the extra count column
     }
     Ok(out)
 }

@@ -65,18 +65,18 @@ pub(crate) const DISTINCT_SAMPLE: usize = 64;
 /// One compiled body atom: its input slot plus the pre-resolved positional
 /// filters and variable bindings.
 #[derive(Debug, Clone)]
-struct PhysAtom {
+pub(crate) struct PhysAtom {
     /// Index into [`PhysicalPlan::relations`].
-    rel: u32,
+    pub(crate) rel: u32,
     /// `(position, constant)`: the column at `position` must equal the
     /// constant.
-    consts: Vec<(u32, Value)>,
+    pub(crate) consts: Vec<(u32, Value)>,
     /// `(position, first_position)`: intra-atom repeated variables; the two
     /// columns must be equal.
-    dups: Vec<(u32, u32)>,
+    pub(crate) dups: Vec<(u32, u32)>,
     /// The atom's distinct variables in first-occurrence order, each with
     /// the column position of its first occurrence.
-    vars: Vec<(ColId, u32)>,
+    pub(crate) vars: Vec<(ColId, u32)>,
 }
 
 /// A conjunctive query compiled against fixed relation arities.
@@ -86,11 +86,11 @@ struct PhysAtom {
 /// [`ExecScratch`].
 #[derive(Debug, Clone)]
 pub struct PhysicalPlan {
-    head: Vec<ColId>,
-    head_schema: Schema,
-    atoms: Vec<PhysAtom>,
-    relations: Vec<String>,
-    col_names: Vec<String>,
+    pub(crate) head: Vec<ColId>,
+    pub(crate) head_schema: Schema,
+    pub(crate) atoms: Vec<PhysAtom>,
+    pub(crate) relations: Vec<String>,
+    pub(crate) col_names: Vec<String>,
 }
 
 impl PhysicalPlan {
@@ -193,7 +193,7 @@ impl PhysicalPlan {
         let head_refs: Vec<&str> = query.head.iter().map(String::as_str).collect();
         let head_schema = Schema::new(distinct_head)
             .project(&head_refs)
-            .expect("head names project from themselves");
+            .expect("head names project from themselves"); // lint:allow projecting a schema onto its own names
 
         Ok(PhysicalPlan {
             head,
@@ -498,7 +498,7 @@ impl PhysicalPlan {
             let &(_, s, p) = acc
                 .iter()
                 .find(|(c, _, _)| c == col)
-                .expect("validate() guarantees head variables are bound");
+                .expect("validate() guarantees head variables are bound"); // lint:allow validate() bound every head variable
             head_specs.push((s, p));
         }
         let rows = cur.len() / stride;
@@ -835,7 +835,7 @@ fn join_order(
                 }
             });
         }
-        let (pos, ..) = best.expect("remaining is non-empty");
+        let (pos, ..) = best.expect("remaining is non-empty"); // lint:allow loop ran over non-empty remaining
         let i = remaining.remove(pos);
         for (col, _) in &atoms[i].vars {
             bound[*col as usize] = true;

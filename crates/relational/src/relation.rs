@@ -224,7 +224,7 @@ impl Relation {
             .map(|_| {
                 iters
                     .iter_mut()
-                    .map(|it| it.next().expect("columns share the relation length"))
+                    .map(|it| it.next().expect("columns share the relation length")) // lint:allow all columns have len() rows
                     .collect()
             })
             .collect()
@@ -319,7 +319,7 @@ impl Relation {
         let kept = keep.iter().filter(|&&k| k).count();
         for col in &mut self.cols {
             let mut it = keep.iter();
-            col.retain(|_| *it.next().expect("mask covers every row"));
+            col.retain(|_| *it.next().expect("mask covers every row")); // lint:allow mask length equals row count
         }
         self.len = kept;
     }

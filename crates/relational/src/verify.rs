@@ -1,0 +1,830 @@
+//! Registration-time verification of compiled [`PhysicalPlan`]s.
+//!
+//! [`PhysicalPlan::compile`] already rejects structurally invalid queries,
+//! but the compiled artifact itself — dense [`ColId`]s, input-slot indices,
+//! positional constant/duplicate filters — is trusted blindly by the
+//! executor afterwards. This module re-checks the compiled plan *against its
+//! source query and schema* once, before first execution, so that a compiler
+//! regression (or a hand-built plan) is reported as a typed
+//! [`PlanViolation`] instead of a wrong answer or an out-of-bounds panic on
+//! the hot path.
+//!
+//! Checks performed by [`verify_plan`]:
+//!
+//! * every atom's input slot is in range and names the same relation as the
+//!   source atom;
+//! * every constant / duplicate / variable filter position is within the
+//!   relation's arity, and together they cover each position exactly once;
+//! * duplicate filters point backwards at a variable's first occurrence;
+//! * every [`ColId`] is dense (below the plan's column count) and every
+//!   constant and variable binding matches the source query term for term;
+//! * every head column is in range and bound by some body atom, and the head
+//!   schema's arity matches the projection;
+//! * the join graph (atoms as nodes, shared [`ColId`]s as edges) is
+//!   connected, so execution never silently degenerates into a cartesian
+//!   product;
+//! * optionally, a [`SharedKeyRule`]: every atom over the rule's `left`
+//!   relation must equate the column at `position` with the same variable in
+//!   at least one `right` atom. The MMQJP engine uses this for the
+//!   batch-restriction soundness precondition — every basic-plan `Rdoc` atom
+//!   must share its `strVal` variable with an `RdocW` atom, because the
+//!   executor restricts the `Rdoc` state scan to the string values present
+//!   in the current batch.
+//!
+//! Violations are collected exhaustively (not fail-fast) and can be raised
+//! as a single [`RelError::PlanVerification`](crate::RelError) via
+//! [`verify_plan_strict`].
+
+use crate::conjunctive::{ConjunctiveQuery, Term};
+use crate::error::{RelError, RelResult};
+use crate::plan::{ColId, PhysicalPlan};
+
+/// A single defect found in a compiled plan. See the module docs for the
+/// full list of checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanViolation {
+    /// The plan compiled a different number of atoms than the query body.
+    AtomCountMismatch {
+        /// Atoms in the compiled plan.
+        plan_atoms: usize,
+        /// Atoms in the source query body.
+        query_atoms: usize,
+    },
+    /// An atom's input-slot index is past the plan's relation list.
+    InputSlotOutOfRange {
+        /// Body atom index.
+        atom: usize,
+        /// The out-of-range slot.
+        slot: usize,
+        /// Number of input slots the plan declares.
+        num_slots: usize,
+    },
+    /// The schema provider does not know a relation the plan reads.
+    UnknownRelation {
+        /// Body atom index.
+        atom: usize,
+        /// The unknown relation name.
+        relation: String,
+    },
+    /// A plan atom reads a different relation than the source atom.
+    RelationMismatch {
+        /// Body atom index.
+        atom: usize,
+        /// Relation the compiled atom reads.
+        plan_relation: String,
+        /// Relation the source atom names.
+        query_relation: String,
+    },
+    /// A bound variable's [`ColId`] is past the plan's column count.
+    ColIdOutOfRange {
+        /// Body atom index.
+        atom: usize,
+        /// The out-of-range column id.
+        col: ColId,
+        /// Number of distinct columns the plan declares.
+        num_columns: usize,
+    },
+    /// A filter or binding position is past the relation's arity.
+    PositionOutOfRange {
+        /// Body atom index.
+        atom: usize,
+        /// Relation the atom reads.
+        relation: String,
+        /// The out-of-range position.
+        position: usize,
+        /// The relation's arity.
+        arity: usize,
+    },
+    /// An atom's constant/duplicate/variable entries do not cover each
+    /// position of the relation exactly once.
+    PositionCoverage {
+        /// Body atom index.
+        atom: usize,
+        /// Relation the atom reads.
+        relation: String,
+        /// Number of distinct positions covered.
+        covered: usize,
+        /// The relation's arity.
+        arity: usize,
+    },
+    /// A repeated-variable filter does not point backwards at one of the
+    /// atom's variable first occurrences.
+    InvalidDuplicateFilter {
+        /// Body atom index.
+        atom: usize,
+        /// The repeated position.
+        position: usize,
+        /// The claimed first-occurrence position.
+        first_position: usize,
+    },
+    /// A source-query constant is missing from (or differs in) the compiled
+    /// atom's constant filters.
+    ConstantFilterMismatch {
+        /// Body atom index.
+        atom: usize,
+        /// The term position whose constant disagrees.
+        position: usize,
+    },
+    /// A source-query variable occurrence is not represented by the matching
+    /// variable binding or duplicate filter in the compiled atom.
+    VariableBindingMismatch {
+        /// Body atom index.
+        atom: usize,
+        /// The term position that disagrees.
+        position: usize,
+        /// The source variable name.
+        variable: String,
+    },
+    /// A head column id is past the plan's column count.
+    HeadColumnOutOfRange {
+        /// Head position.
+        index: usize,
+        /// The out-of-range column id.
+        col: ColId,
+        /// Number of distinct columns the plan declares.
+        num_columns: usize,
+    },
+    /// A head column is not bound by any body atom.
+    UnboundHeadColumn {
+        /// Head position.
+        index: usize,
+        /// The head column's name.
+        column: String,
+    },
+    /// The head schema's arity differs from the projection list.
+    HeadSchemaMismatch {
+        /// Arity of the compiled head schema.
+        schema_arity: usize,
+        /// Length of the head projection list.
+        head_len: usize,
+    },
+    /// The join graph over shared columns is not connected; execution would
+    /// degenerate into a cartesian product.
+    DisconnectedJoinGraph {
+        /// Atoms reachable from the first atom.
+        reachable: usize,
+        /// Total body atoms.
+        total: usize,
+    },
+    /// A [`SharedKeyRule`] is violated: the atom's key column is not equated
+    /// with the same variable in any partner atom.
+    UnsharedKey {
+        /// Body atom index (in the source query).
+        atom: usize,
+        /// Relation of the violating atom.
+        relation: String,
+        /// Relation that must share the key variable.
+        partner: String,
+        /// The key position.
+        position: usize,
+    },
+}
+
+impl std::fmt::Display for PlanViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanViolation::AtomCountMismatch {
+                plan_atoms,
+                query_atoms,
+            } => write!(
+                f,
+                "plan has {plan_atoms} atoms but the source query has {query_atoms}"
+            ),
+            PlanViolation::InputSlotOutOfRange {
+                atom,
+                slot,
+                num_slots,
+            } => write!(
+                f,
+                "atom {atom}: input slot {slot} out of range ({num_slots} slots)"
+            ),
+            PlanViolation::UnknownRelation { atom, relation } => {
+                write!(f, "atom {atom}: relation `{relation}` has no known schema")
+            }
+            PlanViolation::RelationMismatch {
+                atom,
+                plan_relation,
+                query_relation,
+            } => write!(
+                f,
+                "atom {atom}: plan reads `{plan_relation}` but the query names `{query_relation}`"
+            ),
+            PlanViolation::ColIdOutOfRange {
+                atom,
+                col,
+                num_columns,
+            } => write!(
+                f,
+                "atom {atom}: column id {col} out of range ({num_columns} columns)"
+            ),
+            PlanViolation::PositionOutOfRange {
+                atom,
+                relation,
+                position,
+                arity,
+            } => write!(
+                f,
+                "atom {atom} (`{relation}`): position {position} out of range (arity {arity})"
+            ),
+            PlanViolation::PositionCoverage {
+                atom,
+                relation,
+                covered,
+                arity,
+            } => write!(
+                f,
+                "atom {atom} (`{relation}`): filters and bindings cover {covered} of {arity} positions"
+            ),
+            PlanViolation::InvalidDuplicateFilter {
+                atom,
+                position,
+                first_position,
+            } => write!(
+                f,
+                "atom {atom}: duplicate filter at position {position} does not point back \
+                 at a variable first occurrence ({first_position})"
+            ),
+            PlanViolation::ConstantFilterMismatch { atom, position } => write!(
+                f,
+                "atom {atom}: constant at position {position} disagrees with the source query"
+            ),
+            PlanViolation::VariableBindingMismatch {
+                atom,
+                position,
+                variable,
+            } => write!(
+                f,
+                "atom {atom}: variable `{variable}` at position {position} is not bound \
+                 by the compiled atom"
+            ),
+            PlanViolation::HeadColumnOutOfRange {
+                index,
+                col,
+                num_columns,
+            } => write!(
+                f,
+                "head position {index}: column id {col} out of range ({num_columns} columns)"
+            ),
+            PlanViolation::UnboundHeadColumn { index, column } => write!(
+                f,
+                "head position {index}: column `{column}` is not bound by any body atom"
+            ),
+            PlanViolation::HeadSchemaMismatch {
+                schema_arity,
+                head_len,
+            } => write!(
+                f,
+                "head schema arity {schema_arity} differs from projection length {head_len}"
+            ),
+            PlanViolation::DisconnectedJoinGraph { reachable, total } => write!(
+                f,
+                "join graph is disconnected: {reachable} of {total} atoms reachable"
+            ),
+            PlanViolation::UnsharedKey {
+                atom,
+                relation,
+                partner,
+                position,
+            } => write!(
+                f,
+                "atom {atom} (`{relation}`): key position {position} is not equated with \
+                 any `{partner}` atom"
+            ),
+        }
+    }
+}
+
+/// A key-sharing precondition checked by [`verify_plan`]: every `left` atom
+/// must bind a variable at `position` that some `right` atom also binds at
+/// `position`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedKeyRule {
+    /// Relation whose atoms must share their key (e.g. `Rdoc`).
+    pub left: String,
+    /// Relation that must supply the shared key (e.g. `RdocW`).
+    pub right: String,
+    /// Term position of the key in both relations (e.g. 2 for `strVal`).
+    pub position: usize,
+}
+
+/// Options for [`verify_plan`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyOptions {
+    /// Optional key-sharing precondition (see [`SharedKeyRule`]).
+    pub shared_key: Option<SharedKeyRule>,
+}
+
+/// Check a compiled plan against its source query and relation schemas.
+/// Returns every violation found (empty for a well-formed plan). `arity_of`
+/// must be the same schema provider the plan was compiled against.
+pub fn verify_plan(
+    plan: &PhysicalPlan,
+    query: &ConjunctiveQuery,
+    arity_of: impl Fn(&str) -> Option<usize>,
+    options: &VerifyOptions,
+) -> Vec<PlanViolation> {
+    let mut out = Vec::new();
+    let num_columns = plan.col_names.len();
+    let num_slots = plan.relations.len();
+
+    let atoms_match = plan.atoms.len() == query.body.len();
+    if !atoms_match {
+        out.push(PlanViolation::AtomCountMismatch {
+            plan_atoms: plan.atoms.len(),
+            query_atoms: query.body.len(),
+        });
+    }
+
+    for (i, atom) in plan.atoms.iter().enumerate() {
+        let slot = atom.rel as usize;
+        if slot >= num_slots {
+            out.push(PlanViolation::InputSlotOutOfRange {
+                atom: i,
+                slot,
+                num_slots,
+            });
+            continue;
+        }
+        let relation = plan.relations[slot].clone();
+        let Some(arity) = arity_of(&relation) else {
+            out.push(PlanViolation::UnknownRelation { atom: i, relation });
+            continue;
+        };
+
+        // Position bounds and exactly-once coverage across the three filter
+        // and binding kinds.
+        let positions: Vec<usize> = atom
+            .consts
+            .iter()
+            .map(|&(p, _)| p as usize)
+            .chain(atom.dups.iter().map(|&(p, _)| p as usize))
+            .chain(atom.vars.iter().map(|&(_, p)| p as usize))
+            .collect();
+        let mut covered = vec![false; arity];
+        let mut distinct = 0usize;
+        for &p in &positions {
+            if p >= arity {
+                out.push(PlanViolation::PositionOutOfRange {
+                    atom: i,
+                    relation: relation.clone(),
+                    position: p,
+                    arity,
+                });
+            } else if !covered[p] {
+                covered[p] = true;
+                distinct += 1;
+            }
+        }
+        if distinct != arity || positions.len() != arity {
+            out.push(PlanViolation::PositionCoverage {
+                atom: i,
+                relation: relation.clone(),
+                covered: distinct.min(positions.len()),
+                arity,
+            });
+        }
+
+        // Duplicate filters must point backwards at a variable first
+        // occurrence within the same atom.
+        for &(pos, first) in &atom.dups {
+            let first_is_var = atom.vars.iter().any(|&(_, p)| p == first);
+            if !first_is_var || first >= pos {
+                out.push(PlanViolation::InvalidDuplicateFilter {
+                    atom: i,
+                    position: pos as usize,
+                    first_position: first as usize,
+                });
+            }
+        }
+
+        // Dense, in-range column ids; no column bound twice by one atom
+        // (a repeat must compile to a duplicate filter instead).
+        for (vi, &(col, _)) in atom.vars.iter().enumerate() {
+            if (col as usize) >= num_columns {
+                out.push(PlanViolation::ColIdOutOfRange {
+                    atom: i,
+                    col,
+                    num_columns,
+                });
+            }
+            if atom.vars[..vi].iter().any(|&(c, _)| c == col) {
+                let first = atom
+                    .vars
+                    .iter()
+                    .find(|&&(c, _)| c == col)
+                    .map(|&(_, p)| p as usize)
+                    .unwrap_or(0);
+                out.push(PlanViolation::InvalidDuplicateFilter {
+                    atom: i,
+                    position: atom.vars[vi].1 as usize,
+                    first_position: first,
+                });
+            }
+        }
+
+        // Cross-check against the source atom, term by term.
+        if atoms_match {
+            let src = &query.body[i];
+            if src.relation != relation {
+                out.push(PlanViolation::RelationMismatch {
+                    atom: i,
+                    plan_relation: relation.clone(),
+                    query_relation: src.relation.clone(),
+                });
+            } else {
+                verify_atom_terms(plan, i, src, &mut out);
+            }
+        }
+    }
+
+    // Head projection: in range, bound somewhere, schema arity agrees.
+    let bound: Vec<ColId> = plan
+        .atoms
+        .iter()
+        .flat_map(|a| a.vars.iter().map(|&(c, _)| c))
+        .collect();
+    for (j, &col) in plan.head.iter().enumerate() {
+        if (col as usize) >= num_columns {
+            out.push(PlanViolation::HeadColumnOutOfRange {
+                index: j,
+                col,
+                num_columns,
+            });
+        } else if !bound.contains(&col) {
+            out.push(PlanViolation::UnboundHeadColumn {
+                index: j,
+                column: plan.col_names[col as usize].clone(),
+            });
+        }
+    }
+    if plan.head_schema.arity() != plan.head.len() {
+        out.push(PlanViolation::HeadSchemaMismatch {
+            schema_arity: plan.head_schema.arity(),
+            head_len: plan.head.len(),
+        });
+    }
+
+    // Join-graph connectivity over shared column ids.
+    if plan.atoms.len() > 1 {
+        let reachable = reachable_atoms(plan);
+        if reachable != plan.atoms.len() {
+            out.push(PlanViolation::DisconnectedJoinGraph {
+                reachable,
+                total: plan.atoms.len(),
+            });
+        }
+    }
+
+    // Optional key-sharing precondition, checked on the source query where
+    // term identity is explicit.
+    if let Some(rule) = &options.shared_key {
+        verify_shared_key(query, rule, &mut out);
+    }
+
+    out
+}
+
+/// [`verify_plan`], raising the violations as a single
+/// [`RelError::PlanVerification`] error.
+pub fn verify_plan_strict(
+    plan: &PhysicalPlan,
+    query: &ConjunctiveQuery,
+    arity_of: impl Fn(&str) -> Option<usize>,
+    options: &VerifyOptions,
+) -> RelResult<()> {
+    let violations = verify_plan(plan, query, arity_of, options);
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(RelError::PlanVerification { violations })
+    }
+}
+
+/// Term-by-term comparison of one compiled atom with its source atom.
+fn verify_atom_terms(
+    plan: &PhysicalPlan,
+    i: usize,
+    src: &crate::conjunctive::Atom,
+    out: &mut Vec<PlanViolation>,
+) {
+    let atom = &plan.atoms[i];
+    let num_columns = plan.col_names.len();
+    // First-occurrence position of each source variable within this atom.
+    let mut first_of: Vec<(&str, usize)> = Vec::new();
+    for (pos, term) in src.terms.iter().enumerate() {
+        match term {
+            Term::Const(c) => {
+                let matched = atom
+                    .consts
+                    .iter()
+                    .any(|(p, v)| *p as usize == pos && v == c);
+                if !matched {
+                    out.push(PlanViolation::ConstantFilterMismatch {
+                        atom: i,
+                        position: pos,
+                    });
+                }
+            }
+            Term::Var(v) => match first_of.iter().find(|(name, _)| name == v) {
+                Some(&(_, first_pos)) => {
+                    // A repeat: must be a duplicate filter pointing at the
+                    // first occurrence.
+                    let matched = atom
+                        .dups
+                        .iter()
+                        .any(|&(p, fp)| p as usize == pos && fp as usize == first_pos);
+                    if !matched {
+                        out.push(PlanViolation::VariableBindingMismatch {
+                            atom: i,
+                            position: pos,
+                            variable: v.clone(),
+                        });
+                    }
+                }
+                None => {
+                    first_of.push((v, pos));
+                    // A first occurrence: must be a variable binding whose
+                    // column name matches the source variable.
+                    let matched = atom.vars.iter().any(|&(col, p)| {
+                        p as usize == pos
+                            && (col as usize) < num_columns
+                            && plan.col_names[col as usize] == *v
+                    });
+                    if !matched {
+                        out.push(PlanViolation::VariableBindingMismatch {
+                            atom: i,
+                            position: pos,
+                            variable: v.clone(),
+                        });
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// Number of atoms reachable from atom 0 walking edges between atoms that
+/// share at least one column id.
+fn reachable_atoms(plan: &PhysicalPlan) -> usize {
+    let n = plan.atoms.len();
+    let cols: Vec<Vec<ColId>> = plan
+        .atoms
+        .iter()
+        .map(|a| a.vars.iter().map(|&(c, _)| c).collect())
+        .collect();
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(i) = stack.pop() {
+        for j in 0..n {
+            if !seen[j] && cols[i].iter().any(|c| cols[j].contains(c)) {
+                seen[j] = true;
+                count += 1;
+                stack.push(j);
+            }
+        }
+    }
+    count
+}
+
+/// Check a [`SharedKeyRule`] on the source query.
+fn verify_shared_key(query: &ConjunctiveQuery, rule: &SharedKeyRule, out: &mut Vec<PlanViolation>) {
+    let right_keys: Vec<&str> = query
+        .body
+        .iter()
+        .filter(|a| a.relation == rule.right)
+        .filter_map(|a| match a.terms.get(rule.position) {
+            Some(Term::Var(v)) => Some(v.as_str()),
+            _ => None,
+        })
+        .collect();
+    for (i, atom) in query.body.iter().enumerate() {
+        if atom.relation != rule.left {
+            continue;
+        }
+        let shared = matches!(
+            atom.terms.get(rule.position),
+            Some(Term::Var(v)) if right_keys.contains(&v.as_str())
+        );
+        if !shared {
+            out.push(PlanViolation::UnsharedKey {
+                atom: i,
+                relation: rule.left.clone(),
+                partner: rule.right.clone(),
+                position: rule.position,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conjunctive::Atom;
+    use crate::value::Value;
+
+    /// `H(x, z) :- R(x, y), S(y, z, z, 1)` — a small well-formed query whose
+    /// compiled plan exercises constants, duplicates and shared variables.
+    fn sample() -> (ConjunctiveQuery, PhysicalPlan) {
+        let mut q = ConjunctiveQuery::new(["x", "z"]);
+        q.push_atom(Atom::new("R", [Term::var("x"), Term::var("y")]));
+        q.push_atom(Atom::new(
+            "S",
+            [
+                Term::var("y"),
+                Term::var("z"),
+                Term::var("z"),
+                Term::Const(Value::Int(1)),
+            ],
+        ));
+        let plan = PhysicalPlan::compile(&q, arity).unwrap();
+        (q, plan)
+    }
+
+    fn arity(name: &str) -> Option<usize> {
+        match name {
+            "R" => Some(2),
+            "S" => Some(4),
+            "T" => Some(2),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn well_formed_plan_passes() {
+        let (q, plan) = sample();
+        assert_eq!(
+            verify_plan(&plan, &q, arity, &VerifyOptions::default()),
+            vec![]
+        );
+        assert!(verify_plan_strict(&plan, &q, arity, &VerifyOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_colid_is_reported() {
+        let (q, mut plan) = sample();
+        plan.atoms[0].vars[0].0 = 99;
+        let violations = verify_plan(&plan, &q, arity, &VerifyOptions::default());
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            PlanViolation::ColIdOutOfRange {
+                atom: 0,
+                col: 99,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn out_of_range_input_slot_is_reported() {
+        let (q, mut plan) = sample();
+        plan.atoms[1].rel = 7;
+        let violations = verify_plan(&plan, &q, arity, &VerifyOptions::default());
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            PlanViolation::InputSlotOutOfRange {
+                atom: 1,
+                slot: 7,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn disconnected_join_graph_is_reported() {
+        // `H(x, w) :- R(x, y), T(w, u)` — no shared variable between atoms.
+        let mut q = ConjunctiveQuery::new(["x", "w"]);
+        q.push_atom(Atom::new("R", [Term::var("x"), Term::var("y")]));
+        q.push_atom(Atom::new("T", [Term::var("w"), Term::var("u")]));
+        let plan = PhysicalPlan::compile(&q, arity).unwrap();
+        let violations = verify_plan(&plan, &q, arity, &VerifyOptions::default());
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            PlanViolation::DisconnectedJoinGraph {
+                reachable: 1,
+                total: 2
+            }
+        )));
+    }
+
+    #[test]
+    fn unbound_head_column_is_reported() {
+        let (q, mut plan) = sample();
+        // Rebind the head's first column to a fresh, never-bound column id.
+        plan.col_names.push("ghost".to_owned());
+        plan.head[0] = (plan.col_names.len() - 1) as ColId;
+        let violations = verify_plan(&plan, &q, arity, &VerifyOptions::default());
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            PlanViolation::UnboundHeadColumn { index: 0, column } if column == "ghost"
+        )));
+    }
+
+    #[test]
+    fn constant_filter_mismatch_is_reported() {
+        let (q, mut plan) = sample();
+        plan.atoms[1].consts[0].1 = Value::Int(2);
+        let violations = verify_plan(&plan, &q, arity, &VerifyOptions::default());
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            PlanViolation::ConstantFilterMismatch {
+                atom: 1,
+                position: 3
+            }
+        )));
+    }
+
+    #[test]
+    fn dropped_duplicate_filter_is_reported() {
+        let (q, mut plan) = sample();
+        plan.atoms[1].dups.clear();
+        let violations = verify_plan(&plan, &q, arity, &VerifyOptions::default());
+        // The missing filter surfaces both as incomplete position coverage
+        // and as a variable-binding mismatch at the repeated position.
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, PlanViolation::PositionCoverage { atom: 1, .. })));
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            PlanViolation::VariableBindingMismatch {
+                atom: 1,
+                position: 2,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn shared_key_rule_rejects_unshared_rdoc() {
+        // Rdoc's strVal variable `s0` is not bound by any RdocW atom.
+        let mut q = ConjunctiveQuery::new(["d1", "d2"]);
+        q.push_atom(Atom::new(
+            "Rdoc",
+            [Term::var("d1"), Term::var("n0"), Term::var("s0")],
+        ));
+        q.push_atom(Atom::new(
+            "RdocW",
+            [Term::var("d2"), Term::var("n0"), Term::var("s1")],
+        ));
+        let arity = |name: &str| match name {
+            "Rdoc" | "RdocW" => Some(3),
+            _ => None,
+        };
+        let plan = PhysicalPlan::compile(&q, arity).unwrap();
+        let options = VerifyOptions {
+            shared_key: Some(SharedKeyRule {
+                left: "Rdoc".to_owned(),
+                right: "RdocW".to_owned(),
+                position: 2,
+            }),
+        };
+        let violations = verify_plan(&plan, &q, arity, &options);
+        assert_eq!(
+            violations,
+            vec![PlanViolation::UnsharedKey {
+                atom: 0,
+                relation: "Rdoc".to_owned(),
+                partner: "RdocW".to_owned(),
+                position: 2,
+            }]
+        );
+        // Fixing the share makes the rule pass.
+        let mut ok = ConjunctiveQuery::new(["d1", "d2"]);
+        ok.push_atom(Atom::new(
+            "Rdoc",
+            [Term::var("d1"), Term::var("n0"), Term::var("s0")],
+        ));
+        ok.push_atom(Atom::new(
+            "RdocW",
+            [Term::var("d2"), Term::var("n0"), Term::var("s0")],
+        ));
+        let plan = PhysicalPlan::compile(&ok, arity).unwrap();
+        assert_eq!(verify_plan(&plan, &ok, arity, &options), vec![]);
+    }
+
+    #[test]
+    fn strict_wraps_violations_in_error() {
+        let (q, mut plan) = sample();
+        plan.atoms[0].rel = 9;
+        let err = verify_plan_strict(&plan, &q, arity, &VerifyOptions::default()).unwrap_err();
+        match err {
+            RelError::PlanVerification { violations } => assert!(!violations.is_empty()),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = PlanViolation::UnsharedKey {
+            atom: 3,
+            relation: "Rdoc".to_owned(),
+            partner: "RdocW".to_owned(),
+            position: 2,
+        };
+        let s = v.to_string();
+        assert!(s.contains("Rdoc"));
+        assert!(s.contains("RdocW"));
+        assert!(s.contains('2'));
+    }
+}

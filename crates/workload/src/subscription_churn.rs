@@ -250,13 +250,13 @@ mod tests {
         for (a, b) in short.iter().zip(&long) {
             match (a, b) {
                 (SubscriptionEvent::Register(x), SubscriptionEvent::Register(y)) => {
-                    assert_eq!(x.to_string(), y.to_string())
+                    assert_eq!(x.to_string(), y.to_string());
                 }
                 (SubscriptionEvent::Unregister(x), SubscriptionEvent::Unregister(y)) => {
-                    assert_eq!(x, y)
+                    assert_eq!(x, y);
                 }
                 (SubscriptionEvent::Document(x), SubscriptionEvent::Document(y)) => {
-                    assert_eq!(x.timestamp(), y.timestamp())
+                    assert_eq!(x.timestamp(), y.timestamp());
                 }
                 (a, b) => panic!("prefix diverged: {a:?} vs {b:?}"),
             }

@@ -9,6 +9,8 @@
 //! cargo run -p mmqjp-examples --bin template_explorer -- 10000
 //! ```
 
+#![forbid(unsafe_code)]
+
 use mmqjp_core::MatchOutput;
 use mmqjp_xml::serialize_pretty;
 

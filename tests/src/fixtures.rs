@@ -2,7 +2,8 @@
 //! and helpers for building engines in each processing mode.
 
 use mmqjp_core::{
-    sort_matches, EngineConfig, MatchOutput, MmqjpEngine, ProcessingMode, ShardedEngine,
+    sort_matches, AuditViolation, EngineConfig, MatchOutput, MmqjpEngine, ProcessingMode,
+    ShardedEngine,
 };
 use mmqjp_xml::{rss, Document, Timestamp};
 
@@ -82,22 +83,58 @@ pub fn engine_with_queries(mode: ProcessingMode, queries: &[&str]) -> MmqjpEngin
     engine
 }
 
+/// Render an audit's violations one per line for assertion messages.
+fn render_violations(violations: &[AuditViolation]) -> String {
+    violations
+        .iter()
+        .map(|v| format!("  - {v}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Assert a single engine's invariant audit comes back clean.
+pub fn assert_audit_clean(engine: &MmqjpEngine) {
+    let violations = engine.audit();
+    assert!(
+        violations.is_empty(),
+        "engine invariant audit reported {} violation(s):\n{}",
+        violations.len(),
+        render_violations(&violations)
+    );
+}
+
+/// Assert a sharded engine's invariant audit comes back clean across every
+/// shard and the front stage.
+pub fn assert_audit_clean_sharded(engine: &ShardedEngine) {
+    let violations = engine.audit().expect("audit reaches every shard");
+    assert!(
+        violations.is_empty(),
+        "sharded invariant audit reported {} violation(s):\n{}",
+        violations.len(),
+        render_violations(&violations)
+    );
+}
+
 /// Run a stream of documents through an engine, collecting all matches.
+/// The engine's invariant audit must come back clean afterwards.
 pub fn run_stream(engine: &mut MmqjpEngine, docs: Vec<Document>) -> Vec<MatchOutput> {
     let mut out = Vec::new();
     for doc in docs {
         out.extend(engine.process_document(doc).expect("processing succeeds"));
     }
+    assert_audit_clean(engine);
     out
 }
 
 /// Run a stream of documents through a sharded engine, collecting all
 /// matches (each document's matches arrive already canonically ordered).
+/// The cross-shard invariant audit must come back clean afterwards.
 pub fn run_stream_sharded(engine: &mut ShardedEngine, docs: Vec<Document>) -> Vec<MatchOutput> {
     let mut out = Vec::new();
     for doc in docs {
         out.extend(engine.process_document(doc).expect("processing succeeds"));
     }
+    assert_audit_clean_sharded(engine);
     out
 }
 
@@ -145,6 +182,7 @@ pub fn run_stream_sorted(engine: &mut MmqjpEngine, docs: Vec<Document>) -> Vec<M
         sort_matches(&mut matches);
         out.extend(matches);
     }
+    assert_audit_clean(engine);
     out
 }
 

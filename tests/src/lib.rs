@@ -5,6 +5,8 @@
 //! (document fixtures from the paper's Figures 1 and 2, common engine
 //! configurations) can be shared between integration test binaries.
 
+#![forbid(unsafe_code)]
+
 pub mod fixtures;
 
 pub use fixtures::*;

@@ -61,6 +61,14 @@ impl AnyEngine {
             AnyEngine::Sharded(e) => e.process_document(doc).expect("document processes"),
         }
     }
+
+    /// Assert the engine's invariant audit comes back clean.
+    fn assert_audit_clean(&self) {
+        match self {
+            AnyEngine::Single(e) => mmqjp_integration_tests::assert_audit_clean(e),
+            AnyEngine::Sharded(e) => mmqjp_integration_tests::assert_audit_clean_sharded(e),
+        }
+    }
 }
 
 /// Run one script differentially on one engine constructor: the churned
@@ -128,6 +136,10 @@ fn run_differential(mut make: impl FnMut() -> AnyEngine, script: &[Op], label: &
             }
         }
     }
+    // After any interleaving of registers, unregisters and documents, every
+    // refcounted structure in both engines must still balance exactly.
+    churned.assert_audit_clean();
+    reference.assert_audit_clean();
 }
 
 /// Run a script differentially across every mode × {single, sharded 1/2/4}.

@@ -6,7 +6,7 @@
 //! and an error leaves the engine synchronized and usable.
 
 use mmqjp_core::{CoreError, EngineConfig, MatchOutput, ShardedEngine};
-use mmqjp_integration_tests::{sharded_engine_with_topology, Q1};
+use mmqjp_integration_tests::{assert_audit_clean_sharded, sharded_engine_with_topology, Q1};
 use mmqjp_workload::{RssQueryGenerator, RssStreamConfig, RssStreamGenerator};
 use mmqjp_xml::{Document, Timestamp};
 use rand::rngs::StdRng;
@@ -71,6 +71,7 @@ fn many_tiny_batches_keep_order_and_lose_nothing() {
         engine.stats().unwrap().results_emitted,
         expected.iter().map(Vec::len).sum::<usize>()
     );
+    assert_audit_clean_sharded(&engine);
 }
 
 /// One shard: the pipeline degenerates to a two-thread producer/consumer
@@ -85,6 +86,7 @@ fn one_shard_pipeline_is_equivalent() {
     let expected = batchwise_reference(&config, &queries, &batches);
     let mut engine = sharded_engine_with_topology(config, 1, 1, &queries);
     assert_eq!(engine.process_batches(batches).unwrap(), expected);
+    assert_audit_clean_sharded(&engine);
 }
 
 /// Zero queries: batches must still flow through the pipeline (the shards
@@ -105,6 +107,7 @@ fn zero_query_pipeline_flows_empty_batches() {
     let stats = engine.stats().unwrap();
     assert_eq!(stats.documents_processed, 30);
     assert_eq!(stats.witnesses_routed, 0);
+    assert_audit_clean_sharded(&engine);
 }
 
 /// Empty batches interleaved with real ones: each must land at the right
@@ -128,6 +131,7 @@ fn interleaved_empty_batches_stay_aligned() {
     let mut engine = sharded_engine_with_topology(config, 2, 2, &queries);
     let results = engine.process_batches(batches).unwrap();
     assert_eq!(results, expected);
+    assert_audit_clean_sharded(&engine);
 }
 
 /// Slow-shard scenario: a shard count far above the query count leaves most
@@ -158,6 +162,7 @@ fn skewed_shard_load_does_not_reorder_or_deadlock() {
             expected,
             "front pool {front_pool}"
         );
+        assert_audit_clean_sharded(&engine);
     }
 }
 
@@ -194,4 +199,6 @@ fn error_mid_stream_leaves_the_pipeline_synchronized() {
         .process_batch(vec![d2.with_timestamp(Timestamp(150))])
         .unwrap();
     assert_eq!(out.len(), 1);
+    // Even after a rejected batch, the invariant audit stays clean.
+    assert_audit_clean_sharded(&engine);
 }

@@ -463,8 +463,12 @@ proptest! {
         let mut global = vec![WitnessBatch::new()];
         for doc in &docs {
             let bindings = index.evaluate_edge_bindings(doc, &union_req);
-            router.route_document(doc, &bindings, &index, &interner, &mut routed);
-            everything.route_document(doc, &bindings, &index, &interner, &mut global);
+            router
+                .route_document(doc, &bindings, &index, &interner, &mut routed)
+                .unwrap();
+            everything
+                .route_document(doc, &bindings, &index, &interner, &mut global)
+                .unwrap();
         }
 
         // Every shard sees every document's retention-ledger row, witnesses
@@ -490,7 +494,7 @@ proptest! {
                     .iter()
                     .map(|(pid, b)| (index.pattern(*pid), b.clone()))
                     .collect();
-                derived.add_document(doc, &with_patterns, &interner);
+                derived.add_document(doc, &with_patterns, &interner).unwrap();
             }
             prop_assert_eq!(
                 witness_multiset(&routed[shard]),
@@ -760,6 +764,76 @@ proptest! {
         let ref_stats = reference.stats();
         prop_assert_eq!(stats.templates, ref_stats.templates);
         prop_assert_eq!(stats.distinct_patterns, ref_stats.distinct_patterns);
+        // After the whole interleaving, every refcounted structure balances.
+        prop_assert!(churned.audit().is_empty(), "churned engine audit failed");
+        prop_assert!(reference.audit().is_empty(), "reference engine audit failed");
+    }
+
+    /// The invariant auditor itself, fuzzed: replay a random
+    /// register/unregister/batch interleaving against a single engine and a
+    /// hybrid sharded engine, auditing after *every* operation — any
+    /// refcount drift, index corruption, or router desync shows up at the
+    /// first operation that introduces it.
+    #[test]
+    fn invariant_audit_stays_clean_under_random_churn(
+        raw_ops in prop::collection::vec(
+            (
+                0usize..6,
+                flat_query_strategy(),
+                0usize..64,
+                prop::collection::vec(flat_document_strategy(), 1..3),
+            ),
+            1..12,
+        ),
+        num_shards in 1usize..5,
+        front_pool in 0usize..3,
+    ) {
+        let ops = decode_churn_ops(raw_ops);
+        let config = EngineConfig::mmqjp().with_retain_documents(false);
+        let mut single = MmqjpEngine::new(config.clone());
+        let mut sharded = ShardedEngine::new(
+            config.with_num_shards(num_shards).with_front_pool(front_pool),
+        );
+        let mut live: Vec<mmqjp_xscl::QueryId> = Vec::new();
+        let mut ts = 0u64;
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                ChurnOp::Register(text) => {
+                    let a = single.register_query_text(text).unwrap();
+                    let b = sharded.register_query_text(text).unwrap();
+                    prop_assert_eq!(a, b);
+                    live.push(a);
+                }
+                ChurnOp::Unregister(pick) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let victim = live.remove(pick % live.len());
+                    single.unregister_query(victim).unwrap();
+                    sharded.unregister_query(victim).unwrap();
+                }
+                ChurnOp::Batch(docs) => {
+                    let mut batch = docs.clone();
+                    for d in batch.iter_mut() {
+                        ts += 10;
+                        d.set_timestamp(Timestamp(ts));
+                    }
+                    single.process_batch(batch.clone()).unwrap();
+                    sharded.process_batch(batch).unwrap();
+                }
+            }
+            let violations = single.audit();
+            prop_assert!(
+                violations.is_empty(),
+                "single-engine audit failed after op #{}: {:?}", step, violations
+            );
+            let violations = sharded.audit().unwrap();
+            prop_assert!(
+                violations.is_empty(),
+                "sharded audit failed after op #{} ({} shards, front {}): {:?}",
+                step, num_shards, front_pool, violations
+            );
+        }
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! nothing to generate — they exist purely so `#[derive(Serialize,
 //! Deserialize)]` attributes in the workspace compile unchanged.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Expands to nothing; the stub `Serialize` trait is blanket-implemented.

@@ -1,0 +1,422 @@
+//! Workspace lint pass, run as `cargo run -p xtask -- lint`.
+//!
+//! Four dependency-free static checks over the workspace sources:
+//!
+//! 1. **Panic-free hot paths** — non-test code in `crates/core/src` and
+//!    `crates/relational/src` must not call `.unwrap()`, `.expect(…)` or
+//!    `panic!(…)`. A site can be waived with a `// lint:allow <reason>`
+//!    comment on the same line or the line directly above; the reason is
+//!    mandatory so every waiver documents why the invariant cannot fail.
+//! 2. **`#![forbid(unsafe_code)]`** — every workspace member's crate root
+//!    must carry the attribute, vendored stubs included.
+//! 3. **`EngineStats` / `PhaseTimings` AddAssign parity** — every field
+//!    declared on the structs in `crates/core/src/stats.rs` must be folded
+//!    in the matching `AddAssign` impl (and vice versa), so sharded stats
+//!    aggregation can never silently drop a counter.
+//! 4. **Bench env-var consistency** — every `MMQJP_BENCH_*` variable set in
+//!    `.github/workflows/ci.yml` must be referenced somewhere under
+//!    `crates/bench`, so CI knobs cannot silently rot.
+//!
+//! Exit code 0 when clean, 1 with one line per violation otherwise.
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    match std::env::args().nth(1).as_deref() {
+        Some("lint") => run_lint(&root),
+        other => {
+            eprintln!(
+                "usage: cargo run -p xtask -- lint   (got {:?})",
+                other.unwrap_or("<none>")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root is the parent of the xtask crate directory.
+fn workspace_root() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    Path::new(&manifest)
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn run_lint(root: &Path) -> ExitCode {
+    let mut violations = Vec::new();
+    check_panic_free(root, &mut violations);
+    check_forbid_unsafe(root, &mut violations);
+    check_stats_parity(root, &mut violations);
+    check_bench_env_vars(root, &mut violations);
+
+    if violations.is_empty() {
+        println!("xtask lint: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("lint: {v}");
+        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Check 1: no unwrap/expect/panic in non-test core + relational code.
+// ---------------------------------------------------------------------------
+
+const PANIC_FREE_DIRS: &[&str] = &["crates/core/src", "crates/relational/src"];
+const BANNED: &[&str] = &[".unwrap()", ".expect(", "panic!("];
+
+fn check_panic_free(root: &Path, out: &mut Vec<String>) {
+    for dir in PANIC_FREE_DIRS {
+        for file in rust_files(&root.join(dir)) {
+            scan_file_for_panics(root, &file, out);
+        }
+    }
+}
+
+fn scan_file_for_panics(root: &Path, file: &Path, out: &mut Vec<String>) {
+    let Ok(text) = fs::read_to_string(file) else {
+        out.push(format!("{}: unreadable", rel(root, file)));
+        return;
+    };
+    let mut prev: &str = "";
+    for (idx, line) in text.lines().enumerate() {
+        // Everything from `#[cfg(test)] mod tests` onward is test code; the
+        // unit-test modules in this workspace are the trailing item of their
+        // files. An inline `#[cfg(test)]` attribute on a single method must
+        // NOT stop the scan, so only the module form ends it.
+        if prev.trim_start().starts_with("#[cfg(test)]")
+            && line.trim_start().starts_with("mod tests")
+        {
+            break;
+        }
+        let waived = line.contains("lint:allow") || prev.contains("lint:allow");
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with("//") && !waived {
+            for pat in BANNED {
+                if line.contains(pat) {
+                    out.push(format!(
+                        "{}:{}: `{}` in non-test code (add `// lint:allow <reason>` if the invariant is airtight)",
+                        rel(root, file),
+                        idx + 1,
+                        pat
+                    ));
+                }
+            }
+        }
+        prev = line;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Check 2: #![forbid(unsafe_code)] in every member crate root.
+// ---------------------------------------------------------------------------
+
+fn check_forbid_unsafe(root: &Path, out: &mut Vec<String>) {
+    for member in workspace_members(root, out) {
+        let crate_dir = root.join(&member);
+        let Some(crate_root) = crate_root_file(&crate_dir) else {
+            out.push(format!(
+                "{member}: cannot locate crate root (lib.rs/main.rs)"
+            ));
+            continue;
+        };
+        match fs::read_to_string(&crate_root) {
+            Ok(text) if text.contains("#![forbid(unsafe_code)]") => {}
+            Ok(_) => out.push(format!(
+                "{}: missing `#![forbid(unsafe_code)]`",
+                rel(root, &crate_root)
+            )),
+            Err(_) => out.push(format!("{}: unreadable", rel(root, &crate_root))),
+        }
+    }
+}
+
+/// Parse the `members = [...]` list out of the root Cargo.toml. Good enough
+/// for this workspace's hand-written manifest; not a general TOML parser.
+fn workspace_members(root: &Path, out: &mut Vec<String>) -> Vec<String> {
+    let manifest = root.join("Cargo.toml");
+    let Ok(text) = fs::read_to_string(&manifest) else {
+        out.push("Cargo.toml: unreadable".into());
+        return Vec::new();
+    };
+    let mut members = Vec::new();
+    let mut in_list = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with("members") && t.contains('[') {
+            in_list = true;
+        }
+        if in_list {
+            for piece in t.split('"').skip(1).step_by(2) {
+                members.push(piece.to_owned());
+            }
+            if t.contains(']') {
+                break;
+            }
+        }
+    }
+    if members.is_empty() {
+        out.push("Cargo.toml: found no workspace members".into());
+    }
+    members
+}
+
+/// Resolve a member's crate-root source file: an explicit `[lib] path`,
+/// else `src/lib.rs`, else `lib.rs` beside the manifest, else `src/main.rs`.
+fn crate_root_file(crate_dir: &Path) -> Option<PathBuf> {
+    if let Ok(manifest) = fs::read_to_string(crate_dir.join("Cargo.toml")) {
+        let mut in_lib = false;
+        for line in manifest.lines() {
+            let t = line.trim();
+            if t.starts_with('[') {
+                in_lib = t == "[lib]";
+            } else if in_lib && t.starts_with("path") {
+                if let Some(p) = t.split('"').nth(1) {
+                    return Some(crate_dir.join(p));
+                }
+            }
+        }
+    }
+    for candidate in ["src/lib.rs", "lib.rs", "src/main.rs"] {
+        let p = crate_dir.join(candidate);
+        if p.is_file() {
+            return Some(p);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Check 3: struct fields vs AddAssign body in crates/core/src/stats.rs.
+// ---------------------------------------------------------------------------
+
+fn check_stats_parity(root: &Path, out: &mut Vec<String>) {
+    let path = root.join("crates/core/src/stats.rs");
+    let Ok(text) = fs::read_to_string(&path) else {
+        out.push("crates/core/src/stats.rs: unreadable".into());
+        return;
+    };
+    for name in ["PhaseTimings", "EngineStats"] {
+        let declared = struct_fields(&text, name);
+        let folded = add_assign_fields(&text, name);
+        if declared.is_empty() {
+            out.push(format!("stats.rs: found no fields for struct {name}"));
+            continue;
+        }
+        if folded.is_empty() {
+            out.push(format!("stats.rs: found no AddAssign body for {name}"));
+            continue;
+        }
+        for f in &declared {
+            if !folded.contains(f) {
+                out.push(format!(
+                    "stats.rs: {name}::{f} is declared but never folded in AddAssign — sharded aggregation drops it"
+                ));
+            }
+        }
+        for f in &folded {
+            if !declared.contains(f) {
+                out.push(format!(
+                    "stats.rs: AddAssign for {name} touches unknown field `{f}`"
+                ));
+            }
+        }
+    }
+}
+
+/// Field names of `pub struct <name> { ... }` (public named fields only).
+fn struct_fields(text: &str, name: &str) -> Vec<String> {
+    let header = format!("pub struct {name} {{");
+    let mut fields = Vec::new();
+    let mut in_struct = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with(&header) {
+            in_struct = true;
+            continue;
+        }
+        if in_struct {
+            let t = line.trim();
+            if t == "}" {
+                break;
+            }
+            if let Some(rest) = t.strip_prefix("pub ") {
+                if let Some((field, _ty)) = rest.split_once(':') {
+                    fields.push(field.trim().to_owned());
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Fields assigned via `self.<field> +=` inside `impl AddAssign for <name>`.
+fn add_assign_fields(text: &str, name: &str) -> Vec<String> {
+    let header = format!("impl AddAssign for {name} {{");
+    let mut fields = Vec::new();
+    let mut in_impl = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with(&header) {
+            in_impl = true;
+            continue;
+        }
+        if in_impl {
+            if line.starts_with('}') {
+                break;
+            }
+            let t = line.trim();
+            if let Some(rest) = t.strip_prefix("self.") {
+                if let Some((field, _)) = rest.split_once(" +=") {
+                    fields.push(field.trim().to_owned());
+                }
+            }
+        }
+    }
+    fields
+}
+
+// ---------------------------------------------------------------------------
+// Check 4: MMQJP_BENCH_* env vars in ci.yml must exist in crates/bench.
+// ---------------------------------------------------------------------------
+
+fn check_bench_env_vars(root: &Path, out: &mut Vec<String>) {
+    let ci = root.join(".github/workflows/ci.yml");
+    let Ok(ci_text) = fs::read_to_string(&ci) else {
+        out.push(".github/workflows/ci.yml: unreadable".into());
+        return;
+    };
+    let mut bench_text = String::new();
+    for file in rust_files(&root.join("crates/bench")) {
+        if let Ok(t) = fs::read_to_string(&file) {
+            bench_text.push_str(&t);
+        }
+    }
+    if bench_text.is_empty() {
+        out.push("crates/bench: no sources found for env-var check".into());
+        return;
+    }
+    let vars = env_var_names(&ci_text);
+    if vars.is_empty() {
+        out.push("ci.yml: found no MMQJP_BENCH_* variables (check the workflow)".into());
+    }
+    for var in vars {
+        if !bench_text.contains(&var) {
+            out.push(format!(
+                "ci.yml sets {var} but nothing under crates/bench reads it"
+            ));
+        }
+    }
+}
+
+/// Every distinct `MMQJP_BENCH_<IDENT>` token in the text.
+fn env_var_names(text: &str) -> Vec<String> {
+    const PREFIX: &str = "MMQJP_BENCH_";
+    let mut names: Vec<String> = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(PREFIX) {
+        let tail = &rest[pos..];
+        let end = tail
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .unwrap_or(tail.len());
+        let name = tail[..end].to_owned();
+        if !names.contains(&name) {
+            names.push(name);
+        }
+        rest = &tail[end..];
+    }
+    names
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+// ---------------------------------------------------------------------------
+
+/// All `.rs` files under `dir`, recursively, in sorted order.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_var_names_are_extracted_and_deduped() {
+        let text =
+            "env:\n  MMQJP_BENCH_SCALE: smoke\n  MMQJP_BENCH_JSON: x\nMMQJP_BENCH_SCALE again";
+        assert_eq!(
+            env_var_names(text),
+            vec![
+                "MMQJP_BENCH_SCALE".to_owned(),
+                "MMQJP_BENCH_JSON".to_owned()
+            ]
+        );
+    }
+
+    #[test]
+    fn struct_and_add_assign_fields_parse() {
+        let src = "pub struct Foo {\n    /// doc\n    pub a: usize,\n    pub b: u64,\n}\nimpl AddAssign for Foo {\n    fn add_assign(&mut self, rhs: Self) {\n        self.a += rhs.a;\n        self.b += rhs.b;\n    }\n}\n";
+        assert_eq!(struct_fields(src, "Foo"), vec!["a", "b"]);
+        assert_eq!(add_assign_fields(src, "Foo"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn inline_cfg_test_attr_does_not_stop_the_scan() {
+        // A `#[cfg(test)]` attribute on a single item must not hide the
+        // unwrap that follows it; only `#[cfg(test)]` + `mod tests` ends
+        // the scan.
+        let src = "fn a() {\n    #[cfg(test)]\n    fn helper() {}\n    x.unwrap();\n}\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let dir = std::env::temp_dir().join("xtask-lint-test");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("scan_case.rs");
+        fs::write(&file, src).unwrap();
+        let mut out = Vec::new();
+        scan_file_for_panics(&dir, &file, &mut out);
+        assert_eq!(out.len(), 1, "violations: {out:?}");
+        assert!(out[0].contains("scan_case.rs:4"), "{out:?}");
+    }
+
+    #[test]
+    fn waivers_on_same_or_previous_line_are_honored() {
+        let src = "fn a() {\n    x.unwrap(); // lint:allow checked above\n    // lint:allow preceding-line waiver\n    y.expect(\"ok\");\n    z.unwrap();\n}\n";
+        let dir = std::env::temp_dir().join("xtask-lint-test");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("waiver_case.rs");
+        fs::write(&file, src).unwrap();
+        let mut out = Vec::new();
+        scan_file_for_panics(&dir, &file, &mut out);
+        assert_eq!(out.len(), 1, "violations: {out:?}");
+        assert!(out[0].contains("waiver_case.rs:5"), "{out:?}");
+    }
+}
