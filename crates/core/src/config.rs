@@ -120,6 +120,29 @@ pub struct EngineConfig {
     /// [`RegistrationError`](crate::CoreError)s, so it defaults to on;
     /// disable it only for registration-throughput experiments.
     pub verify_plans: bool,
+    /// Evaluate Stage 1 through the shared streaming automaton: one
+    /// traversal per document evaluates the bottom-up pass of **every**
+    /// registered pattern (join blocks and single-block subscriptions
+    /// alike), instead of one matcher walk per distinct pattern. Match
+    /// output is byte-identical to the per-pattern DOM path, which stays
+    /// available as the fallback (`false`). Defaults to on; the environment
+    /// variable `MMQJP_STREAMING_FRONT` (`0`/`false`/`off` to disable)
+    /// overrides the default so CI can sweep both paths without code
+    /// changes.
+    pub streaming_front: bool,
+}
+
+/// The process-wide default for
+/// [`streaming_front`](EngineConfig::streaming_front): on, unless the
+/// `MMQJP_STREAMING_FRONT` environment variable disables it.
+pub fn streaming_front_default() -> bool {
+    match std::env::var("MMQJP_STREAMING_FRONT") {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !(v == "0" || v == "false" || v == "off" || v == "no")
+        }
+        Err(_) => true,
+    }
 }
 
 impl Default for EngineConfig {
@@ -136,6 +159,7 @@ impl Default for EngineConfig {
             num_shards: 1,
             front_pool: 0,
             verify_plans: true,
+            streaming_front: streaming_front_default(),
         }
     }
 }
@@ -222,6 +246,12 @@ impl EngineConfig {
         self.verify_plans = verify;
         self
     }
+
+    /// Builder-style setter for the streaming Stage-1 front end.
+    pub fn with_streaming_front(mut self, streaming: bool) -> Self {
+        self.streaming_front = streaming;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +271,8 @@ mod tests {
         assert_eq!(c.num_shards, 1);
         assert_eq!(c.front_pool, 0);
         assert!(c.verify_plans);
+        // The default tracks the (possibly env-overridden) process default.
+        assert_eq!(c.streaming_front, streaming_front_default());
     }
 
     #[test]
@@ -264,7 +296,8 @@ mod tests {
             .with_purge_views_on_unregister(false)
             .with_num_shards(4)
             .with_front_pool(2)
-            .with_verify_plans(false);
+            .with_verify_plans(false)
+            .with_streaming_front(false);
         assert_eq!(c.view_cache_capacity, Some(128));
         assert!(!c.retain_documents);
         assert!(c.prune_state_by_window);
@@ -274,6 +307,7 @@ mod tests {
         assert_eq!(c.num_shards, 4);
         assert_eq!(c.front_pool, 2);
         assert!(!c.verify_plans);
+        assert!(!c.streaming_front);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use mmqjp_relational::{
     ChunkedRows, ExecScratch, FxHashMap, PlanInput, Relation, RowRef, StringInterner, Symbol,
 };
 use mmqjp_xml::{DocId, Document, NodeId};
-use mmqjp_xpath::{PatternMatcher, TreePattern};
+use mmqjp_xpath::{PatternMatcher, SharedPass, TreePattern};
 use mmqjp_xscl::{JoinOp, QueryId, SelectClause, Side, XsclQuery};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -233,6 +233,12 @@ impl MmqjpEngine {
         let mut batch = WitnessBatch::new();
         let mut prepared_docs = Vec::with_capacity(docs.len());
         let mut single_block_outputs = Vec::new();
+        // Cloned once per batch: the registry cannot hand out a borrow while
+        // the pattern index is evaluated mutably below.
+        let requested = self.registry.requested_edges().clone();
+        // Reused across the batch's documents so the shared automaton pass
+        // stays allocation-free after the first document.
+        let mut pass = SharedPass::default();
         for mut doc in docs {
             self.next_doc_seq += 1;
             doc.set_id(DocId(self.next_doc_seq));
@@ -248,21 +254,34 @@ impl MmqjpEngine {
             self.newest_timestamp = self.newest_timestamp.max(doc.timestamp().raw());
 
             // Single-block subscriptions are answered directly from Stage 1.
-            single_block_outputs.extend(self.match_single_block_queries(&doc));
-
-            let requested = self.registry.requested_edges().clone();
-            let results = self
-                .registry
-                .pattern_index_mut()
-                .evaluate_edge_bindings(&doc, &requested);
+            let results = if self.config.streaming_front {
+                // Streaming front end: one shared automaton pass over the
+                // document answers every registered pattern at once; both the
+                // single-block witnesses and the join edge bindings are then
+                // derived from the same satisfiability sets.
+                self.registry
+                    .pattern_index_mut()
+                    .shared_pass_reusing(&doc, &mut pass);
+                single_block_outputs.extend(self.match_single_blocks_from_pass(&doc, &pass));
+                self.registry
+                    .pattern_index()
+                    .edge_bindings_from_pass(&doc, &requested, &pass)
+            } else {
+                single_block_outputs.extend(self.match_single_block_queries(&doc));
+                self.registry
+                    .pattern_index_mut()
+                    .evaluate_edge_bindings(&doc, &requested)
+            };
             let with_patterns: Vec<(&TreePattern, Vec<mmqjp_xpath::EdgeBinding>)> = results
                 .into_iter()
                 .map(|(pid, bindings)| (self.registry.pattern_index().pattern(pid), bindings))
                 .collect();
+            let t_ingest = Instant::now();
             batch.add_document(&doc, &with_patterns, &self.interner)?;
+            timings.ingest += t_ingest.elapsed();
             prepared_docs.push(doc);
         }
-        timings.xpath += t0.elapsed();
+        timings.xpath += t0.elapsed().saturating_sub(timings.ingest);
 
         // ---- Stage 2: value-join processing --------------------------------
         // The compiled plans execute over *borrowed* state: the registry's
@@ -586,33 +605,71 @@ impl MmqjpEngine {
                 continue;
             };
             let matcher = PatternMatcher::new(pattern);
-            let witnesses = matcher.witnesses(doc);
-            for w in witnesses {
-                let bindings = w
-                    .bindings()
-                    .iter()
-                    .map(|(v, n)| Binding {
-                        variable: v.clone(),
-                        doc: doc.id(),
-                        node: *n,
-                    })
-                    .collect();
-                let document = if self.config.retain_documents && q.select == SelectClause::Star {
-                    Some(doc.clone())
-                } else {
-                    None
-                };
-                outputs.push(MatchOutput {
-                    query: q.id,
-                    publish: q.publish.clone(),
-                    left_doc: doc.id(),
-                    right_doc: doc.id(),
-                    bindings,
-                    document,
-                });
-            }
+            self.push_single_block_outputs(q, doc, matcher.witnesses(doc), &mut outputs);
         }
         outputs
+    }
+
+    /// Streaming-front variant of [`match_single_block_queries`]: the
+    /// satisfiability and usefulness passes were already run by the shared
+    /// automaton, so each subscription only replays witness enumeration over
+    /// its own (already pruned) useful sets.
+    ///
+    /// [`match_single_block_queries`]: MmqjpEngine::match_single_block_queries
+    fn match_single_blocks_from_pass(&self, doc: &Document, pass: &SharedPass) -> Vec<MatchOutput> {
+        let mut outputs = Vec::new();
+        for q in self.registry.queries() {
+            let (Some(pattern), Some(pid)) = (&q.single_pattern, q.single_pid) else {
+                continue;
+            };
+            let Some(useful) = pass.useful(pid) else {
+                continue;
+            };
+            if useful.first().map_or(true, Vec::is_empty) {
+                continue;
+            }
+            let matcher = PatternMatcher::new(pattern);
+            self.push_single_block_outputs(
+                q,
+                doc,
+                matcher.witnesses_from_useful(doc, useful),
+                &mut outputs,
+            );
+        }
+        outputs
+    }
+
+    fn push_single_block_outputs(
+        &self,
+        q: &QueryRuntime,
+        doc: &Document,
+        witnesses: Vec<mmqjp_xpath::Witness>,
+        outputs: &mut Vec<MatchOutput>,
+    ) {
+        for w in witnesses {
+            let bindings = w
+                .bindings()
+                .iter()
+                .map(|(v, n)| Binding {
+                    variable: v.clone(),
+                    doc: doc.id(),
+                    node: *n,
+                })
+                .collect();
+            let document = if self.config.retain_documents && q.select == SelectClause::Star {
+                Some(doc.clone())
+            } else {
+                None
+            };
+            outputs.push(MatchOutput {
+                query: q.id,
+                publish: q.publish.clone(),
+                left_doc: doc.id(),
+                right_doc: doc.id(),
+                bindings,
+                document,
+            });
+        }
     }
 
     // --------------------------------------------------------------------

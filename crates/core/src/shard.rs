@@ -80,7 +80,7 @@ use crate::stats::EngineStats;
 use mmqjp_relational::StringInterner;
 use mmqjp_xml::{DocId, Document, Timestamp};
 use mmqjp_xpath::{
-    EdgeBinding, PatternId, PatternIndex, PatternMatcher, PatternNodeId, TreePattern,
+    EdgeBinding, PatternId, PatternIndex, PatternMatcher, PatternNodeId, SharedPass, TreePattern,
 };
 use mmqjp_xscl::{QueryId, SelectClause, XsclQuery};
 use std::collections::{BTreeMap, HashMap};
@@ -505,10 +505,11 @@ impl ShardedEngine {
             let workers = (0..config.front_pool)
                 .map(|i| {
                     let retain_documents = config.retain_documents;
+                    let streaming = config.streaming_front;
                     let (sender, receiver) = channel();
                     let handle = thread::Builder::new()
                         .name(format!("mmqjp-front-{i}"))
-                        .spawn(move || front_worker(retain_documents, receiver))
+                        .spawn(move || front_worker(retain_documents, streaming, receiver))
                         // lint:allow one-time startup; a failed spawn leaves no engine to return
                         .expect("spawning a front worker thread succeeds");
                     FrontWorker {
@@ -1435,10 +1436,19 @@ fn shard_worker(mut engine: MmqjpEngine, requests: Receiver<Request>) {
 /// `Sync` requests on subscription churn.
 // The spawned front worker must own its receiver (`'static` loop).
 #[allow(clippy::needless_pass_by_value)]
-fn front_worker(retain_documents: bool, requests: Receiver<FrontRequest>) {
+fn front_worker(retain_documents: bool, streaming: bool, requests: Receiver<FrontRequest>) {
     let mut index = PatternIndex::default();
     let mut requested: HashMap<PatternId, Vec<Edge>> = HashMap::new();
     let mut singles: Vec<FrontSingle> = Vec::new();
+    // With the streaming front, single-block patterns are registered into the
+    // worker's snapshot index too, so one automaton pass answers join
+    // patterns and subscriptions alike. `single_pids[i]` is the index id of
+    // `singles[i]` (patterns structurally equal to a join pattern dedupe onto
+    // the same id, which is exactly what the shared pass wants).
+    let mut single_pids: Vec<PatternId> = Vec::new();
+    // Worker-lifetime pass buffer: the shared automaton pass allocates
+    // nothing per document once warm.
+    let mut pass = SharedPass::default();
     while let Ok(request) = requests.recv() {
         match request {
             FrontRequest::Sync {
@@ -1450,6 +1460,10 @@ fn front_worker(retain_documents: bool, requests: Receiver<FrontRequest>) {
                 index = *new_index;
                 requested = new_requested;
                 singles = new_singles;
+                single_pids.clear();
+                if streaming {
+                    single_pids.extend(singles.iter().map(|s| index.register(s.pattern.clone())));
+                }
                 let _ = reply.send(());
             }
             FrontRequest::Parse { docs, reply } => {
@@ -1457,8 +1471,24 @@ fn front_worker(retain_documents: bool, requests: Receiver<FrontRequest>) {
                 let parsed = docs
                     .into_iter()
                     .map(|doc| {
-                        let bindings = index.evaluate_edge_bindings(&doc, &requested);
-                        let single_matches = match_front_singles(&singles, &doc, retain_documents);
+                        let (bindings, single_matches) = if streaming {
+                            index.shared_pass_reusing(&doc, &mut pass);
+                            (
+                                front_bindings_from_pass(&index, &requested, &doc, &pass),
+                                match_front_singles_from_pass(
+                                    &singles,
+                                    &single_pids,
+                                    &doc,
+                                    &pass,
+                                    retain_documents,
+                                ),
+                            )
+                        } else {
+                            (
+                                index.evaluate_edge_bindings(&doc, &requested),
+                                match_front_singles(&singles, &doc, retain_documents),
+                            )
+                        };
                         ParsedDoc {
                             doc,
                             bindings,
@@ -1475,6 +1505,63 @@ fn front_worker(retain_documents: bool, requests: Receiver<FrontRequest>) {
     }
 }
 
+/// Derive the routed edge bindings from a shared automaton pass. Mirrors
+/// `PatternIndex::evaluate_edge_bindings` over the front's requested-edge
+/// union: every join-side pattern has an entry in `requested`, so patterns
+/// without one (single-block subscriptions registered only for the shared
+/// pass) are skipped rather than falling back to their full edge set.
+fn front_bindings_from_pass(
+    index: &PatternIndex,
+    requested: &HashMap<PatternId, Vec<Edge>>,
+    doc: &Document,
+    pass: &SharedPass,
+) -> Vec<(PatternId, Vec<EdgeBinding>)> {
+    let mut out = Vec::new();
+    for (pid, pattern) in index.patterns() {
+        let Some(edges) = requested.get(&pid) else {
+            continue;
+        };
+        let Some(useful) = pass.useful(pid) else {
+            continue;
+        };
+        if useful.first().map_or(true, Vec::is_empty) {
+            continue;
+        }
+        let matcher = PatternMatcher::new(pattern);
+        let bindings = matcher.edge_bindings_from_useful(doc, useful, edges);
+        if !bindings.is_empty() {
+            out.push((pid, bindings));
+        }
+    }
+    out
+}
+
+/// Streaming-front variant of [`match_front_singles`]: the shared pass
+/// already ran satisfiability *and* usefulness pruning, so each subscription
+/// only replays witness enumeration over its own useful sets.
+fn match_front_singles_from_pass(
+    singles: &[FrontSingle],
+    single_pids: &[PatternId],
+    doc: &Document,
+    pass: &SharedPass,
+    retain_documents: bool,
+) -> Vec<MatchOutput> {
+    let mut outputs = Vec::new();
+    for (s, &pid) in singles.iter().zip(single_pids) {
+        let Some(useful) = pass.useful(pid) else {
+            continue;
+        };
+        if useful.first().map_or(true, Vec::is_empty) {
+            continue;
+        }
+        let matcher = PatternMatcher::new(&s.pattern);
+        for w in matcher.witnesses_from_useful(doc, useful) {
+            push_front_single_output(s, doc, &w, retain_documents, &mut outputs);
+        }
+    }
+    outputs
+}
+
 /// Answer single-block subscriptions at the front stage. Mirrors
 /// `MmqjpEngine::match_single_block_queries` — same witness enumeration,
 /// same output shape — but speaks engine-global query ids directly.
@@ -1487,31 +1574,42 @@ fn match_front_singles(
     for s in singles {
         let matcher = PatternMatcher::new(&s.pattern);
         for w in matcher.witnesses(doc) {
-            let bindings = w
-                .bindings()
-                .iter()
-                .map(|(v, n)| Binding {
-                    variable: v.clone(),
-                    doc: doc.id(),
-                    node: *n,
-                })
-                .collect();
-            let document = if retain_documents && s.select == SelectClause::Star {
-                Some(doc.clone())
-            } else {
-                None
-            };
-            outputs.push(MatchOutput {
-                query: s.global,
-                publish: s.publish.clone(),
-                left_doc: doc.id(),
-                right_doc: doc.id(),
-                bindings,
-                document,
-            });
+            push_front_single_output(s, doc, &w, retain_documents, &mut outputs);
         }
     }
     outputs
+}
+
+/// Turn one single-block witness into its front-stage [`MatchOutput`].
+fn push_front_single_output(
+    s: &FrontSingle,
+    doc: &Document,
+    w: &mmqjp_xpath::Witness,
+    retain_documents: bool,
+    outputs: &mut Vec<MatchOutput>,
+) {
+    let bindings = w
+        .bindings()
+        .iter()
+        .map(|(v, n)| Binding {
+            variable: v.clone(),
+            doc: doc.id(),
+            node: *n,
+        })
+        .collect();
+    let document = if retain_documents && s.select == SelectClause::Star {
+        Some(doc.clone())
+    } else {
+        None
+    };
+    outputs.push(MatchOutput {
+        query: s.global,
+        publish: s.publish.clone(),
+        left_doc: doc.id(),
+        right_doc: doc.id(),
+        bindings,
+        document,
+    });
 }
 
 // Compile-time audit that everything crossing (or living on) a shard or

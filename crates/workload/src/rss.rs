@@ -176,10 +176,15 @@ impl RssQueryGenerator {
     /// Generate one query.
     pub fn generate_query<R: Rng + ?Sized>(&self, rng: &mut R) -> XsclQuery {
         let k = self.zipf.sample(rng);
-        let left_fields = pick_fields(k, rng);
-        let right_fields = pick_fields(k, rng);
-        let (left, left_vars) = block_pattern(&left_fields, "l");
-        let (right, right_vars) = block_pattern(&right_fields, "r");
+        // Both blocks use the same field subset, so every value-join
+        // predicate equates a field with *itself* across two items
+        // (title = title', channel = channel', …) — the Section 6.1 scheme.
+        // Pairing independently drawn subsets instead produces predicates
+        // like `title = channel_url` over disjoint vocabularies, which can
+        // never be satisfied by any document pair.
+        let fields = pick_fields(k, rng);
+        let (left, left_vars) = block_pattern(&fields, "l");
+        let (right, right_vars) = block_pattern(&fields, "r");
         let predicates = left_vars
             .into_iter()
             .zip(right_vars)
@@ -330,6 +335,34 @@ mod tests {
         }
         assert!(matches > 0, "repeated titles/channels must produce matches");
         assert_eq!(engine.stats().documents_processed, 300);
+    }
+
+    #[test]
+    fn value_joins_equate_identical_fields() {
+        // Regression: independently drawn field subsets used to be zipped
+        // into predicates like `title = channel_url`, which no document pair
+        // can satisfy (the fig17 zero-match bug). Every predicate must
+        // equate a field with itself across the two blocks.
+        let gen = RssQueryGenerator::new(0.8);
+        let mut rng = StdRng::seed_from_u64(7);
+        for q in gen.generate_queries(100, &mut rng) {
+            let (left, right) = q.blocks().expect("generated queries are joins");
+            for p in q.predicates() {
+                let l = left
+                    .pattern
+                    .variable_node(&p.left_var)
+                    .expect("left variable is bound in the left block");
+                let r = right
+                    .pattern
+                    .variable_node(&p.right_var)
+                    .expect("right variable is bound in the right block");
+                assert_eq!(
+                    left.pattern.node(l).test(),
+                    right.pattern.node(r).test(),
+                    "value join must pair the same item field"
+                );
+            }
+        }
     }
 
     #[test]

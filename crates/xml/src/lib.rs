@@ -15,6 +15,10 @@
 //! * [`parse_document`] — a small, dependency-free parser for the XML subset
 //!   needed by publish/subscribe messages (elements, attributes, text,
 //!   comments, CDATA; no DTDs or namespaces resolution).
+//! * [`PullParser`] — a byte-level streaming parser over the same subset,
+//!   emitting [`XmlEvent`]s without building a tree; the DOM parser is its
+//!   executable specification ([`parse_document_streaming`] folds the events
+//!   back into a [`Document`] and is checked differentially against it).
 //! * [`serialize`] — the inverse of the parser.
 //! * [`rss`] — helpers for building RSS/Atom feed-item shaped documents, the
 //!   workload used in the paper's Section 6.3 experiment.
@@ -45,6 +49,7 @@ mod node;
 mod parser;
 pub mod rss;
 mod serialize;
+mod stream;
 
 pub use builder::DocumentBuilder;
 pub use document::{DocId, Document, Timestamp};
@@ -52,3 +57,4 @@ pub use error::{XmlError, XmlResult};
 pub use node::{Node, NodeId, NodeKind};
 pub use parser::{parse_document, parse_fragment};
 pub use serialize::{serialize, serialize_pretty, serialize_subtree};
+pub use stream::{parse_document_streaming, PullParser, XmlEvent};

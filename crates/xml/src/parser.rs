@@ -32,14 +32,15 @@ pub fn parse_fragment(input: &str) -> XmlResult<Document> {
     parse_document(input.trim())
 }
 
-struct Parser<'a> {
-    input: &'a str,
+#[derive(Debug)]
+pub(crate) struct Parser<'a> {
+    pub(crate) input: &'a str,
     bytes: &'a [u8],
-    pos: usize,
+    pub(crate) pos: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn new(input: &'a str) -> Self {
+    pub(crate) fn new(input: &'a str) -> Self {
         Parser {
             input,
             bytes: input.as_bytes(),
@@ -47,15 +48,15 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn at_eof(&self) -> bool {
+    pub(crate) fn at_eof(&self) -> bool {
         self.pos >= self.bytes.len()
     }
 
-    fn peek(&self) -> Option<u8> {
+    pub(crate) fn peek(&self) -> Option<u8> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn starts_with(&self, s: &str) -> bool {
+    pub(crate) fn starts_with(&self, s: &str) -> bool {
         self.input[self.pos..].starts_with(s)
     }
 
@@ -65,7 +66,7 @@ impl<'a> Parser<'a> {
         Some(b)
     }
 
-    fn skip_whitespace(&mut self) {
+    pub(crate) fn skip_whitespace(&mut self) {
         while let Some(b) = self.peek() {
             if b == b' ' || b == b'\t' || b == b'\r' || b == b'\n' {
                 self.pos += 1;
@@ -75,7 +76,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, s: &str) -> XmlResult<()> {
+    pub(crate) fn expect(&mut self, s: &str) -> XmlResult<()> {
         if self.starts_with(s) {
             self.pos += s.len();
             Ok(())
@@ -90,7 +91,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn skip_prolog(&mut self) -> XmlResult<()> {
+    pub(crate) fn skip_prolog(&mut self) -> XmlResult<()> {
         self.skip_whitespace();
         if self.starts_with("<?xml") {
             match self.input[self.pos..].find("?>") {
@@ -106,7 +107,7 @@ impl<'a> Parser<'a> {
     }
 
     /// Skip whitespace, comments, PIs and DOCTYPE at the top level.
-    fn skip_misc(&mut self) {
+    pub(crate) fn skip_misc(&mut self) {
         loop {
             self.skip_whitespace();
             if self.starts_with("<!--") {
@@ -130,7 +131,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn skip_comment(&mut self) -> XmlResult<()> {
+    pub(crate) fn skip_comment(&mut self) -> XmlResult<()> {
         debug_assert!(self.starts_with("<!--"));
         match self.input[self.pos + 4..].find("-->") {
             Some(rel) => {
@@ -169,7 +170,7 @@ impl<'a> Parser<'a> {
         Ok(doc)
     }
 
-    fn parse_name(&mut self) -> XmlResult<String> {
+    pub(crate) fn parse_name(&mut self) -> XmlResult<String> {
         let start = self.pos;
         while let Some(b) = self.peek() {
             let c = b as char;
@@ -193,10 +194,22 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_attributes_into(&mut self, doc: &mut Document, node: NodeId) -> XmlResult<()> {
+        let attrs = self.parse_attribute_list()?;
+        for (name, value) in attrs {
+            doc.set_attribute(node, name, value);
+        }
+        Ok(())
+    }
+
+    /// Parse the attribute list of a start tag up to (but not including) the
+    /// closing `>` or `/>`, in document order. Shared by the DOM parser and
+    /// the streaming [`PullParser`](crate::stream::PullParser).
+    pub(crate) fn parse_attribute_list(&mut self) -> XmlResult<Vec<(String, String)>> {
+        let mut out = Vec::new();
         loop {
             self.skip_whitespace();
             match self.peek() {
-                Some(b'>') | Some(b'/') | None => return Ok(()),
+                Some(b'>') | Some(b'/') | None => return Ok(out),
                 _ => {}
             }
             let name = self.parse_name()?;
@@ -233,7 +246,7 @@ impl<'a> Parser<'a> {
             let raw = &self.input[start..self.pos];
             self.pos += 1; // closing quote
             let value = decode_entities(raw, start)?;
-            doc.set_attribute(node, name, value);
+            out.push((name, value));
         }
     }
 
@@ -322,7 +335,7 @@ impl<'a> Parser<'a> {
 
 /// Decode the predefined XML entities and numeric character references in a
 /// text or attribute-value run.
-fn decode_entities(raw: &str, base_offset: usize) -> XmlResult<String> {
+pub(crate) fn decode_entities(raw: &str, base_offset: usize) -> XmlResult<String> {
     if !raw.contains('&') {
         return Ok(raw.to_owned());
     }

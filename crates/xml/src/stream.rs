@@ -1,0 +1,417 @@
+//! Streaming (pull) XML parsing.
+//!
+//! [`PullParser`] scans the input bytes once and emits
+//! [`StartElement`](XmlEvent::StartElement) / [`Text`](XmlEvent::Text) /
+//! [`EndElement`](XmlEvent::EndElement) events without building a tree. It
+//! accepts exactly the XML subset of [`parse_document`](crate::parse_document)
+//! — same prolog/comment/PI/DOCTYPE skipping, same entity and CDATA handling,
+//! same errors — so the DOM parser stays the executable specification and the
+//! two are checked against each other differentially.
+//!
+//! Consumers that do need a tree can use [`parse_document_streaming`], which
+//! folds the event stream back into a [`Document`]; it is the equivalence
+//! bridge used by tests and by `retain_documents` code paths.
+
+use crate::document::Document;
+use crate::error::{XmlError, XmlResult};
+use crate::node::NodeId;
+use crate::parser::Parser;
+
+/// One event of a streaming parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// An element opened. Attribute values are entity-decoded, in document
+    /// order. A self-closing element emits `StartElement` immediately
+    /// followed by `EndElement`.
+    StartElement {
+        /// The element tag (namespace prefixes kept verbatim).
+        tag: String,
+        /// The attributes, in document order.
+        attributes: Vec<(String, String)>,
+    },
+    /// A text run (entity-decoded) or CDATA section (raw). Whitespace-only
+    /// text runs between elements are suppressed, exactly as the DOM parser
+    /// suppresses them; CDATA content is forwarded verbatim.
+    Text(String),
+    /// An element closed.
+    EndElement {
+        /// The tag of the element being closed.
+        tag: String,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Prolog not yet consumed.
+    Init,
+    /// Inside the document (or just after the root closed, with an empty
+    /// open-element stack: the next call checks the epilogue).
+    Content,
+    /// Epilogue verified; the stream is exhausted.
+    Done,
+}
+
+/// A byte-level pull parser over a complete XML document.
+///
+/// Call [`next_event`](PullParser::next_event) until it returns `Ok(None)`.
+/// Errors are fatal: the parser stays in its error position and repeated
+/// calls keep failing.
+#[derive(Debug)]
+pub struct PullParser<'a> {
+    parser: Parser<'a>,
+    state: State,
+    /// Stack of currently open element tags.
+    open: Vec<String>,
+    /// End event owed for a self-closing element.
+    pending_end: Option<String>,
+}
+
+impl<'a> PullParser<'a> {
+    /// Create a pull parser over `input`.
+    pub fn new(input: &'a str) -> Self {
+        PullParser {
+            parser: Parser::new(input),
+            state: State::Init,
+            open: Vec::new(),
+            pending_end: None,
+        }
+    }
+
+    /// Current element nesting depth (0 outside the root element).
+    pub fn depth(&self) -> usize {
+        self.open.len() + usize::from(self.pending_end.is_some())
+    }
+
+    /// The next event, `Ok(None)` at a well-formed end of input.
+    pub fn next_event(&mut self) -> XmlResult<Option<XmlEvent>> {
+        if let Some(tag) = self.pending_end.take() {
+            return Ok(Some(XmlEvent::EndElement { tag }));
+        }
+        match self.state {
+            State::Init => self.root_start().map(Some),
+            State::Content if self.open.is_empty() => {
+                // The root element has closed: only misc content may follow.
+                self.parser.skip_misc();
+                if !self.parser.at_eof() {
+                    return Err(XmlError::MultipleRoots {
+                        offset: self.parser.pos,
+                    });
+                }
+                self.state = State::Done;
+                Ok(None)
+            }
+            State::Content => self.content_event().map(Some),
+            State::Done => Ok(None),
+        }
+    }
+
+    /// Consume the prolog and the root start tag (mirrors the DOM parser's
+    /// `skip_prolog` / `skip_misc` / `parse_root` preamble).
+    fn root_start(&mut self) -> XmlResult<XmlEvent> {
+        self.parser.skip_prolog()?;
+        self.parser.skip_misc();
+        self.parser.skip_whitespace();
+        if self.parser.at_eof() {
+            return Err(XmlError::EmptyDocument);
+        }
+        if self.parser.peek() != Some(b'<') {
+            return Err(XmlError::UnexpectedChar {
+                offset: self.parser.pos,
+                found: self.parser.input[self.parser.pos..]
+                    .chars()
+                    .next()
+                    .unwrap_or('\0'),
+                expected: "start of root element",
+            });
+        }
+        // lint:allow Parser::expect is fallible (`XmlResult`), not Option::expect
+        self.parser.expect("<")?;
+        self.state = State::Content;
+        self.start_tag_body()
+    }
+
+    /// Parse a start tag after its `<`, pushing the element (or recording a
+    /// pending end for a self-closing one).
+    fn start_tag_body(&mut self) -> XmlResult<XmlEvent> {
+        let tag = self.parser.parse_name()?;
+        let attributes = self.parser.parse_attribute_list()?;
+        self.parser.skip_whitespace();
+        if self.parser.starts_with("/>") {
+            self.parser.pos += 2;
+            self.pending_end = Some(tag.clone());
+        } else {
+            // lint:allow Parser::expect is fallible (`XmlResult`), not Option::expect
+            self.parser.expect(">")?;
+            self.open.push(tag.clone());
+        }
+        Ok(XmlEvent::StartElement { tag, attributes })
+    }
+
+    /// Produce the next event inside element content (mirrors the DOM
+    /// parser's `parse_content` loop, yielding instead of building).
+    fn content_event(&mut self) -> XmlResult<XmlEvent> {
+        loop {
+            if self.parser.at_eof() {
+                return Err(XmlError::UnexpectedEof {
+                    context: "element content",
+                });
+            }
+            if self.parser.starts_with("</") {
+                self.parser.pos += 2;
+                let close = self.parser.parse_name()?;
+                self.parser.skip_whitespace();
+                // lint:allow Parser::expect is fallible (`XmlResult`), not Option::expect
+                self.parser.expect(">")?;
+                let matched = self.open.last().is_some_and(|open| *open == close);
+                if !matched {
+                    return Err(XmlError::MismatchedTag {
+                        open: self.open.last().cloned().unwrap_or_default(),
+                        close,
+                        offset: self.parser.pos,
+                    });
+                }
+                self.open.pop();
+                return Ok(XmlEvent::EndElement { tag: close });
+            } else if self.parser.starts_with("<!--") {
+                self.parser.skip_comment()?;
+            } else if self.parser.starts_with("<![CDATA[") {
+                let start = self.parser.pos + 9;
+                match self.parser.input[start..].find("]]>") {
+                    Some(rel) => {
+                        let text = &self.parser.input[start..start + rel];
+                        self.parser.pos = start + rel + 3;
+                        if !text.is_empty() {
+                            return Ok(XmlEvent::Text(text.to_owned()));
+                        }
+                    }
+                    None => {
+                        return Err(XmlError::UnexpectedEof {
+                            context: "CDATA section",
+                        })
+                    }
+                }
+            } else if self.parser.starts_with("<?") {
+                match self.parser.input[self.parser.pos..].find("?>") {
+                    Some(rel) => self.parser.pos += rel + 2,
+                    None => {
+                        return Err(XmlError::UnexpectedEof {
+                            context: "processing instruction",
+                        })
+                    }
+                }
+            } else if self.parser.peek() == Some(b'<') {
+                self.parser.pos += 1;
+                return self.start_tag_body();
+            } else {
+                let start = self.parser.pos;
+                while let Some(b) = self.parser.peek() {
+                    if b == b'<' {
+                        break;
+                    }
+                    self.parser.pos += 1;
+                }
+                let raw = &self.parser.input[start..self.parser.pos];
+                let text = crate::parser::decode_entities(raw, start)?;
+                // Whitespace-only runs between elements are formatting, not
+                // data — same rule as the DOM parser.
+                if !text.trim().is_empty() {
+                    return Ok(XmlEvent::Text(text));
+                }
+            }
+        }
+    }
+}
+
+/// Parse a complete XML document through the streaming event path, folding
+/// the events back into a [`Document`]. Accepts exactly the inputs of
+/// [`parse_document`](crate::parse_document) and produces an identical tree.
+pub fn parse_document_streaming(input: &str) -> XmlResult<Document> {
+    let mut p = PullParser::new(input);
+    let mut doc: Option<Document> = None;
+    let mut stack: Vec<NodeId> = Vec::new();
+    while let Some(ev) = p.next_event()? {
+        match ev {
+            XmlEvent::StartElement { tag, attributes } => match doc.as_mut() {
+                None => {
+                    let mut d = Document::new(tag);
+                    for (name, value) in attributes {
+                        d.set_attribute(NodeId::ROOT, name, value);
+                    }
+                    stack.push(NodeId::ROOT);
+                    doc = Some(d);
+                }
+                Some(d) => {
+                    let Some(&parent) = stack.last() else {
+                        // Unreachable: the pull parser rejects content after
+                        // the root closes before emitting another start.
+                        return Err(XmlError::MultipleRoots { offset: 0 });
+                    };
+                    let child = d.append_child(parent, tag)?;
+                    for (name, value) in attributes {
+                        d.set_attribute(child, name, value);
+                    }
+                    stack.push(child);
+                }
+            },
+            XmlEvent::Text(text) => {
+                if let (Some(d), Some(&node)) = (doc.as_mut(), stack.last()) {
+                    d.push_text(node, &text);
+                }
+            }
+            XmlEvent::EndElement { .. } => {
+                stack.pop();
+            }
+        }
+    }
+    doc.ok_or(XmlError::EmptyDocument)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn events(input: &str) -> Vec<XmlEvent> {
+        let mut p = PullParser::new(input);
+        let mut out = Vec::new();
+        while let Some(ev) = p.next_event().unwrap() {
+            out.push(ev);
+        }
+        out
+    }
+
+    fn start(tag: &str) -> XmlEvent {
+        XmlEvent::StartElement {
+            tag: tag.into(),
+            attributes: Vec::new(),
+        }
+    }
+
+    fn end(tag: &str) -> XmlEvent {
+        XmlEvent::EndElement { tag: tag.into() }
+    }
+
+    #[test]
+    fn simple_event_stream() {
+        let evs = events("<a><b>x</b></a>");
+        assert_eq!(
+            evs,
+            vec![
+                start("a"),
+                start("b"),
+                XmlEvent::Text("x".into()),
+                end("b"),
+                end("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_emits_start_and_end() {
+        let evs = events("<a><b/></a>");
+        assert_eq!(evs, vec![start("a"), start("b"), end("b"), end("a")]);
+    }
+
+    #[test]
+    fn self_closing_root() {
+        let evs = events("<only/>");
+        assert_eq!(evs, vec![start("only"), end("only")]);
+    }
+
+    #[test]
+    fn attributes_are_decoded_in_order() {
+        let evs = events(r#"<a x="1&amp;2" y='b'/>"#);
+        assert_eq!(
+            evs[0],
+            XmlEvent::StartElement {
+                tag: "a".into(),
+                attributes: vec![("x".into(), "1&2".into()), ("y".into(), "b".into())],
+            }
+        );
+    }
+
+    #[test]
+    fn cdata_is_raw_and_whitespace_text_suppressed() {
+        let evs = events("<a>\n  <![CDATA[ <raw>&amp; ]]>\n</a>");
+        assert_eq!(
+            evs,
+            vec![start("a"), XmlEvent::Text(" <raw>&amp; ".into()), end("a")]
+        );
+    }
+
+    #[test]
+    fn comments_pis_and_prolog_are_skipped() {
+        let evs = events("<?xml version=\"1.0\"?><!-- c --><a><?pi data?><!-- d -->t</a>");
+        assert_eq!(evs, vec![start("a"), XmlEvent::Text("t".into()), end("a")]);
+    }
+
+    #[test]
+    fn depth_tracks_nesting() {
+        let mut p = PullParser::new("<a><b/></a>");
+        assert_eq!(p.depth(), 0);
+        p.next_event().unwrap(); // <a>
+        assert_eq!(p.depth(), 1);
+        p.next_event().unwrap(); // <b/> start (end pending)
+        assert_eq!(p.depth(), 2);
+        p.next_event().unwrap(); // </b>
+        assert_eq!(p.depth(), 1);
+        p.next_event().unwrap(); // </a>
+        assert_eq!(p.depth(), 0);
+    }
+
+    #[test]
+    fn errors_match_dom_parser_kinds() {
+        for src in [
+            "<a><b></a></b>",
+            "<a><b>",
+            "<a/><b/>",
+            "   ",
+            "<a>&bogus;</a>",
+            "hello <a/>",
+            "<a><!-- unterminated</a>",
+            "<a><![CDATA[ unterminated</a>",
+        ] {
+            let dom = parse_document(src).unwrap_err();
+            let mut p = PullParser::new(src);
+            let stream = loop {
+                match p.next_event() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => panic!("stream accepted input the DOM parser rejects: {src}"),
+                    Err(e) => break e,
+                }
+            };
+            assert_eq!(
+                std::mem::discriminant(&dom),
+                std::mem::discriminant(&stream),
+                "error kind diverged on {src:?}: dom={dom:?} stream={stream:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_document_equals_dom_document() {
+        for src in [
+            "<book><title>Rust</title><author>Someone</author></book>",
+            r#"<?xml version="1.0"?><item><title>Hello &amp; goodbye</title><link href="http://e/a?b=1&amp;c=2"/></item>"#,
+            "<a><b><c>x</c></b><d>y</d></a>",
+            "<empty/>",
+            r#"<n a="1" b='two' c="with 'mixed'"/>"#,
+            "<x><![CDATA[<not><parsed>&amp;]]></x>",
+            "<x>&#65;&#x42;</x>",
+            "<!DOCTYPE html><x>ok</x>",
+            "<p>one <b>bold</b> two</p>",
+            "<a>\n  <b>x</b>\n</a>",
+        ] {
+            let dom = parse_document(src).unwrap();
+            let streamed = parse_document_streaming(src).unwrap();
+            assert_eq!(dom, streamed, "trees diverged on {src:?}");
+        }
+    }
+
+    #[test]
+    fn exhausted_parser_keeps_returning_none() {
+        let mut p = PullParser::new("<a/>");
+        while p.next_event().unwrap().is_some() {}
+        assert!(p.next_event().unwrap().is_none());
+    }
+}

@@ -20,10 +20,11 @@
 //! * exposes per-document statistics so experiments can report Stage-1 cost
 //!   and sharing factors.
 
+use crate::automaton::{AutomatonScratch, PatternAutomaton, SharedPass};
 use crate::matcher::PatternMatcher;
 use crate::pattern::{NodeTest, PatternNodeId, TreePattern};
 use crate::witness::{EdgeBinding, Witness};
-use mmqjp_xml::Document;
+use mmqjp_xml::{Document, XmlResult};
 use std::collections::{HashMap, HashSet};
 
 /// Identifier of a registered (distinct) pattern within a [`PatternIndex`].
@@ -78,6 +79,12 @@ pub struct PatternIndex {
     registered_blocks: usize,
     evaluated_last: usize,
     skipped_last: usize,
+    /// The compiled shared automaton over all live patterns, built lazily
+    /// and invalidated on registration churn.
+    automaton: Option<PatternAutomaton>,
+    /// Reusable pass buffers — successive [`shared_pass`](PatternIndex::shared_pass)
+    /// calls allocate nothing beyond result growth.
+    scratch: AutomatonScratch,
 }
 
 impl PatternIndex {
@@ -107,6 +114,7 @@ impl PatternIndex {
         self.refcounts.push(1);
         self.live += 1;
         self.by_signature.insert(sig, id);
+        self.automaton = None;
         id
     }
 
@@ -128,6 +136,7 @@ impl PatternIndex {
         self.by_signature.remove(&pattern.signature());
         self.root_tags[idx] = None;
         self.live -= 1;
+        self.automaton = None;
         true
     }
 
@@ -234,6 +243,109 @@ impl PatternIndex {
             }
         }
         out
+    }
+
+    /// Ensure the shared automaton over all live patterns is compiled
+    /// (lazily rebuilt after registration churn) and return it.
+    pub fn automaton(&mut self) -> &PatternAutomaton {
+        if self.automaton.is_none() {
+            self.automaton = Some(PatternAutomaton::new(self.patterns()));
+        }
+        // The line above guarantees presence; avoid unwrap for the lint.
+        self.automaton.get_or_insert_with(PatternAutomaton::default)
+    }
+
+    /// Run the shared automaton over a document: one traversal evaluates the
+    /// bottom-up satisfiability pass *and* the top-down usefulness pass of
+    /// **every** live pattern.
+    pub fn shared_pass(&mut self, doc: &Document) -> SharedPass {
+        let mut pass = SharedPass::default();
+        self.shared_pass_reusing(doc, &mut pass);
+        pass
+    }
+
+    /// [`shared_pass`](PatternIndex::shared_pass) into a reused
+    /// [`SharedPass`]: with a warm `pass` (and the index's own scratch warm),
+    /// a document pass allocates nothing beyond result-set growth.
+    pub fn shared_pass_reusing(&mut self, doc: &Document, pass: &mut SharedPass) {
+        self.evaluated_last = self.live;
+        self.skipped_last = 0;
+        if self.automaton.is_none() {
+            self.automaton = Some(PatternAutomaton::new(self.patterns()));
+        }
+        let automaton = self.automaton.get_or_insert_with(PatternAutomaton::default);
+        automaton.pass_over_reusing(doc, &mut self.scratch, pass);
+    }
+
+    /// Edge bindings from a [`shared_pass`](PatternIndex::shared_pass)
+    /// result, byte-identical (same patterns, order and bindings) to
+    /// [`evaluate_edge_bindings`](PatternIndex::evaluate_edge_bindings).
+    pub fn edge_bindings_from_pass(
+        &self,
+        doc: &Document,
+        requested_edges: &HashMap<PatternId, Vec<(PatternNodeId, PatternNodeId)>>,
+        pass: &SharedPass,
+    ) -> Vec<(PatternId, Vec<EdgeBinding>)> {
+        let mut out = Vec::new();
+        for (id, pattern) in self.patterns() {
+            let Some(useful) = pass.useful(id) else {
+                continue;
+            };
+            // An empty root set means no complete witness — no bindings.
+            if useful.first().map_or(true, Vec::is_empty) {
+                continue;
+            }
+            let matcher = PatternMatcher::new(pattern);
+            let bindings = match requested_edges.get(&id) {
+                Some(edges) => matcher.edge_bindings_from_useful(doc, useful, edges),
+                None => matcher.edge_bindings_from_useful(doc, useful, &pattern.edges()),
+            };
+            if !bindings.is_empty() {
+                out.push((id, bindings));
+            }
+        }
+        out
+    }
+
+    /// Streaming-front counterpart of
+    /// [`evaluate_edge_bindings`](PatternIndex::evaluate_edge_bindings):
+    /// one shared traversal instead of one matcher walk per pattern,
+    /// identical output.
+    pub fn evaluate_edge_bindings_streaming(
+        &mut self,
+        doc: &Document,
+        requested_edges: &HashMap<PatternId, Vec<(PatternNodeId, PatternNodeId)>>,
+    ) -> Vec<(PatternId, Vec<EdgeBinding>)> {
+        let pass = self.shared_pass(doc);
+        self.edge_bindings_from_pass(doc, requested_edges, &pass)
+    }
+
+    /// Evaluate every registered pattern directly over XML text through the
+    /// pull parser — the fused parse ⊕ Stage-1 pass, with no DOM built.
+    /// Output is identical to parsing the text and calling
+    /// [`evaluate_witnesses`](PatternIndex::evaluate_witnesses).
+    pub fn evaluate_witnesses_streaming_text(
+        &mut self,
+        xml: &str,
+    ) -> XmlResult<Vec<(PatternId, Vec<Witness>)>> {
+        self.evaluated_last = self.live;
+        self.skipped_last = 0;
+        let (skel, pass) = self.automaton().pass_over_text(xml)?;
+        let mut out = Vec::new();
+        for (id, pattern) in self.patterns() {
+            let Some(useful) = pass.useful(id) else {
+                continue;
+            };
+            if useful.first().map_or(true, Vec::is_empty) {
+                continue;
+            }
+            let matcher = PatternMatcher::new(pattern);
+            let ws = matcher.witnesses_from_useful(&skel, useful);
+            if !ws.is_empty() {
+                out.push((id, ws));
+            }
+        }
+        Ok(out)
     }
 }
 

@@ -18,8 +18,9 @@
 //! the paper's factored, binary representation of witnesses (`RbinW`/`Rbin`).
 
 use crate::pattern::{Axis, NodeTest, PatternNode, PatternNodeId, TreePattern};
+use crate::tree::ElementTree;
 use crate::witness::{EdgeBinding, Witness};
-use mmqjp_xml::{Document, NodeId};
+use mmqjp_xml::NodeId;
 use std::collections::HashSet;
 
 /// Evaluates one [`TreePattern`] against documents.
@@ -40,30 +41,35 @@ impl<'p> PatternMatcher<'p> {
     }
 
     /// Whether a document node passes a pattern node's node test.
-    fn test_matches(doc: &Document, node: NodeId, test: &NodeTest) -> bool {
+    fn test_matches<T: ElementTree + ?Sized>(doc: &T, node: NodeId, test: &NodeTest) -> bool {
         match test {
-            NodeTest::Tag(t) => doc.node(node).tag() == t,
+            NodeTest::Tag(t) => doc.tag_of(node) == t,
             NodeTest::Wildcard => true,
-            NodeTest::Attribute(a) => doc.node(node).attribute(a).is_some(),
+            NodeTest::Attribute(a) => doc.attribute_of(node, a).is_some(),
         }
     }
 
     /// Whether document nodes `(du, dv)` satisfy the axis relationship
     /// required between a pattern node and its child pattern node `child`.
-    fn axis_holds(doc: &Document, du: NodeId, dv: NodeId, child: &PatternNode) -> bool {
+    fn axis_holds<T: ElementTree + ?Sized>(
+        doc: &T,
+        du: NodeId,
+        dv: NodeId,
+        child: &PatternNode,
+    ) -> bool {
         match child.test() {
             // Attribute steps bind the element that carries the attribute,
             // which is the same element the parent step matched.
             NodeTest::Attribute(_) => du == dv,
             _ => match child.axis() {
-                Axis::Child => doc.node(dv).parent() == Some(du),
-                Axis::Descendant => doc.is_ancestor(du, dv),
+                Axis::Child => doc.parent_of(dv) == Some(du),
+                Axis::Descendant => doc.is_ancestor_of(du, dv),
             },
         }
     }
 
     /// Bottom-up satisfiability sets, indexed by pattern node id.
-    fn satisfying_sets(&self, doc: &Document) -> Vec<Vec<NodeId>> {
+    fn satisfying_sets<T: ElementTree + ?Sized>(&self, doc: &T) -> Vec<Vec<NodeId>> {
         let n = self.pattern.len();
         let mut sat: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         // Children always have larger ids than their parents (insertion
@@ -76,10 +82,10 @@ impl<'p> PatternMatcher<'p> {
                 // descendant axis considers every element.
                 match pnode.axis() {
                     Axis::Child => vec![NodeId::ROOT],
-                    Axis::Descendant => doc.node_ids().collect(),
+                    Axis::Descendant => doc.element_ids().collect(),
                 }
             } else {
-                doc.node_ids().collect()
+                doc.element_ids().collect()
             };
             let mut matched = Vec::new();
             'cands: for d in candidates {
@@ -104,8 +110,24 @@ impl<'p> PatternMatcher<'p> {
 
     /// Top-down useful sets: satisfying nodes that participate in at least
     /// one complete witness. Indexed by pattern node id.
-    pub fn useful_nodes(&self, doc: &Document) -> Vec<Vec<NodeId>> {
+    pub fn useful_nodes<T: ElementTree + ?Sized>(&self, doc: &T) -> Vec<Vec<NodeId>> {
         let sat = self.satisfying_sets(doc);
+        self.useful_from_sat(doc, &sat)
+    }
+
+    /// Top-down useful sets from externally computed satisfiability sets —
+    /// the entry point for the shared streaming automaton, which evaluates
+    /// the bottom-up pass for all registered patterns in one document
+    /// traversal. `sat` must be indexed by pattern node id with document
+    /// nodes in ascending id order (as [`satisfying_sets`] produces and
+    /// [`crate::PatternAutomaton`] reproduces).
+    ///
+    /// [`satisfying_sets`]: PatternMatcher::useful_nodes
+    pub fn useful_from_sat<T: ElementTree + ?Sized>(
+        &self,
+        doc: &T,
+        sat: &[Vec<NodeId>],
+    ) -> Vec<Vec<NodeId>> {
         let n = self.pattern.len();
         let mut useful: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         useful[0] = sat[0].clone();
@@ -132,15 +154,15 @@ impl<'p> PatternMatcher<'p> {
     }
 
     /// `true` when the document contains at least one complete witness.
-    pub fn matches(&self, doc: &Document) -> bool {
+    pub fn matches<T: ElementTree + ?Sized>(&self, doc: &T) -> bool {
         !self.satisfying_sets(doc)[0].is_empty()
     }
 
     /// Binding pairs for one *adjacent* pattern edge `(parent, child)`,
     /// restricted to useful nodes.
-    fn adjacent_pairs(
+    fn adjacent_pairs<T: ElementTree + ?Sized>(
         &self,
-        doc: &Document,
+        doc: &T,
         useful: &[Vec<NodeId>],
         parent: PatternNodeId,
         child: PatternNodeId,
@@ -162,9 +184,9 @@ impl<'p> PatternMatcher<'p> {
     /// The pairs are computed by composing adjacent-edge pairs along the
     /// pattern path, so intermediate structural constraints are respected
     /// even though the intermediate bindings are projected away.
-    pub fn chain_pairs(
+    pub fn chain_pairs<T: ElementTree + ?Sized>(
         &self,
-        doc: &Document,
+        doc: &T,
         useful: &[Vec<NodeId>],
         ancestor: PatternNodeId,
         descendant: PatternNodeId,
@@ -214,12 +236,35 @@ impl<'p> PatternMatcher<'p> {
     /// variables bound at those nodes. Pattern nodes without variables are
     /// skipped (callers normally run
     /// [`TreePattern::assign_canonical_variables`] first).
-    pub fn edge_bindings(
+    pub fn edge_bindings<T: ElementTree + ?Sized>(
         &self,
-        doc: &Document,
+        doc: &T,
         edges: &[(PatternNodeId, PatternNodeId)],
     ) -> Vec<EdgeBinding> {
         let useful = self.useful_nodes(doc);
+        self.edge_bindings_from_useful(doc, &useful, edges)
+    }
+
+    /// Edge bindings from externally computed satisfiability sets (see
+    /// [`useful_from_sat`](PatternMatcher::useful_from_sat)).
+    pub fn edge_bindings_from_sat<T: ElementTree + ?Sized>(
+        &self,
+        doc: &T,
+        sat: &[Vec<NodeId>],
+        edges: &[(PatternNodeId, PatternNodeId)],
+    ) -> Vec<EdgeBinding> {
+        let useful = self.useful_from_sat(doc, sat);
+        self.edge_bindings_from_useful(doc, &useful, edges)
+    }
+
+    /// Edge bindings from externally computed *useful* sets (e.g. a shared
+    /// automaton pass that already ran the top-down usefulness pruning).
+    pub fn edge_bindings_from_useful<T: ElementTree + ?Sized>(
+        &self,
+        doc: &T,
+        useful: &[Vec<NodeId>],
+        edges: &[(PatternNodeId, PatternNodeId)],
+    ) -> Vec<EdgeBinding> {
         let mut out = Vec::new();
         for &(anc, desc) in edges {
             let (Some(anc_var), Some(desc_var)) = (
@@ -228,7 +273,7 @@ impl<'p> PatternMatcher<'p> {
             ) else {
                 continue;
             };
-            for (du, dv) in self.chain_pairs(doc, &useful, anc, desc) {
+            for (du, dv) in self.chain_pairs(doc, useful, anc, desc) {
                 out.push(EdgeBinding {
                     ancestor_var: anc_var.to_owned(),
                     descendant_var: desc_var.to_owned(),
@@ -242,7 +287,7 @@ impl<'p> PatternMatcher<'p> {
 
     /// Edge bindings for every adjacent edge of the pattern (the paper's
     /// fully shredded representation).
-    pub fn all_edge_bindings(&self, doc: &Document) -> Vec<EdgeBinding> {
+    pub fn all_edge_bindings<T: ElementTree + ?Sized>(&self, doc: &T) -> Vec<EdgeBinding> {
         let edges = self.pattern.edges();
         self.edge_bindings(doc, &edges)
     }
@@ -254,20 +299,42 @@ impl<'p> PatternMatcher<'p> {
     /// Pattern node ids are assigned in insertion (pre-)order, so a node's
     /// parent always has a smaller id. Enumerating bindings in id order
     /// therefore always has the parent's binding available.
-    pub fn witnesses(&self, doc: &Document) -> Vec<Witness> {
+    pub fn witnesses<T: ElementTree + ?Sized>(&self, doc: &T) -> Vec<Witness> {
         let useful = self.useful_nodes(doc);
+        self.witnesses_from_useful(doc, &useful)
+    }
+
+    /// Complete witnesses from externally computed satisfiability sets (see
+    /// [`useful_from_sat`](PatternMatcher::useful_from_sat)).
+    pub fn witnesses_from_sat<T: ElementTree + ?Sized>(
+        &self,
+        doc: &T,
+        sat: &[Vec<NodeId>],
+    ) -> Vec<Witness> {
+        let useful = self.useful_from_sat(doc, sat);
+        self.witnesses_from_useful(doc, &useful)
+    }
+
+    /// Complete witnesses from externally computed *useful* sets (e.g. a
+    /// shared automaton pass that already ran the top-down usefulness
+    /// pruning).
+    pub fn witnesses_from_useful<T: ElementTree + ?Sized>(
+        &self,
+        doc: &T,
+        useful: &[Vec<NodeId>],
+    ) -> Vec<Witness> {
         if useful[0].is_empty() {
             return Vec::new();
         }
         let mut results = Vec::new();
         let mut partial: Vec<NodeId> = Vec::with_capacity(self.pattern.len());
-        self.enumerate_in_id_order(doc, &useful, &mut partial, &mut results);
+        self.enumerate_in_id_order(doc, useful, &mut partial, &mut results);
         results
     }
 
-    fn enumerate_in_id_order(
+    fn enumerate_in_id_order<T: ElementTree + ?Sized>(
         &self,
-        doc: &Document,
+        doc: &T,
         useful: &[Vec<NodeId>],
         partial: &mut Vec<NodeId>,
         results: &mut Vec<Witness>,
@@ -308,7 +375,7 @@ impl<'p> PatternMatcher<'p> {
 mod tests {
     use super::*;
     use crate::parser::parse_pattern;
-    use mmqjp_xml::{rss, DocumentBuilder};
+    use mmqjp_xml::{rss, Document, DocumentBuilder};
 
     /// Figure 1's book announcement.
     fn d1() -> Document {

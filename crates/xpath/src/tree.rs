@@ -1,0 +1,221 @@
+//! Abstraction over element trees that tree patterns can be evaluated on.
+//!
+//! The matcher historically evaluated against a fully built
+//! [`Document`]. The streaming front end needs the same algorithms over a
+//! flat skeleton captured from a pull-parser event stream without building a
+//! DOM, so everything the matcher touches is factored into [`ElementTree`]:
+//! pre-order element ids, tags, attributes, parent links, ancestorship and
+//! XPath string values. [`Document`] implements it trivially;
+//! [`StreamSkeleton`](crate::StreamSkeleton) implements it from interval
+//! arithmetic over pre-order ids.
+
+use mmqjp_xml::{Document, NodeId};
+
+/// Read access to an element tree with pre-order element ids `0..len`.
+///
+/// Implementations must assign ids in pre-order (a parent's id is smaller
+/// than all ids in its subtree), which is what makes witness enumeration
+/// order deterministic across implementations.
+pub trait ElementTree {
+    /// Number of elements; valid ids are `0..node_count`.
+    fn node_count(&self) -> usize;
+    /// The tag of an element.
+    fn tag_of(&self, id: NodeId) -> &str;
+    /// The value of an attribute of an element, if present.
+    fn attribute_of(&self, id: NodeId, name: &str) -> Option<&str>;
+    /// The parent element (None for the root).
+    fn parent_of(&self, id: NodeId) -> Option<NodeId>;
+    /// `true` if `ancestor` is a *proper* ancestor of `descendant`.
+    fn is_ancestor_of(&self, ancestor: NodeId, descendant: NodeId) -> bool;
+    /// The XPath string value: concatenation of all text in the subtree, in
+    /// document order.
+    fn string_value_of(&self, id: NodeId) -> String;
+
+    /// All element ids in pre-order.
+    fn element_ids(&self) -> std::iter::Map<std::ops::Range<u32>, fn(u32) -> NodeId> {
+        (0..self.node_count() as u32).map(NodeId::from_raw)
+    }
+}
+
+impl ElementTree for Document {
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    fn tag_of(&self, id: NodeId) -> &str {
+        self.node(id).tag()
+    }
+
+    fn attribute_of(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.node(id).attribute(name)
+    }
+
+    fn parent_of(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent()
+    }
+
+    fn is_ancestor_of(&self, ancestor: NodeId, descendant: NodeId) -> bool {
+        self.is_ancestor(ancestor, descendant)
+    }
+
+    fn string_value_of(&self, id: NodeId) -> String {
+        self.string_value(id)
+    }
+}
+
+/// A flat element skeleton captured from a streaming parse: everything the
+/// matcher needs to finish pattern evaluation and resolve value-join string
+/// values, without building a [`Document`].
+///
+/// Elements are numbered in pre-order as they open, so the ids coincide with
+/// the [`NodeId`]s a DOM parse of the same input would assign. Ancestorship
+/// is interval arithmetic (`a` is a proper ancestor of `d` iff
+/// `a < d < subtree_end(a)`), and the XPath string value of an element is the
+/// concatenation of the per-element text runs over its subtree id range —
+/// the same document-order concatenation [`Document::string_value`] does.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamSkeleton {
+    tags: Vec<String>,
+    /// Parent id + 1; 0 marks the root.
+    parents: Vec<u32>,
+    /// Exclusive end of each element's subtree id range (patched on close).
+    subtree_end: Vec<u32>,
+    attributes: Vec<Vec<(String, String)>>,
+    /// Concatenated text runs owned directly by each element.
+    text: Vec<String>,
+    /// Ids of currently open elements.
+    open_stack: Vec<u32>,
+}
+
+impl StreamSkeleton {
+    /// Create an empty skeleton.
+    pub fn new() -> Self {
+        StreamSkeleton::default()
+    }
+
+    /// Record an element opening; returns its pre-order id.
+    pub fn open_element(&mut self, tag: String, attributes: Vec<(String, String)>) -> NodeId {
+        let id = self.tags.len() as u32;
+        let parent = self.open_stack.last().map_or(0, |&p| p + 1);
+        self.tags.push(tag);
+        self.parents.push(parent);
+        self.subtree_end.push(id + 1);
+        self.attributes.push(attributes);
+        self.text.push(String::new());
+        self.open_stack.push(id);
+        NodeId::from_raw(id)
+    }
+
+    /// Record a text run owned by the innermost open element.
+    pub fn append_text(&mut self, text: &str) {
+        if let Some(&id) = self.open_stack.last() {
+            self.text[id as usize].push_str(text);
+        }
+    }
+
+    /// Record the innermost open element closing.
+    pub fn close_element(&mut self) {
+        if let Some(id) = self.open_stack.pop() {
+            self.subtree_end[id as usize] = self.tags.len() as u32;
+        }
+    }
+
+    /// `true` when no elements have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Number of elements recorded so far.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+}
+
+impl ElementTree for StreamSkeleton {
+    fn node_count(&self) -> usize {
+        self.tags.len()
+    }
+
+    fn tag_of(&self, id: NodeId) -> &str {
+        &self.tags[id.index()]
+    }
+
+    fn attribute_of(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.attributes[id.index()]
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn parent_of(&self, id: NodeId) -> Option<NodeId> {
+        match self.parents[id.index()] {
+            0 => None,
+            p => Some(NodeId::from_raw(p - 1)),
+        }
+    }
+
+    fn is_ancestor_of(&self, ancestor: NodeId, descendant: NodeId) -> bool {
+        ancestor.raw() < descendant.raw() && descendant.raw() < self.subtree_end[ancestor.index()]
+    }
+
+    fn string_value_of(&self, id: NodeId) -> String {
+        let end = self.subtree_end[id.index()] as usize;
+        let mut out = String::new();
+        for t in &self.text[id.index()..end] {
+            out.push_str(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmqjp_xml::parse_document;
+
+    #[test]
+    fn document_implements_element_tree() {
+        let d = parse_document("<a x=\"1\"><b>t</b><c>u</c></a>").unwrap();
+        assert_eq!(d.node_count(), 3);
+        assert_eq!(d.tag_of(NodeId::ROOT), "a");
+        assert_eq!(d.attribute_of(NodeId::ROOT, "x"), Some("1"));
+        assert_eq!(d.attribute_of(NodeId::ROOT, "y"), None);
+        assert_eq!(d.parent_of(NodeId::from_raw(1)), Some(NodeId::ROOT));
+        assert!(d.is_ancestor_of(NodeId::ROOT, NodeId::from_raw(2)));
+        assert!(!d.is_ancestor_of(NodeId::from_raw(1), NodeId::from_raw(2)));
+        assert_eq!(d.string_value_of(NodeId::ROOT), "tu");
+        assert_eq!(d.element_ids().count(), 3);
+    }
+
+    #[test]
+    fn skeleton_agrees_with_document_on_mixed_content() {
+        // <a q="1">x<b>y</b>z<c/></a>
+        let doc = parse_document(r#"<a q="1">x<b>y</b>z<c/></a>"#).unwrap();
+        let mut s = StreamSkeleton::new();
+        s.open_element("a".into(), vec![("q".into(), "1".into())]);
+        s.append_text("x");
+        s.open_element("b".into(), Vec::new());
+        s.append_text("y");
+        s.close_element();
+        s.append_text("z");
+        s.open_element("c".into(), Vec::new());
+        s.close_element();
+        s.close_element();
+
+        assert_eq!(s.len(), doc.node_count());
+        assert!(!s.is_empty());
+        for id in doc.element_ids() {
+            assert_eq!(s.tag_of(id), doc.tag_of(id));
+            assert_eq!(s.parent_of(id), doc.parent_of(id));
+            assert_eq!(s.string_value_of(id), doc.string_value_of(id));
+            assert_eq!(s.attribute_of(id, "q"), doc.attribute_of(id, "q"));
+            for other in doc.element_ids() {
+                assert_eq!(
+                    s.is_ancestor_of(id, other),
+                    doc.is_ancestor_of(id, other),
+                    "ancestorship diverged for ({id}, {other})"
+                );
+            }
+        }
+    }
+}

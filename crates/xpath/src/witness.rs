@@ -1,7 +1,8 @@
 //! Witness types: the output of Stage-1 XPath evaluation.
 
 use crate::pattern::{NodeTest, PatternNodeId, TreePattern};
-use mmqjp_xml::{Document, NodeId};
+use crate::tree::ElementTree;
+use mmqjp_xml::NodeId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -108,19 +109,18 @@ impl WitnessSet {
 /// For ordinary element steps this is the XPath string value of the bound
 /// node. For attribute steps (`@name`) — which are represented by binding the
 /// carrying element — it is the attribute's value.
-pub fn binding_string_value(
-    doc: &Document,
+pub fn binding_string_value<T: ElementTree + ?Sized>(
+    doc: &T,
     pattern: &TreePattern,
     pattern_node: PatternNodeId,
     node: NodeId,
 ) -> String {
     match pattern.node(pattern_node).test() {
         NodeTest::Attribute(name) => doc
-            .node(node)
-            .attribute(name)
+            .attribute_of(node, name)
             .map(|s| s.to_owned())
             .unwrap_or_default(),
-        _ => doc.string_value(node),
+        _ => doc.string_value_of(node),
     }
 }
 

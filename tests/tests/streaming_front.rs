@@ -1,0 +1,289 @@
+//! Certification of the streaming single-pass front end.
+//!
+//! Two properties anchor the tentpole:
+//!
+//! 1. **Parser differential** (proptest): the pull parser — both when it
+//!    builds a DOM (`parse_document_streaming`) and when it feeds the fused
+//!    parse ⊕ Stage-1 pass with no DOM at all
+//!    (`evaluate_witnesses_streaming_text`) — agrees byte for byte with the
+//!    DOM parser on randomly generated documents exercising CDATA sections,
+//!    numeric character references, comments, self-closing elements and
+//!    attributes.
+//! 2. **Front-end sweep**: every processing mode × both sharded topologies
+//!    × streaming front on/off produces byte-identical match output on the
+//!    RSS join workload and on single-block subscriptions.
+
+use mmqjp_core::{EngineConfig, MmqjpEngine, ShardedEngine};
+use mmqjp_integration_tests::{all_modes, match_keys, run_stream_sharded, run_stream_sorted};
+use mmqjp_workload::{RssQueryGenerator, RssStreamConfig, RssStreamGenerator};
+use mmqjp_xml::{parse_document, parse_document_streaming};
+use mmqjp_xpath::{parse_pattern, PatternIndex};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------------
+// Random XML documents for the parser differential
+// ---------------------------------------------------------------------------
+
+/// One construction step of a random document. Interpreted against a stack
+/// of open elements, so any op sequence yields well-formed XML.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    kind: usize,
+    tag: usize,
+    value: usize,
+}
+
+/// Render an op sequence into XML text. The vocabulary is small on purpose
+/// (tags `t0..t5`, values `v0..`) so patterns can match, and every decoration
+/// the pull parser must handle is reachable: comments, CDATA, numeric
+/// character references (decimal and hex), self-closing elements,
+/// attributes, and plain nested elements.
+fn render_xml(ops: &[Op]) -> String {
+    let mut out = String::from("<?xml version=\"1.0\"?><!-- preamble --><r>");
+    let mut depth = 1usize;
+    for op in ops {
+        let t = op.tag % 6;
+        let v = op.value;
+        match op.kind % 9 {
+            0 => {
+                out.push_str(&format!("<t{t}>"));
+                depth += 1;
+            }
+            1 => {
+                if depth > 1 {
+                    out.push_str(&format!("</t{}>", close_tag(&out)));
+                    depth -= 1;
+                }
+            }
+            2 => out.push_str(&format!("<t{t}/>")),
+            3 => out.push_str(&format!("v{v}&#38;&#x3C;x")),
+            4 => out.push_str(&format!("<![CDATA[v{v} <raw> & unescaped]]>")),
+            5 => out.push_str(&format!("<!-- comment {v} -->")),
+            6 => out.push_str(&format!("v{v} ")),
+            7 => out.push_str(&format!("<t{t} a=\"v{v}\" b=\"&#65;\"/>")),
+            _ => {
+                out.push_str(&format!("<t{t} a=\"v{v}\">"));
+                depth += 1;
+            }
+        }
+    }
+    while depth > 1 {
+        out.push_str(&format!("</t{}>", close_tag(&out)));
+        depth -= 1;
+    }
+    out.push_str("</r>");
+    out
+}
+
+/// The tag of the innermost open element, recovered from the rendered text
+/// (the last `<tN...>` that is neither closed after it nor self-closing).
+/// Linear rescan — fine at test sizes, and it keeps `render_xml` stateless.
+fn close_tag(rendered: &str) -> usize {
+    let mut stack: Vec<usize> = Vec::new();
+    let bytes = rendered.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            if rendered[i..].starts_with("<!--") {
+                i += rendered[i..]
+                    .find("-->")
+                    .map_or(rendered.len() - i, |p| p + 3);
+                continue;
+            }
+            if rendered[i..].starts_with("<![CDATA[") {
+                i += rendered[i..]
+                    .find("]]>")
+                    .map_or(rendered.len() - i, |p| p + 3);
+                continue;
+            }
+            if rendered[i..].starts_with("<?") {
+                i += rendered[i..]
+                    .find("?>")
+                    .map_or(rendered.len() - i, |p| p + 2);
+                continue;
+            }
+            let end = i + rendered[i..].find('>').expect("well-formed render");
+            let inner = &rendered[i + 1..end];
+            if let Some(tag) = inner.strip_prefix('/') {
+                let _ = tag;
+                stack.pop();
+            } else if !inner.ends_with('/') {
+                let name = inner.split_whitespace().next().expect("tag name");
+                if let Some(n) = name.strip_prefix('t') {
+                    stack.push(n.parse().expect("numeric test tag"));
+                } else {
+                    stack.push(usize::MAX); // the root <r>
+                }
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    *stack.last().expect("an open element") // callers guard depth > 1
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((0usize..9, 0usize..6, 0usize..40), 0..40).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(kind, tag, value)| Op { kind, tag, value })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The pull parser builds the same DOM as the backtracking parser on
+    /// random documents with CDATA, entities, comments and self-closing
+    /// elements.
+    #[test]
+    fn streaming_parse_equals_dom_parse(ops in ops_strategy()) {
+        let xml = render_xml(&ops);
+        let dom = parse_document(&xml).expect("DOM parser accepts rendered doc");
+        let streamed = parse_document_streaming(&xml).expect("pull parser accepts rendered doc");
+        prop_assert_eq!(dom, streamed, "parsers diverged on: {}", xml);
+    }
+
+    /// The fused parse ⊕ Stage-1 pass (no DOM built at all) yields the same
+    /// per-pattern witnesses as parse-then-match on the same random text.
+    #[test]
+    fn fused_text_pass_equals_parse_then_match(ops in ops_strategy()) {
+        let xml = render_xml(&ops);
+        let mut index = PatternIndex::new();
+        for p in [
+            "S//r->root[.//t0->a]",
+            "S//t1->x[.//t2->y]",
+            "S//t0->e[.//t3->f][.//t4->g]",
+            "S//r->r1[.//t5->v]",
+        ] {
+            index.register(parse_pattern(p).expect("pattern parses"));
+        }
+        let streamed = index
+            .evaluate_witnesses_streaming_text(&xml)
+            .expect("fused pass accepts rendered doc");
+        let doc = parse_document(&xml).expect("DOM parser accepts rendered doc");
+        let dom = index.evaluate_witnesses(&doc);
+        prop_assert_eq!(streamed, dom, "fused pass diverged on: {}", xml);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mode × topology × front-end sweep
+// ---------------------------------------------------------------------------
+
+/// Byte-identical match output across all three processing modes, both
+/// sharded topologies and both Stage-1 front ends on the RSS join workload.
+#[test]
+fn match_output_identical_across_modes_topologies_and_fronts() {
+    let generator = RssQueryGenerator::new(0.8);
+    let mut rng = StdRng::seed_from_u64(21);
+    let queries = generator.generate_queries(16, &mut rng);
+    let docs = RssStreamGenerator::new(RssStreamConfig {
+        items: 60,
+        ..RssStreamConfig::default()
+    })
+    .documents();
+
+    let mut reference: Option<Vec<_>> = None;
+    for streaming in [true, false] {
+        for mode in all_modes() {
+            let config = EngineConfig {
+                mode,
+                ..EngineConfig::default()
+            }
+            .with_retain_documents(false)
+            .with_streaming_front(streaming);
+            let mut engine = MmqjpEngine::new(config.clone());
+            for q in &queries {
+                engine.register_query(q.clone()).expect("query registers");
+            }
+            let matches = run_stream_sorted(&mut engine, docs.clone());
+            let keys = match_keys(&matches);
+            assert!(!keys.is_empty(), "sweep workload must produce matches");
+            match &reference {
+                None => reference = Some(keys),
+                Some(r) => assert_eq!(
+                    r, &keys,
+                    "single-engine {mode:?} (streaming={streaming}) diverges"
+                ),
+            }
+            for (topology, front_pool) in [("replicated", 0), ("hybrid", 2)] {
+                let mut sharded = ShardedEngine::new(
+                    config
+                        .clone()
+                        .with_num_shards(4)
+                        .with_front_pool(front_pool),
+                );
+                for q in &queries {
+                    sharded.register_query(q.clone()).expect("query registers");
+                }
+                let sharded_matches = run_stream_sharded(&mut sharded, docs.clone());
+                assert_eq!(
+                    sharded_matches, matches,
+                    "{topology} topology diverges from single-engine {mode:?} \
+                     (streaming={streaming})"
+                );
+            }
+        }
+    }
+}
+
+/// Single-block subscriptions — answered straight from Stage 1, and at the
+/// front stage in the hybrid topology — are byte-identical under both front
+/// ends too.
+#[test]
+fn single_block_output_identical_across_fronts() {
+    let subscriptions = [
+        "S//item[.//title]",
+        "S//channel[.//item]",
+        "S//item[.//enclosure_url]",
+    ];
+    let docs = RssStreamGenerator::new(RssStreamConfig {
+        items: 30,
+        ..RssStreamConfig::default()
+    })
+    .documents();
+
+    let mut reference: Option<Vec<_>> = None;
+    for streaming in [true, false] {
+        for mode in all_modes() {
+            let config = EngineConfig {
+                mode,
+                ..EngineConfig::default()
+            }
+            .with_streaming_front(streaming);
+            let mut engine = MmqjpEngine::new(config.clone());
+            for s in subscriptions {
+                engine
+                    .register_query_text(s)
+                    .expect("subscription registers");
+            }
+            let matches = run_stream_sorted(&mut engine, docs.clone());
+            assert!(!matches.is_empty(), "subscriptions must fire");
+            let keys = match_keys(&matches);
+            match &reference {
+                None => reference = Some(keys),
+                Some(r) => assert_eq!(
+                    r, &keys,
+                    "single-block output diverges for {mode:?} (streaming={streaming})"
+                ),
+            }
+            let mut hybrid =
+                ShardedEngine::new(config.clone().with_num_shards(3).with_front_pool(2));
+            for s in subscriptions {
+                hybrid
+                    .register_query_text(s)
+                    .expect("subscription registers");
+            }
+            let hybrid_matches = run_stream_sharded(&mut hybrid, docs.clone());
+            assert_eq!(
+                hybrid_matches, matches,
+                "hybrid front single-block output diverges for {mode:?} \
+                 (streaming={streaming})"
+            );
+        }
+    }
+}

@@ -2,8 +2,10 @@
 //!
 //! Four dependency-free static checks over the workspace sources:
 //!
-//! 1. **Panic-free hot paths** — non-test code in `crates/core/src` and
-//!    `crates/relational/src` must not call `.unwrap()`, `.expect(…)` or
+//! 1. **Panic-free hot paths** — non-test code in `crates/core/src`,
+//!    `crates/relational/src` and the streaming front-end modules
+//!    (`crates/xml/src/stream.rs`, `crates/xpath/src/automaton.rs`) must
+//!    not call `.unwrap()`, `.expect(…)` or
 //!    `panic!(…)`. A site can be waived with a `// lint:allow <reason>`
 //!    comment on the same line or the line directly above; the reason is
 //!    mandatory so every waiver documents why the invariant cannot fail.
@@ -71,13 +73,28 @@ fn run_lint(root: &Path) -> ExitCode {
 // Check 1: no unwrap/expect/panic in non-test core + relational code.
 // ---------------------------------------------------------------------------
 
-const PANIC_FREE_DIRS: &[&str] = &["crates/core/src", "crates/relational/src"];
+/// Directories (scanned recursively) or single files held to the
+/// panic-free rule. The streaming front end's modules are listed as files:
+/// their crates predate the rule and are not wholesale-clean, but the fused
+/// parse ⊕ match pass runs inside front workers where a panic would poison
+/// a whole shard topology.
+const PANIC_FREE_PATHS: &[&str] = &[
+    "crates/core/src",
+    "crates/relational/src",
+    "crates/xml/src/stream.rs",
+    "crates/xpath/src/automaton.rs",
+];
 const BANNED: &[&str] = &[".unwrap()", ".expect(", "panic!("];
 
 fn check_panic_free(root: &Path, out: &mut Vec<String>) {
-    for dir in PANIC_FREE_DIRS {
-        for file in rust_files(&root.join(dir)) {
-            scan_file_for_panics(root, &file, out);
+    for path in PANIC_FREE_PATHS {
+        let target = root.join(path);
+        if target.is_file() {
+            scan_file_for_panics(root, &target, out);
+        } else {
+            for file in rust_files(&target) {
+                scan_file_for_panics(root, &file, out);
+            }
         }
     }
 }
