@@ -255,6 +255,23 @@ pub enum AuditViolation {
         /// Live footprints with a single-block subscription.
         expected: usize,
     },
+    /// The coordinator's retained-query ledger (kept for crash recovery)
+    /// disagrees with the live-query count — a dead shard could not be
+    /// rebuilt faithfully.
+    RetainedQueryCount {
+        /// Queries in the retained ledger.
+        retained: usize,
+        /// Live queries tracked by the coordinator.
+        live: usize,
+    },
+    /// The replay log retains a batch that has aged beyond the retention
+    /// bound (the log must stay bounded by the registered windows and cap).
+    ReplayLogOverRetention {
+        /// Newest timestamp of the oldest retained batch.
+        oldest: u64,
+        /// The eviction cutoff it should have been retired at.
+        cutoff: u64,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -392,6 +409,14 @@ impl fmt::Display for AuditViolation {
             AuditViolation::FrontSinglesCount { listed, expected } => write!(
                 f,
                 "front lists {listed} single-block subscriptions for {expected} live footprints"
+            ),
+            AuditViolation::RetainedQueryCount { retained, live } => write!(
+                f,
+                "recovery ledger retains {retained} queries for {live} live queries"
+            ),
+            AuditViolation::ReplayLogOverRetention { oldest, cutoff } => write!(
+                f,
+                "replay log retains a batch (newest ts {oldest}) beyond eviction cutoff {cutoff}"
             ),
         }
     }

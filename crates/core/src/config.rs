@@ -31,6 +31,36 @@ impl ProcessingMode {
     }
 }
 
+/// How the engine responds to worker death and poison input (documents that
+/// fail a per-document check, such as out-of-order arrival under
+/// [`EngineConfig::enforce_in_order`]).
+///
+/// The policy only changes *failure* behavior: on a fault-free stream all
+/// three policies produce byte-identical output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FaultPolicy {
+    /// The historical behavior: a poison document fails its whole batch with
+    /// a typed error, and a dead shard worker makes every subsequent request
+    /// fail with [`ShardUnavailable`](crate::CoreError::ShardUnavailable).
+    /// No replay log is kept, so this policy has zero bookkeeping cost.
+    #[default]
+    FailFast,
+    /// Self-healing: a poison document is skipped with a typed
+    /// `QuarantineRecord` (the rest of its batch proceeds), and a dead shard
+    /// or front worker is respawned on the spot — surviving subscriptions
+    /// are re-registered from the retained query registry and the shard's
+    /// in-window join state is replayed from the bounded `ReplayLog`, so
+    /// subsequent output is byte-identical to an engine that never failed.
+    Quarantine,
+    /// Graceful degradation: a dead shard's queries become unavailable (its
+    /// matches stop; registrations hashing to it error) while every other
+    /// shard keeps serving. The replay log is still maintained, so a manual
+    /// `ShardedEngine::respawn_shard` heals the shard later with its full
+    /// state. Poison documents behave as under
+    /// [`FailFast`](FaultPolicy::FailFast).
+    Degrade,
+}
+
 /// Configuration of an [`MmqjpEngine`](crate::MmqjpEngine).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -130,6 +160,13 @@ pub struct EngineConfig {
     /// overrides the default so CI can sweep both paths without code
     /// changes.
     pub streaming_front: bool,
+    /// How worker death and poison input are handled (see [`FaultPolicy`]).
+    /// The default, [`FaultPolicy::FailFast`], keeps the historical
+    /// fail-the-batch / brick-the-shard behavior and costs nothing; the
+    /// other policies maintain a retained query registry and a bounded
+    /// replay log in [`ShardedEngine`](crate::ShardedEngine) so dead shards
+    /// can be rebuilt deterministically.
+    pub fault_policy: FaultPolicy,
 }
 
 /// The process-wide default for
@@ -160,6 +197,7 @@ impl Default for EngineConfig {
             front_pool: 0,
             verify_plans: true,
             streaming_front: streaming_front_default(),
+            fault_policy: FaultPolicy::FailFast,
         }
     }
 }
@@ -252,6 +290,12 @@ impl EngineConfig {
         self.streaming_front = streaming;
         self
     }
+
+    /// Builder-style setter for the fault policy.
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +317,7 @@ mod tests {
         assert!(c.verify_plans);
         // The default tracks the (possibly env-overridden) process default.
         assert_eq!(c.streaming_front, streaming_front_default());
+        assert_eq!(c.fault_policy, FaultPolicy::FailFast);
     }
 
     #[test]
@@ -297,7 +342,8 @@ mod tests {
             .with_num_shards(4)
             .with_front_pool(2)
             .with_verify_plans(false)
-            .with_streaming_front(false);
+            .with_streaming_front(false)
+            .with_fault_policy(FaultPolicy::Quarantine);
         assert_eq!(c.view_cache_capacity, Some(128));
         assert!(!c.retain_documents);
         assert!(c.prune_state_by_window);
@@ -308,6 +354,7 @@ mod tests {
         assert_eq!(c.front_pool, 2);
         assert!(!c.verify_plans);
         assert!(!c.streaming_front);
+        assert_eq!(c.fault_policy, FaultPolicy::Quarantine);
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //! of registered XSCL queries (Algorithms 1–5 of the paper).
 
 use crate::audit::AuditViolation;
-use crate::config::{EngineConfig, ProcessingMode};
+use crate::config::{EngineConfig, FaultPolicy, ProcessingMode};
 use crate::cqt::PlanInputKind;
 use crate::error::{CoreError, CoreResult};
+use crate::fault::QuarantineRecord;
 use crate::output::{construct_join_output, Binding, MatchOutput};
 use crate::registry::{QueryRuntime, Registration, Registry};
 use crate::relations::{rl_row, schemas, RoutedBatch, WitnessBatch};
@@ -42,6 +43,12 @@ pub struct MmqjpEngine {
     stats: EngineStats,
     next_doc_seq: u64,
     newest_timestamp: u64,
+    /// 0-based index of the next batch `process_batch` will ingest; pins
+    /// [`QuarantineRecord`]s to their position in the stream.
+    batches_ingested: u64,
+    /// Poison documents skipped under [`FaultPolicy::Quarantine`], drained
+    /// by [`take_quarantine_records`](Self::take_quarantine_records).
+    quarantine: Vec<QuarantineRecord>,
 }
 
 impl MmqjpEngine {
@@ -68,6 +75,8 @@ impl MmqjpEngine {
             stats: EngineStats::default(),
             next_doc_seq: 0,
             newest_timestamp: 0,
+            batches_ingested: 0,
+            quarantine: Vec::new(),
             interner,
             config,
         }
@@ -161,6 +170,80 @@ impl MmqjpEngine {
             .register(query, self.config.mode, self.next_doc_seq)
     }
 
+    /// Re-register a query at its *original* arrival floor instead of the
+    /// current sequence number. Recovery only: a respawned shard replays
+    /// documents its queries had already seen, and each re-registered query
+    /// must match exactly the suffix of the stream it matched before the
+    /// crash (see [`crate::recovery`]).
+    pub(crate) fn register_query_at_floor(
+        &mut self,
+        query: XsclQuery,
+        floor: u64,
+    ) -> CoreResult<QueryId> {
+        self.registry.register(query, self.config.mode, floor)
+    }
+
+    /// Drain the quarantine ledger: every poison document skipped so far
+    /// under [`FaultPolicy::Quarantine`], in arrival order. Empty under
+    /// other policies (poison then fails its batch instead).
+    pub fn take_quarantine_records(&mut self) -> Vec<QuarantineRecord> {
+        std::mem::take(&mut self.quarantine)
+    }
+
+    /// Rebuild join state from an already-processed batch (ids and
+    /// timestamps stamped, order already enforced): Stage 1 plus state
+    /// maintenance only. Stage 2 and output construction are skipped — the
+    /// batch's matches were delivered before the crash, and the view cache
+    /// is a pure cache that may start cold. Counts `rows_replayed` and the
+    /// `recovery` phase, but not `documents_processed` (each document was
+    /// already counted once, globally, in its original life). Returns the
+    /// number of witness rows rebuilt.
+    pub(crate) fn replay_batch(&mut self, docs: &[Document]) -> CoreResult<usize> {
+        if docs.is_empty() {
+            return Ok(0);
+        }
+        let t0 = Instant::now();
+        let mut batch = WitnessBatch::new();
+        let requested = self.registry.requested_edges().clone();
+        let mut pass = SharedPass::default();
+        for doc in docs {
+            self.next_doc_seq = self.next_doc_seq.max(doc.id().raw());
+            self.newest_timestamp = self.newest_timestamp.max(doc.timestamp().raw());
+            let results = if self.config.streaming_front {
+                self.registry
+                    .pattern_index_mut()
+                    .shared_pass_reusing(doc, &mut pass);
+                self.registry
+                    .pattern_index()
+                    .edge_bindings_from_pass(doc, &requested, &pass)
+            } else {
+                self.registry
+                    .pattern_index_mut()
+                    .evaluate_edge_bindings(doc, &requested)
+            };
+            let with_patterns: Vec<(&TreePattern, Vec<mmqjp_xpath::EdgeBinding>)> = results
+                .into_iter()
+                .map(|(pid, bindings)| (self.registry.pattern_index().pattern(pid), bindings))
+                .collect();
+            batch.add_document(doc, &with_patterns, &self.interner)?;
+        }
+        let rows = batch.rbin_w.len() + batch.rdoc_w.len();
+        let meta: Vec<(DocId, u64)> = docs.iter().map(|d| (d.id(), d.timestamp().raw())).collect();
+        self.maintain_state(batch, &meta, docs, None)?;
+        self.stats.rows_replayed += rows;
+        self.stats.timings.recovery += t0.elapsed();
+        Ok(rows)
+    }
+
+    /// Restore the stream watermarks after a replay whose retained suffix
+    /// may not reach the live stream position (the log is bounded; the
+    /// sequence counter and timestamp watermark are not). Monotonic: never
+    /// moves either watermark backwards.
+    pub(crate) fn restore_watermarks(&mut self, ingested: u64, newest: u64) {
+        self.next_doc_seq = self.next_doc_seq.max(ingested);
+        self.newest_timestamp = self.newest_timestamp.max(newest);
+    }
+
     /// Unregister a query, incrementally releasing every shared structure it
     /// participated in: its `RT` tuples are removed in place (an emptied
     /// template is retired from the catalog), its Stage-1 pattern and
@@ -223,6 +306,8 @@ impl MmqjpEngine {
     ///
     /// [`process_document`]: MmqjpEngine::process_document
     pub fn process_batch(&mut self, docs: Vec<Document>) -> CoreResult<Vec<MatchOutput>> {
+        let batch_index = self.batches_ingested;
+        self.batches_ingested += 1;
         if docs.is_empty() {
             return Ok(Vec::new());
         }
@@ -239,19 +324,39 @@ impl MmqjpEngine {
         // Reused across the batch's documents so the shared automaton pass
         // stays allocation-free after the first document.
         let mut pass = SharedPass::default();
-        for mut doc in docs {
-            self.next_doc_seq += 1;
-            doc.set_id(DocId(self.next_doc_seq));
-            if doc.timestamp().raw() == 0 {
-                doc.set_timestamp(mmqjp_xml::Timestamp(self.next_doc_seq));
-            }
-            if self.config.enforce_in_order && doc.timestamp().raw() < self.newest_timestamp {
-                return Err(CoreError::OutOfOrderDocument {
-                    timestamp: doc.timestamp().raw(),
+        for (doc_index, mut doc) in docs.into_iter().enumerate() {
+            // Screen before committing the sequence number, so a quarantined
+            // document leaves no gap: the surviving stream gets the exact
+            // ids a fresh engine fed only the survivors would assign.
+            let tentative = self.next_doc_seq + 1;
+            let ts = match doc.timestamp().raw() {
+                0 => tentative,
+                raw => raw,
+            };
+            if self.config.enforce_in_order && ts < self.newest_timestamp {
+                let error = CoreError::OutOfOrderDocument {
+                    timestamp: ts,
                     newest: self.newest_timestamp,
+                };
+                if self.config.fault_policy == FaultPolicy::FailFast {
+                    // Historical semantics: the rejected document consumes
+                    // its sequence number and fails the whole batch.
+                    self.next_doc_seq = tentative;
+                    return Err(error);
+                }
+                self.quarantine.push(QuarantineRecord {
+                    batch: batch_index,
+                    doc_index,
+                    timestamp: ts,
+                    error,
                 });
+                self.stats.docs_quarantined += 1;
+                continue;
             }
-            self.newest_timestamp = self.newest_timestamp.max(doc.timestamp().raw());
+            self.next_doc_seq = tentative;
+            doc.set_id(DocId(tentative));
+            doc.set_timestamp(mmqjp_xml::Timestamp(ts));
+            self.newest_timestamp = self.newest_timestamp.max(ts);
 
             // Single-block subscriptions are answered directly from Stage 1.
             let results = if self.config.streaming_front {
@@ -282,6 +387,13 @@ impl MmqjpEngine {
             prepared_docs.push(doc);
         }
         timings.xpath += t0.elapsed().saturating_sub(timings.ingest);
+
+        // Every document quarantined: nothing entered the stream, so there
+        // is no Stage 2 to run and no state to maintain.
+        if prepared_docs.is_empty() {
+            self.stats.timings += timings;
+            return Ok(single_block_outputs);
+        }
 
         // ---- Stage 2: value-join processing --------------------------------
         // The compiled plans execute over *borrowed* state: the registry's

@@ -41,6 +41,18 @@ pub enum CoreError {
         /// Index of the unavailable shard.
         shard: usize,
     },
+    /// A shard worker caught a panic while serving a request. The worker
+    /// contains the panic (the channel is answered with this typed error
+    /// instead of being silently dropped) and then retires itself: a
+    /// panicking engine's state is suspect, so the supervisor must respawn
+    /// the shard (see `ShardedEngine::respawn_shard`) before it serves again.
+    ShardPanicked {
+        /// Index of the shard whose worker panicked.
+        shard: usize,
+        /// The panic payload, rendered as a string (`"<non-string panic
+        /// payload>"` when the payload was not a string).
+        payload: String,
+    },
     /// An internal engine invariant did not hold. This always indicates a
     /// bug in the engine (never a user error); the engine reports it as a
     /// typed error instead of panicking on the processing path.
@@ -75,6 +87,9 @@ impl fmt::Display for CoreError {
             CoreError::UnknownQuery { id } => write!(f, "unknown query id {id}"),
             CoreError::ShardUnavailable { shard } => {
                 write!(f, "shard {shard} worker is unavailable")
+            }
+            CoreError::ShardPanicked { shard, payload } => {
+                write!(f, "shard {shard} worker panicked: {payload}")
             }
             CoreError::Internal { context } => {
                 write!(f, "internal engine invariant violated: {context}")
@@ -140,6 +155,12 @@ mod tests {
         assert!(CoreError::ShardUnavailable { shard: 2 }
             .to_string()
             .contains("shard 2"));
+        let e = CoreError::ShardPanicked {
+            shard: 3,
+            payload: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("shard 3"));
+        assert!(e.to_string().contains("index out of bounds"));
         assert!(CoreError::internal("watermark went backwards")
             .to_string()
             .contains("watermark went backwards"));

@@ -81,7 +81,9 @@ mod config;
 mod cqt;
 mod engine;
 mod error;
+mod fault;
 mod output;
+mod recovery;
 mod registry;
 mod relations;
 mod shard;
@@ -90,10 +92,12 @@ mod stats;
 mod view_cache;
 
 pub use audit::AuditViolation;
-pub use config::{EngineConfig, ProcessingMode};
+pub use config::{EngineConfig, FaultPolicy, ProcessingMode};
 pub use engine::MmqjpEngine;
 pub use error::{CoreError, CoreResult};
+pub use fault::{corrupt_bytes, FaultInjector, FaultKind, FaultPlan, QuarantineRecord};
 pub use output::{sort_matches, Binding, MatchOutput};
+pub use recovery::ReplayLog;
 pub use registry::{QueryRuntime, Registry, TemplateRuntime};
 pub use relations::{schemas, RoutedBatch, WitnessBatch};
 pub use shard::{ShardedEngine, WitnessRouter};

@@ -1,0 +1,235 @@
+//! Checkpoint/replay recovery for the sharded pipeline.
+//!
+//! A shard worker that panics (or loses its channel) takes its in-memory
+//! join state with it. This module rebuilds that state deterministically,
+//! without ever checkpointing the state itself:
+//!
+//! 1. **Re-register** the shard's surviving subscriptions from the retained
+//!    global registry ([`RetainedQuery`]), each at its original arrival
+//!    floor, so recovered queries only match documents they would have
+//!    matched before the crash.
+//! 2. **Replay** the in-window document stream from a bounded [`ReplayLog`]:
+//!    Stage 1 + state maintenance only (no Stage 2, no output — those
+//!    results were already delivered before the crash). The PR 3 retention
+//!    ledger bounds what must be kept: once a document has aged beyond every
+//!    registered window (and the configured cap), no future output can
+//!    reference it, so the log can drop it too.
+//!
+//! Because ids, timestamps and registration order are all replayed exactly,
+//! the rebuilt engine's *subsequent* output is byte-identical to that of an
+//! engine that never failed — the property the chaos differential harness
+//! asserts.
+
+use crate::config::EngineConfig;
+use crate::engine::MmqjpEngine;
+use crate::error::CoreResult;
+use mmqjp_relational::StringInterner;
+use mmqjp_xml::Document;
+use mmqjp_xscl::{Window, XsclQuery};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A live subscription as retained by the coordinator for recovery: the
+/// normalized query plus the arrival floor it was originally registered at.
+#[derive(Debug, Clone)]
+pub(crate) struct RetainedQuery {
+    /// The query, exactly as first registered.
+    pub(crate) query: XsclQuery,
+    /// `next_doc_seq` at original registration time: the query only matches
+    /// documents with a later sequence number.
+    pub(crate) floor: u64,
+}
+
+/// A bounded log of already-prepared document batches (ids and timestamps
+/// assigned), retained only as far back as some registered window can still
+/// reach. Held by the coordinator — one log serves every shard, because
+/// under both topologies every shard's state derives from the same global
+/// document stream.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayLog {
+    entries: VecDeque<ReplayEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct ReplayEntry {
+    docs: Vec<Document>,
+    /// Newest timestamp in `docs`; the whole entry is retired once this ages
+    /// beyond the retention bound.
+    max_ts: u64,
+}
+
+impl ReplayLog {
+    /// Append one processed batch (already id- and timestamp-stamped).
+    /// Empty batches carry no replayable state and are skipped.
+    pub(crate) fn record(&mut self, docs: Vec<Document>) {
+        if docs.is_empty() {
+            return;
+        }
+        let max_ts = docs.iter().map(|d| d.timestamp().raw()).max().unwrap_or(0);
+        self.entries.push_back(ReplayEntry { docs, max_ts });
+    }
+
+    /// Drop entries whose newest document has aged beyond `bound` relative
+    /// to the stream watermark `newest`. A `None` bound (some window is
+    /// unbounded and no cap is configured) retains everything, mirroring
+    /// document retention in the engine itself. Batches are retired whole:
+    /// an entry whose newest document is still in-window is kept even if
+    /// older documents in it are not — replay re-runs the engine's own
+    /// eviction, so over-retention cannot change the rebuilt state.
+    pub(crate) fn evict(&mut self, newest: u64, bound: Option<u64>) {
+        let Some(bound) = bound else { return };
+        let cutoff = newest.saturating_sub(bound);
+        while let Some(front) = self.entries.front() {
+            if front.max_ts >= cutoff {
+                break;
+            }
+            self.entries.pop_front();
+        }
+    }
+
+    /// Number of retained batches.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log retains no batches.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total documents across all retained batches.
+    pub fn total_docs(&self) -> usize {
+        self.entries.iter().map(|e| e.docs.len()).sum()
+    }
+
+    /// Newest timestamp of the oldest retained batch, if any — used by the
+    /// audit to check the log stays within its retention bound.
+    pub(crate) fn oldest_entry_max_ts(&self) -> Option<u64> {
+        self.entries.front().map(|e| e.max_ts)
+    }
+
+    /// The retained batches, oldest first.
+    pub(crate) fn batches(&self) -> impl Iterator<Item = &[Document]> {
+        self.entries.iter().map(|e| e.docs.as_slice())
+    }
+}
+
+/// How far back replayable documents must be retained for the given live
+/// queries: the maximum time window, tightened (or, when every finite bound
+/// is unavailable, replaced) by `doc_retention_cap`. `None` — retain forever
+/// — only when some window is unbounded (`Infinite` or `Count`, which time
+/// cannot bound) *and* no cap is configured. Single-block subscriptions
+/// carry no join window and contribute nothing. Mirrors
+/// `MmqjpEngine::doc_retention_bound` so the log never evicts what a shard
+/// might still need.
+pub(crate) fn retention_bound<'a>(
+    queries: impl Iterator<Item = &'a XsclQuery>,
+    cap: Option<u64>,
+) -> Option<u64> {
+    let mut max_window: Option<u64> = Some(0);
+    for query in queries {
+        match query.window() {
+            Some(Window::Time(t)) => {
+                if let Some(m) = max_window.as_mut() {
+                    *m = (*m).max(t);
+                }
+            }
+            Some(Window::Infinite | Window::Count(_)) => max_window = None,
+            None => {}
+        }
+    }
+    match (max_window, cap) {
+        (Some(w), Some(c)) => Some(w.min(c)),
+        (Some(w), None) => Some(w),
+        (None, cap) => cap,
+    }
+}
+
+/// Rebuild a dead shard's engine from first principles: fresh engine on the
+/// shared interner, surviving subscriptions re-registered in ascending
+/// global-id order at their original floors, then the retained document
+/// stream replayed through Stage 1 + maintenance. Returns the rebuilt
+/// engine, the local [`QueryId`](mmqjp_xscl::QueryId)s' global counterparts
+/// in registration order, and the number of witness rows replayed.
+pub(crate) fn rebuild_shard_engine(
+    config: &EngineConfig,
+    interner: &Arc<StringInterner>,
+    queries: &[(u64, RetainedQuery)],
+    log: &ReplayLog,
+    ingested: u64,
+    newest: u64,
+) -> CoreResult<(MmqjpEngine, Vec<u64>, usize)> {
+    let mut engine = MmqjpEngine::with_interner(config.clone(), Arc::clone(interner));
+    let mut globals = Vec::with_capacity(queries.len());
+    for (global, retained) in queries {
+        engine.register_query_at_floor(retained.query.clone(), retained.floor)?;
+        globals.push(*global);
+    }
+    let mut rows = 0usize;
+    for batch in log.batches() {
+        rows += engine.replay_batch(batch)?;
+    }
+    engine.restore_watermarks(ingested, newest);
+    Ok((engine, globals, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmqjp_xml::parse_document;
+    use mmqjp_xml::{DocId, Timestamp};
+
+    fn doc(id: u64, ts: u64) -> Document {
+        let mut d = parse_document("<a><b>x</b></a>").expect("valid doc");
+        d.set_id(DocId(id));
+        d.set_timestamp(Timestamp(ts));
+        d
+    }
+
+    #[test]
+    fn log_records_and_evicts_by_entry_max_ts() {
+        let mut log = ReplayLog::default();
+        log.record(vec![]);
+        assert!(log.is_empty());
+        log.record(vec![doc(1, 10), doc(2, 20)]);
+        log.record(vec![doc(3, 30)]);
+        log.record(vec![doc(4, 45)]);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total_docs(), 4);
+        // Bound 20 at watermark 45: cutoff 25 retires only the first entry
+        // (max_ts 20); the entry with max_ts 30 survives whole.
+        log.evict(45, Some(20));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.oldest_entry_max_ts(), Some(30));
+        // Unbounded retention keeps everything.
+        log.evict(1_000_000, None);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn retention_bound_mirrors_engine_policy() {
+        use mmqjp_xscl::parse_query;
+        let q_win = |w: &str| {
+            parse_query(&format!(
+                "S//book->x1[.//author->x2] FOLLOWED BY{{x2=x5, {w}}} \
+                 S//blog->x4[.//author->x5]"
+            ))
+            .expect("valid query")
+        };
+        let a = q_win("100");
+        let b = q_win("500");
+        assert_eq!(retention_bound([&a, &b].into_iter(), None), Some(500));
+        assert_eq!(retention_bound([&a, &b].into_iter(), Some(200)), Some(200));
+        let inf = q_win("INF");
+        assert_eq!(retention_bound([&a, &inf].into_iter(), None), None);
+        assert_eq!(
+            retention_bound([&a, &inf].into_iter(), Some(800)),
+            Some(800)
+        );
+        let count = q_win("COUNT 10");
+        assert_eq!(retention_bound([&a, &count].into_iter(), None), None);
+        let single = parse_query("S//book->x1[.//author->x2]").expect("valid query");
+        assert_eq!(retention_bound([&single].into_iter(), None), Some(0));
+        assert_eq!(retention_bound([].into_iter(), None), Some(0));
+    }
+}

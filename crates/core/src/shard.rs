@@ -71,10 +71,12 @@
 //! bindings at the bottom of this module enforce this at compile time.
 
 use crate::audit::AuditViolation;
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, FaultPolicy};
 use crate::engine::MmqjpEngine;
 use crate::error::{CoreError, CoreResult};
+use crate::fault::{FaultInjector, FaultKind, QuarantineRecord, WorkerFault};
 use crate::output::{sort_matches, Binding, MatchOutput};
+use crate::recovery::{self, ReplayLog, RetainedQuery};
 use crate::relations::{RoutedBatch, WitnessBatch};
 use crate::stats::EngineStats;
 use mmqjp_relational::StringInterner;
@@ -84,6 +86,7 @@ use mmqjp_xpath::{
 };
 use mmqjp_xscl::{QueryId, SelectClause, XsclQuery};
 use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -113,6 +116,9 @@ enum Request {
     /// topology: the shard runs Stage 1 itself).
     Batch {
         docs: Vec<Document>,
+        /// Injected fault to deliver while serving this request (chaos
+        /// harness only; always `None` in production).
+        fault: Option<WorkerFault>,
         reply: Sender<CoreResult<Vec<MatchOutput>>>,
     },
     /// Process a routed witness batch (hybrid topology: Stage 1 already
@@ -120,6 +126,8 @@ enum Request {
     /// engine-global query ids.
     Witness {
         routed: Box<RoutedBatch>,
+        /// Injected fault to deliver while serving this request.
+        fault: Option<WorkerFault>,
         reply: Sender<CoreResult<Vec<MatchOutput>>>,
     },
     /// Snapshot the shard's statistics.
@@ -343,6 +351,8 @@ enum FrontRequest {
     /// coordinator) and return their Stage-1 output.
     Parse {
         docs: Vec<Document>,
+        /// Injected fault to deliver while serving this request.
+        fault: Option<WorkerFault>,
         reply: Sender<ParsedChunk>,
     },
 }
@@ -428,12 +438,61 @@ struct StagedBatch {
     docs: Vec<Document>,
     /// The front's single-block matches for this batch.
     singles: Vec<MatchOutput>,
+    /// Replay-log entry (all stamped survivors); `None` under
+    /// [`FaultPolicy::FailFast`].
+    log_entry: Option<Vec<Document>>,
+    /// Stream position before this batch was screened.
+    position: (u64, u64),
 }
 
 /// One batch in flight at the shards.
 struct InFlight {
-    responses: Vec<Receiver<CoreResult<Vec<MatchOutput>>>>,
+    /// Per-shard reply channels, tagged with the shard index (under
+    /// [`FaultPolicy::Degrade`] dead shards are skipped, so the indices are
+    /// not necessarily contiguous).
+    responses: Vec<(usize, Receiver<CoreResult<Vec<MatchOutput>>>)>,
     singles: Vec<MatchOutput>,
+    /// The batch's stamped survivor documents — the replay-log entry,
+    /// committed once collection completes (dispatched ⇒ eventually
+    /// logged). Doubles as the replicated heal-retry payload. `None` under
+    /// [`FaultPolicy::FailFast`] (no log is kept).
+    log_entry: Option<Vec<Document>>,
+    /// Hybrid heal-retry payloads, one slot per shard, populated only under
+    /// [`FaultPolicy::Quarantine`]; each slot is taken at most once.
+    retry_routed: Option<Vec<Option<RoutedBatch>>>,
+    /// The stream position (documents ingested, newest timestamp) *before*
+    /// this batch was screened — the position a healed shard must be
+    /// rebuilt at, because the replay log does not yet contain this batch.
+    position: (u64, u64),
+}
+
+/// Snapshot of the coordinator state mutated by Stage 1 of one batch; used
+/// by the pipelined `process_batches` to undo a staged batch that the
+/// previous batch's failure kept from ever being dispatched.
+#[derive(Debug, Clone, Copy)]
+struct Stage1Checkpoint {
+    seq: u64,
+    newest: u64,
+    front_stats: EngineStats,
+    quarantined: usize,
+    docs_quarantined: usize,
+}
+
+/// How Stage-1 screening treats a poison (out-of-order) document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PoisonHandling {
+    /// Historical [`FaultPolicy::FailFast`] semantics: the poison document
+    /// consumes its sequence number, then the batch fails.
+    Consume,
+    /// [`FaultPolicy::Quarantine`]: record the document and skip it without
+    /// consuming a sequence number, so survivors get exactly the ids a
+    /// fresh engine fed only survivors would assign.
+    Quarantine,
+    /// [`FaultPolicy::Degrade`] in the replicated topology: fail the batch
+    /// atomically (no sequence numbers consumed, no dispatch), keeping the
+    /// coordinator's watermark mirror in lockstep with shards that never
+    /// saw the batch.
+    Atomic,
 }
 
 /// A multi-core MMQJP engine: `N` independent [`MmqjpEngine`] shards over a
@@ -475,6 +534,42 @@ pub struct ShardedEngine {
     queries_per_shard: Vec<usize>,
     next_query: u64,
     live_queries: usize,
+    /// Replicated-topology mirror of every shard's document sequence.
+    /// Maintained only when `fault_policy != FailFast`: the coordinator then
+    /// screens and stamps batches itself (shards restamp identically), so it
+    /// always knows the stream position a dead shard must be rebuilt at. In
+    /// the hybrid topology the front stage owns these watermarks instead.
+    mirror_seq: u64,
+    /// Replicated-topology mirror of the newest timestamp; see
+    /// [`mirror_seq`](Self::mirror_seq).
+    mirror_newest: u64,
+    /// Batches ingested so far — the index fault plans and quarantine
+    /// records are keyed by. Counts every `process_batch` call (and every
+    /// batch of a `process_batches` call), empty or not.
+    batches_ingested: u64,
+    /// Live subscriptions retained for recovery, keyed by global query id
+    /// (ascending = original registration order). Empty under
+    /// [`FaultPolicy::FailFast`].
+    retained: BTreeMap<u64, RetainedQuery>,
+    /// Bounded log of stamped survivor batches for replay; empty under
+    /// [`FaultPolicy::FailFast`].
+    replay_log: ReplayLog,
+    /// Cached replay-log retention bound, recomputed on registration churn
+    /// so eviction does not rescan every retained query per batch.
+    retention: Option<u64>,
+    /// Quarantined (poison) documents awaiting
+    /// [`take_quarantine_records`](Self::take_quarantine_records).
+    quarantine: Vec<QuarantineRecord>,
+    /// Deterministic fault injector (chaos harness only); `None` in
+    /// production.
+    injector: Option<FaultInjector>,
+    /// Faults scheduled for the batch currently being ingested, drained as
+    /// each worker request is built.
+    pending_faults: Vec<FaultKind>,
+    /// Coordinator-side counters (`docs_quarantined`, `shards_respawned`,
+    /// `faults_injected`, recovery timings) merged into
+    /// [`stats`](Self::stats).
+    supervisor_stats: EngineStats,
 }
 
 impl ShardedEngine {
@@ -489,33 +584,17 @@ impl ShardedEngine {
         let shards = (0..num_shards)
             .map(|i| {
                 let engine = MmqjpEngine::with_interner(config.clone(), Arc::clone(&interner));
-                let (sender, receiver) = channel();
-                let handle = thread::Builder::new()
-                    .name(format!("mmqjp-shard-{i}"))
-                    .spawn(move || shard_worker(engine, receiver))
+                spawn_shard_worker(i, engine, Vec::new())
                     // lint:allow one-time startup; a failed spawn leaves no engine to return
-                    .expect("spawning a shard worker thread succeeds");
-                Shard {
-                    sender: Some(sender),
-                    handle: Some(handle),
-                }
+                    .expect("spawning a shard worker thread succeeds")
             })
             .collect();
         let front = (config.front_pool > 0).then(|| {
             let workers = (0..config.front_pool)
                 .map(|i| {
-                    let retain_documents = config.retain_documents;
-                    let streaming = config.streaming_front;
-                    let (sender, receiver) = channel();
-                    let handle = thread::Builder::new()
-                        .name(format!("mmqjp-front-{i}"))
-                        .spawn(move || front_worker(retain_documents, streaming, receiver))
+                    spawn_front_worker(i, config.retain_documents, config.streaming_front)
                         // lint:allow one-time startup; a failed spawn leaves no engine to return
-                        .expect("spawning a front worker thread succeeds");
-                    FrontWorker {
-                        sender: Some(sender),
-                        handle: Some(handle),
-                    }
+                        .expect("spawning a front worker thread succeeds")
                 })
                 .collect();
             FrontStage {
@@ -539,6 +618,16 @@ impl ShardedEngine {
             queries_per_shard: vec![0; num_shards],
             next_query: 0,
             live_queries: 0,
+            mirror_seq: 0,
+            mirror_newest: 0,
+            batches_ingested: 0,
+            retained: BTreeMap::new(),
+            replay_log: ReplayLog::default(),
+            retention: Some(0),
+            quarantine: Vec::new(),
+            injector: None,
+            pending_faults: Vec::new(),
+            supervisor_stats: EngineStats::default(),
         }
     }
 
@@ -601,6 +690,12 @@ impl ShardedEngine {
     pub fn register_query(&mut self, query: XsclQuery) -> CoreResult<QueryId> {
         let global = QueryId(self.next_query);
         let shard = shard_of(global, self.shards.len());
+        // Under a recovering fault policy the coordinator retains each live
+        // query (plus its arrival floor) so a dead shard can be rebuilt.
+        let retain = (self.config.fault_policy != FaultPolicy::FailFast).then(|| RetainedQuery {
+            query: query.clone(),
+            floor: self.stream_position().0,
+        });
         let (reply, response) = channel();
         self.send(
             shard,
@@ -617,6 +712,10 @@ impl ShardedEngine {
         self.next_query += 1;
         self.live_queries += 1;
         self.queries_per_shard[shard] += 1;
+        if let Some(retained) = retain {
+            self.retained.insert(global.raw(), retained);
+            self.refresh_retention();
+        }
         if self.front.is_some() {
             self.front_subscribe(shard, global, *footprint)?;
         }
@@ -638,6 +737,9 @@ impl ShardedEngine {
             .map_err(|_| CoreError::ShardUnavailable { shard })??;
         self.live_queries -= 1;
         self.queries_per_shard[shard] -= 1;
+        if self.retained.remove(&id.raw()).is_some() {
+            self.refresh_retention();
+        }
         if self.front.is_some() {
             self.front_unsubscribe(id)?;
         }
@@ -659,35 +761,92 @@ impl ShardedEngine {
     /// bindings)` order. The batched-evaluation trade-off of
     /// [`MmqjpEngine::process_batch`] applies unchanged.
     pub fn process_batch(&mut self, docs: Vec<Document>) -> CoreResult<Vec<MatchOutput>> {
+        let batch_index = self.begin_batch();
         if docs.is_empty() {
             return Ok(Vec::new());
         }
         if self.front.is_some() {
-            let staged = self.front_stage1(docs)?;
+            let staged = self.front_stage1(docs, batch_index)?;
             let in_flight = self.dispatch_routed(staged)?;
             return self.collect_shard_outputs(in_flight, false);
         }
-        // Fan the batch out to all shards before collecting any reply so the
-        // shards process it concurrently. The last shard takes ownership of
-        // the batch; the others get clones.
-        let mut responses = Vec::with_capacity(self.shards.len());
+        self.process_batch_replicated(docs, batch_index)
+    }
+
+    /// Replicated-topology batch processing: screen (when a recovering fault
+    /// policy is active), then fan the batch out to all live shards before
+    /// collecting any reply so the shards process it concurrently.
+    fn process_batch_replicated(
+        &mut self,
+        docs: Vec<Document>,
+        batch_index: u64,
+    ) -> CoreResult<Vec<MatchOutput>> {
+        let policy = self.config.fault_policy;
+        let position = (self.mirror_seq, self.mirror_newest);
+        // Under a recovering policy the coordinator screens and stamps the
+        // batch itself: shards then see only clean survivors (restamping
+        // them identically), and the stamped batch is what the replay log
+        // keeps. Under FailFast the shards screen as before and the
+        // coordinator stays off the hot path entirely.
+        let docs = if policy == FaultPolicy::FailFast {
+            docs
+        } else {
+            let survivors = screen_and_stamp(
+                docs,
+                &mut self.mirror_seq,
+                &mut self.mirror_newest,
+                self.config.enforce_in_order,
+                poison_handling(policy),
+                batch_index,
+                &mut self.quarantine,
+                &mut self.supervisor_stats.docs_quarantined,
+            )?;
+            if survivors.is_empty() {
+                return Ok(Vec::new());
+            }
+            survivors
+        };
+        let log_entry = (policy != FaultPolicy::FailFast).then(|| docs.clone());
+        // Only Degrade serves around a dead shard; under any other policy a
+        // dead shard at dispatch time is a hard availability error (the
+        // send below reports it).
+        let live: Vec<usize> = (0..self.shards.len())
+            .filter(|&s| policy != FaultPolicy::Degrade || self.shards[s].sender.is_some())
+            .collect();
+        let Some(&last) = live.last() else {
+            return Err(CoreError::ShardUnavailable { shard: 0 });
+        };
+        // The last live shard takes ownership of the batch; the others get
+        // clones.
+        let mut responses = Vec::with_capacity(live.len());
         let mut docs = Some(docs);
-        for shard in 0..self.shards.len() {
-            let batch = if shard + 1 == self.shards.len() {
+        for &shard in &live {
+            let batch = if shard == last {
                 // lint:allow the loop takes the batch only on its final iteration
                 docs.take().expect("batch is moved out exactly once")
             } else {
                 // lint:allow the loop takes the batch only on its final iteration
                 docs.as_ref().expect("batch not yet moved").clone()
             };
+            let fault = self.worker_fault_for_shard(shard);
             let (reply, response) = channel();
-            self.send(shard, Request::Batch { docs: batch, reply })?;
-            responses.push(response);
+            self.send(
+                shard,
+                Request::Batch {
+                    docs: batch,
+                    fault,
+                    reply,
+                },
+            )?;
+            responses.push((shard, response));
         }
         self.collect_shard_outputs(
             InFlight {
                 responses,
                 singles: Vec::new(),
+                log_entry,
+                retry_routed: None,
+                position,
             },
             false,
         )
@@ -720,6 +879,7 @@ impl ShardedEngine {
         let mut results = Vec::with_capacity(batches.len());
         let mut in_flight: Option<InFlight> = None;
         for batch in batches {
+            let batch_index = self.begin_batch();
             if batch.is_empty() {
                 // Nothing to parse or dispatch; settle the pipeline so the
                 // empty result lands at the right position.
@@ -729,7 +889,13 @@ impl ShardedEngine {
                 results.push(Vec::new());
                 continue;
             }
-            let staged = match self.front_stage1(batch) {
+            // Checkpoint the front's Stage-1 side effects: if collecting the
+            // *previous* batch fails below, the staged batch is dropped
+            // undispatched and must leave no trace, or the document sequence
+            // would drift ahead of what the shards (and a single engine fed
+            // the same stream) ever saw.
+            let checkpoint = self.checkpoint_stage1();
+            let staged = match self.front_stage1(batch, batch_index) {
                 Ok(staged) => staged,
                 Err(e) => {
                     // Drain the in-flight batch before propagating, keeping
@@ -741,7 +907,13 @@ impl ShardedEngine {
                 }
             };
             if let Some(prev) = in_flight.take() {
-                results.push(self.collect_shard_outputs(prev, true)?);
+                match self.collect_shard_outputs(prev, true) {
+                    Ok(outputs) => results.push(outputs),
+                    Err(e) => {
+                        self.rollback_stage1(checkpoint);
+                        return Err(e);
+                    }
+                }
             }
             in_flight = Some(self.dispatch_routed(staged)?);
         }
@@ -751,19 +923,269 @@ impl ShardedEngine {
         Ok(results)
     }
 
+    /// Snapshot every piece of coordinator state `front_stage1` mutates, so
+    /// a staged-but-never-dispatched batch can be undone. Worker threads
+    /// hold no per-batch state (parsing is snapshot-pure), so restoring
+    /// these fields is a complete rollback.
+    fn checkpoint_stage1(&self) -> Stage1Checkpoint {
+        let (seq, newest, stats) = match &self.front {
+            Some(front) => (front.next_doc_seq, front.newest_timestamp, front.stats),
+            None => (self.mirror_seq, self.mirror_newest, EngineStats::default()),
+        };
+        Stage1Checkpoint {
+            seq,
+            newest,
+            front_stats: stats,
+            quarantined: self.quarantine.len(),
+            docs_quarantined: self.supervisor_stats.docs_quarantined,
+        }
+    }
+
+    /// Undo the Stage-1 side effects of a staged batch that was never
+    /// dispatched (see [`checkpoint_stage1`](Self::checkpoint_stage1)).
+    fn rollback_stage1(&mut self, checkpoint: Stage1Checkpoint) {
+        match self.front.as_mut() {
+            Some(front) => {
+                front.next_doc_seq = checkpoint.seq;
+                front.newest_timestamp = checkpoint.newest;
+                front.stats = checkpoint.front_stats;
+            }
+            None => {
+                self.mirror_seq = checkpoint.seq;
+                self.mirror_newest = checkpoint.newest;
+            }
+        }
+        self.quarantine.truncate(checkpoint.quarantined);
+        self.supervisor_stats.docs_quarantined = checkpoint.docs_quarantined;
+    }
+
+    // ------------------------------------------------------------------
+    // Failure model
+    // ------------------------------------------------------------------
+
+    /// Install a deterministic fault injector. Each subsequent batch asks
+    /// the injector for its scheduled faults ([`FaultKind`]) and delivers
+    /// the worker-directed ones (panic a shard, drop a reply, panic a front
+    /// worker) while serving that batch. Document-content faults are the
+    /// chaos harness's job — it owns the input stream and must mutate the
+    /// reference stream identically — so the engine ignores them.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Drain the quarantined-document records accumulated since the last
+    /// call (only [`FaultPolicy::Quarantine`] produces any). Each record
+    /// pins the poison document by `(batch, doc_index)` of the ingestion
+    /// call that rejected it.
+    pub fn take_quarantine_records(&mut self) -> Vec<QuarantineRecord> {
+        std::mem::take(&mut self.quarantine)
+    }
+
+    /// The bounded replay log backing shard recovery. Empty under
+    /// [`FaultPolicy::FailFast`].
+    pub fn replay_log(&self) -> &ReplayLog {
+        &self.replay_log
+    }
+
+    /// Shards whose worker has died and not (yet) been respawned. Always
+    /// empty under [`FaultPolicy::Quarantine`] between calls (dead shards
+    /// are healed inline) and under [`FaultPolicy::FailFast`] before the
+    /// first failure.
+    pub fn degraded_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.sender.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Respawn shard `shard`'s worker with deterministically rebuilt state:
+    /// a fresh engine, the shard's surviving subscriptions re-registered at
+    /// their original arrival floors, and the retained document stream
+    /// replayed (see [`recovery`]). Requires a recovering fault policy —
+    /// under [`FaultPolicy::FailFast`] nothing is retained to rebuild from,
+    /// so this errors with [`CoreError::ShardUnavailable`]. Under
+    /// [`FaultPolicy::Quarantine`] the supervisor calls this automatically;
+    /// under [`FaultPolicy::Degrade`] call it manually to restore a
+    /// degraded shard.
+    pub fn respawn_shard(&mut self, shard: usize) -> CoreResult<()> {
+        let (ingested, newest) = self.stream_position();
+        self.respawn_shard_at(shard, ingested, newest)
+    }
+
+    /// [`respawn_shard`](Self::respawn_shard) at an explicit stream
+    /// position — the supervisor heals mid-collection, when the watermarks
+    /// already include the in-flight batch that the replay log does not.
+    fn respawn_shard_at(&mut self, shard: usize, ingested: u64, newest: u64) -> CoreResult<()> {
+        if self.config.fault_policy == FaultPolicy::FailFast {
+            return Err(CoreError::ShardUnavailable { shard });
+        }
+        let t0 = Instant::now();
+        self.retire_shard(shard);
+        let queries: Vec<(u64, RetainedQuery)> = self
+            .retained
+            .iter()
+            .filter(|(global, _)| shard_of(QueryId(**global), self.shards.len()) == shard)
+            .map(|(global, retained)| (*global, retained.clone()))
+            .collect();
+        let (engine, globals, _rows) = recovery::rebuild_shard_engine(
+            &self.config,
+            &self.interner,
+            &queries,
+            &self.replay_log,
+            ingested,
+            newest,
+        )?;
+        let globals = globals.into_iter().map(QueryId).collect();
+        self.shards[shard] = spawn_shard_worker(shard, engine, globals)
+            .map_err(|_| CoreError::ShardUnavailable { shard })?;
+        self.supervisor_stats.shards_respawned += 1;
+        self.supervisor_stats.timings.recovery += t0.elapsed();
+        Ok(())
+    }
+
+    /// Retire a dead or desynchronized shard worker: close its request
+    /// channel (ending its loop if it is still alive) and reap the thread.
+    fn retire_shard(&mut self, shard: usize) {
+        self.shards[shard].sender = None;
+        if let Some(handle) = self.shards[shard].handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Heal a shard that died while serving the in-flight batch: respawn it
+    /// at the pre-batch stream position (the replay log does not contain
+    /// the in-flight batch yet), then re-serve it this batch's payload —
+    /// fault-free — and return its matches. The rebuilt state plus the
+    /// retried batch leave the shard byte-identical to one that never died.
+    fn heal_shard(
+        &mut self,
+        shard: usize,
+        log_entry: &Option<Vec<Document>>,
+        retry_routed: &mut Option<Vec<Option<RoutedBatch>>>,
+        position: (u64, u64),
+    ) -> CoreResult<Vec<MatchOutput>> {
+        let t0 = Instant::now();
+        self.respawn_shard_at(shard, position.0, position.1)?;
+        let (reply, response) = channel();
+        match retry_routed.as_mut() {
+            Some(per_shard) => {
+                let routed = per_shard
+                    .get_mut(shard)
+                    .and_then(Option::take)
+                    .ok_or(CoreError::ShardUnavailable { shard })?;
+                self.send(
+                    shard,
+                    Request::Witness {
+                        routed: Box::new(routed),
+                        fault: None,
+                        reply,
+                    },
+                )?;
+            }
+            None => {
+                let docs = log_entry
+                    .clone()
+                    .ok_or(CoreError::ShardUnavailable { shard })?;
+                self.send(
+                    shard,
+                    Request::Batch {
+                        docs,
+                        fault: None,
+                        reply,
+                    },
+                )?;
+            }
+        }
+        let outputs = response
+            .recv()
+            .map_err(|_| CoreError::ShardUnavailable { shard })?;
+        self.supervisor_stats.timings.recovery += t0.elapsed();
+        outputs
+    }
+
+    /// Advance the batch counter and fetch the faults scheduled for the new
+    /// batch, if an injector is installed.
+    fn begin_batch(&mut self) -> u64 {
+        let index = self.batches_ingested;
+        self.batches_ingested += 1;
+        self.pending_faults = match self.injector.as_mut() {
+            Some(injector) => injector.faults_for(index),
+            None => Vec::new(),
+        };
+        index
+    }
+
+    /// Drain the pending worker fault aimed at shard `shard` for the
+    /// current batch, if any.
+    fn worker_fault_for_shard(&mut self, shard: usize) -> Option<WorkerFault> {
+        let position = self.pending_faults.iter().position(|f| {
+            matches!(f, FaultKind::PanicShard { shard: s } if *s == shard)
+                || matches!(f, FaultKind::DropResponse { shard: s } if *s == shard)
+        })?;
+        let fault = match self.pending_faults.swap_remove(position) {
+            FaultKind::PanicShard { .. } => WorkerFault::Panic,
+            FaultKind::DropResponse { .. } => WorkerFault::DropReply,
+            _ => return None,
+        };
+        self.supervisor_stats.faults_injected += 1;
+        Some(fault)
+    }
+
+    /// Drain the pending worker fault aimed at front worker `worker` for
+    /// the current batch, if any.
+    fn worker_fault_for_front(&mut self, worker: usize) -> Option<WorkerFault> {
+        let position = self
+            .pending_faults
+            .iter()
+            .position(|f| matches!(f, FaultKind::PanicFront { worker: w } if *w == worker))?;
+        self.pending_faults.swap_remove(position);
+        self.supervisor_stats.faults_injected += 1;
+        Some(WorkerFault::Panic)
+    }
+
+    /// The global stream position: documents ingested and the newest
+    /// timestamp. Owned by the front stage in the hybrid topology and by
+    /// the coordinator's mirror in the replicated one.
+    fn stream_position(&self) -> (u64, u64) {
+        match &self.front {
+            Some(front) => (front.next_doc_seq, front.newest_timestamp),
+            None => (self.mirror_seq, self.mirror_newest),
+        }
+    }
+
+    /// Recompute the cached replay-log retention bound from the retained
+    /// query population.
+    fn refresh_retention(&mut self) {
+        self.retention = recovery::retention_bound(
+            self.retained.values().map(|r| &r.query),
+            self.config.doc_retention_cap,
+        );
+    }
+
     /// Aggregate statistics: the field-wise sum of every shard's
     /// [`EngineStats`], plus the front stage's own stats in the hybrid
     /// topology (see the `Sum` impl on [`EngineStats`] for the exact
     /// semantics — notably `documents_processed` counts per-shard work in
     /// the replicated topology, so it is `num_shards ×` the number of
     /// ingested documents there, while the hybrid front counts each
-    /// document exactly once). Errors with [`CoreError::ShardUnavailable`]
-    /// if a shard worker is gone, rather than silently under-reporting.
+    /// document exactly once), plus the coordinator's own failure-model
+    /// counters (`docs_quarantined`, `shards_respawned`, `faults_injected`
+    /// and recovery timings). Errors with [`CoreError::ShardUnavailable`]
+    /// if a shard worker is gone — except under [`FaultPolicy::Degrade`],
+    /// where dead shards contribute zeroes (their state died with them).
     pub fn stats(&self) -> CoreResult<EngineStats> {
         let mut total: EngineStats = self.shard_stats()?.into_iter().sum();
         if let Some(front) = &self.front {
             total += front.stats;
         }
+        total += self.supervisor_stats;
         Ok(total)
     }
 
@@ -775,21 +1197,30 @@ impl ShardedEngine {
         self.front.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
-    /// Per-shard statistics snapshots, by shard index.
+    /// Per-shard statistics snapshots, by shard index. Under
+    /// [`FaultPolicy::Degrade`] a dead shard reports all-zero stats (its
+    /// state died with it); under any other policy a dead shard errors with
+    /// [`CoreError::ShardUnavailable`].
     pub fn shard_stats(&self) -> CoreResult<Vec<EngineStats>> {
+        let degrade = self.config.fault_policy == FaultPolicy::Degrade;
         let mut responses = Vec::with_capacity(self.shards.len());
         for shard in 0..self.shards.len() {
+            if degrade && self.shards[shard].sender.is_none() {
+                responses.push(None);
+                continue;
+            }
             let (reply, response) = channel();
             self.send(shard, Request::Stats { reply })?;
-            responses.push(response);
+            responses.push(Some(response));
         }
         responses
             .into_iter()
             .enumerate()
-            .map(|(shard, response)| {
-                response
+            .map(|(shard, response)| match response {
+                Some(response) => response
                     .recv()
-                    .map_err(|_| CoreError::ShardUnavailable { shard })
+                    .map_err(|_| CoreError::ShardUnavailable { shard }),
+                None => Ok(EngineStats::default()),
             })
             .collect()
     }
@@ -800,18 +1231,28 @@ impl ShardedEngine {
     /// accounting, and — in the hybrid topology — the front stage's mirrored
     /// subscription state (master pattern index, global requested-edge
     /// union, witness-router table and single-block list), each recomputed
-    /// from the live query footprints. Read-only; a healthy engine returns
-    /// an empty vector. Errors with [`CoreError::ShardUnavailable`] if a
-    /// shard worker is gone.
+    /// from the live query footprints. When a recovering fault policy is
+    /// active, additionally checks the recovery machinery itself: the
+    /// retained-query ledger tracks every live query and the replay log
+    /// stays within its retention bound. Read-only; a healthy engine
+    /// returns an empty vector. Errors with [`CoreError::ShardUnavailable`]
+    /// if a shard worker is gone — except under [`FaultPolicy::Degrade`],
+    /// where dead shards are skipped (they have no state left to audit).
     pub fn audit(&self) -> CoreResult<Vec<AuditViolation>> {
+        let degrade = self.config.fault_policy == FaultPolicy::Degrade;
         let mut out = Vec::new();
         let mut responses = Vec::with_capacity(self.shards.len());
         for shard in 0..self.shards.len() {
+            if degrade && self.shards[shard].sender.is_none() {
+                responses.push(None);
+                continue;
+            }
             let (reply, response) = channel();
             self.send(shard, Request::Audit { reply })?;
-            responses.push(response);
+            responses.push(Some(response));
         }
         for (shard, response) in responses.into_iter().enumerate() {
+            let Some(response) = response else { continue };
             let violations = response
                 .recv()
                 .map_err(|_| CoreError::ShardUnavailable { shard })?;
@@ -831,6 +1272,23 @@ impl ShardedEngine {
                 tracked: self.live_queries,
                 summed,
             });
+        }
+
+        if self.config.fault_policy != FaultPolicy::FailFast {
+            if self.retained.len() != self.live_queries {
+                out.push(AuditViolation::RetainedQueryCount {
+                    retained: self.retained.len(),
+                    live: self.live_queries,
+                });
+            }
+            if let (Some(oldest), Some(bound)) =
+                (self.replay_log.oldest_entry_max_ts(), self.retention)
+            {
+                let cutoff = self.stream_position().1.saturating_sub(bound);
+                if oldest < cutoff {
+                    out.push(AuditViolation::ReplayLogOverRetention { oldest, cutoff });
+                }
+            }
         }
 
         if let Some(front) = &self.front {
@@ -1123,39 +1581,51 @@ impl ShardedEngine {
     }
 
     /// Run Stage 1 for one batch: assign ids/timestamps (the front owns the
-    /// global sequence), enforce in-order arrival, parse and pattern-match
-    /// document-parallel across the front pool, answer single-block
-    /// subscriptions, and route the witness rows into per-shard batches.
-    fn front_stage1(&mut self, docs: Vec<Document>) -> CoreResult<StagedBatch> {
+    /// global sequence), enforce in-order arrival (quarantining poison
+    /// documents under [`FaultPolicy::Quarantine`] instead of failing),
+    /// parse and pattern-match document-parallel across the front pool,
+    /// answer single-block subscriptions, and route the witness rows into
+    /// per-shard batches. A front worker that dies mid-parse is respawned
+    /// and its slice retried under [`FaultPolicy::Quarantine`]; under any
+    /// other policy its death fails the batch.
+    fn front_stage1(&mut self, docs: Vec<Document>, batch_index: u64) -> CoreResult<StagedBatch> {
         let num_shards = self.shards.len();
         let retain_documents = self.config.retain_documents;
+        let streaming = self.config.streaming_front;
         let enforce_in_order = self.config.enforce_in_order;
+        let policy = self.config.fault_policy;
+        // Drain worker-directed faults before borrowing the front stage.
+        let front_faults: Vec<Option<WorkerFault>> = (0..self.config.front_pool)
+            .map(|worker| self.worker_fault_for_front(worker))
+            .collect();
         let front = self
             .front
             .as_mut()
             .ok_or(CoreError::internal("hybrid topology is enabled"))?;
+        let position = (front.next_doc_seq, front.newest_timestamp);
 
         // Mirror the single engine's Stage-1 loop: ids/timestamps are
-        // assigned per document in arrival order, and a rejected document
-        // aborts the whole batch before anything reaches a shard (the
-        // sequence numbers consumed so far stay consumed, exactly like
-        // `MmqjpEngine::process_batch`).
-        let mut prepared = Vec::with_capacity(docs.len());
-        for mut doc in docs {
-            front.next_doc_seq += 1;
-            doc.set_id(DocId(front.next_doc_seq));
-            if doc.timestamp().raw() == 0 {
-                doc.set_timestamp(Timestamp(front.next_doc_seq));
-            }
-            if enforce_in_order && doc.timestamp().raw() < front.newest_timestamp {
-                return Err(CoreError::OutOfOrderDocument {
-                    timestamp: doc.timestamp().raw(),
-                    newest: front.newest_timestamp,
-                });
-            }
-            front.newest_timestamp = front.newest_timestamp.max(doc.timestamp().raw());
-            prepared.push(doc);
-        }
+        // assigned per document in arrival order. Outside Quarantine a
+        // rejected document aborts the whole batch before anything reaches
+        // a shard (the sequence numbers consumed so far stay consumed,
+        // exactly like `MmqjpEngine::process_batch`); under Quarantine the
+        // poison document is recorded and skipped without consuming a
+        // sequence number.
+        let handling = match policy {
+            FaultPolicy::Quarantine => PoisonHandling::Quarantine,
+            FaultPolicy::FailFast | FaultPolicy::Degrade => PoisonHandling::Consume,
+        };
+        let prepared = screen_and_stamp(
+            docs,
+            &mut front.next_doc_seq,
+            &mut front.newest_timestamp,
+            enforce_in_order,
+            handling,
+            batch_index,
+            &mut self.quarantine,
+            &mut self.supervisor_stats.docs_quarantined,
+        )?;
+        let log_entry = (policy != FaultPolicy::FailFast).then(|| prepared.clone());
 
         // Document-parallel Stage 1: contiguous slices across the pool keep
         // arrival order trivially reconstructible on collection.
@@ -1168,21 +1638,60 @@ impl ShardedEngine {
                 break;
             }
             let worker = pending.len();
+            let retry = (policy == FaultPolicy::Quarantine).then(|| slice.clone());
+            let fault = front_faults.get(worker).copied().flatten();
             let (reply, response) = channel();
             front.workers[worker]
                 .sender
                 .as_ref()
                 .ok_or(CoreError::ShardUnavailable { shard: worker })?
-                .send(FrontRequest::Parse { docs: slice, reply })
+                .send(FrontRequest::Parse {
+                    docs: slice,
+                    fault,
+                    reply,
+                })
                 .map_err(|_| CoreError::ShardUnavailable { shard: worker })?;
-            pending.push(response);
+            pending.push((response, retry));
         }
         let mut parsed: Vec<ParsedDoc> = Vec::new();
         let mut parse_work = Duration::ZERO;
-        for (worker, response) in pending.into_iter().enumerate() {
-            let chunk = response
-                .recv()
-                .map_err(|_| CoreError::ShardUnavailable { shard: worker })?;
+        for (worker, (response, retry)) in pending.into_iter().enumerate() {
+            let chunk = match response.recv() {
+                Ok(chunk) => chunk,
+                Err(_) if policy == FaultPolicy::Quarantine => {
+                    // The worker died mid-parse. Parsing is snapshot-pure, so
+                    // healing is a respawn, a targeted sync and one retry of
+                    // the same slice.
+                    let t0 = Instant::now();
+                    let respawned = spawn_front_worker(worker, retain_documents, streaming)
+                        .map_err(|_| CoreError::ShardUnavailable { shard: worker })?;
+                    let old = std::mem::replace(&mut front.workers[worker], respawned);
+                    drop(old.sender);
+                    if let Some(handle) = old.handle {
+                        let _ = handle.join();
+                    }
+                    sync_one_front_worker(front, worker)?;
+                    let docs = retry.ok_or(CoreError::ShardUnavailable { shard: worker })?;
+                    let (reply, response) = channel();
+                    front.workers[worker]
+                        .sender
+                        .as_ref()
+                        .ok_or(CoreError::ShardUnavailable { shard: worker })?
+                        .send(FrontRequest::Parse {
+                            docs,
+                            fault: None,
+                            reply,
+                        })
+                        .map_err(|_| CoreError::ShardUnavailable { shard: worker })?;
+                    let chunk = response
+                        .recv()
+                        .map_err(|_| CoreError::ShardUnavailable { shard: worker })?;
+                    self.supervisor_stats.shards_respawned += 1;
+                    self.supervisor_stats.timings.recovery += t0.elapsed();
+                    chunk
+                }
+                Err(_) => return Err(CoreError::ShardUnavailable { shard: worker }),
+            };
             parse_work += chunk.elapsed;
             parsed.extend(chunk.docs);
         }
@@ -1220,45 +1729,78 @@ impl ShardedEngine {
             doc_meta,
             docs: retained,
             singles,
+            log_entry,
+            position,
         })
     }
 
-    /// Send one staged batch's routed witness rows to every shard (the last
-    /// shard takes ownership of the retained documents; the others get
-    /// clones) without waiting for the replies.
+    /// Send one staged batch's routed witness rows to every live shard (the
+    /// last live shard takes ownership of the retained documents; the
+    /// others get clones) without waiting for the replies. Under
+    /// [`FaultPolicy::Degrade`] dead shards are skipped; under
+    /// [`FaultPolicy::Quarantine`] each shard's payload is also kept for a
+    /// potential heal-retry.
     fn dispatch_routed(&mut self, staged: StagedBatch) -> CoreResult<InFlight> {
         let StagedBatch {
             shard_batches,
             doc_meta,
             docs,
             singles,
+            log_entry,
+            position,
         } = staged;
-        let num_shards = self.shards.len();
-        let mut responses = Vec::with_capacity(num_shards);
+        let keep_retry = self.config.fault_policy == FaultPolicy::Quarantine;
+        // As in the replicated path: only Degrade routes around a dead
+        // shard; every other policy hits the availability error on send.
+        let degrade = self.config.fault_policy == FaultPolicy::Degrade;
+        let live: Vec<usize> = (0..self.shards.len())
+            .filter(|&s| !degrade || self.shards[s].sender.is_some())
+            .collect();
+        let Some(&last) = live.last() else {
+            return Err(CoreError::ShardUnavailable { shard: 0 });
+        };
+        let mut responses = Vec::with_capacity(live.len());
+        let mut retry_routed: Option<Vec<Option<RoutedBatch>>> =
+            keep_retry.then(|| self.shards.iter().map(|_| None).collect());
         let mut docs = Some(docs);
         for (shard, batch) in shard_batches.into_iter().enumerate() {
-            let shard_docs = if shard + 1 == num_shards {
+            if !live.contains(&shard) {
+                continue;
+            }
+            let shard_docs = if shard == last {
                 // lint:allow the loop takes the documents only on its final iteration
                 docs.take().expect("documents are moved out exactly once")
             } else {
                 // lint:allow the loop takes the documents only on its final iteration
                 docs.as_ref().expect("documents not yet moved").clone()
             };
+            let routed = RoutedBatch {
+                batch,
+                doc_meta: doc_meta.clone(),
+                docs: shard_docs,
+            };
+            if let Some(slots) = retry_routed.as_mut() {
+                slots[shard] = Some(routed.clone());
+            }
+            let fault = self.worker_fault_for_shard(shard);
             let (reply, response) = channel();
             self.send(
                 shard,
                 Request::Witness {
-                    routed: Box::new(RoutedBatch {
-                        batch,
-                        doc_meta: doc_meta.clone(),
-                        docs: shard_docs,
-                    }),
+                    routed: Box::new(routed),
+                    fault,
                     reply,
                 },
             )?;
-            responses.push(response);
+            responses.push((shard, response));
         }
-        Ok(InFlight { responses, singles })
+        Ok(InFlight {
+            responses,
+            singles,
+            log_entry,
+            retry_routed,
+            position,
+        })
     }
 
     /// Collect every shard's reply for one batch — even after an error, so
@@ -1267,16 +1809,31 @@ impl ShardedEngine {
     /// `overlapped`, the front just finished Stage 1 of the *next* batch;
     /// a shard that has not replied yet then means the front is stalling on
     /// Stage 2, counted once per batch in `pipeline_stalls`.
+    ///
+    /// This is also where the supervisor lives: a reply of
+    /// [`CoreError::ShardPanicked`] or a disconnected channel marks the
+    /// shard dead, and the fault policy decides what happens next —
+    /// FailFast propagates the death as this batch's error, Quarantine
+    /// heals the shard inline (respawn, replay, retry this batch's
+    /// payload), and Degrade retires the shard and keeps serving the rest.
+    /// Once collection completes the batch is committed to the replay log
+    /// (dispatched ⇒ logged), which is then evicted to its retention bound.
     fn collect_shard_outputs(
         &mut self,
         in_flight: InFlight,
         overlapped: bool,
     ) -> CoreResult<Vec<MatchOutput>> {
-        let InFlight { responses, singles } = in_flight;
+        let InFlight {
+            responses,
+            singles,
+            log_entry,
+            mut retry_routed,
+            position,
+        } = in_flight;
         let mut merged = singles;
-        let mut first_error = None;
+        let mut first_error: Option<CoreError> = None;
         let mut stalled = false;
-        for (shard, response) in responses.into_iter().enumerate() {
+        for (shard, response) in responses {
             let received = if overlapped {
                 match response.try_recv() {
                     Ok(result) => Ok(result),
@@ -1289,16 +1846,43 @@ impl ShardedEngine {
             } else {
                 response.recv().map_err(|_| ())
             };
-            match received {
-                Ok(Ok(outputs)) => merged.extend(outputs),
-                Ok(Err(e)) => {
-                    if first_error.is_none() {
-                        first_error = Some(e);
+            // A panic reply or a dead channel both mean the worker's state
+            // is gone or suspect: retire it, then apply the fault policy. A
+            // typed error from a live worker (e.g. a rejected document in
+            // the replicated FailFast path) is this batch's error under
+            // every policy — the worker itself is fine.
+            let death = match &received {
+                Err(()) => true,
+                Ok(Err(CoreError::ShardPanicked { .. })) => true,
+                Ok(_) => false,
+            };
+            let outcome = if death {
+                self.retire_shard(shard);
+                match self.config.fault_policy {
+                    FaultPolicy::FailFast => Err(match received {
+                        Ok(Err(e)) => e,
+                        _ => CoreError::ShardUnavailable { shard },
+                    }),
+                    FaultPolicy::Degrade => {
+                        // Serve what the surviving shards produced; the dead
+                        // shard's queries go dark until a manual respawn.
+                        continue;
+                    }
+                    FaultPolicy::Quarantine => {
+                        self.heal_shard(shard, &log_entry, &mut retry_routed, position)
                     }
                 }
-                Err(()) => {
+            } else {
+                match received {
+                    Ok(result) => result,
+                    Err(()) => Err(CoreError::ShardUnavailable { shard }),
+                }
+            };
+            match outcome {
+                Ok(outputs) => merged.extend(outputs),
+                Err(e) => {
                     if first_error.is_none() {
-                        first_error = Some(CoreError::ShardUnavailable { shard });
+                        first_error = Some(e);
                     }
                 }
             }
@@ -1307,6 +1891,14 @@ impl ShardedEngine {
             if let Some(front) = self.front.as_mut() {
                 front.stats.pipeline_stalls += 1;
             }
+        }
+        // Dispatched ⇒ logged: the surviving shards absorbed this batch even
+        // if one of them reported an error, so a future rebuild must replay
+        // it. Eviction keeps the log within the live retention bound.
+        if let Some(docs) = log_entry {
+            self.replay_log.record(docs);
+            let newest = self.stream_position().1;
+            self.replay_log.evict(newest, self.retention);
         }
         if let Some(e) = first_error {
             return Err(e);
@@ -1356,18 +1948,168 @@ fn shard_of(id: QueryId, num_shards: usize) -> usize {
     ((id.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % num_shards as u64) as usize
 }
 
+/// Spawn the worker thread for shard `shard` around `engine`.
+/// `initial_globals` seeds the local→global id map — empty at construction,
+/// the shard's surviving ids (ascending, matching the rebuilt engine's
+/// re-registration order) on respawn.
+fn spawn_shard_worker(
+    shard: usize,
+    engine: MmqjpEngine,
+    initial_globals: Vec<QueryId>,
+) -> std::io::Result<Shard> {
+    let (sender, receiver) = channel();
+    let handle = thread::Builder::new()
+        .name(format!("mmqjp-shard-{shard}"))
+        .spawn(move || shard_worker(engine, receiver, shard, initial_globals))?;
+    Ok(Shard {
+        sender: Some(sender),
+        handle: Some(handle),
+    })
+}
+
+/// Spawn the front worker thread with index `worker`.
+fn spawn_front_worker(
+    worker: usize,
+    retain_documents: bool,
+    streaming: bool,
+) -> std::io::Result<FrontWorker> {
+    let (sender, receiver) = channel();
+    let handle = thread::Builder::new()
+        .name(format!("mmqjp-front-{worker}"))
+        .spawn(move || front_worker(retain_documents, streaming, receiver))?;
+    Ok(FrontWorker {
+        sender: Some(sender),
+        handle: Some(handle),
+    })
+}
+
+/// Push the front stage's current subscription snapshot to one worker (a
+/// freshly respawned one; its peers already hold it) and await the ack.
+fn sync_one_front_worker(front: &FrontStage, worker: usize) -> CoreResult<()> {
+    let (reply, response) = channel();
+    front.workers[worker]
+        .sender
+        .as_ref()
+        .ok_or(CoreError::ShardUnavailable { shard: worker })?
+        .send(FrontRequest::Sync {
+            index: Box::new(front.index.clone()),
+            requested: front.requested.clone(),
+            singles: front.singles.clone(),
+            reply,
+        })
+        .map_err(|_| CoreError::ShardUnavailable { shard: worker })?;
+    response
+        .recv()
+        .map_err(|_| CoreError::ShardUnavailable { shard: worker })
+}
+
+/// Map a fault policy to the replicated coordinator's poison handling.
+fn poison_handling(policy: FaultPolicy) -> PoisonHandling {
+    match policy {
+        FaultPolicy::FailFast => PoisonHandling::Consume,
+        FaultPolicy::Quarantine => PoisonHandling::Quarantine,
+        FaultPolicy::Degrade => PoisonHandling::Atomic,
+    }
+}
+
+/// Screen and stamp one batch against the stream watermarks, mirroring
+/// `MmqjpEngine::process_batch`'s Stage-1 screening exactly: each surviving
+/// document consumes the next sequence number as its id (and, when it
+/// arrives with timestamp `0`, as its timestamp), and an out-of-order
+/// document is handled per `handling` — consume-and-fail, quarantine-and-
+/// skip, or fail-the-batch-atomically (watermarks restored).
+#[allow(clippy::too_many_arguments)]
+fn screen_and_stamp(
+    docs: Vec<Document>,
+    seq: &mut u64,
+    newest: &mut u64,
+    enforce_in_order: bool,
+    handling: PoisonHandling,
+    batch_index: u64,
+    quarantine: &mut Vec<QuarantineRecord>,
+    docs_quarantined: &mut usize,
+) -> CoreResult<Vec<Document>> {
+    let entry = (*seq, *newest);
+    let mut survivors = Vec::with_capacity(docs.len());
+    for (doc_index, mut doc) in docs.into_iter().enumerate() {
+        let tentative = *seq + 1;
+        let ts = match doc.timestamp().raw() {
+            0 => tentative,
+            raw => raw,
+        };
+        if enforce_in_order && ts < *newest {
+            let error = CoreError::OutOfOrderDocument {
+                timestamp: ts,
+                newest: *newest,
+            };
+            match handling {
+                PoisonHandling::Consume => {
+                    *seq = tentative;
+                    return Err(error);
+                }
+                PoisonHandling::Atomic => {
+                    (*seq, *newest) = entry;
+                    return Err(error);
+                }
+                PoisonHandling::Quarantine => {
+                    quarantine.push(QuarantineRecord {
+                        batch: batch_index,
+                        doc_index,
+                        timestamp: ts,
+                        error,
+                    });
+                    *docs_quarantined += 1;
+                    continue;
+                }
+            }
+        }
+        *seq = tentative;
+        doc.set_id(DocId(tentative));
+        doc.set_timestamp(Timestamp(ts));
+        *newest = (*newest).max(ts);
+        survivors.push(doc);
+    }
+    Ok(survivors)
+}
+
+/// Render a caught panic payload for [`CoreError::ShardPanicked`].
+fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// The worker loop: owns one shard's engine, serves requests until the
 /// sending half of the channel is dropped.
 ///
 /// `global_ids` maps the shard-local query index (the order queries were
 /// registered on this shard) to the engine-global [`QueryId`], so the matches
 /// leaving the shard always speak the global id space.
+///
+/// Every engine-touching request runs inside `catch_unwind`: a panic is
+/// contained, reported to the coordinator as a typed
+/// [`CoreError::ShardPanicked`] (instead of a silently dropped channel), and
+/// then the worker retires itself — a panicking engine's state is suspect,
+/// so the supervisor must respawn the shard rather than keep talking to it.
 // The spawned worker thread must own its receiver (`'static` loop).
 #[allow(clippy::needless_pass_by_value)]
-fn shard_worker(mut engine: MmqjpEngine, requests: Receiver<Request>) {
-    let mut global_ids: Vec<QueryId> = Vec::new();
-    let mut local_of: std::collections::HashMap<QueryId, QueryId> =
-        std::collections::HashMap::new();
+fn shard_worker(
+    engine: MmqjpEngine,
+    requests: Receiver<Request>,
+    shard: usize,
+    initial_globals: Vec<QueryId>,
+) {
+    let mut local_of: std::collections::HashMap<QueryId, QueryId> = initial_globals
+        .iter()
+        .enumerate()
+        .map(|(local, &global)| (global, QueryId(local as u64)))
+        .collect();
+    let mut global_ids: Vec<QueryId> = initial_globals;
+    let mut engine = engine;
     while let Ok(request) = requests.recv() {
         match request {
             Request::Register {
@@ -1375,50 +2117,125 @@ fn shard_worker(mut engine: MmqjpEngine, requests: Receiver<Request>) {
                 global,
                 reply,
             } => {
-                let result = engine.register_query(*query).and_then(|local| {
-                    debug_assert_eq!(local.raw() as usize, global_ids.len());
-                    global_ids.push(global);
-                    local_of.insert(global, local);
-                    let runtime = engine.registry().query(local)?;
-                    let mut patterns = Vec::new();
-                    for r in &runtime.registrations {
-                        patterns.push((r.prev_pattern.clone(), r.prev_edges.clone()));
-                        patterns.push((r.cur_pattern.clone(), r.cur_edges.clone()));
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    engine.register_query(*query).and_then(|local| {
+                        debug_assert_eq!(local.raw() as usize, global_ids.len());
+                        global_ids.push(global);
+                        local_of.insert(global, local);
+                        let runtime = engine.registry().query(local)?;
+                        let mut patterns = Vec::new();
+                        for r in &runtime.registrations {
+                            patterns.push((r.prev_pattern.clone(), r.prev_edges.clone()));
+                            patterns.push((r.cur_pattern.clone(), r.cur_edges.clone()));
+                        }
+                        let single = runtime
+                            .single_pattern
+                            .as_ref()
+                            .map(|p| (p.clone(), runtime.publish.clone(), runtime.select));
+                        Ok(Box::new(ShardFootprint { patterns, single }))
+                    })
+                }));
+                match caught {
+                    Ok(result) => {
+                        let _ = reply.send(result);
                     }
-                    let single = runtime
-                        .single_pattern
-                        .as_ref()
-                        .map(|p| (p.clone(), runtime.publish.clone(), runtime.select));
-                    Ok(Box::new(ShardFootprint { patterns, single }))
-                });
-                let _ = reply.send(result);
+                    Err(payload) => {
+                        let _ = reply.send(Err(CoreError::ShardPanicked {
+                            shard,
+                            payload: panic_payload(payload.as_ref()),
+                        }));
+                        break;
+                    }
+                }
             }
             Request::Unregister { global, reply } => {
-                let result = match local_of.get(&global) {
+                let caught = catch_unwind(AssertUnwindSafe(|| match local_of.get(&global) {
                     Some(&local) => engine.unregister_query(local).map(|()| {
                         local_of.remove(&global);
                     }),
                     None => Err(CoreError::UnknownQuery { id: global.raw() }),
-                };
-                let _ = reply.send(result);
-            }
-            Request::Batch { docs, reply } => {
-                let result = engine.process_batch(docs).map(|mut outputs| {
-                    for output in &mut outputs {
-                        output.query = global_ids[output.query.raw() as usize];
+                }));
+                match caught {
+                    Ok(result) => {
+                        let _ = reply.send(result);
                     }
-                    outputs
-                });
-                let _ = reply.send(result);
-            }
-            Request::Witness { routed, reply } => {
-                let result = engine.process_witness_batch(*routed).map(|mut outputs| {
-                    for output in &mut outputs {
-                        output.query = global_ids[output.query.raw() as usize];
+                    Err(payload) => {
+                        let _ = reply.send(Err(CoreError::ShardPanicked {
+                            shard,
+                            payload: panic_payload(payload.as_ref()),
+                        }));
+                        break;
                     }
-                    outputs
-                });
-                let _ = reply.send(result);
+                }
+            }
+            Request::Batch { docs, fault, reply } => {
+                if matches!(fault, Some(WorkerFault::DropReply)) {
+                    // Injected desynchronization: the batch is neither
+                    // processed nor answered; the dropped reply surfaces at
+                    // the coordinator as a dead channel.
+                    drop(reply);
+                    continue;
+                }
+                let panic_requested = matches!(fault, Some(WorkerFault::Panic));
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    if panic_requested {
+                        // lint:allow deliberate injected fault, contained by catch_unwind below
+                        panic!("injected fault: shard worker panic");
+                    }
+                    engine.process_batch(docs).map(|mut outputs| {
+                        for output in &mut outputs {
+                            output.query = global_ids[output.query.raw() as usize];
+                        }
+                        outputs
+                    })
+                }));
+                match caught {
+                    Ok(result) => {
+                        let _ = reply.send(result);
+                    }
+                    Err(payload) => {
+                        let _ = reply.send(Err(CoreError::ShardPanicked {
+                            shard,
+                            payload: panic_payload(payload.as_ref()),
+                        }));
+                        break;
+                    }
+                }
+            }
+            Request::Witness {
+                routed,
+                fault,
+                reply,
+            } => {
+                if matches!(fault, Some(WorkerFault::DropReply)) {
+                    drop(reply);
+                    continue;
+                }
+                let panic_requested = matches!(fault, Some(WorkerFault::Panic));
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    if panic_requested {
+                        // lint:allow deliberate injected fault, contained by catch_unwind below
+                        panic!("injected fault: shard worker panic");
+                    }
+                    engine.process_witness_batch(*routed).map(|mut outputs| {
+                        for output in &mut outputs {
+                            output.query = global_ids[output.query.raw() as usize];
+                        }
+                        outputs
+                    })
+                }));
+                match caught {
+                    Ok(result) => {
+                        let _ = reply.send(result);
+                    }
+                    Err(payload) => {
+                        let _ = reply.send(Err(CoreError::ShardPanicked {
+                            shard,
+                            payload: panic_payload(payload.as_ref()),
+                        }));
+                        break;
+                    }
+                }
             }
             Request::Stats { reply } => {
                 let _ = reply.send(engine.stats());
@@ -1466,40 +2283,59 @@ fn front_worker(retain_documents: bool, streaming: bool, requests: Receiver<Fron
                 }
                 let _ = reply.send(());
             }
-            FrontRequest::Parse { docs, reply } => {
+            FrontRequest::Parse { docs, fault, reply } => {
+                if matches!(fault, Some(WorkerFault::DropReply)) {
+                    drop(reply);
+                    continue;
+                }
+                let panic_requested = matches!(fault, Some(WorkerFault::Panic));
                 let t0 = Instant::now();
-                let parsed = docs
-                    .into_iter()
-                    .map(|doc| {
-                        let (bindings, single_matches) = if streaming {
-                            index.shared_pass_reusing(&doc, &mut pass);
-                            (
-                                front_bindings_from_pass(&index, &requested, &doc, &pass),
-                                match_front_singles_from_pass(
-                                    &singles,
-                                    &single_pids,
-                                    &doc,
-                                    &pass,
-                                    retain_documents,
-                                ),
-                            )
-                        } else {
-                            (
-                                index.evaluate_edge_bindings(&doc, &requested),
-                                match_front_singles(&singles, &doc, retain_documents),
-                            )
-                        };
-                        ParsedDoc {
-                            doc,
-                            bindings,
-                            singles: single_matches,
-                        }
-                    })
-                    .collect();
-                let _ = reply.send(ParsedChunk {
-                    docs: parsed,
-                    elapsed: t0.elapsed(),
-                });
+                // Contain panics (injected or organic): the dropped reply
+                // surfaces at the coordinator, which respawns and re-syncs
+                // this worker — parsing holds no cross-request state, so a
+                // snapshot push makes the replacement whole.
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    if panic_requested {
+                        // lint:allow deliberate injected fault, contained by catch_unwind below
+                        panic!("injected fault: front worker panic");
+                    }
+                    docs.into_iter()
+                        .map(|doc| {
+                            let (bindings, single_matches) = if streaming {
+                                index.shared_pass_reusing(&doc, &mut pass);
+                                (
+                                    front_bindings_from_pass(&index, &requested, &doc, &pass),
+                                    match_front_singles_from_pass(
+                                        &singles,
+                                        &single_pids,
+                                        &doc,
+                                        &pass,
+                                        retain_documents,
+                                    ),
+                                )
+                            } else {
+                                (
+                                    index.evaluate_edge_bindings(&doc, &requested),
+                                    match_front_singles(&singles, &doc, retain_documents),
+                                )
+                            };
+                            ParsedDoc {
+                                doc,
+                                bindings,
+                                singles: single_matches,
+                            }
+                        })
+                        .collect()
+                }));
+                match caught {
+                    Ok(parsed) => {
+                        let _ = reply.send(ParsedChunk {
+                            docs: parsed,
+                            elapsed: t0.elapsed(),
+                        });
+                    }
+                    Err(_) => break,
+                }
             }
         }
     }

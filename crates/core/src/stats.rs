@@ -44,6 +44,10 @@ pub struct PhaseTimings {
     pub output: Duration,
     /// Join-state and view-cache maintenance (Algorithms 2 and 5).
     pub maintenance: Duration,
+    /// Failure recovery: respawning dead workers, re-registering surviving
+    /// subscriptions and replaying the in-window join state from the
+    /// `ReplayLog`. Zero on a fault-free stream.
+    pub recovery: Duration,
 }
 
 impl PhaseTimings {
@@ -58,6 +62,7 @@ impl PhaseTimings {
             + self.materialize
             + self.output
             + self.maintenance
+            + self.recovery
     }
 
     /// The portion the paper calls "total conjunctive query processing time"
@@ -79,6 +84,7 @@ impl AddAssign for PhaseTimings {
         self.materialize += rhs.materialize;
         self.output += rhs.output;
         self.maintenance += rhs.maintenance;
+        self.recovery += rhs.recovery;
     }
 }
 
@@ -159,6 +165,23 @@ pub struct EngineStats {
     /// stalls to batches means Stage 2 is the bottleneck and more shards
     /// would help; zero stalls mean Stage 1 is.
     pub pipeline_stalls: usize,
+    /// Worker threads (shard or front) respawned by the supervisor after a
+    /// contained panic or a dropped channel — automatically under
+    /// [`FaultPolicy::Quarantine`](crate::FaultPolicy), or via a manual
+    /// `ShardedEngine::respawn_shard` under
+    /// [`FaultPolicy::Degrade`](crate::FaultPolicy).
+    pub shards_respawned: usize,
+    /// Poison documents skipped (with a typed `QuarantineRecord`) instead of
+    /// failing their batch, under
+    /// [`FaultPolicy::Quarantine`](crate::FaultPolicy).
+    pub docs_quarantined: usize,
+    /// Witness rows (`RbinW` + `RdocW`) rebuilt from the `ReplayLog` while
+    /// recovering a respawned shard's in-window join state.
+    pub rows_replayed: usize,
+    /// Faults actually injected by a `FaultInjector` driving this engine.
+    /// Always zero outside the deterministic chaos harness; a benign (empty)
+    /// `FaultPlan` keeps it at zero by definition.
+    pub faults_injected: usize,
     /// Cumulative per-phase timings.
     pub timings: PhaseTimings,
 }
@@ -224,6 +247,10 @@ impl AddAssign for EngineStats {
         self.docs_parsed_once += rhs.docs_parsed_once;
         self.witnesses_routed += rhs.witnesses_routed;
         self.pipeline_stalls += rhs.pipeline_stalls;
+        self.shards_respawned += rhs.shards_respawned;
+        self.docs_quarantined += rhs.docs_quarantined;
+        self.rows_replayed += rhs.rows_replayed;
+        self.faults_injected += rhs.faults_injected;
         self.timings += rhs.timings;
     }
 }
@@ -259,8 +286,9 @@ mod tests {
             materialize: Duration::from_millis(8),
             output: Duration::from_millis(6),
             maintenance: Duration::from_millis(7),
+            recovery: Duration::from_millis(10),
         };
-        assert_eq!(t.total(), Duration::from_millis(45));
+        assert_eq!(t.total(), Duration::from_millis(55));
         assert_eq!(t.stage2_join_time(), Duration::from_millis(22));
     }
 
@@ -315,6 +343,10 @@ mod tests {
             docs_parsed_once: 17,
             witnesses_routed: 18,
             pipeline_stalls: 19,
+            shards_respawned: 21,
+            docs_quarantined: 22,
+            rows_replayed: 23,
+            faults_injected: 24,
             timings: PhaseTimings {
                 xpath: Duration::from_millis(1),
                 ..Default::default()
@@ -346,6 +378,10 @@ mod tests {
             docs_parsed_once: 170,
             witnesses_routed: 180,
             pipeline_stalls: 190,
+            shards_respawned: 210,
+            docs_quarantined: 220,
+            rows_replayed: 230,
+            faults_injected: 240,
             timings: PhaseTimings {
                 xpath: Duration::from_millis(2),
                 ..Default::default()
@@ -377,6 +413,10 @@ mod tests {
         assert_eq!(s.docs_parsed_once, 187);
         assert_eq!(s.witnesses_routed, 198);
         assert_eq!(s.pipeline_stalls, 209);
+        assert_eq!(s.shards_respawned, 231);
+        assert_eq!(s.docs_quarantined, 242);
+        assert_eq!(s.rows_replayed, 253);
+        assert_eq!(s.faults_injected, 264);
         assert_eq!(s.timings.xpath, Duration::from_millis(3));
         assert_eq!(s, a + b);
         assert_eq!(

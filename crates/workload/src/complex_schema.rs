@@ -134,6 +134,7 @@ impl ComplexSchemaWorkload {
             TreePattern::new(Some("S".to_owned()), Axis::Descendant, NodeTest::tag("doc"));
         pattern
             .bind_variable(PatternNodeId::ROOT, format!("{prefix}_root"))
+            // lint:allow a fresh pattern has no variables to collide with
             .expect("fresh pattern");
         let mut mid_nodes: HashMap<usize, PatternNodeId> = HashMap::new();
         let mut vars = Vec::with_capacity(leaves.len());
@@ -146,6 +147,7 @@ impl ComplexSchemaWorkload {
                 );
                 pattern
                     .bind_variable(id, format!("{prefix}_mid{m}"))
+                    // lint:allow mid_nodes guarantees one binding per intermediate tag
                     .expect("unique intermediate variable");
                 id
             });
@@ -154,6 +156,7 @@ impl ComplexSchemaWorkload {
             let var = format!("{prefix}{i}");
             pattern
                 .bind_variable(leaf_id, var.clone())
+                // lint:allow the index-suffixed names are distinct by construction
                 .expect("unique leaf variable");
             vars.push(var);
         }

@@ -126,6 +126,7 @@ impl FlatSchemaWorkload {
         );
         pattern
             .bind_variable(PatternNodeId::ROOT, format!("{prefix}_root"))
+            // lint:allow a fresh pattern has no variables to collide with
             .expect("fresh pattern has no duplicate variables");
         let mut vars = Vec::with_capacity(leaves.len());
         for (i, &leaf) in leaves.iter().enumerate() {
@@ -137,6 +138,7 @@ impl FlatSchemaWorkload {
             let var = format!("{prefix}{i}");
             pattern
                 .bind_variable(id, var.clone())
+                // lint:allow the index-suffixed names are distinct by construction
                 .expect("variable names are unique by construction");
             vars.push(var);
         }

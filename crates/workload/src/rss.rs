@@ -220,6 +220,7 @@ fn block_pattern(fields: &[&str], prefix: &str) -> (TreePattern, Vec<String>) {
     );
     pattern
         .bind_variable(PatternNodeId::ROOT, format!("{prefix}_root"))
+        // lint:allow a fresh pattern has no variables to collide with
         .expect("fresh pattern");
     let mut vars = Vec::with_capacity(fields.len());
     for (i, field) in fields.iter().enumerate() {
@@ -227,6 +228,7 @@ fn block_pattern(fields: &[&str], prefix: &str) -> (TreePattern, Vec<String>) {
         let var = format!("{prefix}{i}");
         pattern
             .bind_variable(id, var.clone())
+            // lint:allow the index-suffixed names are distinct by construction
             .expect("unique variable");
         vars.push(var);
     }

@@ -105,6 +105,7 @@ impl SubscriptionChurnWorkload {
 
     /// The largest configured window.
     pub fn max_window(&self) -> u64 {
+        // lint:allow every constructor populates at least one window
         *self.config.windows.iter().max().expect("non-empty windows")
     }
 
@@ -140,6 +141,7 @@ impl SubscriptionChurnWorkload {
                 let query = generator
                     .generate_queries(1, rng)
                     .pop()
+                    // lint:allow generate_queries(1, ..) returns exactly one query
                     .expect("one query was requested");
                 events.push(SubscriptionEvent::Register(Box::new(query)));
                 live.push(registered);

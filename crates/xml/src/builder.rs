@@ -38,6 +38,7 @@ impl DocumentBuilder {
 
     /// The id of the element the builder is currently inside.
     pub fn current(&self) -> NodeId {
+        // lint:allow the stack is seeded with ROOT and close() refuses to pop it
         *self.stack.last().expect("builder stack is never empty")
     }
 
@@ -47,6 +48,7 @@ impl DocumentBuilder {
         let id = self
             .doc
             .append_child(self.current(), tag)
+            // lint:allow the cursor is always the rightmost open element, so appending under it cannot violate pre-order
             .expect("builder maintains pre-order invariant");
         self.stack.push(id);
         id
@@ -71,6 +73,7 @@ impl DocumentBuilder {
         let id = self
             .doc
             .append_child(self.current(), tag)
+            // lint:allow the cursor is always the rightmost open element, so appending under it cannot violate pre-order
             .expect("builder maintains pre-order invariant");
         self.doc.set_text(id, text);
         id
@@ -81,6 +84,7 @@ impl DocumentBuilder {
     pub fn child(&mut self, tag: impl Into<String>) -> NodeId {
         self.doc
             .append_child(self.current(), tag)
+            // lint:allow the cursor is always the rightmost open element, so appending under it cannot violate pre-order
             .expect("builder maintains pre-order invariant")
     }
 

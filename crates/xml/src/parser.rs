@@ -76,7 +76,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    pub(crate) fn expect(&mut self, s: &str) -> XmlResult<()> {
+    pub(crate) fn expect_literal(&mut self, s: &str) -> XmlResult<()> {
         if self.starts_with(s) {
             self.pos += s.len();
             Ok(())
@@ -155,7 +155,7 @@ impl<'a> Parser<'a> {
             });
         }
         // Parse the root start tag to learn the root tag name.
-        self.expect("<")?;
+        self.expect_literal("<")?;
         let tag = self.parse_name()?;
         let mut doc = Document::new(tag.clone());
         let root = NodeId::ROOT;
@@ -165,7 +165,7 @@ impl<'a> Parser<'a> {
             self.pos += 2;
             return Ok(doc);
         }
-        self.expect(">")?;
+        self.expect_literal(">")?;
         self.parse_content(&mut doc, root, &tag)?;
         Ok(doc)
     }
@@ -214,7 +214,7 @@ impl<'a> Parser<'a> {
             }
             let name = self.parse_name()?;
             self.skip_whitespace();
-            self.expect("=")?;
+            self.expect_literal("=")?;
             self.skip_whitespace();
             let quote = match self.bump() {
                 Some(q @ (b'"' | b'\'')) => q,
@@ -261,7 +261,7 @@ impl<'a> Parser<'a> {
                 self.pos += 2;
                 let close = self.parse_name()?;
                 self.skip_whitespace();
-                self.expect(">")?;
+                self.expect_literal(">")?;
                 if close != open_tag {
                     return Err(XmlError::MismatchedTag {
                         open: open_tag.to_owned(),
@@ -309,7 +309,7 @@ impl<'a> Parser<'a> {
                 if self.starts_with("/>") {
                     self.pos += 2;
                 } else {
-                    self.expect(">")?;
+                    self.expect_literal(">")?;
                     self.parse_content(doc, child, &tag)?;
                 }
             } else {

@@ -124,8 +124,7 @@ impl<'a> PullParser<'a> {
                 expected: "start of root element",
             });
         }
-        // lint:allow Parser::expect is fallible (`XmlResult`), not Option::expect
-        self.parser.expect("<")?;
+        self.parser.expect_literal("<")?;
         self.state = State::Content;
         self.start_tag_body()
     }
@@ -140,8 +139,7 @@ impl<'a> PullParser<'a> {
             self.parser.pos += 2;
             self.pending_end = Some(tag.clone());
         } else {
-            // lint:allow Parser::expect is fallible (`XmlResult`), not Option::expect
-            self.parser.expect(">")?;
+            self.parser.expect_literal(">")?;
             self.open.push(tag.clone());
         }
         Ok(XmlEvent::StartElement { tag, attributes })
@@ -160,8 +158,7 @@ impl<'a> PullParser<'a> {
                 self.parser.pos += 2;
                 let close = self.parser.parse_name()?;
                 self.parser.skip_whitespace();
-                // lint:allow Parser::expect is fallible (`XmlResult`), not Option::expect
-                self.parser.expect(">")?;
+                self.parser.expect_literal(">")?;
                 let matched = self.open.last().is_some_and(|open| *open == close);
                 if !matched {
                     return Err(XmlError::MismatchedTag {

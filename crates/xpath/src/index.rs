@@ -132,6 +132,7 @@ impl PatternIndex {
         }
         let pattern = self.patterns[idx]
             .take()
+            // lint:allow register/unregister keep refcounts and slots in lockstep
             .expect("a positive refcount implies a live pattern");
         self.by_signature.remove(&pattern.signature());
         self.root_tags[idx] = None;
@@ -159,6 +160,7 @@ impl PatternIndex {
     pub fn pattern(&self, id: PatternId) -> &TreePattern {
         self.patterns[id.index()]
             .as_ref()
+            // lint:allow documented contract: callers must not pass tombstoned ids
             .expect("pattern id refers to a dropped pattern")
     }
 

@@ -2,8 +2,8 @@
 //! and helpers for building engines in each processing mode.
 
 use mmqjp_core::{
-    sort_matches, AuditViolation, EngineConfig, MatchOutput, MmqjpEngine, ProcessingMode,
-    ShardedEngine,
+    sort_matches, AuditViolation, EngineConfig, FaultInjector, FaultPlan, MatchOutput, MmqjpEngine,
+    ProcessingMode, ShardedEngine,
 };
 use mmqjp_xml::{rss, Document, Timestamp};
 
@@ -146,6 +146,10 @@ pub fn sharded_engine_with_queries(
     queries: &[mmqjp_xscl::XsclQuery],
 ) -> ShardedEngine {
     let mut engine = ShardedEngine::new(config.with_num_shards(num_shards));
+    // Every sharded fixture runs with a benign (empty) fault plan installed:
+    // the injection plumbing must be zero-cost and non-perturbing, so every
+    // equivalence assertion built on these fixtures proves exactly that.
+    engine.set_fault_injector(FaultInjector::new(FaultPlan::none()));
     for q in queries {
         engine.register_query(q.clone()).expect("query registers");
     }
@@ -166,6 +170,8 @@ pub fn sharded_engine_with_topology(
             .with_num_shards(num_shards)
             .with_front_pool(front_pool),
     );
+    // Benign fault plan: see `sharded_engine_with_queries`.
+    engine.set_fault_injector(FaultInjector::new(FaultPlan::none()));
     for q in queries {
         engine.register_query(q.clone()).expect("query registers");
     }

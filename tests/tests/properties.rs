@@ -879,3 +879,60 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Malformed-input hardening
+// ---------------------------------------------------------------------------
+
+/// Feed a mutated serialization of a valid document to both parsers and
+/// check the hardening contract: neither panics, both return a typed result,
+/// and they agree on accept vs. reject. When both accept, they must accept
+/// the *same* document (bytes, not just verdicts).
+fn check_parsers_on_corrupt_bytes(original: &Document, seed: u64) {
+    let bytes = mmqjp_core::corrupt_bytes(&serialize(original), seed);
+    // The parsers take `&str`; bytes that are not UTF-8 never reach them.
+    let Ok(text) = String::from_utf8(bytes) else {
+        return;
+    };
+    let dom = parse_document(&text);
+    let streaming = mmqjp_xml::parse_document_streaming(&text);
+    assert_eq!(
+        dom.is_ok(),
+        streaming.is_ok(),
+        "DOM and streaming parsers disagree on mutated input:\n  dom: {dom:?}\n  streaming: {streaming:?}\n  input: {text:?}"
+    );
+    if let (Ok(dom), Ok(streaming)) = (dom, streaming) {
+        assert_eq!(
+            serialize(&dom),
+            serialize(&streaming),
+            "parsers accepted mutated input but built different documents: {text:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte mutations of a valid document yield typed errors —
+    /// never a panic — from both the streaming pull parser and the DOM
+    /// parser, and the two always agree on accept/reject.
+    #[test]
+    fn corrupted_documents_fail_typed_and_parsers_agree(
+        doc in flat_document_strategy(),
+        seed in 0u64..1_000_000_000,
+    ) {
+        check_parsers_on_corrupt_bytes(&doc, seed);
+    }
+}
+
+/// The same contract against deeper, realistic markup (the paper's running
+/// example) across a fixed sweep of mutation seeds.
+#[test]
+fn corrupted_rss_documents_fail_typed_and_parsers_agree() {
+    let d1 = mmqjp_integration_tests::d1();
+    let d2 = mmqjp_integration_tests::d2();
+    for seed in 0..512u64 {
+        check_parsers_on_corrupt_bytes(&d1, seed);
+        check_parsers_on_corrupt_bytes(&d2, seed);
+    }
+}
